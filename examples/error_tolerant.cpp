@@ -1,0 +1,58 @@
+//===- examples/error_tolerant.cpp - The Sec. 5.2 allowed-error sweep ---------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the future-work demonstration of Sec. 5.2 interactively:
+/// the same specification solved with an allowed error from 0% to 50%,
+/// showing the (roughly exponential) collapse of search cost and the
+/// simplification of the returned expression. The bench_error binary
+/// prints the paper-formatted table; this example is the walk-through.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Synthesizer.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace paresy;
+
+int main() {
+  // The specification of Sec. 5.2 (Table 1's first row).
+  Spec Examples(
+      {"00", "1101", "0001", "0111", "001", "1", "10", "1100", "111",
+       "1010"},
+      {"", "0", "0000", "0011", "01", "010", "011", "100", "1000",
+       "1001", "11", "1110"});
+  Alphabet Sigma = Alphabet::of("01");
+
+  std::printf("REI with error (Sec. 5.2): %zu+%zu examples, cost "
+              "(1,1,1,1,1)\n\n",
+              Examples.Pos.size(), Examples.Neg.size());
+  TextTable Table({"Allowed Error", "# REs", "RE", "Cost(RE)"});
+
+  for (int Percent = 0; Percent <= 50; Percent += 5) {
+    SynthOptions Opts;
+    Opts.AllowedError = double(Percent) / 100.0;
+    // The 0% row is the paper's hardest Table 1 instance (took ~85
+    // minutes of single-core CPU in our measurements; 26.7 billion
+    // candidates on the paper's A100). Cap each row for interactivity;
+    // bench_error --timeout N reproduces the full table.
+    Opts.TimeoutSeconds = 10;
+    SynthResult R = synthesize(Examples, Sigma, Opts);
+    Table.addRow({std::to_string(Percent) + " %",
+                  R.found()
+                      ? withCommas(R.Stats.CandidatesGenerated)
+                      : "-",
+                  R.found() ? R.Regex : statusName(R.Status),
+                  R.found() ? std::to_string(R.Cost) : "-"});
+  }
+  std::printf("%s", Table.render().c_str());
+  std::printf("\nMore tolerance => earlier termination: the paper "
+              "conjectures an\nexponential dependency between allowed "
+              "error and synthesis cost.\n");
+  return 0;
+}

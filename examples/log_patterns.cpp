@@ -1,0 +1,67 @@
+//===- examples/log_patterns.cpp - Inferring log-token patterns ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A realistic by-example scenario over a non-binary alphabet: an
+/// operator labels a handful of log tokens as well-formed diagnostic
+/// codes (a severity letter E/W/I followed by one or more digits) or
+/// malformed, and Paresy infers the validation pattern. Demonstrates
+/// arbitrary alphabets (Sec. 3: "over arbitrary alphabets") and how
+/// cost functions shape the result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Synthesizer.h"
+#include "regex/Matcher.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace paresy;
+
+int main() {
+  // Labelled tokens scraped from a (synthetic) log stream.
+  Spec Examples(
+      /*Pos=*/{"E1", "E2", "W1", "W12", "I9", "E10", "I2"},
+      /*Neg=*/{"E", "W", "I", "1", "12", "EE", "1E", "W2W", "9I"});
+  Alphabet Sigma = Alphabet::of("EWI0129");
+
+  std::printf("Learning a diagnostic-code pattern from %zu+%zu examples\n",
+              Examples.Pos.size(), Examples.Neg.size());
+
+  // Uniform costs first.
+  SynthOptions Uniform;
+  SynthResult R1 = synthesize(Examples, Sigma, Uniform);
+  if (!R1.found()) {
+    std::printf("failed: %s\n", statusName(R1.Status));
+    return 1;
+  }
+  std::printf("  uniform cost (1,1,1,1,1):   %-28s cost %llu, "
+              "%s candidates\n",
+              R1.Regex.c_str(), (unsigned long long)R1.Cost,
+              withCommas(R1.Stats.CandidatesGenerated).c_str());
+
+  // A star-averse cost function (the paper's (1,1,10,1,1)): repetition
+  // must pay for itself, biasing towards enumerated alternatives.
+  SynthOptions StarAverse;
+  StarAverse.Cost = CostFn(1, 1, 10, 1, 1);
+  SynthResult R2 = synthesize(Examples, Sigma, StarAverse);
+  if (R2.found())
+    std::printf("  star-averse (1,1,10,1,1):   %-28s cost %llu\n",
+                R2.Regex.c_str(), (unsigned long long)R2.Cost);
+
+  // Sanity: the uniform result classifies a few unseen tokens.
+  RegexManager M;
+  ParseResult P = parseRegex(M, R1.Regex);
+  if (!P)
+    return 1;
+  DerivativeMatcher D(M);
+  std::printf("  unseen tokens under '%s':\n", R1.Regex.c_str());
+  for (const char *Token : {"W9", "E99", "II", "21E"})
+    std::printf("    %-4s -> %s\n", Token,
+                D.matches(P.Re, Token) ? "accepted" : "rejected");
+  return 0;
+}

@@ -1,0 +1,236 @@
+//===- examples/paresy_cli.cpp - Command-line regular expression inference ----===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete command-line front end over the public API:
+///
+///   paresy_cli [options] <specfile>
+///   paresy_cli [options] --pos 10,101,100 --neg ,0,1
+///
+/// Spec files use the '+example' / '-example' line format (see
+/// lang/Spec.h). Options:
+///
+///   --engine cpu|gpu|alpharegex   search engine (default cpu)
+///   --cost c1,c2,c3,c4,c5         cost homomorphism (default 1,1,1,1,1)
+///   --error FRACTION              allowed error in [0,1) (default 0)
+///   --max-cost N                  cost budget (default: overfit bound)
+///   --memory-mb N                 cache budget in MiB (default 256)
+///   --timeout SECONDS             wall-clock limit (default none)
+///   --alphabet CHARS              alphabet (default: inferred)
+///   --wildcard                    AlphaRegex wild-card heuristic
+///   --stats                       print search statistics
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AlphaRegex.h"
+#include "core/Synthesizer.h"
+#include "gpusim/GpuSynthesizer.h"
+#include "regex/Matcher.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: paresy_cli [options] <specfile>\n"
+               "       paresy_cli [options] --pos a,b,c --neg d,e\n"
+               "see the header of examples/paresy_cli.cpp for options\n");
+  std::exit(2);
+}
+
+std::vector<std::string> splitCommas(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Begin = 0;
+  for (;;) {
+    size_t Comma = Text.find(',', Begin);
+    if (Comma == std::string::npos) {
+      Out.push_back(Text.substr(Begin));
+      return Out;
+    }
+    Out.push_back(Text.substr(Begin, Comma - Begin));
+    Begin = Comma + 1;
+  }
+}
+
+bool parseCost(const std::string &Text, CostFn &Out) {
+  std::vector<std::string> Parts = splitCommas(Text);
+  if (Parts.size() != 5)
+    return false;
+  uint32_t Values[5];
+  for (int I = 0; I != 5; ++I) {
+    char *End = nullptr;
+    long V = std::strtol(Parts[size_t(I)].c_str(), &End, 10);
+    if (*End || V <= 0)
+      return false;
+    Values[I] = uint32_t(V);
+  }
+  Out = CostFn(Values[0], Values[1], Values[2], Values[3], Values[4]);
+  return true;
+}
+
+void printStats(const SynthStats &St) {
+  std::printf("  universe (#ic)     %llu words, %llu x 64-bit CS\n",
+              (unsigned long long)St.UniverseSize,
+              (unsigned long long)St.CsWords);
+  std::printf("  guide pairs        %s\n",
+              withCommas(St.GuidePairs).c_str());
+  std::printf("  candidates (#REs)  %s\n",
+              withCommas(St.CandidatesGenerated).c_str());
+  std::printf("  unique languages   %s\n",
+              withCommas(St.UniqueLanguages).c_str());
+  std::printf("  cache entries      %s (%s bytes)\n",
+              withCommas(St.CacheEntries).c_str(),
+              withCommas(St.MemoryBytes).c_str());
+  std::printf("  precompute/search  %s s / %s s\n",
+              formatSeconds(St.PrecomputeSeconds).c_str(),
+              formatSeconds(St.SearchSeconds).c_str());
+  if (St.OnTheFly)
+    std::printf("  note               entered OnTheFly mode\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Engine = "cpu";
+  SynthOptions Options;
+  bool Wildcard = false;
+  bool ShowStats = false;
+  std::string AlphabetChars;
+  std::string SpecFile;
+  Spec Examples;
+  bool InlineSpec = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        usage();
+      return Argv[++I];
+    };
+    if (Arg == "--engine")
+      Engine = Next();
+    else if (Arg == "--cost") {
+      if (!parseCost(Next(), Options.Cost)) {
+        std::fprintf(stderr, "error: bad --cost (want c1,c2,c3,c4,c5)\n");
+        return 2;
+      }
+    } else if (Arg == "--error")
+      Options.AllowedError = std::atof(Next().c_str());
+    else if (Arg == "--max-cost")
+      Options.MaxCost = uint64_t(std::atoll(Next().c_str()));
+    else if (Arg == "--memory-mb")
+      Options.MemoryLimitBytes =
+          uint64_t(std::atoll(Next().c_str())) << 20;
+    else if (Arg == "--timeout")
+      Options.TimeoutSeconds = std::atof(Next().c_str());
+    else if (Arg == "--alphabet")
+      AlphabetChars = Next();
+    else if (Arg == "--wildcard")
+      Wildcard = true;
+    else if (Arg == "--stats")
+      ShowStats = true;
+    else if (Arg == "--pos") {
+      Examples.Pos = splitCommas(Next());
+      InlineSpec = true;
+    } else if (Arg == "--neg") {
+      Examples.Neg = splitCommas(Next());
+      InlineSpec = true;
+    } else if (Arg[0] == '-')
+      usage();
+    else
+      SpecFile = Arg;
+  }
+
+  if (!InlineSpec) {
+    if (SpecFile.empty())
+      usage();
+    std::string Error;
+    if (!readSpecFile(SpecFile, Examples, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+  }
+
+  Alphabet Sigma;
+  std::string Error;
+  if (!AlphabetChars.empty())
+    Sigma = Alphabet::create(AlphabetChars, &Error);
+  else if (!inferAlphabet(Examples, Sigma, &Error))
+    Sigma = Alphabet();
+  if (!Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  std::printf("spec: %zu positive, %zu negative example(s); alphabet {%s}\n",
+              Examples.Pos.size(), Examples.Neg.size(),
+              Sigma.symbols().c_str());
+  std::printf("cost: %s, allowed error %.0f%%\n",
+              Options.Cost.name().c_str(), Options.AllowedError * 100);
+
+  if (Engine == "alpharegex") {
+    baseline::AlphaRegexOptions AOpts;
+    AOpts.Cost = Options.Cost;
+    AOpts.UseWildcard = Wildcard;
+    AOpts.TimeoutSeconds = Options.TimeoutSeconds;
+    baseline::AlphaRegexResult R =
+        baseline::alphaRegexSynthesize(Examples, Sigma, AOpts);
+    if (!R.found()) {
+      std::printf("result: %s\n", statusName(R.Status));
+      return 1;
+    }
+    std::printf("result: %s  (cost %llu, %s REs checked, %.4f s)\n",
+                R.Regex.c_str(), (unsigned long long)R.Cost,
+                withCommas(R.Checked).c_str(), R.Seconds);
+    return 0;
+  }
+
+  SynthResult R;
+  if (Engine == "gpu") {
+    gpusim::GpuSynthResult G =
+        gpusim::synthesizeGpu(Examples, Sigma, Options);
+    R = G.Result;
+    if (R.found())
+      std::printf("modelled device time: %s s (%llu kernel launches)\n",
+                  formatSeconds(G.ModeledGpuSeconds).c_str(),
+                  (unsigned long long)G.KernelLaunches);
+  } else if (Engine == "cpu") {
+    R = synthesize(Examples, Sigma, Options);
+  } else {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", Engine.c_str());
+    return 2;
+  }
+
+  if (!R.found()) {
+    std::printf("result: %s %s\n", statusName(R.Status), R.Message.c_str());
+    if (ShowStats)
+      printStats(R.Stats);
+    return 1;
+  }
+  std::printf("result: %s  (cost %llu)\n", R.Regex.c_str(),
+              (unsigned long long)R.Cost);
+
+  // Always verify before reporting success.
+  RegexManager M;
+  ParseResult Parsed = parseRegex(M, R.Regex);
+  if (Options.AllowedError == 0 &&
+      !(Parsed &&
+        satisfiesExamples(M, Parsed.Re, Examples.Pos, Examples.Neg))) {
+    std::fprintf(stderr, "internal error: result failed verification\n");
+    return 1;
+  }
+  if (ShowStats)
+    printStats(R.Stats);
+  return 0;
+}

@@ -1,0 +1,386 @@
+//===- baseline/AlphaRegex.cpp - Top-down REI baseline ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AlphaRegex.h"
+
+#include "regex/Matcher.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+using namespace paresy;
+using namespace paresy::baseline;
+
+namespace {
+
+/// Internal markers inside the shared Regex AST: holes and the wild
+/// card are literals on characters no alphabet may contain (alphabets
+/// are restricted to printable characters).
+constexpr char HoleChar = '\x01';
+constexpr char WildcardChar = '\x02';
+
+bool isHole(const Regex *R) {
+  return R->kind() == RegexKind::Literal && R->symbol() == HoleChar;
+}
+
+bool isWildcard(const Regex *R) {
+  return R->kind() == RegexKind::Literal && R->symbol() == WildcardChar;
+}
+
+/// Deterministic structural order on hash-consed expressions (cheaper
+/// than comparing printed strings, stable across runs unlike pointer
+/// order). Returns <0, 0, >0.
+int syntacticCompare(const Regex *A, const Regex *B) {
+  if (A == B)
+    return 0;
+  if (A->kind() != B->kind())
+    return int(A->kind()) < int(B->kind()) ? -1 : 1;
+  switch (A->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    return 0;
+  case RegexKind::Literal:
+    return int(A->symbol()) - int(B->symbol());
+  case RegexKind::Question:
+  case RegexKind::Star:
+    return syntacticCompare(A->lhs(), B->lhs());
+  case RegexKind::Concat:
+  case RegexKind::Union: {
+    int Cmp = syntacticCompare(A->lhs(), B->lhs());
+    return Cmp != 0 ? Cmp : syntacticCompare(A->rhs(), B->rhs());
+  }
+  }
+  return 0;
+}
+
+/// The search engine for one run.
+class AlphaSearcher {
+public:
+  AlphaSearcher(const Spec &S, const Alphabet &Sigma,
+                const AlphaRegexOptions &Opts)
+      : S(S), Sigma(Sigma), Opts(Opts), Matcher(M) {}
+
+  AlphaRegexResult run();
+
+private:
+  struct WorkItem {
+    uint64_t CostLb;
+    uint64_t Seq; // FIFO tie-break keeps the search deterministic.
+    const Regex *State;
+  };
+  struct WorkItemGreater {
+    bool operator()(const WorkItem &A, const WorkItem &B) const {
+      if (A.CostLb != B.CostLb)
+        return A.CostLb > B.CostLb;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  bool containsHole(const Regex *R);
+  const Regex *substituteMarkers(const Regex *R, const Regex *ForHole);
+  const Regex *replaceLeftmostHole(const Regex *R, const Regex *With,
+                                   bool &Done);
+  bool structurallyRedundant(const Regex *R);
+  bool prunedByApproximation(const Regex *R);
+  void push(const Regex *State);
+  const Regex *sigmaStar();
+  const Regex *wildcardUnion();
+
+  const Spec &S;
+  const Alphabet &Sigma;
+  const AlphaRegexOptions &Opts;
+  RegexManager M;
+  DerivativeMatcher Matcher;
+  std::priority_queue<WorkItem, std::vector<WorkItem>, WorkItemGreater>
+      Queue;
+  uint64_t NextSeq = 0;
+  AlphaRegexResult Result;
+  std::unordered_map<const Regex *, const Regex *> OverMemo;
+  std::unordered_map<const Regex *, const Regex *> UnderMemo;
+  std::unordered_map<const Regex *, bool> HoleMemo;
+  std::unordered_map<const Regex *, bool> RedundantMemo;
+  const Regex *SigmaStarRe = nullptr;
+  const Regex *WildcardRe = nullptr;
+};
+
+const Regex *AlphaSearcher::sigmaStar() {
+  if (SigmaStarRe)
+    return SigmaStarRe;
+  SigmaStarRe = M.star(wildcardUnion());
+  return SigmaStarRe;
+}
+
+const Regex *AlphaSearcher::wildcardUnion() {
+  if (WildcardRe)
+    return WildcardRe;
+  assert(Sigma.size() > 0 && "wildcard needs a non-empty alphabet");
+  const Regex *Acc = M.literal(Sigma.symbol(0));
+  for (size_t I = 1; I != Sigma.size(); ++I)
+    Acc = M.alt(Acc, M.literal(Sigma.symbol(I)));
+  WildcardRe = Acc;
+  return WildcardRe;
+}
+
+bool AlphaSearcher::containsHole(const Regex *R) {
+  auto It = HoleMemo.find(R);
+  if (It != HoleMemo.end())
+    return It->second;
+  bool Result = false;
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    break;
+  case RegexKind::Literal:
+    Result = isHole(R);
+    break;
+  case RegexKind::Question:
+  case RegexKind::Star:
+    Result = containsHole(R->lhs());
+    break;
+  case RegexKind::Concat:
+  case RegexKind::Union:
+    Result = containsHole(R->lhs()) || containsHole(R->rhs());
+    break;
+  }
+  HoleMemo.emplace(R, Result);
+  return Result;
+}
+
+/// Replaces holes with \p ForHole and wildcards with (a1+...+ak);
+/// memoised per (node) because ForHole is fixed per memo table.
+const Regex *AlphaSearcher::substituteMarkers(const Regex *R,
+                                              const Regex *ForHole) {
+  auto &Memo = ForHole->kind() == RegexKind::Empty ? UnderMemo : OverMemo;
+  auto It = Memo.find(R);
+  if (It != Memo.end())
+    return It->second;
+  const Regex *Out = nullptr;
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    Out = R;
+    break;
+  case RegexKind::Literal:
+    Out = isHole(R) ? ForHole : (isWildcard(R) ? wildcardUnion() : R);
+    break;
+  case RegexKind::Question:
+    Out = M.question(substituteMarkers(R->lhs(), ForHole));
+    break;
+  case RegexKind::Star:
+    Out = M.star(substituteMarkers(R->lhs(), ForHole));
+    break;
+  case RegexKind::Concat:
+    Out = M.concat(substituteMarkers(R->lhs(), ForHole),
+                   substituteMarkers(R->rhs(), ForHole));
+    break;
+  case RegexKind::Union:
+    Out = M.alt(substituteMarkers(R->lhs(), ForHole),
+                substituteMarkers(R->rhs(), ForHole));
+    break;
+  }
+  Memo.emplace(R, Out);
+  return Out;
+}
+
+const Regex *AlphaSearcher::replaceLeftmostHole(const Regex *R,
+                                                const Regex *With,
+                                                bool &Done) {
+  if (Done)
+    return R;
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    return R;
+  case RegexKind::Literal:
+    if (isHole(R)) {
+      Done = true;
+      return With;
+    }
+    return R;
+  case RegexKind::Question: {
+    const Regex *L = replaceLeftmostHole(R->lhs(), With, Done);
+    return L == R->lhs() ? R : M.question(L);
+  }
+  case RegexKind::Star: {
+    const Regex *L = replaceLeftmostHole(R->lhs(), With, Done);
+    return L == R->lhs() ? R : M.star(L);
+  }
+  case RegexKind::Concat: {
+    const Regex *L = replaceLeftmostHole(R->lhs(), With, Done);
+    if (L != R->lhs())
+      return M.concat(L, R->rhs());
+    const Regex *Rr = replaceLeftmostHole(R->rhs(), With, Done);
+    return Rr == R->rhs() ? R : M.concat(R->lhs(), Rr);
+  }
+  case RegexKind::Union: {
+    const Regex *L = replaceLeftmostHole(R->lhs(), With, Done);
+    if (L != R->lhs())
+      return M.alt(L, R->rhs());
+    const Regex *Rr = replaceLeftmostHole(R->rhs(), With, Done);
+    return Rr == R->rhs() ? R : M.alt(R->lhs(), Rr);
+  }
+  }
+  return R;
+}
+
+/// Syntactic normal-form rules (all language-preserving): reject
+/// states no normal-form derivation would produce. Memoised per node
+/// (states share almost all structure through hash-consing).
+bool AlphaSearcher::structurallyRedundant(const Regex *R) {
+  auto It = RedundantMemo.find(R);
+  if (It != RedundantMemo.end())
+    return It->second;
+  bool Result = false;
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Literal:
+    break;
+  case RegexKind::Question:
+    // (e?)? and (e*)? are redundant.
+    Result = R->lhs()->kind() == RegexKind::Question ||
+             R->lhs()->kind() == RegexKind::Star ||
+             structurallyRedundant(R->lhs());
+    break;
+  case RegexKind::Star:
+    // (e*)* and (e?)* are redundant (== e*).
+    Result = R->lhs()->kind() == RegexKind::Star ||
+             R->lhs()->kind() == RegexKind::Question ||
+             structurallyRedundant(R->lhs());
+    break;
+  case RegexKind::Concat:
+    // Concatenation is associative: force right-nested chains.
+    Result = R->lhs()->kind() == RegexKind::Concat ||
+             structurallyRedundant(R->lhs()) ||
+             structurallyRedundant(R->rhs());
+    break;
+  case RegexKind::Union:
+    // Union is associative too: force right-nested chains. e+e is
+    // redundant *for hole-free e* (two holes will become different
+    // completions); hole-free unions must also be ordered (one
+    // canonical operand order suffices since + is commutative).
+    if (R->lhs()->kind() == RegexKind::Union)
+      Result = true;
+    else if (R->lhs() == R->rhs() && !containsHole(R->lhs()))
+      Result = true;
+    else if (!containsHole(R->lhs()) && !containsHole(R->rhs()) &&
+             syntacticCompare(R->lhs(), R->rhs()) >= 0)
+      Result = true;
+    else
+      Result = structurallyRedundant(R->lhs()) ||
+               structurallyRedundant(R->rhs());
+    break;
+  }
+  RedundantMemo.emplace(R, Result);
+  return Result;
+}
+
+bool AlphaSearcher::prunedByApproximation(const Regex *R) {
+  // Over-approximation: holes -> Sigma*; a positive example that the
+  // over-approximation rejects is rejected by every completion.
+  const Regex *Over = substituteMarkers(R, sigmaStar());
+  for (const std::string &W : S.Pos)
+    if (!Matcher.matches(Over, W))
+      return true;
+  // Under-approximation: holes -> empty; a negative example the
+  // under-approximation accepts is accepted by every completion.
+  const Regex *Under = substituteMarkers(R, M.empty());
+  for (const std::string &W : S.Neg)
+    if (Matcher.matches(Under, W))
+      return true;
+  return false;
+}
+
+void AlphaSearcher::push(const Regex *State) {
+  if (structurallyRedundant(State))
+    return;
+  if (Opts.EnablePruning && prunedByApproximation(State)) {
+    ++Result.Pruned;
+    return;
+  }
+  Queue.push(WorkItem{Opts.Cost.of(State), NextSeq++, State});
+}
+
+AlphaRegexResult AlphaSearcher::run() {
+  WallTimer Clock;
+  if (!Opts.Cost.isValid()) {
+    Result.Status = SynthStatus::InvalidInput;
+    return Result;
+  }
+  std::string SpecError;
+  if (!S.validate(Sigma, &SpecError) || Sigma.empty()) {
+    Result.Status = SynthStatus::InvalidInput;
+    return Result;
+  }
+
+  push(M.literal(HoleChar));
+  while (!Queue.empty()) {
+    if (Result.Expanded >= Opts.MaxStates ||
+        (Opts.TimeoutSeconds > 0 &&
+         Clock.seconds() > Opts.TimeoutSeconds)) {
+      Result.Status = Result.Expanded >= Opts.MaxStates
+                          ? SynthStatus::OutOfMemory
+                          : SynthStatus::Timeout;
+      Result.Seconds = Clock.seconds();
+      return Result;
+    }
+    WorkItem Item = Queue.top();
+    Queue.pop();
+    ++Result.Expanded;
+
+    if (!containsHole(Item.State)) {
+      // A complete expression: the actual compliance check.
+      ++Result.Checked;
+      const Regex *Concrete = substituteMarkers(Item.State, M.empty());
+      auto Satisfies = [&](const Regex *Re) {
+        for (const std::string &W : S.Pos)
+          if (!Matcher.matches(Re, W))
+            return false;
+        for (const std::string &W : S.Neg)
+          if (Matcher.matches(Re, W))
+            return false;
+        return true;
+      };
+      if (Satisfies(Concrete)) {
+        Result.Status = SynthStatus::Found;
+        Result.Regex = toString(Concrete);
+        Result.Cost = Opts.Cost.of(Concrete);
+        Result.Seconds = Clock.seconds();
+        return Result;
+      }
+      continue;
+    }
+
+    // Expand the leftmost hole with every constructor.
+    auto Expand = [&](const Regex *With) {
+      bool Done = false;
+      push(replaceLeftmostHole(Item.State, With, Done));
+    };
+    for (size_t I = 0; I != Sigma.size(); ++I)
+      Expand(M.literal(Sigma.symbol(I)));
+    if (Opts.UseWildcard)
+      Expand(M.literal(WildcardChar));
+    const Regex *Hole = M.literal(HoleChar);
+    Expand(M.alt(Hole, Hole));
+    Expand(M.concat(Hole, Hole));
+    Expand(M.star(Hole));
+    if (Opts.EnableQuestion)
+      Expand(M.question(Hole));
+  }
+  Result.Status = SynthStatus::NotFound;
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+} // namespace
+
+AlphaRegexResult
+paresy::baseline::alphaRegexSynthesize(const Spec &S, const Alphabet &Sigma,
+                                       const AlphaRegexOptions &Opts) {
+  return AlphaSearcher(S, Sigma, Opts).run();
+}

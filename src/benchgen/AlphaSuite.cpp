@@ -1,0 +1,169 @@
+//===- benchgen/AlphaSuite.cpp - The 25-instance classroom suite ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/AlphaSuite.h"
+
+using namespace paresy;
+using namespace paresy::benchgen;
+
+namespace {
+
+SuiteInstance make(const char *Name, const char *Description,
+                   const char *Target, std::vector<std::string> Pos,
+                   std::vector<std::string> Neg) {
+  SuiteInstance Inst;
+  Inst.Name = Name;
+  Inst.Description = Description;
+  Inst.Target = Target;
+  Inst.Examples = Spec(std::move(Pos), std::move(Neg));
+  return Inst;
+}
+
+std::vector<SuiteInstance> buildSuite() {
+  std::vector<SuiteInstance> Suite;
+  Suite.reserve(25);
+
+  Suite.push_back(make(
+      "no1", "strings beginning with 0", "0(0+1)*",
+      {"0", "00", "01", "010", "0110"},
+      {"1", "10", "11", "101", "1000"}));
+
+  Suite.push_back(make(
+      "no2", "strings ending with 01", "(0+1)*01",
+      {"01", "001", "101", "0101", "11001"},
+      {"0", "1", "10", "011", "0110", "111"}));
+
+  Suite.push_back(make(
+      "no3", "strings containing the substring 0101",
+      "(0+1)*0101(0+1)*",
+      {"0101", "00101", "01010", "10101", "110101", "0101011"},
+      {"0", "01", "010", "0110", "1010", "00110", "010011"}));
+
+  Suite.push_back(make(
+      "no4", "strings beginning with 1 and ending with 0", "1(0+1)*0",
+      {"10", "100", "110", "1010", "10110"},
+      {"0", "1", "01", "11", "011", "101", "0110"}));
+
+  Suite.push_back(make(
+      "no5", "strings with an even number of 0s", "1*(01*01*)*",
+      {"1", "11", "00", "010", "0110", "10011", "00100"},
+      {"0", "01", "10", "000", "0111", "01100"}));
+
+  Suite.push_back(make(
+      "no6", "strings whose third symbol is 1 (length >= 3)",
+      "(0+1)(0+1)1(0+1)*",
+      {"001", "011", "101011", "0010010010", "1110101", "011010"},
+      {"0", "1", "00", "10", "000101", "0100110010", "100"}));
+
+  Suite.push_back(make(
+      "no7", "non-empty strings of even length", "((0+1)(0+1))((0+1)(0+1))*",
+      {"00", "01", "1011", "111000", "10"},
+      {"0", "1", "011", "01101", "1110101"}));
+
+  Suite.push_back(make(
+      "no8", "strings containing at least two 1s", "0*10*1(0+1)*",
+      {"11", "101", "110", "0101", "10001"},
+      {"0", "1", "00", "010", "1000", "00100"}));
+
+  Suite.push_back(make(
+      "no9", "strings whose fifth symbol from the end is 1",
+      "(0+1)*1(0+1)(0+1)(0+1)(0+1)",
+      {"10000", "110100", "0100011110", "111110000", "0101010101"},
+      {"0", "1", "10", "00000", "000001111", "0000000000", "01110"}));
+
+  Suite.push_back(make(
+      "no10", "strings with no two consecutive 0s", "(1+01)*0?",
+      {"1", "0", "01", "10", "101", "0101", "11011"},
+      {"00", "100", "001", "0100", "11001"}));
+
+  Suite.push_back(make(
+      "no11", "strings beginning with 1", "1(0+1)*",
+      {"1", "10", "11", "101", "1100"},
+      {"0", "00", "01", "010", "0011"}));
+
+  Suite.push_back(make(
+      "no12", "strings containing the substring 11", "(0+1)*11(0+1)*",
+      {"11", "011", "110", "0110", "10111"},
+      {"0", "1", "10", "0101", "10010"}));
+
+  Suite.push_back(make(
+      "no13", "strings with an odd number of 1s", "0*10*(10*10*)*",
+      {"1", "01", "10", "111", "01011", "00100"},
+      {"0", "11", "00", "0110", "1001", "101101"}));
+
+  Suite.push_back(make(
+      "no14", "strings containing at least three 1s",
+      "(0+1)*1(0+1)*1(0+1)*1(0+1)*",
+      {"111", "010101", "11100", "101010", "1111"},
+      {"0", "1", "11", "0101", "10001", "000110"}));
+
+  Suite.push_back(make(
+      "no15", "strings ending with 00", "(0+1)*00",
+      {"00", "100", "000", "0100", "11000"},
+      {"0", "1", "01", "10", "110", "0010"}));
+
+  Suite.push_back(make(
+      "no16", "strings beginning and ending with the same symbol",
+      "0+1+0(0+1)*0+1(0+1)*1",
+      {"0", "1", "00", "11", "010", "101", "0110", "1001"},
+      {"01", "10", "001", "110", "0111", "1000"}));
+
+  Suite.push_back(make(
+      "no17", "strings containing the substring 101", "(0+1)*101(0+1)*",
+      {"101", "0101", "1010", "1101", "10100"},
+      {"0", "1", "10", "01", "1001", "0110", "11001"}));
+
+  Suite.push_back(make(
+      "no18", "strings of length exactly three", "(0+1)(0+1)(0+1)",
+      {"000", "010", "101", "111", "110"},
+      {"0", "11", "0000", "01", "10101"}));
+
+  Suite.push_back(make(
+      "no19", "non-empty strings of 1s only", "11*",
+      {"1", "11", "111", "11111"},
+      {"0", "10", "01", "110", "1011"}));
+
+  Suite.push_back(make(
+      "no20", "strings containing at most one 1", "0*1?0*",
+      {"0", "1", "00", "010", "0001", "00100"},
+      {"11", "101", "110", "01011", "1001"}));
+
+  Suite.push_back(make(
+      "no21", "strings with an even number of 1s", "0*(10*10*)*",
+      {"0", "00", "11", "0110", "1001", "101101"},
+      {"1", "10", "01", "111", "01011", "100"}));
+
+  Suite.push_back(make(
+      "no22", "strings beginning with 01 or ending with 10",
+      "01(0+1)*+(0+1)*10",
+      {"01", "010", "0111", "110", "1010", "0100110"},
+      {"0", "1", "11", "00", "100", "0011", "111"}));
+
+  Suite.push_back(make(
+      "no23", "strings whose second symbol is 0", "(0+1)0(0+1)*",
+      {"00", "10", "001", "100", "0010", "1011"},
+      {"0", "1", "01", "11", "0111", "110"}));
+
+  Suite.push_back(make(
+      "no24", "non-empty strings not ending with 1", "(0+1)*0",
+      {"0", "10", "00", "110", "0100"},
+      {"1", "01", "11", "001", "1011"}));
+
+  Suite.push_back(make(
+      "no25", "strings with at most one pair of consecutive 1s",
+      "(0+10)*(11?)?(0+01)*",
+      {"0", "1", "11", "011", "110", "0110", "10101"},
+      {"111", "1111", "11011", "110110", "011011"}));
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<SuiteInstance> &paresy::benchgen::alphaRegexSuite() {
+  static const std::vector<SuiteInstance> Suite = buildSuite();
+  return Suite;
+}

@@ -1,0 +1,138 @@
+//===- benchgen/Generators.cpp - Type 1 / Type 2 benchmark generators ---------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace paresy;
+using namespace paresy::benchgen;
+
+uint64_t paresy::benchgen::countStringsUpTo(unsigned AlphabetSize,
+                                            unsigned MaxLen) {
+  if (AlphabetSize == 0)
+    return 1; // Only epsilon.
+  uint64_t Total = 0;
+  uint64_t LenCount = 1; // |Sigma^0|
+  for (unsigned Len = 0; Len <= MaxLen; ++Len) {
+    if (UINT64_MAX - Total < LenCount)
+      return UINT64_MAX;
+    Total += LenCount;
+    if (Len != MaxLen && LenCount > UINT64_MAX / AlphabetSize)
+      return UINT64_MAX;
+    LenCount *= AlphabetSize;
+  }
+  return Total;
+}
+
+namespace {
+
+/// Decodes the \p Index-th string of Sigma^{<=MaxLen} in shortlex
+/// order (uniform index => uniform string).
+std::string decodeString(const Alphabet &Sigma, unsigned MaxLen,
+                         uint64_t Index) {
+  uint64_t K = Sigma.size();
+  uint64_t LenCount = 1;
+  for (unsigned Len = 0; Len <= MaxLen; ++Len) {
+    if (Index < LenCount) {
+      std::string Word(Len, ' ');
+      for (unsigned Pos = Len; Pos-- > 0;) {
+        Word[Pos] = Sigma.symbol(size_t(Index % K));
+        Index /= K;
+      }
+      return Word;
+    }
+    Index -= LenCount;
+    LenCount *= K;
+  }
+  return std::string(); // Unreachable for valid indices.
+}
+
+std::string uniformStringOfLength(const Alphabet &Sigma, unsigned Len,
+                                  Rng &R) {
+  std::string Word(Len, ' ');
+  for (unsigned Pos = 0; Pos != Len; ++Pos)
+    Word[Pos] = Sigma.symbol(size_t(R.below(Sigma.size())));
+  return Word;
+}
+
+bool generateType1(const GenParams &P, Spec &Out, std::string *Error) {
+  uint64_t Space = countStringsUpTo(unsigned(P.Sigma.size()), P.MaxLen);
+  uint64_t Needed = uint64_t(P.NumPos) + P.NumNeg;
+  if (Needed > Space) {
+    if (Error)
+      *Error = "p + n exceeds the number of strings up to length le";
+    return false;
+  }
+  Rng R(P.Seed);
+  std::set<std::string> Chosen;
+  std::vector<std::string> Order;
+  while (Order.size() < Needed) {
+    std::string W = decodeString(P.Sigma, P.MaxLen, R.below(Space));
+    if (Chosen.insert(W).second)
+      Order.push_back(std::move(W));
+  }
+  Out.Pos.assign(Order.begin(), Order.begin() + P.NumPos);
+  Out.Neg.assign(Order.begin() + P.NumPos, Order.end());
+  return true;
+}
+
+bool generateType2(const GenParams &P, Spec &Out, std::string *Error) {
+  // Every length gets the same chance; lengths whose strings are
+  // exhausted are resampled. Feasibility: p + n distinct strings must
+  // exist at all.
+  uint64_t Space = countStringsUpTo(unsigned(P.Sigma.size()), P.MaxLen);
+  uint64_t Needed = uint64_t(P.NumPos) + P.NumNeg;
+  if (Needed > Space) {
+    if (Error)
+      *Error = "p + n exceeds the number of strings up to length le";
+    return false;
+  }
+  Rng R(P.Seed);
+  std::set<std::string> Chosen;
+  std::vector<std::string> Order;
+  uint64_t Attempts = 0;
+  uint64_t MaxAttempts = 10000 * (Needed + 1);
+  while (Order.size() < Needed) {
+    if (++Attempts > MaxAttempts) {
+      // Dense corner (e.g. tiny alphabet, tiny le): fall back to
+      // shortlex enumeration of whatever is still unused.
+      for (uint64_t I = 0; I < Space && Order.size() < Needed; ++I) {
+        std::string W = decodeString(P.Sigma, P.MaxLen, I);
+        if (Chosen.insert(W).second)
+          Order.push_back(std::move(W));
+      }
+      break;
+    }
+    unsigned Len = unsigned(R.below(uint64_t(P.MaxLen) + 1));
+    std::string W = uniformStringOfLength(P.Sigma, Len, R);
+    if (Chosen.insert(W).second)
+      Order.push_back(std::move(W));
+  }
+  Out.Pos.assign(Order.begin(), Order.begin() + P.NumPos);
+  Out.Neg.assign(Order.begin() + P.NumPos, Order.end());
+  return true;
+}
+
+} // namespace
+
+bool paresy::benchgen::generate(BenchType Type, const GenParams &Params,
+                                GeneratedBenchmark &Out,
+                                std::string *Error) {
+  char Name[128];
+  std::snprintf(Name, sizeof(Name), "T%u-le%u-p%u-n%u-s%llu",
+                unsigned(Type), Params.MaxLen, Params.NumPos,
+                Params.NumNeg,
+                static_cast<unsigned long long>(Params.Seed));
+  Out.Name = Name;
+  bool Ok = Type == BenchType::Type1
+                ? generateType1(Params, Out.Examples, Error)
+                : generateType2(Params, Out.Examples, Error);
+  return Ok;
+}

@@ -1,0 +1,70 @@
+//===- benchgen/Generators.h - Type 1 / Type 2 benchmark generators -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's parameterised benchmark construction (Sec. 4.3): fully
+/// reproducible random specifications controlled by the alphabet, the
+/// maximal example length le, and the example counts p and n.
+///
+///  * Type 1 samples (P, N) uniformly from pairs of disjoint subsets
+///    of Sigma^{<=le}; because long strings dominate Sigma^{<=le},
+///    Type 1 instances are dominated by long examples.
+///  * Type 2 gives every length the same chance (pick a length
+///    uniformly, then a uniform string of that length), so short
+///    strings - epsilon in particular - appear in most instances.
+///
+/// Generation is deterministic in the seed and independent of the
+/// platform (see support/Rng.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_BENCHGEN_GENERATORS_H
+#define PARESY_BENCHGEN_GENERATORS_H
+
+#include "lang/Spec.h"
+
+#include <cstdint>
+#include <string>
+
+namespace paresy {
+namespace benchgen {
+
+/// Which sampling scheme (Sec. 4.3).
+enum class BenchType : uint8_t { Type1 = 1, Type2 = 2 };
+
+/// Generator parameters; names follow the paper.
+struct GenParams {
+  Alphabet Sigma = Alphabet::of("01");
+  /// le: maximal example length.
+  unsigned MaxLen = 5;
+  /// p: number of positive examples.
+  unsigned NumPos = 8;
+  /// n: number of negative examples.
+  unsigned NumNeg = 8;
+  uint64_t Seed = 1;
+};
+
+/// A generated instance with a reproducible name such as
+/// "T1-le5-p8-n8-s42".
+struct GeneratedBenchmark {
+  std::string Name;
+  Spec Examples;
+};
+
+/// Generates one instance of the requested type. Returns false (with
+/// \p Error) when the parameters are unsatisfiable, e.g. p + n exceeds
+/// #Sigma^{<=le}.
+bool generate(BenchType Type, const GenParams &Params,
+              GeneratedBenchmark &Out, std::string *Error);
+
+/// Number of strings over \p AlphabetSize symbols with length <= \p
+/// MaxLen (saturates at UINT64_MAX).
+uint64_t countStringsUpTo(unsigned AlphabetSize, unsigned MaxLen);
+
+} // namespace benchgen
+} // namespace paresy
+
+#endif // PARESY_BENCHGEN_GENERATORS_H

@@ -1,0 +1,61 @@
+//===- core/CsHashSet.cpp - Uniqueness checking for cached CSs ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CsHashSet.h"
+
+#include "support/Bits.h"
+
+#include <cassert>
+
+using namespace paresy;
+
+CsHashSet::CsHashSet(const LanguageCache &Cache) : Cache(Cache) {
+  Slots.assign(64, EmptySlot);
+}
+
+bool CsHashSet::contains(const uint64_t *Cs) const {
+  size_t Mask = Slots.size() - 1;
+  size_t SlotIdx = size_t(hashWords(Cs, Cache.csWords())) & Mask;
+  for (;;) {
+    uint32_t Entry = Slots[SlotIdx];
+    if (Entry == EmptySlot)
+      return false;
+    if (equalWords(Cache.cs(Entry), Cs, Cache.csWords()))
+      return true;
+    SlotIdx = (SlotIdx + 1) & Mask;
+  }
+}
+
+void CsHashSet::insert(const uint64_t *Cs, uint32_t Idx) {
+  assert(equalWords(Cache.cs(Idx), Cs, Cache.csWords()) &&
+         "slot key must match the cache row");
+  if (10 * (Count + 1) >= 7 * Slots.size())
+    grow();
+  size_t Mask = Slots.size() - 1;
+  size_t SlotIdx = size_t(hashWords(Cs, Cache.csWords())) & Mask;
+  while (Slots[SlotIdx] != EmptySlot) {
+    assert(!equalWords(Cache.cs(Slots[SlotIdx]), Cs, Cache.csWords()) &&
+           "inserting a duplicate CS");
+    SlotIdx = (SlotIdx + 1) & Mask;
+  }
+  Slots[SlotIdx] = Idx;
+  ++Count;
+}
+
+void CsHashSet::grow() {
+  std::vector<uint32_t> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, EmptySlot);
+  size_t Mask = Slots.size() - 1;
+  for (uint32_t Entry : Old) {
+    if (Entry == EmptySlot)
+      continue;
+    size_t SlotIdx =
+        size_t(hashWords(Cache.cs(Entry), Cache.csWords())) & Mask;
+    while (Slots[SlotIdx] != EmptySlot)
+      SlotIdx = (SlotIdx + 1) & Mask;
+    Slots[SlotIdx] = Entry;
+  }
+}

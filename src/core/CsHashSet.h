@@ -1,0 +1,60 @@
+//===- core/CsHashSet.h - Uniqueness checking for cached CSs -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential uniqueness checker (Sec. 3 "Uniqueness checking"):
+/// an open-addressing hash set keyed by the full bit content of a
+/// characteristic sequence. The paper's CPU implementation used
+/// std::unordered_set; we use open addressing with linear probing so
+/// that memory use is predictable (it is part of the cache budget) and
+/// slot storage is just a row index - key bits live in the language
+/// cache and are compared in place.
+///
+/// The concurrent GPU-style counterpart is gpusim/WarpHashSet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_CSHASHSET_H
+#define PARESY_CORE_CSHASHSET_H
+
+#include "core/LanguageCache.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+
+/// Hash set of the CS rows already present in a LanguageCache.
+class CsHashSet {
+public:
+  /// \p Cache provides key storage; the set only records row indices.
+  explicit CsHashSet(const LanguageCache &Cache);
+
+  /// True iff a row with exactly the bits of \p Cs is present.
+  bool contains(const uint64_t *Cs) const;
+
+  /// Registers cache row \p Idx, whose bits must equal \p Cs.
+  /// Pre: !contains(Cs).
+  void insert(const uint64_t *Cs, uint32_t Idx);
+
+  size_t size() const { return Count; }
+
+  /// Bytes of slot storage (reported in the memory statistics).
+  uint64_t bytesUsed() const { return Slots.size() * sizeof(uint32_t); }
+
+private:
+  void grow();
+
+  static constexpr uint32_t EmptySlot = 0xffffffffu;
+
+  const LanguageCache &Cache;
+  std::vector<uint32_t> Slots;
+  size_t Count = 0;
+};
+
+} // namespace paresy
+
+#endif // PARESY_CORE_CSHASHSET_H

@@ -1,0 +1,102 @@
+//===- core/LanguageCache.cpp - Write-once matrix of languages --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LanguageCache.h"
+
+#include "support/Bits.h"
+#include "support/Compiler.h"
+
+using namespace paresy;
+
+LanguageCache::LanguageCache(size_t CsWords, size_t MaxEntries)
+    : CsWordCount(CsWords), MaxEntries(MaxEntries) {
+  assert(CsWords > 0 && "rows need at least one word");
+  // The paper allocates the cache as one contiguous, uninitialised
+  // array whose structure emerges during the search; reserving (not
+  // resizing) mirrors that and keeps out-of-budget allocation failures
+  // at construction time.
+  Bits.reserve(MaxEntries * CsWords);
+  Prov.reserve(MaxEntries);
+}
+
+uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P) {
+  assert(!full() && "appending to a full language cache");
+  Bits.insert(Bits.end(), Cs, Cs + CsWordCount);
+  Prov.push_back(P);
+  return uint32_t(EntryCount++);
+}
+
+uint32_t LanguageCache::reserveRows(size_t Count) {
+  assert(EntryCount + Count <= MaxEntries &&
+         "reserving beyond the cache capacity");
+  uint32_t Base = uint32_t(EntryCount);
+  EntryCount += Count;
+  Bits.resize(EntryCount * CsWordCount, 0);
+  Prov.resize(EntryCount);
+  return Base;
+}
+
+void LanguageCache::writeRow(size_t Idx, const uint64_t *Cs,
+                             const Provenance &P) {
+  assert(Idx < EntryCount && "writing an unreserved row");
+  copyWords(Bits.data() + Idx * CsWordCount, Cs, CsWordCount);
+  Prov[Idx] = P;
+}
+
+void LanguageCache::setLevel(uint64_t Cost, uint32_t Begin, uint32_t End) {
+  assert(Begin <= End && End <= EntryCount && "bad level range");
+  if (Levels.size() <= Cost)
+    Levels.resize(Cost + 1, {0, 0});
+  Levels[Cost] = {Begin, End};
+}
+
+std::pair<uint32_t, uint32_t> LanguageCache::level(uint64_t Cost) const {
+  if (Cost >= Levels.size())
+    return {0, 0};
+  return Levels[Cost];
+}
+
+const Regex *LanguageCache::reconstruct(size_t Idx, RegexManager &M) const {
+  std::vector<const Regex *> Memo(EntryCount, nullptr);
+  return reconstructImpl(provenance(Idx), M, Memo);
+}
+
+const Regex *
+LanguageCache::reconstructCandidate(const Provenance &P,
+                                    RegexManager &M) const {
+  std::vector<const Regex *> Memo(EntryCount, nullptr);
+  return reconstructImpl(P, M, Memo);
+}
+
+const Regex *
+LanguageCache::reconstructImpl(const Provenance &P, RegexManager &M,
+                               std::vector<const Regex *> &Memo) const {
+  auto Operand = [&](uint32_t Idx) -> const Regex * {
+    assert(Idx < EntryCount && "provenance operand out of range");
+    if (Memo[Idx])
+      return Memo[Idx];
+    const Regex *Re = reconstructImpl(Prov[Idx], M, Memo);
+    Memo[Idx] = Re;
+    return Re;
+  };
+  switch (P.Kind) {
+  case CsOp::Literal:
+    return M.literal(P.Symbol);
+  case CsOp::Epsilon:
+    return M.epsilon();
+  case CsOp::Empty:
+    return M.empty();
+  case CsOp::Question:
+    return M.question(Operand(P.Lhs));
+  case CsOp::Star:
+    return M.star(Operand(P.Lhs));
+  case CsOp::Concat:
+    return M.concat(Operand(P.Lhs), Operand(P.Rhs));
+  case CsOp::Union:
+    return M.alt(Operand(P.Lhs), Operand(P.Rhs));
+  }
+  PARESY_UNREACHABLE("invalid provenance kind");
+}

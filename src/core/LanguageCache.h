@@ -1,0 +1,125 @@
+//===- core/LanguageCache.h - Write-once matrix of languages ----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The language cache of Sec. 3: Paresy's core data structure. It is a
+/// contiguous, write-once matrix whose rows are characteristic
+/// sequences, appended in never-decreasing cost order; `startPoints`
+/// (here: the per-cost level table) maps a cost to its row range.
+/// Every row carries lightweight provenance - the outermost regular
+/// constructor and the row indices of its operands - from which a
+/// minimal regular expression is reconstructed on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_LANGUAGECACHE_H
+#define PARESY_CORE_LANGUAGECACHE_H
+
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace paresy {
+
+/// Outermost constructor of a cached language (the paper's "L and R
+/// auxiliary data").
+enum class CsOp : uint8_t {
+  Literal,  ///< Seed: the single-character language {Symbol}.
+  Epsilon,  ///< Seed: {""}.
+  Empty,    ///< Seed: the empty language (error-tolerant mode only).
+  Question, ///< Lhs?
+  Star,     ///< Lhs*
+  Concat,   ///< Lhs . Rhs
+  Union     ///< Lhs + Rhs
+};
+
+/// How a cached CS was built: constructor plus operand row indices
+/// (valid because operands always live at strictly lower cost, hence
+/// lower row index).
+struct Provenance {
+  CsOp Kind = CsOp::Empty;
+  char Symbol = 0;
+  uint32_t Lhs = 0;
+  uint32_t Rhs = 0;
+};
+
+/// Append-only storage for characteristic sequences with provenance
+/// and cost-level ranges. Rows are never modified once appended.
+class LanguageCache {
+public:
+  /// \p CsWords is the row width in 64-bit words; \p MaxEntries caps
+  /// the number of rows (derived from the memory budget by the
+  /// synthesizer).
+  LanguageCache(size_t CsWords, size_t MaxEntries);
+
+  size_t csWords() const { return CsWordCount; }
+  size_t capacity() const { return MaxEntries; }
+  size_t size() const { return EntryCount; }
+  bool full() const { return EntryCount == MaxEntries; }
+
+  /// Row \p Idx of the matrix.
+  const uint64_t *cs(size_t Idx) const {
+    assert(Idx < EntryCount && "cache row out of range");
+    return Bits.data() + Idx * CsWordCount;
+  }
+
+  /// Appends a row (copies \p Cs). Pre: !full(). Returns its index.
+  uint32_t append(const uint64_t *Cs, const Provenance &Prov);
+
+  /// Bulk interface for the GPU-style compaction kernel: reserves
+  /// \p Count zero-initialised rows (pre: Count <= capacity-size) and
+  /// returns the index of the first; distinct reserved rows may then
+  /// be written concurrently with writeRow.
+  uint32_t reserveRows(size_t Count);
+
+  /// Fills a reserved row. Safe to call concurrently for distinct
+  /// \p Idx.
+  void writeRow(size_t Idx, const uint64_t *Cs, const Provenance &Prov);
+
+  const Provenance &provenance(size_t Idx) const {
+    assert(Idx < EntryCount && "cache row out of range");
+    return Prov[Idx];
+  }
+
+  /// Records that cost level \p Cost spans rows [Begin, End).
+  void setLevel(uint64_t Cost, uint32_t Begin, uint32_t End);
+
+  /// Row range of cost level \p Cost; empty (0,0)-style range for
+  /// levels never recorded.
+  std::pair<uint32_t, uint32_t> level(uint64_t Cost) const;
+
+  /// Bytes held by the CS matrix plus provenance.
+  uint64_t bytesUsed() const {
+    return uint64_t(EntryCount) *
+           (CsWordCount * sizeof(uint64_t) + sizeof(Provenance));
+  }
+
+  /// Rebuilds the regular expression recorded for row \p Idx.
+  const Regex *reconstruct(size_t Idx, RegexManager &M) const;
+
+  /// Rebuilds the expression for a candidate that was *not* cached
+  /// (OnTheFly hits): its operands must be cached rows.
+  const Regex *reconstructCandidate(const Provenance &Prov,
+                                    RegexManager &M) const;
+
+private:
+  const Regex *reconstructImpl(
+      const Provenance &Prov, RegexManager &M,
+      std::vector<const Regex *> &Memo) const;
+
+  size_t CsWordCount;
+  size_t MaxEntries;
+  size_t EntryCount = 0;
+  std::vector<uint64_t> Bits;
+  std::vector<Provenance> Prov;
+  std::vector<std::pair<uint32_t, uint32_t>> Levels;
+};
+
+} // namespace paresy
+
+#endif // PARESY_CORE_LANGUAGECACHE_H

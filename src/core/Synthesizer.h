@@ -1,0 +1,149 @@
+//===- core/Synthesizer.h - The Paresy search (CPU reference) ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: precise and minimal regular
+/// expression inference from positive and negative examples (the
+/// paper's Alg. 1/2), as a sequential CPU search. Given a cost
+/// homomorphism and a specification (P, N), synthesize() returns a
+/// regular expression that accepts all of P, rejects all of N, and is
+/// of provably minimal cost - or a principled failure status (the
+/// cost budget, the memory budget or the timeout was exhausted).
+///
+/// The GPU-style implementation with identical semantics lives in
+/// gpusim/GpuSynthesizer.h; both share these option/result types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_SYNTHESIZER_H
+#define PARESY_CORE_SYNTHESIZER_H
+
+#include "lang/Spec.h"
+#include "regex/Cost.h"
+
+#include <cstdint>
+#include <string>
+
+namespace paresy {
+
+/// Tuning knobs for one synthesis run. The ablation flags default to
+/// the paper's design; turning them off reproduces the strawmen
+/// quantified in bench_ablations.
+struct SynthOptions {
+  /// The cost homomorphism defining minimality (Def. 3.2).
+  CostFn Cost;
+
+  /// Upper bound on the cost sweep. 0 selects the always-sufficient
+  /// bound cost(w1 + ... + wk) of the maximally overfitted expression
+  /// over P (Sec. 4.3 "Performance evaluation").
+  uint64_t MaxCost = 0;
+
+  /// Budget for the language cache, its uniqueness set and the
+  /// per-row provenance. This is the paper's scalability limit.
+  uint64_t MemoryLimitBytes = uint64_t(256) << 20;
+
+  /// Wall-clock timeout in seconds; 0 disables it.
+  double TimeoutSeconds = 0;
+
+  /// Allowed error in [0, 1): the returned expression may misclassify
+  /// at most floor(AllowedError * #(P u N)) examples (Sec. 5.2).
+  /// 0 is precise REI.
+  double AllowedError = 0;
+
+  /// Keep searching after the cache fills, as long as minimality can
+  /// still be guaranteed (Sec. 3 "OnTheFly mode").
+  bool EnableOnTheFly = true;
+
+  /// Seed the cache with the {epsilon} language. Deviation from the
+  /// paper's pseudocode: required for minimality whenever
+  /// cost(?) > cost(literal) + cost(+) (see DESIGN.md).
+  bool SeedEpsilon = true;
+
+  /// Drop duplicate languages as soon as they are constructed
+  /// (Sec. 3 "Uniqueness checking").
+  bool UniquenessCheck = true;
+
+  /// Stage all word splits in the guide table up front (Sec. 3
+  /// "Staging"). Off: splits are re-derived on every concatenation.
+  bool UseGuideTable = true;
+
+  /// Pad CS bit length to the next power of two (the paper's second
+  /// space-time trade-off).
+  bool PadToPowerOfTwo = true;
+};
+
+/// Why a synthesis run ended.
+enum class SynthStatus : uint8_t {
+  Found,       ///< Minimal satisfying expression returned.
+  NotFound,    ///< No satisfying expression with cost <= MaxCost.
+  OutOfMemory, ///< Cache exhausted before a verdict (paper's
+               ///< "out-of-memory error").
+  Timeout,     ///< TimeoutSeconds elapsed.
+  InvalidInput ///< Spec/alphabet/options rejected; see Message.
+};
+
+/// Human-readable status name.
+const char *statusName(SynthStatus Status);
+
+/// Counters and timings for one run; "# REs" in the paper's tables is
+/// CandidatesGenerated.
+struct SynthStats {
+  /// Candidate languages constructed (each corresponds to one checked
+  /// regular expression).
+  uint64_t CandidatesGenerated = 0;
+  /// Candidates that survived uniqueness checking.
+  uint64_t UniqueLanguages = 0;
+  /// Rows stored in the language cache.
+  uint64_t CacheEntries = 0;
+  /// Bytes used by cache rows, provenance and the uniqueness set.
+  uint64_t MemoryBytes = 0;
+  /// #ic(P u N).
+  uint64_t UniverseSize = 0;
+  /// CS width in 64-bit words.
+  uint64_t CsWords = 0;
+  /// Total split pairs staged in the guide table.
+  uint64_t GuidePairs = 0;
+  /// Split pairs visited by concatenation/star folds (work measure).
+  uint64_t PairsVisited = 0;
+  /// Highest cost level whose candidates were all generated.
+  uint64_t LastCompletedCost = 0;
+  /// True iff the run kept searching past a full cache.
+  bool OnTheFly = false;
+  /// Seconds spent staging (universe, guide table, masks).
+  double PrecomputeSeconds = 0;
+  /// Seconds spent in the cost sweep.
+  double SearchSeconds = 0;
+};
+
+/// Result of a synthesis run.
+struct SynthResult {
+  SynthStatus Status = SynthStatus::NotFound;
+  /// On Found: the expression, printable syntax (parseRegex parses
+  /// it); '@' = empty language, '#' = epsilon.
+  std::string Regex;
+  /// On Found: cost(Regex) under the requested cost function.
+  uint64_t Cost = 0;
+  /// On InvalidInput: what was wrong.
+  std::string Message;
+  SynthStats Stats;
+
+  bool found() const { return Status == SynthStatus::Found; }
+};
+
+/// Runs the Paresy search on \p S over \p Sigma. Thread-safe (no
+/// shared mutable state between calls).
+SynthResult synthesize(const Spec &S, const Alphabet &Sigma,
+                       const SynthOptions &Opts);
+
+/// The cost of the maximally overfitted solution w1 + ... + wk for the
+/// positive examples: an upper bound at which the sweep always
+/// terminates (used when SynthOptions::MaxCost is 0). Returns
+/// Cost.Literal for an empty P (the cost of '@').
+uint64_t overfitCostBound(const Spec &S, const CostFn &Cost);
+
+} // namespace paresy
+
+#endif // PARESY_CORE_SYNTHESIZER_H

@@ -1,0 +1,68 @@
+//===- gpusim/Device.h - CUDA-style execution engine --------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional half of the GPU substitution: a device that executes
+/// "kernels" - bulk-synchronous grids of independent tasks - on a host
+/// thread pool, while the PerfModel charges each launch its modelled
+/// device time. Kernels are written exactly as the CUDA kernels are
+/// structured (one thread per candidate, no inter-task communication
+/// except atomics, results into pre-allocated device buffers), so the
+/// algorithmic content matches the paper's GPU implementation even
+/// though execution is on the host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_GPUSIM_DEVICE_H
+#define PARESY_GPUSIM_DEVICE_H
+
+#include "gpusim/PerfModel.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <functional>
+
+namespace paresy {
+namespace gpusim {
+
+/// A simulated data-parallel device.
+class Device {
+public:
+  /// \p Workers host threads execute the grids (0 = inline; the
+  /// functional result is identical either way).
+  explicit Device(const DeviceSpec &Spec,
+                  unsigned Workers = ThreadPool::defaultWorkers())
+      : Model(Spec), Pool(Workers) {}
+
+  /// Launches a kernel of \p Tasks tasks. \p Body(TaskIdx) returns the
+  /// number of work units the task performed; the launch blocks until
+  /// every task finished and is charged to the model. Returns the
+  /// aggregate work units.
+  uint64_t launch(const char *Name, size_t Tasks,
+                  const std::function<uint64_t(size_t)> &Body) {
+    (void)Name;
+    std::atomic<uint64_t> TotalOps{0};
+    Pool.parallelFor(Tasks, [&](size_t TaskIdx) {
+      TotalOps.fetch_add(Body(TaskIdx), std::memory_order_relaxed);
+    });
+    uint64_t Ops = TotalOps.load(std::memory_order_relaxed);
+    Model.recordLaunch(Tasks, Ops);
+    return Ops;
+  }
+
+  PerfModel &perf() { return Model; }
+  const PerfModel &perf() const { return Model; }
+  unsigned workerCount() const { return Pool.workerCount(); }
+
+private:
+  PerfModel Model;
+  ThreadPool Pool;
+};
+
+} // namespace gpusim
+} // namespace paresy
+
+#endif // PARESY_GPUSIM_DEVICE_H

@@ -1,0 +1,37 @@
+//===- gpusim/Scan.h - Parallel prefix sum for stream compaction --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocked exclusive prefix sum over a device. Stream compaction -
+/// copying only the uniqueness winners from temporary storage into the
+/// language cache (the paper's figure "(a)/(b)") - needs each winner's
+/// output offset; the scan computes them in parallel the way a CUDA
+/// implementation would: per-block partial sums, a scan over block
+/// sums, then a per-block rescan with offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_GPUSIM_SCAN_H
+#define PARESY_GPUSIM_SCAN_H
+
+#include "gpusim/Device.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+namespace gpusim {
+
+/// Writes into \p Out the exclusive prefix sum of \p In (both of
+/// length \p N) and returns the total sum. Runs as three launches on
+/// \p D.
+uint64_t exclusiveScan(Device &D, const uint32_t *In, uint64_t *Out,
+                       size_t N);
+
+} // namespace gpusim
+} // namespace paresy
+
+#endif // PARESY_GPUSIM_SCAN_H

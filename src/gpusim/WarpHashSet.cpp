@@ -1,0 +1,81 @@
+//===- gpusim/WarpHashSet.cpp - Concurrent CS hash set -------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/WarpHashSet.h"
+
+#include "support/Bits.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::gpusim;
+
+WarpHashSet::WarpHashSet(size_t KeyWords, size_t Capacity)
+    : KeyWords(KeyWords) {
+  assert(KeyWords > 0 && "keys need at least one word");
+  size_t Pow2 = size_t(nextPowerOfTwo(Capacity < 16 ? 16 : Capacity));
+  Mask = Pow2 - 1;
+  Slots = std::make_unique<Slot[]>(Pow2);
+  Keys = std::make_unique<uint64_t[]>(Pow2 * KeyWords);
+  FullThreshold = Pow2 - Pow2 / 10; // ~90% load.
+}
+
+uint64_t WarpHashSet::bytesUsed() const {
+  return capacity() * (sizeof(Slot) + KeyWords * sizeof(uint64_t));
+}
+
+int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id) {
+  assert(Id != EmptyOwner && "id collides with the empty marker");
+  size_t SlotIdx = size_t(hashWords(Key, KeyWords)) & Mask;
+  for (size_t Probes = 0; Probes <= Mask; ++Probes) {
+    Slot &S = Slots[SlotIdx];
+    uint32_t Owner = S.Owner.load(std::memory_order_acquire);
+    if (Owner == EmptyOwner) {
+      if (Count.load(std::memory_order_relaxed) >= FullThreshold)
+        return -1;
+      uint32_t Expected = EmptyOwner;
+      if (S.Owner.compare_exchange_strong(Expected, Id,
+                                          std::memory_order_acq_rel)) {
+        // We own the slot: publish the key, then open it to readers.
+        copyWords(keyAt(SlotIdx), Key, KeyWords);
+        S.Winner.store(Id, std::memory_order_relaxed);
+        S.Ready.store(1, std::memory_order_release);
+        Count.fetch_add(1, std::memory_order_relaxed);
+        return int64_t(SlotIdx);
+      }
+      // Lost the race; re-examine the same slot, now owned.
+    }
+    // Wait for the owner to finish publishing its key.
+    while (!S.Ready.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    if (equalWords(keyAt(SlotIdx), Key, KeyWords)) {
+      // Same key: fold our id into the winner (atomic min).
+      uint32_t Winner = S.Winner.load(std::memory_order_relaxed);
+      while (Id < Winner &&
+             !S.Winner.compare_exchange_weak(Winner, Id,
+                                             std::memory_order_relaxed)) {
+      }
+      return int64_t(SlotIdx);
+    }
+    SlotIdx = (SlotIdx + 1) & Mask;
+  }
+  return -1;
+}
+
+int64_t WarpHashSet::find(const uint64_t *Key) const {
+  size_t SlotIdx = size_t(hashWords(Key, KeyWords)) & Mask;
+  for (size_t Probes = 0; Probes <= Mask; ++Probes) {
+    const Slot &S = Slots[SlotIdx];
+    if (S.Owner.load(std::memory_order_acquire) == EmptyOwner)
+      return -1;
+    if (S.Ready.load(std::memory_order_acquire) &&
+        equalWords(keyAt(SlotIdx), Key, KeyWords))
+      return int64_t(SlotIdx);
+    SlotIdx = (SlotIdx + 1) & Mask;
+  }
+  return -1;
+}

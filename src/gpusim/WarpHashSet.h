@@ -1,0 +1,99 @@
+//===- gpusim/WarpHashSet.h - Concurrent CS hash set ---------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniqueness checker of the GPU-style synthesizer: a lock-free,
+/// fixed-capacity, open-addressing hash set over fixed-width bitvector
+/// keys, standing in for the WarpCore HashSet the paper uses (see
+/// DESIGN.md Sec. 1). Differences worth knowing:
+///
+///  * Keys are arbitrary multiples of 64 bits; WarpCore supported only
+///    32/64-bit keys, which is why the paper's GPU rejects benchmarks
+///    needing 128/256-bit CSs (Table 2, no6/no9). Ours runs them.
+///  * Insertion is deterministic under any interleaving: every insert
+///    of the same key lands in the same logical entry, and the entry's
+///    winner is the *minimum* inserter id (an atomic min), so "is this
+///    candidate the unique representative?" has one answer regardless
+///    of scheduling - and it is the same answer the sequential CPU
+///    search computes (first construction in enumeration order).
+///
+/// Protocol per slot: claim Owner via CAS, publish key words, set the
+/// Ready flag (release); readers spin on Ready (acquire) before
+/// comparing keys, then fold their id into Winner with an atomic min.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_GPUSIM_WARPHASHSET_H
+#define PARESY_GPUSIM_WARPHASHSET_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace paresy {
+namespace gpusim {
+
+/// Fixed-capacity concurrent hash set of multi-word keys.
+class WarpHashSet {
+public:
+  /// \p KeyWords 64-bit words per key; \p Capacity slots (rounded up
+  /// to a power of two). Inserts start failing once the table is
+  /// ~90% full, signalling device-memory exhaustion.
+  WarpHashSet(size_t KeyWords, size_t Capacity);
+
+  WarpHashSet(const WarpHashSet &) = delete;
+  WarpHashSet &operator=(const WarpHashSet &) = delete;
+
+  /// Inserts \p Key on behalf of candidate \p Id (ids must be unique
+  /// across all inserts; enumeration order ids give CPU-identical
+  /// winners). Returns the slot index, or -1 when the table is full.
+  /// Thread-safe; any number of concurrent inserts.
+  int64_t insert(const uint64_t *Key, uint32_t Id);
+
+  /// True iff \p Id won slot \p Slot (the minimum id ever inserted
+  /// with that key). Call after all inserts of the batch completed.
+  bool isWinner(size_t Slot, uint32_t Id) const {
+    return Slots[Slot].Winner.load(std::memory_order_relaxed) == Id;
+  }
+
+  /// Looks up \p Key without inserting; returns the slot or -1.
+  int64_t find(const uint64_t *Key) const;
+
+  size_t capacity() const { return Mask + 1; }
+  size_t size() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+  uint64_t bytesUsed() const;
+
+private:
+  struct Slot {
+    std::atomic<uint32_t> Owner{EmptyOwner};
+    std::atomic<uint32_t> Winner{EmptyOwner};
+    std::atomic<uint8_t> Ready{0};
+  };
+
+  static constexpr uint32_t EmptyOwner = 0xffffffffu;
+
+  const uint64_t *keyAt(size_t SlotIdx) const {
+    return Keys.get() + SlotIdx * KeyWords;
+  }
+  uint64_t *keyAt(size_t SlotIdx) {
+    return Keys.get() + SlotIdx * KeyWords;
+  }
+
+  size_t KeyWords;
+  size_t Mask;
+  std::unique_ptr<Slot[]> Slots;
+  std::unique_ptr<uint64_t[]> Keys;
+  std::atomic<size_t> Count{0};
+  size_t FullThreshold;
+};
+
+} // namespace gpusim
+} // namespace paresy
+
+#endif // PARESY_GPUSIM_WARPHASHSET_H

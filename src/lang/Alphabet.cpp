@@ -1,0 +1,68 @@
+//===- lang/Alphabet.cpp - Ordered alphabets ---------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Alphabet.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace paresy;
+
+bool Alphabet::isMetaChar(char C) {
+  return C == '(' || C == ')' || C == '+' || C == '*' || C == '?' ||
+         C == '@' || C == '#';
+}
+
+Alphabet Alphabet::create(std::string_view Chars, std::string *Error) {
+  std::string Sorted(Chars);
+  std::sort(Sorted.begin(), Sorted.end());
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    char C = Sorted[I];
+    if (isMetaChar(C)) {
+      if (Error)
+        *Error = std::string("alphabet uses reserved character '") + C + "'";
+      return Alphabet("");
+    }
+    if (!std::isprint(static_cast<unsigned char>(C)) ||
+        std::isspace(static_cast<unsigned char>(C))) {
+      if (Error)
+        *Error = "alphabet characters must be printable non-whitespace";
+      return Alphabet("");
+    }
+    if (I > 0 && Sorted[I - 1] == C) {
+      if (Error)
+        *Error = std::string("duplicate alphabet character '") + C + "'";
+      return Alphabet("");
+    }
+  }
+  if (Error)
+    Error->clear();
+  return Alphabet(std::move(Sorted));
+}
+
+Alphabet Alphabet::of(std::string_view Chars) {
+  std::string Error;
+  Alphabet A = create(Chars, &Error);
+  if (!Error.empty())
+    reportFatalError(Error.c_str());
+  return A;
+}
+
+int Alphabet::indexOf(char C) const {
+  auto It = std::lower_bound(Chars.begin(), Chars.end(), C);
+  if (It == Chars.end() || *It != C)
+    return -1;
+  return int(It - Chars.begin());
+}
+
+bool Alphabet::containsAll(std::string_view Word) const {
+  for (char C : Word)
+    if (!contains(C))
+      return false;
+  return true;
+}

@@ -1,0 +1,73 @@
+//===- lang/Alphabet.h - Ordered alphabets ----------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite, totally ordered alphabets (Def. 2.3/2.5). Paresy supports
+/// arbitrary alphabets; an Alphabet is any duplicate-free set of
+/// printable characters excluding the regex meta characters
+/// "()+*?@#" and whitespace. Characters are kept sorted ascending;
+/// that order, lifted shortlex to strings, is the total order the
+/// characteristic sequences index into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_ALPHABET_H
+#define PARESY_LANG_ALPHABET_H
+
+#include <cassert>
+#include <string>
+#include <string_view>
+
+namespace paresy {
+
+/// An immutable, sorted set of symbol characters.
+class Alphabet {
+public:
+  /// The empty alphabet (out-parameter default; see inferAlphabet).
+  Alphabet() = default;
+
+  /// Builds an alphabet from \p Chars. Returns an empty-string-backed
+  /// alphabet and sets \p Error on invalid input (meta characters,
+  /// whitespace, non-printables or duplicates).
+  static Alphabet create(std::string_view Chars, std::string *Error);
+
+  /// Convenience factory that aborts on invalid input; for literals in
+  /// tests/examples, e.g. Alphabet::of("01").
+  static Alphabet of(std::string_view Chars);
+
+  /// True iff \p C is forbidden in alphabets (regex meta syntax).
+  static bool isMetaChar(char C);
+
+  size_t size() const { return Chars.size(); }
+  bool empty() const { return Chars.empty(); }
+
+  /// The \p Idx-th smallest symbol.
+  char symbol(size_t Idx) const {
+    assert(Idx < Chars.size() && "symbol index out of range");
+    return Chars[Idx];
+  }
+
+  /// Index of \p C in sorted order, or -1 if absent.
+  int indexOf(char C) const;
+
+  bool contains(char C) const { return indexOf(C) >= 0; }
+
+  /// True iff every character of \p Word is a symbol.
+  bool containsAll(std::string_view Word) const;
+
+  /// All symbols, ascending.
+  const std::string &symbols() const { return Chars; }
+
+  bool operator==(const Alphabet &O) const = default;
+
+private:
+  explicit Alphabet(std::string Sorted) : Chars(std::move(Sorted)) {}
+  std::string Chars;
+};
+
+} // namespace paresy
+
+#endif // PARESY_LANG_ALPHABET_H

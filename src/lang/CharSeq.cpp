@@ -1,0 +1,134 @@
+//===- lang/CharSeq.cpp - Characteristic-sequence algebra --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/CharSeq.h"
+
+#include "support/Bits.h"
+
+#include <cassert>
+
+using namespace paresy;
+
+CsAlgebra::CsAlgebra(const Universe &U, const GuideTable *GT)
+    : U(U), GT(GT), WordCount(U.csWords()) {
+  StarCurrent.resize(WordCount);
+  StarNext.resize(WordCount);
+}
+
+void CsAlgebra::makeEmpty(uint64_t *Dst) const {
+  clearWords(Dst, WordCount);
+}
+
+void CsAlgebra::makeEpsilon(uint64_t *Dst) const {
+  assert(U.size() > 0 && "epsilon CS needs a non-empty universe");
+  clearWords(Dst, WordCount);
+  setBit(Dst, U.epsilonIndex());
+}
+
+void CsAlgebra::makeLiteral(uint64_t *Dst, char C) const {
+  clearWords(Dst, WordCount);
+  int64_t Idx = U.indexOf(std::string_view(&C, 1));
+  if (Idx >= 0)
+    setBit(Dst, size_t(Idx));
+}
+
+void CsAlgebra::unionOf(uint64_t *Dst, const uint64_t *A,
+                        const uint64_t *B) const {
+  orWords(Dst, A, B, WordCount);
+}
+
+void CsAlgebra::concat(uint64_t *Dst, const uint64_t *A, const uint64_t *B) {
+  assert(Dst != A && Dst != B && "concat destination must not alias");
+  if (GT)
+    concatStaged(Dst, A, B);
+  else
+    concatUnstaged(Dst, A, B);
+}
+
+void CsAlgebra::concatStaged(uint64_t *Dst, const uint64_t *A,
+                             const uint64_t *B) {
+  clearWords(Dst, WordCount);
+  size_t NumWords = U.size();
+  const std::vector<uint32_t> &Rows = GT->rowOffsets();
+  const SplitPair *AllPairs = GT->pairs().data();
+  for (size_t W = 0; W != NumWords; ++W) {
+    // The fold of Alg. 2 lines 10-13: disjoin over every split of
+    // word W, with no data-dependent early exit.
+    uint64_t Bit = 0;
+    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
+      const SplitPair &Split = AllPairs[P];
+      Bit |= uint64_t(testBit(A, Split.Lhs) & testBit(B, Split.Rhs));
+    }
+    if (Bit)
+      setBit(Dst, W);
+  }
+  PairsVisited += GT->totalPairs();
+}
+
+void CsAlgebra::concatUnstaged(uint64_t *Dst, const uint64_t *A,
+                               const uint64_t *B) {
+  // Ablation slow path: re-derive every split through string slicing
+  // and hash lookups, i.e. what every concatenation would cost without
+  // the staged guide table.
+  clearWords(Dst, WordCount);
+  for (size_t W = 0; W != U.size(); ++W) {
+    const std::string &Word = U.word(W);
+    bool Member = false;
+    for (size_t Cut = 0; Cut <= Word.size(); ++Cut) {
+      ++PairsVisited;
+      int64_t L = U.indexOf(std::string_view(Word).substr(0, Cut));
+      int64_t R = U.indexOf(std::string_view(Word).substr(Cut));
+      assert(L >= 0 && R >= 0 && "universe must be infix-closed");
+      Member |= testBit(A, size_t(L)) & testBit(B, size_t(R));
+    }
+    if (Member)
+      setBit(Dst, W);
+  }
+}
+
+void CsAlgebra::star(uint64_t *Dst, const uint64_t *A) {
+  assert(Dst != A && "star destination must not alias its operand");
+  // Fixpoint of S = 1 + S.A, reached after at most maxWordLength + 1
+  // rounds because each round extends the witnessed decompositions by
+  // one factor and universe words have bounded length.
+  makeEpsilon(StarCurrent.data());
+  for (;;) {
+    concat(StarNext.data(), StarCurrent.data(), A);
+    orWords(StarNext.data(), StarNext.data(), StarCurrent.data(),
+            WordCount);
+    if (equalWords(StarNext.data(), StarCurrent.data(), WordCount))
+      break;
+    copyWords(StarCurrent.data(), StarNext.data(), WordCount);
+  }
+  copyWords(Dst, StarCurrent.data(), WordCount);
+}
+
+void CsAlgebra::question(uint64_t *Dst, const uint64_t *A) const {
+  if (Dst != A)
+    copyWords(Dst, A, WordCount);
+  setBit(Dst, U.epsilonIndex());
+}
+
+void CsAlgebra::complement(uint64_t *Dst, const uint64_t *A) const {
+  notWords(Dst, A, WordCount, U.size());
+}
+
+void CsAlgebra::intersect(uint64_t *Dst, const uint64_t *A,
+                          const uint64_t *B) const {
+  andWords(Dst, A, B, WordCount);
+}
+
+unsigned CsAlgebra::mistakes(const uint64_t *Cs) const {
+  return popcountAndNot(U.posMask().data(), Cs, WordCount) +
+         popcountAnd(U.negMask().data(), Cs, WordCount);
+}
+
+bool CsAlgebra::satisfies(const uint64_t *Cs, unsigned MaxMistakes) const {
+  if (MaxMistakes == 0)
+    return containsWords(Cs, U.posMask().data(), WordCount) &&
+           disjointWords(Cs, U.negMask().data(), WordCount);
+  return mistakes(Cs) <= MaxMistakes;
+}

@@ -1,0 +1,104 @@
+//===- lang/CharSeq.h - Characteristic-sequence algebra ----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semiring of infix power series over the Booleans (Def. 3.5),
+/// concretely: characteristic sequences (CS) are bitvectors over the
+/// universe ic(P u N), and this class implements 0, 1, literals, +,
+/// ., *, ? and the extra boolean operations on them. Union is a
+/// bitwise OR; concatenation folds over the staged guide table (the
+/// inner loop of Alg. 2); star iterates concatenation to a fixpoint.
+///
+/// All operations work on raw uint64_t spans supplied by the caller
+/// (the language cache or kernel temporaries own the storage), and the
+/// algebra counts the split pairs it visits - the work measure the
+/// GPU performance model charges for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_CHARSEQ_H
+#define PARESY_LANG_CHARSEQ_H
+
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+
+/// Operations of the CS semiring for one fixed universe.
+///
+/// Passing a null guide table selects the unstaged slow path that
+/// re-discovers splits through hash lookups on every concatenation;
+/// it exists only to quantify the value of staging (ablation E6).
+class CsAlgebra {
+public:
+  CsAlgebra(const Universe &U, const GuideTable *GT);
+
+  const Universe &universe() const { return U; }
+
+  /// CS length in 64-bit words.
+  size_t csWords() const { return WordCount; }
+
+  /// Dst = 0 (the empty language).
+  void makeEmpty(uint64_t *Dst) const;
+
+  /// Dst = 1 (the language {epsilon}).
+  void makeEpsilon(uint64_t *Dst) const;
+
+  /// Dst = {C}: the single one-character word, absent from the CS when
+  /// C occurs nowhere in the examples (such literals are then
+  /// indistinguishable from the empty language, which is correct
+  /// relative to the specification).
+  void makeLiteral(uint64_t *Dst, char C) const;
+
+  /// Dst = A + B (bitwise or). Dst may alias A or B.
+  void unionOf(uint64_t *Dst, const uint64_t *A, const uint64_t *B) const;
+
+  /// Dst = A . B via the guide-table fold. Dst must not alias A or B.
+  void concat(uint64_t *Dst, const uint64_t *A, const uint64_t *B);
+
+  /// Dst = A* as the fixpoint of S = 1 + S.A. Dst must not alias A.
+  void star(uint64_t *Dst, const uint64_t *A);
+
+  /// Dst = A? = 1 + A. Dst may alias A.
+  void question(uint64_t *Dst, const uint64_t *A) const;
+
+  /// Dst = complement of A relative to the universe.
+  void complement(uint64_t *Dst, const uint64_t *A) const;
+
+  /// Dst = A n B (bitwise and; the conjunction Def. 3.5 mentions).
+  void intersect(uint64_t *Dst, const uint64_t *A, const uint64_t *B) const;
+
+  /// Number of examples the language misclassifies: positives it
+  /// rejects plus negatives it accepts (Sec. 5.2 "REI with error").
+  unsigned mistakes(const uint64_t *Cs) const;
+
+  /// True iff Cs satisfies the specification with at most
+  /// \p MaxMistakes misclassified examples (0 = precise REI).
+  bool satisfies(const uint64_t *Cs, unsigned MaxMistakes = 0) const;
+
+  /// Split pairs visited by concat/star so far (the dominant work
+  /// term; the GPU performance model consumes this).
+  uint64_t pairsVisited() const { return PairsVisited; }
+  void resetPairsVisited() { PairsVisited = 0; }
+
+private:
+  void concatStaged(uint64_t *Dst, const uint64_t *A, const uint64_t *B);
+  void concatUnstaged(uint64_t *Dst, const uint64_t *A, const uint64_t *B);
+
+  const Universe &U;
+  const GuideTable *GT;
+  size_t WordCount;
+  uint64_t PairsVisited = 0;
+  std::vector<uint64_t> StarCurrent;
+  std::vector<uint64_t> StarNext;
+};
+
+} // namespace paresy
+
+#endif // PARESY_LANG_CHARSEQ_H

@@ -1,0 +1,29 @@
+//===- lang/GuideTable.cpp - Staged split pre-computation --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/GuideTable.h"
+
+#include <cassert>
+
+using namespace paresy;
+
+GuideTable::GuideTable(const Universe &U) {
+  RowBegin.reserve(U.size() + 1);
+  RowBegin.push_back(0);
+  for (size_t W = 0; W != U.size(); ++W) {
+    const std::string &Word = U.word(W);
+    // All |Word|+1 split points, including the two trivial splits with
+    // epsilon (the IPS product of Def. 3.5 ranges over all of I).
+    for (size_t Cut = 0; Cut <= Word.size(); ++Cut) {
+      int64_t L = U.indexOf(std::string_view(Word).substr(0, Cut));
+      int64_t R = U.indexOf(std::string_view(Word).substr(Cut));
+      assert(L >= 0 && R >= 0 &&
+             "infix closure must contain both split halves");
+      Pairs.push_back(SplitPair{uint32_t(L), uint32_t(R)});
+    }
+    RowBegin.push_back(uint32_t(Pairs.size()));
+  }
+}

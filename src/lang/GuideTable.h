@@ -1,0 +1,73 @@
+//===- lang/GuideTable.h - Staged split pre-computation ----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guide table of Sec. 3 ("Staging"): because (P, N) - and hence
+/// ic(P u N) - never changes during a run, all ways of splitting each
+/// universe word w into w = u . v with u, v in ic(P u N) are computed
+/// once, up front. Concatenation and Kleene star of characteristic
+/// sequences then reduce to folds over these precomputed (index(u),
+/// index(v)) pairs with no string handling in the inner loop.
+///
+/// Layout is CSR-style: one flat pair array plus per-word offsets, so
+/// the GPU-style kernels can fetch a word's splits with two loads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_GUIDETABLE_H
+#define PARESY_LANG_GUIDETABLE_H
+
+#include "lang/Universe.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+
+/// One split w = words[Lhs] . words[Rhs].
+struct SplitPair {
+  uint32_t Lhs;
+  uint32_t Rhs;
+  bool operator==(const SplitPair &O) const = default;
+};
+
+/// Precomputed splits for every universe word.
+class GuideTable {
+public:
+  /// Builds the table for \p U. Infix-closedness guarantees every
+  /// split half is itself a universe word (asserted).
+  explicit GuideTable(const Universe &U);
+
+  /// Number of universe words (== number of rows).
+  size_t rowCount() const { return RowBegin.size() - 1; }
+
+  /// Splits of word \p WordIdx: [pairsBegin(w), pairsEnd(w)).
+  const SplitPair *pairsBegin(size_t WordIdx) const {
+    return Pairs.data() + RowBegin[WordIdx];
+  }
+  const SplitPair *pairsEnd(size_t WordIdx) const {
+    return Pairs.data() + RowBegin[WordIdx + 1];
+  }
+  size_t pairCount(size_t WordIdx) const {
+    return RowBegin[WordIdx + 1] - RowBegin[WordIdx];
+  }
+
+  /// Total number of split pairs over all words; the dominant factor
+  /// in the cost of one CS concatenation.
+  size_t totalPairs() const { return Pairs.size(); }
+
+  /// Raw CSR arrays, exposed for the GPU-style kernels.
+  const std::vector<uint32_t> &rowOffsets() const { return RowBegin; }
+  const std::vector<SplitPair> &pairs() const { return Pairs; }
+
+private:
+  std::vector<uint32_t> RowBegin; // size rowCount()+1
+  std::vector<SplitPair> Pairs;
+};
+
+} // namespace paresy
+
+#endif // PARESY_LANG_GUIDETABLE_H

@@ -1,0 +1,152 @@
+//===- lang/Spec.cpp - REI specifications ------------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+using namespace paresy;
+
+size_t Spec::maxExampleLength() const {
+  size_t Max = 0;
+  for (const std::string &W : Pos)
+    Max = std::max(Max, W.size());
+  for (const std::string &W : Neg)
+    Max = std::max(Max, W.size());
+  return Max;
+}
+
+bool Spec::validate(const Alphabet &Sigma, std::string *Error) const {
+  auto Describe = [](const std::string &W) {
+    return W.empty() ? std::string("<epsilon>") : W;
+  };
+  std::set<std::string> Seen;
+  for (const std::string &W : Pos) {
+    if (!Sigma.containsAll(W)) {
+      if (Error)
+        *Error = "positive example '" + Describe(W) +
+                 "' uses characters outside the alphabet";
+      return false;
+    }
+    if (!Seen.insert(W).second) {
+      if (Error)
+        *Error = "duplicate positive example '" + Describe(W) + "'";
+      return false;
+    }
+  }
+  std::set<std::string> SeenNeg;
+  for (const std::string &W : Neg) {
+    if (!Sigma.containsAll(W)) {
+      if (Error)
+        *Error = "negative example '" + Describe(W) +
+                 "' uses characters outside the alphabet";
+      return false;
+    }
+    if (Seen.count(W)) {
+      if (Error)
+        *Error = "example '" + Describe(W) +
+                 "' is both positive and negative";
+      return false;
+    }
+    if (!SeenNeg.insert(W).second) {
+      if (Error)
+        *Error = "duplicate negative example '" + Describe(W) + "'";
+      return false;
+    }
+  }
+  if (Error)
+    Error->clear();
+  return true;
+}
+
+std::string Spec::toText() const {
+  std::string Out;
+  for (const std::string &W : Pos) {
+    Out += '+';
+    Out += W;
+    Out += '\n';
+  }
+  for (const std::string &W : Neg) {
+    Out += '-';
+    Out += W;
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool paresy::parseSpecText(std::string_view Text, Spec &Out,
+                           std::string *Error) {
+  Out.Pos.clear();
+  Out.Neg.clear();
+  size_t LineNo = 0;
+  size_t Begin = 0;
+  while (Begin <= Text.size()) {
+    size_t End = Text.find('\n', Begin);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Begin, End - Begin);
+    Begin = End + 1;
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    if (Line.front() == '+')
+      Out.Pos.emplace_back(Line.substr(1));
+    else if (Line.front() == '-')
+      Out.Neg.emplace_back(Line.substr(1));
+    else {
+      if (Error)
+        *Error = "line " + std::to_string(LineNo) +
+                 ": expected '+', '-' or '#' prefix";
+      return false;
+    }
+    if (End == Text.size())
+      break;
+  }
+  if (Error)
+    Error->clear();
+  return true;
+}
+
+bool paresy::readSpecFile(const std::string &Path, Spec &Out,
+                          std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t Read;
+  while ((Read = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Read);
+  std::fclose(File);
+  return parseSpecText(Text, Out, Error);
+}
+
+bool paresy::inferAlphabet(const Spec &S, Alphabet &Out,
+                           std::string *Error) {
+  std::set<char> Chars;
+  for (const std::string &W : S.Pos)
+    Chars.insert(W.begin(), W.end());
+  for (const std::string &W : S.Neg)
+    Chars.insert(W.begin(), W.end());
+  std::string Symbols(Chars.begin(), Chars.end());
+  std::string Err;
+  Out = Alphabet::create(Symbols, &Err);
+  if (!Err.empty()) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  if (Error)
+    Error->clear();
+  return true;
+}

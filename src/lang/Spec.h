@@ -1,0 +1,72 @@
+//===- lang/Spec.h - REI specifications (Def. 3.1) --------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A specification is a pair (P, N) of finite sets of strings: the
+/// positive examples a solution must accept and the negative examples
+/// it must reject. This header also defines the on-disk format used by
+/// the example tools and the shipped benchmark instances:
+///
+///   # comment
+///   +10        positive example "10"
+///   +          positive example "" (epsilon)
+///   -0         negative example "0"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_SPEC_H
+#define PARESY_LANG_SPEC_H
+
+#include "lang/Alphabet.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+
+/// Positive/negative string examples. Stored order is irrelevant to
+/// the algorithm (characteristic sequences are keyed by the shortlex
+/// order of the infix closure) but preserved for reporting.
+struct Spec {
+  std::vector<std::string> Pos;
+  std::vector<std::string> Neg;
+
+  Spec() = default;
+  Spec(std::vector<std::string> Pos, std::vector<std::string> Neg)
+      : Pos(std::move(Pos)), Neg(std::move(Neg)) {}
+
+  size_t exampleCount() const { return Pos.size() + Neg.size(); }
+
+  /// Length of the longest example (0 when there are none).
+  size_t maxExampleLength() const;
+
+  /// Validates the specification against \p Sigma: P and N must be
+  /// duplicate-free, disjoint, and drawn from Sigma*. Returns true on
+  /// success; otherwise fills \p Error.
+  bool validate(const Alphabet &Sigma, std::string *Error) const;
+
+  /// Renders in the +/- line format described above.
+  std::string toText() const;
+};
+
+/// Parses the +/- line format. Returns false and fills \p Error on
+/// malformed input (it does not validate against an alphabet; callers
+/// combine with Spec::validate).
+bool parseSpecText(std::string_view Text, Spec &Out, std::string *Error);
+
+/// Reads and parses a spec file. Returns false and fills \p Error if
+/// the file cannot be read or parsed.
+bool readSpecFile(const std::string &Path, Spec &Out, std::string *Error);
+
+/// The smallest alphabet containing every character of the examples.
+/// Returns false (with \p Error) if an example uses a reserved
+/// character.
+bool inferAlphabet(const Spec &S, Alphabet &Out, std::string *Error);
+
+} // namespace paresy
+
+#endif // PARESY_LANG_SPEC_H

@@ -1,0 +1,86 @@
+//===- lang/Universe.cpp - Infix closure as an indexed word universe --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Universe.h"
+
+#include "support/Bits.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace paresy;
+
+bool paresy::shortlexLess(const std::string &A, const std::string &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size();
+  return A < B;
+}
+
+std::vector<std::string>
+paresy::infixClosure(const std::vector<std::string> &S) {
+  std::unordered_set<std::string> Infixes;
+  for (const std::string &W : S) {
+    // Every substring W[I, I+Len) including the empty one.
+    Infixes.emplace();
+    for (size_t I = 0; I != W.size(); ++I)
+      for (size_t Len = 1; Len <= W.size() - I; ++Len)
+        Infixes.emplace(W, I, Len);
+  }
+  std::vector<std::string> Result(Infixes.begin(), Infixes.end());
+  std::sort(Result.begin(), Result.end(), shortlexLess);
+  return Result;
+}
+
+Universe::Universe(const Spec &S, bool PadToPowerOfTwo) {
+  std::vector<std::string> All = S.Pos;
+  All.insert(All.end(), S.Neg.begin(), S.Neg.end());
+  Words = infixClosure(All);
+
+  Index.reserve(Words.size());
+  for (size_t I = 0; I != Words.size(); ++I)
+    Index.emplace(Words[I], uint32_t(I));
+
+  size_t Bits = std::max<size_t>(1, Words.size());
+  PaddedBits = PadToPowerOfTwo ? size_t(nextPowerOfTwo(Bits)) : Bits;
+  CsWordCount = wordsForBits(PaddedBits);
+
+  PosMask.assign(CsWordCount, 0);
+  NegMask.assign(CsWordCount, 0);
+  for (const std::string &W : S.Pos) {
+    int64_t Idx = indexOf(W);
+    assert(Idx >= 0 && "positive example missing from its own closure");
+    setBit(PosMask.data(), size_t(Idx));
+  }
+  for (const std::string &W : S.Neg) {
+    int64_t Idx = indexOf(W);
+    assert(Idx >= 0 && "negative example missing from its own closure");
+    setBit(NegMask.data(), size_t(Idx));
+  }
+}
+
+int64_t Universe::indexOf(std::string_view W) const {
+  // Transparent lookup would avoid this copy; examples are tiny.
+  auto It = Index.find(std::string(W));
+  if (It == Index.end())
+    return -1;
+  return It->second;
+}
+
+std::string Universe::describeCs(const uint64_t *Cs) const {
+  std::string Out = "{";
+  bool First = true;
+  for (size_t I = 0; I != Words.size(); ++I) {
+    if (!testBit(Cs, I))
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Words[I].empty() ? "<eps>" : Words[I];
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- lang/Universe.h - Infix closure as an indexed word universe ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The word universe of one Paresy run: ic(P u N), the infix closure of
+/// the examples (Def. 2.2, Sec. 3 "first space-time trade-off"),
+/// sorted in shortlex order (Def. 2.5). A characteristic sequence is a
+/// bitvector whose i-th bit says whether the i-th universe word is in
+/// the language; the universe also fixes the CS geometry: bit counts
+/// are padded to the next power of two (the paper's second trade-off)
+/// and stored in 64-bit words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_UNIVERSE_H
+#define PARESY_LANG_UNIVERSE_H
+
+#include "lang/Spec.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paresy {
+
+/// Returns true iff \p A precedes \p B in shortlex order: shorter
+/// strings first, ties broken lexicographically byte-wise (alphabets
+/// are sorted ascending, so byte order realises the lifted order).
+bool shortlexLess(const std::string &A, const std::string &B);
+
+/// ic(S): the set of all infixes (substrings) of members of \p S.
+/// Always contains the empty string when \p S is non-empty.
+std::vector<std::string> infixClosure(const std::vector<std::string> &S);
+
+/// The indexed, shortlex-sorted infix closure of a specification's
+/// examples, plus the derived characteristic-sequence geometry and the
+/// P/N membership masks used for the satisfaction check.
+class Universe {
+public:
+  /// Builds ic(P u N) for \p S. \p PadToPowerOfTwo enables the paper's
+  /// power-of-two padding (on by default; the ablation benchmark turns
+  /// it off to quantify the trade-off).
+  explicit Universe(const Spec &S, bool PadToPowerOfTwo = true);
+
+  /// Number of words in ic(P u N).
+  size_t size() const { return Words.size(); }
+
+  /// The \p Idx-th word in shortlex order.
+  const std::string &word(size_t Idx) const { return Words[Idx]; }
+
+  /// All words, shortlex-sorted.
+  const std::vector<std::string> &words() const { return Words; }
+
+  /// Index of \p W, or -1 when W is not in the universe.
+  int64_t indexOf(std::string_view W) const;
+
+  /// Index of the empty string (always 0 in a non-empty universe).
+  size_t epsilonIndex() const { return 0; }
+
+  /// Characteristic-sequence length in bits (padded if enabled).
+  size_t csBits() const { return PaddedBits; }
+
+  /// Characteristic-sequence length in 64-bit words (>= 1).
+  size_t csWords() const { return CsWordCount; }
+
+  /// Bit mask of the positive examples (bit i set iff word i is in P).
+  const std::vector<uint64_t> &posMask() const { return PosMask; }
+
+  /// Bit mask of the negative examples.
+  const std::vector<uint64_t> &negMask() const { return NegMask; }
+
+  /// Renders a CS as the membership list the paper's figures show,
+  /// e.g. "{11, 1, <eps>}" (for debugging and the examples).
+  std::string describeCs(const uint64_t *Cs) const;
+
+private:
+  std::vector<std::string> Words;
+  std::unordered_map<std::string, uint32_t> Index;
+  size_t PaddedBits = 1;
+  size_t CsWordCount = 1;
+  std::vector<uint64_t> PosMask;
+  std::vector<uint64_t> NegMask;
+};
+
+} // namespace paresy
+
+#endif // PARESY_LANG_UNIVERSE_H

@@ -1,0 +1,57 @@
+//===- regex/Cost.cpp - Cost homomorphisms ---------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Cost.h"
+
+#include "support/Compiler.h"
+
+#include <cstdio>
+
+using namespace paresy;
+
+uint64_t CostFn::of(const Regex *R) const {
+  assert(R && "cost of a null regex");
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Literal:
+    return Literal;
+  case RegexKind::Question:
+    return of(R->lhs()) + Question;
+  case RegexKind::Star:
+    return of(R->lhs()) + Star;
+  case RegexKind::Concat:
+    return of(R->lhs()) + of(R->rhs()) + Concat;
+  case RegexKind::Union:
+    return of(R->lhs()) + of(R->rhs()) + Union;
+  }
+  PARESY_UNREACHABLE("invalid regex kind");
+}
+
+std::string CostFn::name() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "(%u, %u, %u, %u, %u)", Literal, Question,
+                Star, Concat, Union);
+  return Buf;
+}
+
+const std::array<CostFn, 12> &paresy::paperCostFunctions() {
+  static const std::array<CostFn, 12> Fns = {{
+      CostFn(1, 1, 1, 1, 1),
+      CostFn(10, 1, 1, 1, 1),
+      CostFn(1, 10, 1, 1, 1),
+      CostFn(1, 1, 10, 1, 1),
+      CostFn(1, 1, 1, 10, 1),
+      CostFn(1, 1, 1, 1, 10),
+      CostFn(10, 10, 10, 10, 1),
+      CostFn(10, 10, 10, 1, 10),
+      CostFn(10, 10, 1, 10, 10),
+      CostFn(10, 1, 10, 10, 10),
+      CostFn(1, 10, 10, 10, 10),
+      CostFn(20, 20, 20, 5, 30),
+  }};
+  return Fns;
+}

@@ -1,0 +1,83 @@
+//===- regex/Cost.h - Cost homomorphisms (Def. 3.2) ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost homomorphisms over regular expressions: five strictly positive
+/// integer constants (c1..c5) charged for, respectively, nullary
+/// constructors (including every alphabet literal), '?', '*',
+/// concatenation and union. Following the paper's 5-tuple convention,
+/// (5, 2, 7, 2, 19) means the Kleene star costs 7. The twelve cost
+/// functions of the evaluation (Fig. 1, Table 1) are provided by
+/// paperCostFunctions().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_REGEX_COST_H
+#define PARESY_REGEX_COST_H
+
+#include "regex/Regex.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace paresy {
+
+/// A cost homomorphism (Def. 3.2). All five constants must be > 0;
+/// validate() checks this.
+struct CostFn {
+  /// c1: cost of the nullary constructors: @, #, and every literal.
+  uint32_t Literal = 1;
+  /// c2: cost added by '?'.
+  uint32_t Question = 1;
+  /// c3: cost added by '*'.
+  uint32_t Star = 1;
+  /// c4: cost added by concatenation.
+  uint32_t Concat = 1;
+  /// c5: cost added by union.
+  uint32_t Union = 1;
+
+  constexpr CostFn() = default;
+  constexpr CostFn(uint32_t C1, uint32_t C2, uint32_t C3, uint32_t C4,
+                   uint32_t C5)
+      : Literal(C1), Question(C2), Star(C3), Concat(C4), Union(C5) {}
+
+  /// True iff every constant is strictly positive (a requirement of
+  /// Def. 3.2; Lemma 3.4 and the bottom-up sweep rely on it).
+  constexpr bool isValid() const {
+    return Literal > 0 && Question > 0 && Star > 0 && Concat > 0 &&
+           Union > 0;
+  }
+
+  /// The smallest cost any constructor adds on top of its operands;
+  /// bounds how far OnTheFly mode can run past a full cache.
+  constexpr uint32_t minConstructorCost() const {
+    uint32_t Min = Question;
+    if (Star < Min)
+      Min = Star;
+    if (Concat < Min)
+      Min = Concat;
+    if (Union < Min)
+      Min = Union;
+    return Min;
+  }
+
+  /// cost(R) per Def. 3.2.
+  uint64_t of(const Regex *R) const;
+
+  /// Renders the paper's tuple notation, e.g. "(1, 1, 10, 1, 1)".
+  std::string name() const;
+
+  bool operator==(const CostFn &O) const = default;
+};
+
+/// The twelve cost functions benchmarked in Fig. 1 and Table 1, in the
+/// paper's order: (1,1,1,1,1) first, (20,20,20,5,30) last.
+const std::array<CostFn, 12> &paperCostFunctions();
+
+} // namespace paresy
+
+#endif // PARESY_REGEX_COST_H

@@ -1,0 +1,236 @@
+//===- regex/Dfa.cpp - Deterministic finite automata ----------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Dfa.h"
+
+#include "regex/Matcher.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace paresy;
+
+Dfa Dfa::fromRegex(RegexManager &M, const Regex *Re,
+                   const std::vector<char> &Sigma) {
+  assert(Re && "null regex");
+  DerivativeMatcher D(M);
+
+  // Every distinct simplified derivative is one state; simplification
+  // (ACI unions etc.) keeps the state space finite.
+  std::unordered_map<const Regex *, uint32_t> StateOf;
+  std::vector<const Regex *> States;
+  std::deque<const Regex *> Worklist;
+  auto Intern = [&](const Regex *Node) -> uint32_t {
+    auto It = StateOf.find(Node);
+    if (It != StateOf.end())
+      return It->second;
+    uint32_t Id = uint32_t(States.size());
+    StateOf.emplace(Node, Id);
+    States.push_back(Node);
+    Worklist.push_back(Node);
+    return Id;
+  };
+  Intern(Re);
+
+  std::vector<uint32_t> Transitions;
+  std::vector<uint8_t> Accepting;
+  while (!Worklist.empty()) {
+    const Regex *State = Worklist.front();
+    Worklist.pop_front();
+    // States are popped in creation order, so rows align with ids.
+    for (char C : Sigma)
+      Transitions.push_back(Intern(D.derive(State, C)));
+    Accepting.push_back(State->nullable() ? 1 : 0);
+  }
+  assert(Transitions.size() == Accepting.size() * Sigma.size() &&
+         "transition table shape mismatch");
+  return Dfa(Sigma, std::move(Transitions), std::move(Accepting));
+}
+
+bool Dfa::accepts(std::string_view W) const {
+  size_t State = 0;
+  for (char C : W) {
+    auto It = std::lower_bound(Sigma.begin(), Sigma.end(), C);
+    if (It == Sigma.end() || *It != C)
+      return false; // Outside the alphabet.
+    State = next(State, size_t(It - Sigma.begin()));
+  }
+  return Accepting[State];
+}
+
+Dfa Dfa::minimize() const {
+  size_t K = Sigma.size();
+
+  // Prune unreachable states first (they distort refinement blocks).
+  size_t N = stateCount();
+  std::vector<int64_t> NewId(N, -1);
+  std::vector<uint32_t> Reachable;
+  Reachable.push_back(0);
+  NewId[0] = 0;
+  for (size_t I = 0; I != Reachable.size(); ++I)
+    for (size_t C = 0; C != K; ++C) {
+      uint32_t T = uint32_t(next(Reachable[I], C));
+      if (NewId[T] < 0) {
+        NewId[T] = int64_t(Reachable.size());
+        Reachable.push_back(T);
+      }
+    }
+
+  // Moore partition refinement. Each round re-blocks states by the
+  // signature (own block, successor blocks); the block count never
+  // decreases and is bounded by the state count, so iterate until it
+  // stops growing.
+  size_t R = Reachable.size();
+  std::vector<uint32_t> Block(R);
+  size_t BlockCount = 1;
+  for (size_t I = 0; I != R; ++I) {
+    Block[I] = Accepting[Reachable[I]] ? 1 : 0;
+    if (Block[I] != Block[0])
+      BlockCount = 2;
+  }
+  // Normalise initial ids to a dense range {0[,1]}.
+  if (BlockCount == 1)
+    for (uint32_t &B : Block)
+      B = 0;
+
+  for (;;) {
+    std::map<std::vector<uint32_t>, uint32_t> BlockOf;
+    std::vector<uint32_t> Next(R);
+    for (size_t I = 0; I != R; ++I) {
+      std::vector<uint32_t> Sig;
+      Sig.reserve(K + 1);
+      Sig.push_back(Block[I]);
+      for (size_t C = 0; C != K; ++C)
+        Sig.push_back(Block[size_t(NewId[next(Reachable[I], C)])]);
+      auto It = BlockOf.emplace(std::move(Sig), uint32_t(BlockOf.size()));
+      Next[I] = It.first->second;
+    }
+    size_t NextCount = BlockOf.size();
+    Block = std::move(Next);
+    if (NextCount == BlockCount)
+      break;
+    BlockCount = NextCount;
+  }
+
+  // Quotient automaton with a canonical BFS numbering from the start
+  // block (so minimised automata of equal languages are identical).
+  std::vector<uint32_t> BlockRep(BlockCount, UINT32_MAX);
+  for (size_t I = 0; I != R; ++I)
+    if (BlockRep[Block[I]] == UINT32_MAX)
+      BlockRep[Block[I]] = uint32_t(I);
+
+  std::vector<uint32_t> Remap(BlockCount, UINT32_MAX);
+  uint32_t Fresh = 0;
+  std::deque<uint32_t> Queue;
+  auto Visit = [&](uint32_t B) {
+    if (Remap[B] == UINT32_MAX) {
+      Remap[B] = Fresh++;
+      Queue.push_back(B);
+    }
+  };
+  Visit(Block[0]);
+  std::vector<uint32_t> QuotientTrans(BlockCount * K, 0);
+  std::vector<uint8_t> QuotientAccept(BlockCount, 0);
+  while (!Queue.empty()) {
+    uint32_t B = Queue.front();
+    Queue.pop_front();
+    uint32_t Rep = BlockRep[B];
+    QuotientAccept[Remap[B]] = Accepting[Reachable[Rep]];
+    for (size_t C = 0; C != K; ++C) {
+      uint32_t SuccBlock = Block[size_t(NewId[next(Reachable[Rep], C)])];
+      Visit(SuccBlock);
+      QuotientTrans[Remap[B] * K + C] = Remap[SuccBlock];
+    }
+  }
+  QuotientTrans.resize(Fresh * K);
+  QuotientAccept.resize(Fresh);
+  return Dfa(Sigma, std::move(QuotientTrans), std::move(QuotientAccept));
+}
+
+Dfa Dfa::complement() const {
+  std::vector<uint8_t> Flipped(Accepting.size());
+  for (size_t I = 0; I != Accepting.size(); ++I)
+    Flipped[I] = Accepting[I] ? 0 : 1;
+  return Dfa(Sigma, Transitions, std::move(Flipped));
+}
+
+bool Dfa::equivalent(const Dfa &A, const Dfa &B) {
+  assert(A.Sigma == B.Sigma && "alphabets must match");
+  size_t K = A.Sigma.size();
+  std::unordered_map<uint64_t, bool> Seen;
+  std::deque<std::pair<uint32_t, uint32_t>> Worklist;
+  auto Push = [&](uint32_t X, uint32_t Y) {
+    uint64_t Key = (uint64_t(X) << 32) | Y;
+    if (Seen.emplace(Key, true).second)
+      Worklist.push_back({X, Y});
+  };
+  Push(0, 0);
+  while (!Worklist.empty()) {
+    auto [X, Y] = Worklist.front();
+    Worklist.pop_front();
+    if (A.Accepting[X] != B.Accepting[Y])
+      return false;
+    for (size_t C = 0; C != K; ++C)
+      Push(uint32_t(A.next(X, C)), uint32_t(B.next(Y, C)));
+  }
+  return true;
+}
+
+std::vector<std::vector<uint64_t>> Dfa::countTable(unsigned Len) const {
+  size_t N = stateCount();
+  size_t K = Sigma.size();
+  // Counts[L][S] = number of length-L strings accepted from S.
+  std::vector<std::vector<uint64_t>> Counts(Len + 1,
+                                            std::vector<uint64_t>(N, 0));
+  for (size_t S = 0; S != N; ++S)
+    Counts[0][S] = Accepting[S] ? 1 : 0;
+  for (unsigned L = 1; L <= Len; ++L)
+    for (size_t S = 0; S != N; ++S) {
+      uint64_t Sum = 0;
+      for (size_t C = 0; C != K; ++C) {
+        uint64_t Add = Counts[L - 1][next(S, C)];
+        Sum = (UINT64_MAX - Sum < Add) ? UINT64_MAX : Sum + Add;
+      }
+      Counts[L][S] = Sum;
+    }
+  return Counts;
+}
+
+uint64_t Dfa::countAccepted(unsigned Len) const {
+  return countTable(Len)[Len][0];
+}
+
+bool Dfa::sampleAccepted(unsigned Len, Rng &R, std::string &Out) const {
+  std::vector<std::vector<uint64_t>> Counts = countTable(Len);
+  if (Counts[Len][0] == 0)
+    return false;
+  Out.clear();
+  Out.reserve(Len);
+  size_t State = 0;
+  for (unsigned Step = 0; Step != Len; ++Step) {
+    unsigned Remaining = Len - Step;
+    // Choose the next symbol weighted by continuation counts.
+    uint64_t Pick = R.below(Counts[Remaining][State]);
+    bool Stepped = false;
+    for (size_t C = 0; C != Sigma.size(); ++C) {
+      uint64_t Here = Counts[Remaining - 1][next(State, C)];
+      if (Pick < Here) {
+        Out += Sigma[C];
+        State = next(State, C);
+        Stepped = true;
+        break;
+      }
+      Pick -= Here;
+    }
+    assert(Stepped && "count table inconsistent");
+    (void)Stepped;
+  }
+  assert(Accepting[State] && "sampling walked off the language");
+  return true;
+}

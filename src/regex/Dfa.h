@@ -1,0 +1,98 @@
+//===- regex/Dfa.h - Deterministic finite automata ------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DFA substrate for the regex library: construction from a regular
+/// expression (Brzozowski derivatives - each distinct simplified
+/// derivative is a state), Moore minimisation, product-construction
+/// equivalence, membership, and language counting/sampling per length.
+///
+/// The search itself never touches automata (that is the paper's
+/// point: characteristic sequences replace them); the DFA layer exists
+/// for the verification side of the repository - a third independent
+/// contains-check engine, exact language statistics for tests and the
+/// stress harness, and the classic representation the paper's related
+/// work (INFAnt etc.) accelerates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_REGEX_DFA_H
+#define PARESY_REGEX_DFA_H
+
+#include "regex/Regex.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+
+/// An immutable, complete DFA over an explicit alphabet. States are
+/// dense 0-based indices; state 0 is the start state; every state has
+/// a transition for every alphabet symbol (a sink rejecting state is
+/// materialised if needed).
+class Dfa {
+public:
+  /// Builds the derivative automaton of \p Re over \p Sigma. The
+  /// result is deterministic and complete but not necessarily minimal.
+  static Dfa fromRegex(RegexManager &M, const Regex *Re,
+                       const std::vector<char> &Sigma);
+
+  size_t stateCount() const { return Accepting.size(); }
+  size_t alphabetSize() const { return Sigma.size(); }
+  const std::vector<char> &alphabet() const { return Sigma; }
+
+  /// True iff \p W (over the alphabet) is accepted. Characters
+  /// outside the alphabet reject.
+  bool accepts(std::string_view W) const;
+
+  bool isAccepting(size_t State) const { return Accepting[State]; }
+
+  /// The successor of \p State on \p Symbol (by alphabet index).
+  size_t next(size_t State, size_t SymbolIdx) const {
+    return Transitions[State * Sigma.size() + SymbolIdx];
+  }
+
+  /// Language-preserving state minimisation (Moore partition
+  /// refinement). The result also has unreachable states pruned.
+  Dfa minimize() const;
+
+  /// The complement automaton (same states, flipped acceptance;
+  /// sound because automata here are complete).
+  Dfa complement() const;
+
+  /// True iff the two automata (over identical alphabets) accept the
+  /// same language; decided by BFS over the product automaton.
+  static bool equivalent(const Dfa &A, const Dfa &B);
+
+  /// Number of accepted strings of exactly length \p Len (saturating
+  /// at UINT64_MAX). Dynamic programming over states.
+  uint64_t countAccepted(unsigned Len) const;
+
+  /// Samples a uniformly random accepted string of exactly length
+  /// \p Len; returns false if none exists.
+  bool sampleAccepted(unsigned Len, Rng &R, std::string &Out) const;
+
+private:
+  Dfa(std::vector<char> Sigma, std::vector<uint32_t> Transitions,
+      std::vector<uint8_t> Accepting)
+      : Sigma(std::move(Sigma)), Transitions(std::move(Transitions)),
+        Accepting(std::move(Accepting)) {}
+
+  /// Count of accepted continuations of each length from each state:
+  /// Counts[L][S] = #{w in Sigma^L : delta*(S, w) accepting}.
+  std::vector<std::vector<uint64_t>> countTable(unsigned Len) const;
+
+  std::vector<char> Sigma;
+  std::vector<uint32_t> Transitions; // stateCount x |Sigma|.
+  std::vector<uint8_t> Accepting;
+};
+
+} // namespace paresy
+
+#endif // PARESY_REGEX_DFA_H

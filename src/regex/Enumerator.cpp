@@ -1,0 +1,98 @@
+//===- regex/Enumerator.cpp - Naive syntactic enumerator --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Enumerator.h"
+
+#include "regex/Matcher.h"
+
+using namespace paresy;
+
+EnumeratorResult
+NaiveEnumerator::findMinimal(const std::vector<std::string> &Pos,
+                             const std::vector<std::string> &Neg,
+                             const CostFn &Cost, uint64_t MaxCost,
+                             uint64_t MaxExpressions) {
+  EnumeratorResult Result;
+  if (!Cost.isValid())
+    return Result;
+
+  DerivativeMatcher Matcher(M);
+  auto Satisfies = [&](const Regex *Re) {
+    for (const std::string &W : Pos)
+      if (!Matcher.matches(Re, W))
+        return false;
+    for (const std::string &W : Neg)
+      if (Matcher.matches(Re, W))
+        return false;
+    return true;
+  };
+
+  // Levels[C] holds every syntax tree of cost exactly C. Distinct
+  // constructions always yield distinct trees, so no deduplication is
+  // needed (and none is wanted: we are counting raw syntax).
+  std::vector<std::vector<const Regex *>> Levels(size_t(MaxCost) + 1);
+  uint64_t Total = 0;
+
+  auto Emit = [&](uint64_t C, const Regex *Re) -> const Regex * {
+    ++Result.Checked;
+    if (Satisfies(Re))
+      return Re;
+    Levels[size_t(C)].push_back(Re);
+    ++Total;
+    return nullptr;
+  };
+
+  // Level c1: the nullary constructors.
+  if (Cost.Literal <= MaxCost) {
+    uint64_t C1 = Cost.Literal;
+    if (const Regex *Hit = Emit(C1, M.empty()))
+      return {Hit, C1, Result.Checked, false};
+    if (const Regex *Hit = Emit(C1, M.epsilon()))
+      return {Hit, C1, Result.Checked, false};
+    for (char Ch : Sigma)
+      if (const Regex *Hit = Emit(C1, M.literal(Ch)))
+        return {Hit, C1, Result.Checked, false};
+  }
+
+  for (uint64_t C = Cost.Literal + 1; C <= MaxCost; ++C) {
+    if (Total > MaxExpressions) {
+      Result.Aborted = true;
+      return Result;
+    }
+    // Question marks, then stars, then concatenations, then unions -
+    // the same in-level order as the Paresy sweep (Alg. 1 line 12).
+    if (C > Cost.Question)
+      for (const Regex *Operand : Levels[size_t(C - Cost.Question)])
+        if (const Regex *Hit = Emit(C, M.question(Operand)))
+          return {Hit, C, Result.Checked, false};
+    if (C > Cost.Star)
+      for (const Regex *Operand : Levels[size_t(C - Cost.Star)])
+        if (const Regex *Hit = Emit(C, M.star(Operand)))
+          return {Hit, C, Result.Checked, false};
+    for (unsigned Binary = 0; Binary != 2; ++Binary) {
+      uint64_t OpCost = Binary == 0 ? Cost.Concat : Cost.Union;
+      if (C <= OpCost)
+        continue;
+      uint64_t Budget = C - OpCost;
+      for (uint64_t Lhs = 1; Lhs < Budget; ++Lhs) {
+        uint64_t Rhs = Budget - Lhs;
+        for (const Regex *L : Levels[size_t(Lhs)]) {
+          for (const Regex *R : Levels[size_t(Rhs)]) {
+            const Regex *Re =
+                Binary == 0 ? M.concat(L, R) : M.alt(L, R);
+            if (const Regex *Hit = Emit(C, Re))
+              return {Hit, C, Result.Checked, false};
+          }
+          if (Total > MaxExpressions) {
+            Result.Aborted = true;
+            return Result;
+          }
+        }
+      }
+    }
+  }
+  return Result;
+}

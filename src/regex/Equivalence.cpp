@@ -1,0 +1,75 @@
+//===- regex/Equivalence.cpp - Deciding language equality ----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Equivalence.h"
+
+#include "regex/Matcher.h"
+#include "support/Bits.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace paresy;
+
+namespace {
+
+struct PairKey {
+  const Regex *A;
+  const Regex *B;
+  bool operator==(const PairKey &O) const { return A == O.A && B == O.B; }
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey &K) const {
+    return size_t(hashMix64(reinterpret_cast<uintptr_t>(K.A) * 31 ^
+                            reinterpret_cast<uintptr_t>(K.B)));
+  }
+};
+
+} // namespace
+
+EquivalenceResult paresy::checkEquivalent(RegexManager &M, const Regex *A,
+                                          const Regex *B,
+                                          const std::vector<char> &Sigma) {
+  EquivalenceResult Result;
+  DerivativeMatcher D(M);
+
+  // Breadth-first bisimulation: visiting pairs in BFS order makes the
+  // first disagreement a shortest witness.
+  struct Item {
+    const Regex *A;
+    const Regex *B;
+    std::string Path;
+  };
+  std::deque<Item> Worklist;
+  std::unordered_set<PairKey, PairKeyHash> Seen;
+  Worklist.push_back(Item{A, B, ""});
+  Seen.insert(PairKey{A, B});
+
+  while (!Worklist.empty()) {
+    Item Current = std::move(Worklist.front());
+    Worklist.pop_front();
+    ++Result.PairsExplored;
+
+    if (Current.A->nullable() != Current.B->nullable()) {
+      Result.Equivalent = false;
+      Result.Witness = std::move(Current.Path);
+      return Result;
+    }
+    for (char C : Sigma) {
+      const Regex *Da = D.derive(Current.A, C);
+      const Regex *Db = D.derive(Current.B, C);
+      // Both dead: every continuation agrees.
+      if (Da->kind() == RegexKind::Empty &&
+          Db->kind() == RegexKind::Empty)
+        continue;
+      if (Seen.insert(PairKey{Da, Db}).second)
+        Worklist.push_back(Item{Da, Db, Current.Path + C});
+    }
+  }
+  Result.Equivalent = true;
+  return Result;
+}

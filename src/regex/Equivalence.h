@@ -1,0 +1,60 @@
+//===- regex/Equivalence.h - Deciding language equality ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decision procedure for Lang(A) == Lang(B) over a given alphabet,
+/// by bisimulation over Brzozowski derivatives: two expressions are
+/// equivalent iff no reachable derivative pair disagrees on
+/// nullability. The simplifying constructors of DerivativeMatcher
+/// (ACI-normalised unions, unit/zero laws) keep the derivative space
+/// finite, so the procedure terminates.
+///
+/// Used by the test suite to check results *semantically* - e.g. that
+/// the synthesized minimal expression denotes exactly the intended
+/// target language, not merely one agreeing on the examples - and by
+/// downstream users who want to compare inferred expressions across
+/// runs or engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_REGEX_EQUIVALENCE_H
+#define PARESY_REGEX_EQUIVALENCE_H
+
+#include "regex/Regex.h"
+
+#include <string>
+#include <vector>
+
+namespace paresy {
+
+/// Outcome of an equivalence check.
+struct EquivalenceResult {
+  /// True iff the two expressions denote the same language over the
+  /// alphabet.
+  bool Equivalent = false;
+  /// When not equivalent: a shortest-found witness string in exactly
+  /// one of the two languages.
+  std::string Witness;
+  /// Derivative pairs explored (diagnostics).
+  size_t PairsExplored = 0;
+};
+
+/// Decides Lang(A) == Lang(B) with both languages over the symbols in
+/// \p Sigma. Strings over characters outside Sigma are ignored (no
+/// expression built from Sigma literals can accept them anyway).
+EquivalenceResult checkEquivalent(RegexManager &M, const Regex *A,
+                                  const Regex *B,
+                                  const std::vector<char> &Sigma);
+
+/// Convenience: true iff equivalent.
+inline bool areEquivalent(RegexManager &M, const Regex *A, const Regex *B,
+                          const std::vector<char> &Sigma) {
+  return checkEquivalent(M, A, B, Sigma).Equivalent;
+}
+
+} // namespace paresy
+
+#endif // PARESY_REGEX_EQUIVALENCE_H

@@ -1,0 +1,252 @@
+//===- regex/Matcher.cpp - Regex contains-checking --------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Matcher.h"
+
+#include "support/Bits.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace paresy;
+
+//===----------------------------------------------------------------------===//
+// DerivativeMatcher
+//===----------------------------------------------------------------------===//
+
+size_t
+DerivativeMatcher::DeriveKeyHash::operator()(const DeriveKey &K) const {
+  return size_t(
+      hashMix64(reinterpret_cast<uintptr_t>(K.Re) ^
+                (uint64_t(uint8_t(K.Ch)) << 56)));
+}
+
+const Regex *DerivativeMatcher::mkUnion(const Regex *L, const Regex *R) {
+  // Flatten both sides, drop empties and duplicates, and rebuild in a
+  // canonical (pointer-ordered) right-nested shape. This keeps the set
+  // of derivative terms small: unions are where derivative blow-up
+  // happens.
+  std::vector<const Regex *> Parts;
+  auto Collect = [&](const Regex *Node, auto &&Self) -> void {
+    if (Node->kind() == RegexKind::Empty)
+      return;
+    if (Node->kind() == RegexKind::Union) {
+      Self(Node->lhs(), Self);
+      Self(Node->rhs(), Self);
+      return;
+    }
+    Parts.push_back(Node);
+  };
+  Collect(L, Collect);
+  Collect(R, Collect);
+  if (Parts.empty())
+    return M.empty();
+  std::sort(Parts.begin(), Parts.end());
+  Parts.erase(std::unique(Parts.begin(), Parts.end()), Parts.end());
+  const Regex *Acc = Parts.back();
+  for (size_t I = Parts.size() - 1; I-- > 0;)
+    Acc = M.alt(Parts[I], Acc);
+  return Acc;
+}
+
+const Regex *DerivativeMatcher::mkConcat(const Regex *L, const Regex *R) {
+  if (L->kind() == RegexKind::Empty || R->kind() == RegexKind::Empty)
+    return M.empty();
+  if (L->kind() == RegexKind::Epsilon)
+    return R;
+  if (R->kind() == RegexKind::Epsilon)
+    return L;
+  return M.concat(L, R);
+}
+
+const Regex *DerivativeMatcher::mkStar(const Regex *R) {
+  if (R->kind() == RegexKind::Empty || R->kind() == RegexKind::Epsilon)
+    return M.epsilon();
+  if (R->kind() == RegexKind::Star)
+    return R;
+  if (R->kind() == RegexKind::Question)
+    return M.star(R->lhs()); // (r?)* == r*
+  return M.star(R);
+}
+
+const Regex *DerivativeMatcher::derive(const Regex *R, char C) {
+  DeriveKey Key{R, C};
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  const Regex *Result = nullptr;
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    Result = M.empty();
+    break;
+  case RegexKind::Literal:
+    Result = R->symbol() == C ? M.epsilon() : M.empty();
+    break;
+  case RegexKind::Question:
+    // d(r?) = d(# + r) = d(r).
+    Result = derive(R->lhs(), C);
+    break;
+  case RegexKind::Star:
+    Result = mkConcat(derive(R->lhs(), C), mkStar(R->lhs()));
+    break;
+  case RegexKind::Concat: {
+    const Regex *Head = mkConcat(derive(R->lhs(), C), R->rhs());
+    Result = R->lhs()->nullable() ? mkUnion(Head, derive(R->rhs(), C))
+                                  : Head;
+    break;
+  }
+  case RegexKind::Union:
+    Result = mkUnion(derive(R->lhs(), C), derive(R->rhs(), C));
+    break;
+  }
+  assert(Result && "derivative not computed");
+  Cache.emplace(Key, Result);
+  return Result;
+}
+
+bool DerivativeMatcher::matches(const Regex *R, std::string_view W) {
+  const Regex *Current = R;
+  for (char C : W) {
+    Current = derive(Current, C);
+    if (Current->kind() == RegexKind::Empty)
+      return false; // No continuation can be accepted.
+  }
+  return Current->nullable();
+}
+
+//===----------------------------------------------------------------------===//
+// NfaMatcher
+//===----------------------------------------------------------------------===//
+
+NfaMatcher::NfaMatcher(const Regex *R) {
+  assert(R && "compiling a null regex");
+  Fragment Frag = compile(R);
+  int Accept = addState(StateKind::Accept);
+  patch(Frag.Dangling, Accept);
+  StartState = Frag.Start;
+  Marks.assign(States.size(), 0);
+}
+
+int NfaMatcher::addState(StateKind Kind, char Ch) {
+  States.push_back(State{Kind, Ch, -1, -1});
+  return int(States.size()) - 1;
+}
+
+void NfaMatcher::patch(const std::vector<std::pair<int, int>> &Dangling,
+                       int Target) {
+  for (auto [StateIdx, Slot] : Dangling) {
+    if (Slot == 0)
+      States[StateIdx].Out0 = Target;
+    else
+      States[StateIdx].Out1 = Target;
+  }
+}
+
+NfaMatcher::Fragment NfaMatcher::compile(const Regex *R) {
+  switch (R->kind()) {
+  case RegexKind::Empty: {
+    int Dead = addState(StateKind::Dead);
+    return Fragment{Dead, {}};
+  }
+  case RegexKind::Epsilon: {
+    int Eps = addState(StateKind::Split);
+    return Fragment{Eps, {{Eps, 0}}};
+  }
+  case RegexKind::Literal: {
+    int Ch = addState(StateKind::Char, R->symbol());
+    return Fragment{Ch, {{Ch, 0}}};
+  }
+  case RegexKind::Concat: {
+    Fragment Lhs = compile(R->lhs());
+    Fragment Rhs = compile(R->rhs());
+    patch(Lhs.Dangling, Rhs.Start);
+    return Fragment{Lhs.Start, std::move(Rhs.Dangling)};
+  }
+  case RegexKind::Union: {
+    Fragment Lhs = compile(R->lhs());
+    Fragment Rhs = compile(R->rhs());
+    int Split = addState(StateKind::Split);
+    States[Split].Out0 = Lhs.Start;
+    States[Split].Out1 = Rhs.Start;
+    Fragment Result{Split, std::move(Lhs.Dangling)};
+    Result.Dangling.insert(Result.Dangling.end(), Rhs.Dangling.begin(),
+                           Rhs.Dangling.end());
+    return Result;
+  }
+  case RegexKind::Star: {
+    Fragment Body = compile(R->lhs());
+    int Split = addState(StateKind::Split);
+    States[Split].Out0 = Body.Start;
+    patch(Body.Dangling, Split);
+    return Fragment{Split, {{Split, 1}}};
+  }
+  case RegexKind::Question: {
+    Fragment Body = compile(R->lhs());
+    int Split = addState(StateKind::Split);
+    States[Split].Out0 = Body.Start;
+    Fragment Result{Split, std::move(Body.Dangling)};
+    Result.Dangling.push_back({Split, 1});
+    return Result;
+  }
+  }
+  PARESY_UNREACHABLE("invalid regex kind");
+}
+
+void NfaMatcher::addClosure(int StateIdx, std::vector<int> &Set,
+                            uint32_t Mark) {
+  if (StateIdx < 0 || Marks[size_t(StateIdx)] == Mark)
+    return;
+  Marks[size_t(StateIdx)] = Mark;
+  const State &S = States[size_t(StateIdx)];
+  if (S.Kind == StateKind::Split) {
+    addClosure(S.Out0, Set, Mark);
+    addClosure(S.Out1, Set, Mark);
+    return;
+  }
+  if (S.Kind == StateKind::Dead)
+    return;
+  Set.push_back(StateIdx);
+}
+
+bool NfaMatcher::matches(std::string_view W) {
+  std::vector<int> Current, Next;
+  addClosure(StartState, Current, ++Generation);
+  for (char C : W) {
+    Next.clear();
+    uint32_t Mark = ++Generation;
+    for (int StateIdx : Current) {
+      const State &S = States[size_t(StateIdx)];
+      if (S.Kind == StateKind::Char && S.Ch == C)
+        addClosure(S.Out0, Next, Mark);
+    }
+    std::swap(Current, Next);
+    if (Current.empty())
+      return false;
+  }
+  for (int StateIdx : Current)
+    if (States[size_t(StateIdx)].Kind == StateKind::Accept)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience helpers
+//===----------------------------------------------------------------------===//
+
+bool paresy::satisfiesExamples(RegexManager &M, const Regex *R,
+                               const std::vector<std::string> &Pos,
+                               const std::vector<std::string> &Neg) {
+  DerivativeMatcher Matcher(M);
+  for (const std::string &W : Pos)
+    if (!Matcher.matches(R, W))
+      return false;
+  for (const std::string &W : Neg)
+    if (Matcher.matches(R, W))
+      return false;
+  return true;
+}

@@ -1,0 +1,116 @@
+//===- regex/Matcher.h - Regex contains-checking ----------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two independent contains-check engines (Sec. 5.1 distinguishes REI
+/// from the contains-check; Paresy still needs the latter to *verify*
+/// inferred expressions, and the baselines use it heavily):
+///
+///  * DerivativeMatcher - Brzozowski derivatives with simplifying smart
+///    constructors and memoisation; shares a RegexManager.
+///  * NfaMatcher        - Thompson construction + subset simulation.
+///
+/// The engines are written independently on purpose and cross-checked
+/// in the test suite, so a bug in one cannot silently validate the
+/// synthesizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_REGEX_MATCHER_H
+#define PARESY_REGEX_MATCHER_H
+
+#include "regex/Regex.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace paresy {
+
+/// Brzozowski-derivative matcher. Derivatives are built with
+/// simplifying constructors (associativity/commutativity/idempotence
+/// of '+', unit/zero laws of '.', star collapsing) to keep the term
+/// universe finite in practice, and memoised per (node, character).
+class DerivativeMatcher {
+public:
+  /// \p M must outlive the matcher; derivative terms are interned
+  /// into it.
+  explicit DerivativeMatcher(RegexManager &M) : M(M) {}
+
+  /// True iff \p W is in Lang(\p R).
+  bool matches(const Regex *R, std::string_view W);
+
+  /// The derivative of \p R with respect to character \p C, simplified.
+  const Regex *derive(const Regex *R, char C);
+
+private:
+  const Regex *mkUnion(const Regex *L, const Regex *R);
+  const Regex *mkConcat(const Regex *L, const Regex *R);
+  const Regex *mkStar(const Regex *R);
+
+  struct DeriveKey {
+    const Regex *Re;
+    char Ch;
+    bool operator==(const DeriveKey &O) const {
+      return Re == O.Re && Ch == O.Ch;
+    }
+  };
+  struct DeriveKeyHash {
+    size_t operator()(const DeriveKey &K) const;
+  };
+
+  RegexManager &M;
+  std::unordered_map<DeriveKey, const Regex *, DeriveKeyHash> Cache;
+};
+
+/// Thompson-NFA matcher: compiles once, then answers membership via
+/// subset simulation in O(|W| * states).
+class NfaMatcher {
+public:
+  explicit NfaMatcher(const Regex *R);
+
+  /// True iff \p W is in the language of the compiled expression.
+  bool matches(std::string_view W);
+
+  /// Number of NFA states (useful for tests and diagnostics).
+  size_t stateCount() const { return States.size(); }
+
+private:
+  enum class StateKind : uint8_t { Char, Split, Accept, Dead };
+  struct State {
+    StateKind Kind;
+    char Ch = 0;
+    int Out0 = -1;
+    int Out1 = -1;
+  };
+
+  /// A partially built automaton piece: entry state plus the dangling
+  /// out-edges ((state, slot) pairs) still to be patched.
+  struct Fragment {
+    int Start;
+    std::vector<std::pair<int, int>> Dangling;
+  };
+
+  Fragment compile(const Regex *R);
+  int addState(StateKind Kind, char Ch = 0);
+  void patch(const std::vector<std::pair<int, int>> &Dangling, int Target);
+  void addClosure(int StateIdx, std::vector<int> &Set, uint32_t Mark);
+
+  std::vector<State> States;
+  int StartState = -1;
+  std::vector<uint32_t> Marks;
+  uint32_t Generation = 0;
+};
+
+/// True iff \p R accepts every string in \p Pos and rejects every
+/// string in \p Neg, checked with the derivative engine.
+bool satisfiesExamples(RegexManager &M, const Regex *R,
+                       const std::vector<std::string> &Pos,
+                       const std::vector<std::string> &Neg);
+
+} // namespace paresy
+
+#endif // PARESY_REGEX_MATCHER_H

@@ -1,0 +1,315 @@
+//===- regex/Regex.cpp - Regular expression AST ----------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include "support/Bits.h"
+#include "support/Compiler.h"
+
+#include <vector>
+
+using namespace paresy;
+
+size_t Regex::nodeCount() const {
+  switch (Kind) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Literal:
+    return 1;
+  case RegexKind::Question:
+  case RegexKind::Star:
+    return 1 + Lhs->nodeCount();
+  case RegexKind::Concat:
+  case RegexKind::Union:
+    return 1 + Lhs->nodeCount() + Rhs->nodeCount();
+  }
+  PARESY_UNREACHABLE("invalid regex kind");
+}
+
+size_t RegexManager::NodeKeyHash::operator()(const NodeKey &K) const {
+  uint64_t H = hashMix64(uint64_t(K.Kind) * 131 + uint64_t(uint8_t(K.Symbol)));
+  H = hashMix64(H ^ reinterpret_cast<uintptr_t>(K.Lhs));
+  H = hashMix64(H ^ reinterpret_cast<uintptr_t>(K.Rhs));
+  return size_t(H);
+}
+
+RegexManager::RegexManager() {
+  EmptyNode = intern(RegexKind::Empty, 0, nullptr, nullptr);
+  EpsilonNode = intern(RegexKind::Epsilon, 0, nullptr, nullptr);
+}
+
+const Regex *RegexManager::intern(RegexKind Kind, char Symbol,
+                                  const Regex *Lhs, const Regex *Rhs) {
+  NodeKey Key{Kind, Symbol, Lhs, Rhs};
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+
+  bool Nullable = false;
+  switch (Kind) {
+  case RegexKind::Empty:
+  case RegexKind::Literal:
+    Nullable = false;
+    break;
+  case RegexKind::Epsilon:
+  case RegexKind::Question:
+  case RegexKind::Star:
+    Nullable = true;
+    break;
+  case RegexKind::Concat:
+    Nullable = Lhs->nullable() && Rhs->nullable();
+    break;
+  case RegexKind::Union:
+    Nullable = Lhs->nullable() || Rhs->nullable();
+    break;
+  }
+
+  Nodes.push_back(Regex(Kind, Symbol, Lhs, Rhs, Nullable));
+  const Regex *Node = &Nodes.back();
+  Unique.emplace(Key, Node);
+  return Node;
+}
+
+const Regex *RegexManager::literal(char C) {
+  return intern(RegexKind::Literal, C, nullptr, nullptr);
+}
+
+const Regex *RegexManager::question(const Regex *R) {
+  assert(R && "null operand");
+  return intern(RegexKind::Question, 0, R, nullptr);
+}
+
+const Regex *RegexManager::star(const Regex *R) {
+  assert(R && "null operand");
+  return intern(RegexKind::Star, 0, R, nullptr);
+}
+
+const Regex *RegexManager::concat(const Regex *L, const Regex *R) {
+  assert(L && R && "null operand");
+  return intern(RegexKind::Concat, 0, L, R);
+}
+
+const Regex *RegexManager::alt(const Regex *L, const Regex *R) {
+  assert(L && R && "null operand");
+  return intern(RegexKind::Union, 0, L, R);
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binding strength: Union < Concat < postfix unary < atom.
+enum Precedence { PrecUnion = 0, PrecConcat = 1, PrecUnary = 2, PrecAtom = 3 };
+
+Precedence precedenceOf(const Regex *R) {
+  switch (R->kind()) {
+  case RegexKind::Union:
+    return PrecUnion;
+  case RegexKind::Concat:
+    return PrecConcat;
+  case RegexKind::Question:
+  case RegexKind::Star:
+    return PrecUnary;
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Literal:
+    return PrecAtom;
+  }
+  PARESY_UNREACHABLE("invalid regex kind");
+}
+
+void printInto(const Regex *R, Precedence Context, std::string &Out) {
+  bool NeedParens = precedenceOf(R) < Context;
+  if (NeedParens)
+    Out += '(';
+  switch (R->kind()) {
+  case RegexKind::Empty:
+    Out += '@';
+    break;
+  case RegexKind::Epsilon:
+    Out += '#';
+    break;
+  case RegexKind::Literal:
+    Out += R->symbol();
+    break;
+  case RegexKind::Question:
+    printInto(R->lhs(), PrecUnary, Out);
+    Out += '?';
+    break;
+  case RegexKind::Star:
+    printInto(R->lhs(), PrecUnary, Out);
+    Out += '*';
+    break;
+  case RegexKind::Concat:
+    // Right operands print one level tighter so that right-nested
+    // trees keep their parentheses and parsing (left-associative)
+    // round-trips the exact tree.
+    printInto(R->lhs(), PrecConcat, Out);
+    printInto(R->rhs(), PrecUnary, Out);
+    break;
+  case RegexKind::Union:
+    printInto(R->lhs(), PrecUnion, Out);
+    Out += '+';
+    printInto(R->rhs(), PrecConcat, Out);
+    break;
+  }
+  if (NeedParens)
+    Out += ')';
+}
+
+} // namespace
+
+std::string paresy::toString(const Regex *R) {
+  assert(R && "printing a null regex");
+  std::string Out;
+  printInto(R, PrecUnion, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over the printer's grammar.
+class Parser {
+public:
+  Parser(RegexManager &M, std::string_view Text) : M(M), Text(Text) {}
+
+  ParseResult run() {
+    const Regex *Re = parseUnion();
+    if (!Re)
+      return fail();
+    skipSpace();
+    if (Pos != Text.size()) {
+      Error = "unexpected trailing input";
+      return fail();
+    }
+    ParseResult Result;
+    Result.Re = Re;
+    return Result;
+  }
+
+private:
+  static bool isMeta(char C) {
+    return C == '(' || C == ')' || C == '+' || C == '*' || C == '?' ||
+           C == '@' || C == '#';
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atAtomStart() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    return C == '(' || C == '@' || C == '#' || !isMeta(C);
+  }
+
+  const Regex *parseUnion() {
+    const Regex *Lhs = parseConcat();
+    if (!Lhs)
+      return nullptr;
+    skipSpace();
+    while (Pos < Text.size() && Text[Pos] == '+') {
+      ++Pos;
+      const Regex *Rhs = parseConcat();
+      if (!Rhs)
+        return nullptr;
+      Lhs = M.alt(Lhs, Rhs);
+      skipSpace();
+    }
+    return Lhs;
+  }
+
+  const Regex *parseConcat() {
+    const Regex *Lhs = parsePostfix();
+    if (!Lhs)
+      return nullptr;
+    while (atAtomStart()) {
+      const Regex *Rhs = parsePostfix();
+      if (!Rhs)
+        return nullptr;
+      Lhs = M.concat(Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  const Regex *parsePostfix() {
+    const Regex *Re = parseAtom();
+    if (!Re)
+      return nullptr;
+    skipSpace();
+    while (Pos < Text.size() && (Text[Pos] == '*' || Text[Pos] == '?')) {
+      Re = Text[Pos] == '*' ? M.star(Re) : M.question(Re);
+      ++Pos;
+      skipSpace();
+    }
+    return Re;
+  }
+
+  const Regex *parseAtom() {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      Error = "expected an atom, found end of input";
+      return nullptr;
+    }
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      const Regex *Inner = parseUnion();
+      if (!Inner)
+        return nullptr;
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != ')') {
+        Error = "expected ')'";
+        return nullptr;
+      }
+      ++Pos;
+      return Inner;
+    }
+    if (C == '@') {
+      ++Pos;
+      return M.empty();
+    }
+    if (C == '#') {
+      ++Pos;
+      return M.epsilon();
+    }
+    if (isMeta(C)) {
+      Error = std::string("unexpected '") + C + "'";
+      return nullptr;
+    }
+    ++Pos;
+    return M.literal(C);
+  }
+
+  ParseResult fail() {
+    ParseResult Result;
+    Result.Error = Error.empty() ? "parse error" : Error;
+    Result.ErrorPos = Pos;
+    return Result;
+  }
+
+  RegexManager &M;
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult paresy::parseRegex(RegexManager &M, std::string_view Text) {
+  return Parser(M, Text).run();
+}

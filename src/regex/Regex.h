@@ -1,0 +1,176 @@
+//===- regex/Regex.h - Regular expression AST ------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The regular expression syntax of Def. 2.7 in the paper, extended
+/// with the question-mark constructor of Def. 2.8:
+///
+///   r ::= @ | # | a | r r | r + r | r* | r?
+///
+/// where '@' denotes the empty language and '#' the empty-string
+/// language (ASCII stand-ins for the paper's emptyset and epsilon).
+/// Nodes are immutable and hash-consed by a RegexManager, so structural
+/// equality is pointer equality and sub-terms are shared. The search
+/// itself never manipulates this syntax (it works on characteristic
+/// sequences); the AST exists for inputs, reconstruction of results,
+/// verification and the baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_REGEX_REGEX_H
+#define PARESY_REGEX_REGEX_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace paresy {
+
+/// Discriminator for the regular constructors (Def. 2.7).
+enum class RegexKind : uint8_t {
+  Empty,    ///< The empty language, printed '@'.
+  Epsilon,  ///< The empty-string language, printed '#'.
+  Literal,  ///< A single alphabet character.
+  Question, ///< r? == # + r.
+  Star,     ///< Kleene star r*.
+  Concat,   ///< Concatenation r1 r2.
+  Union     ///< Alternation r1 + r2.
+};
+
+/// Returns the arity of a regular constructor (0, 1 or 2).
+constexpr unsigned regexArity(RegexKind Kind) {
+  switch (Kind) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Literal:
+    return 0;
+  case RegexKind::Question:
+  case RegexKind::Star:
+    return 1;
+  case RegexKind::Concat:
+  case RegexKind::Union:
+    return 2;
+  }
+  return 0;
+}
+
+/// An immutable, hash-consed regular expression node. Create instances
+/// only through a RegexManager; two structurally equal expressions
+/// created by the same manager are the same pointer.
+class Regex {
+public:
+  RegexKind kind() const { return Kind; }
+
+  /// The character of a Literal node.
+  char symbol() const {
+    assert(Kind == RegexKind::Literal && "symbol() on non-literal");
+    return Symbol;
+  }
+
+  /// The operand of a unary node, or the left operand of a binary one.
+  const Regex *lhs() const {
+    assert(regexArity(Kind) >= 1 && "lhs() on a nullary node");
+    return Lhs;
+  }
+
+  /// The right operand of a binary node.
+  const Regex *rhs() const {
+    assert(regexArity(Kind) == 2 && "rhs() on a non-binary node");
+    return Rhs;
+  }
+
+  /// Number of AST nodes in this expression (shared sub-terms counted
+  /// once per occurrence).
+  size_t nodeCount() const;
+
+  /// True iff the empty string is in the language of this expression.
+  /// (Brzozowski's nullability predicate; precomputed per node.)
+  bool nullable() const { return Nullable; }
+
+private:
+  friend class RegexManager;
+  Regex(RegexKind Kind, char Symbol, const Regex *Lhs, const Regex *Rhs,
+        bool Nullable)
+      : Kind(Kind), Symbol(Symbol), Nullable(Nullable), Lhs(Lhs), Rhs(Rhs) {}
+
+  RegexKind Kind;
+  char Symbol;
+  bool Nullable;
+  const Regex *Lhs;
+  const Regex *Rhs;
+};
+
+/// Owns and uniques Regex nodes. All factory methods return the unique
+/// node for the requested shape; no simplification is performed (the
+/// cost homomorphism is defined over raw syntax, so `r + r` and `r`
+/// must remain distinct expressions).
+class RegexManager {
+public:
+  RegexManager();
+  RegexManager(const RegexManager &) = delete;
+  RegexManager &operator=(const RegexManager &) = delete;
+
+  const Regex *empty() { return EmptyNode; }
+  const Regex *epsilon() { return EpsilonNode; }
+  const Regex *literal(char C);
+  const Regex *question(const Regex *R);
+  const Regex *star(const Regex *R);
+  const Regex *concat(const Regex *L, const Regex *R);
+  const Regex *alt(const Regex *L, const Regex *R);
+
+  /// Number of distinct nodes created so far.
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct NodeKey {
+    RegexKind Kind;
+    char Symbol;
+    const Regex *Lhs;
+    const Regex *Rhs;
+    bool operator==(const NodeKey &O) const {
+      return Kind == O.Kind && Symbol == O.Symbol && Lhs == O.Lhs &&
+             Rhs == O.Rhs;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &K) const;
+  };
+
+  const Regex *intern(RegexKind Kind, char Symbol, const Regex *Lhs,
+                      const Regex *Rhs);
+
+  std::deque<Regex> Nodes;
+  std::unordered_map<NodeKey, const Regex *, NodeKeyHash> Unique;
+  const Regex *EmptyNode;
+  const Regex *EpsilonNode;
+};
+
+/// Renders \p R with minimal parentheses; round-trips through
+/// parseRegex. '@' is the empty language, '#' is epsilon.
+std::string toString(const Regex *R);
+
+/// Result of parseRegex: on success Re is non-null; otherwise Error
+/// describes the problem and ErrorPos is a byte offset into the input.
+struct ParseResult {
+  const Regex *Re = nullptr;
+  std::string Error;
+  size_t ErrorPos = 0;
+  explicit operator bool() const { return Re != nullptr; }
+};
+
+/// Parses the syntax printed by toString:
+///   union := concat ('+' concat)* ; concat := postfix+ ;
+///   postfix := atom ('*'|'?')* ; atom := '('union')' | '@' | '#' | sym
+/// where sym is any character other than the meta characters
+/// "()+*?@#" and whitespace (which is skipped).
+ParseResult parseRegex(RegexManager &M, std::string_view Text);
+
+} // namespace paresy
+
+#endif // PARESY_REGEX_REGEX_H

@@ -1,0 +1,183 @@
+//===- support/Bits.h - Word-level bitvector primitives -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitives for fixed-width bitvectors stored as contiguous spans of
+/// 64-bit words. Characteristic sequences (Sec. 3 of the paper) are
+/// represented exactly like this: the i-th bit of a span is 1 iff the
+/// i-th word of ic(P u N) belongs to the language. All operations are
+/// free functions over (pointer, word count) so the same code serves
+/// the CPU synthesizer, the GPU-style kernels, and the hash sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_BITS_H
+#define PARESY_SUPPORT_BITS_H
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace paresy {
+
+/// Number of bits per storage word.
+inline constexpr unsigned BitsPerWord = 64;
+
+/// Returns the number of 64-bit words needed to hold \p NumBits bits.
+constexpr size_t wordsForBits(size_t NumBits) {
+  return (NumBits + BitsPerWord - 1) / BitsPerWord;
+}
+
+/// Returns the smallest power of two that is >= \p N (and >= 1).
+/// The paper's "second space-time trade-off" pads every characteristic
+/// sequence to a power-of-two bit length computed with this.
+constexpr uint64_t nextPowerOfTwo(uint64_t N) {
+  return N <= 1 ? 1 : uint64_t(1) << (64 - std::countl_zero(N - 1));
+}
+
+/// Reads bit \p Idx of the bitvector starting at \p Words.
+inline bool testBit(const uint64_t *Words, size_t Idx) {
+  return (Words[Idx / BitsPerWord] >> (Idx % BitsPerWord)) & 1u;
+}
+
+/// Sets bit \p Idx of the bitvector starting at \p Words.
+inline void setBit(uint64_t *Words, size_t Idx) {
+  Words[Idx / BitsPerWord] |= uint64_t(1) << (Idx % BitsPerWord);
+}
+
+/// Clears bit \p Idx of the bitvector starting at \p Words.
+inline void clearBit(uint64_t *Words, size_t Idx) {
+  Words[Idx / BitsPerWord] &= ~(uint64_t(1) << (Idx % BitsPerWord));
+}
+
+/// Zeroes \p NumWords words starting at \p Dst.
+inline void clearWords(uint64_t *Dst, size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = 0;
+}
+
+/// Copies \p NumWords words from \p Src to \p Dst.
+inline void copyWords(uint64_t *Dst, const uint64_t *Src, size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = Src[I];
+}
+
+/// Dst = A | B over \p NumWords words. This implements language union
+/// (semiring addition of characteristic sequences).
+inline void orWords(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                    size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = A[I] | B[I];
+}
+
+/// Dst = A & B over \p NumWords words (language intersection).
+inline void andWords(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                     size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = A[I] & B[I];
+}
+
+/// Dst = A & ~B over \p NumWords words (language difference).
+inline void andNotWords(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                        size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = A[I] & ~B[I];
+}
+
+/// Dst = ~A over \p NumWords words, then masks the tail so that bits at
+/// and above \p NumBits stay zero (language complement relative to the
+/// finite universe).
+inline void notWords(uint64_t *Dst, const uint64_t *A, size_t NumWords,
+                     size_t NumBits) {
+  for (size_t I = 0; I != NumWords; ++I)
+    Dst[I] = ~A[I];
+  if (size_t Rem = NumBits % BitsPerWord)
+    Dst[NumWords - 1] &= (uint64_t(1) << Rem) - 1;
+}
+
+/// Returns true iff the two bitvectors hold identical words.
+inline bool equalWords(const uint64_t *A, const uint64_t *B,
+                       size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+/// Returns true iff all \p NumWords words of \p A are zero.
+inline bool isZeroWords(const uint64_t *A, size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    if (A[I] != 0)
+      return false;
+  return true;
+}
+
+/// Returns true iff A is a superset of B viewed as bit sets,
+/// i.e. (A & B) == B.
+inline bool containsWords(const uint64_t *A, const uint64_t *B,
+                          size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    if ((A[I] & B[I]) != B[I])
+      return false;
+  return true;
+}
+
+/// Returns true iff A and B share no set bit, i.e. (A & B) == 0.
+inline bool disjointWords(const uint64_t *A, const uint64_t *B,
+                          size_t NumWords) {
+  for (size_t I = 0; I != NumWords; ++I)
+    if ((A[I] & B[I]) != 0)
+      return false;
+  return true;
+}
+
+/// Number of set bits across \p NumWords words.
+inline unsigned popcountWords(const uint64_t *A, size_t NumWords) {
+  unsigned Count = 0;
+  for (size_t I = 0; I != NumWords; ++I)
+    Count += unsigned(std::popcount(A[I]));
+  return Count;
+}
+
+/// Number of bits set in A but not in B: |A \ B|.
+inline unsigned popcountAndNot(const uint64_t *A, const uint64_t *B,
+                               size_t NumWords) {
+  unsigned Count = 0;
+  for (size_t I = 0; I != NumWords; ++I)
+    Count += unsigned(std::popcount(A[I] & ~B[I]));
+  return Count;
+}
+
+/// Number of bits set in both A and B: |A n B|.
+inline unsigned popcountAnd(const uint64_t *A, const uint64_t *B,
+                            size_t NumWords) {
+  unsigned Count = 0;
+  for (size_t I = 0; I != NumWords; ++I)
+    Count += unsigned(std::popcount(A[I] & B[I]));
+  return Count;
+}
+
+/// Mixes a 64-bit value (SplitMix64 finalizer). Good avalanche; used as
+/// the per-word step of span hashing and by the hash sets.
+constexpr uint64_t hashMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Hashes \p NumWords words starting at \p Words.
+inline uint64_t hashWords(const uint64_t *Words, size_t NumWords) {
+  uint64_t H = 0x2545f4914f6cdd1dULL;
+  for (size_t I = 0; I != NumWords; ++I)
+    H = hashMix64(H ^ Words[I]);
+  return H;
+}
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_BITS_H

@@ -1,0 +1,47 @@
+//===- support/Compiler.h - Portability and diagnostics helpers ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler helpers shared by every library: an unreachable marker
+/// in the spirit of llvm_unreachable, and a fatal-error reporter for
+/// unrecoverable environment failures in tool code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_COMPILER_H
+#define PARESY_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paresy {
+
+/// Reports a fatal internal error and aborts. Used by the
+/// PARESY_UNREACHABLE macro; call sites should prefer the macro so that
+/// file/line information is captured.
+[[noreturn]] inline void unreachableInternal(const char *Msg,
+                                             const char *File, int Line) {
+  std::fprintf(stderr, "paresy fatal: %s at %s:%d\n",
+               Msg ? Msg : "unreachable executed", File, Line);
+  std::abort();
+}
+
+/// Reports an unrecoverable usage/environment error (bad input file,
+/// exhausted resources) and exits. Library code avoids this; it is for
+/// tools, benches and examples.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "paresy error: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace paresy
+
+/// Marks a point in code that must never be reached if the program
+/// invariants hold.
+#define PARESY_UNREACHABLE(MSG)                                               \
+  ::paresy::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // PARESY_SUPPORT_COMPILER_H

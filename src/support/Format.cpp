@@ -1,0 +1,83 @@
+//===- support/Format.cpp - Text formatting helpers ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace paresy;
+
+std::string paresy::withCommas(uint64_t N) {
+  std::string Digits = std::to_string(N);
+  std::string Out;
+  Out.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0; I != Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Out += ',';
+    Out += Digits[I];
+  }
+  return Out;
+}
+
+std::string paresy::formatSeconds(double Seconds, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Seconds);
+  return Buf;
+}
+
+std::string paresy::formatSpeedup(double Ratio) {
+  char Buf[64];
+  if (Ratio >= 10)
+    std::snprintf(Buf, sizeof(Buf), "%.0fx", Ratio);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.2fx", Ratio);
+  return Buf;
+}
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() <= Header.size() && "row wider than header");
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Width[C])
+        Width[C] = Row[C].size();
+
+  auto AppendRow = [&](std::string &Out,
+                       const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 != Row.size())
+        Out += std::string(Width[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  size_t Total = 0;
+  for (size_t C = 0; C != Width.size(); ++C)
+    Total += Width[C] + (C + 1 != Width.size() ? 2 : 0);
+  Out += std::string(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}

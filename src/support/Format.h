@@ -1,0 +1,54 @@
+//===- support/Format.h - Text formatting helpers --------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers used by the benchmark harnesses to print tables
+/// that mirror the paper's: thousands separators for "# REs" columns,
+/// fixed-precision seconds, and a simple column-aligned table writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_FORMAT_H
+#define PARESY_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paresy {
+
+/// Renders \p N with comma thousands separators, e.g. 26774099142 ->
+/// "26,774,099,142" (the style of Table 1's "# REs" column).
+std::string withCommas(uint64_t N);
+
+/// Renders \p Seconds with \p Precision fractional digits.
+std::string formatSeconds(double Seconds, int Precision = 4);
+
+/// Renders a ratio as the paper prints speedups, e.g. "1026x".
+std::string formatSpeedup(double Ratio);
+
+/// Accumulates rows of strings and prints them column-aligned with a
+/// header row and a separator, matching the plain-text tables in
+/// EXPERIMENTS.md.
+class TextTable {
+public:
+  /// Sets the header row; defines the column count.
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row. Rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_FORMAT_H

@@ -1,0 +1,87 @@
+//===- support/Rng.h - Deterministic random number generation -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (xoshiro256**, seeded via
+/// SplitMix64). The paper's benchmark suite must be "suitably random to
+/// reduce biasing measurements, yet remain fully reproducible" (Sec.
+/// 4.3); std::mt19937 distributions are not guaranteed identical across
+/// standard library implementations, so we ship our own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_RNG_H
+#define PARESY_SUPPORT_RNG_H
+
+#include "support/Bits.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace paresy {
+
+/// xoshiro256** by Blackman & Vigna, seeded with SplitMix64 so that any
+/// 64-bit seed yields a well-mixed state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      Word = hashMix64(X);
+    }
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() needs a positive bound");
+    uint64_t Threshold = (-Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive).
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double unit() {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  static constexpr uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_RNG_H

@@ -1,0 +1,97 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ---------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace paresy;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+unsigned ThreadPool::defaultWorkers() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 1 ? HW - 1 : 0;
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  // Inline execution keeps single-core hosts deterministic and avoids
+  // pointless synchronisation for tiny grids.
+  if (Workers.empty() || Count == 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Body(I);
+    return;
+  }
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(!HasJob && "nested/concurrent parallelFor on one pool");
+  Current.Count = Count;
+  Current.Body = &Body;
+  Current.ChunkSize =
+      std::max<size_t>(1, Count / (8 * (Workers.size() + 1)));
+  Current.NextChunk = 0;
+  Current.NumChunks =
+      (Count + Current.ChunkSize - 1) / Current.ChunkSize;
+  Current.Remaining = Current.NumChunks;
+  ++Current.Generation;
+  HasJob = true;
+  WorkReady.notify_all();
+
+  runChunks(); // The caller participates as one more worker.
+  WorkDone.wait(Lock, [&] { return !HasJob; });
+}
+
+void ThreadPool::runChunks() {
+  // Precondition: Mutex is held by the calling frame (unique_lock in
+  // parallelFor, or the worker's wait loop). We re-acquire around each
+  // chunk claim and completion.
+  while (HasJob && Current.NextChunk < Current.NumChunks) {
+    size_t ChunkIdx = Current.NextChunk++;
+    size_t Begin = ChunkIdx * Current.ChunkSize;
+    size_t End = std::min(Begin + Current.ChunkSize, Current.Count);
+    const std::function<void(size_t)> *Body = Current.Body;
+    Mutex.unlock();
+    for (size_t I = Begin; I != End; ++I)
+      (*Body)(I);
+    Mutex.lock();
+    if (--Current.Remaining == 0) {
+      HasJob = false;
+      WorkDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerMain() {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [&] {
+      return Stopping || (HasJob && Current.Generation != SeenGeneration);
+    });
+    if (Stopping)
+      return;
+    SeenGeneration = Current.Generation;
+    runChunks();
+  }
+}

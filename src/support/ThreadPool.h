@@ -1,0 +1,80 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool with a parallel-for primitive. The
+/// GPU simulator (src/gpusim) executes kernel grids on top of this; it
+/// deliberately exposes only bulk-synchronous operations because that
+/// is the only execution shape CUDA kernels have.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_THREADPOOL_H
+#define PARESY_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paresy {
+
+/// Fixed set of worker threads executing bulk-parallel index ranges.
+///
+/// parallelFor(N, F) runs F(I) for every I in [0, N), distributing
+/// chunks over the workers, and returns only when all iterations have
+/// completed (a synchronous "kernel launch"). With zero workers (or on
+/// single-core hosts) the loop runs inline on the caller, which keeps
+/// the execution fully deterministic and cheap.
+class ThreadPool {
+public:
+  /// Creates \p NumWorkers worker threads. 0 means "run inline".
+  explicit ThreadPool(unsigned NumWorkers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (0 = inline execution).
+  unsigned workerCount() const { return unsigned(Workers.size()); }
+
+  /// Runs Body(I) for all I in [0, Count), blocking until done. Bodies
+  /// must not themselves call parallelFor on the same pool.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+  /// Default worker count for this host: hardware_concurrency() - 1
+  /// workers (the caller participates), at least 0.
+  static unsigned defaultWorkers();
+
+private:
+  void workerMain();
+  /// Runs chunks of the current job until it is exhausted.
+  void runChunks();
+
+  struct Job {
+    size_t Count = 0;
+    const std::function<void(size_t)> *Body = nullptr;
+    size_t NextChunk = 0;
+    size_t NumChunks = 0;
+    size_t ChunkSize = 1;
+    size_t Remaining = 0;
+    uint64_t Generation = 0;
+  };
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  Job Current;
+  bool HasJob = false;
+  bool Stopping = false;
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_THREADPOOL_H

@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing ---------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the synthesizers (timeout
+/// handling) and the benchmark harnesses (reported seconds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_TIMER_H
+#define PARESY_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace paresy {
+
+/// Measures elapsed wall-clock time from construction or the last
+/// reset().
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_TIMER_H

@@ -1,0 +1,158 @@
+//===- tests/baseline_test.cpp - AlphaRegex baseline tests --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AlphaRegex.h"
+
+#include "core/Synthesizer.h"
+#include "regex/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+using namespace paresy::baseline;
+
+namespace {
+
+void expectPrecise(const AlphaRegexResult &R, const Spec &S) {
+  ASSERT_TRUE(R.found()) << statusName(R.Status);
+  RegexManager M;
+  ParseResult P = parseRegex(M, R.Regex);
+  ASSERT_TRUE(P) << R.Regex << ": " << P.Error;
+  EXPECT_TRUE(satisfiesExamples(M, P.Re, S.Pos, S.Neg)) << R.Regex;
+}
+
+} // namespace
+
+TEST(AlphaRegex, SolvesSingleLiteral) {
+  AlphaRegexOptions Opts;
+  Spec S({"1"}, {"0", "11", "10"});
+  AlphaRegexResult R = alphaRegexSynthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  EXPECT_EQ(R.Regex, "1");
+  EXPECT_GT(R.Checked, 0u);
+}
+
+TEST(AlphaRegex, SolvesBeginWithZero) {
+  AlphaRegexOptions Opts;
+  Spec S({"0", "00", "01", "010", "0110"}, {"1", "10", "11", "101"});
+  AlphaRegexResult R = alphaRegexSynthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+}
+
+TEST(AlphaRegex, AgreesWithParesyOnMinimalCost) {
+  // Where both are exact, the top-down and bottom-up searches must
+  // agree on the minimum (the baseline's pruning is language-
+  // preserving in this reimplementation).
+  AlphaRegexOptions AOpts;
+  SynthOptions POpts;
+  for (const Spec &S :
+       {Spec({"1"}, {"0", "11"}), Spec({"0", "00"}, {"1", "01"}),
+        Spec({"10", "100"}, {"0", "1", "01"}),
+        Spec({"11", "011", "110"}, {"0", "1", "10"})}) {
+    AlphaRegexResult A = alphaRegexSynthesize(S, Alphabet::of("01"), AOpts);
+    SynthResult P = synthesize(S, Alphabet::of("01"), POpts);
+    ASSERT_TRUE(A.found());
+    ASSERT_TRUE(P.found());
+    EXPECT_EQ(A.Cost, P.Cost) << "alpha: " << A.Regex
+                              << ", paresy: " << P.Regex;
+  }
+}
+
+TEST(AlphaRegex, PruningReducesWork) {
+  Spec S({"10", "100", "1000"}, {"0", "1", "01", "001"});
+  AlphaRegexOptions WithPruning, WithoutPruning;
+  WithoutPruning.EnablePruning = false;
+  AlphaRegexResult A =
+      alphaRegexSynthesize(S, Alphabet::of("01"), WithPruning);
+  AlphaRegexResult B =
+      alphaRegexSynthesize(S, Alphabet::of("01"), WithoutPruning);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_LT(A.Expanded, B.Expanded);
+  EXPECT_GT(A.Pruned, 0u);
+}
+
+TEST(AlphaRegex, WildcardHeuristicFindsSolutions) {
+  // The wild card makes (0+1) available at literal cost, so searches
+  // that need Sigma often get cheaper (the paper's no9 note). Use the
+  // AlphaRegex-comparable cost function and a tractable instance:
+  // top-down search on hard instances legitimately takes minutes
+  // (Table 2 shows 50-231 s rows), which is bench territory, not
+  // unit-test territory.
+  Spec S({"0", "00", "01", "010", "0110"}, {"1", "10", "11", "101"});
+  AlphaRegexOptions Plain, Wild;
+  Plain.Cost = CostFn(20, 20, 20, 5, 30);
+  Wild.Cost = Plain.Cost;
+  Wild.UseWildcard = true;
+  AlphaRegexResult A = alphaRegexSynthesize(S, Alphabet::of("01"), Plain);
+  AlphaRegexResult B = alphaRegexSynthesize(S, Alphabet::of("01"), Wild);
+  expectPrecise(A, S);
+  expectPrecise(B, S);
+  EXPECT_LE(B.Checked, A.Checked);
+}
+
+TEST(AlphaRegex, WildcardResultsCanBeNonMinimal) {
+  // With the wild card, the reported answer expands X to (0+1), whose
+  // true cost can exceed the minimum - the minimality loss the paper
+  // documents for AlphaRegex (Table 2 bold entries). On the
+  // begin-with-0 instance the wildcard answer 0X* costs 115 while
+  // (01*)* costs 85.
+  SynthOptions POpts;
+  AlphaRegexOptions Wild;
+  Wild.Cost = CostFn(20, 20, 20, 5, 30);
+  POpts.Cost = Wild.Cost;
+  Wild.UseWildcard = true;
+  Spec S({"0", "00", "01", "010", "0110"}, {"1", "10", "11", "101"});
+  AlphaRegexResult A = alphaRegexSynthesize(S, Alphabet::of("01"), Wild);
+  SynthResult P = synthesize(S, Alphabet::of("01"), POpts);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(P.found());
+  EXPECT_GT(A.Cost, P.Cost) << "alpha: " << A.Regex
+                            << ", paresy: " << P.Regex;
+}
+
+TEST(AlphaRegex, StatusesForBadInput) {
+  AlphaRegexOptions Opts;
+  EXPECT_EQ(
+      alphaRegexSynthesize(Spec({"0"}, {"0"}), Alphabet::of("01"), Opts)
+          .Status,
+      SynthStatus::InvalidInput);
+  Opts.Cost = CostFn(0, 1, 1, 1, 1);
+  EXPECT_EQ(
+      alphaRegexSynthesize(Spec({"0"}, {"1"}), Alphabet::of("01"), Opts)
+          .Status,
+      SynthStatus::InvalidInput);
+}
+
+TEST(AlphaRegex, StateBudgetAborts) {
+  AlphaRegexOptions Opts;
+  Opts.MaxStates = 5;
+  Spec S({"1010", "0101"}, {"", "0", "1", "11"});
+  AlphaRegexResult R = alphaRegexSynthesize(S, Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::OutOfMemory);
+  EXPECT_LE(R.Expanded, 5u);
+}
+
+TEST(AlphaRegex, TimeoutAborts) {
+  AlphaRegexOptions Opts;
+  Opts.TimeoutSeconds = 1e-9;
+  Spec S({"1010", "0101", "1100"}, {"", "0", "1", "11", "000111"});
+  AlphaRegexResult R = alphaRegexSynthesize(S, Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::Timeout);
+}
+
+TEST(AlphaRegex, QuestionExtensionWorks) {
+  AlphaRegexOptions Opts;
+  Opts.EnableQuestion = true;
+  // {eps would be needed}: AlphaRegex can't handle eps examples, but
+  // 0? emerges for {0, eps-free} specs like accepting 0 and 00
+  // optionally... use a spec where ? shortens the answer: {ab, b}.
+  Spec S({"01", "1"}, {"0", "", "11", "00"});
+  AlphaRegexResult R = alphaRegexSynthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  EXPECT_LE(R.Cost, 4u); // 0?1: two literals + concat + question.
+}

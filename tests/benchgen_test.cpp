@@ -1,0 +1,239 @@
+//===- tests/benchgen_test.cpp - Benchmark generator and suite tests ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/AlphaSuite.h"
+#include "benchgen/Generators.h"
+
+#include "lang/Universe.h"
+#include "regex/Matcher.h"
+#include "regex/Regex.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace paresy;
+using namespace paresy::benchgen;
+
+//===----------------------------------------------------------------------===//
+// countStringsUpTo
+//===----------------------------------------------------------------------===//
+
+TEST(Generators, CountStrings) {
+  EXPECT_EQ(countStringsUpTo(2, 0), 1u);
+  EXPECT_EQ(countStringsUpTo(2, 3), 1u + 2 + 4 + 8);
+  EXPECT_EQ(countStringsUpTo(3, 2), 1u + 3 + 9);
+  EXPECT_EQ(countStringsUpTo(1, 5), 6u);
+  EXPECT_EQ(countStringsUpTo(0, 9), 1u);
+  EXPECT_EQ(countStringsUpTo(2, 63), UINT64_MAX); // Saturates.
+}
+
+//===----------------------------------------------------------------------===//
+// Generator properties (both types)
+//===----------------------------------------------------------------------===//
+
+struct GenCase {
+  BenchType Type;
+  uint64_t Seed;
+};
+
+class GeneratorProperties : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperties, SatisfiesDeclaredConstraints) {
+  GenParams Params;
+  Params.MaxLen = 5;
+  Params.NumPos = 8;
+  Params.NumNeg = 7;
+  Params.Seed = GetParam().Seed;
+  GeneratedBenchmark B;
+  std::string Error;
+  ASSERT_TRUE(generate(GetParam().Type, Params, B, &Error)) << Error;
+
+  EXPECT_EQ(B.Examples.Pos.size(), 8u);
+  EXPECT_EQ(B.Examples.Neg.size(), 7u);
+  // Disjoint, duplicate-free, within the length bound and alphabet.
+  EXPECT_TRUE(B.Examples.validate(Params.Sigma, &Error)) << Error;
+  for (const std::string &W : B.Examples.Pos)
+    EXPECT_LE(W.size(), 5u);
+  for (const std::string &W : B.Examples.Neg)
+    EXPECT_LE(W.size(), 5u);
+}
+
+TEST_P(GeneratorProperties, DeterministicInSeed) {
+  GenParams Params;
+  Params.Seed = GetParam().Seed;
+  GeneratedBenchmark A, B;
+  std::string Error;
+  ASSERT_TRUE(generate(GetParam().Type, Params, A, &Error));
+  ASSERT_TRUE(generate(GetParam().Type, Params, B, &Error));
+  EXPECT_EQ(A.Examples.Pos, B.Examples.Pos);
+  EXPECT_EQ(A.Examples.Neg, B.Examples.Neg);
+  EXPECT_EQ(A.Name, B.Name);
+
+  GenParams Other = Params;
+  Other.Seed = Params.Seed + 1;
+  GeneratedBenchmark C;
+  ASSERT_TRUE(generate(GetParam().Type, Other, C, &Error));
+  EXPECT_TRUE(A.Examples.Pos != C.Examples.Pos ||
+              A.Examples.Neg != C.Examples.Neg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperties,
+    ::testing::Values(GenCase{BenchType::Type1, 1},
+                      GenCase{BenchType::Type1, 2},
+                      GenCase{BenchType::Type1, 3},
+                      GenCase{BenchType::Type2, 1},
+                      GenCase{BenchType::Type2, 2},
+                      GenCase{BenchType::Type2, 3}));
+
+TEST(Generators, NamesEncodeParameters) {
+  GenParams Params;
+  Params.MaxLen = 7;
+  Params.NumPos = 10;
+  Params.NumNeg = 12;
+  Params.Seed = 99;
+  GeneratedBenchmark B;
+  std::string Error;
+  ASSERT_TRUE(generate(BenchType::Type1, Params, B, &Error));
+  EXPECT_EQ(B.Name, "T1-le7-p10-n12-s99");
+}
+
+TEST(Generators, InfeasibleParametersRejected) {
+  GenParams Params;
+  Params.MaxLen = 1; // Only {eps, 0, 1}: 3 strings.
+  Params.NumPos = 3;
+  Params.NumNeg = 3;
+  GeneratedBenchmark B;
+  std::string Error;
+  EXPECT_FALSE(generate(BenchType::Type1, Params, B, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(generate(BenchType::Type2, Params, B, &Error));
+}
+
+TEST(Generators, ExhaustiveParametersStillWork) {
+  // Exactly all strings of length <= 2: 7 strings split 4/3.
+  GenParams Params;
+  Params.MaxLen = 2;
+  Params.NumPos = 4;
+  Params.NumNeg = 3;
+  GeneratedBenchmark B;
+  std::string Error;
+  ASSERT_TRUE(generate(BenchType::Type1, Params, B, &Error)) << Error;
+  std::set<std::string> All(B.Examples.Pos.begin(), B.Examples.Pos.end());
+  All.insert(B.Examples.Neg.begin(), B.Examples.Neg.end());
+  EXPECT_EQ(All.size(), 7u);
+  ASSERT_TRUE(generate(BenchType::Type2, Params, B, &Error)) << Error;
+}
+
+TEST(Generators, Type2FavoursShortStrings) {
+  // Over many seeds, Type 2 must produce epsilon much more often than
+  // Type 1 (the paper's motivation for Type 2, Sec. 4.3).
+  GenParams Params;
+  Params.MaxLen = 6;
+  Params.NumPos = 6;
+  Params.NumNeg = 6;
+  int Type1Eps = 0, Type2Eps = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    Params.Seed = Seed;
+    GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(generate(BenchType::Type1, Params, B, &Error));
+    for (const auto &Side : {B.Examples.Pos, B.Examples.Neg})
+      for (const std::string &W : Side)
+        if (W.empty())
+          ++Type1Eps;
+    ASSERT_TRUE(generate(BenchType::Type2, Params, B, &Error));
+    for (const auto &Side : {B.Examples.Pos, B.Examples.Neg})
+      for (const std::string &W : Side)
+        if (W.empty())
+          ++Type2Eps;
+  }
+  EXPECT_GT(Type2Eps, Type1Eps);
+  EXPECT_GT(Type2Eps, 20); // Epsilon in most Type 2 instances.
+}
+
+TEST(Generators, Type1FavoursLongStrings) {
+  // Long strings dominate Sigma^{<=le}, so Type 1 averages close to
+  // the maximum length.
+  GenParams Params;
+  Params.MaxLen = 6;
+  Params.NumPos = 6;
+  Params.NumNeg = 6;
+  size_t TotalLen = 0, Count = 0;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Params.Seed = Seed;
+    GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(generate(BenchType::Type1, Params, B, &Error));
+    for (const auto &Side : {B.Examples.Pos, B.Examples.Neg})
+      for (const std::string &W : Side) {
+        TotalLen += W.size();
+        ++Count;
+      }
+  }
+  EXPECT_GT(double(TotalLen) / double(Count), 4.5);
+}
+
+//===----------------------------------------------------------------------===//
+// The 25-instance classroom suite
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaSuite, HasTwentyFiveNamedInstances) {
+  const auto &Suite = alphaRegexSuite();
+  ASSERT_EQ(Suite.size(), 25u);
+  EXPECT_STREQ(Suite.front().Name, "no1");
+  EXPECT_STREQ(Suite.back().Name, "no25");
+  std::set<std::string> Names;
+  for (const SuiteInstance &Inst : Suite)
+    Names.insert(Inst.Name);
+  EXPECT_EQ(Names.size(), 25u);
+}
+
+class AlphaSuiteInstances : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaSuiteInstances, ExamplesAreValid) {
+  const SuiteInstance &Inst = alphaRegexSuite()[size_t(GetParam())];
+  std::string Error;
+  EXPECT_TRUE(Inst.Examples.validate(Alphabet::of("01"), &Error))
+      << Inst.Name << ": " << Error;
+  EXPECT_GE(Inst.Examples.Pos.size(), 4u) << Inst.Name;
+  EXPECT_GE(Inst.Examples.Neg.size(), 4u) << Inst.Name;
+  // AlphaRegex cannot handle epsilon examples; the suite avoids them.
+  for (const auto &Side : {Inst.Examples.Pos, Inst.Examples.Neg})
+    for (const std::string &W : Side)
+      EXPECT_FALSE(W.empty()) << Inst.Name;
+}
+
+TEST_P(AlphaSuiteInstances, TargetSatisfiesExamples) {
+  const SuiteInstance &Inst = alphaRegexSuite()[size_t(GetParam())];
+  RegexManager M;
+  ParseResult P = parseRegex(M, Inst.Target);
+  ASSERT_TRUE(P) << Inst.Name << ": " << P.Error;
+  // Check with both engines: the target is the documentation of the
+  // intended concept, so it must classify every example correctly.
+  EXPECT_TRUE(satisfiesExamples(M, P.Re, Inst.Examples.Pos,
+                                Inst.Examples.Neg))
+      << Inst.Name << " target " << Inst.Target;
+  NfaMatcher N(P.Re);
+  for (const std::string &W : Inst.Examples.Pos)
+    EXPECT_TRUE(N.matches(W)) << Inst.Name << " on " << W;
+  for (const std::string &W : Inst.Examples.Neg)
+    EXPECT_FALSE(N.matches(W)) << Inst.Name << " on " << W;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AlphaSuiteInstances,
+                         ::testing::Range(0, 25));
+
+TEST(AlphaSuite, No6AndNo9NeedWideCs) {
+  // The Table 2 footnote: no6 needs 128-bit and no9 needs >128-bit
+  // characteristic sequences (the WarpCore limitation regime).
+  const auto &Suite = alphaRegexSuite();
+  Universe U6(Suite[5].Examples);
+  EXPECT_GT(U6.size(), 64u) << "no6";
+  Universe U9(Suite[8].Examples);
+  EXPECT_GT(U9.size(), 64u) << "no9";
+}

@@ -1,0 +1,131 @@
+//===- tests/charseq_property_test.cpp - CS algebra property tests ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property: for *any* regular expression r built compositionally with
+/// the CS algebra over *any* specification's universe, the resulting
+/// bitvector equals the matcher-derived characteristic function of
+/// Lang(r) restricted to ic(P u N) - DESIGN.md invariant 4, here over
+/// randomly generated expressions and specifications (the fixed-case
+/// version lives in lang_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+#include "lang/CharSeq.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "regex/Matcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+
+namespace {
+
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1)
+    return R.chance(0.5) ? M.literal('0') : M.literal('1');
+  switch (R.below(5)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+/// Evaluates \p Re compositionally in the CS algebra.
+std::vector<uint64_t> evalCs(CsAlgebra &A, const Regex *Re) {
+  size_t Words = A.csWords();
+  std::vector<uint64_t> Out(Words, 0);
+  switch (Re->kind()) {
+  case RegexKind::Empty:
+    A.makeEmpty(Out.data());
+    break;
+  case RegexKind::Epsilon:
+    A.makeEpsilon(Out.data());
+    break;
+  case RegexKind::Literal:
+    A.makeLiteral(Out.data(), Re->symbol());
+    break;
+  case RegexKind::Question: {
+    std::vector<uint64_t> In = evalCs(A, Re->lhs());
+    A.question(Out.data(), In.data());
+    break;
+  }
+  case RegexKind::Star: {
+    std::vector<uint64_t> In = evalCs(A, Re->lhs());
+    A.star(Out.data(), In.data());
+    break;
+  }
+  case RegexKind::Concat: {
+    std::vector<uint64_t> L = evalCs(A, Re->lhs());
+    std::vector<uint64_t> R = evalCs(A, Re->rhs());
+    A.concat(Out.data(), L.data(), R.data());
+    break;
+  }
+  case RegexKind::Union: {
+    std::vector<uint64_t> L = evalCs(A, Re->lhs());
+    std::vector<uint64_t> R = evalCs(A, Re->rhs());
+    A.unionOf(Out.data(), L.data(), R.data());
+    break;
+  }
+  }
+  return Out;
+}
+
+} // namespace
+
+class CharSeqProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CharSeqProperty, CompositionMatchesMatcherSemantics) {
+  // Random spec -> universe; random expressions -> CS vs matcher.
+  benchgen::GenParams Params;
+  Params.MaxLen = 5;
+  Params.NumPos = 4;
+  Params.NumNeg = 4;
+  Params.Seed = GetParam();
+  benchgen::GeneratedBenchmark B;
+  std::string Error;
+  ASSERT_TRUE(benchgen::generate(benchgen::BenchType::Type1, Params, B,
+                                 &Error))
+      << Error;
+
+  Universe U(B.Examples);
+  GuideTable GT(U);
+  CsAlgebra Staged(U, &GT);
+  CsAlgebra Unstaged(U, nullptr);
+
+  RegexManager M;
+  Rng R(GetParam() * 7919);
+  DerivativeMatcher D(M);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    const Regex *Re = randomRegex(M, R, 8);
+    std::vector<uint64_t> Cs = evalCs(Staged, Re);
+    std::vector<uint64_t> CsSlow = evalCs(Unstaged, Re);
+    ASSERT_TRUE(equalWords(Cs.data(), CsSlow.data(), U.csWords()))
+        << "staged != unstaged for " << toString(Re);
+    for (size_t I = 0; I != U.size(); ++I)
+      ASSERT_EQ(testBit(Cs.data(), I), D.matches(Re, U.word(I)))
+          << toString(Re) << " on universe word '" << U.word(I) << "'";
+    // Padding bits above the universe stay clear (hash safety).
+    for (size_t I = U.size(); I != U.csBits(); ++I)
+      ASSERT_FALSE(testBit(Cs.data(), I)) << toString(Re);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CharSeqProperty,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,256 @@
+//===- tests/core_test.cpp - LanguageCache and CsHashSet unit tests -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CsHashSet.h"
+#include "core/LanguageCache.h"
+#include "core/Synthesizer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace paresy;
+
+namespace {
+
+Provenance literalProv(char Symbol) {
+  Provenance P;
+  P.Kind = CsOp::Literal;
+  P.Symbol = Symbol;
+  return P;
+}
+
+Provenance binaryProv(CsOp Kind, uint32_t Lhs, uint32_t Rhs) {
+  Provenance P;
+  P.Kind = Kind;
+  P.Lhs = Lhs;
+  P.Rhs = Rhs;
+  return P;
+}
+
+Provenance unaryProv(CsOp Kind, uint32_t Lhs) {
+  Provenance P;
+  P.Kind = Kind;
+  P.Lhs = Lhs;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LanguageCache
+//===----------------------------------------------------------------------===//
+
+TEST(LanguageCache, AppendAndRead) {
+  LanguageCache Cache(2, 8);
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.capacity(), 8u);
+  EXPECT_FALSE(Cache.full());
+  uint64_t Row0[2] = {0xdead, 0xbeef};
+  uint64_t Row1[2] = {1, 2};
+  EXPECT_EQ(Cache.append(Row0, literalProv('0')), 0u);
+  EXPECT_EQ(Cache.append(Row1, literalProv('1')), 1u);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.cs(0)[0], 0xdeadu);
+  EXPECT_EQ(Cache.cs(1)[1], 2u);
+  EXPECT_EQ(Cache.provenance(1).Symbol, '1');
+}
+
+TEST(LanguageCache, FullAfterCapacityAppends) {
+  LanguageCache Cache(1, 3);
+  uint64_t Row[1] = {0};
+  for (int I = 0; I != 3; ++I) {
+    EXPECT_FALSE(Cache.full());
+    Row[0] = uint64_t(I);
+    Cache.append(Row, literalProv('0'));
+  }
+  EXPECT_TRUE(Cache.full());
+}
+
+TEST(LanguageCache, LevelsMapCostToRanges) {
+  LanguageCache Cache(1, 16);
+  uint64_t Row[1] = {7};
+  Cache.append(Row, literalProv('0'));
+  Cache.append(Row, literalProv('1'));
+  Cache.setLevel(1, 0, 2);
+  Cache.append(Row, unaryProv(CsOp::Star, 0));
+  Cache.setLevel(2, 2, 3);
+  EXPECT_EQ(Cache.level(1), (std::pair<uint32_t, uint32_t>(0, 2)));
+  EXPECT_EQ(Cache.level(2), (std::pair<uint32_t, uint32_t>(2, 3)));
+  // Unrecorded levels are empty.
+  EXPECT_EQ(Cache.level(3).first, Cache.level(3).second);
+  EXPECT_EQ(Cache.level(99).first, Cache.level(99).second);
+}
+
+TEST(LanguageCache, ReserveAndWriteRows) {
+  LanguageCache Cache(2, 8);
+  uint64_t Seed[2] = {1, 1};
+  Cache.append(Seed, literalProv('0'));
+  uint32_t Base = Cache.reserveRows(3);
+  EXPECT_EQ(Base, 1u);
+  EXPECT_EQ(Cache.size(), 4u);
+  uint64_t Row[2] = {5, 6};
+  Cache.writeRow(Base + 2, Row, literalProv('x'));
+  EXPECT_EQ(Cache.cs(3)[0], 5u);
+  EXPECT_EQ(Cache.provenance(3).Symbol, 'x');
+  // Reserved-but-unwritten rows are zeroed.
+  EXPECT_EQ(Cache.cs(1)[0], 0u);
+}
+
+TEST(LanguageCache, ReconstructionRebuildsExpressions) {
+  LanguageCache Cache(1, 16);
+  uint64_t Row[1] = {0};
+  Cache.append(Row, literalProv('0'));            // 0: "0"
+  Cache.append(Row, literalProv('1'));            // 1: "1"
+  Cache.append(Row, binaryProv(CsOp::Union, 0, 1)); // 2: 0+1
+  Cache.append(Row, unaryProv(CsOp::Star, 2));      // 3: (0+1)*
+  Cache.append(Row, binaryProv(CsOp::Concat, 1, 0)); // 4: 10
+  Cache.append(Row, binaryProv(CsOp::Concat, 4, 3)); // 5: 10(0+1)*
+  Cache.append(Row, unaryProv(CsOp::Question, 5));   // 6: (10(0+1)*)?
+
+  RegexManager M;
+  EXPECT_EQ(toString(Cache.reconstruct(0, M)), "0");
+  EXPECT_EQ(toString(Cache.reconstruct(2, M)), "0+1");
+  EXPECT_EQ(toString(Cache.reconstruct(3, M)), "(0+1)*");
+  EXPECT_EQ(toString(Cache.reconstruct(5, M)), "10(0+1)*");
+  EXPECT_EQ(toString(Cache.reconstruct(6, M)), "(10(0+1)*)?");
+}
+
+TEST(LanguageCache, ReconstructCandidateWithoutCaching) {
+  // OnTheFly solutions are not cached; their operands are.
+  LanguageCache Cache(1, 4);
+  uint64_t Row[1] = {0};
+  Cache.append(Row, literalProv('a'));
+  Cache.append(Row, literalProv('b'));
+  RegexManager M;
+  const Regex *Re =
+      Cache.reconstructCandidate(binaryProv(CsOp::Concat, 0, 1), M);
+  EXPECT_EQ(toString(Re), "ab");
+}
+
+TEST(LanguageCache, EpsilonAndEmptyProvenance) {
+  LanguageCache Cache(1, 4);
+  uint64_t Row[1] = {0};
+  Provenance Eps;
+  Eps.Kind = CsOp::Epsilon;
+  Provenance Empty;
+  Empty.Kind = CsOp::Empty;
+  Cache.append(Row, Eps);
+  Cache.append(Row, Empty);
+  RegexManager M;
+  EXPECT_EQ(toString(Cache.reconstruct(0, M)), "#");
+  EXPECT_EQ(toString(Cache.reconstruct(1, M)), "@");
+}
+
+TEST(LanguageCache, BytesUsedGrowsLinearly) {
+  LanguageCache Cache(4, 16);
+  uint64_t Row[4] = {0, 0, 0, 0};
+  uint64_t Before = Cache.bytesUsed();
+  Cache.append(Row, literalProv('0'));
+  uint64_t After = Cache.bytesUsed();
+  EXPECT_EQ(After - Before, 4 * sizeof(uint64_t) + sizeof(Provenance));
+}
+
+//===----------------------------------------------------------------------===//
+// CsHashSet
+//===----------------------------------------------------------------------===//
+
+TEST(CsHashSet, ContainsAfterInsert) {
+  LanguageCache Cache(2, 64);
+  CsHashSet Set(Cache);
+  uint64_t A[2] = {1, 2};
+  uint64_t B[2] = {2, 1};
+  EXPECT_FALSE(Set.contains(A));
+  uint32_t Idx = Cache.append(A, literalProv('0'));
+  Set.insert(A, Idx);
+  EXPECT_TRUE(Set.contains(A));
+  EXPECT_FALSE(Set.contains(B));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TEST(CsHashSet, GrowsPastInitialCapacity) {
+  LanguageCache Cache(1, 4096);
+  CsHashSet Set(Cache);
+  Rng R(13);
+  std::set<uint64_t> Keys;
+  std::vector<uint64_t> Inserted;
+  while (Keys.size() < 1000) {
+    uint64_t Key = R.next();
+    if (!Keys.insert(Key).second)
+      continue;
+    uint64_t Row[1] = {Key};
+    ASSERT_FALSE(Set.contains(Row));
+    uint32_t Idx = Cache.append(Row, literalProv('0'));
+    Set.insert(Row, Idx);
+    Inserted.push_back(Key);
+  }
+  EXPECT_EQ(Set.size(), 1000u);
+  for (uint64_t Key : Inserted) {
+    uint64_t Row[1] = {Key};
+    EXPECT_TRUE(Set.contains(Row)) << Key;
+  }
+  uint64_t Absent[1] = {0xfedcba9876543210ULL};
+  if (!Keys.count(Absent[0]))
+    EXPECT_FALSE(Set.contains(Absent));
+}
+
+TEST(CsHashSet, MultiWordKeysCompareEveryWord) {
+  LanguageCache Cache(4, 64);
+  CsHashSet Set(Cache);
+  uint64_t A[4] = {9, 9, 9, 1};
+  uint64_t B[4] = {9, 9, 9, 2};
+  Set.insert(A, Cache.append(A, literalProv('0')));
+  EXPECT_TRUE(Set.contains(A));
+  EXPECT_FALSE(Set.contains(B));
+}
+
+//===----------------------------------------------------------------------===//
+// overfitCostBound and statusName
+//===----------------------------------------------------------------------===//
+
+TEST(OverfitBound, MatchesHandComputedCosts) {
+  CostFn Uniform;
+  // Single word "abc": 3 literals + 2 concats = 5.
+  EXPECT_EQ(overfitCostBound(Spec({"abc"}, {}), Uniform), 5u);
+  // Words "ab", "c": (2+1) + 1 + union = 5.
+  EXPECT_EQ(overfitCostBound(Spec({"ab", "c"}, {}), Uniform), 5u);
+  // Epsilon counts as one literal.
+  EXPECT_EQ(overfitCostBound(Spec({"", "a"}, {}), Uniform), 3u);
+  // Empty P costs one '@'.
+  EXPECT_EQ(overfitCostBound(Spec({}, {"x"}), Uniform), 1u);
+  // Non-uniform: "ab"+"c" under (2,1,1,3,4): (2+2+3) + 2 + 4 = 13.
+  EXPECT_EQ(overfitCostBound(Spec({"ab", "c"}, {}), CostFn(2, 1, 1, 3, 4)),
+            13u);
+}
+
+TEST(StatusName, AllStatusesNamed) {
+  EXPECT_STREQ(statusName(SynthStatus::Found), "Found");
+  EXPECT_STREQ(statusName(SynthStatus::NotFound), "NotFound");
+  EXPECT_STREQ(statusName(SynthStatus::OutOfMemory), "OutOfMemory");
+  EXPECT_STREQ(statusName(SynthStatus::Timeout), "Timeout");
+  EXPECT_STREQ(statusName(SynthStatus::InvalidInput), "InvalidInput");
+}
+
+//===----------------------------------------------------------------------===//
+// Star-free synthesis via the cost function (Sec. 5.1: "We can
+// already search in the star-free fragment, by setting cost(*) high
+// enough").
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, StarFreeFragmentViaDearStar) {
+  Spec S({"0", "00", "000"}, {"", "1", "01", "10"});
+  SynthOptions Free, StarFree;
+  StarFree.Cost = CostFn(1, 1, 100, 1, 1);
+  SynthResult A = synthesize(S, Alphabet::of("01"), Free);
+  SynthResult B = synthesize(S, Alphabet::of("01"), StarFree);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  // Uniform costs choose 00*0-like star forms; the dear star forces
+  // the enumerated union 0+00+000 (or an equivalent star-free form).
+  EXPECT_NE(A.Regex.find('*'), std::string::npos);
+  EXPECT_EQ(B.Regex.find('*'), std::string::npos) << B.Regex;
+}

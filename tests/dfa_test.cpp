@@ -1,0 +1,212 @@
+//===- tests/dfa_test.cpp - DFA substrate tests --------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Dfa.h"
+
+#include "regex/Equivalence.h"
+#include "regex/Matcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace paresy;
+
+namespace {
+
+const std::vector<char> Binary = {'0', '1'};
+
+const Regex *parse(RegexManager &M, const char *Text) {
+  ParseResult R = parseRegex(M, Text);
+  EXPECT_TRUE(R) << Text << ": " << R.Error;
+  return R.Re;
+}
+
+std::vector<std::string> allBinaryStrings(unsigned MaxLen) {
+  std::vector<std::string> Out{""};
+  size_t Begin = 0;
+  for (unsigned Len = 1; Len <= MaxLen; ++Len) {
+    size_t End = Out.size();
+    for (size_t I = Begin; I != End; ++I) {
+      Out.push_back(Out[I] + "0");
+      Out.push_back(Out[I] + "1");
+    }
+    Begin = End;
+  }
+  return Out;
+}
+
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1)
+    return R.chance(0.5) ? M.literal('0') : M.literal('1');
+  switch (R.below(5)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+} // namespace
+
+TEST(Dfa, AcceptsMatchesRegexSemantics) {
+  RegexManager M;
+  for (const char *Pattern :
+       {"10(0+1)*", "(0?1)*1", "0*1?0*", "@", "#", "(01)*", "0+1"}) {
+    const Regex *Re = parse(M, Pattern);
+    Dfa A = Dfa::fromRegex(M, Re, Binary);
+    DerivativeMatcher D(M);
+    for (const std::string &W : allBinaryStrings(6))
+      ASSERT_EQ(A.accepts(W), D.matches(Re, W))
+          << Pattern << " on '" << W << "'";
+  }
+}
+
+TEST(Dfa, RejectsForeignCharacters) {
+  RegexManager M;
+  Dfa A = Dfa::fromRegex(M, parse(M, "(0+1)*"), Binary);
+  EXPECT_TRUE(A.accepts("0101"));
+  EXPECT_FALSE(A.accepts("01x1"));
+}
+
+TEST(Dfa, MinimizeKnownStateCounts) {
+  RegexManager M;
+  // Sigma*: one state.
+  EXPECT_EQ(Dfa::fromRegex(M, parse(M, "(0+1)*"), Binary)
+                .minimize()
+                .stateCount(),
+            1u);
+  // Empty language: one (rejecting) state.
+  EXPECT_EQ(Dfa::fromRegex(M, parse(M, "@"), Binary)
+                .minimize()
+                .stateCount(),
+            1u);
+  // "ends with 01": the canonical 3-state DFA.
+  EXPECT_EQ(Dfa::fromRegex(M, parse(M, "(0+1)*01"), Binary)
+                .minimize()
+                .stateCount(),
+            3u);
+  // "even number of 0s": 2 states.
+  EXPECT_EQ(Dfa::fromRegex(M, parse(M, "1*(01*01*)*"), Binary)
+                .minimize()
+                .stateCount(),
+            2u);
+  // epsilon: accepting start + sink.
+  EXPECT_EQ(Dfa::fromRegex(M, parse(M, "#"), Binary)
+                .minimize()
+                .stateCount(),
+            2u);
+}
+
+TEST(Dfa, MinimizePreservesLanguage) {
+  RegexManager M;
+  Rng R(99);
+  for (int I = 0; I != 60; ++I) {
+    const Regex *Re = randomRegex(M, R, 10);
+    Dfa A = Dfa::fromRegex(M, Re, Binary);
+    Dfa Min = A.minimize();
+    EXPECT_LE(Min.stateCount(), A.stateCount()) << toString(Re);
+    EXPECT_TRUE(Dfa::equivalent(A, Min)) << toString(Re);
+    // Minimising twice is idempotent in size.
+    EXPECT_EQ(Min.minimize().stateCount(), Min.stateCount())
+        << toString(Re);
+  }
+}
+
+TEST(Dfa, EquivalentAgreesWithDerivativeBisimulation) {
+  RegexManager M;
+  Rng R(7);
+  for (int I = 0; I != 40; ++I) {
+    const Regex *A = randomRegex(M, R, 8);
+    const Regex *B = randomRegex(M, R, 8);
+    bool ByDfa = Dfa::equivalent(Dfa::fromRegex(M, A, Binary),
+                                 Dfa::fromRegex(M, B, Binary));
+    bool ByBisim = areEquivalent(M, A, B, Binary);
+    ASSERT_EQ(ByDfa, ByBisim)
+        << toString(A) << " vs " << toString(B);
+  }
+}
+
+TEST(Dfa, CountAcceptedKnownLanguages) {
+  RegexManager M;
+  // Sigma*: 2^n strings of length n.
+  Dfa All = Dfa::fromRegex(M, parse(M, "(0+1)*"), Binary);
+  EXPECT_EQ(All.countAccepted(0), 1u);
+  EXPECT_EQ(All.countAccepted(5), 32u);
+  EXPECT_EQ(All.countAccepted(10), 1024u);
+  // 10(0+1)*: 2^(n-2) strings of length n >= 2.
+  Dfa Intro = Dfa::fromRegex(M, parse(M, "10(0+1)*"), Binary);
+  EXPECT_EQ(Intro.countAccepted(0), 0u);
+  EXPECT_EQ(Intro.countAccepted(1), 0u);
+  EXPECT_EQ(Intro.countAccepted(2), 1u);
+  EXPECT_EQ(Intro.countAccepted(6), 16u);
+  // Even number of 0s of length 4: C(4,0)+C(4,2)+C(4,4) = 8.
+  Dfa Even = Dfa::fromRegex(M, parse(M, "1*(01*01*)*"), Binary);
+  EXPECT_EQ(Even.countAccepted(4), 8u);
+  // Empty language: always zero.
+  Dfa None = Dfa::fromRegex(M, parse(M, "@"), Binary);
+  EXPECT_EQ(None.countAccepted(3), 0u);
+}
+
+TEST(Dfa, CountAgreesWithEnumeration) {
+  RegexManager M;
+  Rng R(31);
+  for (int I = 0; I != 25; ++I) {
+    const Regex *Re = randomRegex(M, R, 8);
+    Dfa A = Dfa::fromRegex(M, Re, Binary);
+    DerivativeMatcher D(M);
+    for (unsigned Len = 0; Len <= 5; ++Len) {
+      uint64_t Count = 0;
+      for (const std::string &W : allBinaryStrings(5))
+        if (W.size() == Len && D.matches(Re, W))
+          ++Count;
+      ASSERT_EQ(A.countAccepted(Len), Count)
+          << toString(Re) << " at length " << Len;
+    }
+  }
+}
+
+TEST(Dfa, SampleAcceptedProducesMembers) {
+  RegexManager M;
+  const Regex *Re = parse(M, "10(0+1)*");
+  Dfa A = Dfa::fromRegex(M, Re, Binary);
+  DerivativeMatcher D(M);
+  Rng R(5);
+  std::string W;
+  for (int I = 0; I != 100; ++I) {
+    ASSERT_TRUE(A.sampleAccepted(6, R, W));
+    EXPECT_EQ(W.size(), 6u);
+    EXPECT_TRUE(D.matches(Re, W)) << W;
+  }
+  // No member of the required length -> false.
+  EXPECT_FALSE(A.sampleAccepted(1, R, W));
+}
+
+TEST(Dfa, SampleIsRoughlyUniform) {
+  RegexManager M;
+  // Language 10(0+1)* has 4 members of length 4; a uniform sampler
+  // must hit all of them over 400 draws.
+  Dfa A = Dfa::fromRegex(M, parse(M, "10(0+1)*"), Binary);
+  Rng R(17);
+  std::string W;
+  std::set<std::string> Seen;
+  for (int I = 0; I != 400; ++I) {
+    ASSERT_TRUE(A.sampleAccepted(4, R, W));
+    Seen.insert(W);
+  }
+  EXPECT_EQ(Seen.size(), 4u);
+}

@@ -1,0 +1,218 @@
+//===- tests/equivalence_test.cpp - Language equivalence checker tests --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Equivalence.h"
+
+#include "regex/Matcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+
+namespace {
+
+const std::vector<char> Binary = {'0', '1'};
+
+const Regex *parse(RegexManager &M, const char *Text) {
+  ParseResult R = parseRegex(M, Text);
+  EXPECT_TRUE(R) << Text << ": " << R.Error;
+  return R.Re;
+}
+
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1) {
+    switch (R.below(4)) {
+    case 0:
+      return M.literal('0');
+    case 1:
+      return M.literal('1');
+    case 2:
+      return M.epsilon();
+    default:
+      return M.empty();
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Known equivalences and inequivalences
+//===----------------------------------------------------------------------===//
+
+struct EquivCase {
+  const char *A;
+  const char *B;
+  bool Equivalent;
+};
+
+class EquivalenceCases : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(EquivalenceCases, DecidesCorrectly) {
+  const EquivCase &Case = GetParam();
+  RegexManager M;
+  EquivalenceResult R =
+      checkEquivalent(M, parse(M, Case.A), parse(M, Case.B), Binary);
+  EXPECT_EQ(R.Equivalent, Case.Equivalent)
+      << Case.A << " vs " << Case.B << " witness '" << R.Witness << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axioms, EquivalenceCases,
+    ::testing::Values(
+        // The paper's Def 2.8 examples: r+r == r, r** == r*.
+        EquivCase{"0+0", "0", true},
+        EquivCase{"0**", "0*", true},
+        // r? == # + r.
+        EquivCase{"0?", "#+0", true},
+        // Observational equivalence example from Sec. 5.1:
+        // r* == # + r*r.
+        EquivCase{"1*", "#+1*1", true},
+        // Associativity/commutativity/distribution.
+        EquivCase{"(0+1)+1", "0+(1+1)", true},
+        EquivCase{"0+1", "1+0", true},
+        EquivCase{"0(1+1*)", "01+01*", true},
+        // Kleene algebra: (a+b)* == (a*b*)*.
+        EquivCase{"(0+1)*", "(0*1*)*", true},
+        // Zero/one laws.
+        EquivCase{"@0", "@", true},
+        EquivCase{"#0", "0", true},
+        EquivCase{"@*", "#", true},
+        EquivCase{"@?", "#", true},
+        // Inequivalences.
+        EquivCase{"0", "1", false},
+        EquivCase{"0*", "0?", false},
+        EquivCase{"01", "10", false},
+        EquivCase{"(01)*", "0*1*", false},
+        EquivCase{"0+1", "0", false},
+        EquivCase{"#", "@", false}));
+
+TEST(Equivalence, WitnessIsShortestDisagreement) {
+  RegexManager M;
+  // 0* vs 0?: first disagreement at "00".
+  EquivalenceResult R =
+      checkEquivalent(M, parse(M, "0*"), parse(M, "0?"), Binary);
+  ASSERT_FALSE(R.Equivalent);
+  EXPECT_EQ(R.Witness, "00");
+
+  // The intro's overfitting example: the enumerated union differs
+  // from 10(0+1)* first on a longer string.
+  EquivalenceResult Overfit = checkEquivalent(
+      M, parse(M, "10+101+100+1010+1011+1000+1001"),
+      parse(M, "10(0+1)*"), Binary);
+  ASSERT_FALSE(Overfit.Equivalent);
+  EXPECT_EQ(Overfit.Witness.size(), 5u);
+  EXPECT_EQ(Overfit.Witness.substr(0, 2), "10");
+}
+
+TEST(Equivalence, WitnessDisagreesUnderTheMatchers) {
+  RegexManager M;
+  const Regex *A = parse(M, "(01)*");
+  const Regex *B = parse(M, "0*1*");
+  EquivalenceResult R = checkEquivalent(M, A, B, Binary);
+  ASSERT_FALSE(R.Equivalent);
+  DerivativeMatcher D(M);
+  EXPECT_NE(D.matches(A, R.Witness), D.matches(B, R.Witness));
+}
+
+TEST(Equivalence, PaperFootnoteNo25) {
+  // Footnote 1: 0+((1+00)(0+1))* meets AlphaRegex's no25 examples but
+  // accepts 1111, i.e. it is NOT equivalent to a "at most one pair of
+  // consecutive 1s" expression.
+  RegexManager M;
+  const Regex *Synthesized = parse(M, "0+((1+00)(0+1))*");
+  DerivativeMatcher D(M);
+  EXPECT_TRUE(D.matches(Synthesized, "1111"));
+  EquivalenceResult R = checkEquivalent(
+      M, Synthesized, parse(M, "(0+10)*(11?)?(0+01)*"), Binary);
+  EXPECT_FALSE(R.Equivalent);
+}
+
+//===----------------------------------------------------------------------===//
+// Properties over random expressions
+//===----------------------------------------------------------------------===//
+
+class EquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceProperty, AlgebraicIdentitiesHold) {
+  RegexManager M;
+  Rng R(GetParam());
+  for (int I = 0; I != 20; ++I) {
+    const Regex *Re = randomRegex(M, R, 8);
+    SCOPED_TRACE(toString(Re));
+    // r == r + r.
+    EXPECT_TRUE(areEquivalent(M, Re, M.alt(Re, Re), Binary));
+    // r* == (r*)* == (r?)*.
+    const Regex *Star = M.star(Re);
+    EXPECT_TRUE(areEquivalent(M, Star, M.star(Star), Binary));
+    EXPECT_TRUE(areEquivalent(M, Star, M.star(M.question(Re)), Binary));
+    // r? == # + r.
+    EXPECT_TRUE(areEquivalent(M, M.question(Re),
+                              M.alt(M.epsilon(), Re), Binary));
+    // #r == r == r#.
+    EXPECT_TRUE(areEquivalent(M, Re, M.concat(M.epsilon(), Re), Binary));
+    EXPECT_TRUE(areEquivalent(M, Re, M.concat(Re, M.epsilon()), Binary));
+    // @r == @.
+    EXPECT_TRUE(
+        areEquivalent(M, M.empty(), M.concat(M.empty(), Re), Binary));
+  }
+}
+
+TEST_P(EquivalenceProperty, AgreesWithBoundedEnumeration) {
+  // For random pairs, the verdict must match brute-force comparison
+  // on all strings up to length 7 whenever a witness is that short;
+  // and when equivalent, the matchers agree everywhere we can check.
+  RegexManager M;
+  Rng R(GetParam() + 1000);
+  std::vector<std::string> Words{""};
+  for (size_t Begin = 0, Len = 1; Len <= 7; ++Len) {
+    size_t End = Words.size();
+    for (size_t I = Begin; I != End; ++I) {
+      Words.push_back(Words[I] + "0");
+      Words.push_back(Words[I] + "1");
+    }
+    Begin = End;
+  }
+  DerivativeMatcher D(M);
+  for (int I = 0; I != 10; ++I) {
+    const Regex *A = randomRegex(M, R, 7);
+    const Regex *B = randomRegex(M, R, 7);
+    EquivalenceResult Verdict = checkEquivalent(M, A, B, Binary);
+    bool BoundedEqual = true;
+    for (const std::string &W : Words)
+      if (D.matches(A, W) != D.matches(B, W)) {
+        BoundedEqual = false;
+        break;
+      }
+    if (Verdict.Equivalent)
+      EXPECT_TRUE(BoundedEqual)
+          << toString(A) << " vs " << toString(B);
+    else if (Verdict.Witness.size() <= 7)
+      EXPECT_FALSE(BoundedEqual)
+          << toString(A) << " vs " << toString(B) << " witness '"
+          << Verdict.Witness << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty,
+                         ::testing::Range<uint64_t>(1, 9));

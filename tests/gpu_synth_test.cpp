@@ -1,0 +1,183 @@
+//===- tests/gpu_synth_test.cpp - GPU-style synthesizer parity ----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md invariant 3: the GPU-style implementation returns the
+/// same expression, the same cost, and the same candidate counts as
+/// the sequential reference, for every specification, cost function
+/// and worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuSynthesizer.h"
+
+#include "benchgen/Generators.h"
+#include "core/Synthesizer.h"
+#include "regex/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+using namespace paresy::gpusim;
+
+namespace {
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+void expectParity(const Spec &S, const SynthOptions &Opts,
+                  const GpuOptions &Gpu, bool CompareCounts = true) {
+  SynthResult Cpu = synthesize(S, Alphabet::of("01"), Opts);
+  GpuSynthResult GpuR = synthesizeGpu(S, Alphabet::of("01"), Opts, Gpu);
+  ASSERT_EQ(Cpu.Status, GpuR.Result.Status);
+  if (Cpu.found()) {
+    EXPECT_EQ(Cpu.Regex, GpuR.Result.Regex);
+    EXPECT_EQ(Cpu.Cost, GpuR.Result.Cost);
+  }
+  if (CompareCounts) {
+    EXPECT_EQ(Cpu.Stats.CandidatesGenerated,
+              GpuR.Result.Stats.CandidatesGenerated);
+    EXPECT_EQ(Cpu.Stats.UniqueLanguages,
+              GpuR.Result.Stats.UniqueLanguages);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Basic behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(GpuSynthesizer, TrivialCases) {
+  SynthOptions Opts;
+  GpuSynthResult Empty =
+      synthesizeGpu(Spec({}, {"0"}), Alphabet::of("01"), Opts);
+  ASSERT_TRUE(Empty.found());
+  EXPECT_EQ(Empty.Result.Regex, "@");
+  GpuSynthResult Eps =
+      synthesizeGpu(Spec({""}, {"0"}), Alphabet::of("01"), Opts);
+  ASSERT_TRUE(Eps.found());
+  EXPECT_EQ(Eps.Result.Regex, "#");
+}
+
+TEST(GpuSynthesizer, InvalidInputs) {
+  SynthOptions Opts;
+  Opts.Cost = CostFn(0, 1, 1, 1, 1);
+  EXPECT_EQ(synthesizeGpu(introSpec(), Alphabet::of("01"), Opts)
+                .Result.Status,
+            SynthStatus::InvalidInput);
+  SynthOptions Opts2;
+  EXPECT_EQ(synthesizeGpu(Spec({"0"}, {"0"}), Alphabet::of("01"), Opts2)
+                .Result.Status,
+            SynthStatus::InvalidInput);
+}
+
+TEST(GpuSynthesizer, SolvesIntroductionExample) {
+  SynthOptions Opts;
+  GpuSynthResult R = synthesizeGpu(introSpec(), Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Result.Cost, 8u);
+  RegexManager M;
+  ParseResult P = parseRegex(M, R.Result.Regex);
+  ASSERT_TRUE(P);
+  Spec S = introSpec();
+  EXPECT_TRUE(satisfiesExamples(M, P.Re, S.Pos, S.Neg));
+}
+
+TEST(GpuSynthesizer, ReportsDeviceAccounting) {
+  SynthOptions Opts;
+  GpuSynthResult R = synthesizeGpu(introSpec(), Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_GT(R.KernelLaunches, 0u);
+  EXPECT_GT(R.DeviceOps, 0u);
+  // Session overhead alone is 0.2 s (the paper's threshold).
+  EXPECT_GE(R.ModeledGpuSeconds, 0.2);
+  EXPECT_GT(R.HostSeconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// CPU parity
+//===----------------------------------------------------------------------===//
+
+TEST(GpuSynthesizer, ParityOnIntroExample) {
+  expectParity(introSpec(), SynthOptions(), GpuOptions());
+}
+
+TEST(GpuSynthesizer, ParityWithHostWorkers) {
+  GpuOptions Gpu;
+  Gpu.HostWorkers = 4;
+  expectParity(introSpec(), SynthOptions(), Gpu);
+}
+
+TEST(GpuSynthesizer, ParityWithTinyBatches) {
+  // Batch boundaries must not change anything.
+  GpuOptions Gpu;
+  Gpu.BatchTasks = 3;
+  expectParity(introSpec(), SynthOptions(), Gpu);
+}
+
+TEST(GpuSynthesizer, ParityInErrorMode) {
+  SynthOptions Opts;
+  Opts.AllowedError = 0.2;
+  expectParity(introSpec(), Opts, GpuOptions());
+}
+
+TEST(GpuSynthesizer, ParityAcrossCostFunctions) {
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  for (const CostFn &Cost : paperCostFunctions()) {
+    SynthOptions Opts;
+    Opts.Cost = Cost;
+    SCOPED_TRACE(Cost.name());
+    expectParity(S, Opts, GpuOptions());
+  }
+}
+
+class GpuParityRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GpuParityRandom, RandomSpecs) {
+  benchgen::GenParams Params;
+  Params.MaxLen = 4;
+  Params.NumPos = 4;
+  Params.NumNeg = 4;
+  Params.Seed = GetParam();
+  for (benchgen::BenchType Type :
+       {benchgen::BenchType::Type1, benchgen::BenchType::Type2}) {
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(benchgen::generate(Type, Params, B, &Error)) << Error;
+    SCOPED_TRACE(B.Name);
+    GpuOptions Gpu;
+    Gpu.HostWorkers = (GetParam() % 2) ? 2 : 0;
+    expectParity(B.Examples, SynthOptions(), Gpu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuParityRandom,
+                         ::testing::Range<uint64_t>(100, 112));
+
+//===----------------------------------------------------------------------===//
+// Device memory exhaustion
+//===----------------------------------------------------------------------===//
+
+TEST(GpuSynthesizer, SmallDeviceMemoryReportsOutOfMemory) {
+  SynthOptions Opts;
+  Opts.MemoryLimitBytes = 1 << 10; // 1 KiB device budget.
+  GpuSynthResult R = synthesizeGpu(introSpec(), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Result.Status, SynthStatus::OutOfMemory);
+}
+
+TEST(GpuSynthesizer, ModeledTimeGrowsWithWork) {
+  SynthOptions Opts;
+  GpuSynthResult Small = synthesizeGpu(Spec({"1"}, {"", "0"}),
+                                       Alphabet::of("01"), Opts);
+  GpuSynthResult Large = synthesizeGpu(introSpec(), Alphabet::of("01"),
+                                       Opts);
+  ASSERT_TRUE(Small.found());
+  ASSERT_TRUE(Large.found());
+  EXPECT_GT(Large.DeviceOps, Small.DeviceOps);
+  EXPECT_GE(Large.ModeledGpuSeconds, Small.ModeledGpuSeconds);
+}

@@ -1,0 +1,234 @@
+//===- tests/gpusim_test.cpp - Device, scan, hash set, perf model -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+#include "gpusim/PerfModel.h"
+#include "gpusim/Scan.h"
+#include "gpusim/WarpHashSet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace paresy;
+using namespace paresy::gpusim;
+
+//===----------------------------------------------------------------------===//
+// Device + PerfModel
+//===----------------------------------------------------------------------===//
+
+TEST(Device, LaunchRunsEveryTask) {
+  Device D(DeviceSpec{}, /*Workers=*/0);
+  std::vector<int> Hits(1000, 0);
+  uint64_t Ops = D.launch("test", 1000, [&](size_t I) -> uint64_t {
+    Hits[I]++;
+    return 3;
+  });
+  EXPECT_EQ(Ops, 3000u);
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+  EXPECT_EQ(D.perf().launchCount(), 1u);
+  EXPECT_EQ(D.perf().totalOps(), 3000u);
+}
+
+TEST(Device, LaunchWithWorkers) {
+  Device D(DeviceSpec{}, /*Workers=*/3);
+  std::atomic<uint64_t> Sum{0};
+  D.launch("test", 5000, [&](size_t I) -> uint64_t {
+    Sum.fetch_add(I, std::memory_order_relaxed);
+    return 1;
+  });
+  EXPECT_EQ(Sum.load(), 4999ull * 5000ull / 2);
+}
+
+TEST(PerfModel, SessionOverheadReproducesMeasurementThreshold) {
+  // The paper observes ~0.2 s minimum on any Colab GPU task (Sec 4.2).
+  DeviceSpec Spec;
+  PerfModel Model(Spec);
+  EXPECT_NEAR(Model.modeledSeconds(), 0.2, 1e-9);
+}
+
+TEST(PerfModel, ChargesWavesAndLatency) {
+  DeviceSpec Spec;
+  Spec.SessionOverheadSeconds = 0;
+  Spec.LaunchLatencySeconds = 1e-6;
+  Spec.ParallelLanes = 100;
+  Spec.LaneOpsPerSecond = 1e6;
+  PerfModel Model(Spec);
+  // 250 tasks x 1000 ops: 3 waves x (1000 ops / 1e6 ops/s) + launch.
+  Model.recordLaunch(250, 250 * 1000);
+  EXPECT_NEAR(Model.modeledSeconds(), 1e-6 + 3 * 1e-3, 1e-9);
+  EXPECT_EQ(Model.launchCount(), 1u);
+  EXPECT_EQ(Model.totalOps(), 250000u);
+}
+
+TEST(PerfModel, MoreParallelWorkScalesSublinearly) {
+  // Fixed per-task work: doubling tasks within one wave costs nothing.
+  DeviceSpec Spec;
+  Spec.SessionOverheadSeconds = 0;
+  Spec.LaunchLatencySeconds = 0;
+  PerfModel A(Spec), B(Spec);
+  A.recordLaunch(100, 100 * 50);
+  B.recordLaunch(200, 200 * 50);
+  EXPECT_DOUBLE_EQ(A.modeledSeconds(), B.modeledSeconds());
+}
+
+TEST(PerfModel, EmptyLaunchCostsLatencyOnly) {
+  DeviceSpec Spec;
+  Spec.SessionOverheadSeconds = 0;
+  PerfModel Model(Spec);
+  Model.recordLaunch(0, 0);
+  EXPECT_DOUBLE_EQ(Model.modeledSeconds(), Spec.LaunchLatencySeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// exclusiveScan
+//===----------------------------------------------------------------------===//
+
+TEST(Scan, EmptyAndSingleton) {
+  Device D(DeviceSpec{}, 0);
+  EXPECT_EQ(exclusiveScan(D, nullptr, nullptr, 0), 0u);
+  uint32_t In[1] = {7};
+  uint64_t Out[1] = {99};
+  EXPECT_EQ(exclusiveScan(D, In, Out, 1), 7u);
+  EXPECT_EQ(Out[0], 0u);
+}
+
+TEST(Scan, SmallKnownInput) {
+  Device D(DeviceSpec{}, 0);
+  uint32_t In[6] = {1, 0, 2, 0, 3, 1};
+  uint64_t Out[6];
+  EXPECT_EQ(exclusiveScan(D, In, Out, 6), 7u);
+  uint64_t Expected[6] = {0, 1, 1, 3, 3, 6};
+  for (int I = 0; I != 6; ++I)
+    EXPECT_EQ(Out[I], Expected[I]) << I;
+}
+
+TEST(Scan, CrossesBlockBoundaries) {
+  // > 4096 elements exercises the multi-block path.
+  Device D(DeviceSpec{}, 2);
+  size_t N = 10000;
+  std::vector<uint32_t> In(N);
+  Rng R(5);
+  for (uint32_t &V : In)
+    V = uint32_t(R.below(4));
+  std::vector<uint64_t> Out(N);
+  uint64_t Total = exclusiveScan(D, In.data(), Out.data(), N);
+  uint64_t Running = 0;
+  for (size_t I = 0; I != N; ++I) {
+    ASSERT_EQ(Out[I], Running) << I;
+    Running += In[I];
+  }
+  EXPECT_EQ(Total, Running);
+}
+
+TEST(Scan, AllZerosAndAllOnes) {
+  Device D(DeviceSpec{}, 0);
+  std::vector<uint32_t> Zero(5000, 0), One(5000, 1);
+  std::vector<uint64_t> Out(5000);
+  EXPECT_EQ(exclusiveScan(D, Zero.data(), Out.data(), 5000), 0u);
+  EXPECT_EQ(exclusiveScan(D, One.data(), Out.data(), 5000), 5000u);
+  EXPECT_EQ(Out[4999], 4999u);
+}
+
+//===----------------------------------------------------------------------===//
+// WarpHashSet
+//===----------------------------------------------------------------------===//
+
+TEST(WarpHashSet, InsertAndFind) {
+  WarpHashSet Set(2, 64);
+  uint64_t A[2] = {1, 2};
+  uint64_t B[2] = {1, 3};
+  int64_t SlotA = Set.insert(A, 0);
+  ASSERT_GE(SlotA, 0);
+  EXPECT_TRUE(Set.isWinner(size_t(SlotA), 0));
+  EXPECT_EQ(Set.find(A), SlotA);
+  EXPECT_EQ(Set.find(B), -1);
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TEST(WarpHashSet, DuplicateKeysShareSlotMinIdWins) {
+  WarpHashSet Set(1, 64);
+  uint64_t Key[1] = {42};
+  int64_t S1 = Set.insert(Key, 7);
+  int64_t S2 = Set.insert(Key, 3);
+  int64_t S3 = Set.insert(Key, 9);
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(S1, S3);
+  EXPECT_EQ(Set.size(), 1u);
+  EXPECT_TRUE(Set.isWinner(size_t(S1), 3));
+  EXPECT_FALSE(Set.isWinner(size_t(S1), 7));
+  EXPECT_FALSE(Set.isWinner(size_t(S1), 9));
+}
+
+TEST(WarpHashSet, ManyDistinctKeys) {
+  WarpHashSet Set(1, 4096);
+  for (uint32_t I = 0; I != 2000; ++I) {
+    uint64_t Key[1] = {uint64_t(I) * 0x9e3779b97f4a7c15ULL + I};
+    int64_t Slot = Set.insert(Key, I);
+    ASSERT_GE(Slot, 0) << I;
+    EXPECT_TRUE(Set.isWinner(size_t(Slot), I));
+  }
+  EXPECT_EQ(Set.size(), 2000u);
+}
+
+TEST(WarpHashSet, FillsUpAndReportsFull) {
+  WarpHashSet Set(1, 16); // Rounded to 16 slots; full at ~90%.
+  uint32_t Id = 0;
+  bool SawFull = false;
+  for (uint32_t I = 0; I != 64 && !SawFull; ++I) {
+    uint64_t Key[1] = {uint64_t(I) + 1000000007ULL * I};
+    SawFull = Set.insert(Key, Id++) < 0;
+  }
+  EXPECT_TRUE(SawFull);
+  EXPECT_LE(Set.size(), Set.capacity());
+}
+
+TEST(WarpHashSet, ConcurrentInsertsDeterministicWinners) {
+  // Many threads hammer the same small key space; winners must be the
+  // minimum id per key regardless of interleaving.
+  constexpr size_t KeySpace = 37;
+  constexpr size_t Inserts = 8000;
+  WarpHashSet Set(2, 1024);
+  Device D(DeviceSpec{}, 4);
+  std::vector<int64_t> Slots(Inserts);
+  D.launch("hammer", Inserts, [&](size_t I) -> uint64_t {
+    uint64_t Key[2] = {I % KeySpace, (I % KeySpace) * 31};
+    Slots[I] = Set.insert(Key, uint32_t(I));
+    return 1;
+  });
+  EXPECT_EQ(Set.size(), KeySpace);
+  for (size_t I = 0; I != Inserts; ++I) {
+    ASSERT_GE(Slots[I], 0);
+    // Same key -> same slot.
+    EXPECT_EQ(Slots[I], Slots[I % KeySpace]);
+    // Winner is the first (minimum id) inserter: ids 0..KeySpace-1.
+    EXPECT_EQ(Set.isWinner(size_t(Slots[I]), uint32_t(I)),
+              I < KeySpace);
+  }
+}
+
+TEST(WarpHashSet, MultiWordKeysCompareAllWords) {
+  // WarpCore supported only <= 64-bit keys; this set must handle
+  // 256-bit keys (Table 2's no9 regime).
+  WarpHashSet Set(4, 64);
+  uint64_t A[4] = {1, 2, 3, 4};
+  uint64_t B[4] = {1, 2, 3, 5}; // Differs only in the last word.
+  int64_t SlotA = Set.insert(A, 0);
+  int64_t SlotB = Set.insert(B, 1);
+  ASSERT_GE(SlotA, 0);
+  ASSERT_GE(SlotB, 0);
+  EXPECT_NE(SlotA, SlotB);
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+TEST(WarpHashSet, BytesUsedAccounts) {
+  WarpHashSet Set(2, 100); // Rounds to 128 slots.
+  EXPECT_EQ(Set.capacity(), 128u);
+  EXPECT_GE(Set.bytesUsed(), 128 * 2 * sizeof(uint64_t));
+}

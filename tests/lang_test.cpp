@@ -1,0 +1,514 @@
+//===- tests/lang_test.cpp - Alphabet/Spec/Universe/GuideTable/CS tests -------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Alphabet.h"
+#include "lang/CharSeq.h"
+#include "lang/GuideTable.h"
+#include "lang/Spec.h"
+#include "lang/Universe.h"
+#include "regex/Matcher.h"
+#include "regex/Regex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace paresy;
+
+//===----------------------------------------------------------------------===//
+// Alphabet
+//===----------------------------------------------------------------------===//
+
+TEST(Alphabet, SortsAndIndexes) {
+  Alphabet A = Alphabet::of("badc");
+  ASSERT_EQ(A.size(), 4u);
+  EXPECT_EQ(A.symbol(0), 'a');
+  EXPECT_EQ(A.symbol(3), 'd');
+  EXPECT_EQ(A.indexOf('c'), 2);
+  EXPECT_EQ(A.indexOf('z'), -1);
+  EXPECT_TRUE(A.contains('b'));
+  EXPECT_FALSE(A.contains('e'));
+  EXPECT_EQ(A.symbols(), "abcd");
+}
+
+TEST(Alphabet, RejectsMetaCharacters) {
+  for (char Meta : {'(', ')', '+', '*', '?', '@', '#'}) {
+    std::string Error;
+    Alphabet A = Alphabet::create(std::string(1, Meta), &Error);
+    EXPECT_FALSE(Error.empty()) << Meta;
+    EXPECT_TRUE(A.empty());
+  }
+}
+
+TEST(Alphabet, RejectsDuplicatesAndWhitespace) {
+  std::string Error;
+  Alphabet::create("aa", &Error);
+  EXPECT_FALSE(Error.empty());
+  Alphabet::create("a b", &Error);
+  EXPECT_FALSE(Error.empty());
+  Alphabet::create("a\t", &Error);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Alphabet, ContainsAll) {
+  Alphabet A = Alphabet::of("01");
+  EXPECT_TRUE(A.containsAll(""));
+  EXPECT_TRUE(A.containsAll("0110"));
+  EXPECT_FALSE(A.containsAll("012"));
+}
+
+TEST(Alphabet, EmptyAlphabetIsValid) {
+  std::string Error;
+  Alphabet A = Alphabet::create("", &Error);
+  EXPECT_TRUE(Error.empty());
+  EXPECT_TRUE(A.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Spec
+//===----------------------------------------------------------------------===//
+
+TEST(Spec, ValidateAcceptsDisjointExamples) {
+  Spec S({"10", "101"}, {"", "0"});
+  std::string Error;
+  EXPECT_TRUE(S.validate(Alphabet::of("01"), &Error)) << Error;
+}
+
+TEST(Spec, ValidateRejectsOverlapDuplicatesForeign) {
+  Alphabet A = Alphabet::of("01");
+  std::string Error;
+  EXPECT_FALSE(Spec({"10"}, {"10"}).validate(A, &Error));
+  EXPECT_NE(Error.find("both positive and negative"), std::string::npos);
+  EXPECT_FALSE(Spec({"10", "10"}, {}).validate(A, &Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(Spec({"102"}, {}).validate(A, &Error));
+  EXPECT_NE(Error.find("outside the alphabet"), std::string::npos);
+  EXPECT_FALSE(Spec({}, {"abc"}).validate(A, &Error));
+}
+
+TEST(Spec, MaxExampleLength) {
+  EXPECT_EQ(Spec({}, {}).maxExampleLength(), 0u);
+  EXPECT_EQ(Spec({"10"}, {"10101"}).maxExampleLength(), 5u);
+  EXPECT_EQ(Spec({""}, {}).maxExampleLength(), 0u);
+}
+
+TEST(Spec, TextRoundTrip) {
+  Spec S({"10", ""}, {"0", "111"});
+  std::string Text = S.toText();
+  Spec Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseSpecText(Text, Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.Pos, S.Pos);
+  EXPECT_EQ(Parsed.Neg, S.Neg);
+}
+
+TEST(Spec, ParserHandlesCommentsAndBlankLines) {
+  Spec Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseSpecText("# header\n+01\n\n-1\n# tail\n+\n", Parsed,
+                            &Error));
+  EXPECT_EQ(Parsed.Pos, (std::vector<std::string>{"01", ""}));
+  EXPECT_EQ(Parsed.Neg, (std::vector<std::string>{"1"}));
+}
+
+TEST(Spec, ParserRejectsBadPrefix) {
+  Spec Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseSpecText("+0\nx1\n", Parsed, &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(Spec, InferAlphabet) {
+  Alphabet A;
+  std::string Error;
+  ASSERT_TRUE(inferAlphabet(Spec({"ba"}, {"cc"}), A, &Error));
+  EXPECT_EQ(A.symbols(), "abc");
+  ASSERT_TRUE(inferAlphabet(Spec({""}, {}), A, &Error));
+  EXPECT_TRUE(A.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Shortlex and infix closure
+//===----------------------------------------------------------------------===//
+
+TEST(Shortlex, OrdersByLengthThenLex) {
+  EXPECT_TRUE(shortlexLess("", "0"));
+  EXPECT_TRUE(shortlexLess("1", "00"));
+  EXPECT_TRUE(shortlexLess("01", "10"));
+  EXPECT_FALSE(shortlexLess("10", "01"));
+  EXPECT_FALSE(shortlexLess("0", "0"));
+}
+
+TEST(InfixClosure, PaperExample36) {
+  // ic({1, 011, 1011, 11011} u {eps, 10, 101, 0011}) from Example 3.6
+  // has exactly 15 members.
+  std::vector<std::string> Words = infixClosure(
+      {"1", "011", "1011", "11011", "", "10", "101", "0011"});
+  EXPECT_EQ(Words.size(), 15u);
+  std::set<std::string> Set(Words.begin(), Words.end());
+  for (const char *W :
+       {"11011", "1101", "110", "11", "1011", "101", "10", "1", "011",
+        "01", "0011", "001", "00", "0", ""})
+    EXPECT_TRUE(Set.count(W)) << W;
+}
+
+TEST(InfixClosure, HeterogeneityExampleFromSec43) {
+  // ic({aaa, aa}) = {aaa, aa, a, eps}: 4 members;
+  // ic({abc, de}) has 10 members despite equal input lengths.
+  EXPECT_EQ(infixClosure({"aaa", "aa"}).size(), 4u);
+  EXPECT_EQ(infixClosure({"abc", "de"}).size(), 10u);
+}
+
+TEST(InfixClosure, EmptyInput) {
+  EXPECT_TRUE(infixClosure({}).empty());
+  EXPECT_EQ(infixClosure({""}).size(), 1u);
+}
+
+TEST(InfixClosure, IsInfixClosedAndSorted) {
+  Rng R(17);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::vector<std::string> Input;
+    for (int I = 0; I != 5; ++I) {
+      std::string W;
+      for (uint64_t L = R.below(7); L-- > 0;)
+        W += R.chance(0.5) ? '1' : '0';
+      Input.push_back(W);
+    }
+    std::vector<std::string> Closure = infixClosure(Input);
+    std::set<std::string> Set(Closure.begin(), Closure.end());
+    // Sorted in shortlex, no duplicates.
+    for (size_t I = 1; I < Closure.size(); ++I)
+      EXPECT_TRUE(shortlexLess(Closure[I - 1], Closure[I]));
+    // Contains every infix of every member (idempotence).
+    for (const std::string &W : Closure)
+      for (size_t B = 0; B <= W.size(); ++B)
+        for (size_t L = 0; L + B <= W.size(); ++L)
+          EXPECT_TRUE(Set.count(W.substr(B, L)));
+    // Contains the inputs themselves.
+    for (const std::string &W : Input)
+      EXPECT_TRUE(Set.count(W));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Universe
+//===----------------------------------------------------------------------===//
+
+TEST(Universe, GeometryAndIndexing) {
+  Spec S({"1", "011"}, {"", "10"});
+  Universe U(S);
+  // ic = {eps, 0, 1, 01, 10, 11, 011} -> 7 words, padded to 8 bits.
+  EXPECT_EQ(U.size(), 7u);
+  EXPECT_EQ(U.csBits(), 8u);
+  EXPECT_EQ(U.csWords(), 1u);
+  EXPECT_EQ(U.word(0), "");
+  EXPECT_EQ(U.epsilonIndex(), 0u);
+  EXPECT_EQ(U.indexOf("011"), 6);
+  EXPECT_EQ(U.indexOf("absent"), -1);
+}
+
+TEST(Universe, PaddingCanBeDisabled) {
+  Spec S({"1", "011"}, {"", "10"});
+  Universe Padded(S, true), Exact(S, false);
+  EXPECT_EQ(Padded.csBits(), 8u);
+  EXPECT_EQ(Exact.csBits(), 7u);
+  EXPECT_EQ(Exact.csWords(), 1u);
+}
+
+TEST(Universe, MasksMarkExamples) {
+  Spec S({"1", "011"}, {"", "10"});
+  Universe U(S);
+  const uint64_t *Pos = U.posMask().data();
+  const uint64_t *Neg = U.negMask().data();
+  EXPECT_TRUE(testBit(Pos, size_t(U.indexOf("1"))));
+  EXPECT_TRUE(testBit(Pos, size_t(U.indexOf("011"))));
+  EXPECT_EQ(popcountWords(Pos, U.csWords()), 2u);
+  EXPECT_TRUE(testBit(Neg, size_t(U.indexOf(""))));
+  EXPECT_TRUE(testBit(Neg, size_t(U.indexOf("10"))));
+  EXPECT_EQ(popcountWords(Neg, U.csWords()), 2u);
+}
+
+TEST(Universe, MultiWordGeometry) {
+  // A single long example forces > 64 universe words.
+  std::string Long;
+  for (int I = 0; I != 12; ++I)
+    Long += (I % 3 == 0) ? "01" : "10";
+  Spec S({Long}, {"111111111111"});
+  Universe U(S);
+  EXPECT_GT(U.size(), 64u);
+  EXPECT_GE(U.csWords(), 2u);
+  EXPECT_EQ(U.csBits(), nextPowerOfTwo(U.size()));
+}
+
+TEST(Universe, DescribeCs) {
+  Spec S({"1"}, {"0"});
+  Universe U(S);
+  std::vector<uint64_t> Cs(U.csWords(), 0);
+  setBit(Cs.data(), U.epsilonIndex());
+  setBit(Cs.data(), size_t(U.indexOf("1")));
+  EXPECT_EQ(U.describeCs(Cs.data()), "{<eps>, 1}");
+}
+
+//===----------------------------------------------------------------------===//
+// GuideTable
+//===----------------------------------------------------------------------===//
+
+TEST(GuideTable, RowsMatchSplitCounts) {
+  Spec S({"1", "011"}, {"", "10"});
+  Universe U(S);
+  GuideTable GT(U);
+  ASSERT_EQ(GT.rowCount(), U.size());
+  for (size_t W = 0; W != U.size(); ++W)
+    EXPECT_EQ(GT.pairCount(W), U.word(W).size() + 1) << U.word(W);
+}
+
+TEST(GuideTable, PairsAreExactlyTheSplits) {
+  Rng R(23);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    std::vector<std::string> Pos, Neg;
+    for (int I = 0; I != 3; ++I) {
+      std::string W;
+      for (uint64_t L = 1 + R.below(6); L-- > 0;)
+        W += R.chance(0.5) ? '1' : '0';
+      (I % 2 ? Pos : Neg).push_back(W + std::to_string(I % 2));
+    }
+    Spec S(Pos, Neg);
+    Universe U(S);
+    GuideTable GT(U);
+    for (size_t W = 0; W != U.size(); ++W) {
+      const std::string &Word = U.word(W);
+      std::set<std::pair<uint32_t, uint32_t>> Expected;
+      for (size_t Cut = 0; Cut <= Word.size(); ++Cut)
+        Expected.insert(
+            {uint32_t(U.indexOf(Word.substr(0, Cut))),
+             uint32_t(U.indexOf(Word.substr(Cut)))});
+      std::set<std::pair<uint32_t, uint32_t>> Actual;
+      for (const SplitPair *P = GT.pairsBegin(W); P != GT.pairsEnd(W); ++P) {
+        Actual.insert({P->Lhs, P->Rhs});
+        // Soundness: the pair really concatenates to the word.
+        EXPECT_EQ(U.word(P->Lhs) + U.word(P->Rhs), Word);
+      }
+      EXPECT_EQ(Actual, Expected) << Word;
+    }
+  }
+}
+
+TEST(GuideTable, TotalPairsSumsRows) {
+  Spec S({"0101"}, {"11"});
+  Universe U(S);
+  GuideTable GT(U);
+  size_t Sum = 0;
+  for (size_t W = 0; W != U.size(); ++W)
+    Sum += GT.pairCount(W);
+  EXPECT_EQ(GT.totalPairs(), Sum);
+}
+
+//===----------------------------------------------------------------------===//
+// CsAlgebra: operations agree with regex semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reference CS: evaluate Lang(Re) membership of every universe word
+/// with the derivative matcher.
+std::vector<uint64_t> referenceCs(RegexManager &M, const Regex *Re,
+                                  const Universe &U) {
+  std::vector<uint64_t> Cs(U.csWords(), 0);
+  DerivativeMatcher D(M);
+  for (size_t I = 0; I != U.size(); ++I)
+    if (D.matches(Re, U.word(I)))
+      setBit(Cs.data(), I);
+  return Cs;
+}
+
+struct CsFixture {
+  Spec S;
+  Universe U;
+  GuideTable GT;
+  CsAlgebra A;
+  explicit CsFixture(Spec InS)
+      : S(std::move(InS)), U(S), GT(U), A(U, &GT) {}
+};
+
+} // namespace
+
+TEST(CsAlgebra, LiteralEpsilonEmpty) {
+  CsFixture F(Spec({"1", "011"}, {"", "10"}));
+  std::vector<uint64_t> Cs(F.U.csWords());
+  F.A.makeLiteral(Cs.data(), '1');
+  EXPECT_EQ(popcountWords(Cs.data(), Cs.size()), 1u);
+  EXPECT_TRUE(testBit(Cs.data(), size_t(F.U.indexOf("1"))));
+  F.A.makeEpsilon(Cs.data());
+  EXPECT_TRUE(testBit(Cs.data(), 0));
+  EXPECT_EQ(popcountWords(Cs.data(), Cs.size()), 1u);
+  F.A.makeEmpty(Cs.data());
+  EXPECT_TRUE(isZeroWords(Cs.data(), Cs.size()));
+  // A literal absent from the examples denotes the empty set,
+  // relative to the universe.
+  F.A.makeLiteral(Cs.data(), 'z');
+  EXPECT_TRUE(isZeroWords(Cs.data(), Cs.size()));
+}
+
+TEST(CsAlgebra, OperationsMatchRegexSemantics) {
+  // Build CSs compositionally for a set of expressions and compare
+  // with matcher-derived reference CSs - invariant 4 of DESIGN.md.
+  CsFixture F(Spec({"1", "011", "1011", "11011"},
+                   {"", "10", "101", "0011"}));
+  RegexManager M;
+  size_t Words = F.U.csWords();
+
+  auto Check = [&](const char *Pattern) {
+    const Regex *Re = parseRegex(M, Pattern).Re;
+    ASSERT_NE(Re, nullptr) << Pattern;
+    // Compositional evaluation over the CS algebra.
+    std::vector<std::vector<uint64_t>> Stack;
+    auto Eval = [&](const Regex *Node, auto &&Self) -> std::vector<uint64_t> {
+      std::vector<uint64_t> Out(Words, 0);
+      switch (Node->kind()) {
+      case RegexKind::Empty:
+        F.A.makeEmpty(Out.data());
+        break;
+      case RegexKind::Epsilon:
+        F.A.makeEpsilon(Out.data());
+        break;
+      case RegexKind::Literal:
+        F.A.makeLiteral(Out.data(), Node->symbol());
+        break;
+      case RegexKind::Question: {
+        auto In = Self(Node->lhs(), Self);
+        F.A.question(Out.data(), In.data());
+        break;
+      }
+      case RegexKind::Star: {
+        auto In = Self(Node->lhs(), Self);
+        F.A.star(Out.data(), In.data());
+        break;
+      }
+      case RegexKind::Concat: {
+        auto L = Self(Node->lhs(), Self);
+        auto R = Self(Node->rhs(), Self);
+        F.A.concat(Out.data(), L.data(), R.data());
+        break;
+      }
+      case RegexKind::Union: {
+        auto L = Self(Node->lhs(), Self);
+        auto R = Self(Node->rhs(), Self);
+        F.A.unionOf(Out.data(), L.data(), R.data());
+        break;
+      }
+      }
+      return Out;
+    };
+    std::vector<uint64_t> Cs = Eval(Re, Eval);
+    std::vector<uint64_t> Ref = referenceCs(M, Re, F.U);
+    EXPECT_TRUE(equalWords(Cs.data(), Ref.data(), Words))
+        << Pattern << ": got " << F.U.describeCs(Cs.data()) << ", want "
+        << F.U.describeCs(Ref.data());
+  };
+
+  Check("0");
+  Check("1");
+  Check("01");
+  Check("0?");
+  Check("1*");
+  Check("(0?1)*1"); // Example 3.6's expression.
+  Check("10(0+1)*");
+  Check("(01+1)*");
+  Check("0*1?0*");
+  Check("(11)*");
+  Check("1(0+1)*1+0?");
+  Check("((0+1)(0+1))*");
+  Check("@1+1@");
+  Check("#?*");
+}
+
+TEST(CsAlgebra, Example36CharacteristicSequence) {
+  // The paper: CS of (0?1)*1 over Example 3.6's universe is exactly
+  // {11011, 1011, 011, 11, 1}.
+  CsFixture F(Spec({"1", "011", "1011", "11011"},
+                   {"", "10", "101", "0011"}));
+  RegexManager M;
+  const Regex *Re = parseRegex(M, "(0?1)*1").Re;
+  std::vector<uint64_t> Ref = referenceCs(M, Re, F.U);
+  std::set<std::string> Members;
+  for (size_t I = 0; I != F.U.size(); ++I)
+    if (testBit(Ref.data(), I))
+      Members.insert(F.U.word(I));
+  EXPECT_EQ(Members, (std::set<std::string>{"11011", "1011", "011", "11",
+                                            "1"}));
+  // And it satisfies the specification.
+  EXPECT_TRUE(F.A.satisfies(Ref.data()));
+}
+
+TEST(CsAlgebra, SatisfiesAndMistakes) {
+  CsFixture F(Spec({"1", "011"}, {"", "10"}));
+  std::vector<uint64_t> Cs(F.U.csWords(), 0);
+  // Accept both positives: satisfied.
+  setBit(Cs.data(), size_t(F.U.indexOf("1")));
+  setBit(Cs.data(), size_t(F.U.indexOf("011")));
+  EXPECT_TRUE(F.A.satisfies(Cs.data()));
+  EXPECT_EQ(F.A.mistakes(Cs.data()), 0u);
+  // Accept a negative too: one mistake.
+  setBit(Cs.data(), size_t(F.U.indexOf("10")));
+  EXPECT_FALSE(F.A.satisfies(Cs.data()));
+  EXPECT_EQ(F.A.mistakes(Cs.data()), 1u);
+  EXPECT_TRUE(F.A.satisfies(Cs.data(), 1));
+  // Drop a positive: two mistakes.
+  clearBit(Cs.data(), size_t(F.U.indexOf("011")));
+  EXPECT_EQ(F.A.mistakes(Cs.data()), 2u);
+  EXPECT_FALSE(F.A.satisfies(Cs.data(), 1));
+  EXPECT_TRUE(F.A.satisfies(Cs.data(), 2));
+}
+
+TEST(CsAlgebra, BooleanExtensions) {
+  CsFixture F(Spec({"1", "011"}, {"", "10"}));
+  size_t Words = F.U.csWords();
+  std::vector<uint64_t> A(Words), B(Words), Out(Words);
+  F.A.makeLiteral(A.data(), '1');
+  F.A.makeEpsilon(B.data());
+  F.A.complement(Out.data(), A.data());
+  EXPECT_EQ(popcountWords(Out.data(), Words), unsigned(F.U.size() - 1));
+  EXPECT_FALSE(testBit(Out.data(), size_t(F.U.indexOf("1"))));
+  F.A.intersect(Out.data(), A.data(), B.data());
+  EXPECT_TRUE(isZeroWords(Out.data(), Words));
+}
+
+TEST(CsAlgebra, UnstagedConcatMatchesStaged) {
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  Universe U(S);
+  GuideTable GT(U);
+  CsAlgebra Staged(U, &GT);
+  CsAlgebra Unstaged(U, nullptr);
+  size_t Words = U.csWords();
+  std::vector<uint64_t> A(Words), B(Words), OutS(Words), OutU(Words);
+  Staged.makeLiteral(A.data(), '0');
+  Staged.makeLiteral(B.data(), '1');
+  Staged.concat(OutS.data(), A.data(), B.data());
+  Unstaged.concat(OutU.data(), A.data(), B.data());
+  EXPECT_TRUE(equalWords(OutS.data(), OutU.data(), Words));
+  EXPECT_TRUE(testBit(OutS.data(), size_t(U.indexOf("01"))));
+  // Star too.
+  Staged.star(OutS.data(), A.data());
+  Unstaged.star(OutU.data(), A.data());
+  EXPECT_TRUE(equalWords(OutS.data(), OutU.data(), Words));
+}
+
+TEST(CsAlgebra, PairsVisitedAccounting) {
+  Spec S({"01"}, {"0"});
+  Universe U(S);
+  GuideTable GT(U);
+  CsAlgebra A(U, &GT);
+  size_t Words = U.csWords();
+  std::vector<uint64_t> X(Words), Y(Words), Out(Words);
+  A.makeLiteral(X.data(), '0');
+  A.makeLiteral(Y.data(), '1');
+  EXPECT_EQ(A.pairsVisited(), 0u);
+  A.concat(Out.data(), X.data(), Y.data());
+  EXPECT_EQ(A.pairsVisited(), GT.totalPairs());
+  A.resetPairsVisited();
+  EXPECT_EQ(A.pairsVisited(), 0u);
+}

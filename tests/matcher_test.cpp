@@ -1,0 +1,217 @@
+//===- tests/matcher_test.cpp - Contains-check engine tests -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The derivative and NFA matchers are independent implementations of
+/// the same semantics; the core of this file is the cross-check
+/// property over random expressions and exhaustive short strings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "regex/Matcher.h"
+
+#include "regex/Enumerator.h"
+#include "regex/Regex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+
+namespace {
+
+const Regex *parse(RegexManager &M, const char *Text) {
+  ParseResult R = parseRegex(M, Text);
+  EXPECT_TRUE(R) << Text << ": " << R.Error;
+  return R.Re;
+}
+
+/// All strings over {0,1} of length <= MaxLen, shortlex order.
+std::vector<std::string> allBinaryStrings(unsigned MaxLen) {
+  std::vector<std::string> Out{""};
+  size_t Begin = 0;
+  for (unsigned Len = 1; Len <= MaxLen; ++Len) {
+    size_t End = Out.size();
+    for (size_t I = Begin; I != End; ++I) {
+      Out.push_back(Out[I] + "0");
+      Out.push_back(Out[I] + "1");
+    }
+    Begin = End;
+  }
+  return Out;
+}
+
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1) {
+    switch (R.below(4)) {
+    case 0:
+      return M.literal('0');
+    case 1:
+      return M.literal('1');
+    case 2:
+      return M.epsilon();
+    default:
+      return M.empty();
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hand-written language checks (both engines)
+//===----------------------------------------------------------------------===//
+
+struct LanguageCase {
+  const char *Pattern;
+  std::vector<const char *> Accept;
+  std::vector<const char *> Reject;
+};
+
+class MatcherLanguages : public ::testing::TestWithParam<LanguageCase> {};
+
+TEST_P(MatcherLanguages, DerivativeEngine) {
+  const LanguageCase &Case = GetParam();
+  RegexManager M;
+  const Regex *Re = parse(M, Case.Pattern);
+  DerivativeMatcher D(M);
+  for (const char *W : Case.Accept)
+    EXPECT_TRUE(D.matches(Re, W)) << Case.Pattern << " on " << W;
+  for (const char *W : Case.Reject)
+    EXPECT_FALSE(D.matches(Re, W)) << Case.Pattern << " on " << W;
+}
+
+TEST_P(MatcherLanguages, NfaEngine) {
+  const LanguageCase &Case = GetParam();
+  RegexManager M;
+  const Regex *Re = parse(M, Case.Pattern);
+  NfaMatcher N(Re);
+  for (const char *W : Case.Accept)
+    EXPECT_TRUE(N.matches(W)) << Case.Pattern << " on " << W;
+  for (const char *W : Case.Reject)
+    EXPECT_FALSE(N.matches(W)) << Case.Pattern << " on " << W;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Core, MatcherLanguages,
+    ::testing::Values(
+        LanguageCase{"@", {}, {"", "0", "1", "01"}},
+        LanguageCase{"#", {""}, {"0", "1", "00"}},
+        LanguageCase{"0", {"0"}, {"", "1", "00", "01"}},
+        LanguageCase{"10(0+1)*",
+                     {"10", "101", "100", "1010", "1011", "1000", "1001"},
+                     {"", "0", "1", "00", "11", "010"}},
+        LanguageCase{"(0?1)*1",
+                     {"1", "11", "011", "1011", "11011", "0111"},
+                     {"", "10", "101", "0011", "0", "01"}},
+        LanguageCase{"0*", {"", "0", "00", "000"}, {"1", "01", "10"}},
+        LanguageCase{"0?", {"", "0"}, {"00", "1"}},
+        LanguageCase{"(0+1)(0+1)",
+                     {"00", "01", "10", "11"},
+                     {"", "0", "000", "0101"}},
+        LanguageCase{"0*1?0*",
+                     {"", "0", "1", "010", "00100", "0001"},
+                     {"11", "101", "110", "1001"}},
+        LanguageCase{"(01)**", {"", "01", "0101"}, {"0", "10", "011"}},
+        LanguageCase{"#*", {""}, {"0", "1"}},
+        LanguageCase{"@*", {""}, {"0"}},
+        LanguageCase{"@?", {""}, {"0"}},
+        LanguageCase{"(0+10)*(11?)?(0+01)*",
+                     {"0", "1", "11", "011", "110", "0110", "10101"},
+                     {"111", "1111", "11011", "110110", "011011"}}));
+
+//===----------------------------------------------------------------------===//
+// Derivative-specific behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(DerivativeMatcher, DeriveLiteral) {
+  RegexManager M;
+  DerivativeMatcher D(M);
+  EXPECT_EQ(D.derive(M.literal('0'), '0'), M.epsilon());
+  EXPECT_EQ(D.derive(M.literal('0'), '1'), M.empty());
+  EXPECT_EQ(D.derive(M.empty(), '0'), M.empty());
+  EXPECT_EQ(D.derive(M.epsilon(), '0'), M.empty());
+}
+
+TEST(DerivativeMatcher, DeriveStarUnrollsOnce) {
+  RegexManager M;
+  DerivativeMatcher D(M);
+  const Regex *Star = M.star(M.literal('0'));
+  // d0(0*) = 0* (after eps.r simplification).
+  EXPECT_EQ(D.derive(Star, '0'), Star);
+  EXPECT_EQ(D.derive(Star, '1'), M.empty());
+}
+
+TEST(DerivativeMatcher, UnionSimplificationKeepsTermsSmall) {
+  RegexManager M;
+  DerivativeMatcher D(M);
+  const Regex *Re = parse(M, "(0+1)*(0+1)*(0+1)*");
+  // Long input; without simplification the derivative terms explode.
+  std::string W(200, '0');
+  EXPECT_TRUE(D.matches(Re, W));
+  EXPECT_LT(M.size(), 200u);
+}
+
+TEST(NfaMatcher, StateCountIsLinear) {
+  RegexManager M;
+  const Regex *Re = parse(M, "10(0+1)*");
+  NfaMatcher N(Re);
+  // Thompson construction: at most ~2 states per node + accept.
+  EXPECT_LE(N.stateCount(), 2 * Re->nodeCount() + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-check property: both engines agree everywhere
+//===----------------------------------------------------------------------===//
+
+class MatcherCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherCrossCheck, EnginesAgreeOnRandomExpressions) {
+  RegexManager M;
+  Rng R(GetParam());
+  std::vector<std::string> Words = allBinaryStrings(6);
+  for (int I = 0; I != 40; ++I) {
+    const Regex *Re = randomRegex(M, R, 10);
+    DerivativeMatcher D(M);
+    NfaMatcher N(Re);
+    for (const std::string &W : Words)
+      ASSERT_EQ(D.matches(Re, W), N.matches(W))
+          << toString(Re) << " on '" << W << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+//===----------------------------------------------------------------------===//
+// satisfiesExamples
+//===----------------------------------------------------------------------===//
+
+TEST(SatisfiesExamples, AcceptsAllPositivesRejectsAllNegatives) {
+  RegexManager M;
+  const Regex *Re = parse(M, "10(0+1)*");
+  EXPECT_TRUE(satisfiesExamples(
+      M, Re, {"10", "101", "100", "1010", "1011", "1000", "1001"},
+      {"", "0", "1", "00", "11", "010"}));
+  EXPECT_FALSE(satisfiesExamples(M, Re, {"10", "0"}, {}));
+  EXPECT_FALSE(satisfiesExamples(M, Re, {"10"}, {"100"}));
+  EXPECT_TRUE(satisfiesExamples(M, Re, {}, {}));
+}

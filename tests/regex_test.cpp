@@ -1,0 +1,268 @@
+//===- tests/regex_test.cpp - AST, printer, parser, cost tests ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Cost.h"
+#include "regex/Regex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+
+namespace {
+
+/// Builds a random regex over {0,1} with roughly \p Budget nodes.
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1) {
+    switch (R.below(4)) {
+    case 0:
+      return M.literal('0');
+    case 1:
+      return M.literal('1');
+    case 2:
+      return M.epsilon();
+    default:
+      return M.empty();
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hash-consing and node structure
+//===----------------------------------------------------------------------===//
+
+TEST(RegexManager, HashConsingGivesPointerEquality) {
+  RegexManager M;
+  const Regex *A = M.concat(M.literal('0'), M.star(M.literal('1')));
+  const Regex *B = M.concat(M.literal('0'), M.star(M.literal('1')));
+  EXPECT_EQ(A, B);
+  const Regex *C = M.concat(M.star(M.literal('1')), M.literal('0'));
+  EXPECT_NE(A, C);
+}
+
+TEST(RegexManager, DistinctShapesAreDistinct) {
+  RegexManager M;
+  EXPECT_NE(M.empty(), M.epsilon());
+  EXPECT_NE(M.literal('0'), M.literal('1'));
+  EXPECT_NE(M.star(M.literal('0')), M.question(M.literal('0')));
+  EXPECT_NE(M.alt(M.literal('0'), M.literal('1')),
+            M.concat(M.literal('0'), M.literal('1')));
+}
+
+TEST(RegexManager, SizeCountsUniqueNodes) {
+  RegexManager M; // Starts with @ and #.
+  size_t Initial = M.size();
+  M.literal('0');
+  M.literal('0'); // Duplicate: no growth.
+  EXPECT_EQ(M.size(), Initial + 1);
+}
+
+TEST(Regex, NodeCount) {
+  RegexManager M;
+  const Regex *Re =
+      M.alt(M.concat(M.literal('1'), M.literal('0')),
+            M.star(M.literal('1'))); // 10 + 1*
+  EXPECT_EQ(Re->nodeCount(), 6u);
+  EXPECT_EQ(M.empty()->nodeCount(), 1u);
+}
+
+TEST(Regex, NullabilityPrecomputed) {
+  RegexManager M;
+  EXPECT_FALSE(M.empty()->nullable());
+  EXPECT_TRUE(M.epsilon()->nullable());
+  EXPECT_FALSE(M.literal('0')->nullable());
+  EXPECT_TRUE(M.star(M.literal('0'))->nullable());
+  EXPECT_TRUE(M.question(M.literal('0'))->nullable());
+  EXPECT_FALSE(
+      M.concat(M.literal('0'), M.star(M.literal('1')))->nullable());
+  EXPECT_TRUE(
+      M.concat(M.question(M.literal('0')), M.star(M.literal('1')))
+          ->nullable());
+  EXPECT_TRUE(M.alt(M.literal('0'), M.epsilon())->nullable());
+  EXPECT_FALSE(M.alt(M.literal('0'), M.literal('1'))->nullable());
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST(RegexPrinter, AtomsAndUnary) {
+  RegexManager M;
+  EXPECT_EQ(toString(M.empty()), "@");
+  EXPECT_EQ(toString(M.epsilon()), "#");
+  EXPECT_EQ(toString(M.literal('a')), "a");
+  EXPECT_EQ(toString(M.star(M.literal('a'))), "a*");
+  EXPECT_EQ(toString(M.question(M.literal('a'))), "a?");
+}
+
+TEST(RegexPrinter, MinimalParentheses) {
+  RegexManager M;
+  const Regex *Zero = M.literal('0');
+  const Regex *One = M.literal('1');
+  // 10(0+1)* - the paper's introductory example.
+  const Regex *Intro =
+      M.concat(M.concat(One, Zero), M.star(M.alt(Zero, One)));
+  EXPECT_EQ(toString(Intro), "10(0+1)*");
+  // Union binds loosest: no parens at top level.
+  EXPECT_EQ(toString(M.alt(M.concat(Zero, One), One)), "01+1");
+  // Concat child of star needs parens; star child of concat does not.
+  EXPECT_EQ(toString(M.star(M.concat(Zero, One))), "(01)*");
+  EXPECT_EQ(toString(M.concat(M.star(Zero), One)), "0*1");
+  // Stacked postfix operators need no parens.
+  EXPECT_EQ(toString(M.question(M.star(Zero))), "0*?");
+  EXPECT_EQ(toString(M.star(M.star(Zero))), "0**");
+}
+
+TEST(RegexPrinter, Example36FromThePaper) {
+  RegexManager M;
+  // (0?1)*1
+  const Regex *Re = M.concat(
+      M.star(M.concat(M.question(M.literal('0')), M.literal('1'))),
+      M.literal('1'));
+  EXPECT_EQ(toString(Re), "(0?1)*1");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(RegexParser, ParsesAtoms) {
+  RegexManager M;
+  EXPECT_EQ(parseRegex(M, "@").Re, M.empty());
+  EXPECT_EQ(parseRegex(M, "#").Re, M.epsilon());
+  EXPECT_EQ(parseRegex(M, "a").Re, M.literal('a'));
+}
+
+TEST(RegexParser, PrecedenceMatchesPrinter) {
+  RegexManager M;
+  const Regex *Zero = M.literal('0');
+  const Regex *One = M.literal('1');
+  EXPECT_EQ(parseRegex(M, "10+1*").Re,
+            M.alt(M.concat(One, Zero), M.star(One)));
+  EXPECT_EQ(parseRegex(M, "(10)+1").Re, M.alt(M.concat(One, Zero), One));
+  EXPECT_EQ(parseRegex(M, "1(0+1)").Re, M.concat(One, M.alt(Zero, One)));
+  EXPECT_EQ(parseRegex(M, "01*").Re, M.concat(Zero, M.star(One)));
+  EXPECT_EQ(parseRegex(M, "(01)*").Re, M.star(M.concat(Zero, One)));
+}
+
+TEST(RegexParser, ConcatIsLeftAssociativeUnionToo) {
+  RegexManager M;
+  const Regex *A = M.literal('a');
+  const Regex *B = M.literal('b');
+  const Regex *C = M.literal('c');
+  EXPECT_EQ(parseRegex(M, "abc").Re, M.concat(M.concat(A, B), C));
+  EXPECT_EQ(parseRegex(M, "a+b+c").Re, M.alt(M.alt(A, B), C));
+}
+
+TEST(RegexParser, SkipsWhitespace) {
+  RegexManager M;
+  EXPECT_EQ(parseRegex(M, " 1 0 ( 0 + 1 ) * ").Re,
+            parseRegex(M, "10(0+1)*").Re);
+}
+
+TEST(RegexParser, RejectsMalformedInput) {
+  RegexManager M;
+  for (const char *Bad :
+       {"", "(", ")", "(0", "0)", "+0", "*", "?", "0++1", "()"}) {
+    ParseResult R = parseRegex(M, Bad);
+    EXPECT_FALSE(R) << "input: " << Bad;
+    EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+TEST(RegexParser, RoundTripsRandomExpressions) {
+  RegexManager M;
+  Rng R(2023);
+  for (int I = 0; I != 500; ++I) {
+    const Regex *Re = randomRegex(M, R, 12);
+    ParseResult Parsed = parseRegex(M, toString(Re));
+    ASSERT_TRUE(Parsed) << toString(Re) << ": " << Parsed.Error;
+    // Hash-consing makes round-trip equality a pointer comparison.
+    EXPECT_EQ(Parsed.Re, Re) << toString(Re);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cost homomorphisms
+//===----------------------------------------------------------------------===//
+
+TEST(Cost, UniformCostCountsConstructors) {
+  RegexManager M;
+  CostFn Uniform;
+  // 10(0+1)*: 4 literals, 2 concats, 1 union, 1 star = 8.
+  const Regex *Intro = parseRegex(M, "10(0+1)*").Re;
+  ASSERT_NE(Intro, nullptr);
+  EXPECT_EQ(Uniform.of(Intro), 8u);
+  EXPECT_EQ(Uniform.of(M.empty()), 1u);
+  EXPECT_EQ(Uniform.of(M.epsilon()), 1u);
+}
+
+TEST(Cost, TupleConventionMatchesPaper) {
+  // "in (5, 2, 7, 2, 19), the cost of the Kleene-star is 7".
+  CostFn C(5, 2, 7, 2, 19);
+  EXPECT_EQ(C.Star, 7u);
+  EXPECT_EQ(C.Literal, 5u);
+  EXPECT_EQ(C.Question, 2u);
+  EXPECT_EQ(C.Concat, 2u);
+  EXPECT_EQ(C.Union, 19u);
+  RegexManager M;
+  EXPECT_EQ(C.of(parseRegex(M, "0*").Re), 12u);
+  EXPECT_EQ(C.of(parseRegex(M, "0?").Re), 7u);
+  EXPECT_EQ(C.of(parseRegex(M, "01").Re), 12u);
+  EXPECT_EQ(C.of(parseRegex(M, "0+1").Re), 29u);
+}
+
+TEST(Cost, QuestionMayDifferFromEpsilonPlus) {
+  // Def 3.2 allows cost(r?) != cost(#) + cost(r) + cost(+).
+  CostFn C(1, 10, 1, 1, 1);
+  RegexManager M;
+  EXPECT_EQ(C.of(parseRegex(M, "0?").Re), 11u);
+  EXPECT_EQ(C.of(parseRegex(M, "#+0").Re), 3u);
+}
+
+TEST(Cost, ValidityRequiresPositiveConstants) {
+  EXPECT_TRUE(CostFn(1, 1, 1, 1, 1).isValid());
+  EXPECT_FALSE(CostFn(0, 1, 1, 1, 1).isValid());
+  EXPECT_FALSE(CostFn(1, 1, 0, 1, 1).isValid());
+}
+
+TEST(Cost, MinConstructorCost) {
+  EXPECT_EQ(CostFn(1, 1, 1, 1, 1).minConstructorCost(), 1u);
+  EXPECT_EQ(CostFn(1, 10, 10, 10, 10).minConstructorCost(), 10u);
+  EXPECT_EQ(CostFn(20, 20, 20, 5, 30).minConstructorCost(), 5u);
+}
+
+TEST(Cost, PaperCostFunctionList) {
+  const auto &Fns = paperCostFunctions();
+  ASSERT_EQ(Fns.size(), 12u);
+  EXPECT_EQ(Fns[0].name(), "(1, 1, 1, 1, 1)");
+  EXPECT_EQ(Fns[3].name(), "(1, 1, 10, 1, 1)"); // Expensive star.
+  EXPECT_EQ(Fns[11].name(), "(20, 20, 20, 5, 30)");
+  for (const CostFn &C : Fns)
+    EXPECT_TRUE(C.isValid()) << C.name();
+}
+
+TEST(Cost, NameFormat) {
+  EXPECT_EQ(CostFn(5, 2, 7, 2, 19).name(), "(5, 2, 7, 2, 19)");
+}

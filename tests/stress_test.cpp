@@ -1,0 +1,119 @@
+//===- tests/stress_test.cpp - Cross-engine randomized stress ------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Deterministic fuzz loop over the whole stack: draw a random target
+/// expression, sample positive examples from its language and negative
+/// examples from its complement (via the DFA counting sampler), then
+/// require of the synthesizer that it (1) finds a solution, (2) the
+/// solution is precise, and (3) costs no more than the generating
+/// target - a minimality upper bound that holds for *every* run, not
+/// just the small instances the exhaustive oracle can afford.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Synthesizer.h"
+#include "gpusim/GpuSynthesizer.h"
+#include "regex/Dfa.h"
+#include "regex/Matcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace paresy;
+
+namespace {
+
+const std::vector<char> Binary = {'0', '1'};
+
+const Regex *randomRegex(RegexManager &M, Rng &R, int Budget) {
+  if (Budget <= 1)
+    return R.chance(0.5) ? M.literal('0') : M.literal('1');
+  switch (R.below(5)) {
+  case 0:
+    return M.question(randomRegex(M, R, Budget - 1));
+  case 1:
+    return M.star(randomRegex(M, R, Budget - 1));
+  case 2: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.concat(randomRegex(M, R, Left),
+                    randomRegex(M, R, Budget - Left));
+  }
+  default: {
+    int Left = 1 + int(R.below(uint64_t(Budget - 1)));
+    return M.alt(randomRegex(M, R, Left),
+                 randomRegex(M, R, Budget - Left));
+  }
+  }
+}
+
+/// Draws up to \p Want distinct strings of length <= MaxLen from A's
+/// language, using the per-length counting sampler.
+std::vector<std::string> sampleLanguage(const Dfa &A, unsigned MaxLen,
+                                        unsigned Want, Rng &R) {
+  std::set<std::string> Out;
+  unsigned Attempts = 0;
+  while (Out.size() < Want && Attempts < Want * 20) {
+    ++Attempts;
+    unsigned Len = unsigned(R.below(MaxLen + 1));
+    std::string W;
+    if (A.countAccepted(Len) > 0 && A.sampleAccepted(Len, R, W))
+      Out.insert(W);
+  }
+  return std::vector<std::string>(Out.begin(), Out.end());
+}
+
+} // namespace
+
+class SynthesisStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthesisStress, SolutionsAreSoundAndBoundedByTheTarget) {
+  RegexManager M;
+  Rng R(GetParam() * 6364136223846793005ULL + 1);
+  for (int Round = 0; Round != 4; ++Round) {
+    const Regex *Target = randomRegex(M, R, 7);
+    Dfa A = Dfa::fromRegex(M, Target, Binary);
+    Dfa NotA = A.complement();
+
+    std::vector<std::string> Pos = sampleLanguage(A, 5, 4, R);
+    std::vector<std::string> Neg = sampleLanguage(NotA, 5, 4, R);
+    if (Pos.empty() || Neg.empty())
+      continue; // Trivial or total language; nothing to force.
+
+    Spec S(Pos, Neg);
+    SCOPED_TRACE("target " + toString(Target));
+
+    SynthOptions Opts;
+    Opts.TimeoutSeconds = 30;
+    SynthResult Result = synthesize(S, Alphabet::of("01"), Opts);
+    if (Result.Status == SynthStatus::Timeout)
+      continue;
+    ASSERT_TRUE(Result.found()) << statusName(Result.Status);
+
+    // (2) precision, via the independent matcher.
+    ParseResult Parsed = parseRegex(M, Result.Regex);
+    ASSERT_TRUE(Parsed) << Result.Regex;
+    EXPECT_TRUE(satisfiesExamples(M, Parsed.Re, Pos, Neg))
+        << Result.Regex;
+
+    // (3) minimality upper bound: the target satisfies the spec by
+    // construction, so the minimum can never exceed its cost.
+    EXPECT_LE(Result.Cost, Opts.Cost.of(Target))
+        << "result " << Result.Regex << " beats no target";
+
+    // And the GPU-style engine agrees bit for bit.
+    gpusim::GpuSynthResult Gpu =
+        gpusim::synthesizeGpu(S, Alphabet::of("01"), Opts);
+    ASSERT_TRUE(Gpu.found());
+    EXPECT_EQ(Gpu.Result.Regex, Result.Regex);
+    EXPECT_EQ(Gpu.Result.Stats.CandidatesGenerated,
+              Result.Stats.CandidatesGenerated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisStress,
+                         ::testing::Range<uint64_t>(1, 11));

@@ -1,0 +1,262 @@
+//===- tests/support_test.cpp - support library unit tests -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bits.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+using namespace paresy;
+
+//===----------------------------------------------------------------------===//
+// Bits
+//===----------------------------------------------------------------------===//
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(wordsForBits(0), 0u);
+  EXPECT_EQ(wordsForBits(1), 1u);
+  EXPECT_EQ(wordsForBits(64), 1u);
+  EXPECT_EQ(wordsForBits(65), 2u);
+  EXPECT_EQ(wordsForBits(128), 2u);
+  EXPECT_EQ(wordsForBits(129), 3u);
+}
+
+TEST(Bits, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(0), 1u);
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(4), 4u);
+  EXPECT_EQ(nextPowerOfTwo(5), 8u);
+  EXPECT_EQ(nextPowerOfTwo(64), 64u);
+  EXPECT_EQ(nextPowerOfTwo(65), 128u);
+  EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Bits, SetTestClear) {
+  uint64_t Words[3] = {0, 0, 0};
+  for (size_t I : {0u, 1u, 63u, 64u, 100u, 191u}) {
+    EXPECT_FALSE(testBit(Words, I));
+    setBit(Words, I);
+    EXPECT_TRUE(testBit(Words, I));
+  }
+  clearBit(Words, 64);
+  EXPECT_FALSE(testBit(Words, 64));
+  EXPECT_TRUE(testBit(Words, 63));
+  EXPECT_TRUE(testBit(Words, 100));
+}
+
+TEST(Bits, BooleanOps) {
+  uint64_t A[2] = {0b1100, 0b1010};
+  uint64_t B[2] = {0b1010, 0b0110};
+  uint64_t Out[2];
+  orWords(Out, A, B, 2);
+  EXPECT_EQ(Out[0], 0b1110u);
+  EXPECT_EQ(Out[1], 0b1110u);
+  andWords(Out, A, B, 2);
+  EXPECT_EQ(Out[0], 0b1000u);
+  EXPECT_EQ(Out[1], 0b0010u);
+  andNotWords(Out, A, B, 2);
+  EXPECT_EQ(Out[0], 0b0100u);
+  EXPECT_EQ(Out[1], 0b1000u);
+}
+
+TEST(Bits, NotWordsMasksTail) {
+  uint64_t A[2] = {0, 0};
+  uint64_t Out[2];
+  // 70 bits valid: complement must leave bits >= 70 clear.
+  notWords(Out, A, 2, 70);
+  EXPECT_EQ(Out[0], ~uint64_t(0));
+  EXPECT_EQ(Out[1], (uint64_t(1) << 6) - 1);
+}
+
+TEST(Bits, ContainmentAndDisjointness) {
+  uint64_t A[1] = {0b11110};
+  uint64_t Sub[1] = {0b00110};
+  uint64_t Dis[1] = {0b00001};
+  uint64_t Zero[1] = {0};
+  EXPECT_TRUE(containsWords(A, Sub, 1));
+  EXPECT_FALSE(containsWords(Sub, A, 1));
+  EXPECT_TRUE(disjointWords(A, Dis, 1));
+  EXPECT_FALSE(disjointWords(A, Sub, 1));
+  EXPECT_TRUE(isZeroWords(Zero, 1));
+  EXPECT_FALSE(isZeroWords(A, 1));
+}
+
+TEST(Bits, Popcounts) {
+  uint64_t A[2] = {0b1011, 0b0110};
+  uint64_t B[2] = {0b0011, 0b1100};
+  EXPECT_EQ(popcountWords(A, 2), 5u);
+  EXPECT_EQ(popcountAnd(A, B, 2), 3u);
+  EXPECT_EQ(popcountAndNot(A, B, 2), 2u);
+}
+
+TEST(Bits, EqualWords) {
+  uint64_t A[2] = {7, 9};
+  uint64_t B[2] = {7, 9};
+  uint64_t C[2] = {7, 8};
+  EXPECT_TRUE(equalWords(A, B, 2));
+  EXPECT_FALSE(equalWords(A, C, 2));
+  EXPECT_TRUE(equalWords(A, C, 1));
+}
+
+TEST(Bits, HashWordsDistinguishes) {
+  uint64_t A[2] = {1, 0};
+  uint64_t B[2] = {0, 1};
+  uint64_t C[2] = {1, 0};
+  EXPECT_NE(hashWords(A, 2), hashWords(B, 2));
+  EXPECT_EQ(hashWords(A, 2), hashWords(C, 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    if (X != C.next())
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 400; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 200; ++I) {
+    uint64_t V = R.range(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng R(9);
+  double Sum = 0;
+  for (int I = 0; I != 1000; ++I) {
+    double V = R.unit();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+    Sum += V;
+  }
+  // Mean of 1000 uniforms should be near 0.5.
+  EXPECT_NEAR(Sum / 1000.0, 0.5, 0.06);
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(26774099142ull), "26,774,099,142");
+  EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(formatSeconds(4.9512), "4.9512");
+  EXPECT_EQ(formatSeconds(1.0, 2), "1.00");
+}
+
+TEST(Format, Speedup) {
+  EXPECT_EQ(formatSpeedup(1026.4), "1026x");
+  EXPECT_EQ(formatSpeedup(2.0), "2.00x");
+}
+
+TEST(Format, TextTableAligns) {
+  TextTable T({"A", "Name"});
+  T.addRow({"1", "x"});
+  T.addRow({"22", "yy"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("A   Name"), std::string::npos);
+  EXPECT_NE(Out.find("22  yy"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, InlineExecutionCoversAllIndices) {
+  ThreadPool Pool(0);
+  std::vector<int> Hits(100, 0);
+  Pool.parallelFor(100, [&](size_t I) { Hits[I]++; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPool, WorkersCoverAllIndicesOnce) {
+  ThreadPool Pool(3);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers) {
+  ThreadPool Pool(2);
+  std::atomic<uint64_t> Sum{0};
+  for (int Round = 0; Round != 20; ++Round)
+    Pool.parallelFor(1000, [&](size_t I) {
+      Sum.fetch_add(I, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Sum.load(), 20ull * (999ull * 1000ull / 2));
+}
+
+TEST(ThreadPool, ZeroAndOneSizedGrids) {
+  ThreadPool Pool(2);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}

@@ -1,0 +1,526 @@
+//===- tests/synthesizer_test.cpp - Paresy CPU search tests -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Core invariants (DESIGN.md Sec. 5): every Found result is precise
+/// (verified by the independent derivative matcher) and minimal
+/// (verified against the naive enumerator oracle), across cost
+/// functions, random specifications and option ablations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Synthesizer.h"
+
+#include "benchgen/Generators.h"
+#include "regex/Enumerator.h"
+#include "regex/Matcher.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+
+namespace {
+
+Spec introSpec() {
+  // Specification (1) from the paper's introduction.
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+Spec example36Spec() {
+  return Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"});
+}
+
+/// Parses Result.Regex and checks it against the examples.
+void expectPrecise(const SynthResult &R, const Spec &S) {
+  ASSERT_TRUE(R.found()) << statusName(R.Status) << " " << R.Message;
+  RegexManager M;
+  ParseResult P = parseRegex(M, R.Regex);
+  ASSERT_TRUE(P) << R.Regex << ": " << P.Error;
+  EXPECT_TRUE(satisfiesExamples(M, P.Re, S.Pos, S.Neg)) << R.Regex;
+  CostFn Uniform;
+  (void)Uniform;
+}
+
+uint64_t parsedCost(const std::string &Text, const CostFn &Cost) {
+  RegexManager M;
+  ParseResult P = parseRegex(M, Text);
+  EXPECT_TRUE(P) << Text;
+  return Cost.of(P.Re);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trivial cases and input validation
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, EmptyPositivesYieldEmptyLanguage) {
+  SynthOptions Opts;
+  SynthResult R = synthesize(Spec({}, {"0", "1"}), Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Regex, "@");
+  EXPECT_EQ(R.Cost, 1u);
+}
+
+TEST(Synthesizer, EpsilonOnlyPositivesYieldEpsilon) {
+  SynthOptions Opts;
+  SynthResult R = synthesize(Spec({""}, {"0", "10"}), Alphabet::of("01"),
+                             Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Regex, "#");
+  EXPECT_EQ(R.Cost, 1u);
+}
+
+TEST(Synthesizer, RejectsInvalidCostFunction) {
+  SynthOptions Opts;
+  Opts.Cost = CostFn(0, 1, 1, 1, 1);
+  SynthResult R = synthesize(introSpec(), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+  EXPECT_FALSE(R.Message.empty());
+}
+
+TEST(Synthesizer, RejectsOverlappingExamples) {
+  SynthOptions Opts;
+  SynthResult R =
+      synthesize(Spec({"0"}, {"0"}), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+}
+
+TEST(Synthesizer, RejectsForeignCharacters) {
+  SynthOptions Opts;
+  SynthResult R =
+      synthesize(Spec({"2"}, {"0"}), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+}
+
+TEST(Synthesizer, RejectsBadErrorFraction) {
+  SynthOptions Opts;
+  Opts.AllowedError = 1.0;
+  SynthResult R =
+      synthesize(Spec({"0"}, {"1"}), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+}
+
+//===----------------------------------------------------------------------===//
+// Known instances
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, SolvesIntroductionExample) {
+  SynthOptions Opts;
+  Spec S = introSpec();
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  // 10(0+1)* costs 8 under uniform costs; the minimum for this spec
+  // (the oracle agrees, see MinimalityMatchesOracle) is 8.
+  EXPECT_EQ(R.Cost, 8u);
+  EXPECT_EQ(R.Cost, parsedCost(R.Regex, Opts.Cost));
+}
+
+TEST(Synthesizer, SolvesExample36) {
+  SynthOptions Opts;
+  Spec S = example36Spec();
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  // (0?1)*1 costs 7 under uniform costs.
+  EXPECT_LE(R.Cost, 7u);
+}
+
+TEST(Synthesizer, SolvesAllPositivesNoNegatives) {
+  SynthOptions Opts;
+  Spec S({"0", "00", "000"}, {});
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  // 0* (cost 2) accepts everything required; nothing of cost 1 does.
+  EXPECT_EQ(R.Cost, 2u);
+}
+
+TEST(Synthesizer, SingleCharacterLanguage) {
+  SynthOptions Opts;
+  Spec S({"1"}, {"", "0", "11", "10"});
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  EXPECT_EQ(R.Regex, "1");
+  EXPECT_EQ(R.Cost, 1u);
+}
+
+TEST(Synthesizer, WorksOnLargerAlphabets) {
+  SynthOptions Opts;
+  Spec S({"ab", "abc"}, {"a", "b", "c", "ba"});
+  SynthResult R = synthesize(S, Alphabet::of("abc"), Opts);
+  expectPrecise(R, S);
+}
+
+TEST(Synthesizer, UnusedAlphabetCharactersAreHarmless) {
+  SynthOptions Opts;
+  Spec S({"10"}, {"", "0", "1"});
+  SynthResult Small = synthesize(S, Alphabet::of("01"), Opts);
+  SynthResult Big = synthesize(S, Alphabet::of("014567"), Opts);
+  ASSERT_TRUE(Small.found());
+  ASSERT_TRUE(Big.found());
+  EXPECT_EQ(Small.Cost, Big.Cost);
+  expectPrecise(Big, S);
+}
+
+TEST(Synthesizer, EpsilonInPositivesWithOthers) {
+  SynthOptions Opts;
+  Spec S({"", "0", "00"}, {"1", "01", "10"});
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(R, S);
+  EXPECT_EQ(R.Cost, 2u); // 0*
+}
+
+//===----------------------------------------------------------------------===//
+// Epsilon seeding (DESIGN.md deviation)
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, EpsilonSeedRequiredWhenQuestionIsDear) {
+  // Under (1, 10, 1, 1, 1) the language {eps, 0} is written #+0 at
+  // cost 3; the question-mark alternative 0? costs 11.
+  SynthOptions Opts;
+  Opts.Cost = CostFn(1, 10, 1, 1, 1);
+  Spec S({"", "0"}, {"00", "1", "01"});
+
+  SynthResult Seeded = synthesize(S, Alphabet::of("01"), Opts);
+  expectPrecise(Seeded, S);
+  EXPECT_EQ(Seeded.Cost, 3u);
+
+  Opts.SeedEpsilon = false;
+  SynthResult Unseeded = synthesize(S, Alphabet::of("01"), Opts);
+  ASSERT_TRUE(Unseeded.found());
+  EXPECT_GT(Unseeded.Cost, 3u) << "without the epsilon seed the "
+                                  "pseudocode's search is non-minimal";
+
+  // The oracle confirms 3 is the true minimum.
+  RegexManager M;
+  NaiveEnumerator E(M, {'0', '1'});
+  EnumeratorResult Oracle = E.findMinimal(S.Pos, S.Neg, Opts.Cost, 12);
+  ASSERT_TRUE(Oracle.found());
+  EXPECT_EQ(Oracle.Cost, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Precision property over random specifications
+//===----------------------------------------------------------------------===//
+
+class SynthesizerPrecision : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthesizerPrecision, RandomSpecsAreSolvedPrecisely) {
+  benchgen::GenParams Params;
+  Params.MaxLen = 4;
+  Params.NumPos = 4;
+  Params.NumNeg = 4;
+  Params.Seed = GetParam();
+  for (benchgen::BenchType Type :
+       {benchgen::BenchType::Type1, benchgen::BenchType::Type2}) {
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(benchgen::generate(Type, Params, B, &Error)) << Error;
+    SynthOptions Opts;
+    SynthResult R = synthesize(B.Examples, Params.Sigma, Opts);
+    expectPrecise(R, B.Examples);
+    EXPECT_EQ(R.Cost, parsedCost(R.Regex, Opts.Cost)) << B.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerPrecision,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Minimality property against the naive oracle
+//===----------------------------------------------------------------------===//
+
+struct MinimalityCase {
+  uint64_t Seed;
+  CostFn Cost;
+};
+
+class SynthesizerMinimality
+    : public ::testing::TestWithParam<MinimalityCase> {};
+
+TEST_P(SynthesizerMinimality, CostEqualsOracleMinimum) {
+  const MinimalityCase &Case = GetParam();
+  benchgen::GenParams Params;
+  Params.MaxLen = 3;
+  Params.NumPos = 3;
+  Params.NumNeg = 3;
+  Params.Seed = Case.Seed;
+  benchgen::GeneratedBenchmark B;
+  std::string Error;
+  ASSERT_TRUE(benchgen::generate(benchgen::BenchType::Type2, Params, B,
+                                 &Error))
+      << Error;
+
+  SynthOptions Opts;
+  Opts.Cost = Case.Cost;
+  SynthResult R = synthesize(B.Examples, Params.Sigma, Opts);
+  expectPrecise(R, B.Examples);
+
+  RegexManager M;
+  NaiveEnumerator E(M, {'0', '1'});
+  EnumeratorResult Oracle =
+      E.findMinimal(B.Examples.Pos, B.Examples.Neg, Case.Cost, R.Cost,
+                    /*MaxExpressions=*/4000000);
+  if (Oracle.Aborted)
+    GTEST_SKIP() << "oracle budget exhausted";
+  // The oracle searched every expression of cost <= R.Cost: it must
+  // find one (possibly R itself), and nothing cheaper may exist.
+  ASSERT_TRUE(Oracle.found()) << B.Name << " result " << R.Regex;
+  EXPECT_EQ(Oracle.Cost, R.Cost) << B.Name << ": paresy returned "
+                                 << R.Regex << ", oracle found "
+                                 << toString(Oracle.Re);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UniformCosts, SynthesizerMinimality,
+    ::testing::Values(MinimalityCase{1, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{2, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{3, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{4, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{5, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{6, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{7, CostFn(1, 1, 1, 1, 1)},
+                      MinimalityCase{8, CostFn(1, 1, 1, 1, 1)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewedCosts, SynthesizerMinimality,
+    ::testing::Values(MinimalityCase{11, CostFn(3, 1, 1, 1, 1)},
+                      MinimalityCase{12, CostFn(1, 3, 1, 1, 1)},
+                      MinimalityCase{13, CostFn(1, 1, 3, 1, 1)},
+                      MinimalityCase{14, CostFn(1, 1, 1, 3, 1)},
+                      MinimalityCase{15, CostFn(1, 1, 1, 1, 3)},
+                      MinimalityCase{16, CostFn(2, 2, 2, 1, 3)}));
+
+//===----------------------------------------------------------------------===//
+// Option ablations do not change results (only performance)
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, NoGuideTableSameResult) {
+  SynthOptions Plain, NoGt;
+  NoGt.UseGuideTable = false;
+  Spec S = example36Spec();
+  SynthResult A = synthesize(S, Alphabet::of("01"), Plain);
+  SynthResult B = synthesize(S, Alphabet::of("01"), NoGt);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  EXPECT_EQ(A.Regex, B.Regex);
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_EQ(A.Stats.CandidatesGenerated, B.Stats.CandidatesGenerated);
+}
+
+TEST(Synthesizer, NoPaddingSameResult) {
+  SynthOptions Plain, NoPad;
+  NoPad.PadToPowerOfTwo = false;
+  Spec S = example36Spec();
+  SynthResult A = synthesize(S, Alphabet::of("01"), Plain);
+  SynthResult B = synthesize(S, Alphabet::of("01"), NoPad);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  EXPECT_EQ(A.Regex, B.Regex);
+  EXPECT_EQ(A.Cost, B.Cost);
+}
+
+TEST(Synthesizer, NoUniquenessSameAnswerMoreWork) {
+  SynthOptions Plain, NoUnique;
+  NoUnique.UniquenessCheck = false;
+  Spec S({"10", "100"}, {"", "0", "1", "01"});
+  SynthResult A = synthesize(S, Alphabet::of("01"), Plain);
+  SynthResult B = synthesize(S, Alphabet::of("01"), NoUnique);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  EXPECT_EQ(A.Cost, B.Cost);
+  // Without deduplication the cache holds duplicates.
+  EXPECT_GE(B.Stats.CacheEntries, A.Stats.CacheEntries);
+}
+
+//===----------------------------------------------------------------------===//
+// Resource-limit statuses
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, MaxCostBoundsTheSweep) {
+  SynthOptions Opts;
+  Opts.MaxCost = 2;
+  Spec S({"0", "1"}, {"", "00", "01", "11"}); // Needs 0+1, cost 3.
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::NotFound);
+  EXPECT_EQ(R.Stats.LastCompletedCost, 2u);
+}
+
+TEST(Synthesizer, TinyMemoryBudgetReportsOutOfMemory) {
+  SynthOptions Opts;
+  Opts.MemoryLimitBytes = 1; // Capacity clamps to 16 entries.
+  SynthResult R = synthesize(introSpec(), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::OutOfMemory);
+  EXPECT_TRUE(R.Stats.OnTheFly);
+}
+
+TEST(Synthesizer, OnTheFlyDisabledStopsEarlier) {
+  SynthOptions WithOtf, WithoutOtf;
+  WithOtf.MemoryLimitBytes = 1;
+  WithoutOtf.MemoryLimitBytes = 1;
+  WithoutOtf.EnableOnTheFly = false;
+  SynthResult A = synthesize(introSpec(), Alphabet::of("01"), WithOtf);
+  SynthResult B = synthesize(introSpec(), Alphabet::of("01"), WithoutOtf);
+  EXPECT_EQ(A.Status, SynthStatus::OutOfMemory);
+  EXPECT_EQ(B.Status, SynthStatus::OutOfMemory);
+  EXPECT_FALSE(B.Stats.OnTheFly);
+  EXPECT_GE(A.Stats.CandidatesGenerated, B.Stats.CandidatesGenerated);
+}
+
+TEST(Synthesizer, OnTheFlyStillFindsSolutionsPastTheCacheLimit) {
+  // A budget that fits the seeds but fills during the sweep; the
+  // solution must still be found while completeness holds, and must
+  // still be minimal.
+  SynthOptions Tight;
+  Tight.MemoryLimitBytes = 600; // ~40 entries of one word each.
+  Spec S({"1"}, {"", "0", "11", "10"});
+  SynthResult R = synthesize(S, Alphabet::of("01"), Tight);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Cost, 1u);
+}
+
+TEST(Synthesizer, MemoryPressureNeverChangesFoundAnswers) {
+  // Sweep the memory budget down: runs either return the *same*
+  // minimal cost as the unrestricted run or fail with OutOfMemory -
+  // never a worse expression (the OnTheFly completeness-horizon
+  // guarantee).
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  SynthOptions Unlimited;
+  SynthResult Reference = synthesize(S, Alphabet::of("01"), Unlimited);
+  ASSERT_TRUE(Reference.found());
+  bool SawOom = false;
+  for (uint64_t Budget : {40000u, 10000u, 3000u, 1000u, 300u, 1u}) {
+    SynthOptions Tight;
+    Tight.MemoryLimitBytes = Budget;
+    SynthResult R = synthesize(S, Alphabet::of("01"), Tight);
+    if (R.found())
+      EXPECT_EQ(R.Cost, Reference.Cost) << "budget " << Budget;
+    else {
+      EXPECT_EQ(R.Status, SynthStatus::OutOfMemory) << "budget "
+                                                    << Budget;
+      SawOom = true;
+    }
+  }
+  EXPECT_TRUE(SawOom) << "sweep never reached the OOM regime";
+}
+
+TEST(Synthesizer, TimeoutReported) {
+  SynthOptions Opts;
+  Opts.TimeoutSeconds = 1e-9;
+  // Large enough that the sweep cannot finish within the timeout.
+  Spec S({"1010", "0101", "10", "01"}, {"", "0", "1", "11", "00", "111"});
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// REI with error (Sec. 5.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The Sec. 5.2 example specification (Table 1 row 1).
+Spec errorSectionSpec() {
+  return Spec({"00", "1101", "0001", "0111", "001", "1", "10", "1100",
+               "111", "1010"},
+              {"", "0", "0000", "0011", "01", "010", "011", "100",
+               "1000", "1001", "11", "1110"});
+}
+
+unsigned countMistakes(const std::string &Regex, const Spec &S) {
+  RegexManager M;
+  ParseResult P = parseRegex(M, Regex);
+  EXPECT_TRUE(P) << Regex;
+  DerivativeMatcher D(M);
+  unsigned Mistakes = 0;
+  for (const std::string &W : S.Pos)
+    if (!D.matches(P.Re, W))
+      ++Mistakes;
+  for (const std::string &W : S.Neg)
+    if (D.matches(P.Re, W))
+      ++Mistakes;
+  return Mistakes;
+}
+
+} // namespace
+
+TEST(SynthesizerError, BudgetSemantics) {
+  Spec S = errorSectionSpec();
+  SynthOptions Opts;
+  Opts.AllowedError = 0.25; // floor(0.25 * 22) = 5 mistakes allowed.
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_LE(countMistakes(R.Regex, S), 5u);
+}
+
+TEST(SynthesizerError, CostIsMonotoneInAllowedError) {
+  Spec S = errorSectionSpec();
+  uint64_t PreviousCost = UINT64_MAX;
+  for (double Error : {0.10, 0.20, 0.30, 0.40, 0.50}) {
+    SynthOptions Opts;
+    Opts.AllowedError = Error;
+    SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+    ASSERT_TRUE(R.found()) << Error;
+    EXPECT_LE(R.Cost, PreviousCost) << Error;
+    PreviousCost = R.Cost;
+    unsigned Budget = unsigned(Error * double(S.exampleCount()));
+    EXPECT_LE(countMistakes(R.Regex, S), Budget) << R.Regex;
+  }
+}
+
+TEST(SynthesizerError, LargeBudgetAcceptsTrivialLanguages) {
+  Spec S = errorSectionSpec();
+  SynthOptions Opts;
+  Opts.AllowedError = 0.5; // 11 of 22 examples may be misclassified.
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(R.Cost, 1u); // Some cost-1 language fits.
+}
+
+TEST(SynthesizerError, ZeroErrorEqualsPreciseMode) {
+  Spec S({"10", "100"}, {"", "0", "1", "01"});
+  SynthOptions Precise, Error;
+  Error.AllowedError = 0.01; // floor(0.01 * 7) = 0: still precise.
+  SynthResult A = synthesize(S, Alphabet::of("01"), Precise);
+  SynthResult B = synthesize(S, Alphabet::of("01"), Error);
+  ASSERT_TRUE(A.found());
+  ASSERT_TRUE(B.found());
+  EXPECT_EQ(A.Cost, B.Cost);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Synthesizer, StatsAreConsistent) {
+  SynthOptions Opts;
+  Spec S = example36Spec();
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  const SynthStats &St = R.Stats;
+  EXPECT_GT(St.CandidatesGenerated, 0u);
+  EXPECT_LE(St.UniqueLanguages, St.CandidatesGenerated);
+  EXPECT_LE(St.CacheEntries, St.UniqueLanguages);
+  EXPECT_GT(St.UniverseSize, 0u);
+  EXPECT_EQ(St.CsWords, 1u);
+  EXPECT_GT(St.GuidePairs, 0u);
+  EXPECT_GT(St.MemoryBytes, 0u);
+  EXPECT_GE(St.PrecomputeSeconds, 0.0);
+  EXPECT_GE(St.SearchSeconds, 0.0);
+}
+
+TEST(Synthesizer, OverfitBoundIsSufficient) {
+  // The default MaxCost (the overfit bound) always suffices: even a
+  // spec with no structure terminates with Found.
+  Spec S({"0110", "1001"}, {"", "0", "1", "01", "10", "11"});
+  EXPECT_EQ(overfitCostBound(S, CostFn()),
+            (4 + 3) + (4 + 3) + 1u); // two words + one union
+  SynthOptions Opts;
+  SynthResult R = synthesize(S, Alphabet::of("01"), Opts);
+  ASSERT_TRUE(R.found());
+  EXPECT_LE(R.Cost, overfitCostBound(S, CostFn()));
+  expectPrecise(R, S);
+}
