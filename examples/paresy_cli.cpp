@@ -13,7 +13,13 @@
 /// Spec files use the '+example' / '-example' line format (see
 /// lang/Spec.h). Options:
 ///
-///   --engine cpu|gpu|alpharegex   search engine (default cpu)
+///   --backend NAME                search backend: any registered name
+///                                 (cpu, cpu-parallel, gpusim, ...) or
+///                                 alpharegex (default cpu)
+///   --jobs N                      worker threads for parallel backends
+///                                 (default: backend's choice)
+///   --engine cpu|gpu|alpharegex   legacy alias for --backend (gpu
+///                                 means gpusim)
 ///   --cost c1,c2,c3,c4,c5         cost homomorphism (default 1,1,1,1,1)
 ///   --error FRACTION              allowed error in [0,1) (default 0)
 ///   --max-cost N                  cost budget (default: overfit bound)
@@ -27,10 +33,12 @@
 
 #include "baseline/AlphaRegex.h"
 #include "core/Synthesizer.h"
+#include "engine/BackendRegistry.h"
 #include "gpusim/GpuSynthesizer.h"
 #include "regex/Matcher.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,6 +112,7 @@ void printStats(const SynthStats &St) {
 int main(int Argc, char **Argv) {
   std::string Engine = "cpu";
   SynthOptions Options;
+  engine::BackendConfig Config;
   bool Wildcard = false;
   bool ShowStats = false;
   std::string AlphabetChars;
@@ -118,9 +127,18 @@ int main(int Argc, char **Argv) {
         usage();
       return Argv[++I];
     };
-    if (Arg == "--engine")
+    if (Arg == "--engine" || Arg == "--backend") {
       Engine = Next();
-    else if (Arg == "--cost") {
+      if (Engine == "gpu")
+        Engine = "gpusim"; // Legacy --engine spelling.
+    } else if (Arg == "--jobs") {
+      long Jobs = std::atol(Next().c_str());
+      if (Jobs < 0) {
+        std::fprintf(stderr, "error: --jobs wants a non-negative count\n");
+        return 2;
+      }
+      Config.Workers = unsigned(Jobs);
+    } else if (Arg == "--cost") {
       if (!parseCost(Next(), Options.Cost)) {
         std::fprintf(stderr, "error: bad --cost (want c1,c2,c3,c4,c5)\n");
         return 2;
@@ -197,19 +215,30 @@ int main(int Argc, char **Argv) {
   }
 
   SynthResult R;
-  if (Engine == "gpu") {
+  if (Engine == "gpusim") {
+    // Route through the public GPU entry point so the device-side
+    // accounting can be reported alongside the result.
+    gpusim::GpuOptions Gpu;
+    Gpu.HostWorkers = Config.Workers;
     gpusim::GpuSynthResult G =
-        gpusim::synthesizeGpu(Examples, Sigma, Options);
+        gpusim::synthesizeGpu(Examples, Sigma, Options, Gpu);
     R = G.Result;
     if (R.found())
       std::printf("modelled device time: %s s (%llu kernel launches)\n",
                   formatSeconds(G.ModeledGpuSeconds).c_str(),
                   (unsigned long long)G.KernelLaunches);
-  } else if (Engine == "cpu") {
-    R = synthesize(Examples, Sigma, Options);
   } else {
-    std::fprintf(stderr, "error: unknown engine '%s'\n", Engine.c_str());
-    return 2;
+    std::vector<std::string> Known = engine::backendNames();
+    if (std::find(Known.begin(), Known.end(), Engine) == Known.end()) {
+      std::string Names;
+      for (const std::string &Name : Known)
+        Names += (Names.empty() ? "" : ", ") + Name;
+      std::fprintf(stderr, "error: unknown backend '%s' (have: %s, "
+                           "alpharegex)\n",
+                   Engine.c_str(), Names.c_str());
+      return 2;
+    }
+    R = engine::synthesizeWith(Engine, Examples, Sigma, Options, Config);
   }
 
   if (!R.found()) {

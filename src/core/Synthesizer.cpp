@@ -4,26 +4,18 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Implementation of Alg. 1 (the cost sweep) and Alg. 2 (candidate
-/// construction) from the paper, plus OnTheFly mode and the
-/// REI-with-error variant of Sec. 5.2. See Synthesizer.h for the
-/// contract and DESIGN.md for the deviations (epsilon seeding,
-/// commutative-union halving).
+/// The public sequential entry point. The search pipeline itself -
+/// Alg. 1's cost sweep and Alg. 2's candidate construction, plus
+/// OnTheFly mode and the REI-with-error variant - lives in the shared
+/// engine (engine/SearchDriver.cpp); this translation unit binds it to
+/// the sequential backend and keeps the pipeline-independent helpers.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Synthesizer.h"
 
-#include "core/CsHashSet.h"
-#include "core/LanguageCache.h"
-#include "lang/CharSeq.h"
-#include "lang/GuideTable.h"
-#include "lang/Universe.h"
-#include "support/Timer.h"
-
-#include <algorithm>
-#include <cmath>
-#include <memory>
+#include "engine/CpuBackend.h"
+#include "engine/SearchDriver.h"
 
 using namespace paresy;
 
@@ -58,383 +50,8 @@ uint64_t paresy::overfitCostBound(const Spec &S, const CostFn &Cost) {
   return Total;
 }
 
-namespace {
-
-/// One synthesis run. Owns the staged data (universe, guide table),
-/// the language cache and the sweep state.
-class Searcher {
-public:
-  Searcher(const Spec &S, const Alphabet &Sigma, const SynthOptions &Opts)
-      : S(S), Sigma(Sigma), Opts(Opts) {}
-
-  SynthResult run();
-
-private:
-  SynthResult invalid(std::string Message) {
-    SynthResult R;
-    R.Status = SynthStatus::InvalidInput;
-    R.Message = std::move(Message);
-    return R;
-  }
-
-  SynthResult trivial(const char *Regex, uint64_t Cost) {
-    SynthResult R;
-    R.Status = SynthStatus::Found;
-    R.Regex = Regex;
-    R.Cost = Cost;
-    return R;
-  }
-
-  void seedLevel();
-  void buildQuestions(uint64_t C);
-  void buildStars(uint64_t C);
-  void buildConcats(uint64_t C);
-  void buildUnions(uint64_t C);
-  void processCandidate(const Provenance &Prov);
-  void fillStats(SynthResult &R);
-  SynthResult finishFound();
-
-  bool stopRequested() const { return TimedOut || OomAbort; }
-  void maybeCheckTimeout() {
-    if (Opts.TimeoutSeconds <= 0 || TimedOut)
-      return;
-    if ((Stats.CandidatesGenerated & 0xfff) != 0)
-      return;
-    if (Clock.seconds() > Opts.TimeoutSeconds)
-      TimedOut = true;
-  }
-
-  const Spec &S;
-  const Alphabet &Sigma;
-  const SynthOptions &Opts;
-
-  std::unique_ptr<Universe> U;
-  std::unique_ptr<GuideTable> GT;
-  std::unique_ptr<CsAlgebra> Algebra;
-  std::unique_ptr<LanguageCache> Cache;
-  std::unique_ptr<CsHashSet> Unique;
-  std::vector<uint64_t> Scratch;
-  std::vector<uint64_t> NonEmptyLevels; // Sorted costs with cached CSs.
-
-  SynthStats Stats;
-  WallTimer Clock;
-  unsigned MistakeBudget = 0;
-  uint64_t CurrentCost = 0;
-
-  // First satisfying candidate of the lowest cost level (kept until
-  // the level completes so candidate counts match the batch-oriented
-  // GPU implementation exactly).
-  bool HavePending = false;
-  Provenance Pending;
-  uint64_t PendingCost = 0;
-
-  // Cache-full bookkeeping (Sec. 3 "OnTheFly mode").
-  bool CacheFilled = false;
-  uint64_t FilledCost = 0;
-  uint64_t Horizon = 0;
-
-  bool TimedOut = false;
-  bool OomAbort = false;
-};
-
-SynthResult Searcher::run() {
-  const CostFn &Cost = Opts.Cost;
-  if (!Cost.isValid())
-    return invalid("cost function constants must all be positive");
-  if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0))
-    return invalid("allowed error must lie in [0, 1)");
-  std::string SpecError;
-  if (!S.validate(Sigma, &SpecError))
-    return invalid(SpecError);
-
-  MistakeBudget =
-      unsigned(std::floor(Opts.AllowedError * double(S.exampleCount())));
-
-  // Trivial specifications (Alg. 1 lines 4-5). Any solution costs at
-  // least c1, and these cost exactly c1.
-  if (S.Pos.empty())
-    return trivial("@", Cost.Literal);
-  if (S.Pos.size() == 1 && S.Pos.front().empty() && MistakeBudget == 0)
-    return trivial("#", Cost.Literal);
-
-  // Staging: infix closure, guide table, masks (Sec. 3 "Staging").
-  U = std::make_unique<Universe>(S, Opts.PadToPowerOfTwo);
-  if (Opts.UseGuideTable) {
-    GT = std::make_unique<GuideTable>(*U);
-    Stats.GuidePairs = GT->totalPairs();
-  }
-  Algebra = std::make_unique<CsAlgebra>(*U, GT.get());
-  Stats.UniverseSize = U->size();
-  Stats.CsWords = U->csWords();
-  Stats.PrecomputeSeconds = Clock.seconds();
-
-  // Derive the cache capacity from the memory budget. Each cached CS
-  // costs its bits, its provenance, and an amortised uniqueness slot
-  // (the paper estimates "approx. 3k bits per CS").
-  uint64_t PerEntry = uint64_t(U->csWords()) * sizeof(uint64_t) +
-                      sizeof(Provenance) + 6;
-  uint64_t Capacity = std::max<uint64_t>(16, Opts.MemoryLimitBytes / PerEntry);
-  Capacity = std::min<uint64_t>(Capacity, 0xfffffffeu);
-  Cache = std::make_unique<LanguageCache>(U->csWords(), size_t(Capacity));
-  Unique = std::make_unique<CsHashSet>(*Cache);
-  Scratch.assign(U->csWords(), 0);
-
-  uint64_t MaxCost =
-      Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Cost);
-  // The overfit bound writes epsilon as the literal '#'; without the
-  // epsilon seed that literal is unreachable and the fallback is a
-  // question mark, so widen the automatic bound accordingly.
-  if (!Opts.MaxCost && !Opts.SeedEpsilon)
-    MaxCost += Cost.Question;
-
-  // The completeness horizon once the cache has filled at cost F:
-  // every candidate at cost <= F + MinExtra - 1 references only
-  // levels < F, which are fully cached, so minimality still holds.
-  uint64_t MinExtra = std::min<uint64_t>(
-      std::min<uint64_t>(Cost.Question, Cost.Star),
-      std::min<uint64_t>(uint64_t(Cost.Concat) + Cost.Literal,
-                         uint64_t(Cost.Union) + Cost.Literal));
-
-  CurrentCost = Cost.Literal;
-  seedLevel();
-  if (HavePending)
-    return finishFound();
-  if (OomAbort) {
-    SynthResult R;
-    R.Status = SynthStatus::OutOfMemory;
-    fillStats(R);
-    return R;
-  }
-
-  for (uint64_t C = uint64_t(Cost.Literal) + 1; C <= MaxCost; ++C) {
-    if (CacheFilled) {
-      Horizon = Opts.EnableOnTheFly ? FilledCost + MinExtra - 1
-                                    : FilledCost;
-      if (C > Horizon) {
-        SynthResult R;
-        R.Status = SynthStatus::OutOfMemory;
-        fillStats(R);
-        return R;
-      }
-    }
-
-    CurrentCost = C;
-    uint32_t LevelBegin = uint32_t(Cache->size());
-    // In-level constructor order from Alg. 1 line 12.
-    buildQuestions(C);
-    buildStars(C);
-    buildConcats(C);
-    buildUnions(C);
-    uint32_t LevelEnd = uint32_t(Cache->size());
-    Cache->setLevel(C, LevelBegin, LevelEnd);
-    if (LevelEnd != LevelBegin)
-      NonEmptyLevels.push_back(C);
-
-    // A satisfier takes precedence over resource aborts in the same
-    // level: candidates of one level share the same cost, so the
-    // first satisfier is minimal even if the level was cut short.
-    if (HavePending)
-      return finishFound();
-    if (TimedOut) {
-      SynthResult R;
-      R.Status = SynthStatus::Timeout;
-      fillStats(R);
-      return R;
-    }
-    if (OomAbort) {
-      SynthResult R;
-      R.Status = SynthStatus::OutOfMemory;
-      fillStats(R);
-      return R;
-    }
-    Stats.LastCompletedCost = C;
-  }
-
-  SynthResult R;
-  R.Status = SynthStatus::NotFound;
-  fillStats(R);
-  return R;
-}
-
-void Searcher::seedLevel() {
-  // Alg. 1 line 6: the alphabet literals, plus {epsilon} (DESIGN.md
-  // deviation) and - under an error budget, where the empty language
-  // can be a legitimate answer (Sec. 5.2) - the empty language.
-  uint32_t LevelBegin = uint32_t(Cache->size());
-  for (size_t I = 0; I != Sigma.size(); ++I) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Literal;
-    Prov.Symbol = Sigma.symbol(I);
-    Algebra->makeLiteral(Scratch.data(), Prov.Symbol);
-    processCandidate(Prov);
-  }
-  if (Opts.SeedEpsilon) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Epsilon;
-    Algebra->makeEpsilon(Scratch.data());
-    processCandidate(Prov);
-  }
-  if (MistakeBudget > 0) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Empty;
-    Algebra->makeEmpty(Scratch.data());
-    processCandidate(Prov);
-  }
-  uint64_t C1 = Opts.Cost.Literal;
-  Cache->setLevel(C1, LevelBegin, uint32_t(Cache->size()));
-  if (Cache->size() != LevelBegin)
-    NonEmptyLevels.push_back(C1);
-  Stats.LastCompletedCost = C1;
-}
-
-void Searcher::buildQuestions(uint64_t C) {
-  if (C <= Opts.Cost.Question || stopRequested())
-    return;
-  auto [Begin, End] = Cache->level(C - Opts.Cost.Question);
-  for (uint32_t I = Begin; I != End && !stopRequested(); ++I) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Question;
-    Prov.Lhs = I;
-    Algebra->question(Scratch.data(), Cache->cs(I));
-    processCandidate(Prov);
-  }
-}
-
-void Searcher::buildStars(uint64_t C) {
-  if (C <= Opts.Cost.Star || stopRequested())
-    return;
-  auto [Begin, End] = Cache->level(C - Opts.Cost.Star);
-  for (uint32_t I = Begin; I != End && !stopRequested(); ++I) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Star;
-    Prov.Lhs = I;
-    Algebra->star(Scratch.data(), Cache->cs(I));
-    processCandidate(Prov);
-  }
-}
-
-void Searcher::buildConcats(uint64_t C) {
-  if (C <= Opts.Cost.Concat || stopRequested())
-    return;
-  uint64_t Budget = C - Opts.Cost.Concat;
-  // Alg. 2 line 5: all ordered cost splits L + R = Budget, restricted
-  // to the non-empty cached levels.
-  for (uint64_t LC : NonEmptyLevels) {
-    if (LC + Opts.Cost.Literal > Budget)
-      break;
-    uint64_t RC = Budget - LC;
-    auto [LB, LE] = Cache->level(LC);
-    auto [RB, RE] = Cache->level(RC);
-    if (LB == LE || RB == RE)
-      continue;
-    for (uint32_t I = LB; I != LE; ++I) {
-      const uint64_t *LCs = Cache->cs(I);
-      for (uint32_t J = RB; J != RE; ++J) {
-        Provenance Prov;
-        Prov.Kind = CsOp::Concat;
-        Prov.Lhs = I;
-        Prov.Rhs = J;
-        Algebra->concat(Scratch.data(), LCs, Cache->cs(J));
-        processCandidate(Prov);
-        if (stopRequested())
-          return;
-      }
-    }
-  }
-}
-
-void Searcher::buildUnions(uint64_t C) {
-  if (C <= Opts.Cost.Union || stopRequested())
-    return;
-  uint64_t Budget = C - Opts.Cost.Union;
-  // Union is commutative and idempotent, so only splits with L <= R
-  // and, within one level, only pairs I < J are generated (a deviation
-  // from the paper's "all L, R" that halves the work but changes
-  // neither the reachable languages nor minimality).
-  for (uint64_t LC : NonEmptyLevels) {
-    if (2 * LC > Budget)
-      break;
-    uint64_t RC = Budget - LC;
-    auto [LB, LE] = Cache->level(LC);
-    auto [RB, RE] = Cache->level(RC);
-    if (LB == LE || RB == RE)
-      continue;
-    for (uint32_t I = LB; I != LE; ++I) {
-      const uint64_t *LCs = Cache->cs(I);
-      uint32_t JBegin = LC == RC ? I + 1 : RB;
-      for (uint32_t J = JBegin; J < RE; ++J) {
-        Provenance Prov;
-        Prov.Kind = CsOp::Union;
-        Prov.Lhs = I;
-        Prov.Rhs = J;
-        Algebra->unionOf(Scratch.data(), LCs, Cache->cs(J));
-        processCandidate(Prov);
-        if (stopRequested())
-          return;
-      }
-    }
-  }
-}
-
-void Searcher::processCandidate(const Provenance &Prov) {
-  // Alg. 2 lines 15-19, with the solution deferred to the end of the
-  // level (same cost, first-in-order winner; see class comment).
-  ++Stats.CandidatesGenerated;
-  maybeCheckTimeout();
-
-  if (Opts.UniquenessCheck && Unique->contains(Scratch.data()))
-    return;
-  ++Stats.UniqueLanguages;
-
-  if (!HavePending && Algebra->satisfies(Scratch.data(), MistakeBudget)) {
-    HavePending = true;
-    Pending = Prov;
-    PendingCost = CurrentCost;
-  }
-
-  if (!Cache->full()) {
-    uint32_t Idx = Cache->append(Scratch.data(), Prov);
-    if (Opts.UniquenessCheck)
-      Unique->insert(Scratch.data(), Idx);
-    return;
-  }
-  if (!CacheFilled) {
-    CacheFilled = true;
-    FilledCost = CurrentCost;
-    Stats.OnTheFly = Opts.EnableOnTheFly;
-    if (!Opts.EnableOnTheFly)
-      OomAbort = true; // Paper behaviour: an immediate OOM error.
-  }
-  // The candidate is dropped from the cache but was fully checked:
-  // OnTheFly keeps sweeping while completeness holds (see run()).
-}
-
-void Searcher::fillStats(SynthResult &R) {
-  Stats.CacheEntries = Cache ? Cache->size() : 0;
-  Stats.MemoryBytes =
-      (Cache ? Cache->bytesUsed() : 0) + (Unique ? Unique->bytesUsed() : 0);
-  if (Algebra)
-    Stats.PairsVisited = Algebra->pairsVisited();
-  Stats.SearchSeconds = Clock.seconds() - Stats.PrecomputeSeconds;
-  R.Stats = Stats;
-}
-
-SynthResult Searcher::finishFound() {
-  RegexManager M;
-  const Regex *Re = Cache->reconstructCandidate(Pending, M);
-  SynthResult R;
-  R.Status = SynthStatus::Found;
-  R.Regex = toString(Re);
-  R.Cost = PendingCost;
-  assert(Opts.Cost.of(Re) == PendingCost &&
-         "reconstructed expression must cost exactly its level");
-  fillStats(R);
-  return R;
-}
-
-} // namespace
-
 SynthResult paresy::synthesize(const Spec &S, const Alphabet &Sigma,
                                const SynthOptions &Opts) {
-  return Searcher(S, Sigma, Opts).run();
+  engine::CpuBackend Backend;
+  return engine::runSearch(S, Sigma, Opts, Backend);
 }

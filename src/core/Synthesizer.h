@@ -13,8 +13,13 @@
 /// of provably minimal cost - or a principled failure status (the
 /// cost budget, the memory budget or the timeout was exhausted).
 ///
-/// The GPU-style implementation with identical semantics lives in
-/// gpusim/GpuSynthesizer.h; both share these option/result types.
+/// synthesize() runs the shared engine (engine/SearchDriver.h) on the
+/// sequential backend. The GPU-style implementation with identical
+/// semantics lives in gpusim/GpuSynthesizer.h; other backends - the
+/// multi-core host backend among them - are reached by name through
+/// engine/BackendRegistry.h, and engine/Batch.h schedules many specs
+/// over a shared pool. All entry points share these option/result
+/// types.
 ///
 //===----------------------------------------------------------------------===//
 

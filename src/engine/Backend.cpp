@@ -1,0 +1,13 @@
+//===- engine/Backend.cpp - Pluggable search-backend interface ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Backend.h"
+
+using namespace paresy;
+using namespace paresy::engine;
+
+// Anchor the vtable.
+Backend::~Backend() = default;

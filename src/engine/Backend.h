@@ -1,0 +1,138 @@
+//===- engine/Backend.h - Pluggable search-backend interface -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend half of the engine/backend split (DESIGN.md Sec. 4).
+/// The paper's central observation is that one search algorithm - the
+/// staged cost sweep of Alg. 1/2 - can be expressed both sequentially
+/// and as data-parallel kernels. The engine encodes that split
+/// directly: SearchDriver owns every backend-agnostic phase (spec
+/// validation, staging, the cost-level loop, the completeness horizon,
+/// timeout and memory accounting, result assembly), while a Backend
+/// owns the per-level data-parallel phases: generate every candidate
+/// CS of the level, drop duplicates, test candidates against the
+/// specification, and compact the survivors into the language cache.
+///
+/// Three backends ship with the library (see BackendRegistry.h):
+/// "cpu" (the sequential reference), "cpu-parallel" (the kernels on a
+/// host thread pool), and "gpusim" (the kernels on the simulated
+/// device with modelled timing). All three are required by test to
+/// produce identical results, statuses and candidate counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_BACKEND_H
+#define PARESY_ENGINE_BACKEND_H
+
+#include "core/LanguageCache.h"
+#include "core/Synthesizer.h"
+#include "support/Timer.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+
+class Alphabet;
+class CsAlgebra;
+class GuideTable;
+class Universe;
+
+namespace engine {
+
+class LevelTasks;
+
+/// One run's shared state, owned by the SearchDriver and lent to the
+/// backend for the duration of the run. Staged data (universe, guide
+/// table, algebra) is read-only during the sweep; the language cache
+/// is append-only and written exclusively by the backend's compaction
+/// phase (the driver only records level ranges).
+struct SearchContext {
+  const Spec *S = nullptr;
+  const Alphabet *Sigma = nullptr;
+  const SynthOptions *Opts = nullptr;
+  const Universe *U = nullptr;
+  /// Null when SynthOptions::UseGuideTable is off; backends must then
+  /// use the unstaged split discovery (engine/Kernels.h).
+  const GuideTable *GT = nullptr;
+  CsAlgebra *Algebra = nullptr;
+  /// Set by the driver after planCacheCapacity(), before prepare().
+  LanguageCache *Cache = nullptr;
+  /// floor(AllowedError * #(P u N)) misclassifications permitted.
+  unsigned MistakeBudget = 0;
+  /// The run's wall clock, for in-level timeout checks.
+  const WallTimer *Clock = nullptr;
+  /// Candidates generated in all completed levels, so backends can
+  /// keep a run-global cadence for periodic checks.
+  uint64_t CandidatesBefore = 0;
+};
+
+/// What happened while a backend ran one cost level.
+struct LevelOutcome {
+  /// Candidates generated (every processed task counts, unique or not).
+  uint64_t Candidates = 0;
+  /// Candidates that survived uniqueness checking.
+  uint64_t Unique = 0;
+  /// Kernel work units performed (split-pair evaluations and friends);
+  /// zero for backends that account work through the CsAlgebra.
+  uint64_t Ops = 0;
+  /// A satisfying candidate was found; Satisfier reconstructs it. The
+  /// level always runs to completion first (all candidates of a level
+  /// share its cost, so the first satisfier in enumeration order is
+  /// minimal), which keeps candidate counts backend-independent.
+  bool FoundSatisfier = false;
+  Provenance Satisfier{};
+  /// The language cache reached capacity during this level (at least
+  /// one unique candidate was checked but dropped).
+  bool CacheFilled = false;
+  /// The deadline passed mid-level; remaining tasks were skipped.
+  bool TimedOut = false;
+  /// The backend cannot continue (uniqueness structure exhausted, or
+  /// cache full with OnTheFly disabled). Maps to OutOfMemory.
+  bool Abort = false;
+  std::string AbortReason;
+};
+
+/// A search backend: the data-parallel phases of the Paresy sweep.
+/// Instances are single-run and not thread-safe; create one per
+/// concurrent synthesis (they are cheap before prepare()).
+class Backend {
+public:
+  virtual ~Backend();
+
+  /// Registry key / display name ("cpu", "cpu-parallel", "gpusim").
+  virtual std::string_view name() const = 0;
+
+  /// Divides the run's memory budget between the language cache and
+  /// the backend's own structures. Called once after staging (Ctx has
+  /// U/GT/Algebra but no Cache yet); returns the row capacity the
+  /// driver should give the cache.
+  virtual size_t planCacheCapacity(const SearchContext &Ctx,
+                                   uint64_t BudgetBytes) = 0;
+
+  /// Allocates per-run structures (uniqueness set, temporaries).
+  /// Called once, after the cache exists.
+  virtual void prepare(SearchContext &Ctx) = 0;
+
+  /// Runs every candidate of cost level \p LevelCost: generate,
+  /// uniqueness, check, compact. \p Tasks streams the driver's
+  /// enumeration of the level in canonical order (?, *, ., +); a
+  /// task's pull rank is the candidate's id, and uniqueness/satisfier
+  /// winners must be minimal-rank so results are schedule-independent.
+  /// Levels can be combinatorially large - backends must pull bounded
+  /// chunks, never the whole level.
+  virtual LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                                LevelTasks &Tasks) = 0;
+
+  /// Bytes held by backend-owned structures, for the memory stats.
+  virtual uint64_t auxBytesUsed() const = 0;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_BACKEND_H

@@ -1,0 +1,96 @@
+//===- engine/BackendRegistry.cpp - String-keyed backend dispatch ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/BackendRegistry.h"
+
+#include "engine/CpuBackend.h"
+#include "engine/CpuParallelBackend.h"
+#include "engine/GpuSimBackend.h"
+#include "engine/SearchDriver.h"
+
+#include <map>
+#include <mutex>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+using FactoryMap = std::map<std::string, BackendFactory, std::less<>>;
+
+std::mutex &registryLock() {
+  static std::mutex M;
+  return M;
+}
+
+/// The factory map with the in-tree backends pre-registered. Built
+/// lazily on first use so registration order never depends on static
+/// initialisation order across translation units.
+FactoryMap &factories() {
+  static FactoryMap Map = [] {
+    FactoryMap M;
+    M.emplace("cpu", [](const BackendConfig &) {
+      return std::make_unique<CpuBackend>();
+    });
+    M.emplace("cpu-parallel", [](const BackendConfig &Config) {
+      return std::make_unique<CpuParallelBackend>(
+          Config.InlineKernels ? CpuParallelBackend::Inline : Config.Workers);
+    });
+    M.emplace("gpusim", [](const BackendConfig &Config) {
+      gpusim::GpuOptions Gpu;
+      Gpu.HostWorkers = Config.InlineKernels ? 0 : Config.Workers;
+      return std::make_unique<GpuSimBackend>(Gpu);
+    });
+    return M;
+  }();
+  return Map;
+}
+
+} // namespace
+
+bool paresy::engine::registerBackend(std::string Name,
+                                     BackendFactory Factory) {
+  std::lock_guard<std::mutex> Lock(registryLock());
+  return factories().emplace(std::move(Name), std::move(Factory)).second;
+}
+
+std::unique_ptr<Backend>
+paresy::engine::createBackend(std::string_view Name,
+                              const BackendConfig &Config) {
+  BackendFactory Factory;
+  {
+    std::lock_guard<std::mutex> Lock(registryLock());
+    FactoryMap &Map = factories();
+    auto It = Map.find(Name);
+    if (It == Map.end())
+      return nullptr;
+    Factory = It->second;
+  }
+  return Factory(Config);
+}
+
+std::vector<std::string> paresy::engine::backendNames() {
+  std::lock_guard<std::mutex> Lock(registryLock());
+  std::vector<std::string> Names;
+  for (const auto &[Name, Factory] : factories())
+    Names.push_back(Name);
+  return Names;
+}
+
+SynthResult paresy::engine::synthesizeWith(std::string_view Name,
+                                           const Spec &S,
+                                           const Alphabet &Sigma,
+                                           const SynthOptions &Opts,
+                                           const BackendConfig &Config) {
+  std::unique_ptr<Backend> B = createBackend(Name, Config);
+  if (!B) {
+    SynthResult R;
+    R.Status = SynthStatus::InvalidInput;
+    R.Message = "unknown backend '" + std::string(Name) + "'";
+    return R;
+  }
+  return runSearch(S, Sigma, Opts, *B);
+}

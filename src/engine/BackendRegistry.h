@@ -1,0 +1,73 @@
+//===- engine/BackendRegistry.h - String-keyed backend dispatch --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime backend selection, modelled on the searchCpu()/searchGpu()
+/// dispatch idiom of GPU pattern-matching engines: callers name a
+/// backend by string ("cpu", "cpu-parallel", "gpusim") and the
+/// registry constructs it. Out-of-tree backends register a factory
+/// under a new key and immediately work with synthesizeWith(),
+/// synthesizeBatch() and the cross-backend equivalence test corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_BACKENDREGISTRY_H
+#define PARESY_ENGINE_BACKENDREGISTRY_H
+
+#include "core/Synthesizer.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+namespace engine {
+
+class Backend;
+
+/// Construction-time knobs a factory may honour.
+struct BackendConfig {
+  /// Worker threads for parallel backends. 0 means the backend's
+  /// default (one per spare hardware thread for "cpu-parallel",
+  /// inline kernel execution for "gpusim"); ignored by "cpu".
+  unsigned Workers = 0;
+  /// Forces kernel execution inline on the calling thread, overriding
+  /// Workers. Set by synthesizeBatch(), whose spec-level tasks already
+  /// occupy the worker pool. Results never depend on this (backends
+  /// are schedule-independent); only thread usage does.
+  bool InlineKernels = false;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(const BackendConfig &)>;
+
+/// Registers \p Factory under \p Name. Returns false (and leaves the
+/// registry unchanged) when the name is already taken. Thread-safe.
+bool registerBackend(std::string Name, BackendFactory Factory);
+
+/// Creates the backend registered under \p Name, or null for unknown
+/// names. Thread-safe.
+std::unique_ptr<Backend> createBackend(std::string_view Name,
+                                       const BackendConfig &Config = {});
+
+/// The registered backend names, sorted ("cpu", "cpu-parallel",
+/// "gpusim" plus any out-of-tree registrations).
+std::vector<std::string> backendNames();
+
+/// One-call dispatch: runs the search on the backend registered under
+/// \p Name. Unknown names produce an InvalidInput result naming the
+/// backend, so string-driven callers (CLI, servers) need no separate
+/// validation step.
+SynthResult synthesizeWith(std::string_view Name, const Spec &S,
+                           const Alphabet &Sigma, const SynthOptions &Opts,
+                           const BackendConfig &Config = {});
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_BACKENDREGISTRY_H

@@ -1,0 +1,31 @@
+//===- engine/Batch.cpp - Batched synthesis over a shared pool ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Batch.h"
+
+#include "support/ThreadPool.h"
+
+using namespace paresy;
+using namespace paresy::engine;
+
+std::vector<SynthResult>
+paresy::engine::synthesizeBatch(const std::vector<Spec> &Specs,
+                                const Alphabet &Sigma,
+                                const SynthOptions &Opts,
+                                const BatchOptions &Batch) {
+  std::vector<SynthResult> Results(Specs.size());
+  // Each spec gets a private backend instance created inside its task:
+  // backends are single-run, and a worker-confined instance needs no
+  // locking. Kernel execution is forced inline (Workers = 0 in the
+  // config) because the spec tasks already occupy the pool.
+  BackendConfig Config;
+  Config.InlineKernels = true;
+  ThreadPool Pool(Batch.Workers);
+  Pool.parallelFor(Specs.size(), [&](size_t I) {
+    Results[I] = synthesizeWith(Batch.Backend, Specs[I], Sigma, Opts, Config);
+  });
+  return Results;
+}

@@ -1,0 +1,52 @@
+//===- engine/Batch.h - Batched synthesis over a shared pool -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving primitive for many independent specifications:
+/// synthesizeBatch() schedules one synthesis per spec over a shared
+/// worker pool. Each spec runs a private backend instance, so runs
+/// never share mutable state; results land at the spec's index and are
+/// bit-identical for every worker count (each individual run is
+/// deterministic, and the scheduling only decides *when* a run
+/// executes, never what it computes). Later scaling work - sharding,
+/// async serving, result caching - builds on this call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_BATCH_H
+#define PARESY_ENGINE_BATCH_H
+
+#include "engine/BackendRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace paresy {
+namespace engine {
+
+/// Scheduling knobs for one batch.
+struct BatchOptions {
+  /// Registry key of the backend each spec runs on.
+  std::string Backend = "cpu";
+  /// Worker threads running specs concurrently; 0 runs them one after
+  /// another on the caller. When > 0, each spec's backend executes its
+  /// kernels inline on its worker (spec-level parallelism replaces
+  /// kernel-level parallelism; pools do not nest).
+  unsigned Workers = 0;
+};
+
+/// Synthesizes every spec of \p Specs over the shared alphabet
+/// \p Sigma with the same options. Returns one result per spec, in
+/// input order. Unknown backend names yield InvalidInput results.
+std::vector<SynthResult> synthesizeBatch(const std::vector<Spec> &Specs,
+                                         const Alphabet &Sigma,
+                                         const SynthOptions &Opts,
+                                         const BatchOptions &Batch = {});
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_BATCH_H

@@ -1,0 +1,158 @@
+//===- engine/BatchedBackend.cpp - Bulk-synchronous kernel pipeline ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/BatchedBackend.h"
+
+#include "engine/Kernels.h"
+#include "engine/LevelTasks.h"
+#include "gpusim/Scan.h"
+#include "lang/CharSeq.h"
+#include "lang/Universe.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace paresy;
+using namespace paresy::engine;
+using namespace paresy::gpusim;
+
+BatchedBackend::BatchedBackend(const DeviceSpec &Spec, unsigned Workers,
+                               size_t BatchTasks)
+    : Dev(Spec, Workers), BatchTasks(std::max<size_t>(1, BatchTasks)) {}
+
+size_t BatchedBackend::splitBudget(size_t CsWords, uint64_t BudgetBytes) {
+  uint64_t RowBytes = CsWords * sizeof(uint64_t) + sizeof(Provenance);
+  uint64_t SlotBytes = CsWords * sizeof(uint64_t) + 12;
+  uint64_t CacheCap =
+      std::max<uint64_t>(16, BudgetBytes * 6 / 10 / RowBytes);
+  CacheCap = std::min<uint64_t>(CacheCap, 0xfffffffeu);
+  uint64_t HashCap =
+      std::max<uint64_t>(32, BudgetBytes * 3 / 10 / SlotBytes);
+  HashCapacity = size_t(std::min<uint64_t>(HashCap, 0x7fffffffu));
+  return size_t(CacheCap);
+}
+
+void BatchedBackend::prepare(SearchContext &Ctx) {
+  HashSet = std::make_unique<WarpHashSet>(Ctx.U->csWords(), HashCapacity);
+  IdBase = 0;
+}
+
+LevelOutcome BatchedBackend::runLevel(SearchContext &Ctx, uint64_t,
+                                      LevelTasks &Tasks) {
+  LevelOutcome Out;
+  const SynthOptions &Opts = *Ctx.Opts;
+  // Pull the level in bounded batches: a concat/union level can hold
+  // quadratically many tasks, so it is never materialised whole.
+  while (Tasks.fill(Batch, BatchTasks)) {
+    size_t Words = Ctx.U->csWords();
+    if (TempCs.size() < Batch.size() * Words) {
+      TempCs.resize(Batch.size() * Words);
+      TaskSlot.resize(Batch.size());
+      WinnerFlag.resize(Batch.size());
+      WinnerOffset.resize(Batch.size());
+    }
+    bool Continue = processBatch(Ctx, Out);
+    IdBase += Batch.size();
+    if (!Continue)
+      break;
+    // Deadline check between batches, so a quadratically large level
+    // cannot overrun the timeout by more than one batch.
+    if (Opts.TimeoutSeconds > 0 &&
+        Ctx.Clock->seconds() > Opts.TimeoutSeconds) {
+      Out.TimedOut = true;
+      break;
+    }
+  }
+  return Out;
+}
+
+bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
+  const SynthOptions &Opts = *Ctx.Opts;
+  const Universe &U = *Ctx.U;
+  const GuideTable *GT = Ctx.GT;
+  LanguageCache &Cache = *Ctx.Cache;
+  size_t Count = Batch.size();
+  size_t Words = U.csWords();
+
+  // Kernel 1: generate every candidate CS into temporary storage.
+  Out.Ops += Dev.launch("paresy.generate", Count, [&](size_t T) -> uint64_t {
+    return generateCs(TempCs.data() + T * Words, Batch[T], U, GT, Cache);
+  });
+  Out.Candidates += Count;
+
+  // Kernel 2: concurrent uniqueness insertion (min-id winners). With
+  // the uniqueness ablation off every candidate is its own winner,
+  // exactly as in the sequential backend.
+  if (Opts.UniquenessCheck) {
+    std::atomic<bool> Full{false};
+    Dev.launch("paresy.unique", Count, [&](size_t T) -> uint64_t {
+      uint32_t Id = uint32_t(IdBase + T);
+      int64_t Slot = HashSet->insert(TempCs.data() + T * Words, Id);
+      TaskSlot[T] = Slot;
+      if (Slot < 0)
+        Full.store(true, std::memory_order_relaxed);
+      return Words + 2;
+    });
+    if (Full.load()) {
+      Out.Abort = true;
+      Out.AbortReason = "uniqueness hash set exhausted";
+      return false;
+    }
+  }
+
+  // Kernel 3: winner flags and specification check; the first
+  // satisfying winner (minimum candidate id) is recorded atomically.
+  std::atomic<uint64_t> FoundId{UINT64_MAX};
+  Dev.launch("paresy.check", Count, [&](size_t T) -> uint64_t {
+    uint32_t Id = uint32_t(IdBase + T);
+    bool Winner =
+        !Opts.UniquenessCheck || HashSet->isWinner(size_t(TaskSlot[T]), Id);
+    WinnerFlag[T] = Winner ? 1 : 0;
+    if (Winner &&
+        Ctx.Algebra->satisfies(TempCs.data() + T * Words,
+                               Ctx.MistakeBudget)) {
+      uint64_t Candidate = IdBase + T;
+      uint64_t Expected = FoundId.load(std::memory_order_relaxed);
+      while (Candidate < Expected &&
+             !FoundId.compare_exchange_weak(Expected, Candidate,
+                                            std::memory_order_relaxed)) {
+      }
+    }
+    return Words;
+  });
+
+  uint64_t FoundNow = FoundId.load(std::memory_order_relaxed);
+  if (!Out.FoundSatisfier && FoundNow != UINT64_MAX) {
+    Out.FoundSatisfier = true;
+    Out.Satisfier = Batch[size_t(FoundNow - IdBase)];
+  }
+
+  // Kernel 4+5: compact winners into the language cache (scan for
+  // offsets, then a parallel copy). Winners beyond the remaining
+  // capacity are checked but not cached: the OnTheFly regime.
+  uint64_t Winners =
+      exclusiveScan(Dev, WinnerFlag.data(), WinnerOffset.data(), Count);
+  Out.Unique += Winners;
+  uint64_t Space = Cache.capacity() - Cache.size();
+  uint64_t ToCache = std::min<uint64_t>(Winners, Space);
+  if (ToCache < Winners)
+    Out.CacheFilled = true;
+  if (ToCache > 0) {
+    uint32_t Base = Cache.reserveRows(size_t(ToCache));
+    Dev.launch("paresy.compact", Count, [&](size_t T) -> uint64_t {
+      if (!WinnerFlag[T] || WinnerOffset[T] >= ToCache)
+        return 1;
+      Cache.writeRow(Base + size_t(WinnerOffset[T]),
+                     TempCs.data() + T * Words, Batch[T]);
+      return Words + 1;
+    });
+  }
+  if (Out.CacheFilled && !Opts.EnableOnTheFly) {
+    Out.Abort = true; // Paper behaviour: an immediate OOM error.
+    return false;
+  }
+  return true;
+}

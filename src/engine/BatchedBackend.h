@@ -1,0 +1,101 @@
+//===- engine/BatchedBackend.h - Bulk-synchronous kernel pipeline ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-parallel execution of one cost level, shared by the
+/// host-parallel backend and the GPU simulator (Sec. 3 "GPU language
+/// cache implementation"). Each level runs in batches of independent
+/// tasks through five kernels:
+///
+///   1. generate   - one task per candidate, CS into temporary
+///                   storage (the paper's grey area (a));
+///   2. uniqueness - concurrent WarpHashSet insert, min-id winners;
+///   3. check      - winners tested against the spec, atomic-min on
+///                   the first satisfier;
+///   4. scan + compact - winners copied contiguously into the
+///                   language cache (the paper's blue area (b)).
+///
+/// Candidate ids are enumeration ranks, and both the uniqueness
+/// winners (atomic min over inserter ids) and the chosen satisfier
+/// (atomic min over candidate ids) are schedule-independent minima, so
+/// results are identical for any worker count - and identical to the
+/// sequential backend (asserted by tests/engine_test.cpp).
+///
+/// Subclasses choose the execution substrate (thread pool vs simulated
+/// device with modelled timing) and the memory-partitioning policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_BATCHEDBACKEND_H
+#define PARESY_ENGINE_BATCHEDBACKEND_H
+
+#include "engine/Backend.h"
+#include "gpusim/Device.h"
+#include "gpusim/WarpHashSet.h"
+
+#include <memory>
+
+namespace paresy {
+namespace engine {
+
+/// Backend base class executing levels as batched kernels on a
+/// (possibly simulated) data-parallel device.
+class BatchedBackend : public Backend {
+public:
+  /// \p Spec is the timing model of the underlying device (ignored by
+  /// callers that never read the perf counters); \p Workers host
+  /// threads execute the grids (0 = inline); \p BatchTasks bounds
+  /// temporary storage per kernel batch.
+  BatchedBackend(const gpusim::DeviceSpec &Spec, unsigned Workers,
+                 size_t BatchTasks);
+
+  void prepare(SearchContext &Ctx) override;
+  LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                        LevelTasks &Tasks) override;
+  uint64_t auxBytesUsed() const override {
+    return HashSet ? HashSet->bytesUsed() : 0;
+  }
+
+  /// Modelled-device accounting (meaningful for the GPU simulator).
+  const gpusim::PerfModel &perf() const { return Dev.perf(); }
+  unsigned workerCount() const { return Dev.workerCount(); }
+
+protected:
+  /// The pipeline's memory partition - ~60% language cache rows, ~30%
+  /// hash set slots, the rest temporaries - shared by every batched
+  /// backend. Stores the hash capacity (see HashCapacity) and returns
+  /// the cache row capacity. Subclasses call this from
+  /// planCacheCapacity() with their budget (device-capped or not).
+  size_t splitBudget(size_t CsWords, uint64_t BudgetBytes);
+
+  /// Subclasses set this from planCacheCapacity() when dividing the
+  /// memory budget; prepare() allocates the hash set with it.
+  size_t HashCapacity = 32;
+
+private:
+  /// Runs one batch of tasks through the kernels. Returns false when
+  /// the run must stop (hash set full, or cache full with OnTheFly
+  /// disabled).
+  bool processBatch(SearchContext &Ctx, LevelOutcome &Out);
+
+  gpusim::Device Dev;
+  size_t BatchTasks;
+  std::unique_ptr<gpusim::WarpHashSet> HashSet;
+
+  // Device buffers reused across batches.
+  std::vector<Provenance> Batch;      // Tasks pulled for this batch.
+  std::vector<uint64_t> TempCs;       // batch x CsWords.
+  std::vector<int64_t> TaskSlot;      // Hash slot per task.
+  std::vector<uint32_t> WinnerFlag;   // 1 iff task is unique winner.
+  std::vector<uint64_t> WinnerOffset; // Exclusive scan of WinnerFlag.
+
+  uint64_t IdBase = 0; // Candidate id of the current batch's task 0.
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_BATCHEDBACKEND_H

@@ -1,0 +1,97 @@
+//===- engine/CpuBackend.cpp - Sequential reference backend ------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CpuBackend.h"
+
+#include "engine/LevelTasks.h"
+#include "lang/CharSeq.h"
+#include "lang/Universe.h"
+
+#include <algorithm>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+size_t CpuBackend::planCacheCapacity(const SearchContext &Ctx,
+                                     uint64_t BudgetBytes) {
+  // Each cached CS costs its bits, its provenance, and an amortised
+  // uniqueness slot (the paper estimates "approx. 3k bits per CS").
+  uint64_t PerEntry = uint64_t(Ctx.U->csWords()) * sizeof(uint64_t) +
+                      sizeof(Provenance) + 6;
+  uint64_t Capacity = std::max<uint64_t>(16, BudgetBytes / PerEntry);
+  return size_t(std::min<uint64_t>(Capacity, 0xfffffffeu));
+}
+
+void CpuBackend::prepare(SearchContext &Ctx) {
+  Unique = std::make_unique<CsHashSet>(*Ctx.Cache);
+  Scratch.assign(Ctx.U->csWords(), 0);
+}
+
+LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
+                                  LevelTasks &Tasks) {
+  const SynthOptions &Opts = *Ctx.Opts;
+  CsAlgebra &Algebra = *Ctx.Algebra;
+  LanguageCache &Cache = *Ctx.Cache;
+  uint64_t *Cs = Scratch.data();
+  LevelOutcome Out;
+
+  Provenance Prov;
+  while (Tasks.next(Prov)) {
+    // Alg. 2 lines 15-19, one candidate at a time.
+    switch (Prov.Kind) {
+    case CsOp::Literal:
+      Algebra.makeLiteral(Cs, Prov.Symbol);
+      break;
+    case CsOp::Epsilon:
+      Algebra.makeEpsilon(Cs);
+      break;
+    case CsOp::Empty:
+      Algebra.makeEmpty(Cs);
+      break;
+    case CsOp::Question:
+      Algebra.question(Cs, Cache.cs(Prov.Lhs));
+      break;
+    case CsOp::Star:
+      Algebra.star(Cs, Cache.cs(Prov.Lhs));
+      break;
+    case CsOp::Concat:
+      Algebra.concat(Cs, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs));
+      break;
+    case CsOp::Union:
+      Algebra.unionOf(Cs, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs));
+      break;
+    }
+    ++Out.Candidates;
+
+    if (Opts.TimeoutSeconds > 0 && !Out.TimedOut &&
+        ((Ctx.CandidatesBefore + Out.Candidates) & 0xfff) == 0 &&
+        Ctx.Clock->seconds() > Opts.TimeoutSeconds)
+      Out.TimedOut = true;
+
+    if (!Opts.UniquenessCheck || !Unique->contains(Cs)) {
+      ++Out.Unique;
+      if (!Out.FoundSatisfier && Algebra.satisfies(Cs, Ctx.MistakeBudget)) {
+        Out.FoundSatisfier = true;
+        Out.Satisfier = Prov;
+      }
+      if (!Cache.full()) {
+        uint32_t Idx = Cache.append(Cs, Prov);
+        if (Opts.UniquenessCheck)
+          Unique->insert(Cs, Idx);
+      } else {
+        // The candidate is dropped from the cache but was fully
+        // checked: OnTheFly keeps sweeping while the driver's
+        // completeness horizon holds.
+        Out.CacheFilled = true;
+        if (!Opts.EnableOnTheFly)
+          Out.Abort = true; // Paper behaviour: an immediate OOM error.
+      }
+    }
+    if (Out.TimedOut || Out.Abort)
+      break;
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- engine/CpuBackend.h - Sequential reference backend --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential CPU backend: the paper's reference implementation of
+/// the per-level phases, one candidate at a time on the calling
+/// thread. Generation goes through the CsAlgebra (which accounts split
+/// pairs), uniqueness through the open-addressing CsHashSet keyed on
+/// cache rows, and candidates are appended to the cache as they
+/// survive - no temporary storage, no compaction pass. This is the
+/// semantics every other backend is tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_CPUBACKEND_H
+#define PARESY_ENGINE_CPUBACKEND_H
+
+#include "core/CsHashSet.h"
+#include "engine/Backend.h"
+
+#include <memory>
+
+namespace paresy {
+namespace engine {
+
+/// One candidate at a time, in enumeration order, on one thread.
+class CpuBackend : public Backend {
+public:
+  std::string_view name() const override { return "cpu"; }
+  size_t planCacheCapacity(const SearchContext &Ctx,
+                           uint64_t BudgetBytes) override;
+  void prepare(SearchContext &Ctx) override;
+  LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                        LevelTasks &Tasks) override;
+  uint64_t auxBytesUsed() const override {
+    return Unique ? Unique->bytesUsed() : 0;
+  }
+
+private:
+  std::unique_ptr<CsHashSet> Unique;
+  std::vector<uint64_t> Scratch;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_CPUBACKEND_H

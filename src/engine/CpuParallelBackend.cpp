@@ -1,0 +1,40 @@
+//===- engine/CpuParallelBackend.cpp - Multi-core host backend ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CpuParallelBackend.h"
+
+#include "lang/Universe.h"
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+gpusim::DeviceSpec hostSpec() {
+  // The timing model is unused on this backend; only the thread pool
+  // executes. Zero the session overhead so no one mistakes the perf
+  // counters for a device projection.
+  gpusim::DeviceSpec Spec;
+  Spec.Name = "host";
+  Spec.SessionOverheadSeconds = 0;
+  return Spec;
+}
+
+} // namespace
+
+CpuParallelBackend::CpuParallelBackend(unsigned Workers)
+    : BatchedBackend(hostSpec(),
+                     Workers == Inline
+                         ? 0
+                         : (Workers ? Workers : ThreadPool::defaultWorkers()),
+                     /*BatchTasks=*/size_t(1) << 16) {}
+
+size_t CpuParallelBackend::planCacheCapacity(const SearchContext &Ctx,
+                                             uint64_t BudgetBytes) {
+  // The shared pipeline split, against host memory only (no device
+  // size cap).
+  return splitBudget(Ctx.U->csWords(), BudgetBytes);
+}

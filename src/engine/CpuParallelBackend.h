@@ -1,0 +1,44 @@
+//===- engine/CpuParallelBackend.h - Multi-core host backend -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel CPU backend: the batched kernel pipeline executed for
+/// real on a support/ThreadPool, with no device timing model - the
+/// first multi-core execution of the search in this repo. Results are
+/// bit-identical to the sequential backend for every worker count
+/// (uniqueness winners and the chosen satisfier are schedule-
+/// independent minima; see BatchedBackend.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_CPUPARALLELBACKEND_H
+#define PARESY_ENGINE_CPUPARALLELBACKEND_H
+
+#include "engine/BatchedBackend.h"
+
+namespace paresy {
+namespace engine {
+
+/// The generate/check kernels on a host thread pool.
+class CpuParallelBackend : public BatchedBackend {
+public:
+  /// Worker count requesting inline kernel execution (no pool at all).
+  static constexpr unsigned Inline = ~0u;
+
+  /// \p Workers host threads (0 = one per spare hardware thread; on a
+  /// single-core host the kernels then run inline, which is still the
+  /// same deterministic pipeline; Inline = no worker threads).
+  explicit CpuParallelBackend(unsigned Workers = 0);
+
+  std::string_view name() const override { return "cpu-parallel"; }
+  size_t planCacheCapacity(const SearchContext &Ctx,
+                           uint64_t BudgetBytes) override;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_CPUPARALLELBACKEND_H

@@ -1,0 +1,25 @@
+//===- engine/GpuSimBackend.cpp - Simulated-device backend -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/GpuSimBackend.h"
+
+#include "lang/Universe.h"
+
+#include <algorithm>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+GpuSimBackend::GpuSimBackend(const gpusim::GpuOptions &Gpu)
+    : BatchedBackend(Gpu.Spec, Gpu.HostWorkers, Gpu.BatchTasks),
+      DeviceMemoryBytes(Gpu.Spec.MemoryBytes) {}
+
+size_t GpuSimBackend::planCacheCapacity(const SearchContext &Ctx,
+                                        uint64_t BudgetBytes) {
+  // The shared pipeline split, against whatever fits on the device.
+  return splitBudget(Ctx.U->csWords(),
+                     std::min<uint64_t>(BudgetBytes, DeviceMemoryBytes));
+}

@@ -1,0 +1,44 @@
+//===- engine/GpuSimBackend.h - Simulated-device backend ---------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GPU-simulation backend: the batched kernel pipeline on the
+/// simulated device of gpusim/ - kernels execute functionally on host
+/// threads while the PerfModel charges each launch its modelled device
+/// time (the number Table 1's "GPU" column reproduces). Functional
+/// results are identical to the other backends; only the perf
+/// accounting differs. gpusim/synthesizeGpu() wraps this backend and
+/// surfaces the accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_GPUSIMBACKEND_H
+#define PARESY_ENGINE_GPUSIMBACKEND_H
+
+#include "engine/BatchedBackend.h"
+#include "gpusim/GpuSynthesizer.h"
+
+namespace paresy {
+namespace engine {
+
+/// The kernels on the simulated device, with modelled timing and a
+/// device memory cap.
+class GpuSimBackend : public BatchedBackend {
+public:
+  explicit GpuSimBackend(const gpusim::GpuOptions &Gpu = gpusim::GpuOptions());
+
+  std::string_view name() const override { return "gpusim"; }
+  size_t planCacheCapacity(const SearchContext &Ctx,
+                           uint64_t BudgetBytes) override;
+
+private:
+  uint64_t DeviceMemoryBytes;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_GPUSIMBACKEND_H

@@ -1,0 +1,127 @@
+//===- engine/Kernels.cpp - Shared per-task CS kernel bodies -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Kernels.h"
+
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "support/Bits.h"
+
+#include <cassert>
+#include <string_view>
+#include <vector>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+uint64_t concatStaged(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                      const Universe &U, const GuideTable &GT) {
+  size_t Words = U.csWords();
+  clearWords(Dst, Words);
+  size_t NumWords = U.size();
+  const uint32_t *Rows = GT.rowOffsets().data();
+  const SplitPair *Pairs = GT.pairs().data();
+  for (size_t W = 0; W != NumWords; ++W) {
+    // The fold of Alg. 2 lines 10-13: disjoin over every split of
+    // word W, with no data-dependent early exit.
+    uint64_t Bit = 0;
+    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P)
+      Bit |= uint64_t(testBit(A, Pairs[P].Lhs) & testBit(B, Pairs[P].Rhs));
+    if (Bit)
+      setBit(Dst, W);
+  }
+  return GT.totalPairs() + Words;
+}
+
+uint64_t concatUnstaged(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                        const Universe &U) {
+  // Ablation slow path: re-derive every split through string slicing
+  // and hash lookups. Universe lookups are const and therefore safe
+  // from any number of tasks.
+  size_t Words = U.csWords();
+  clearWords(Dst, Words);
+  uint64_t Cuts = 0;
+  for (size_t W = 0; W != U.size(); ++W) {
+    const std::string &Word = U.word(W);
+    bool Member = false;
+    for (size_t Cut = 0; Cut <= Word.size(); ++Cut) {
+      ++Cuts;
+      int64_t L = U.indexOf(std::string_view(Word).substr(0, Cut));
+      int64_t R = U.indexOf(std::string_view(Word).substr(Cut));
+      assert(L >= 0 && R >= 0 && "universe must be infix-closed");
+      Member |= testBit(A, size_t(L)) & testBit(B, size_t(R));
+    }
+    if (Member)
+      setBit(Dst, W);
+  }
+  return Cuts + Words;
+}
+
+} // namespace
+
+uint64_t paresy::engine::csConcat(uint64_t *Dst, const uint64_t *A,
+                                  const uint64_t *B, const Universe &U,
+                                  const GuideTable *GT) {
+  return GT ? concatStaged(Dst, A, B, U, *GT) : concatUnstaged(Dst, A, B, U);
+}
+
+uint64_t paresy::engine::csStar(uint64_t *Dst, const uint64_t *A,
+                                const Universe &U, const GuideTable *GT) {
+  size_t Words = U.csWords();
+  // Fixpoint of S = 1 + S.A with task-local scratch.
+  static thread_local std::vector<uint64_t> Current, Next;
+  Current.assign(Words, 0);
+  Next.assign(Words, 0);
+  setBit(Current.data(), U.epsilonIndex());
+  uint64_t Ops = Words;
+  for (;;) {
+    Ops += csConcat(Next.data(), Current.data(), A, U, GT);
+    orWords(Next.data(), Next.data(), Current.data(), Words);
+    Ops += Words;
+    if (equalWords(Next.data(), Current.data(), Words))
+      break;
+    copyWords(Current.data(), Next.data(), Words);
+  }
+  copyWords(Dst, Current.data(), Words);
+  return Ops + Words;
+}
+
+uint64_t paresy::engine::generateCs(uint64_t *Dst, const Provenance &Prov,
+                                    const Universe &U, const GuideTable *GT,
+                                    const LanguageCache &Cache) {
+  size_t Words = U.csWords();
+  switch (Prov.Kind) {
+  case CsOp::Literal: {
+    clearWords(Dst, Words);
+    char Symbol = Prov.Symbol;
+    int64_t Idx = U.indexOf(std::string_view(&Symbol, 1));
+    if (Idx >= 0)
+      setBit(Dst, size_t(Idx));
+    return Words;
+  }
+  case CsOp::Epsilon:
+    clearWords(Dst, Words);
+    setBit(Dst, U.epsilonIndex());
+    return Words;
+  case CsOp::Empty:
+    clearWords(Dst, Words);
+    return Words;
+  case CsOp::Question:
+    copyWords(Dst, Cache.cs(Prov.Lhs), Words);
+    setBit(Dst, U.epsilonIndex());
+    return Words;
+  case CsOp::Star:
+    return csStar(Dst, Cache.cs(Prov.Lhs), U, GT);
+  case CsOp::Concat:
+    return csConcat(Dst, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs), U, GT);
+  case CsOp::Union:
+    orWords(Dst, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs), Words);
+    return Words;
+  }
+  return 0;
+}

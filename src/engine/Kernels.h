@@ -1,0 +1,57 @@
+//===- engine/Kernels.h - Shared per-task CS kernel bodies -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inner loops of the data-parallel backends: free functions over
+/// raw CS words that construct one candidate's characteristic sequence
+/// from its provenance, with no shared mutable state, so any number of
+/// tasks can run them concurrently. Both the host-parallel backend and
+/// the GPU simulator execute these exact bodies (one task per
+/// candidate, results into pre-allocated buffers), mirroring how the
+/// paper's CUDA kernels are structured.
+///
+/// Each function returns the work units it performed - split-pair
+/// evaluations plus word-level passes - the currency the GPU
+/// performance model charges for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_KERNELS_H
+#define PARESY_ENGINE_KERNELS_H
+
+#include "core/LanguageCache.h"
+
+#include <cstdint>
+
+namespace paresy {
+
+class GuideTable;
+class Universe;
+
+namespace engine {
+
+/// Dst = A . B. Uses the staged guide-table fold when \p GT is
+/// non-null; otherwise re-derives every split through universe lookups
+/// (the unstaged ablation path). Dst must not alias A or B.
+uint64_t csConcat(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                  const Universe &U, const GuideTable *GT);
+
+/// Dst = A* as the fixpoint of S = 1 + S.A, with task-local scratch.
+/// Dst must not alias A.
+uint64_t csStar(uint64_t *Dst, const uint64_t *A, const Universe &U,
+                const GuideTable *GT);
+
+/// Builds the CS for one provenance task into \p Dst. Operand rows are
+/// read from \p Cache (always at strictly lower cost, hence already
+/// compacted when the task runs).
+uint64_t generateCs(uint64_t *Dst, const Provenance &Prov,
+                    const Universe &U, const GuideTable *GT,
+                    const LanguageCache &Cache);
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_KERNELS_H

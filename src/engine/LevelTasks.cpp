@@ -1,0 +1,191 @@
+//===- engine/LevelTasks.cpp - Lazy per-level task enumeration ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/LevelTasks.h"
+
+#include "lang/Alphabet.h"
+
+using namespace paresy;
+using namespace paresy::engine;
+
+LevelTasks LevelTasks::seedLevel(const SearchContext &Ctx) {
+  LevelTasks T;
+  T.Ctx = &Ctx;
+  T.P = Phase::SeedLiteral;
+  T.I = 0;
+  T.IEnd = uint32_t(Ctx.Sigma->size());
+  return T;
+}
+
+LevelTasks LevelTasks::sweepLevel(const SearchContext &Ctx, uint64_t C,
+                                  const std::vector<uint64_t> &NonEmpty) {
+  LevelTasks T;
+  T.Ctx = &Ctx;
+  T.Levels = &NonEmpty;
+  T.C = C;
+  T.P = Phase::Question;
+  if (C > Ctx.Opts->Cost.Question)
+    std::tie(T.I, T.IEnd) = Ctx.Cache->level(C - Ctx.Opts->Cost.Question);
+  return T;
+}
+
+bool LevelTasks::next(Provenance &Out) {
+  const CostFn &Cost = Ctx->Opts->Cost;
+  for (;;) {
+    switch (P) {
+    case Phase::SeedLiteral:
+      if (I < IEnd) {
+        Out = Provenance{CsOp::Literal, Ctx->Sigma->symbol(I), 0, 0};
+        ++I;
+        return true;
+      }
+      P = Phase::SeedEpsilon;
+      break;
+
+    case Phase::SeedEpsilon:
+      P = Phase::SeedEmpty;
+      if (Ctx->Opts->SeedEpsilon) {
+        Out = Provenance{CsOp::Epsilon, 0, 0, 0};
+        return true;
+      }
+      break;
+
+    case Phase::SeedEmpty:
+      P = Phase::Done;
+      if (Ctx->MistakeBudget > 0) {
+        Out = Provenance{CsOp::Empty, 0, 0, 0};
+        return true;
+      }
+      break;
+
+    case Phase::Question:
+      if (I < IEnd) {
+        Out = Provenance{CsOp::Question, 0, I, 0};
+        ++I;
+        return true;
+      }
+      I = IEnd = 0;
+      if (C > Cost.Star)
+        std::tie(I, IEnd) = Ctx->Cache->level(C - Cost.Star);
+      P = Phase::Star;
+      break;
+
+    case Phase::Star:
+      if (I < IEnd) {
+        Out = Provenance{CsOp::Star, 0, I, 0};
+        ++I;
+        return true;
+      }
+      LevelIdx = 0;
+      P = Phase::ConcatLevels;
+      break;
+
+    case Phase::ConcatLevels: {
+      // Alg. 2 line 5: all ordered cost splits L + R = Budget,
+      // restricted to the non-empty cached levels.
+      bool Entered = false;
+      if (C > Cost.Concat) {
+        uint64_t Budget = C - Cost.Concat;
+        while (LevelIdx != Levels->size()) {
+          uint64_t LC = (*Levels)[LevelIdx];
+          if (LC + Cost.Literal > Budget)
+            break;
+          ++LevelIdx;
+          auto [Lb, Le] = Ctx->Cache->level(LC);
+          auto [Rb, Re] = Ctx->Cache->level(Budget - LC);
+          if (Lb == Le || Rb == Re)
+            continue;
+          LB = Lb;
+          LE = Le;
+          RB = Rb;
+          RE = Re;
+          I = LB;
+          J = RB;
+          P = Phase::Concat;
+          Entered = true;
+          break;
+        }
+      }
+      if (!Entered) {
+        LevelIdx = 0;
+        P = Phase::UnionLevels;
+      }
+      break;
+    }
+
+    case Phase::Concat:
+      if (I != LE) {
+        Out = Provenance{CsOp::Concat, 0, I, J};
+        if (++J == RE) {
+          ++I;
+          J = RB;
+        }
+        return true;
+      }
+      P = Phase::ConcatLevels;
+      break;
+
+    case Phase::UnionLevels: {
+      // Union is commutative and idempotent, so only splits with
+      // L <= R and, within one level, only pairs I < J are generated
+      // (a deviation from the paper's "all L, R" that halves the work
+      // but changes neither the reachable languages nor minimality).
+      bool Entered = false;
+      if (C > Cost.Union) {
+        uint64_t Budget = C - Cost.Union;
+        while (LevelIdx != Levels->size()) {
+          uint64_t LC = (*Levels)[LevelIdx];
+          if (2 * LC > Budget)
+            break;
+          ++LevelIdx;
+          uint64_t RC = Budget - LC;
+          auto [Lb, Le] = Ctx->Cache->level(LC);
+          auto [Rb, Re] = Ctx->Cache->level(RC);
+          if (Lb == Le || Rb == Re)
+            continue;
+          LB = Lb;
+          LE = Le;
+          RB = Rb;
+          RE = Re;
+          SameLevel = LC == RC;
+          I = LB;
+          J = SameLevel ? I + 1 : RB;
+          P = Phase::Union;
+          Entered = true;
+          break;
+        }
+      }
+      if (!Entered)
+        P = Phase::Done;
+      break;
+    }
+
+    case Phase::Union:
+      while (I != LE && J >= RE) {
+        ++I;
+        J = SameLevel ? I + 1 : RB;
+      }
+      if (I != LE) {
+        Out = Provenance{CsOp::Union, 0, I, J};
+        ++J;
+        return true;
+      }
+      P = Phase::UnionLevels;
+      break;
+
+    case Phase::Done:
+      return false;
+    }
+  }
+}
+
+size_t LevelTasks::fill(std::vector<Provenance> &Out, size_t Max) {
+  Out.clear();
+  Provenance Prov;
+  while (Out.size() < Max && next(Prov))
+    Out.push_back(Prov);
+  return Out.size();
+}

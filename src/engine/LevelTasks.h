@@ -1,0 +1,87 @@
+//===- engine/LevelTasks.h - Lazy per-level task enumeration -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver's enumeration of one cost level's candidate tasks, in
+/// the canonical order of Alg. 1 line 12 (?, *, ., +), exposed as a
+/// pull stream. Concat/union levels have a number of tasks quadratic
+/// in the cache population, so the level is never materialised;
+/// backends pull chunks bounded by their batch size and memory use
+/// stays flat no matter how large the level is. The i-th task pulled
+/// has rank i, which is the candidate id the uniqueness and satisfier
+/// minima are taken over - ranks, not schedules, decide winners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_LEVELTASKS_H
+#define PARESY_ENGINE_LEVELTASKS_H
+
+#include "engine/Backend.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+namespace engine {
+
+/// A stream of the candidate tasks of one cost level.
+class LevelTasks {
+public:
+  /// The seed level (cost c1): alphabet literals, then {epsilon} under
+  /// SeedEpsilon, then - with an error budget - the empty language.
+  static LevelTasks seedLevel(const SearchContext &Ctx);
+
+  /// A composite level \p C: questions, stars, concatenations and
+  /// unions over the cached levels. \p NonEmptyLevels must stay alive
+  /// and unchanged while the stream is drained.
+  static LevelTasks sweepLevel(const SearchContext &Ctx, uint64_t C,
+                               const std::vector<uint64_t> &NonEmptyLevels);
+
+  /// Produces the next task in enumeration order. Returns false when
+  /// the level is exhausted.
+  bool next(Provenance &Out);
+
+  /// Clears \p Out and refills it with up to \p Max next tasks;
+  /// returns the number filled (0 = exhausted).
+  size_t fill(std::vector<Provenance> &Out, size_t Max);
+
+private:
+  enum class Phase : uint8_t {
+    SeedLiteral,
+    SeedEpsilon,
+    SeedEmpty,
+    Question,
+    Star,
+    ConcatLevels, // Advancing to the next non-empty concat level pair.
+    Concat,       // Emitting one level pair's (I, J) products.
+    UnionLevels,
+    Union,
+    Done
+  };
+
+  LevelTasks() = default;
+
+  const SearchContext *Ctx = nullptr;
+  const std::vector<uint64_t> *Levels = nullptr;
+  uint64_t C = 0;
+  Phase P = Phase::Done;
+
+  // Unary / seed state: the pending range [I, IEnd).
+  uint32_t I = 0;
+  uint32_t IEnd = 0;
+
+  // Binary state: position within the current level pair.
+  size_t LevelIdx = 0;         // Next entry of Levels to consider.
+  uint32_t LB = 0, LE = 0;     // Left operand row range.
+  uint32_t RB = 0, RE = 0;     // Right operand row range.
+  uint32_t J = 0;              // Next right operand row.
+  bool SameLevel = false;      // Union: both operands from one level.
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_LEVELTASKS_H

@@ -1,0 +1,249 @@
+//===- engine/SearchDriver.cpp - Backend-agnostic cost sweep -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Implementation of Alg. 1 (the cost sweep) and the task enumeration
+/// of Alg. 2, plus OnTheFly mode and the REI-with-error variant of
+/// Sec. 5.2, independent of how levels execute. See DESIGN.md for the
+/// deviations (epsilon seeding, commutative-union halving).
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/SearchDriver.h"
+
+#include "engine/Backend.h"
+#include "engine/LevelTasks.h"
+#include "lang/CharSeq.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+/// One synthesis run: owns the staged data, the language cache and the
+/// sweep state; delegates level execution to the backend.
+class Driver {
+public:
+  Driver(const Spec &S, const Alphabet &Sigma, const SynthOptions &Opts,
+         Backend &B)
+      : S(S), Sigma(Sigma), Opts(Opts), B(B) {}
+
+  SynthResult run();
+
+private:
+  SynthResult invalid(std::string Message) {
+    SynthResult R;
+    R.Status = SynthStatus::InvalidInput;
+    R.Message = std::move(Message);
+    return R;
+  }
+
+  SynthResult trivial(const char *Regex, uint64_t Cost) {
+    SynthResult R;
+    R.Status = SynthStatus::Found;
+    R.Regex = Regex;
+    R.Cost = Cost;
+    return R;
+  }
+
+  SynthResult finish(SynthStatus Status, std::string Message = {});
+  SynthResult finishFound(const Provenance &Satisfier, uint64_t Cost);
+  void fillStats(SynthResult &R);
+
+  /// Runs one level through the backend and folds its outcome into the
+  /// sweep state. Returns true when the sweep must stop (the caller
+  /// then dispatches on the recorded outcome).
+  bool runLevel(uint64_t C);
+
+  const Spec &S;
+  const Alphabet &Sigma;
+  const SynthOptions &Opts;
+  Backend &B;
+
+  std::unique_ptr<Universe> U;
+  std::unique_ptr<GuideTable> GT;
+  std::unique_ptr<CsAlgebra> Algebra;
+  std::unique_ptr<LanguageCache> Cache;
+  SearchContext Ctx;
+  std::vector<uint64_t> NonEmptyLevels; // Sorted costs with cached CSs.
+
+  SynthStats Stats;
+  WallTimer Clock;
+  uint64_t KernelOps = 0; // Backend-reported work units.
+  LevelOutcome Last;      // Outcome of the most recent level.
+
+  // Cache-full bookkeeping (Sec. 3 "OnTheFly mode").
+  bool CacheFilled = false;
+  uint64_t FilledCost = 0;
+};
+
+SynthResult Driver::run() {
+  const CostFn &Cost = Opts.Cost;
+  if (!Cost.isValid())
+    return invalid("cost function constants must all be positive");
+  if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0))
+    return invalid("allowed error must lie in [0, 1)");
+  std::string SpecError;
+  if (!S.validate(Sigma, &SpecError))
+    return invalid(SpecError);
+
+  unsigned MistakeBudget =
+      unsigned(std::floor(Opts.AllowedError * double(S.exampleCount())));
+
+  // Trivial specifications (Alg. 1 lines 4-5). Any solution costs at
+  // least c1, and these cost exactly c1.
+  if (S.Pos.empty())
+    return trivial("@", Cost.Literal);
+  if (S.Pos.size() == 1 && S.Pos.front().empty() && MistakeBudget == 0)
+    return trivial("#", Cost.Literal);
+
+  // Staging: infix closure, guide table, masks (Sec. 3 "Staging").
+  U = std::make_unique<Universe>(S, Opts.PadToPowerOfTwo);
+  if (Opts.UseGuideTable) {
+    GT = std::make_unique<GuideTable>(*U);
+    Stats.GuidePairs = GT->totalPairs();
+  }
+  Algebra = std::make_unique<CsAlgebra>(*U, GT.get());
+  Stats.UniverseSize = U->size();
+  Stats.CsWords = U->csWords();
+  Stats.PrecomputeSeconds = Clock.seconds();
+
+  Ctx.S = &S;
+  Ctx.Sigma = &Sigma;
+  Ctx.Opts = &Opts;
+  Ctx.U = U.get();
+  Ctx.GT = GT.get();
+  Ctx.Algebra = Algebra.get();
+  Ctx.MistakeBudget = MistakeBudget;
+  Ctx.Clock = &Clock;
+
+  // The backend divides the memory budget between the language cache
+  // and its own uniqueness structures.
+  size_t Capacity = B.planCacheCapacity(Ctx, Opts.MemoryLimitBytes);
+  Cache = std::make_unique<LanguageCache>(U->csWords(), Capacity);
+  Ctx.Cache = Cache.get();
+  B.prepare(Ctx);
+
+  uint64_t MaxCost = Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Cost);
+  // The overfit bound writes epsilon as the literal '#'; without the
+  // epsilon seed that literal is unreachable and the fallback is a
+  // question mark, so widen the automatic bound accordingly.
+  if (!Opts.MaxCost && !Opts.SeedEpsilon)
+    MaxCost += Cost.Question;
+
+  // The completeness horizon once the cache has filled at cost F:
+  // every candidate at cost <= F + MinExtra - 1 references only
+  // levels < F, which are fully cached, so minimality still holds.
+  uint64_t MinExtra = std::min<uint64_t>(
+      std::min<uint64_t>(Cost.Question, Cost.Star),
+      std::min<uint64_t>(uint64_t(Cost.Concat) + Cost.Literal,
+                         uint64_t(Cost.Union) + Cost.Literal));
+
+  // Seed level (Alg. 1 line 6), processed through the same phases as
+  // every other level.
+  if (runLevel(Cost.Literal)) {
+    if (Last.FoundSatisfier)
+      return finishFound(Last.Satisfier, Cost.Literal);
+    if (Last.TimedOut)
+      return finish(SynthStatus::Timeout);
+    return finish(SynthStatus::OutOfMemory, Last.AbortReason);
+  }
+
+  for (uint64_t C = uint64_t(Cost.Literal) + 1; C <= MaxCost; ++C) {
+    if (CacheFilled) {
+      uint64_t Horizon =
+          Opts.EnableOnTheFly ? FilledCost + MinExtra - 1 : FilledCost;
+      if (C > Horizon)
+        return finish(SynthStatus::OutOfMemory);
+    }
+    if (Opts.TimeoutSeconds > 0 && Clock.seconds() > Opts.TimeoutSeconds)
+      return finish(SynthStatus::Timeout);
+
+    if (runLevel(C)) {
+      // A satisfier takes precedence over resource aborts in the same
+      // level: candidates of one level share the same cost, so the
+      // first satisfier is minimal even if the level was cut short.
+      if (Last.FoundSatisfier)
+        return finishFound(Last.Satisfier, C);
+      if (Last.TimedOut)
+        return finish(SynthStatus::Timeout);
+      return finish(SynthStatus::OutOfMemory, Last.AbortReason);
+    }
+  }
+  return finish(SynthStatus::NotFound);
+}
+
+bool Driver::runLevel(uint64_t C) {
+  LevelTasks Tasks = C == Opts.Cost.Literal
+                         ? LevelTasks::seedLevel(Ctx)
+                         : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
+
+  Ctx.CandidatesBefore = Stats.CandidatesGenerated;
+  uint32_t LevelBegin = uint32_t(Cache->size());
+  Last = B.runLevel(Ctx, C, Tasks);
+  uint32_t LevelEnd = uint32_t(Cache->size());
+
+  Stats.CandidatesGenerated += Last.Candidates;
+  Stats.UniqueLanguages += Last.Unique;
+  KernelOps += Last.Ops;
+  Cache->setLevel(C, LevelBegin, LevelEnd);
+  if (LevelEnd != LevelBegin)
+    NonEmptyLevels.push_back(C);
+  if (Last.CacheFilled && !CacheFilled) {
+    CacheFilled = true;
+    FilledCost = C;
+    Stats.OnTheFly = Opts.EnableOnTheFly;
+  }
+  // A satisfier never cuts a level short (all its candidates were
+  // generated), so the level still counts as completed; only resource
+  // aborts leave it partial.
+  if (!Last.TimedOut && !Last.Abort)
+    Stats.LastCompletedCost = C;
+  return Last.FoundSatisfier || Last.TimedOut || Last.Abort;
+}
+
+void Driver::fillStats(SynthResult &R) {
+  Stats.CacheEntries = Cache ? Cache->size() : 0;
+  Stats.MemoryBytes = (Cache ? Cache->bytesUsed() : 0) + B.auxBytesUsed();
+  Stats.PairsVisited = (Algebra ? Algebra->pairsVisited() : 0) + KernelOps;
+  Stats.SearchSeconds = Clock.seconds() - Stats.PrecomputeSeconds;
+  R.Stats = Stats;
+}
+
+SynthResult Driver::finish(SynthStatus Status, std::string Message) {
+  SynthResult R;
+  R.Status = Status;
+  R.Message = std::move(Message);
+  fillStats(R);
+  return R;
+}
+
+SynthResult Driver::finishFound(const Provenance &Satisfier, uint64_t Cost) {
+  RegexManager M;
+  const Regex *Re = Cache->reconstructCandidate(Satisfier, M);
+  SynthResult R;
+  R.Status = SynthStatus::Found;
+  R.Regex = toString(Re);
+  R.Cost = Cost;
+  assert(Opts.Cost.of(Re) == Cost &&
+         "reconstructed expression must cost exactly its level");
+  fillStats(R);
+  return R;
+}
+
+} // namespace
+
+SynthResult paresy::engine::runSearch(const Spec &S, const Alphabet &Sigma,
+                                      const SynthOptions &Opts, Backend &B) {
+  return Driver(S, Sigma, Opts, B).run();
+}

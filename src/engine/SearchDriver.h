@@ -1,0 +1,43 @@
+//===- engine/SearchDriver.h - Backend-agnostic cost sweep -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine half of the engine/backend split (DESIGN.md Sec. 4): one
+/// implementation of the paper's Alg. 1 cost sweep shared by every
+/// backend. The driver validates the specification, stages the
+/// universe and guide table, derives the cost bound and the OnTheFly
+/// completeness horizon, enumerates each cost level's candidate tasks
+/// in the canonical order (?, *, ., +), and assembles the result and
+/// statistics; the backend it is given executes each level's
+/// generate/uniqueness/check/compact phases (see Backend.h).
+///
+/// core/synthesize() is runSearch with the sequential backend;
+/// gpusim/synthesizeGpu() is runSearch with the simulated-device
+/// backend. New execution strategies only implement Backend and
+/// inherit the entire pipeline - including its minimality guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_SEARCHDRIVER_H
+#define PARESY_ENGINE_SEARCHDRIVER_H
+
+#include "core/Synthesizer.h"
+
+namespace paresy {
+namespace engine {
+
+class Backend;
+
+/// Runs the Paresy search on \p S over \p Sigma, executing the
+/// per-level phases on \p B. Thread-safe as long as \p B is not shared
+/// across concurrent calls.
+SynthResult runSearch(const Spec &S, const Alphabet &Sigma,
+                      const SynthOptions &Opts, Backend &B);
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_SEARCHDRIVER_H

@@ -3,467 +3,35 @@
 // Part of the Paresy reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// The public GPU-style entry point. The kernel pipeline lives in the
+/// shared engine (engine/BatchedBackend.cpp runs generate/uniqueness/
+/// check/compact on the simulated device); this translation unit binds
+/// the cost sweep to that backend and surfaces the device-side
+/// accounting the paper's Table 1 reproduces.
+///
+//===----------------------------------------------------------------------===//
 
 #include "gpusim/GpuSynthesizer.h"
 
-#include "core/LanguageCache.h"
-#include "gpusim/Device.h"
-#include "gpusim/Scan.h"
-#include "gpusim/WarpHashSet.h"
-#include "lang/CharSeq.h"
-#include "lang/GuideTable.h"
-#include "lang/Universe.h"
-#include "support/Bits.h"
+#include "engine/GpuSimBackend.h"
+#include "engine/SearchDriver.h"
 #include "support/Timer.h"
-
-#include <algorithm>
-#include <atomic>
-#include <cmath>
-#include <memory>
 
 using namespace paresy;
 using namespace paresy::gpusim;
-
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Device-side CS routines (the kernel bodies' inner loops). These are
-// free functions over raw words so that every task can run them
-// without shared mutable state; each returns its work-unit count.
-//===----------------------------------------------------------------------===//
-
-uint64_t kernelConcat(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
-                      const GuideTable &GT, size_t Words, size_t NumWords) {
-  clearWords(Dst, Words);
-  const uint32_t *Rows = GT.rowOffsets().data();
-  const SplitPair *Pairs = GT.pairs().data();
-  for (size_t W = 0; W != NumWords; ++W) {
-    uint64_t Bit = 0;
-    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P)
-      Bit |= uint64_t(testBit(A, Pairs[P].Lhs) & testBit(B, Pairs[P].Rhs));
-    if (Bit)
-      setBit(Dst, W);
-  }
-  return GT.totalPairs() + Words;
-}
-
-uint64_t kernelStar(uint64_t *Dst, const uint64_t *A, const GuideTable &GT,
-                    size_t Words, size_t NumWords, size_t EpsilonIdx) {
-  // Fixpoint of S = 1 + S.A with task-local scratch.
-  static thread_local std::vector<uint64_t> Current, Next;
-  Current.assign(Words, 0);
-  Next.assign(Words, 0);
-  setBit(Current.data(), EpsilonIdx);
-  uint64_t Ops = Words;
-  for (;;) {
-    Ops += kernelConcat(Next.data(), Current.data(), A, GT, Words, NumWords);
-    orWords(Next.data(), Next.data(), Current.data(), Words);
-    Ops += Words;
-    if (equalWords(Next.data(), Current.data(), Words))
-      break;
-    copyWords(Current.data(), Next.data(), Words);
-  }
-  copyWords(Dst, Current.data(), Words);
-  return Ops + Words;
-}
-
-//===----------------------------------------------------------------------===//
-// GpuSearcher
-//===----------------------------------------------------------------------===//
-
-/// Mirrors core/Synthesizer's Searcher but processes each cost level
-/// as batched kernels. Enumeration order of candidates is identical,
-/// so candidate ids, uniqueness winners and the chosen solution match
-/// the sequential implementation exactly.
-class GpuSearcher {
-public:
-  GpuSearcher(const Spec &S, const Alphabet &Sigma,
-              const SynthOptions &Opts, const GpuOptions &Gpu)
-      : S(S), Sigma(Sigma), Opts(Opts), Gpu(Gpu),
-        Dev(Gpu.Spec, Gpu.HostWorkers) {}
-
-  GpuSynthResult run();
-
-private:
-  GpuSynthResult wrap(SynthResult Base) {
-    GpuSynthResult R;
-    R.Result = std::move(Base);
-    R.ModeledGpuSeconds = Dev.perf().modeledSeconds();
-    R.KernelLaunches = Dev.perf().launchCount();
-    R.DeviceOps = Dev.perf().totalOps();
-    R.HostSeconds = Clock.seconds();
-    return R;
-  }
-
-  GpuSynthResult invalid(std::string Message) {
-    SynthResult R;
-    R.Status = SynthStatus::InvalidInput;
-    R.Message = std::move(Message);
-    return wrap(std::move(R));
-  }
-
-  GpuSynthResult trivial(const char *Regex, uint64_t Cost) {
-    SynthResult R;
-    R.Status = SynthStatus::Found;
-    R.Regex = Regex;
-    R.Cost = Cost;
-    return wrap(std::move(R));
-  }
-
-  GpuSynthResult finish(SynthStatus Status);
-
-  /// Enumerates the candidate tasks of cost level \p C in the same
-  /// order as the sequential search (?, *, ., +).
-  void enumerateLevel(uint64_t C, std::vector<Provenance> &Tasks) const;
-
-  /// Runs one batch of tasks through the four kernels. Returns false
-  /// when the run must stop (hash set full).
-  bool processBatch(const std::vector<Provenance> &Tasks, size_t Begin,
-                    size_t End);
-
-  const Spec &S;
-  const Alphabet &Sigma;
-  const SynthOptions &Opts;
-  const GpuOptions &Gpu;
-  Device Dev;
-  WallTimer Clock;
-
-  std::unique_ptr<Universe> U;
-  std::unique_ptr<GuideTable> GT;
-  std::unique_ptr<CsAlgebra> Algebra; // For masks/satisfies only.
-  std::unique_ptr<LanguageCache> Cache;
-  std::unique_ptr<WarpHashSet> HashSet;
-
-  // Device buffers reused across batches.
-  std::vector<uint64_t> TempCs;       // BatchTasks x CsWords.
-  std::vector<int64_t> TaskSlot;      // Hash slot per task.
-  std::vector<uint32_t> WinnerFlag;   // 1 iff task is unique winner.
-  std::vector<uint64_t> WinnerOffset; // Exclusive scan of WinnerFlag.
-
-  SynthStats Stats;
-  unsigned MistakeBudget = 0;
-  uint64_t GlobalIdBase = 0; // Candidate id of batch task 0.
-
-  std::atomic<uint64_t> FoundId{UINT64_MAX};
-  bool HavePending = false;
-  Provenance Pending;
-  uint64_t PendingCost = 0;
-
-  bool CacheFilled = false;
-  uint64_t FilledCost = 0;
-  bool HashFull = false;
-  uint64_t CurrentCost = 0;
-  std::vector<uint64_t> NonEmptyLevels;
-};
-
-GpuSynthResult GpuSearcher::run() {
-  const CostFn &Cost = Opts.Cost;
-  if (!Cost.isValid())
-    return invalid("cost function constants must all be positive");
-  if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0))
-    return invalid("allowed error must lie in [0, 1)");
-  std::string SpecError;
-  if (!S.validate(Sigma, &SpecError))
-    return invalid(SpecError);
-
-  MistakeBudget =
-      unsigned(std::floor(Opts.AllowedError * double(S.exampleCount())));
-  if (S.Pos.empty())
-    return trivial("@", Cost.Literal);
-  if (S.Pos.size() == 1 && S.Pos.front().empty() && MistakeBudget == 0)
-    return trivial("#", Cost.Literal);
-
-  U = std::make_unique<Universe>(S, Opts.PadToPowerOfTwo);
-  GT = std::make_unique<GuideTable>(*U);
-  Algebra = std::make_unique<CsAlgebra>(*U, GT.get());
-  Stats.UniverseSize = U->size();
-  Stats.CsWords = U->csWords();
-  Stats.GuidePairs = GT->totalPairs();
-  Stats.PrecomputeSeconds = Clock.seconds();
-
-  // Split the device memory budget: ~60% language cache rows, ~30%
-  // hash set slots, the rest temporaries.
-  uint64_t Budget =
-      std::min<uint64_t>(Opts.MemoryLimitBytes, Gpu.Spec.MemoryBytes);
-  size_t Words = U->csWords();
-  uint64_t RowBytes = Words * sizeof(uint64_t) + sizeof(Provenance);
-  uint64_t SlotBytes = Words * sizeof(uint64_t) + 12;
-  uint64_t CacheCap =
-      std::max<uint64_t>(16, Budget * 6 / 10 / RowBytes);
-  CacheCap = std::min<uint64_t>(CacheCap, 0xfffffffeu);
-  uint64_t HashCap = std::max<uint64_t>(32, Budget * 3 / 10 / SlotBytes);
-  HashCap = std::min<uint64_t>(HashCap, 0x7fffffffu);
-  Cache = std::make_unique<LanguageCache>(Words, size_t(CacheCap));
-  HashSet = std::make_unique<WarpHashSet>(Words, size_t(HashCap));
-
-  size_t Batch = std::max<size_t>(1, Gpu.BatchTasks);
-  TempCs.assign(Batch * Words, 0);
-  TaskSlot.assign(Batch, -1);
-  WinnerFlag.assign(Batch, 0);
-  WinnerOffset.assign(Batch, 0);
-
-  uint64_t MaxCost =
-      Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Cost);
-  // Mirror the CPU search: widen the automatic bound when the epsilon
-  // literal is not seeded (see core/Synthesizer.cpp).
-  if (!Opts.MaxCost && !Opts.SeedEpsilon)
-    MaxCost += Cost.Question;
-  uint64_t MinExtra = std::min<uint64_t>(
-      std::min<uint64_t>(Cost.Question, Cost.Star),
-      std::min<uint64_t>(uint64_t(Cost.Concat) + Cost.Literal,
-                         uint64_t(Cost.Union) + Cost.Literal));
-
-  // Seed level (alphabet literals, {epsilon}, and under an error
-  // budget the empty language), processed through the same kernels.
-  std::vector<Provenance> Tasks;
-  for (size_t I = 0; I != Sigma.size(); ++I) {
-    Provenance Prov;
-    Prov.Kind = CsOp::Literal;
-    Prov.Symbol = Sigma.symbol(I);
-    Tasks.push_back(Prov);
-  }
-  if (Opts.SeedEpsilon)
-    Tasks.push_back(Provenance{CsOp::Epsilon, 0, 0, 0});
-  if (MistakeBudget > 0)
-    Tasks.push_back(Provenance{CsOp::Empty, 0, 0, 0});
-
-  CurrentCost = Cost.Literal;
-  uint32_t LevelBegin = uint32_t(Cache->size());
-  for (size_t Begin = 0; Begin < Tasks.size(); Begin += Batch)
-    if (!processBatch(Tasks, Begin,
-                      std::min(Tasks.size(), Begin + Batch)))
-      return finish(HavePending ? SynthStatus::Found
-                                : SynthStatus::OutOfMemory);
-  GlobalIdBase += Tasks.size();
-  Cache->setLevel(Cost.Literal, LevelBegin, uint32_t(Cache->size()));
-  if (Cache->size() != LevelBegin)
-    NonEmptyLevels.push_back(Cost.Literal);
-  Stats.LastCompletedCost = Cost.Literal;
-  if (HavePending)
-    return finish(SynthStatus::Found);
-
-  for (uint64_t C = uint64_t(Cost.Literal) + 1; C <= MaxCost; ++C) {
-    if (CacheFilled) {
-      uint64_t Horizon = Opts.EnableOnTheFly ? FilledCost + MinExtra - 1
-                                             : FilledCost;
-      if (C > Horizon)
-        return finish(HavePending ? SynthStatus::Found
-                                : SynthStatus::OutOfMemory);
-      Stats.OnTheFly = Opts.EnableOnTheFly;
-    }
-    if (Opts.TimeoutSeconds > 0 && Clock.seconds() > Opts.TimeoutSeconds)
-      return finish(SynthStatus::Timeout);
-
-    CurrentCost = C;
-    Tasks.clear();
-    enumerateLevel(C, Tasks);
-    LevelBegin = uint32_t(Cache->size());
-    for (size_t Begin = 0; Begin < Tasks.size(); Begin += Batch)
-      if (!processBatch(Tasks, Begin,
-                        std::min(Tasks.size(), Begin + Batch)))
-        return finish(HavePending ? SynthStatus::Found
-                                : SynthStatus::OutOfMemory);
-    GlobalIdBase += Tasks.size();
-    Cache->setLevel(C, LevelBegin, uint32_t(Cache->size()));
-    if (Cache->size() != LevelBegin)
-      NonEmptyLevels.push_back(C);
-    Stats.LastCompletedCost = C;
-    if (HavePending)
-      return finish(SynthStatus::Found);
-  }
-  return finish(SynthStatus::NotFound);
-}
-
-void GpuSearcher::enumerateLevel(uint64_t C,
-                                 std::vector<Provenance> &Tasks) const {
-  const CostFn &Cost = Opts.Cost;
-  if (C > Cost.Question) {
-    auto [Begin, End] = Cache->level(C - Cost.Question);
-    for (uint32_t I = Begin; I != End; ++I)
-      Tasks.push_back(Provenance{CsOp::Question, 0, I, 0});
-  }
-  if (C > Cost.Star) {
-    auto [Begin, End] = Cache->level(C - Cost.Star);
-    for (uint32_t I = Begin; I != End; ++I)
-      Tasks.push_back(Provenance{CsOp::Star, 0, I, 0});
-  }
-  if (C > Cost.Concat) {
-    uint64_t Budget = C - Cost.Concat;
-    for (uint64_t LC : NonEmptyLevels) {
-      if (LC + Cost.Literal > Budget)
-        break;
-      auto [LB, LE] = Cache->level(LC);
-      auto [RB, RE] = Cache->level(Budget - LC);
-      if (LB == LE || RB == RE)
-        continue;
-      for (uint32_t I = LB; I != LE; ++I)
-        for (uint32_t J = RB; J != RE; ++J)
-          Tasks.push_back(Provenance{CsOp::Concat, 0, I, J});
-    }
-  }
-  if (C > Cost.Union) {
-    uint64_t Budget = C - Cost.Union;
-    for (uint64_t LC : NonEmptyLevels) {
-      if (2 * LC > Budget)
-        break;
-      uint64_t RC = Budget - LC;
-      auto [LB, LE] = Cache->level(LC);
-      auto [RB, RE] = Cache->level(RC);
-      if (LB == LE || RB == RE)
-        continue;
-      for (uint32_t I = LB; I != LE; ++I) {
-        uint32_t JBegin = LC == RC ? I + 1 : RB;
-        for (uint32_t J = JBegin; J < RE; ++J)
-          Tasks.push_back(Provenance{CsOp::Union, 0, I, J});
-      }
-    }
-  }
-}
-
-bool GpuSearcher::processBatch(const std::vector<Provenance> &Tasks,
-                               size_t Begin, size_t End) {
-  size_t Count = End - Begin;
-  size_t Words = U->csWords();
-  const GuideTable &Table = *GT;
-  size_t NumWords = U->size();
-  size_t EpsIdx = U->epsilonIndex();
-
-  // Kernel 1: generate every candidate CS into temporary storage.
-  uint64_t GenOps =
-      Dev.launch("paresy.generate", Count, [&](size_t T) -> uint64_t {
-        const Provenance &Prov = Tasks[Begin + T];
-        uint64_t *Dst = TempCs.data() + T * Words;
-        switch (Prov.Kind) {
-        case CsOp::Literal: {
-          clearWords(Dst, Words);
-          char Symbol = Prov.Symbol;
-          int64_t Idx = U->indexOf(std::string_view(&Symbol, 1));
-          if (Idx >= 0)
-            setBit(Dst, size_t(Idx));
-          return Words;
-        }
-        case CsOp::Epsilon:
-          clearWords(Dst, Words);
-          setBit(Dst, EpsIdx);
-          return Words;
-        case CsOp::Empty:
-          clearWords(Dst, Words);
-          return Words;
-        case CsOp::Question:
-          copyWords(Dst, Cache->cs(Prov.Lhs), Words);
-          setBit(Dst, EpsIdx);
-          return Words;
-        case CsOp::Star:
-          return kernelStar(Dst, Cache->cs(Prov.Lhs), Table, Words,
-                            NumWords, EpsIdx);
-        case CsOp::Concat:
-          return kernelConcat(Dst, Cache->cs(Prov.Lhs), Cache->cs(Prov.Rhs),
-                              Table, Words, NumWords);
-        case CsOp::Union:
-          orWords(Dst, Cache->cs(Prov.Lhs), Cache->cs(Prov.Rhs), Words);
-          return Words;
-        }
-        return 0;
-      });
-  Stats.PairsVisited += GenOps;
-  Stats.CandidatesGenerated += Count;
-
-  // Kernel 2: concurrent uniqueness insertion (min-id winners).
-  std::atomic<bool> Full{false};
-  Dev.launch("paresy.unique", Count, [&](size_t T) -> uint64_t {
-    uint32_t Id = uint32_t(GlobalIdBase + Begin + T);
-    int64_t Slot = HashSet->insert(TempCs.data() + T * Words, Id);
-    TaskSlot[T] = Slot;
-    if (Slot < 0)
-      Full.store(true, std::memory_order_relaxed);
-    return Words + 2;
-  });
-  if (Full.load()) {
-    HashFull = true;
-    return false;
-  }
-
-  // Kernel 3: winner flags and specification check; the first
-  // satisfying winner (minimum candidate id) is recorded atomically.
-  Dev.launch("paresy.check", Count, [&](size_t T) -> uint64_t {
-    uint32_t Id = uint32_t(GlobalIdBase + Begin + T);
-    bool Winner = HashSet->isWinner(size_t(TaskSlot[T]), Id);
-    WinnerFlag[T] = Winner ? 1 : 0;
-    if (Winner &&
-        Algebra->satisfies(TempCs.data() + T * Words, MistakeBudget)) {
-      uint64_t Candidate = GlobalIdBase + Begin + T;
-      uint64_t Expected = FoundId.load(std::memory_order_relaxed);
-      while (Candidate < Expected &&
-             !FoundId.compare_exchange_weak(Expected, Candidate,
-                                            std::memory_order_relaxed)) {
-      }
-    }
-    return Words;
-  });
-
-  uint64_t FoundNow = FoundId.load(std::memory_order_relaxed);
-  if (!HavePending && FoundNow != UINT64_MAX &&
-      FoundNow >= GlobalIdBase + Begin && FoundNow < GlobalIdBase + End) {
-    HavePending = true;
-    Pending = Tasks[size_t(FoundNow - GlobalIdBase)];
-    PendingCost = CurrentCost;
-  }
-
-  // Kernel 4+5: compact winners into the language cache (scan for
-  // offsets, then a parallel copy). Winners beyond the remaining
-  // capacity are checked but not cached: the OnTheFly regime.
-  uint64_t Winners =
-      exclusiveScan(Dev, WinnerFlag.data(), WinnerOffset.data(), Count);
-  Stats.UniqueLanguages += Winners;
-  uint64_t Space = Cache->capacity() - Cache->size();
-  uint64_t ToCache = std::min<uint64_t>(Winners, Space);
-  if (ToCache < Winners && !CacheFilled) {
-    CacheFilled = true;
-    FilledCost = CurrentCost;
-    Stats.OnTheFly = Opts.EnableOnTheFly;
-  }
-  if (ToCache > 0) {
-    uint32_t Base = Cache->reserveRows(size_t(ToCache));
-    Dev.launch("paresy.compact", Count, [&](size_t T) -> uint64_t {
-      if (!WinnerFlag[T] || WinnerOffset[T] >= ToCache)
-        return 1;
-      Cache->writeRow(Base + size_t(WinnerOffset[T]),
-                      TempCs.data() + T * Words, Tasks[Begin + T]);
-      return Words + 1;
-    });
-  }
-  if (CacheFilled && !Opts.EnableOnTheFly)
-    return false; // Paper behaviour: an immediate OOM error.
-
-  return true;
-}
-
-GpuSynthResult GpuSearcher::finish(SynthStatus Status) {
-  SynthResult R;
-  R.Status = Status;
-  if (Status == SynthStatus::Found) {
-    RegexManager M;
-    const Regex *Re = Cache->reconstructCandidate(Pending, M);
-    R.Regex = toString(Re);
-    R.Cost = PendingCost;
-    assert(Opts.Cost.of(Re) == PendingCost &&
-           "reconstructed expression must cost exactly its level");
-  }
-  if (Status == SynthStatus::OutOfMemory && HashFull)
-    R.Message = "uniqueness hash set exhausted";
-  Stats.CacheEntries = Cache ? Cache->size() : 0;
-  Stats.MemoryBytes = (Cache ? Cache->bytesUsed() : 0) +
-                      (HashSet ? HashSet->bytesUsed() : 0);
-  Stats.SearchSeconds = Clock.seconds() - Stats.PrecomputeSeconds;
-  R.Stats = Stats;
-  return wrap(std::move(R));
-}
-
-} // namespace
 
 GpuSynthResult paresy::gpusim::synthesizeGpu(const Spec &S,
                                              const Alphabet &Sigma,
                                              const SynthOptions &Opts,
                                              const GpuOptions &Gpu) {
-  return GpuSearcher(S, Sigma, Opts, Gpu).run();
+  WallTimer Clock;
+  engine::GpuSimBackend Backend(Gpu);
+  GpuSynthResult R;
+  R.Result = engine::runSearch(S, Sigma, Opts, Backend);
+  R.ModeledGpuSeconds = Backend.perf().modeledSeconds();
+  R.KernelLaunches = Backend.perf().launchCount();
+  R.DeviceOps = Backend.perf().totalOps();
+  R.HostSeconds = Clock.seconds();
+  return R;
 }

@@ -1,0 +1,374 @@
+//===- tests/engine_test.cpp - Engine, backends, registry, batch --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 4 invariants, in the style of percy's cross-
+/// synthesizer equivalence testing: every registered backend, run over
+/// the synthesizer test corpus, returns the same expression, the same
+/// minimal cost, the same status and the same candidate counts as the
+/// sequential reference; the parallel backend and the batch API are
+/// deterministic in the worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Backend.h"
+#include "engine/BackendRegistry.h"
+#include "engine/Batch.h"
+#include "engine/CpuBackend.h"
+#include "engine/CpuParallelBackend.h"
+#include "engine/SearchDriver.h"
+
+#include "benchgen/Generators.h"
+#include "core/Synthesizer.h"
+#include "regex/Matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+Spec introSpec() {
+  // Specification (1) from the paper's introduction.
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+Spec example36Spec() {
+  return Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"});
+}
+
+/// The Sec. 5.2 example specification (Table 1 row 1).
+Spec errorSectionSpec() {
+  return Spec({"00", "1101", "0001", "0111", "001", "1", "10", "1100",
+               "111", "1010"},
+              {"", "0", "0000", "0011", "01", "010", "011", "100",
+               "1000", "1001", "11", "1110"});
+}
+
+/// The corpus every backend must agree on (no timeout/OOM cases:
+/// those statuses depend on wall time or backend memory policy, not
+/// on the search semantics).
+std::vector<Spec> knownCorpus() {
+  return {introSpec(),
+          example36Spec(),
+          Spec({"0", "00", "000"}, {}),
+          Spec({"1"}, {"", "0", "11", "10"}),
+          Spec({"", "0", "00"}, {"1", "01", "10"}),
+          Spec({"10"}, {"", "0", "1"})};
+}
+
+/// Runs \p S on every registered backend and checks each against the
+/// sequential reference.
+void expectAllBackendsAgree(const Spec &S, const Alphabet &Sigma,
+                            const SynthOptions &Opts) {
+  SynthResult Ref = synthesize(S, Sigma, Opts);
+  for (const std::string &Name : backendNames()) {
+    SCOPED_TRACE("backend " + Name);
+    SynthResult R = synthesizeWith(Name, S, Sigma, Opts);
+    ASSERT_EQ(Ref.Status, R.Status) << statusName(R.Status);
+    EXPECT_EQ(Ref.Regex, R.Regex);
+    EXPECT_EQ(Ref.Cost, R.Cost);
+    EXPECT_EQ(Ref.Stats.CandidatesGenerated, R.Stats.CandidatesGenerated);
+    EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+    EXPECT_EQ(Ref.Stats.UniverseSize, R.Stats.UniverseSize);
+    EXPECT_EQ(Ref.Stats.LastCompletedCost, R.Stats.LastCompletedCost);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(BackendRegistry, ShipsThreeBackends) {
+  std::vector<std::string> Names = backendNames();
+  for (const char *Required : {"cpu", "cpu-parallel", "gpusim"})
+    EXPECT_TRUE(std::find(Names.begin(), Names.end(), Required) !=
+                Names.end())
+        << Required;
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(BackendRegistry, CreateBackendReportsItsName) {
+  for (const std::string &Name : backendNames()) {
+    std::unique_ptr<Backend> B = createBackend(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    EXPECT_EQ(B->name(), Name);
+  }
+}
+
+TEST(BackendRegistry, UnknownNamesAreRejected) {
+  EXPECT_EQ(createBackend("warp9"), nullptr);
+  SynthResult R = synthesizeWith("warp9", introSpec(), Alphabet::of("01"),
+                                 SynthOptions());
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+  EXPECT_NE(R.Message.find("warp9"), std::string::npos);
+}
+
+TEST(BackendRegistry, DuplicateRegistrationFails) {
+  EXPECT_FALSE(registerBackend(
+      "cpu", [](const BackendConfig &) -> std::unique_ptr<Backend> {
+        return std::make_unique<CpuBackend>();
+      }));
+}
+
+TEST(BackendRegistry, OutOfTreeBackendsPlugIn) {
+  // Register once per process; later invocations observe the earlier
+  // registration and must fail.
+  static bool First = registerBackend(
+      "cpu-clone", [](const BackendConfig &) -> std::unique_ptr<Backend> {
+        return std::make_unique<CpuBackend>();
+      });
+  EXPECT_TRUE(First);
+  SynthResult Clone = synthesizeWith("cpu-clone", introSpec(),
+                                     Alphabet::of("01"), SynthOptions());
+  SynthResult Ref = synthesize(introSpec(), Alphabet::of("01"),
+                               SynthOptions());
+  ASSERT_TRUE(Clone.found());
+  EXPECT_EQ(Clone.Regex, Ref.Regex);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-backend equivalence (percy-style)
+//===----------------------------------------------------------------------===//
+
+TEST(BackendEquivalence, KnownSpecs) {
+  for (const Spec &S : knownCorpus()) {
+    SCOPED_TRACE(S.toText());
+    expectAllBackendsAgree(S, Alphabet::of("01"), SynthOptions());
+  }
+}
+
+TEST(BackendEquivalence, BoundedSweepAgreesOnNotFound) {
+  // The Sec. 5.2 spec is heavy in precise mode; a cost cap keeps the
+  // sweep bounded while still exercising the NotFound path and the
+  // per-level counts on a spec with a multi-thousand-candidate level.
+  SynthOptions Opts;
+  Opts.MaxCost = 8;
+  expectAllBackendsAgree(errorSectionSpec(), Alphabet::of("01"), Opts);
+}
+
+TEST(BackendEquivalence, LargerAlphabet) {
+  expectAllBackendsAgree(Spec({"ab", "abc"}, {"a", "b", "c", "ba"}),
+                         Alphabet::of("abc"), SynthOptions());
+}
+
+TEST(BackendEquivalence, AcrossCostFunctions) {
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  for (const CostFn &Cost : paperCostFunctions()) {
+    SCOPED_TRACE(Cost.name());
+    SynthOptions Opts;
+    Opts.Cost = Cost;
+    expectAllBackendsAgree(S, Alphabet::of("01"), Opts);
+  }
+}
+
+TEST(BackendEquivalence, ErrorMode) {
+  for (double Error : {0.1, 0.25, 0.5}) {
+    SCOPED_TRACE(Error);
+    SynthOptions Opts;
+    Opts.AllowedError = Error;
+    expectAllBackendsAgree(errorSectionSpec(), Alphabet::of("01"), Opts);
+  }
+}
+
+TEST(BackendEquivalence, OptionAblations) {
+  // Every backend must honour the ablation flags identically - the
+  // pre-engine GPU implementation notably ignored UseGuideTable.
+  Spec S = example36Spec();
+  for (int Ablation = 0; Ablation != 4; ++Ablation) {
+    SCOPED_TRACE(Ablation);
+    SynthOptions Opts;
+    switch (Ablation) {
+    case 0:
+      Opts.UseGuideTable = false;
+      break;
+    case 1:
+      Opts.PadToPowerOfTwo = false;
+      break;
+    case 2:
+      Opts.SeedEpsilon = false;
+      break;
+    case 3:
+      Opts.UniquenessCheck = false;
+      break;
+    }
+    expectAllBackendsAgree(S, Alphabet::of("01"), Opts);
+  }
+}
+
+TEST(BackendEquivalence, TrivialAndInvalidInputs) {
+  SynthOptions Opts;
+  expectAllBackendsAgree(Spec({}, {"0", "1"}), Alphabet::of("01"), Opts);
+  expectAllBackendsAgree(Spec({""}, {"0", "10"}), Alphabet::of("01"), Opts);
+  expectAllBackendsAgree(Spec({"0"}, {"0"}), Alphabet::of("01"), Opts);
+  SynthOptions BadCost;
+  BadCost.Cost = CostFn(0, 1, 1, 1, 1);
+  expectAllBackendsAgree(introSpec(), Alphabet::of("01"), BadCost);
+}
+
+class BackendEquivalenceRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalenceRandom, RandomSpecs) {
+  benchgen::GenParams Params;
+  Params.MaxLen = 4;
+  Params.NumPos = 4;
+  Params.NumNeg = 4;
+  Params.Seed = GetParam();
+  for (benchgen::BenchType Type :
+       {benchgen::BenchType::Type1, benchgen::BenchType::Type2}) {
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(benchgen::generate(Type, Params, B, &Error)) << Error;
+    SCOPED_TRACE(B.Name);
+    expectAllBackendsAgree(B.Examples, Params.Sigma, SynthOptions());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalenceRandom,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Worker-count determinism
+//===----------------------------------------------------------------------===//
+
+TEST(CpuParallelBackendTest, DeterministicAcrossWorkerCounts) {
+  Spec S = introSpec();
+  SynthOptions Opts;
+  CpuParallelBackend Reference(CpuParallelBackend::Inline);
+  SynthResult Ref = runSearch(S, Alphabet::of("01"), Opts, Reference);
+  ASSERT_TRUE(Ref.found());
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(Workers);
+    CpuParallelBackend B(Workers);
+    SynthResult R = runSearch(S, Alphabet::of("01"), Opts, B);
+    ASSERT_EQ(Ref.Status, R.Status);
+    EXPECT_EQ(Ref.Regex, R.Regex);
+    EXPECT_EQ(Ref.Cost, R.Cost);
+    EXPECT_EQ(Ref.Stats.CandidatesGenerated, R.Stats.CandidatesGenerated);
+    EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+    EXPECT_EQ(Ref.Stats.CacheEntries, R.Stats.CacheEntries);
+  }
+}
+
+TEST(CpuParallelBackendTest, FoundAnswersSurviveMemoryPressure) {
+  // Tiny budgets need not fill at the same level as the sequential
+  // backend (memory is partitioned differently), but a Found answer
+  // must still be the same minimal cost - the completeness-horizon
+  // guarantee is backend-agnostic.
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  SynthOptions Unlimited;
+  SynthResult Reference = synthesize(S, Alphabet::of("01"), Unlimited);
+  ASSERT_TRUE(Reference.found());
+  for (uint64_t Budget : {40000u, 10000u, 3000u, 1000u, 1u}) {
+    SCOPED_TRACE(Budget);
+    SynthOptions Tight;
+    Tight.MemoryLimitBytes = Budget;
+    SynthResult R = synthesizeWith("cpu-parallel", S, Alphabet::of("01"),
+                                   Tight);
+    if (R.found())
+      EXPECT_EQ(R.Cost, Reference.Cost);
+    else
+      EXPECT_EQ(R.Status, SynthStatus::OutOfMemory);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch synthesis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Spec> batchCorpus() {
+  std::vector<Spec> Specs = knownCorpus();
+  Specs.push_back(Spec({}, {"0"}));    // Trivial '@'.
+  Specs.push_back(Spec({"0"}, {"0"})); // InvalidInput.
+  return Specs;
+}
+
+} // namespace
+
+TEST(SynthesizeBatch, MatchesIndividualRuns) {
+  std::vector<Spec> Specs = batchCorpus();
+  SynthOptions Opts;
+  std::vector<SynthResult> Results =
+      synthesizeBatch(Specs, Alphabet::of("01"), Opts);
+  ASSERT_EQ(Results.size(), Specs.size());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    SCOPED_TRACE(I);
+    SynthResult Ref = synthesize(Specs[I], Alphabet::of("01"), Opts);
+    EXPECT_EQ(Ref.Status, Results[I].Status);
+    EXPECT_EQ(Ref.Regex, Results[I].Regex);
+    EXPECT_EQ(Ref.Cost, Results[I].Cost);
+    EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+              Results[I].Stats.CandidatesGenerated);
+  }
+}
+
+TEST(SynthesizeBatch, DeterministicAcrossWorkerCounts) {
+  std::vector<Spec> Specs = batchCorpus();
+  SynthOptions Opts;
+  BatchOptions Serial;
+  std::vector<SynthResult> Ref =
+      synthesizeBatch(Specs, Alphabet::of("01"), Opts, Serial);
+  for (unsigned Workers : {1u, 2u, 4u, 7u}) {
+    SCOPED_TRACE(Workers);
+    BatchOptions Parallel;
+    Parallel.Workers = Workers;
+    std::vector<SynthResult> R =
+        synthesizeBatch(Specs, Alphabet::of("01"), Opts, Parallel);
+    ASSERT_EQ(Ref.size(), R.size());
+    for (size_t I = 0; I != Ref.size(); ++I) {
+      SCOPED_TRACE(I);
+      EXPECT_EQ(Ref[I].Status, R[I].Status);
+      EXPECT_EQ(Ref[I].Regex, R[I].Regex);
+      EXPECT_EQ(Ref[I].Cost, R[I].Cost);
+      EXPECT_EQ(Ref[I].Stats.CandidatesGenerated,
+                R[I].Stats.CandidatesGenerated);
+      EXPECT_EQ(Ref[I].Stats.UniqueLanguages,
+                R[I].Stats.UniqueLanguages);
+    }
+  }
+}
+
+TEST(SynthesizeBatch, RunsOnEveryBackend) {
+  std::vector<Spec> Specs = {introSpec(), example36Spec()};
+  SynthOptions Opts;
+  for (const std::string &Name : backendNames()) {
+    SCOPED_TRACE(Name);
+    BatchOptions Batch;
+    Batch.Backend = Name;
+    Batch.Workers = 2;
+    std::vector<SynthResult> Results =
+        synthesizeBatch(Specs, Alphabet::of("01"), Opts, Batch);
+    ASSERT_EQ(Results.size(), Specs.size());
+    for (size_t I = 0; I != Specs.size(); ++I) {
+      SynthResult Ref = synthesize(Specs[I], Alphabet::of("01"), Opts);
+      EXPECT_EQ(Ref.Regex, Results[I].Regex) << I;
+      EXPECT_EQ(Ref.Cost, Results[I].Cost) << I;
+    }
+  }
+}
+
+TEST(SynthesizeBatch, UnknownBackendYieldsInvalidInputPerSpec) {
+  BatchOptions Batch;
+  Batch.Backend = "warp9";
+  std::vector<SynthResult> Results = synthesizeBatch(
+      {introSpec(), example36Spec()}, Alphabet::of("01"), SynthOptions(),
+      Batch);
+  ASSERT_EQ(Results.size(), 2u);
+  for (const SynthResult &R : Results)
+    EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+}
+
+TEST(SynthesizeBatch, EmptyBatchIsEmpty) {
+  EXPECT_TRUE(
+      synthesizeBatch({}, Alphabet::of("01"), SynthOptions()).empty());
+}
