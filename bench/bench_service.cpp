@@ -1,0 +1,195 @@
+//===- bench/bench_service.cpp - Repeated-spec workload through the service ---===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving benchmark: a request stream with heavy spec repetition
+/// (the realistic serving distribution per the REI challenge corpus)
+/// replayed twice - once cold through per-request runSearch, once
+/// through a SynthService - and the per-request cost compared. Emits
+/// machine-readable JSON to BENCH_service.json (override with --out)
+/// so the perf trajectory of the service layer has data points.
+///
+///   bench_service [--requests N] [--distinct M] [--workers W]
+///                 [--out PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+#include "engine/BackendRegistry.h"
+#include "service/SynthService.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+
+namespace {
+
+struct Options {
+  size_t Requests = 200;
+  size_t Distinct = 8;
+  unsigned Workers = 4;
+  std::string Out = "BENCH_service.json";
+};
+
+Options parseArgs(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--requests")
+      Opts.Requests = size_t(std::atoll(Next()));
+    else if (Arg == "--distinct")
+      Opts.Distinct = size_t(std::atoll(Next()));
+    else if (Arg == "--workers")
+      Opts.Workers = unsigned(std::atol(Next()));
+    else if (Arg == "--out")
+      Opts.Out = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--requests N] [--distinct M] "
+                   "[--workers W] [--out PATH]\n");
+      std::exit(2);
+    }
+  }
+  // atoll parses garbage as 0; a zero pool or stream is meaningless.
+  if (Opts.Requests == 0)
+    Opts.Requests = 1;
+  if (Opts.Distinct == 0)
+    Opts.Distinct = 1;
+  return Opts;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts = parseArgs(Argc, Argv);
+
+  // The distinct spec pool: small Type 1/2 instances that each solve
+  // in milliseconds, so the benchmark measures serving overhead and
+  // reuse, not one giant search.
+  std::vector<Spec> Pool;
+  for (size_t I = 0; Pool.size() < Opts.Distinct; ++I) {
+    benchgen::GenParams Params;
+    Params.MaxLen = 4;
+    Params.NumPos = 4;
+    Params.NumNeg = 4;
+    Params.Seed = 100 + I;
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    benchgen::BenchType Type = I % 2 ? benchgen::BenchType::Type2
+                                     : benchgen::BenchType::Type1;
+    if (!benchgen::generate(Type, Params, B, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    Pool.push_back(B.Examples);
+  }
+
+  // A skewed request stream over the pool (low ids dominate, as hot
+  // specs dominate real traffic).
+  Rng R(42);
+  std::vector<size_t> Stream;
+  Stream.reserve(Opts.Requests);
+  for (size_t I = 0; I != Opts.Requests; ++I) {
+    size_t A = R.next() % Pool.size();
+    size_t B = R.next() % Pool.size();
+    Stream.push_back(std::min(A, B));
+  }
+
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions SOpts;
+
+  // Cold baseline: every request pays staging + search.
+  WallTimer ColdTimer;
+  std::vector<SynthResult> Cold;
+  Cold.reserve(Stream.size());
+  for (size_t Idx : Stream)
+    Cold.push_back(engine::synthesizeWith("cpu", Pool[Idx], Sigma, SOpts));
+  double ColdSeconds = ColdTimer.seconds();
+
+  // The same stream through the service.
+  service::ServiceOptions SvcOpts;
+  SvcOpts.Backend = "cpu";
+  SvcOpts.Workers = Opts.Workers;
+  SvcOpts.ResultCacheCapacity = Opts.Distinct;
+  service::SynthService Service(std::move(SvcOpts));
+  WallTimer ServiceTimer;
+  std::vector<service::SynthService::ResultFuture> Futures;
+  Futures.reserve(Stream.size());
+  for (size_t Idx : Stream)
+    Futures.push_back(Service.submit(Pool[Idx], Sigma, SOpts));
+  std::vector<SynthResult> Served;
+  Served.reserve(Futures.size());
+  for (auto &F : Futures)
+    Served.push_back(F.get());
+  double ServiceSeconds = ServiceTimer.seconds();
+
+  // Served results must match the cold baseline request for request.
+  size_t Mismatches = 0;
+  for (size_t I = 0; I != Stream.size(); ++I)
+    if (Cold[I].Status != Served[I].Status ||
+        Cold[I].Regex != Served[I].Regex || Cold[I].Cost != Served[I].Cost)
+      ++Mismatches;
+
+  service::ServiceStats St = Service.stats();
+  double Speedup = ServiceSeconds > 0 ? ColdSeconds / ServiceSeconds : 0;
+
+  std::printf("requests            %zu over %zu distinct specs\n",
+              Stream.size(), Pool.size());
+  std::printf("cold                %.4f s (%.4f ms/request)\n", ColdSeconds,
+              1e3 * ColdSeconds / double(Stream.size()));
+  std::printf("service (W=%u)      %.4f s (%.4f ms/request, %.1fx)\n",
+              Opts.Workers, ServiceSeconds,
+              1e3 * ServiceSeconds / double(Stream.size()), Speedup);
+  std::printf("hits/misses/coal    %llu / %llu / %llu\n",
+              (unsigned long long)St.Hits, (unsigned long long)St.Misses,
+              (unsigned long long)St.Coalesced);
+  std::printf("mismatches          %zu\n", Mismatches);
+
+  std::FILE *Json = std::fopen(Opts.Out.c_str(), "w");
+  if (!Json) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.Out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      Json,
+      "{\n"
+      "  \"bench\": \"service\",\n"
+      "  \"requests\": %zu,\n"
+      "  \"distinct_specs\": %zu,\n"
+      "  \"workers\": %u,\n"
+      "  \"cold_seconds\": %.6f,\n"
+      "  \"service_seconds\": %.6f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"hits\": %llu,\n"
+      "  \"misses\": %llu,\n"
+      "  \"coalesced\": %llu,\n"
+      "  \"evictions\": %llu,\n"
+      "  \"searches\": %llu,\n"
+      "  \"peak_queue_depth\": %zu,\n"
+      "  \"mismatches\": %zu\n"
+      "}\n",
+      Stream.size(), Pool.size(), Opts.Workers, ColdSeconds,
+      ServiceSeconds, Speedup, (unsigned long long)St.Hits,
+      (unsigned long long)St.Misses, (unsigned long long)St.Coalesced,
+      (unsigned long long)St.Evictions, (unsigned long long)St.Searches,
+      St.PeakQueueDepth, Mismatches);
+  std::fclose(Json);
+  std::printf("wrote %s\n", Opts.Out.c_str());
+  return Mismatches == 0 ? 0 : 1;
+}

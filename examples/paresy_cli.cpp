@@ -29,6 +29,19 @@
 ///   --wildcard                    AlphaRegex wild-card heuristic
 ///   --stats                       print search statistics
 ///
+/// Serving mode (the repeated-workload demo over service/SynthService):
+///
+///   --serve-demo N                replay the request N times through a
+///                                 caching synthesis service and print
+///                                 per-round times plus service stats;
+///                                 each round permutes the example
+///                                 order to show canonicalization
+///   --serve-workers K             service worker threads (default 0 =
+///                                 synchronous)
+///
+/// The plain registry-backend path also runs through a (one-request)
+/// SynthService, so the CLI exercises the full serving stack.
+///
 //===----------------------------------------------------------------------===//
 
 #include "baseline/AlphaRegex.h"
@@ -36,7 +49,9 @@
 #include "engine/BackendRegistry.h"
 #include "gpusim/GpuSynthesizer.h"
 #include "regex/Matcher.h"
+#include "service/SynthService.h"
 #include "support/Format.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -107,6 +122,58 @@ void printStats(const SynthStats &St) {
     std::printf("  note               entered OnTheFly mode\n");
 }
 
+/// Rotates both example lists by \p Shift: a different request text
+/// with the identical canonical form, so every round past the first is
+/// a service cache hit.
+Spec rotatedSpec(const Spec &S, size_t Shift) {
+  Spec Out = S;
+  auto Rotate = [Shift](std::vector<std::string> &V) {
+    if (V.size() > 1)
+      std::rotate(V.begin(),
+                  V.begin() + ptrdiff_t(Shift % V.size()), V.end());
+  };
+  Rotate(Out.Pos);
+  Rotate(Out.Neg);
+  return Out;
+}
+
+/// The repeated-workload demo: one spec, \p Rounds submissions.
+int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
+                 const Alphabet &Sigma, const SynthOptions &Options,
+                 unsigned Rounds) {
+  SynthResult First;
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    WallTimer Timer;
+    SynthResult R = Service.synthesize(rotatedSpec(S, Round), Sigma,
+                                       Options);
+    double Millis = Timer.millis();
+    if (!R.found()) {
+      std::printf("round %u: %s %s\n", Round + 1, statusName(R.Status),
+                  R.Message.c_str());
+      return 1;
+    }
+    if (Round == 0)
+      First = R;
+    else if (R.Regex != First.Regex) {
+      std::fprintf(stderr, "internal error: round %u diverged\n",
+                   Round + 1);
+      return 1;
+    }
+    std::printf("round %u: %s  (cost %llu, %.3f ms)\n", Round + 1,
+                R.Regex.c_str(), (unsigned long long)R.Cost, Millis);
+  }
+  paresy::service::ServiceStats St = Service.stats();
+  std::printf("service: %llu submitted, %llu hits, %llu misses, "
+              "%llu coalesced, %llu evictions, %llu searches\n",
+              (unsigned long long)St.Submitted,
+              (unsigned long long)St.Hits,
+              (unsigned long long)St.Misses,
+              (unsigned long long)St.Coalesced,
+              (unsigned long long)St.Evictions,
+              (unsigned long long)St.Searches);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -115,6 +182,8 @@ int main(int Argc, char **Argv) {
   engine::BackendConfig Config;
   bool Wildcard = false;
   bool ShowStats = false;
+  unsigned ServeDemoRounds = 0;
+  unsigned ServeWorkers = 0;
   std::string AlphabetChars;
   std::string SpecFile;
   Spec Examples;
@@ -158,6 +227,22 @@ int main(int Argc, char **Argv) {
       Wildcard = true;
     else if (Arg == "--stats")
       ShowStats = true;
+    else if (Arg == "--serve-demo") {
+      long Rounds = std::atol(Next().c_str());
+      if (Rounds <= 0) {
+        std::fprintf(stderr, "error: --serve-demo wants a round count\n");
+        return 2;
+      }
+      ServeDemoRounds = unsigned(Rounds);
+    } else if (Arg == "--serve-workers") {
+      long Workers = std::atol(Next().c_str());
+      if (Workers < 0) {
+        std::fprintf(stderr,
+                     "error: --serve-workers wants a non-negative count\n");
+        return 2;
+      }
+      ServeWorkers = unsigned(Workers);
+    }
     else if (Arg == "--pos") {
       Examples.Pos = splitCommas(Next());
       InlineSpec = true;
@@ -214,7 +299,32 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (ServeDemoRounds > 0 || Engine != "gpusim") {
+    // All registry backends are served through a SynthService; the
+    // demo mode replays the workload, the plain mode is a one-request
+    // service client.
+    std::vector<std::string> Known = engine::backendNames();
+    if (std::find(Known.begin(), Known.end(), Engine) == Known.end()) {
+      std::string Names;
+      for (const std::string &Name : Known)
+        Names += (Names.empty() ? "" : ", ") + Name;
+      std::fprintf(stderr, "error: unknown backend '%s' (have: %s, "
+                           "alpharegex)\n",
+                   Engine.c_str(), Names.c_str());
+      return 2;
+    }
+  }
+
   SynthResult R;
+  if (ServeDemoRounds > 0) {
+    service::ServiceOptions SOpts;
+    SOpts.Backend = Engine;
+    SOpts.Workers = ServeWorkers;
+    SOpts.Kernels = Config;
+    service::SynthService Service(std::move(SOpts));
+    return runServeDemo(Service, Examples, Sigma, Options,
+                        ServeDemoRounds);
+  }
   if (Engine == "gpusim") {
     // Route through the public GPU entry point so the device-side
     // accounting can be reported alongside the result.
@@ -228,17 +338,12 @@ int main(int Argc, char **Argv) {
                   formatSeconds(G.ModeledGpuSeconds).c_str(),
                   (unsigned long long)G.KernelLaunches);
   } else {
-    std::vector<std::string> Known = engine::backendNames();
-    if (std::find(Known.begin(), Known.end(), Engine) == Known.end()) {
-      std::string Names;
-      for (const std::string &Name : Known)
-        Names += (Names.empty() ? "" : ", ") + Name;
-      std::fprintf(stderr, "error: unknown backend '%s' (have: %s, "
-                           "alpharegex)\n",
-                   Engine.c_str(), Names.c_str());
-      return 2;
-    }
-    R = engine::synthesizeWith(Engine, Examples, Sigma, Options, Config);
+    service::ServiceOptions SOpts;
+    SOpts.Backend = Engine;
+    SOpts.Workers = ServeWorkers;
+    SOpts.Kernels = Config;
+    service::SynthService Service(std::move(SOpts));
+    R = Service.synthesize(Examples, Sigma, Options);
   }
 
   if (!R.found()) {

@@ -72,6 +72,12 @@ paresy::engine::createBackend(std::string_view Name,
   return Factory(Config);
 }
 
+bool paresy::engine::hasBackend(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(registryLock());
+  FactoryMap &Map = factories();
+  return Map.find(Name) != Map.end();
+}
+
 std::vector<std::string> paresy::engine::backendNames() {
   std::lock_guard<std::mutex> Lock(registryLock());
   std::vector<std::string> Names;

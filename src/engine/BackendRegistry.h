@@ -55,6 +55,10 @@ bool registerBackend(std::string Name, BackendFactory Factory);
 std::unique_ptr<Backend> createBackend(std::string_view Name,
                                        const BackendConfig &Config = {});
 
+/// True iff a factory is registered under \p Name, without
+/// constructing anything. Thread-safe.
+bool hasBackend(std::string_view Name);
+
 /// The registered backend names, sorted ("cpu", "cpu-parallel",
 /// "gpusim" plus any out-of-tree registrations).
 std::vector<std::string> backendNames();

@@ -3,10 +3,21 @@
 // Part of the Paresy reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// synthesizeBatch() is a one-shot SynthService: one service instance
+/// bound to the batch's backend, the whole spec list submitted, the
+/// futures collected in input order. The batch thereby inherits the
+/// service's request-level machinery - duplicate specs in one batch
+/// run a single search (coalesced or cache-hit) and every duplicate
+/// receives the identical result.
+///
+//===----------------------------------------------------------------------===//
 
 #include "engine/Batch.h"
 
-#include "support/ThreadPool.h"
+#include "service/SynthService.h"
+
+#include <algorithm>
 
 using namespace paresy;
 using namespace paresy::engine;
@@ -16,16 +27,16 @@ paresy::engine::synthesizeBatch(const std::vector<Spec> &Specs,
                                 const Alphabet &Sigma,
                                 const SynthOptions &Opts,
                                 const BatchOptions &Batch) {
-  std::vector<SynthResult> Results(Specs.size());
-  // Each spec gets a private backend instance created inside its task:
-  // backends are single-run, and a worker-confined instance needs no
-  // locking. Kernel execution is forced inline (Workers = 0 in the
-  // config) because the spec tasks already occupy the pool.
-  BackendConfig Config;
-  Config.InlineKernels = true;
-  ThreadPool Pool(Batch.Workers);
-  Pool.parallelFor(Specs.size(), [&](size_t I) {
-    Results[I] = synthesizeWith(Batch.Backend, Specs[I], Sigma, Opts, Config);
-  });
-  return Results;
+  service::ServiceOptions SOpts;
+  SOpts.Backend = Batch.Backend;
+  SOpts.Workers = Batch.Workers;
+  // The batch submits everything up front; size the cache and the
+  // queue so no request ever stalls on either.
+  SOpts.ResultCacheCapacity = Specs.size();
+  SOpts.MaxQueueDepth = std::max<size_t>(Specs.size(), 1);
+  // Kernel execution stays inline on the request workers (spec-level
+  // parallelism replaces kernel-level parallelism; pools do not nest).
+  SOpts.Kernels.InlineKernels = true;
+  service::SynthService Service(std::move(SOpts));
+  return Service.synthesizeAll(Specs, Sigma, Opts);
 }

@@ -5,14 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The serving primitive for many independent specifications:
-/// synthesizeBatch() schedules one synthesis per spec over a shared
-/// worker pool. Each spec runs a private backend instance, so runs
-/// never share mutable state; results land at the spec's index and are
+/// The one-call form of serving many independent specifications:
+/// synthesizeBatch() runs a whole spec list through a one-shot
+/// synthesis service (service/SynthService.h) bound to the requested
+/// backend. Each search runs a private backend instance, so runs never
+/// share mutable state; results land at the spec's index and are
 /// bit-identical for every worker count (each individual run is
 /// deterministic, and the scheduling only decides *when* a run
-/// executes, never what it computes). Later scaling work - sharding,
-/// async serving, result caching - builds on this call.
+/// executes, never what it computes). Duplicate specs in one batch are
+/// coalesced into a single search. Long-lived serving - result
+/// caching across calls, async handles, queueing - is the service
+/// itself; use SynthService directly for that.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -4,9 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Implementation of Alg. 1 (the cost sweep) and the task enumeration
-/// of Alg. 2, plus OnTheFly mode and the REI-with-error variant of
-/// Sec. 5.2, independent of how levels execute. See DESIGN.md for the
+/// Implementation of runStaged() - Alg. 1's cost sweep and the task
+/// enumeration of Alg. 2, plus OnTheFly mode and the REI-with-error
+/// variant of Sec. 5.2, independent of how levels execute - over the
+/// staged artifacts of engine/Staging.h. See DESIGN.md for the
 /// deviations (epsilon seeding, commutative-union halving).
 ///
 //===----------------------------------------------------------------------===//
@@ -30,32 +31,18 @@ using namespace paresy::engine;
 
 namespace {
 
-/// One synthesis run: owns the staged data, the language cache and the
-/// sweep state; delegates level execution to the backend.
-class Driver {
+/// One sweep over a staged query: owns the per-run mutable state (the
+/// algebra's counters, the language cache, sweep bookkeeping) and
+/// delegates level execution to the backend. The staged artifacts are
+/// only read, so any number of Sweeps may share one StagedQuery.
+class Sweep {
 public:
-  Driver(const Spec &S, const Alphabet &Sigma, const SynthOptions &Opts,
-         Backend &B)
-      : S(S), Sigma(Sigma), Opts(Opts), B(B) {}
+  Sweep(const StagedQuery &Q, Backend &B)
+      : Q(Q), S(Q.spec()), Sigma(Q.alphabet()), Opts(Q.options()), B(B) {}
 
   SynthResult run();
 
 private:
-  SynthResult invalid(std::string Message) {
-    SynthResult R;
-    R.Status = SynthStatus::InvalidInput;
-    R.Message = std::move(Message);
-    return R;
-  }
-
-  SynthResult trivial(const char *Regex, uint64_t Cost) {
-    SynthResult R;
-    R.Status = SynthStatus::Found;
-    R.Regex = Regex;
-    R.Cost = Cost;
-    return R;
-  }
-
   SynthResult finish(SynthStatus Status, std::string Message = {});
   SynthResult finishFound(const Provenance &Satisfier, uint64_t Cost);
   void fillStats(SynthResult &R);
@@ -65,20 +52,19 @@ private:
   /// then dispatches on the recorded outcome).
   bool runLevel(uint64_t C);
 
+  const StagedQuery &Q;
   const Spec &S;
   const Alphabet &Sigma;
   const SynthOptions &Opts;
   Backend &B;
 
-  std::unique_ptr<Universe> U;
-  std::unique_ptr<GuideTable> GT;
   std::unique_ptr<CsAlgebra> Algebra;
   std::unique_ptr<LanguageCache> Cache;
   SearchContext Ctx;
   std::vector<uint64_t> NonEmptyLevels; // Sorted costs with cached CSs.
 
   SynthStats Stats;
-  WallTimer Clock;
+  WallTimer Clock; // The sweep's clock; staging was timed at stage().
   uint64_t KernelOps = 0; // Backend-reported work units.
   LevelOutcome Last;      // Outcome of the most recent level.
 
@@ -87,50 +73,40 @@ private:
   uint64_t FilledCost = 0;
 };
 
-SynthResult Driver::run() {
+SynthResult Sweep::run() {
   const CostFn &Cost = Opts.Cost;
-  if (!Cost.isValid())
-    return invalid("cost function constants must all be positive");
-  if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0))
-    return invalid("allowed error must lie in [0, 1)");
-  std::string SpecError;
-  if (!S.validate(Sigma, &SpecError))
-    return invalid(SpecError);
+  const Universe &U = *Q.universe();
+  const GuideTable *GT = Q.guideTable().get();
 
-  unsigned MistakeBudget =
-      unsigned(std::floor(Opts.AllowedError * double(S.exampleCount())));
+  // TimeoutSeconds budgets staging + sweep, exactly as in the fused
+  // pre-split pipeline: charge this query's staging time against the
+  // deadline up front. Runs off a cached artifact are charged only the
+  // (tiny) restage time - reuse widens their effective budget.
+  Clock.rewind(Q.stagingSeconds());
 
-  // Trivial specifications (Alg. 1 lines 4-5). Any solution costs at
-  // least c1, and these cost exactly c1.
-  if (S.Pos.empty())
-    return trivial("@", Cost.Literal);
-  if (S.Pos.size() == 1 && S.Pos.front().empty() && MistakeBudget == 0)
-    return trivial("#", Cost.Literal);
-
-  // Staging: infix closure, guide table, masks (Sec. 3 "Staging").
-  U = std::make_unique<Universe>(S, Opts.PadToPowerOfTwo);
-  if (Opts.UseGuideTable) {
-    GT = std::make_unique<GuideTable>(*U);
+  // The algebra is per-run (it counts the split pairs this sweep
+  // visits and owns star-fold scratch); the artifacts it reads are the
+  // staged, shared ones.
+  Algebra = std::make_unique<CsAlgebra>(U, GT);
+  if (GT)
     Stats.GuidePairs = GT->totalPairs();
-  }
-  Algebra = std::make_unique<CsAlgebra>(*U, GT.get());
-  Stats.UniverseSize = U->size();
-  Stats.CsWords = U->csWords();
-  Stats.PrecomputeSeconds = Clock.seconds();
+  Stats.UniverseSize = U.size();
+  Stats.CsWords = U.csWords();
+  Stats.PrecomputeSeconds = Q.stagingSeconds();
 
   Ctx.S = &S;
   Ctx.Sigma = &Sigma;
   Ctx.Opts = &Opts;
-  Ctx.U = U.get();
-  Ctx.GT = GT.get();
+  Ctx.U = &U;
+  Ctx.GT = GT;
   Ctx.Algebra = Algebra.get();
-  Ctx.MistakeBudget = MistakeBudget;
+  Ctx.MistakeBudget = Q.mistakeBudget();
   Ctx.Clock = &Clock;
 
   // The backend divides the memory budget between the language cache
   // and its own uniqueness structures.
   size_t Capacity = B.planCacheCapacity(Ctx, Opts.MemoryLimitBytes);
-  Cache = std::make_unique<LanguageCache>(U->csWords(), Capacity);
+  Cache = std::make_unique<LanguageCache>(U.csWords(), Capacity);
   Ctx.Cache = Cache.get();
   B.prepare(Ctx);
 
@@ -183,7 +159,7 @@ SynthResult Driver::run() {
   return finish(SynthStatus::NotFound);
 }
 
-bool Driver::runLevel(uint64_t C) {
+bool Sweep::runLevel(uint64_t C) {
   LevelTasks Tasks = C == Opts.Cost.Literal
                          ? LevelTasks::seedLevel(Ctx)
                          : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
@@ -212,7 +188,7 @@ bool Driver::runLevel(uint64_t C) {
   return Last.FoundSatisfier || Last.TimedOut || Last.Abort;
 }
 
-void Driver::fillStats(SynthResult &R) {
+void Sweep::fillStats(SynthResult &R) {
   Stats.CacheEntries = Cache ? Cache->size() : 0;
   Stats.MemoryBytes = (Cache ? Cache->bytesUsed() : 0) + B.auxBytesUsed();
   Stats.PairsVisited = (Algebra ? Algebra->pairsVisited() : 0) + KernelOps;
@@ -220,7 +196,7 @@ void Driver::fillStats(SynthResult &R) {
   R.Stats = Stats;
 }
 
-SynthResult Driver::finish(SynthStatus Status, std::string Message) {
+SynthResult Sweep::finish(SynthStatus Status, std::string Message) {
   SynthResult R;
   R.Status = Status;
   R.Message = std::move(Message);
@@ -228,7 +204,7 @@ SynthResult Driver::finish(SynthStatus Status, std::string Message) {
   return R;
 }
 
-SynthResult Driver::finishFound(const Provenance &Satisfier, uint64_t Cost) {
+SynthResult Sweep::finishFound(const Provenance &Satisfier, uint64_t Cost) {
   RegexManager M;
   const Regex *Re = Cache->reconstructCandidate(Satisfier, M);
   SynthResult R;
@@ -243,7 +219,13 @@ SynthResult Driver::finishFound(const Provenance &Satisfier, uint64_t Cost) {
 
 } // namespace
 
+SynthResult paresy::engine::runStaged(const StagedQuery &Q, Backend &B) {
+  if (Q.immediate())
+    return Q.immediateResult();
+  return Sweep(Q, B).run();
+}
+
 SynthResult paresy::engine::runSearch(const Spec &S, const Alphabet &Sigma,
                                       const SynthOptions &Opts, Backend &B) {
-  return Driver(S, Sigma, Opts, B).run();
+  return runStaged(*stage(S, Sigma, Opts), B);
 }

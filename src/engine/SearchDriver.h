@@ -7,12 +7,15 @@
 /// \file
 /// The engine half of the engine/backend split (DESIGN.md Sec. 4): one
 /// implementation of the paper's Alg. 1 cost sweep shared by every
-/// backend. The driver validates the specification, stages the
-/// universe and guide table, derives the cost bound and the OnTheFly
-/// completeness horizon, enumerates each cost level's candidate tasks
-/// in the canonical order (?, *, ., +), and assembles the result and
+/// backend. The pipeline is two phases with a first-class seam
+/// (engine/Staging.h): stage() validates the specification and builds
+/// the immutable staged artifacts (universe, guide table), and
+/// runStaged() derives the cost bound and the OnTheFly completeness
+/// horizon, enumerates each cost level's candidate tasks in the
+/// canonical order (?, *, ., +), and assembles the result and
 /// statistics; the backend it is given executes each level's
 /// generate/uniqueness/check/compact phases (see Backend.h).
+/// runSearch() composes the two and is the one-call entry point.
 ///
 /// core/synthesize() is runSearch with the sequential backend;
 /// gpusim/synthesizeGpu() is runSearch with the simulated-device
@@ -24,7 +27,7 @@
 #ifndef PARESY_ENGINE_SEARCHDRIVER_H
 #define PARESY_ENGINE_SEARCHDRIVER_H
 
-#include "core/Synthesizer.h"
+#include "engine/Staging.h"
 
 namespace paresy {
 namespace engine {
@@ -32,8 +35,8 @@ namespace engine {
 class Backend;
 
 /// Runs the Paresy search on \p S over \p Sigma, executing the
-/// per-level phases on \p B. Thread-safe as long as \p B is not shared
-/// across concurrent calls.
+/// per-level phases on \p B: stage(S, Sigma, Opts) + runStaged(.., B).
+/// Thread-safe as long as \p B is not shared across concurrent calls.
 SynthResult runSearch(const Spec &S, const Alphabet &Sigma,
                       const SynthOptions &Opts, Backend &B);
 

@@ -1,0 +1,139 @@
+//===- engine/Staging.cpp - Staging as a first-class immutable artifact ------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Staging.h"
+
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "support/Timer.h"
+
+#include <cmath>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+SynthResult invalidResult(std::string Message) {
+  SynthResult R;
+  R.Status = SynthStatus::InvalidInput;
+  R.Message = std::move(Message);
+  return R;
+}
+
+SynthResult trivialResult(const char *Regex, uint64_t Cost) {
+  SynthResult R;
+  R.Status = SynthStatus::Found;
+  R.Regex = Regex;
+  R.Cost = Cost;
+  return R;
+}
+
+unsigned mistakeBudgetOf(const Spec &S, const SynthOptions &Opts) {
+  return unsigned(
+      std::floor(Opts.AllowedError * double(S.exampleCount())));
+}
+
+} // namespace
+
+uint64_t StagedQuery::stagedBytes() const {
+  if (!U)
+    return 0;
+  uint64_t Bytes = 0;
+  for (const std::string &W : U->words())
+    Bytes += sizeof(std::string) + W.capacity() +
+             48; // Index map node estimate.
+  Bytes += (U->posMask().size() + U->negMask().size()) * sizeof(uint64_t);
+  if (GT)
+    Bytes += GT->totalPairs() * sizeof(SplitPair) +
+             (GT->rowCount() + 1) * sizeof(uint32_t);
+  return Bytes;
+}
+
+bool paresy::engine::resolveWithoutSearch(const Spec &S,
+                                          const Alphabet &Sigma,
+                                          const SynthOptions &Opts,
+                                          SynthResult &Out) {
+  if (!Opts.Cost.isValid()) {
+    Out = invalidResult("cost function constants must all be positive");
+    return true;
+  }
+  if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0)) {
+    Out = invalidResult("allowed error must lie in [0, 1)");
+    return true;
+  }
+  std::string SpecError;
+  if (!S.validate(Sigma, &SpecError)) {
+    Out = invalidResult(std::move(SpecError));
+    return true;
+  }
+
+  // Trivial specifications (Alg. 1 lines 4-5). Any solution costs at
+  // least c1, and these cost exactly c1.
+  if (S.Pos.empty()) {
+    Out = trivialResult("@", Opts.Cost.Literal);
+    return true;
+  }
+  if (S.Pos.size() == 1 && S.Pos.front().empty() &&
+      mistakeBudgetOf(S, Opts) == 0) {
+    Out = trivialResult("#", Opts.Cost.Literal);
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const StagedQuery>
+paresy::engine::stage(const Spec &S, const Alphabet &Sigma,
+                      const SynthOptions &Opts) {
+  std::shared_ptr<StagedQuery> Q(new StagedQuery);
+  Q->S = S;
+  Q->Sigma = Sigma;
+  Q->Opts = Opts;
+  if (resolveWithoutSearch(S, Sigma, Opts, Q->Immediate)) {
+    Q->IsImmediate = true;
+    return Q;
+  }
+  Q->MistakeBudget = mistakeBudgetOf(S, Opts);
+
+  // Staging proper: infix closure, guide table (Sec. 3 "Staging").
+  WallTimer Clock;
+  Q->U = std::make_shared<const Universe>(S, Opts.PadToPowerOfTwo);
+  if (Opts.UseGuideTable)
+    Q->GT = std::make_shared<const GuideTable>(*Q->U);
+  Q->StagingSeconds = Clock.seconds();
+  return Q;
+}
+
+std::shared_ptr<const StagedQuery>
+paresy::engine::restage(const StagedQuery &Base,
+                        const SynthOptions &NewOpts) {
+  // Universe geometry must match to reuse anything; immediate bases
+  // staged nothing worth sharing.
+  if (!Base.universe() ||
+      NewOpts.PadToPowerOfTwo != Base.options().PadToPowerOfTwo)
+    return stage(Base.spec(), Base.alphabet(), NewOpts);
+
+  std::shared_ptr<StagedQuery> Q(new StagedQuery);
+  Q->S = Base.spec();
+  Q->Sigma = Base.alphabet();
+  Q->Opts = NewOpts;
+  if (resolveWithoutSearch(Q->S, Q->Sigma, NewOpts, Q->Immediate)) {
+    Q->IsImmediate = true;
+    return Q;
+  }
+  Q->MistakeBudget = mistakeBudgetOf(Q->S, NewOpts);
+
+  WallTimer Clock;
+  Q->U = Base.universe();
+  if (NewOpts.UseGuideTable)
+    Q->GT = Base.guideTable()
+                ? Base.guideTable()
+                : std::make_shared<const GuideTable>(*Q->U);
+  // Shared artifacts cost this query (almost) nothing to stage;
+  // report only what restaging actually spent.
+  Q->StagingSeconds = Clock.seconds();
+  return Q;
+}

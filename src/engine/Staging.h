@@ -1,0 +1,135 @@
+//===- engine/Staging.h - Staging as a first-class immutable artifact --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staging half of the stage/run split. The paper's pipeline has a
+/// cheap per-spec staging phase — build the infix-closure universe and
+/// the guide table, both functions of (spec, alphabet, geometry flags)
+/// only — fused into an expensive search phase. This header carves the
+/// staging product out as StagedQuery, an immutable artifact that can
+/// be built once and then:
+///
+///   * run many times (runStaged is const in the query),
+///   * run on different backends (the universe and guide table are
+///     read-only during a sweep; a fresh CsAlgebra and language cache
+///     are created per run, because those carry per-run counters and
+///     scratch), and
+///   * re-derived cheaply for new sweep options (restage shares the
+///     universe/guide table whenever the staging-relevant flags
+///     agree) — the basis of the service layer's staged-artifact
+///     cache (service/SynthService.h).
+///
+/// Queries that need no search at all — invalid input, the trivial
+/// specifications of Alg. 1 lines 4-5 — are resolved at stage time and
+/// carry their immediate result instead of staged data.
+///
+/// runSearch (engine/SearchDriver.h) is stage() + runStaged() and is
+/// bit-for-bit equivalent to the pre-split fused pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_STAGING_H
+#define PARESY_ENGINE_STAGING_H
+
+#include "core/Synthesizer.h"
+
+#include <memory>
+
+namespace paresy {
+
+class GuideTable;
+class Universe;
+
+namespace engine {
+
+class Backend;
+
+/// The immutable product of staging one query (spec + alphabet +
+/// options): either an immediate result, or the shareable artifacts
+/// the cost sweep consumes. Returned as shared_ptr-to-const; safe to
+/// hold in caches and to run from many threads concurrently.
+class StagedQuery {
+public:
+  const Spec &spec() const { return S; }
+  const Alphabet &alphabet() const { return Sigma; }
+  const SynthOptions &options() const { return Opts; }
+
+  /// True when the query resolved without search (invalid input or a
+  /// trivial specification); immediateResult() is then the answer and
+  /// universe()/guideTable() are null.
+  bool immediate() const { return IsImmediate; }
+  const SynthResult &immediateResult() const { return Immediate; }
+
+  /// The staged universe; null iff immediate().
+  const std::shared_ptr<const Universe> &universe() const { return U; }
+
+  /// The staged guide table; null when immediate() or when
+  /// SynthOptions::UseGuideTable is off.
+  const std::shared_ptr<const GuideTable> &guideTable() const { return GT; }
+
+  /// floor(AllowedError * #(P u N)) misclassifications permitted.
+  unsigned mistakeBudget() const { return MistakeBudget; }
+
+  /// Seconds spent building the staged artifacts (reported as
+  /// SynthStats::PrecomputeSeconds by every run of this query).
+  double stagingSeconds() const { return StagingSeconds; }
+
+  /// Estimated bytes held by the staged artifacts (universe words and
+  /// masks, guide-table pairs); 0 when immediate(). Cache layers
+  /// budget their staged-artifact memory with this.
+  uint64_t stagedBytes() const;
+
+private:
+  StagedQuery() = default;
+
+  friend std::shared_ptr<const StagedQuery>
+  stage(const Spec &, const Alphabet &, const SynthOptions &);
+  friend std::shared_ptr<const StagedQuery> restage(const StagedQuery &,
+                                                    const SynthOptions &);
+
+  Spec S;
+  Alphabet Sigma;
+  SynthOptions Opts;
+  std::shared_ptr<const Universe> U;
+  std::shared_ptr<const GuideTable> GT;
+  unsigned MistakeBudget = 0;
+  double StagingSeconds = 0;
+  bool IsImmediate = false;
+  SynthResult Immediate;
+};
+
+/// Classifies queries that resolve without a search. Returns true and
+/// fills \p Out for invalid input (bad cost function, error fraction
+/// out of range, invalid spec) and for the trivial specifications of
+/// Alg. 1 lines 4-5; checks run in the same order as the pre-split
+/// driver, so messages are identical. The single source of truth for
+/// this classification — stage() and the service layer both use it.
+bool resolveWithoutSearch(const Spec &S, const Alphabet &Sigma,
+                          const SynthOptions &Opts, SynthResult &Out);
+
+/// Stages one query: validates, resolves trivial cases, and builds the
+/// universe and (under UseGuideTable) the guide table.
+std::shared_ptr<const StagedQuery> stage(const Spec &S,
+                                         const Alphabet &Sigma,
+                                         const SynthOptions &Opts);
+
+/// Re-stages \p Base under \p NewOpts, sharing its universe and guide
+/// table when the staging-relevant flags (PadToPowerOfTwo, and for the
+/// table UseGuideTable) agree; falls back to a full stage() otherwise.
+/// The spec and alphabet are Base's.
+std::shared_ptr<const StagedQuery> restage(const StagedQuery &Base,
+                                           const SynthOptions &NewOpts);
+
+/// Runs the cost sweep of \p Q on \p B. Immediate queries return their
+/// result without touching the backend. Thread-safe for concurrent
+/// calls sharing one StagedQuery, as long as each call has its own
+/// backend instance.
+SynthResult runStaged(const StagedQuery &Q, Backend &B);
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_STAGING_H

@@ -1,0 +1,141 @@
+//===- lang/Fingerprint.cpp - Canonical specs and query fingerprints ---------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Fingerprint.h"
+
+#include "lang/Universe.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+using namespace paresy;
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+std::vector<std::string> sortedUnique(const std::vector<std::string> &In) {
+  std::vector<std::string> Out = In;
+  std::sort(Out.begin(), Out.end(), shortlexLess);
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+void appendU64Hex(std::string &Out, uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  Out += Buf;
+}
+
+void appendDoubleBits(std::string &Out, double V) {
+  appendU64Hex(Out, std::bit_cast<uint64_t>(V));
+}
+
+/// The staging-independent prefix shared by both serializations:
+/// alphabet plus canonical examples. Examples never contain newlines
+/// (alphabets exclude whitespace and non-printables), so the +/- line
+/// format is unambiguous.
+void appendSpecAndAlphabet(std::string &Out, const Spec &Canonical,
+                           const Alphabet &Sigma) {
+  Out += "alphabet=";
+  Out += Sigma.symbols();
+  Out += '\n';
+  Out += Canonical.toText();
+}
+
+} // namespace
+
+std::string Fingerprint::hex() const {
+  std::string Out;
+  appendU64Hex(Out, Hi);
+  appendU64Hex(Out, Lo);
+  return Out;
+}
+
+FingerprintBuilder &FingerprintBuilder::addU64(uint64_t V) {
+  ++Count;
+  H1 = mix64(H1 ^ (V + 0x9e3779b97f4a7c15ULL * Count));
+  H2 = mix64(H2 + (V ^ 0xc2b2ae3d27d4eb4fULL * Count));
+  return *this;
+}
+
+FingerprintBuilder &FingerprintBuilder::addBytes(std::string_view Bytes) {
+  addU64(Bytes.size());
+  // Bytes pack little-endian regardless of host endianness, so the
+  // fingerprint of a given text is identical on every platform.
+  for (size_t I = 0; I < Bytes.size(); I += 8) {
+    uint64_t Word = 0;
+    size_t End = std::min(Bytes.size(), I + 8);
+    for (size_t J = I; J != End; ++J)
+      Word |= uint64_t(uint8_t(Bytes[J])) << (8 * (J - I));
+    addU64(Word);
+  }
+  return *this;
+}
+
+Spec paresy::canonicalSpec(const Spec &S) {
+  return Spec(sortedUnique(S.Pos), sortedUnique(S.Neg));
+}
+
+std::string paresy::canonicalQueryText(const Spec &Canonical,
+                                       const Alphabet &Sigma,
+                                       const SynthOptions &Opts) {
+  std::string Out = "paresy-query-v1\n";
+  appendSpecAndAlphabet(Out, Canonical, Sigma);
+  Out += "cost=" + Opts.Cost.name() + '\n';
+  Out += "maxcost=";
+  appendU64Hex(Out, Opts.MaxCost);
+  Out += "\nmemory=";
+  appendU64Hex(Out, Opts.MemoryLimitBytes);
+  // Timeout and error enter as exact bit patterns: any difference in
+  // either can change the result (status, or the mistake budget).
+  Out += "\ntimeout=";
+  appendDoubleBits(Out, Opts.TimeoutSeconds);
+  Out += "\nerror=";
+  appendDoubleBits(Out, Opts.AllowedError);
+  Out += "\nflags=";
+  for (bool Flag : {Opts.EnableOnTheFly, Opts.SeedEpsilon,
+                    Opts.UniquenessCheck, Opts.UseGuideTable,
+                    Opts.PadToPowerOfTwo})
+    Out += Flag ? '1' : '0';
+  Out += '\n';
+  return Out;
+}
+
+std::string paresy::canonicalStagingText(const Spec &Canonical,
+                                         const Alphabet &Sigma,
+                                         const SynthOptions &Opts) {
+  std::string Out = "paresy-staging-v1\n";
+  appendSpecAndAlphabet(Out, Canonical, Sigma);
+  Out += "flags=";
+  Out += Opts.UseGuideTable ? '1' : '0';
+  Out += Opts.PadToPowerOfTwo ? '1' : '0';
+  Out += '\n';
+  return Out;
+}
+
+Fingerprint paresy::fingerprintText(std::string_view Text) {
+  return FingerprintBuilder().addBytes(Text).finish();
+}
+
+Fingerprint paresy::fingerprintQuery(const Spec &S, const Alphabet &Sigma,
+                                     const SynthOptions &Opts) {
+  return fingerprintText(canonicalQueryText(canonicalSpec(S), Sigma, Opts));
+}
+
+Fingerprint paresy::fingerprintStaging(const Spec &S, const Alphabet &Sigma,
+                                       const SynthOptions &Opts) {
+  return fingerprintText(canonicalStagingText(canonicalSpec(S), Sigma, Opts));
+}

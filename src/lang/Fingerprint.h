@@ -1,0 +1,111 @@
+//===- lang/Fingerprint.h - Canonical specs and query fingerprints -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request-level identity for synthesis queries. Example order inside
+/// a specification is irrelevant to the search (the characteristic
+/// sequences are keyed by the shortlex order of the infix closure), so
+/// two requests differing only in example order are the *same* query
+/// and must share one cache entry. canonicalSpec() produces the
+/// normal form (shortlex-sorted, deduplicated examples) and
+/// fingerprintQuery() derives a stable 128-bit fingerprint of
+/// (canonical spec, alphabet, result-relevant SynthOptions) — the key
+/// of the service-layer result cache (service/SynthService.h).
+///
+/// Fingerprints hash a versioned text serialization of the query
+/// (canonicalQueryText); cache layers store that text alongside each
+/// entry and compare it on hits, so a 128-bit collision degrades to a
+/// cache miss, never to a wrong answer.
+///
+/// The staging variants (canonicalStagingText / fingerprintStaging)
+/// cover only the inputs the staging phase of the search depends on —
+/// the spec, the alphabet and the universe-geometry flags — so staged
+/// artifacts (engine/Staging.h) can be shared across requests that
+/// differ only in sweep options such as the cost function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_FINGERPRINT_H
+#define PARESY_LANG_FINGERPRINT_H
+
+#include "core/Synthesizer.h"
+#include "lang/Spec.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paresy {
+
+/// A 128-bit query fingerprint. Stable across runs, processes and
+/// platforms: it depends only on the hashed bytes, never on addresses
+/// or iteration order.
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &O) const = default;
+
+  /// 32 lowercase hex digits, Hi first.
+  std::string hex() const;
+};
+
+/// Hash functor for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  size_t operator()(const Fingerprint &F) const {
+    return size_t(F.Hi ^ (F.Lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Streaming builder: feed values, then finish(). Strings are
+/// length-prefixed so concatenation ambiguities cannot collide.
+class FingerprintBuilder {
+public:
+  FingerprintBuilder &addU64(uint64_t V);
+  FingerprintBuilder &addBytes(std::string_view Bytes);
+  Fingerprint finish() const { return {H1, H2}; }
+
+private:
+  uint64_t H1 = 0x243f6a8885a308d3ULL; // pi, first 16 hex digits
+  uint64_t H2 = 0x13198a2e03707344ULL; // pi, next 16
+  uint64_t Count = 0;
+};
+
+/// The canonical form of \p S: positive and negative examples each
+/// shortlex-sorted and deduplicated. For valid specifications (which
+/// are duplicate-free by definition) this only reorders, so the
+/// canonical spec synthesizes to a result identical to the original.
+Spec canonicalSpec(const Spec &S);
+
+/// Versioned, exact text serialization of a query: \p Canonical (must
+/// already be canonical), the alphabet, and every SynthOptions field
+/// that can influence a SynthResult. Equal text iff equal query; this
+/// is what fingerprints hash and what caches verify on hits.
+std::string canonicalQueryText(const Spec &Canonical, const Alphabet &Sigma,
+                               const SynthOptions &Opts);
+
+/// Like canonicalQueryText, but restricted to what staging consumes:
+/// the spec, the alphabet, and the PadToPowerOfTwo / UseGuideTable
+/// flags. Queries with equal staging text share Universe/GuideTable.
+std::string canonicalStagingText(const Spec &Canonical,
+                                 const Alphabet &Sigma,
+                                 const SynthOptions &Opts);
+
+/// Fingerprint of an arbitrary byte string.
+Fingerprint fingerprintText(std::string_view Text);
+
+/// fingerprintText(canonicalQueryText(canonicalSpec(S), Sigma, Opts)).
+Fingerprint fingerprintQuery(const Spec &S, const Alphabet &Sigma,
+                             const SynthOptions &Opts);
+
+/// fingerprintText(canonicalStagingText(canonicalSpec(S), Sigma, Opts)).
+Fingerprint fingerprintStaging(const Spec &S, const Alphabet &Sigma,
+                               const SynthOptions &Opts);
+
+} // namespace paresy
+
+#endif // PARESY_LANG_FINGERPRINT_H

@@ -1,0 +1,94 @@
+//===- service/LruCache.h - Bounded least-recently-used map ------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, exact LRU map used by the synthesis service for both its
+/// result cache and its staged-artifact cache. Not thread-safe: the
+/// service serializes access under its own mutex. Capacity 0 disables
+/// the cache (get always misses, put is a no-op), which keeps the
+/// "caching off" configuration on the same code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVICE_LRUCACHE_H
+#define PARESY_SERVICE_LRUCACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace paresy {
+namespace service {
+
+/// Fixed-capacity map with least-recently-used eviction. get()
+/// promotes to most-recently-used; put() evicts the LRU entry once the
+/// capacity is exceeded and counts evictions.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+public:
+  explicit LruCache(size_t Capacity) : Cap(Capacity) {}
+
+  size_t size() const { return Map.size(); }
+  size_t capacity() const { return Cap; }
+  uint64_t evictions() const { return Evicted; }
+
+  /// The value stored under \p K, promoted to most-recently-used, or
+  /// null on a miss. The pointer is invalidated by the next put().
+  Value *get(const Key &K) {
+    auto It = Map.find(K);
+    if (It == Map.end())
+      return nullptr;
+    Order.splice(Order.begin(), Order, It->second);
+    return &It->second->second;
+  }
+
+  /// Inserts or overwrites the entry for \p K as most-recently-used.
+  void put(const Key &K, Value V) {
+    if (Cap == 0)
+      return;
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      It->second->second = std::move(V);
+      Order.splice(Order.begin(), Order, It->second);
+      return;
+    }
+    if (Map.size() == Cap) {
+      Map.erase(Order.back().first);
+      Order.pop_back();
+      ++Evicted;
+    }
+    Order.emplace_front(K, std::move(V));
+    Map.emplace(K, Order.begin());
+  }
+
+  /// Removes and returns the least-recently-used entry (counted as an
+  /// eviction), or nothing when empty. For callers enforcing a budget
+  /// beyond entry count, e.g. bytes.
+  std::optional<std::pair<Key, Value>> evictOldest() {
+    if (Order.empty())
+      return std::nullopt;
+    std::pair<Key, Value> Out = std::move(Order.back());
+    Map.erase(Out.first);
+    Order.pop_back();
+    ++Evicted;
+    return Out;
+  }
+
+private:
+  using Entry = std::pair<Key, Value>;
+  std::list<Entry> Order; // Front = most recently used.
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> Map;
+  size_t Cap;
+  uint64_t Evicted = 0;
+};
+
+} // namespace service
+} // namespace paresy
+
+#endif // PARESY_SERVICE_LRUCACHE_H

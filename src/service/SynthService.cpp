@@ -1,0 +1,246 @@
+//===- service/SynthService.cpp - Caching, coalescing synthesis service ------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SynthService.h"
+
+#include "engine/Backend.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace paresy;
+using namespace paresy::service;
+
+SynthService::SynthService(ServiceOptions Opts)
+    : Options(std::move(Opts)), Results(Options.ResultCacheCapacity),
+      Staged(Options.StagedCacheCapacity) {
+  Threads.reserve(Options.Workers);
+  for (unsigned I = 0; I != Options.Workers; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+SynthService::~SynthService() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  SpaceReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+SynthService::ResultFuture SynthService::readyFuture(SynthResult R) {
+  std::promise<SynthResult> P;
+  P.set_value(std::move(R));
+  return P.get_future().share();
+}
+
+SynthService::ResultFuture SynthService::submit(const Spec &S,
+                                                const Alphabet &Sigma,
+                                                const SynthOptions &Opts) {
+  // Unknown backends answer first, exactly as synthesizeWith() does,
+  // so the service is a drop-in for string-driven callers.
+  if (!engine::hasBackend(Options.Backend)) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Submitted;
+    ++Counters.Immediate;
+    SynthResult R;
+    R.Status = SynthStatus::InvalidInput;
+    R.Message = "unknown backend '" + Options.Backend + "'";
+    return readyFuture(std::move(R));
+  }
+
+  // Requests that need no search (invalid input, trivial specs) are
+  // answered inline and never enter the caches: recomputing them is
+  // cheaper than storing them, and validation must see the *original*
+  // spec - canonicalization would erase exactly the duplicates that
+  // make some specs invalid.
+  SynthResult Fast;
+  if (engine::resolveWithoutSearch(S, Sigma, Opts, Fast)) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Submitted;
+    ++Counters.Immediate;
+    return readyFuture(std::move(Fast));
+  }
+
+  Spec Canonical = canonicalSpec(S);
+  std::string KeyText = canonicalQueryText(Canonical, Sigma, Opts);
+  Fingerprint Key = fingerprintText(KeyText);
+
+  std::unique_lock<std::mutex> Lock(M);
+  ++Counters.Submitted;
+
+  if (CachedResult *Hit = Results.get(Key);
+      Hit && Hit->KeyText == KeyText) {
+    ++Counters.Hits;
+    return readyFuture(Hit->Result);
+  }
+
+  if (auto It = InFlight.find(Key);
+      It != InFlight.end() && It->second->KeyText == KeyText) {
+    ++Counters.Coalesced;
+    return It->second->Future;
+  }
+
+  ++Counters.Misses;
+  auto Req = std::make_shared<Request>();
+  Req->Key = Key;
+  Req->KeyText = std::move(KeyText);
+  Req->Canonical = std::move(Canonical);
+  Req->Sigma = Sigma;
+  Req->Opts = Opts;
+  Req->Future = Req->Promise.get_future().share();
+  // Plain assignment: on the (2^-128) fingerprint collision with a
+  // different in-flight query, the displaced request still completes
+  // through its own future; only its coalescing window closes early.
+  InFlight[Key] = Req;
+
+  if (Options.Workers == 0) {
+    Lock.unlock();
+    execute(Req);
+    return Req->Future;
+  }
+
+  SpaceReady.wait(Lock, [&] {
+    return Queue.size() < std::max<size_t>(Options.MaxQueueDepth, 1) ||
+           Stopping;
+  });
+  Queue.push_back(Req);
+  Counters.QueueDepth = Queue.size();
+  Counters.PeakQueueDepth =
+      std::max(Counters.PeakQueueDepth, Counters.QueueDepth);
+  Lock.unlock();
+  WorkReady.notify_one();
+  return Req->Future;
+}
+
+SynthResult SynthService::synthesize(const Spec &S, const Alphabet &Sigma,
+                                     const SynthOptions &Opts) {
+  return submit(S, Sigma, Opts).get();
+}
+
+std::vector<SynthResult>
+SynthService::synthesizeAll(const std::vector<Spec> &Specs,
+                            const Alphabet &Sigma,
+                            const SynthOptions &Opts) {
+  std::vector<ResultFuture> Futures;
+  Futures.reserve(Specs.size());
+  for (const Spec &S : Specs)
+    Futures.push_back(submit(S, Sigma, Opts));
+  std::vector<SynthResult> Out;
+  Out.reserve(Specs.size());
+  for (ResultFuture &F : Futures)
+    Out.push_back(F.get());
+  return Out;
+}
+
+ServiceStats SynthService::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  ServiceStats Copy = Counters;
+  Copy.Evictions = Results.evictions();
+  Copy.StagedBytes = StagedBytesTotal;
+  Copy.QueueDepth = Queue.size();
+  return Copy;
+}
+
+void SynthService::workerMain() {
+  for (;;) {
+    std::shared_ptr<Request> Req;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and fully drained.
+      Req = std::move(Queue.front());
+      Queue.pop_front();
+      Counters.QueueDepth = Queue.size();
+    }
+    SpaceReady.notify_one();
+    execute(Req);
+  }
+}
+
+void SynthService::execute(const std::shared_ptr<Request> &Req) {
+  // Staged-artifact reuse: requests that share a spec but differ in
+  // sweep options (cost function, budgets, timeout) share the staged
+  // universe and guide table.
+  std::string StagedText =
+      canonicalStagingText(Req->Canonical, Req->Sigma, Req->Opts);
+  Fingerprint StagedKey = fingerprintText(StagedText);
+
+  std::shared_ptr<const engine::StagedQuery> Base;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (CachedStaged *Hit = Staged.get(StagedKey);
+        Hit && Hit->KeyText == StagedText) {
+      Base = Hit->Query;
+      ++Counters.StagedHits;
+    } else {
+      ++Counters.StagedMisses;
+    }
+  }
+  std::shared_ptr<const engine::StagedQuery> Q =
+      Base ? engine::restage(*Base, Req->Opts)
+           : engine::stage(Req->Canonical, Req->Sigma, Req->Opts);
+
+  engine::BackendConfig Config = Options.Kernels;
+  if (Options.Workers > 0)
+    Config.InlineKernels = true; // The request pool owns parallelism.
+  std::unique_ptr<engine::Backend> B =
+      engine::createBackend(Options.Backend, Config);
+  assert(B && "backend existence was checked at submit");
+  SynthResult R = engine::runStaged(*Q, *B);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Searches;
+    // Timeout is the one wall-clock-dependent status: a re-run might
+    // succeed, so replaying it from the cache would pin a transient
+    // failure forever. Every other status is deterministic.
+    if (R.Status != SynthStatus::Timeout)
+      Results.put(Req->Key, CachedResult{Req->KeyText, R});
+    if (!Q->immediate())
+      putStaged(StagedKey,
+                CachedStaged{std::move(StagedText), Q, Q->stagedBytes()});
+    InFlight.erase(Req->Key);
+  }
+  Req->Promise.set_value(std::move(R));
+}
+
+void SynthService::putStaged(const Fingerprint &Key, CachedStaged Entry) {
+  if (Options.StagedCacheCapacity == 0 ||
+      Entry.Bytes > Options.StagedCacheBytes)
+    return;
+
+  // In-place replacement: swap the byte accounting, then trim in case
+  // the entry grew.
+  if (CachedStaged *Old = Staged.get(Key)) {
+    StagedBytesTotal += Entry.Bytes - Old->Bytes;
+    Staged.put(Key, std::move(Entry));
+    while (StagedBytesTotal > Options.StagedCacheBytes) {
+      std::optional<std::pair<Fingerprint, CachedStaged>> Evicted =
+          Staged.evictOldest();
+      if (!Evicted)
+        break;
+      StagedBytesTotal -= Evicted->second.Bytes;
+    }
+    return;
+  }
+
+  // Fresh insert: evict LRU-first until both budgets admit it. The
+  // explicit count check keeps put() from evicting invisibly.
+  while (Staged.size() + 1 > Options.StagedCacheCapacity ||
+         StagedBytesTotal + Entry.Bytes > Options.StagedCacheBytes) {
+    std::optional<std::pair<Fingerprint, CachedStaged>> Evicted =
+        Staged.evictOldest();
+    if (!Evicted)
+      break;
+    StagedBytesTotal -= Evicted->second.Bytes;
+  }
+  StagedBytesTotal += Entry.Bytes;
+  Staged.put(Key, std::move(Entry));
+}

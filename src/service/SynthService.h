@@ -1,0 +1,204 @@
+//===- service/SynthService.h - Caching, coalescing synthesis service --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-level serving layer over the search engine. A serving
+/// workload sees the same or near-same specifications repeatedly (the
+/// realistic case per the REI challenge corpus), and a bare
+/// runSearch() pays the full staging + sweep price every time.
+/// SynthService adds, in order of consultation:
+///
+///   1. **Normalization** — requests are canonicalized
+///      (lang/Fingerprint.h), so example order never splits the cache.
+///   2. **Result cache** — an LRU keyed by the 128-bit query
+///      fingerprint; a hit returns the stored SynthResult bit for bit,
+///      without creating a backend. Entries carry the exact canonical
+///      key text and verify it on hits, so fingerprint collisions
+///      degrade to misses, never to wrong answers.
+///   3. **Coalescing** — concurrent submissions of one query attach to
+///      a single in-flight search and share its future.
+///   4. **Staged-artifact cache** — an LRU of StagedQuery keyed by the
+///      staging fingerprint; requests that share a spec but differ in
+///      sweep options (cost function, budgets) reuse the staged
+///      universe/guide table through engine::restage().
+///   5. **A bounded queue + worker pool** — submit() is asynchronous
+///      (future-style handles); when the queue is at MaxQueueDepth,
+///      submit blocks for space (backpressure, never silent drops).
+///
+/// One service instance is bound to one backend; that is what makes
+/// the "a cache hit equals a cold run" guarantee exact (results are
+/// deterministic per backend; stats fields such as MemoryBytes differ
+/// across backends). Requests that resolve without a search - invalid
+/// input, trivial specs - are answered inline on the submitting thread
+/// and bypass both caches: they are cheaper to recompute than to
+/// store, and keying them on the *canonical* spec would be wrong (a
+/// spec invalid only through duplicate examples must not share an
+/// entry with its deduplicated, valid form).
+///
+/// engine::synthesizeBatch() is a one-shot service; the CLI's
+/// --serve-demo mode replays a workload through a long-lived one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVICE_SYNTHSERVICE_H
+#define PARESY_SERVICE_SYNTHSERVICE_H
+
+#include "engine/BackendRegistry.h"
+#include "engine/Staging.h"
+#include "lang/Fingerprint.h"
+#include "service/LruCache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace paresy {
+namespace service {
+
+/// Construction-time configuration of one service instance.
+struct ServiceOptions {
+  /// Registry key of the backend every request runs on. A service is
+  /// bound to exactly one backend (see file comment).
+  std::string Backend = "cpu";
+
+  /// Worker threads executing searches. 0 executes each miss inline on
+  /// the submitting thread (fully synchronous, deterministic service).
+  unsigned Workers = 0;
+
+  /// Result-cache entries (LRU). 0 disables result caching.
+  size_t ResultCacheCapacity = 1024;
+
+  /// Staged-artifact cache entries (LRU). 0 disables staged reuse.
+  size_t StagedCacheCapacity = 64;
+
+  /// Byte budget for the staged-artifact cache (universes and guide
+  /// tables pinned by cached StagedQueries, estimated by
+  /// StagedQuery::stagedBytes). The entry-count bound alone would let
+  /// a workload of large specs pin unbounded memory; this bound
+  /// evicts LRU-first, and an artifact larger than the whole budget
+  /// is simply not cached.
+  uint64_t StagedCacheBytes = uint64_t(256) << 20;
+
+  /// Pending-request bound; submit() blocks for space when the queue
+  /// is full. Ignored when Workers == 0 (nothing queues).
+  size_t MaxQueueDepth = 1024;
+
+  /// Per-run backend construction knobs (e.g. kernel worker threads
+  /// for a single-request service). When Workers > 0 the service
+  /// forces InlineKernels, as the request pool already owns the
+  /// parallelism (the synthesizeBatch idiom).
+  engine::BackendConfig Kernels;
+};
+
+/// Monotonic service counters plus current queue state. All counters
+/// are totals since construction.
+struct ServiceStats {
+  uint64_t Submitted = 0;  ///< submit() calls.
+  uint64_t Hits = 0;       ///< Served from the result cache.
+  uint64_t Misses = 0;     ///< Scheduled a new search.
+  uint64_t Coalesced = 0;  ///< Attached to an in-flight search.
+  uint64_t Immediate = 0;  ///< Resolved without search (invalid/trivial).
+  uint64_t Evictions = 0;  ///< Result-cache LRU evictions.
+  uint64_t StagedHits = 0;   ///< Staged artifacts reused.
+  uint64_t StagedMisses = 0; ///< Staged artifacts built.
+  uint64_t StagedBytes = 0;  ///< Estimated bytes pinned by staged cache.
+  uint64_t Searches = 0;   ///< Backend runs actually executed.
+  size_t QueueDepth = 0;     ///< Requests queued right now.
+  size_t PeakQueueDepth = 0; ///< High-water mark of QueueDepth.
+};
+
+/// A caching, coalescing, asynchronous synthesis service over one
+/// backend. All public members are thread-safe.
+class SynthService {
+public:
+  using ResultFuture = std::shared_future<SynthResult>;
+
+  explicit SynthService(ServiceOptions Options = {});
+
+  /// Drains the queue (every returned future completes), then joins
+  /// the workers.
+  ~SynthService();
+
+  SynthService(const SynthService &) = delete;
+  SynthService &operator=(const SynthService &) = delete;
+
+  const ServiceOptions &options() const { return Options; }
+
+  /// Submits one request. Returns a future that yields exactly what a
+  /// cold engine::runSearch of the same request on this service's
+  /// backend would (see file comment). Blocks only when the request
+  /// queue is full.
+  ResultFuture submit(const Spec &S, const Alphabet &Sigma,
+                      const SynthOptions &Opts = {});
+
+  /// Blocking convenience: submit(...).get().
+  SynthResult synthesize(const Spec &S, const Alphabet &Sigma,
+                         const SynthOptions &Opts = {});
+
+  /// Submits every spec, then collects results in input order.
+  std::vector<SynthResult>
+  synthesizeAll(const std::vector<Spec> &Specs, const Alphabet &Sigma,
+                const SynthOptions &Opts = {});
+
+  /// A consistent snapshot of the counters.
+  ServiceStats stats() const;
+
+private:
+  struct Request {
+    Fingerprint Key;
+    std::string KeyText;
+    Spec Canonical;
+    Alphabet Sigma;
+    SynthOptions Opts;
+    std::promise<SynthResult> Promise;
+    ResultFuture Future;
+  };
+  struct CachedResult {
+    std::string KeyText; // Exact key, verified on every hit.
+    SynthResult Result;
+  };
+  struct CachedStaged {
+    std::string KeyText;
+    std::shared_ptr<const engine::StagedQuery> Query;
+    uint64_t Bytes = 0;
+  };
+
+  static ResultFuture readyFuture(SynthResult R);
+  void workerMain();
+  /// Stages (or reuses), runs, caches and publishes one request.
+  void execute(const std::shared_ptr<Request> &Req);
+  /// Inserts a staged artifact under the count and byte budgets,
+  /// evicting LRU entries as needed. Caller holds the lock.
+  void putStaged(const Fingerprint &Key, CachedStaged Entry);
+
+  ServiceOptions Options;
+
+  mutable std::mutex M;
+  std::condition_variable WorkReady;  // Queue non-empty or stopping.
+  std::condition_variable SpaceReady; // Queue below MaxQueueDepth.
+  std::deque<std::shared_ptr<Request>> Queue;
+  std::unordered_map<Fingerprint, std::shared_ptr<Request>, FingerprintHash>
+      InFlight;
+  LruCache<Fingerprint, CachedResult, FingerprintHash> Results;
+  LruCache<Fingerprint, CachedStaged, FingerprintHash> Staged;
+  uint64_t StagedBytesTotal = 0;
+  ServiceStats Counters;
+  bool Stopping = false;
+
+  std::vector<std::thread> Threads; // Last member: joins before the
+                                    // state above is destroyed.
+};
+
+} // namespace service
+} // namespace paresy
+
+#endif // PARESY_SERVICE_SYNTHSERVICE_H

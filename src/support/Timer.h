@@ -26,6 +26,14 @@ public:
   /// Restarts the timer.
   void reset() { Start = Clock::now(); }
 
+  /// Moves the start \p Seconds into the past: accounts for elapsed
+  /// time measured before this timer existed (e.g. a staging phase
+  /// timed elsewhere that a deadline must still cover).
+  void rewind(double Seconds) {
+    Start -= std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(Seconds));
+  }
+
   /// Seconds elapsed since construction/reset.
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - Start).count();

@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
+#include <thread>
+#include <vector>
 
 using namespace paresy;
 
@@ -99,6 +102,47 @@ TEST(LanguageCache, ReserveAndWriteRows) {
   EXPECT_EQ(Cache.provenance(3).Symbol, 'x');
   // Reserved-but-unwritten rows are zeroed.
   EXPECT_EQ(Cache.cs(1)[0], 0u);
+}
+
+TEST(LanguageCache, ConcurrentWritesToDistinctReservedRows) {
+  // The contract the GPU-style compaction kernel depends on: after one
+  // reserveRows(), distinct rows may be filled from any number of
+  // threads concurrently. Interleave thread ownership (thread T owns
+  // rows T, T+N, T+2N, ...) so neighbouring rows are always written by
+  // different threads.
+  constexpr size_t Words = 4;
+  constexpr size_t Rows = 1024;
+  constexpr unsigned NumThreads = 8;
+  LanguageCache Cache(Words, Rows);
+  ASSERT_EQ(Cache.reserveRows(Rows), 0u);
+  ASSERT_EQ(Cache.size(), Rows);
+
+  auto CellValue = [](size_t Row, size_t Word) {
+    return uint64_t(Row) * 0x9e3779b97f4a7c15ULL + Word;
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      uint64_t Row[Words];
+      for (size_t I = T; I < Rows; I += NumThreads) {
+        for (size_t W = 0; W != Words; ++W)
+          Row[W] = CellValue(I, W);
+        Provenance Prov;
+        Prov.Kind = CsOp::Concat;
+        Prov.Lhs = uint32_t(I);
+        Prov.Rhs = uint32_t(I / 2);
+        Cache.writeRow(I, Row, Prov);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t I = 0; I != Rows; ++I) {
+    for (size_t W = 0; W != Words; ++W)
+      ASSERT_EQ(Cache.cs(I)[W], CellValue(I, W)) << I << "," << W;
+    ASSERT_EQ(Cache.provenance(I).Lhs, uint32_t(I));
+    ASSERT_EQ(Cache.provenance(I).Rhs, uint32_t(I / 2));
+  }
 }
 
 TEST(LanguageCache, ReconstructionRebuildsExpressions) {
@@ -196,6 +240,47 @@ TEST(CsHashSet, GrowsPastInitialCapacity) {
   uint64_t Absent[1] = {0xfedcba9876543210ULL};
   if (!Keys.count(Absent[0]))
     EXPECT_FALSE(Set.contains(Absent));
+}
+
+TEST(CsHashSet, GrowthPastInitialSlotsWithMultiWordKeys) {
+  // Drive the set far past its initial slot count (64 slots, 256
+  // bytes) with multi-word keys, forcing several rehash rounds, and
+  // verify every key - including keys sharing all but one word -
+  // remains findable and distinguishable afterwards.
+  constexpr size_t Words = 3;
+  constexpr size_t Count = 2500;
+  LanguageCache Cache(Words, Count);
+  CsHashSet Set(Cache);
+  uint64_t InitialSlotBytes = Set.bytesUsed();
+
+  std::vector<std::array<uint64_t, Words>> Keys;
+  Keys.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    // Near-colliding keys: only the middle word varies for even I,
+    // only the last for odd I.
+    std::array<uint64_t, Words> Key = {0xabcdef0123456789ULL, 0, 0};
+    if (I % 2 == 0)
+      Key[1] = I;
+    else {
+      Key[1] = 0xffffffffffffffffULL;
+      Key[2] = I;
+    }
+    Keys.push_back(Key);
+    ASSERT_FALSE(Set.contains(Key.data())) << I;
+    uint32_t Idx = Cache.append(Key.data(), literalProv('k'));
+    Set.insert(Key.data(), Idx);
+  }
+
+  EXPECT_EQ(Set.size(), Count);
+  // The slot table grew (it must hold Count entries under its maximum
+  // load factor, far beyond the 64 initial slots).
+  EXPECT_GT(Set.bytesUsed(), InitialSlotBytes * 8);
+  for (size_t I = 0; I != Count; ++I)
+    ASSERT_TRUE(Set.contains(Keys[I].data())) << I;
+
+  uint64_t Absent[Words] = {0xabcdef0123456789ULL, 12345,
+                            0xfedcba9876543210ULL};
+  EXPECT_FALSE(Set.contains(Absent));
 }
 
 TEST(CsHashSet, MultiWordKeysCompareEveryWord) {

@@ -364,11 +364,63 @@ TEST(SynthesizeBatch, UnknownBackendYieldsInvalidInputPerSpec) {
       {introSpec(), example36Spec()}, Alphabet::of("01"), SynthOptions(),
       Batch);
   ASSERT_EQ(Results.size(), 2u);
-  for (const SynthResult &R : Results)
+  for (const SynthResult &R : Results) {
     EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+    EXPECT_NE(R.Message.find("warp9"), std::string::npos) << R.Message;
+  }
 }
 
 TEST(SynthesizeBatch, EmptyBatchIsEmpty) {
+  // Both with and without a worker pool to stand up and tear down.
   EXPECT_TRUE(
       synthesizeBatch({}, Alphabet::of("01"), SynthOptions()).empty());
+  BatchOptions Parallel;
+  Parallel.Workers = 4;
+  EXPECT_TRUE(synthesizeBatch({}, Alphabet::of("01"), SynthOptions(),
+                              Parallel)
+                  .empty());
+}
+
+TEST(SynthesizeBatch, WorkersFarExceedingSpecCount) {
+  // 32 workers, 3 specs: the surplus workers must start, idle and shut
+  // down cleanly, and results must still match the serial reference.
+  std::vector<Spec> Specs = {introSpec(), example36Spec(),
+                             Spec({"10"}, {"", "0", "1"})};
+  SynthOptions Opts;
+  BatchOptions Oversized;
+  Oversized.Workers = 32;
+  std::vector<SynthResult> Results =
+      synthesizeBatch(Specs, Alphabet::of("01"), Opts, Oversized);
+  ASSERT_EQ(Results.size(), Specs.size());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    SCOPED_TRACE(I);
+    SynthResult Ref = synthesize(Specs[I], Alphabet::of("01"), Opts);
+    EXPECT_EQ(Ref.Status, Results[I].Status);
+    EXPECT_EQ(Ref.Regex, Results[I].Regex);
+    EXPECT_EQ(Ref.Cost, Results[I].Cost);
+    EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+              Results[I].Stats.CandidatesGenerated);
+  }
+}
+
+TEST(SynthesizeBatch, DuplicateSpecsRunOneSearchAndAgree) {
+  // The service-backed batch coalesces duplicates; every copy must
+  // still receive the full, correct result.
+  std::vector<Spec> Specs(6, introSpec());
+  SynthOptions Opts;
+  for (unsigned Workers : {0u, 4u}) {
+    SCOPED_TRACE(Workers);
+    BatchOptions Batch;
+    Batch.Workers = Workers;
+    std::vector<SynthResult> Results =
+        synthesizeBatch(Specs, Alphabet::of("01"), Opts, Batch);
+    ASSERT_EQ(Results.size(), Specs.size());
+    SynthResult Ref = synthesize(introSpec(), Alphabet::of("01"), Opts);
+    for (const SynthResult &R : Results) {
+      EXPECT_EQ(Ref.Regex, R.Regex);
+      EXPECT_EQ(Ref.Cost, R.Cost);
+      EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+                R.Stats.CandidatesGenerated);
+    }
+  }
 }

