@@ -1,0 +1,245 @@
+//===- bench/Harness.cpp - Self-describing benchmark harness -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Bits.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::bench;
+
+namespace {
+
+std::string compilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string buildString() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "sanitize";
+#elif defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+std::string osString() {
+#if defined(__linux__)
+  return "linux";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(_WIN32)
+  return "windows";
+#else
+  return "unknown";
+#endif
+}
+
+std::string archString() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      continue; // Control characters never occur in our names.
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+Harness::Harness(std::string Name, int Argc, char **Argv)
+    : Name(std::move(Name)) {
+  Out = "BENCH_" + this->Name + ".json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--quick") {
+      Quick = true;
+    } else if (Arg == "--out") {
+      Out = Next();
+    } else if (Arg == "--reps") {
+      Reps = std::atoi(Next());
+      if (Reps < 1)
+        Reps = 1;
+      RepsExplicit = true;
+    } else if (Arg == "--filter") {
+      Filter = Next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--reps N] "
+                   "[--filter SUBSTR]\n",
+                   Argv[0]);
+      std::exit(2);
+    }
+  }
+  // --quick shrinks the defaults; an explicit --reps wins regardless
+  // of flag order.
+  if (Quick) {
+    if (!RepsExplicit)
+      Reps = 5;
+    MinRepSeconds = 0.01;
+  }
+}
+
+bool Harness::selected(const std::string &Metric) const {
+  return Filter.empty() || Metric.find(Filter) != std::string::npos;
+}
+
+void Harness::bench(const std::string &Metric, uint64_t ItemsPerIter,
+                    const std::function<void()> &Fn) {
+  if (!selected(Metric))
+    return;
+
+  // Calibration doubles the iteration count until one repetition is
+  // long enough to dominate clock granularity. The calibration runs
+  // double as warmup: by the time timing starts, caches and branch
+  // predictors have seen the workload.
+  uint64_t Iters = 1;
+  for (;;) {
+    WallTimer Timer;
+    for (uint64_t I = 0; I != Iters; ++I)
+      Fn();
+    double Seconds = Timer.seconds();
+    if (Seconds >= MinRepSeconds || Iters >= (uint64_t(1) << 30))
+      break;
+    if (Seconds * 8 < MinRepSeconds)
+      Iters *= 8;
+    else
+      Iters *= 2;
+  }
+
+  double Best = -1;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    WallTimer Timer;
+    for (uint64_t I = 0; I != Iters; ++I)
+      Fn();
+    double Seconds = Timer.seconds();
+    if (Best < 0 || Seconds < Best)
+      Best = Seconds;
+  }
+
+  MetricResult R;
+  R.Name = Metric;
+  R.Unit = "items/s";
+  R.SecondsPerIter = Best / double(Iters);
+  R.ItemsPerIter = ItemsPerIter;
+  R.Iterations = Iters;
+  R.Repetitions = Reps;
+  R.Value = R.SecondsPerIter > 0
+                ? double(ItemsPerIter) / R.SecondsPerIter
+                : 0;
+  Results.push_back(R);
+  std::printf("%-32s %12.3e items/s  (%.3e s/iter, %llu iters, "
+              "min of %d)\n",
+              Metric.c_str(), R.Value, R.SecondsPerIter,
+              static_cast<unsigned long long>(Iters), Reps);
+  std::fflush(stdout);
+}
+
+void Harness::metric(const std::string &Name, double Value,
+                     const std::string &Unit) {
+  if (!selected(Name))
+    return;
+  MetricResult R;
+  R.Name = Name;
+  R.Unit = Unit;
+  R.Value = Value;
+  Results.push_back(R);
+  std::printf("%-32s %12.4g %s\n", Name.c_str(), Value, Unit.c_str());
+  std::fflush(stdout);
+}
+
+int Harness::finish() {
+  // The calibration metric: a fixed pure-ALU workload (SplitMix64
+  // mixing) whose throughput tracks single-core machine speed. The
+  // compare tool divides every metric by it, cancelling machine speed
+  // to first order so baselines gate runs from different hardware.
+  // Never filtered: every report must carry it to be comparable.
+  Filter.clear();
+  {
+    uint64_t State = seed();
+    bench("harness.calibration", 4096, [&] {
+      for (int I = 0; I != 4096; ++I)
+        State = hashMix64(State);
+    });
+    // The result must not be optimised away.
+    if (State == 0x123456789abcdefULL)
+      std::fprintf(stderr, "calibration sentinel\n");
+  }
+
+  std::FILE *F = std::fopen(Out.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"schema\": \"paresy-bench/v1\",\n");
+  std::fprintf(F, "  \"name\": \"%s\",\n", jsonEscape(Name).c_str());
+  std::fprintf(F, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(F,
+               "  \"config\": {\"repetitions\": %d, "
+               "\"min_rep_seconds\": %g, \"seed\": %llu},\n",
+               Reps, MinRepSeconds,
+               static_cast<unsigned long long>(seed()));
+  std::fprintf(F,
+               "  \"machine\": {\"os\": \"%s\", \"arch\": \"%s\", "
+               "\"compiler\": \"%s\", \"build\": \"%s\", "
+               "\"hardware_threads\": %u},\n",
+               osString().c_str(), archString().c_str(),
+               jsonEscape(compilerString()).c_str(),
+               buildString().c_str(),
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"metrics\": [\n");
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const MetricResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                 "\"value\": %.6e, \"seconds_per_iter\": %.6e, "
+                 "\"items_per_iter\": %llu, \"iterations\": %llu, "
+                 "\"repetitions\": %d}%s\n",
+                 jsonEscape(R.Name).c_str(), jsonEscape(R.Unit).c_str(),
+                 R.Value, R.SecondsPerIter,
+                 static_cast<unsigned long long>(R.ItemsPerIter),
+                 static_cast<unsigned long long>(R.Iterations),
+                 R.Repetitions, I + 1 == Results.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu metrics)\n", Out.c_str(), Results.size());
+  return 0;
+}

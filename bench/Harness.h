@@ -1,0 +1,100 @@
+//===- bench/Harness.h - Self-describing benchmark harness -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared measurement harness every bench binary links. It fixes
+/// the methodology the perf trajectory depends on:
+///
+///  * deterministic workloads: a fixed RNG seed exposed via seed(),
+///  * auto-calibrated iteration counts (each repetition runs long
+///    enough to dominate clock granularity),
+///  * warmup plus min-of-N repetitions (min, not mean: the minimum is
+///    the best estimate of the code's true cost under CI noise),
+///  * machine/config capture (compiler, build type, arch, threads) and
+///    a synthetic calibration metric so results from different
+///    machines can be compared after normalisation,
+///  * canonical JSON output to BENCH_<name>.json (schema documented in
+///    DESIGN.md Sec. 6; consumed by bench/compare_bench.py and the CI
+///    perf-smoke job).
+///
+/// Flags understood by every harness binary:
+///
+///   --quick          CI-sized run (fewer reps, shorter reps)
+///   --out PATH       output path (default BENCH_<name>.json)
+///   --reps N         repetitions per metric
+///   --filter SUBSTR  only run metrics whose name contains SUBSTR
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_BENCH_HARNESS_H
+#define PARESY_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace paresy {
+namespace bench {
+
+/// One measured metric as it lands in the JSON report.
+struct MetricResult {
+  std::string Name;
+  std::string Unit;       ///< "items/s" for timed metrics.
+  double Value = 0;       ///< Throughput (items/s) or the raw value.
+  double SecondsPerIter = 0;
+  uint64_t ItemsPerIter = 0;
+  uint64_t Iterations = 0; ///< Per repetition, after calibration.
+  int Repetitions = 0;
+};
+
+/// Measurement session of one bench binary. Construct, call bench() /
+/// metric() for every workload, then return finish() from main().
+class Harness {
+public:
+  /// \p Name keys the output file (BENCH_<Name>.json); \p Argc/Argv
+  /// are the binary's command line (unknown flags abort with usage).
+  Harness(std::string Name, int Argc, char **Argv);
+
+  /// True when --quick was passed: CI-sized repetitions.
+  bool quick() const { return Quick; }
+
+  /// The fixed seed every workload must use for its RNG.
+  uint64_t seed() const { return 42; }
+
+  /// Times \p Fn, which performs ONE iteration of the workload
+  /// processing \p ItemsPerIter items. The harness calibrates how many
+  /// iterations fill a repetition, warms up, then records the minimum
+  /// over the configured repetitions.
+  void bench(const std::string &Metric, uint64_t ItemsPerIter,
+             const std::function<void()> &Fn);
+
+  /// Records a metric measured by the caller (e.g. a speedup ratio or
+  /// a byte count). Not gated by the calibration-normalised compare.
+  void metric(const std::string &Name, double Value,
+              const std::string &Unit);
+
+  /// Runs the synthetic calibration workload, prints the table, and
+  /// writes the JSON report. Returns the process exit code.
+  int finish();
+
+private:
+  bool selected(const std::string &Metric) const;
+
+  std::string Name;
+  std::string Out;
+  std::string Filter;
+  bool Quick = false;
+  bool RepsExplicit = false;
+  int Reps = 9;
+  double MinRepSeconds = 0.05;
+  std::vector<MetricResult> Results;
+};
+
+} // namespace bench
+} // namespace paresy
+
+#endif // PARESY_BENCH_HARNESS_H

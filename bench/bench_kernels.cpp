@@ -1,0 +1,187 @@
+//===- bench/bench_kernels.cpp - CS kernel hot-path microbench ----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks for the shared CS kernel hot path: the staged
+/// concat and star folds at the row widths that matter (1-word and
+/// 2-word CSs cover RIC-sized specs; a wider universe exercises the
+/// generic path), plus the uniqueness sets and the cache append path.
+/// Workloads are RIC-style Type 1 specs from the deterministic
+/// generator, so numbers are reproducible bit-for-bit.
+///
+/// Emits BENCH_kernels.json; the CI perf-smoke job gates this file
+/// against bench/baselines/BENCH_kernels.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/Generators.h"
+#include "core/CsHashSet.h"
+#include "core/LanguageCache.h"
+#include "engine/Kernels.h"
+#include "gpusim/WarpHashSet.h"
+#include "lang/CharSeq.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "support/Compiler.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+
+namespace {
+
+/// One kernel workload: a universe of the requested CS width with two
+/// non-trivial operand CSs (0? and 1? - sparse but not degenerate,
+/// like the low-cost languages that dominate a real sweep).
+struct KernelSetup {
+  Universe U;
+  GuideTable GT;
+  std::vector<uint64_t> A, B, Dst;
+
+  explicit KernelSetup(const Spec &S) : U(S), GT(U) {
+    A.assign(U.csWords(), 0);
+    B.assign(U.csWords(), 0);
+    Dst.assign(U.csWords(), 0);
+    CsAlgebra Algebra(U, &GT);
+    Algebra.makeLiteral(A.data(), '0');
+    Algebra.makeLiteral(B.data(), '1');
+    Algebra.question(A.data(), A.data());
+    Algebra.question(B.data(), B.data());
+  }
+};
+
+/// Finds a deterministic Type 1 spec whose universe needs exactly
+/// \p WantWords CS words, scanning example lengths and seeds.
+std::unique_ptr<KernelSetup> setupForWords(size_t WantWords) {
+  for (unsigned MaxLen = 2; MaxLen <= 10; ++MaxLen) {
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      benchgen::GenParams Params;
+      Params.MaxLen = MaxLen;
+      Params.NumPos = 6;
+      Params.NumNeg = 6;
+      Params.Seed = Seed;
+      benchgen::GeneratedBenchmark B;
+      if (!benchgen::generate(benchgen::BenchType::Type1, Params, B,
+                              nullptr))
+        continue;
+      Universe Probe(B.Examples);
+      if (Probe.csWords() == WantWords)
+        return std::make_unique<KernelSetup>(B.Examples);
+    }
+  }
+  return nullptr;
+}
+
+void benchConcatStar(bench::Harness &H, size_t Words) {
+  std::unique_ptr<KernelSetup> S = setupForWords(Words);
+  if (!S) {
+    std::fprintf(stderr, "warning: no spec found for %zu-word CS\n",
+                 Words);
+    return;
+  }
+  std::string Suffix = "w" + std::to_string(Words);
+
+  H.bench("concat." + Suffix, S->GT.totalPairs(), [&] {
+    engine::csConcat(S->Dst.data(), S->A.data(), S->B.data(), S->U,
+                     &S->GT);
+  });
+
+  // Star's work depends on the fixpoint depth; charge the measured
+  // split pairs of one call so items/s stays comparable to concat.
+  uint64_t StarOps =
+      engine::csStar(S->Dst.data(), S->A.data(), S->U, &S->GT);
+  H.bench("star." + Suffix, StarOps, [&] {
+    engine::csStar(S->Dst.data(), S->A.data(), S->U, &S->GT);
+  });
+}
+
+void benchHashSets(bench::Harness &H) {
+  constexpr size_t Words = 2;
+  // Sized so every per-iteration allocation stays below malloc's mmap
+  // threshold: recycled arena memory keeps timings OS-state-free.
+  constexpr size_t Keys = 2048;
+  // One shared deterministic key stream, distinct keys with near-
+  // uniform hashes: the realistic uniqueness workload.
+  std::vector<uint64_t> KeyWords(Keys * Words);
+  Rng R(H.seed());
+  for (uint64_t &W : KeyWords)
+    W = R.next();
+
+  H.bench("cshashset.insert", Keys, [&] {
+    LanguageCache Cache(Words, Keys);
+    CsHashSet Set(Cache);
+    for (size_t K = 0; K != Keys; ++K) {
+      const uint64_t *Key = KeyWords.data() + K * Words;
+      if (!Set.contains(Key)) {
+        uint32_t Idx = Cache.append(Key, Provenance{});
+        Set.insert(Key, Idx);
+      }
+    }
+  });
+
+  // Misses probe the whole cluster; the tag bytes exist for this.
+  {
+    LanguageCache Cache(Words, Keys);
+    CsHashSet Set(Cache);
+    for (size_t K = 0; K != Keys; ++K) {
+      const uint64_t *Key = KeyWords.data() + K * Words;
+      if (!Set.contains(Key))
+        Set.insert(Key, Cache.append(Key, Provenance{}));
+    }
+    Rng Probe(H.seed() + 1);
+    std::vector<uint64_t> Missing(Keys * Words);
+    for (uint64_t &W : Missing)
+      W = Probe.next();
+    H.bench("cshashset.miss", Keys, [&] {
+      size_t Hits = 0;
+      for (size_t K = 0; K != Keys; ++K)
+        Hits += Set.contains(Missing.data() + K * Words);
+      if (Hits > Keys)
+        reportFatalError("impossible hit count");
+    });
+  }
+
+  H.bench("warphashset.insert", Keys, [&] {
+    gpusim::WarpHashSet Set(Words, Keys * 2);
+    for (size_t K = 0; K != Keys; ++K)
+      Set.insert(KeyWords.data() + K * Words, uint32_t(K));
+  });
+}
+
+void benchCacheAppend(bench::Harness &H) {
+  constexpr size_t Words = 2;
+  constexpr size_t Rows = 4096;
+  std::vector<uint64_t> RowWords(Rows * Words);
+  Rng R(H.seed() + 2);
+  for (uint64_t &W : RowWords)
+    W = R.next();
+  // info. prefix: reported but not gated. Appends deliberately absorb
+  // the row-hash computation the uniqueness set used to pay on insert
+  // and growth; cshashset.insert gates the combined pipeline.
+  H.bench("info.cache.append", Rows, [&] {
+    LanguageCache Cache(Words, Rows);
+    for (size_t I = 0; I != Rows; ++I)
+      Cache.append(RowWords.data() + I * Words, Provenance{});
+  });
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("kernels", Argc, Argv);
+  benchConcatStar(H, 1);
+  benchConcatStar(H, 2);
+  benchConcatStar(H, 4);
+  benchHashSets(H);
+  benchCacheAppend(H);
+  return H.finish();
+}

@@ -5,13 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// google-benchmark microbenchmarks for the substrate operations whose
-/// throughput dominates a Paresy run: CS union/concatenation/star,
-/// staging (infix closure + guide table construction), uniqueness
-/// (sequential and concurrent hash set inserts), the compaction scan
-/// and the two contains-check engines.
+/// Microbenchmarks for the substrate operations whose throughput
+/// dominates a Paresy run: CS union/concatenation/star, staging (infix
+/// closure + guide table construction), the compaction scan and the
+/// two contains-check engines. The uniqueness sets are covered by
+/// bench_kernels (the hot-path bench), not duplicated here. Runs on
+/// the shared bench harness (fixed seed, min-of-N) and emits
+/// BENCH_micro.json; the CI perf-smoke job gates this file against
+/// bench/baselines/BENCH_micro.json.
 ///
 //===----------------------------------------------------------------------===//
+
+#include "Harness.h"
 
 #include "benchgen/Generators.h"
 #include "core/CsHashSet.h"
@@ -25,13 +30,14 @@
 #include "support/Compiler.h"
 #include "support/Rng.h"
 
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 using namespace paresy;
 
 namespace {
 
-/// A spec whose universe size grows with the range argument.
+/// A spec whose universe size grows with the scale argument.
 Spec specOfScale(int Scale) {
   benchgen::GenParams Params;
   Params.MaxLen = unsigned(Scale);
@@ -61,133 +67,96 @@ struct CsSetup {
   }
 };
 
-} // namespace
+std::string scaled(const char *Base, int Scale) {
+  return std::string(Base) + ".le" + std::to_string(Scale);
+}
 
-static void BM_InfixClosure(benchmark::State &State) {
-  Spec S = specOfScale(int(State.range(0)));
+void benchStaging(bench::Harness &H, int Scale) {
+  Spec S = specOfScale(Scale);
   std::vector<std::string> All = S.Pos;
   All.insert(All.end(), S.Neg.begin(), S.Neg.end());
-  for (auto _ : State)
-    benchmark::DoNotOptimize(infixClosure(All));
-}
-BENCHMARK(BM_InfixClosure)->Arg(4)->Arg(6)->Arg(8);
-
-static void BM_GuideTableBuild(benchmark::State &State) {
-  Spec S = specOfScale(int(State.range(0)));
+  H.bench(scaled("info.infix_closure", Scale), 1,
+          [&] { infixClosure(All); });
   Universe U(S);
-  for (auto _ : State) {
+  H.bench(scaled("info.guide_table", Scale), 1, [&] {
     GuideTable GT(U);
-    benchmark::DoNotOptimize(GT.totalPairs());
-  }
+    if (GT.totalPairs() == 0)
+      reportFatalError("empty guide table");
+  });
 }
-BENCHMARK(BM_GuideTableBuild)->Arg(4)->Arg(6)->Arg(8);
 
-static void BM_CsUnion(benchmark::State &State) {
-  CsSetup Setup(specOfScale(int(State.range(0))));
-  for (auto _ : State) {
+void benchAlgebra(bench::Harness &H, int Scale) {
+  CsSetup Setup(specOfScale(Scale));
+  H.bench(scaled("cs_union", Scale), Setup.U.csWords(), [&] {
     Setup.A.unionOf(Setup.Out.data(), Setup.X.data(), Setup.Y.data());
-    benchmark::DoNotOptimize(Setup.Out.data());
-  }
+  });
+  H.bench(scaled("cs_concat_staged", Scale), Setup.GT.totalPairs(),
+          [&] {
+            Setup.A.concat(Setup.Out.data(), Setup.X.data(),
+                           Setup.Y.data());
+          });
+  H.bench(scaled("cs_star", Scale), Setup.GT.totalPairs(), [&] {
+    Setup.A.star(Setup.Out.data(), Setup.X.data());
+  });
 }
-BENCHMARK(BM_CsUnion)->Arg(4)->Arg(6)->Arg(8);
 
-static void BM_CsConcatStaged(benchmark::State &State) {
-  CsSetup Setup(specOfScale(int(State.range(0))));
-  for (auto _ : State) {
-    Setup.A.concat(Setup.Out.data(), Setup.X.data(), Setup.Y.data());
-    benchmark::DoNotOptimize(Setup.Out.data());
-  }
-  State.SetItemsProcessed(int64_t(State.iterations()) *
-                          int64_t(Setup.GT.totalPairs()));
-}
-BENCHMARK(BM_CsConcatStaged)->Arg(4)->Arg(6)->Arg(8);
-
-static void BM_CsConcatUnstaged(benchmark::State &State) {
-  Spec S = specOfScale(int(State.range(0)));
+void benchUnstaged(bench::Harness &H, int Scale) {
+  Spec S = specOfScale(Scale);
   Universe U(S);
   CsAlgebra A(U, nullptr); // Ablation: no guide table.
   std::vector<uint64_t> X(U.csWords()), Y(U.csWords()), Out(U.csWords());
   A.makeLiteral(X.data(), '0');
   A.makeLiteral(Y.data(), '1');
-  for (auto _ : State) {
+  H.bench(scaled("info.cs_concat_unstaged", Scale), U.size(), [&] {
     A.concat(Out.data(), X.data(), Y.data());
-    benchmark::DoNotOptimize(Out.data());
-  }
+  });
 }
-BENCHMARK(BM_CsConcatUnstaged)->Arg(4)->Arg(6)->Arg(8);
 
-static void BM_CsStar(benchmark::State &State) {
-  CsSetup Setup(specOfScale(int(State.range(0))));
-  for (auto _ : State) {
-    Setup.A.star(Setup.Out.data(), Setup.X.data());
-    benchmark::DoNotOptimize(Setup.Out.data());
-  }
-}
-BENCHMARK(BM_CsStar)->Arg(4)->Arg(6)->Arg(8);
-
-static void BM_CsHashSetInsert(benchmark::State &State) {
-  size_t Words = 2;
-  LanguageCache Cache(Words, 1 << 20);
-  CsHashSet Set(Cache);
-  Rng R(3);
-  std::vector<uint64_t> Cs(Words);
-  for (auto _ : State) {
-    Cs[0] = R.next();
-    Cs[1] = R.next();
-    if (!Set.contains(Cs.data())) {
-      uint32_t Idx = Cache.append(Cs.data(), Provenance{});
-      Set.insert(Cs.data(), Idx);
-    }
-    benchmark::DoNotOptimize(Set.size());
-    if (Cache.size() + 2 >= Cache.capacity())
-      break;
-  }
-}
-BENCHMARK(BM_CsHashSetInsert);
-
-static void BM_WarpHashSetInsert(benchmark::State &State) {
-  gpusim::WarpHashSet Set(2, 1 << 21);
-  Rng R(3);
-  uint64_t Key[2];
-  uint32_t Id = 0;
-  for (auto _ : State) {
-    Key[0] = R.next();
-    Key[1] = R.next();
-    benchmark::DoNotOptimize(Set.insert(Key, Id++));
-    if (Set.size() + 2 >= Set.capacity() * 8 / 10)
-      break;
-  }
-}
-BENCHMARK(BM_WarpHashSetInsert);
-
-static void BM_ExclusiveScan(benchmark::State &State) {
+void benchScan(bench::Harness &H, size_t N) {
   gpusim::Device D(gpusim::DeviceSpec{}, 0);
-  size_t N = size_t(State.range(0));
   std::vector<uint32_t> In(N, 1);
   std::vector<uint64_t> Out(N);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(
-        gpusim::exclusiveScan(D, In.data(), Out.data(), N));
-  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(N));
+  H.bench("info.exclusive_scan.n" + std::to_string(N), N, [&] {
+    gpusim::exclusiveScan(D, In.data(), Out.data(), N);
+  });
 }
-BENCHMARK(BM_ExclusiveScan)->Arg(1 << 10)->Arg(1 << 16);
 
-static void BM_DerivativeMatcher(benchmark::State &State) {
+void benchMatchers(bench::Harness &H) {
   RegexManager M;
   const Regex *Re = parseRegex(M, "10(0+1)*").Re;
+  // A batch of inputs per iteration: single-match iterations are so
+  // short that allocator layout noise dominates them.
+  std::vector<std::string> Inputs;
+  Rng R(H.seed() + 3);
+  for (int I = 0; I != 16; ++I) {
+    std::string W = "10";
+    for (uint64_t Len = R.range(0, 10); Len; --Len)
+      W += R.chance(0.5) ? '1' : '0';
+    Inputs.push_back(W);
+  }
   DerivativeMatcher D(M);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(D.matches(Re, "101100101"));
-}
-BENCHMARK(BM_DerivativeMatcher);
-
-static void BM_NfaMatcher(benchmark::State &State) {
-  RegexManager M;
-  const Regex *Re = parseRegex(M, "10(0+1)*").Re;
+  H.bench("info.matcher.derivative", Inputs.size(), [&] {
+    for (const std::string &W : Inputs)
+      D.matches(Re, W);
+  });
   NfaMatcher N(Re);
-  for (auto _ : State)
-    benchmark::DoNotOptimize(N.matches("101100101"));
+  H.bench("info.matcher.nfa", Inputs.size(), [&] {
+    for (const std::string &W : Inputs)
+      N.matches(W);
+  });
 }
-BENCHMARK(BM_NfaMatcher);
 
-BENCHMARK_MAIN();
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("micro", Argc, Argv);
+  for (int Scale : {4, 6, 8}) {
+    benchStaging(H, Scale);
+    benchAlgebra(H, Scale);
+  }
+  benchUnstaged(H, 4);
+  benchScan(H, size_t(1) << 10);
+  benchScan(H, size_t(1) << 16);
+  benchMatchers(H);
+  return H.finish();
+}

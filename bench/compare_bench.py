@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Gate BENCH_*.json results against checked-in baselines.
+
+For every ``BENCH_<name>.json`` in the baseline directory, the
+same-named file must exist in at least one current directory, and no
+throughput metric may regress more than ``--max-regress`` (default
+25%).
+
+Cross-machine comparability: every harness report contains a
+``harness.calibration`` metric (a fixed pure-ALU workload tracking
+single-core machine speed). Each throughput metric is divided by its
+own file's calibration before comparing, so a slower CI runner does
+not read as a code regression; only changes relative to the machine's
+own speed do. See DESIGN.md Sec. 6.
+
+Several ``--current-dir`` arguments may be given (CI runs every quick
+bench twice): per metric the best normalised result wins, the
+cross-process analogue of the harness's min-of-N repetitions, which
+filters process-level noise such as allocator layout.
+
+Exit status: 0 when every gated metric passes, 1 otherwise.
+
+Usage:
+  python3 bench/compare_bench.py \
+      --baseline-dir bench/baselines --current-dir perf1 \
+      [--current-dir perf2 ...] [--max-regress 0.25]
+
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+CALIBRATION = "harness.calibration"
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "paresy-bench/v1":
+        raise ValueError(f"{path}: unknown schema {report.get('schema')!r}")
+    metrics = {m["name"]: m for m in report.get("metrics", [])}
+    cal = metrics.get(CALIBRATION, {}).get("value", 0)
+    if cal <= 0:
+        raise ValueError(f"{path}: missing or non-positive {CALIBRATION}")
+    return metrics, cal
+
+
+def load_normalized(path):
+    """name -> throughput normalised by the run's own calibration.
+
+    Metrics named ``info.*`` are context, not gates (e.g. a path whose
+    cost intentionally moved into it from elsewhere).
+    """
+    metrics, cal = load_report(path)
+    return {
+        name: m["value"] / cal
+        for name, m in metrics.items()
+        if m.get("unit") == "items/s"
+        and name != CALIBRATION
+        and not name.startswith("info.")
+    }
+
+
+def best_of(paths):
+    """Per-metric best normalised value across several runs."""
+    merged = {}
+    for path in paths:
+        for name, value in load_normalized(path).items():
+            merged[name] = max(merged.get(name, 0.0), value)
+    return merged
+
+
+def compare_file(base_path, cur_paths, max_regress):
+    base = load_normalized(base_path)
+    cur = best_of(cur_paths)
+    ok = True
+    for name, base_norm in sorted(base.items()):
+        if name not in cur:
+            print(f"  FAIL {name}: metric missing from current results")
+            ok = False
+            continue
+        if base_norm <= 0:
+            print(f"  SKIP {name}: non-positive baseline")
+            continue
+        ratio = cur[name] / base_norm
+        status = "ok  "
+        if ratio < 1.0 - max_regress:
+            status = "FAIL"
+            ok = False
+        print(
+            f"  {status} {name:32s} {ratio:6.2f}x of baseline "
+            f"(norm {base_norm:.3f} -> {cur[name]:.3f})"
+        )
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument(
+        "--current-dir",
+        action="append",
+        default=None,
+        help="directory with current BENCH_*.json; repeatable",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional regression (0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+    current_dirs = args.current_dir or ["."]
+
+    baselines = sorted(
+        f
+        for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not baselines:
+        print(f"error: no BENCH_*.json under {args.baseline_dir}")
+        return 1
+
+    all_ok = True
+    for fname in baselines:
+        base_path = os.path.join(args.baseline_dir, fname)
+        cur_paths = [
+            os.path.join(d, fname)
+            for d in current_dirs
+            if os.path.exists(os.path.join(d, fname))
+        ]
+        print(f"{fname}:")
+        if not cur_paths:
+            print(f"  FAIL no current result in {current_dirs}")
+            all_ok = False
+            continue
+        try:
+            if not compare_file(base_path, cur_paths, args.max_regress):
+                all_ok = False
+        except (ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"  FAIL {e}")
+            all_ok = False
+
+    print("perf gate:", "PASS" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Merge several runs of one harness bench into a best-of-N report.
+
+Used when (re)capturing ``bench/baselines/``: a single run bakes its
+process-level noise (allocator layout, ASLR) into the baseline
+forever, so baselines are captured as the per-metric best of a few
+independent runs, mirroring what compare_bench.py does with multiple
+``--current-dir`` arguments on the other side of the gate.
+
+Values are compared after normalising by each run's own
+``harness.calibration`` and re-expressed against the first run's
+calibration, so the merged file stays internally consistent.
+
+Usage:
+  python3 bench/merge_bench.py --out BENCH_kernels.json \
+      run1/BENCH_kernels.json run2/BENCH_kernels.json [...]
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "harness.calibration"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("runs", nargs="+")
+    args = parser.parse_args()
+
+    with open(args.runs[0]) as f:
+        merged = json.load(f)
+    metrics = {m["name"]: m for m in merged["metrics"]}
+    base_cal = metrics[CALIBRATION]["value"]
+
+    for path in args.runs[1:]:
+        with open(path) as f:
+            run = json.load(f)
+        run_metrics = {m["name"]: m for m in run["metrics"]}
+        cal = run_metrics[CALIBRATION]["value"]
+        for name, m in run_metrics.items():
+            if name == CALIBRATION or m.get("unit") != "items/s":
+                continue
+            old = metrics.get(name)
+            rescaled = m["value"] * base_cal / cal
+            if old is None or rescaled > old["value"]:
+                # Keep the derived fields consistent with the rescaled
+                # value (value == items_per_iter / seconds_per_iter).
+                metrics[name] = dict(
+                    m,
+                    value=rescaled,
+                    seconds_per_iter=m["seconds_per_iter"] * cal / base_cal,
+                )
+
+    merged["metrics"] = list(metrics.values())
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(args.runs)} runs -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,16 +14,22 @@ using namespace paresy;
 
 CsHashSet::CsHashSet(const LanguageCache &Cache) : Cache(Cache) {
   Slots.assign(64, EmptySlot);
+  Tags.assign(64, 0);
 }
 
 bool CsHashSet::contains(const uint64_t *Cs) const {
   size_t Mask = Slots.size() - 1;
-  size_t SlotIdx = size_t(hashWords(Cs, Cache.csWords())) & Mask;
+  uint64_t Hash = hashWords(Cs, Cache.csWords());
+  uint8_t Tag = hashTagByte(Hash);
+  size_t SlotIdx = size_t(Hash) & Mask;
   for (;;) {
     uint32_t Entry = Slots[SlotIdx];
     if (Entry == EmptySlot)
       return false;
-    if (equalWords(Cache.cs(Entry), Cs, Cache.csWords()))
+    // Tag first: only a matching fingerprint justifies fetching the
+    // row words.
+    if (Tags[SlotIdx] == Tag &&
+        equalWords(Cache.cs(Entry), Cs, Cache.csWords()))
       return true;
     SlotIdx = (SlotIdx + 1) & Mask;
   }
@@ -34,28 +40,36 @@ void CsHashSet::insert(const uint64_t *Cs, uint32_t Idx) {
          "slot key must match the cache row");
   if (10 * (Count + 1) >= 7 * Slots.size())
     grow();
+  // The cache hashed this row when it was appended; reuse it.
+  uint64_t Hash = Cache.rowHash(Idx);
+  assert(Hash == hashWords(Cs, Cache.csWords()) &&
+         "cached row hash out of sync");
+  place(Idx, Hash);
+  ++Count;
+}
+
+void CsHashSet::place(uint32_t Idx, uint64_t Hash) {
   size_t Mask = Slots.size() - 1;
-  size_t SlotIdx = size_t(hashWords(Cs, Cache.csWords())) & Mask;
+  size_t SlotIdx = size_t(Hash) & Mask;
   while (Slots[SlotIdx] != EmptySlot) {
-    assert(!equalWords(Cache.cs(Slots[SlotIdx]), Cs, Cache.csWords()) &&
+    assert(!equalWords(Cache.cs(Slots[SlotIdx]), Cache.cs(Idx),
+                       Cache.csWords()) &&
            "inserting a duplicate CS");
     SlotIdx = (SlotIdx + 1) & Mask;
   }
   Slots[SlotIdx] = Idx;
-  ++Count;
+  Tags[SlotIdx] = hashTagByte(Hash);
 }
 
 void CsHashSet::grow() {
   std::vector<uint32_t> Old = std::move(Slots);
   Slots.assign(Old.size() * 2, EmptySlot);
-  size_t Mask = Slots.size() - 1;
+  Tags.assign(Old.size() * 2, 0);
   for (uint32_t Entry : Old) {
     if (Entry == EmptySlot)
       continue;
-    size_t SlotIdx =
-        size_t(hashWords(Cache.cs(Entry), Cache.csWords())) & Mask;
-    while (Slots[SlotIdx] != EmptySlot)
-      SlotIdx = (SlotIdx + 1) & Mask;
-    Slots[SlotIdx] = Entry;
+    // Precomputed row hashes make the rehash a metadata-only pass: no
+    // key words are read.
+    place(Entry, Cache.rowHash(Entry));
   }
 }

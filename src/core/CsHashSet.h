@@ -28,6 +28,13 @@
 namespace paresy {
 
 /// Hash set of the CS rows already present in a LanguageCache.
+///
+/// Each slot carries an 8-bit tag (fingerprint byte of the key's
+/// hash, see hashTagByte) beside the row index: a probe compares the
+/// tag first and touches the row words only when it matches, so most
+/// collision probes resolve from one byte of dense metadata instead of
+/// a cache-line fetch from the row matrix. Re-hashing on growth reads
+/// the hashes the cache precomputed at append time.
 class CsHashSet {
 public:
   /// \p Cache provides key storage; the set only records row indices.
@@ -43,15 +50,19 @@ public:
   size_t size() const { return Count; }
 
   /// Bytes of slot storage (reported in the memory statistics).
-  uint64_t bytesUsed() const { return Slots.size() * sizeof(uint32_t); }
+  uint64_t bytesUsed() const {
+    return Slots.size() * (sizeof(uint32_t) + sizeof(uint8_t));
+  }
 
 private:
   void grow();
+  void place(uint32_t Idx, uint64_t Hash);
 
   static constexpr uint32_t EmptySlot = 0xffffffffu;
 
   const LanguageCache &Cache;
   std::vector<uint32_t> Slots;
+  std::vector<uint8_t> Tags;
   size_t Count = 0;
 };
 

@@ -12,19 +12,23 @@
 using namespace paresy;
 
 LanguageCache::LanguageCache(size_t CsWords, size_t MaxEntries)
-    : CsWordCount(CsWords), MaxEntries(MaxEntries) {
+    : CsWordCount(CsWords), RowStride(strideForWords(CsWords)),
+      MaxEntries(MaxEntries), Store(MaxEntries * RowStride) {
   assert(CsWords > 0 && "rows need at least one word");
   // The paper allocates the cache as one contiguous, uninitialised
-  // array whose structure emerges during the search; reserving (not
-  // resizing) mirrors that and keeps out-of-budget allocation failures
-  // at construction time.
-  Bits.reserve(MaxEntries * CsWords);
+  // array whose structure emerges during the search; the aligned store
+  // mirrors that (pages commit as rows are appended) and keeps
+  // out-of-budget allocation failures at construction time.
+  RowHashes.reserve(MaxEntries);
   Prov.reserve(MaxEntries);
 }
 
 uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P) {
   assert(!full() && "appending to a full language cache");
-  Bits.insert(Bits.end(), Cs, Cs + CsWordCount);
+  uint64_t *Row = Store.data() + EntryCount * RowStride;
+  copyWords(Row, Cs, CsWordCount);
+  clearWords(Row + CsWordCount, RowStride - CsWordCount);
+  RowHashes.push_back(hashWords(Cs, CsWordCount));
   Prov.push_back(P);
   return uint32_t(EntryCount++);
 }
@@ -34,7 +38,11 @@ uint32_t LanguageCache::reserveRows(size_t Count) {
          "reserving beyond the cache capacity");
   uint32_t Base = uint32_t(EntryCount);
   EntryCount += Count;
-  Bits.resize(EntryCount * CsWordCount, 0);
+  clearWords(Store.data() + size_t(Base) * RowStride, Count * RowStride);
+  // Reserved rows get their real hash in writeRow; until then the
+  // placeholder is never read (only the uniqueness set reads hashes,
+  // and it indexes rows that were appended, not reserved).
+  RowHashes.resize(EntryCount, 0);
   Prov.resize(EntryCount);
   return Base;
 }
@@ -42,7 +50,10 @@ uint32_t LanguageCache::reserveRows(size_t Count) {
 void LanguageCache::writeRow(size_t Idx, const uint64_t *Cs,
                              const Provenance &P) {
   assert(Idx < EntryCount && "writing an unreserved row");
-  copyWords(Bits.data() + Idx * CsWordCount, Cs, CsWordCount);
+  uint64_t *Row = Store.data() + Idx * RowStride;
+  copyWords(Row, Cs, CsWordCount);
+  // Padding words were zeroed by reserveRows and stay zero.
+  RowHashes[Idx] = hashWords(Cs, CsWordCount);
   Prov[Idx] = P;
 }
 

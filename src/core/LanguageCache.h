@@ -19,6 +19,7 @@
 #define PARESY_CORE_LANGUAGECACHE_H
 
 #include "regex/Regex.h"
+#include "support/AlignedAlloc.h"
 
 #include <cstdint>
 #include <utility>
@@ -50,6 +51,13 @@ struct Provenance {
 
 /// Append-only storage for characteristic sequences with provenance
 /// and cost-level ranges. Rows are never modified once appended.
+///
+/// Layout: the matrix is a single cache-line-aligned allocation whose
+/// rows are padded to strideForWords(CsWords) words, so no row
+/// straddles a cache line it does not have to. Padding words are
+/// always zero. Each row's hash is computed once when the row is
+/// written and served from rowHash(); the uniqueness set reads it
+/// instead of re-hashing row words.
 class LanguageCache {
 public:
   /// \p CsWords is the row width in 64-bit words; \p MaxEntries caps
@@ -57,7 +65,19 @@ public:
   /// synthesizer).
   LanguageCache(size_t CsWords, size_t MaxEntries);
 
+  /// Row stride (words) used for \p CsWords-word rows: the next power
+  /// of two below a cache line (a row never straddles a line the base
+  /// alignment does not force), whole cache lines beyond. Exposed so
+  /// backends can plan capacity from the real per-row footprint.
+  static size_t strideForWords(size_t CsWords) {
+    if (CsWords >= WordsPerCacheLine)
+      return (CsWords + WordsPerCacheLine - 1) / WordsPerCacheLine *
+             WordsPerCacheLine;
+    return size_t(nextPowerOfTwo(CsWords));
+  }
+
   size_t csWords() const { return CsWordCount; }
+  size_t rowStride() const { return RowStride; }
   size_t capacity() const { return MaxEntries; }
   size_t size() const { return EntryCount; }
   bool full() const { return EntryCount == MaxEntries; }
@@ -65,7 +85,14 @@ public:
   /// Row \p Idx of the matrix.
   const uint64_t *cs(size_t Idx) const {
     assert(Idx < EntryCount && "cache row out of range");
-    return Bits.data() + Idx * CsWordCount;
+    return Store.data() + Idx * RowStride;
+  }
+
+  /// Hash of row \p Idx's CS words, precomputed at append/writeRow
+  /// time.
+  uint64_t rowHash(size_t Idx) const {
+    assert(Idx < EntryCount && "cache row out of range");
+    return RowHashes[Idx];
   }
 
   /// Appends a row (copies \p Cs). Pre: !full(). Returns its index.
@@ -93,10 +120,12 @@ public:
   /// levels never recorded.
   std::pair<uint32_t, uint32_t> level(uint64_t Cost) const;
 
-  /// Bytes held by the CS matrix plus provenance.
+  /// Bytes held by the CS matrix (at its padded stride) plus
+  /// provenance and the per-row hashes.
   uint64_t bytesUsed() const {
     return uint64_t(EntryCount) *
-           (CsWordCount * sizeof(uint64_t) + sizeof(Provenance));
+           (RowStride * sizeof(uint64_t) + sizeof(Provenance) +
+            sizeof(uint64_t));
   }
 
   /// Rebuilds the regular expression recorded for row \p Idx.
@@ -113,9 +142,11 @@ private:
       std::vector<const Regex *> &Memo) const;
 
   size_t CsWordCount;
+  size_t RowStride;
   size_t MaxEntries;
   size_t EntryCount = 0;
-  std::vector<uint64_t> Bits;
+  AlignedWordBuffer Store;
+  std::vector<uint64_t> RowHashes;
   std::vector<Provenance> Prov;
   std::vector<std::pair<uint32_t, uint32_t>> Levels;
 };

@@ -24,8 +24,11 @@ BatchedBackend::BatchedBackend(const DeviceSpec &Spec, unsigned Workers,
     : Dev(Spec, Workers), BatchTasks(std::max<size_t>(1, BatchTasks)) {}
 
 size_t BatchedBackend::splitBudget(size_t CsWords, uint64_t BudgetBytes) {
-  uint64_t RowBytes = CsWords * sizeof(uint64_t) + sizeof(Provenance);
-  uint64_t SlotBytes = CsWords * sizeof(uint64_t) + 12;
+  uint64_t RowBytes =
+      LanguageCache::strideForWords(CsWords) * sizeof(uint64_t) +
+      sizeof(Provenance) + sizeof(uint64_t);
+  uint64_t SlotBytes =
+      CsWords * sizeof(uint64_t) + WarpHashSet::slotBytes();
   uint64_t CacheCap =
       std::max<uint64_t>(16, BudgetBytes * 6 / 10 / RowBytes);
   CacheCap = std::min<uint64_t>(CacheCap, 0xfffffffeu);

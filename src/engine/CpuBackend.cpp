@@ -17,10 +17,13 @@ using namespace paresy::engine;
 
 size_t CpuBackend::planCacheCapacity(const SearchContext &Ctx,
                                      uint64_t BudgetBytes) {
-  // Each cached CS costs its bits, its provenance, and an amortised
-  // uniqueness slot (the paper estimates "approx. 3k bits per CS").
-  uint64_t PerEntry = uint64_t(Ctx.U->csWords()) * sizeof(uint64_t) +
-                      sizeof(Provenance) + 6;
+  // Each cached CS costs its padded row, its provenance, its
+  // precomputed hash, and an amortised uniqueness slot+tag (the paper
+  // estimates "approx. 3k bits per CS").
+  uint64_t PerEntry =
+      uint64_t(LanguageCache::strideForWords(Ctx.U->csWords())) *
+          sizeof(uint64_t) +
+      sizeof(Provenance) + sizeof(uint64_t) + 8;
   uint64_t Capacity = std::max<uint64_t>(16, BudgetBytes / PerEntry);
   return size_t(std::min<uint64_t>(Capacity, 0xfffffffeu));
 }

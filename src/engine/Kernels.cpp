@@ -6,6 +6,7 @@
 
 #include "engine/Kernels.h"
 
+#include "lang/CsKernels.h"
 #include "lang/GuideTable.h"
 #include "lang/Universe.h"
 #include "support/Bits.h"
@@ -21,20 +22,10 @@ namespace {
 
 uint64_t concatStaged(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
                       const Universe &U, const GuideTable &GT) {
+  // The fold of Alg. 2 lines 10-13, width-specialized (see
+  // lang/CsKernels.h); no data-dependent early exit.
   size_t Words = U.csWords();
-  clearWords(Dst, Words);
-  size_t NumWords = U.size();
-  const uint32_t *Rows = GT.rowOffsets().data();
-  const SplitPair *Pairs = GT.pairs().data();
-  for (size_t W = 0; W != NumWords; ++W) {
-    // The fold of Alg. 2 lines 10-13: disjoin over every split of
-    // word W, with no data-dependent early exit.
-    uint64_t Bit = 0;
-    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P)
-      Bit |= uint64_t(testBit(A, Pairs[P].Lhs) & testBit(B, Pairs[P].Rhs));
-    if (Bit)
-      setBit(Dst, W);
-  }
+  cskernel::concatStaged(Dst, A, B, GT, U.size(), Words);
   return GT.totalPairs() + Words;
 }
 
@@ -73,8 +64,22 @@ uint64_t paresy::engine::csConcat(uint64_t *Dst, const uint64_t *A,
 uint64_t paresy::engine::csStar(uint64_t *Dst, const uint64_t *A,
                                 const Universe &U, const GuideTable *GT) {
   size_t Words = U.csWords();
-  // Fixpoint of S = 1 + S.A with task-local scratch.
+  // Fixpoint of S = 1 + S.A with task-local scratch (unused by the
+  // register-resident 1-word specialization).
   static thread_local std::vector<uint64_t> Current, Next;
+  if (GT) {
+    if (Current.size() < Words) {
+      Current.resize(Words);
+      Next.resize(Words);
+    }
+    uint64_t Rounds = cskernel::starStaged(
+        Dst, A, *GT, U.size(), Words, U.epsilonIndex(), Current.data(),
+        Next.data());
+    // Work-unit formula unchanged from the unfused loop: one concat
+    // plus one word-level union pass per round, plus the seed and the
+    // final store.
+    return Rounds * (GT->totalPairs() + 2 * Words) + 2 * Words;
+  }
   Current.assign(Words, 0);
   Next.assign(Words, 0);
   setBit(Current.data(), U.epsilonIndex());

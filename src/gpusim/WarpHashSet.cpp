@@ -30,9 +30,18 @@ uint64_t WarpHashSet::bytesUsed() const {
 
 int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id) {
   assert(Id != EmptyOwner && "id collides with the empty marker");
-  size_t SlotIdx = size_t(hashWords(Key, KeyWords)) & Mask;
+  uint64_t Hash = hashWords(Key, KeyWords);
+  uint8_t Tag = hashTagByte(Hash);
+  size_t SlotIdx = size_t(Hash) & Mask;
   for (size_t Probes = 0; Probes <= Mask; ++Probes) {
     Slot &S = Slots[SlotIdx];
+    // Fast reject: a published tag that differs proves a different
+    // key without touching the key words or waiting on Ready.
+    uint8_t SlotTag = S.Tag.load(std::memory_order_relaxed);
+    if (SlotTag != 0 && SlotTag != Tag) {
+      SlotIdx = (SlotIdx + 1) & Mask;
+      continue;
+    }
     uint32_t Owner = S.Owner.load(std::memory_order_acquire);
     if (Owner == EmptyOwner) {
       if (Count.load(std::memory_order_relaxed) >= FullThreshold)
@@ -40,7 +49,11 @@ int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id) {
       uint32_t Expected = EmptyOwner;
       if (S.Owner.compare_exchange_strong(Expected, Id,
                                           std::memory_order_acq_rel)) {
-        // We own the slot: publish the key, then open it to readers.
+        // We own the slot: publish the tag and the key, then open the
+        // slot to readers. The tag store may land before the key words
+        // are visible; that is safe because other probes still gate
+        // key comparison on Ready.
+        S.Tag.store(Tag, std::memory_order_relaxed);
         copyWords(keyAt(SlotIdx), Key, KeyWords);
         S.Winner.store(Id, std::memory_order_relaxed);
         S.Ready.store(1, std::memory_order_release);
@@ -67,11 +80,18 @@ int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id) {
 }
 
 int64_t WarpHashSet::find(const uint64_t *Key) const {
-  size_t SlotIdx = size_t(hashWords(Key, KeyWords)) & Mask;
+  uint64_t Hash = hashWords(Key, KeyWords);
+  uint8_t Tag = hashTagByte(Hash);
+  size_t SlotIdx = size_t(Hash) & Mask;
   for (size_t Probes = 0; Probes <= Mask; ++Probes) {
     const Slot &S = Slots[SlotIdx];
     if (S.Owner.load(std::memory_order_acquire) == EmptyOwner)
       return -1;
+    uint8_t SlotTag = S.Tag.load(std::memory_order_relaxed);
+    if (SlotTag != 0 && SlotTag != Tag) {
+      SlotIdx = (SlotIdx + 1) & Mask;
+      continue;
+    }
     if (S.Ready.load(std::memory_order_acquire) &&
         equalWords(keyAt(SlotIdx), Key, KeyWords))
       return int64_t(SlotIdx);

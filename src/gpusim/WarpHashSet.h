@@ -20,9 +20,17 @@
 ///    of scheduling - and it is the same answer the sequential CPU
 ///    search computes (first construction in enumeration order).
 ///
-/// Protocol per slot: claim Owner via CAS, publish key words, set the
-/// Ready flag (release); readers spin on Ready (acquire) before
-/// comparing keys, then fold their id into Winner with an atomic min.
+/// Protocol per slot: claim Owner via CAS, publish the tag byte and
+/// the key words, set the Ready flag (release); readers spin on Ready
+/// (acquire) before comparing keys, then fold their id into Winner
+/// with an atomic min.
+///
+/// Each slot also carries an 8-bit tag (hashTagByte of the key hash,
+/// zero while unpublished). Because a published tag is a pure function
+/// of the owner's key, a probe whose own tag differs can move on
+/// without waiting for Ready or touching the key words - the common
+/// case for collision probes, and the analogue of the fingerprint
+/// bytes the sequential CsHashSet keeps.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,11 +77,17 @@ public:
   }
   uint64_t bytesUsed() const;
 
+  /// Metadata bytes per slot (the capacity planners derive per-slot
+  /// cost from this instead of a hand-written constant).
+  static constexpr size_t slotBytes() { return sizeof(Slot); }
+
 private:
   struct Slot {
     std::atomic<uint32_t> Owner{EmptyOwner};
     std::atomic<uint32_t> Winner{EmptyOwner};
     std::atomic<uint8_t> Ready{0};
+    /// hashTagByte of the slot's key; 0 until the owner publishes it.
+    std::atomic<uint8_t> Tag{0};
   };
 
   static constexpr uint32_t EmptyOwner = 0xffffffffu;

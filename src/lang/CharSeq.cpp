@@ -6,6 +6,7 @@
 
 #include "lang/CharSeq.h"
 
+#include "lang/CsKernels.h"
 #include "support/Bits.h"
 
 #include <cassert>
@@ -50,21 +51,9 @@ void CsAlgebra::concat(uint64_t *Dst, const uint64_t *A, const uint64_t *B) {
 
 void CsAlgebra::concatStaged(uint64_t *Dst, const uint64_t *A,
                              const uint64_t *B) {
-  clearWords(Dst, WordCount);
-  size_t NumWords = U.size();
-  const std::vector<uint32_t> &Rows = GT->rowOffsets();
-  const SplitPair *AllPairs = GT->pairs().data();
-  for (size_t W = 0; W != NumWords; ++W) {
-    // The fold of Alg. 2 lines 10-13: disjoin over every split of
-    // word W, with no data-dependent early exit.
-    uint64_t Bit = 0;
-    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
-      const SplitPair &Split = AllPairs[P];
-      Bit |= uint64_t(testBit(A, Split.Lhs) & testBit(B, Split.Rhs));
-    }
-    if (Bit)
-      setBit(Dst, W);
-  }
+  // The fold of Alg. 2 lines 10-13, width-specialized (see
+  // lang/CsKernels.h); no data-dependent early exit.
+  cskernel::concatStaged(Dst, A, B, *GT, U.size(), WordCount);
   PairsVisited += GT->totalPairs();
 }
 
@@ -94,14 +83,19 @@ void CsAlgebra::star(uint64_t *Dst, const uint64_t *A) {
   // Fixpoint of S = 1 + S.A, reached after at most maxWordLength + 1
   // rounds because each round extends the witnessed decompositions by
   // one factor and universe words have bounded length.
+  if (GT) {
+    unsigned Rounds =
+        cskernel::starStaged(Dst, A, *GT, U.size(), WordCount,
+                             U.epsilonIndex(), StarCurrent.data(),
+                             StarNext.data());
+    PairsVisited += uint64_t(Rounds) * GT->totalPairs();
+    return;
+  }
   makeEpsilon(StarCurrent.data());
   for (;;) {
     concat(StarNext.data(), StarCurrent.data(), A);
-    orWords(StarNext.data(), StarNext.data(), StarCurrent.data(),
-            WordCount);
-    if (equalWords(StarNext.data(), StarCurrent.data(), WordCount))
+    if (!orWordsInto(StarCurrent.data(), StarNext.data(), WordCount))
       break;
-    copyWords(StarCurrent.data(), StarNext.data(), WordCount);
   }
   copyWords(Dst, StarCurrent.data(), WordCount);
 }

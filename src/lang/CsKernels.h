@@ -1,0 +1,302 @@
+//===- lang/CsKernels.h - Shared staged concat/star kernel bodies ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one implementation of the staged concatenation fold (Alg. 2
+/// lines 10-13) and the star fixpoint built on it, shared by the
+/// sequential algebra (lang/CharSeq) and the data-parallel kernel
+/// bodies (engine/Kernels). The fold dominates every Paresy run, so it
+/// is specialized along two axes:
+///
+///  * CS width. 1-word CSs (universes up to 64 words - the
+///    overwhelming majority of RIC-sized specs): both operands live in
+///    registers, the fold is pure shift/and/or with no loads besides
+///    the pair stream, and the result is accumulated in a register and
+///    stored once. 2-word CSs: operands are four register words
+///    selected branchlessly. Wider: the generic path, still
+///    accumulating each output word in a register instead of
+///    read-modify-writing Dst bit by bit.
+///
+///  * Pair-stream width. The fold's only memory traffic is the guide
+///    table's pair stream, so the kernels consume the narrowest
+///    encoding the universe allows (GuideTable::pairs8/pairs16): an
+///    8-bit stream carries 4x the pairs per cache line of the 32-bit
+///    SplitPair array.
+///
+/// All variants hoist the CSR base pointers and the pair load out of
+/// the split loop and are bit-for-bit equivalent
+/// (tests/kernels_test.cpp enforces specialized == generic).
+///
+/// Functions are free inline over raw spans: no shared mutable state,
+/// so any number of tasks may run them concurrently - mirroring how
+/// the paper's CUDA kernels are structured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_CSKERNELS_H
+#define PARESY_LANG_CSKERNELS_H
+
+#include "lang/GuideTable.h"
+#include "support/Bits.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace paresy {
+namespace cskernel {
+
+/// 1-word fold: Dst[0] = A.B for universes of at most 64 words.
+/// \p Pairs is an interleaved (Lhs, Rhs) stream of any index width.
+template <typename PairT>
+inline void concatW1(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                     const uint32_t *Rows, const PairT *Pairs,
+                     size_t NumWords) {
+  assert(NumWords <= BitsPerWord && "1-word kernel on a wider universe");
+  const uint64_t A0 = A[0];
+  const uint64_t B0 = B[0];
+  uint64_t Out = 0;
+  for (size_t W = 0; W != NumWords; ++W) {
+    uint64_t Bit = 0;
+    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
+      const PairT Lhs = Pairs[2 * P];
+      const PairT Rhs = Pairs[2 * P + 1];
+      Bit |= (A0 >> Lhs) & (B0 >> Rhs);
+    }
+    Out |= (Bit & 1) << W;
+  }
+  Dst[0] = Out;
+}
+
+/// 2-word fold: operands held in four registers, the half holding a
+/// given bit selected branchlessly (compiles to cmov/csel).
+template <typename PairT>
+inline void concatW2(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
+                     const uint32_t *Rows, const PairT *Pairs,
+                     size_t NumWords) {
+  assert(NumWords <= 2 * BitsPerWord &&
+         "2-word kernel on a wider universe");
+  const uint64_t A0 = A[0], A1 = A[1];
+  const uint64_t B0 = B[0], B1 = B[1];
+  uint64_t Out0 = 0, Out1 = 0;
+  size_t Lo = NumWords < BitsPerWord ? NumWords : BitsPerWord;
+  for (size_t W = 0; W != Lo; ++W) {
+    uint64_t Bit = 0;
+    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
+      const PairT Lhs = Pairs[2 * P];
+      const PairT Rhs = Pairs[2 * P + 1];
+      uint64_t AH = (Lhs & BitsPerWord) ? A1 : A0;
+      uint64_t BH = (Rhs & BitsPerWord) ? B1 : B0;
+      Bit |= (AH >> (Lhs & (BitsPerWord - 1))) &
+             (BH >> (Rhs & (BitsPerWord - 1)));
+    }
+    Out0 |= (Bit & 1) << W;
+  }
+  for (size_t W = Lo; W != NumWords; ++W) {
+    uint64_t Bit = 0;
+    for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
+      const PairT Lhs = Pairs[2 * P];
+      const PairT Rhs = Pairs[2 * P + 1];
+      uint64_t AH = (Lhs & BitsPerWord) ? A1 : A0;
+      uint64_t BH = (Rhs & BitsPerWord) ? B1 : B0;
+      Bit |= (AH >> (Lhs & (BitsPerWord - 1))) &
+             (BH >> (Rhs & (BitsPerWord - 1)));
+    }
+    Out1 |= (Bit & 1) << (W - BitsPerWord);
+  }
+  Dst[0] = Out0;
+  Dst[1] = Out1;
+}
+
+/// Generic fold for any width: per-pair loads stay, but each output
+/// word is accumulated in a register and stored once (the old path
+/// cleared Dst up front and set bits through memory).
+template <typename PairT>
+inline void concatGeneric(uint64_t *Dst, const uint64_t *A,
+                          const uint64_t *B, const uint32_t *Rows,
+                          const PairT *Pairs, size_t NumWords,
+                          size_t CsWords) {
+  size_t W = 0;
+  for (size_t OW = 0; OW != CsWords; ++OW) {
+    uint64_t Out = 0;
+    size_t End = (OW + 1) * BitsPerWord;
+    if (End > NumWords)
+      End = NumWords;
+    for (; W < End; ++W) {
+      uint64_t Bit = 0;
+      for (uint32_t P = Rows[W], E = Rows[W + 1]; P != E; ++P) {
+        const uint32_t Lhs = Pairs[2 * P];
+        const uint32_t Rhs = Pairs[2 * P + 1];
+        Bit |= (A[Lhs / BitsPerWord] >> (Lhs % BitsPerWord)) &
+               (B[Rhs / BitsPerWord] >> (Rhs % BitsPerWord));
+      }
+      Out |= (Bit & 1) << (W % BitsPerWord);
+    }
+    Dst[OW] = Out;
+  }
+}
+
+/// The 32-bit pair stream: a SplitPair is two packed uint32s, so the
+/// CSR array doubles as an interleaved stream.
+inline const uint32_t *pairStream32(const GuideTable &GT) {
+  static_assert(sizeof(SplitPair) == 2 * sizeof(uint32_t),
+                "SplitPair must be two packed 32-bit indices");
+  return reinterpret_cast<const uint32_t *>(GT.pairs().data());
+}
+
+/// Sparse fold over a transposed stream, 1-word CS: for each set bit
+/// of \p Sparse (ctz word walk), OR in the completions whose other
+/// half is set in \p Probe. \p Stream rows are interleaved
+/// (word, other-half) grouped by the sparse operand's index.
+inline void concatW1Sparse(uint64_t *Dst, uint64_t Sparse, uint64_t Probe,
+                           const uint32_t *Rows, const uint8_t *Stream) {
+  uint64_t Out = 0;
+  while (Sparse) {
+    unsigned U = countTrailingZeros(Sparse);
+    Sparse &= Sparse - 1;
+    for (uint32_t P = Rows[U], E = Rows[U + 1]; P != E; ++P) {
+      const unsigned W = Stream[2 * P];
+      const unsigned V = Stream[2 * P + 1];
+      Out |= ((Probe >> V) & 1) << W;
+    }
+  }
+  Dst[0] = Out;
+}
+
+/// Sparse fold, any CS width. Dst must not alias either operand.
+inline void concatSparseGeneric(uint64_t *Dst, const uint64_t *Sparse,
+                                const uint64_t *Probe,
+                                const uint32_t *Rows,
+                                const uint8_t *Stream, size_t CsWords) {
+  clearWords(Dst, CsWords);
+  forEachSetBit(Sparse, CsWords, [&](size_t U) {
+    for (uint32_t P = Rows[U], E = Rows[U + 1]; P != E; ++P) {
+      const unsigned W = Stream[2 * P];
+      const unsigned V = Stream[2 * P + 1];
+      Dst[W / BitsPerWord] |=
+          ((Probe[V / BitsPerWord] >> (V % BitsPerWord)) & 1)
+          << (W % BitsPerWord);
+    }
+  });
+}
+
+/// Picks the sparse walk when one operand's population is well below
+/// the universe size (then only that operand's split groups are
+/// visited, a fraction of the full fold). The dense fold visits
+/// totalPairs() splits whatever the operands hold - the paper's
+/// no-divergence GPU kernel - so the cutover is a pure win for the
+/// host backends while outputs stay bit-identical.
+inline bool preferSparse(unsigned MinPop, size_t NumWords) {
+  return size_t(MinPop) * 4 <= NumWords;
+}
+
+/// Dst = A . B over the staged guide table, dispatched on the CS
+/// width, operand sparsity, and the narrowest available pair stream.
+/// \p NumWords is the universe size (== guide-table rows); \p CsWords
+/// the row width. Dst must not alias A or B.
+inline void concatStaged(uint64_t *Dst, const uint64_t *A,
+                         const uint64_t *B, const GuideTable &GT,
+                         size_t NumWords, size_t CsWords) {
+  const uint32_t *Rows = GT.rowOffsets().data();
+
+  if (GT.hasTransposed()) {
+    unsigned PopA = popcountWords(A, CsWords);
+    unsigned PopB = popcountWords(B, CsWords);
+    if (preferSparse(PopA < PopB ? PopA : PopB, NumWords)) {
+      // Walk the sparser operand's transposed groups; probe the other.
+      GT.ensureTransposed();
+      if (CsWords == 1) {
+        if (PopA <= PopB)
+          concatW1Sparse(Dst, A[0], B[0], GT.lhsRowOffsets().data(),
+                         GT.lhsPairs8().data());
+        else
+          concatW1Sparse(Dst, B[0], A[0], GT.rhsRowOffsets().data(),
+                         GT.rhsPairs8().data());
+      } else if (PopA <= PopB) {
+        concatSparseGeneric(Dst, A, B, GT.lhsRowOffsets().data(),
+                            GT.lhsPairs8().data(), CsWords);
+      } else {
+        concatSparseGeneric(Dst, B, A, GT.rhsRowOffsets().data(),
+                            GT.rhsPairs8().data(), CsWords);
+      }
+      return;
+    }
+  }
+
+  switch (CsWords) {
+  case 1:
+    // A 1-word CS implies <= 64 universe words: the 8-bit stream
+    // always exists.
+    concatW1(Dst, A, B, Rows, GT.pairs8().data(), NumWords);
+    break;
+  case 2:
+    concatW2(Dst, A, B, Rows, GT.pairs8().data(), NumWords);
+    break;
+  default:
+    if (!GT.pairs8().empty())
+      concatGeneric(Dst, A, B, Rows, GT.pairs8().data(), NumWords,
+                    CsWords);
+    else if (!GT.pairs16().empty())
+      concatGeneric(Dst, A, B, Rows, GT.pairs16().data(), NumWords,
+                    CsWords);
+    else
+      concatGeneric(Dst, A, B, Rows, pairStream32(GT), NumWords,
+                    CsWords);
+    break;
+  }
+}
+
+/// Dst = A* as the fixpoint of S = 1 + S.A, entirely in registers for
+/// 1-word CSs (the adaptive concat dispatch still applies per round:
+/// a sparse A keeps every round on the transposed walk even after the
+/// fixpoint iterate densifies). Returns the number of concat rounds
+/// executed (the work measure call sites charge).
+inline unsigned starW1(uint64_t *Dst, const uint64_t *A,
+                       const GuideTable &GT, size_t NumWords,
+                       size_t EpsIdx) {
+  const uint64_t A0 = A[0];
+  uint64_t Cur = uint64_t(1) << EpsIdx;
+  unsigned Rounds = 0;
+  for (;;) {
+    ++Rounds;
+    uint64_t Next;
+    concatStaged(&Next, &Cur, &A0, GT, NumWords, 1);
+    uint64_t Grown = Cur | Next;
+    if (Grown == Cur)
+      break;
+    Cur = Grown;
+  }
+  Dst[0] = Cur;
+  return Rounds;
+}
+
+/// Star for any width. \p Cur and \p Next are caller scratch of
+/// \p CsWords words each (ignored for the 1-word case). Dst must not
+/// alias A. Returns the number of concat rounds.
+inline unsigned starStaged(uint64_t *Dst, const uint64_t *A,
+                           const GuideTable &GT, size_t NumWords,
+                           size_t CsWords, size_t EpsIdx, uint64_t *Cur,
+                           uint64_t *Next) {
+  if (CsWords == 1)
+    return starW1(Dst, A, GT, NumWords, EpsIdx);
+
+  clearWords(Cur, CsWords);
+  setBit(Cur, EpsIdx);
+  unsigned Rounds = 0;
+  for (;;) {
+    ++Rounds;
+    concatStaged(Next, Cur, A, GT, NumWords, CsWords);
+    // Fused union + fixpoint test: one pass, no copy.
+    if (!orWordsInto(Cur, Next, CsWords))
+      break;
+  }
+  copyWords(Dst, Cur, CsWords);
+  return Rounds;
+}
+
+} // namespace cskernel
+} // namespace paresy
+
+#endif // PARESY_LANG_CSKERNELS_H

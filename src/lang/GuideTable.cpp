@@ -13,6 +13,13 @@ using namespace paresy;
 GuideTable::GuideTable(const Universe &U) {
   RowBegin.reserve(U.size() + 1);
   RowBegin.push_back(0);
+  // The pair count is known up front: every word contributes
+  // |word| + 1 splits. Reserving avoids log(pairs) reallocation
+  // copies of the hot array.
+  size_t TotalPairs = 0;
+  for (size_t W = 0; W != U.size(); ++W)
+    TotalPairs += U.word(W).size() + 1;
+  Pairs.reserve(TotalPairs);
   for (size_t W = 0; W != U.size(); ++W) {
     const std::string &Word = U.word(W);
     // All |Word|+1 split points, including the two trivial splits with
@@ -25,5 +32,57 @@ GuideTable::GuideTable(const Universe &U) {
       Pairs.push_back(SplitPair{uint32_t(L), uint32_t(R)});
     }
     RowBegin.push_back(uint32_t(Pairs.size()));
+  }
+
+  // Width-compressed copies of the pair stream (see pairs8()). Split
+  // halves index universe words, so the bound is the universe size.
+  if (U.size() <= 256) {
+    Pairs8.reserve(Pairs.size() * 2);
+    for (const SplitPair &P : Pairs) {
+      Pairs8.push_back(uint8_t(P.Lhs));
+      Pairs8.push_back(uint8_t(P.Rhs));
+    }
+  } else if (U.size() <= 65536) {
+    Pairs16.reserve(Pairs.size() * 2);
+    for (const SplitPair &P : Pairs) {
+      Pairs16.push_back(uint16_t(P.Lhs));
+      Pairs16.push_back(uint16_t(P.Rhs));
+    }
+  }
+}
+
+void GuideTable::ensureTransposed() const {
+  assert(hasTransposed() && "universe too large for 8-bit transposes");
+  std::call_once(TransposedOnce, [this] { buildTransposed(); });
+}
+
+void GuideTable::buildTransposed() const {
+  // Transposed CSR views (see hasTransposed()), by counting sort: the
+  // same (word, Lhs, Rhs) triples grouped by Lhs and by Rhs.
+  size_t N = rowCount();
+  LhsBegin.assign(N + 1, 0);
+  RhsBegin.assign(N + 1, 0);
+  for (const SplitPair &P : Pairs) {
+    ++LhsBegin[P.Lhs + 1];
+    ++RhsBegin[P.Rhs + 1];
+  }
+  for (size_t I = 0; I != N; ++I) {
+    LhsBegin[I + 1] += LhsBegin[I];
+    RhsBegin[I + 1] += RhsBegin[I];
+  }
+  LhsPairs.resize(Pairs.size() * 2);
+  RhsPairs.resize(Pairs.size() * 2);
+  std::vector<uint32_t> LhsFill(LhsBegin.begin(), LhsBegin.end() - 1);
+  std::vector<uint32_t> RhsFill(RhsBegin.begin(), RhsBegin.end() - 1);
+  for (size_t W = 0; W != N; ++W) {
+    for (uint32_t P = RowBegin[W], E = RowBegin[W + 1]; P != E; ++P) {
+      const SplitPair &S = Pairs[P];
+      uint32_t LSlot = LhsFill[S.Lhs]++;
+      LhsPairs[2 * LSlot] = uint8_t(W);
+      LhsPairs[2 * LSlot + 1] = uint8_t(S.Rhs);
+      uint32_t RSlot = RhsFill[S.Rhs]++;
+      RhsPairs[2 * RSlot] = uint8_t(W);
+      RhsPairs[2 * RSlot + 1] = uint8_t(S.Lhs);
+    }
   }
 }

@@ -23,6 +23,7 @@
 #include "lang/Universe.h"
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace paresy {
@@ -63,9 +64,45 @@ public:
   const std::vector<uint32_t> &rowOffsets() const { return RowBegin; }
   const std::vector<SplitPair> &pairs() const { return Pairs; }
 
+  /// The same pair stream re-encoded at the narrowest index width the
+  /// universe allows, interleaved (Lhs, Rhs): the concat fold's only
+  /// memory traffic is this stream, so an 8-bit encoding (every
+  /// universe up to 256 words, i.e. every CS up to 4 words) carries
+  /// 4x the pairs per cache line of the 32-bit one. Empty when the
+  /// universe is too large for the width.
+  const std::vector<uint8_t> &pairs8() const { return Pairs8; }
+  const std::vector<uint16_t> &pairs16() const { return Pairs16; }
+
+  /// Transposed views of the split relation for the sparse concat
+  /// walk (available for universes up to 256 words): grouped by left
+  /// half - lhsPairs8() stream of interleaved (word, Rhs) in CSR rows
+  /// lhsRowOffsets() - and symmetrically by right half. A concat
+  /// whose operand has few set bits visits only the groups of those
+  /// bits instead of every split of every word.
+  ///
+  /// Built lazily on first ensureTransposed() call (thread-safe):
+  /// staging stays cheap and queries that never take the sparse path
+  /// never pay for the views. Accessors are valid only afterwards.
+  bool hasTransposed() const { return !Pairs8.empty(); }
+  void ensureTransposed() const;
+  const std::vector<uint32_t> &lhsRowOffsets() const { return LhsBegin; }
+  const std::vector<uint8_t> &lhsPairs8() const { return LhsPairs; }
+  const std::vector<uint32_t> &rhsRowOffsets() const { return RhsBegin; }
+  const std::vector<uint8_t> &rhsPairs8() const { return RhsPairs; }
+
 private:
+  void buildTransposed() const;
+
   std::vector<uint32_t> RowBegin; // size rowCount()+1
   std::vector<SplitPair> Pairs;
+  std::vector<uint8_t> Pairs8;   // 2 entries per pair; size()<=256.
+  std::vector<uint16_t> Pairs16; // 2 entries per pair; size()<=65536.
+  // Lazily built transposed views (see ensureTransposed).
+  mutable std::once_flag TransposedOnce;
+  mutable std::vector<uint32_t> LhsBegin; // size rowCount()+1
+  mutable std::vector<uint8_t> LhsPairs;  // (word, Rhs) grouped by Lhs.
+  mutable std::vector<uint32_t> RhsBegin; // size rowCount()+1
+  mutable std::vector<uint8_t> RhsPairs;  // (word, Lhs) grouped by Rhs.
 };
 
 } // namespace paresy

@@ -73,14 +73,15 @@ int64_t Universe::indexOf(std::string_view W) const {
 std::string Universe::describeCs(const uint64_t *Cs) const {
   std::string Out = "{";
   bool First = true;
-  for (size_t I = 0; I != Words.size(); ++I) {
-    if (!testBit(Cs, I))
-      continue;
+  // ctz word walk: cost tracks the members listed, not the bit length.
+  forEachSetBit(Cs, CsWordCount, [&](size_t I) {
+    if (I >= Words.size())
+      return; // Padding bits are zero by construction; be defensive.
     if (!First)
       Out += ", ";
     First = false;
     Out += Words[I].empty() ? "<eps>" : Words[I];
-  }
+  });
   Out += "}";
   return Out;
 }

@@ -1,0 +1,75 @@
+//===- support/AlignedAlloc.h - Cache-line-aligned word storage -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, cache-line-aligned, *uninitialised* array of
+/// 64-bit words: the backing store of the language cache. Alignment
+/// guarantees that a power-of-two row stride never straddles cache
+/// lines; skipping value-initialisation keeps construction O(1) - the
+/// cache commits pages only as rows are appended, exactly like the
+/// paper's one big uninitialised device allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_ALIGNEDALLOC_H
+#define PARESY_SUPPORT_ALIGNEDALLOC_H
+
+#include "support/Bits.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace paresy {
+
+/// Owning span of \p capacity() uninitialised uint64_t words whose
+/// base address is aligned to a cache line.
+class AlignedWordBuffer {
+public:
+  AlignedWordBuffer() = default;
+
+  explicit AlignedWordBuffer(size_t Count) : Count(Count) {
+    if (Count)
+      Words = static_cast<uint64_t *>(::operator new(
+          Count * sizeof(uint64_t), std::align_val_t(CacheLineBytes)));
+  }
+
+  AlignedWordBuffer(AlignedWordBuffer &&O) noexcept
+      : Words(std::exchange(O.Words, nullptr)),
+        Count(std::exchange(O.Count, 0)) {}
+
+  AlignedWordBuffer &operator=(AlignedWordBuffer &&O) noexcept {
+    if (this != &O) {
+      release();
+      Words = std::exchange(O.Words, nullptr);
+      Count = std::exchange(O.Count, 0);
+    }
+    return *this;
+  }
+
+  AlignedWordBuffer(const AlignedWordBuffer &) = delete;
+  AlignedWordBuffer &operator=(const AlignedWordBuffer &) = delete;
+
+  ~AlignedWordBuffer() { release(); }
+
+  uint64_t *data() { return Words; }
+  const uint64_t *data() const { return Words; }
+  size_t capacity() const { return Count; }
+
+private:
+  void release() {
+    if (Words)
+      ::operator delete(Words, std::align_val_t(CacheLineBytes));
+  }
+
+  uint64_t *Words = nullptr;
+  size_t Count = 0;
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_ALIGNEDALLOC_H

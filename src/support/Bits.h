@@ -39,9 +39,39 @@ constexpr uint64_t nextPowerOfTwo(uint64_t N) {
   return N <= 1 ? 1 : uint64_t(1) << (64 - std::countl_zero(N - 1));
 }
 
+/// Bytes per cache line assumed by the row-stride layout (the common
+/// size on x86-64 and most aarch64 parts; an over-estimate only wastes
+/// a little padding).
+inline constexpr size_t CacheLineBytes = 64;
+
+/// 64-bit words per cache line.
+inline constexpr size_t WordsPerCacheLine =
+    CacheLineBytes / sizeof(uint64_t);
+
 /// Reads bit \p Idx of the bitvector starting at \p Words.
 inline bool testBit(const uint64_t *Words, size_t Idx) {
   return (Words[Idx / BitsPerWord] >> (Idx % BitsPerWord)) & 1u;
+}
+
+/// Index of the lowest set bit of \p Word (pre: Word != 0).
+inline unsigned countTrailingZeros(uint64_t Word) {
+  return unsigned(std::countr_zero(Word));
+}
+
+/// Invokes \p Fn(BitIdx) for every set bit of the bitvector, in
+/// ascending order, walking word by word with ctz instead of testing
+/// every position: the cost is proportional to the popcount, not the
+/// bit length.
+template <typename FnT>
+inline void forEachSetBit(const uint64_t *Words, size_t NumWords,
+                          FnT &&Fn) {
+  for (size_t I = 0; I != NumWords; ++I) {
+    uint64_t W = Words[I];
+    while (W) {
+      Fn(I * BitsPerWord + countTrailingZeros(W));
+      W &= W - 1; // Clear the lowest set bit.
+    }
+  }
 }
 
 /// Sets bit \p Idx of the bitvector starting at \p Words.
@@ -72,6 +102,22 @@ inline void orWords(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
                     size_t NumWords) {
   for (size_t I = 0; I != NumWords; ++I)
     Dst[I] = A[I] | B[I];
+}
+
+/// Dst |= Src over \p NumWords words; returns true iff any Dst word
+/// changed. Fuses the union and the fixpoint test of the star fold
+/// into one pass (the separate or/compare/copy passes were the star
+/// loop's second-largest cost after the concat itself).
+inline bool orWordsInto(uint64_t *Dst, const uint64_t *Src,
+                        size_t NumWords) {
+  uint64_t Changed = 0;
+  for (size_t I = 0; I != NumWords; ++I) {
+    uint64_t Old = Dst[I];
+    uint64_t New = Old | Src[I];
+    Changed |= Old ^ New;
+    Dst[I] = New;
+  }
+  return Changed != 0;
 }
 
 /// Dst = A & B over \p NumWords words (language intersection).
@@ -176,6 +222,17 @@ inline uint64_t hashWords(const uint64_t *Words, size_t NumWords) {
   for (size_t I = 0; I != NumWords; ++I)
     H = hashMix64(H ^ Words[I]);
   return H;
+}
+
+/// The per-slot fingerprint byte both hash sets store next to their
+/// slots: the top seven hash bits with the high bit forced, so a tag
+/// is never zero (zero marks an unpublished slot) and equal keys
+/// always produce equal tags. A probe whose tag differs from the
+/// slot's can skip the slot without touching the key words - with
+/// random keys that resolves 127/128 of collision probes from one
+/// byte of hot metadata.
+constexpr uint8_t hashTagByte(uint64_t Hash) {
+  return uint8_t(Hash >> 56) | uint8_t(0x80);
 }
 
 } // namespace paresy

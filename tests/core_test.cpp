@@ -196,7 +196,43 @@ TEST(LanguageCache, BytesUsedGrowsLinearly) {
   uint64_t Before = Cache.bytesUsed();
   Cache.append(Row, literalProv('0'));
   uint64_t After = Cache.bytesUsed();
-  EXPECT_EQ(After - Before, 4 * sizeof(uint64_t) + sizeof(Provenance));
+  // Per row: the padded stride, the provenance, and the precomputed
+  // row hash.
+  EXPECT_EQ(After - Before,
+            Cache.rowStride() * sizeof(uint64_t) + sizeof(Provenance) +
+                sizeof(uint64_t));
+}
+
+TEST(LanguageCache, RowStrideIsCacheLineFriendly) {
+  // Below a cache line the stride is the next power of two (so a row
+  // never straddles a line); beyond, whole cache lines.
+  EXPECT_EQ(LanguageCache::strideForWords(1), 1u);
+  EXPECT_EQ(LanguageCache::strideForWords(2), 2u);
+  EXPECT_EQ(LanguageCache::strideForWords(3), 4u);
+  EXPECT_EQ(LanguageCache::strideForWords(4), 4u);
+  EXPECT_EQ(LanguageCache::strideForWords(5), 8u);
+  EXPECT_EQ(LanguageCache::strideForWords(8), 8u);
+  EXPECT_EQ(LanguageCache::strideForWords(9), 16u);
+  EXPECT_EQ(LanguageCache::strideForWords(17), 24u);
+}
+
+TEST(LanguageCache, PaddedRowsKeepTheirWords) {
+  // A 3-word row is stored at a 4-word stride; reads must return
+  // exactly the appended words and the padding must stay invisible.
+  LanguageCache Cache(3, 8);
+  ASSERT_EQ(Cache.rowStride(), 4u);
+  uint64_t R0[3] = {0x0123456789abcdefULL, ~0ULL, 0x5555aaaa5555aaaaULL};
+  uint64_t R1[3] = {7, 8, 9};
+  Cache.append(R0, literalProv('0'));
+  Cache.append(R1, literalProv('1'));
+  EXPECT_TRUE(equalWords(Cache.cs(0), R0, 3));
+  EXPECT_TRUE(equalWords(Cache.cs(1), R1, 3));
+  // The base pointer is cache-line aligned, so strided rows never
+  // straddle lines they do not need to.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Cache.cs(0)) % CacheLineBytes,
+            0u);
+  EXPECT_EQ(Cache.rowHash(0), hashWords(R0, 3));
+  EXPECT_EQ(Cache.rowHash(1), hashWords(R1, 3));
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,360 @@
+//===- tests/kernels_test.cpp - Specialized CS kernel tests -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the width-specialized kernel hot path of PR 3:
+///
+///  * the 1-word and 2-word concat/star specializations are
+///    byte-identical to the generic fold on every input tried,
+///  * the tag-byte fast path of CsHashSet and WarpHashSet never
+///    confuses rows whose tags collide but whose bits differ,
+///  * the search pipeline stays backend-equivalent when the language
+///    cache pads rows to a stride wider than the CS (non-power-of-two
+///    widths, i.e. unpadded universes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchgen/Generators.h"
+#include "core/CsHashSet.h"
+#include "core/LanguageCache.h"
+#include "core/Synthesizer.h"
+#include "engine/BackendRegistry.h"
+#include "engine/Kernels.h"
+#include "gpusim/WarpHashSet.h"
+#include "lang/CharSeq.h"
+#include "lang/CsKernels.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+using namespace paresy;
+
+namespace {
+
+/// Finds a deterministic Type 1 spec whose universe needs exactly
+/// \p WantWords CS words (with power-of-two padding on).
+std::optional<Spec> specForWords(size_t WantWords) {
+  for (unsigned MaxLen = 2; MaxLen <= 10; ++MaxLen) {
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      benchgen::GenParams Params;
+      Params.MaxLen = MaxLen;
+      Params.NumPos = 6;
+      Params.NumNeg = 6;
+      Params.Seed = Seed;
+      benchgen::GeneratedBenchmark B;
+      if (!benchgen::generate(benchgen::BenchType::Type1, Params, B,
+                              nullptr))
+        continue;
+      if (Universe(B.Examples).csWords() == WantWords)
+        return B.Examples;
+    }
+  }
+  return std::nullopt;
+}
+
+/// A random CS whose padding bits (>= universe size) are zero, like
+/// every CS the search constructs.
+std::vector<uint64_t> randomCs(const Universe &U, Rng &R) {
+  std::vector<uint64_t> Cs(U.csWords());
+  for (uint64_t &W : Cs)
+    W = R.next();
+  for (size_t I = U.size(); I != U.csWords() * BitsPerWord; ++I)
+    clearBit(Cs.data(), I);
+  return Cs;
+}
+
+/// A random sparse CS (a handful of set bits): drives the dispatcher
+/// onto the transposed sparse walk.
+std::vector<uint64_t> randomSparseCs(const Universe &U, Rng &R) {
+  std::vector<uint64_t> Cs(U.csWords(), 0);
+  for (int I = 0; I != 3; ++I)
+    setBit(Cs.data(), size_t(R.below(U.size())));
+  return Cs;
+}
+
+/// Operand pairs covering every dispatch path: dense/dense (full
+/// fold), sparse/dense and dense/sparse (each transposed side), and
+/// sparse/sparse.
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>>
+operandPair(const Universe &U, Rng &R, int Trial) {
+  switch (Trial % 4) {
+  case 0:
+    return {randomCs(U, R), randomCs(U, R)};
+  case 1:
+    return {randomSparseCs(U, R), randomCs(U, R)};
+  case 2:
+    return {randomCs(U, R), randomSparseCs(U, R)};
+  default:
+    return {randomSparseCs(U, R), randomSparseCs(U, R)};
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Specialized vs generic parity
+//===----------------------------------------------------------------------===//
+
+class KernelParity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelParity, ConcatSpecializedMatchesGenericByteForByte) {
+  std::optional<Spec> S = specForWords(GetParam());
+  ASSERT_TRUE(S) << "no generated spec with " << GetParam()
+                 << "-word CS";
+  Universe U(*S);
+  GuideTable GT(U);
+  size_t Words = U.csWords();
+  ASSERT_EQ(Words, GetParam());
+
+  Rng R(7);
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    auto [A, B] = operandPair(U, R, Trial);
+    std::vector<uint64_t> Fast(Words, ~uint64_t(0));
+    std::vector<uint64_t> Slow(Words, ~uint64_t(0));
+    // The dispatcher picks the specialization; the generic fold is
+    // called directly. Outputs must be byte-identical.
+    cskernel::concatStaged(Fast.data(), A.data(), B.data(), GT,
+                           U.size(), Words);
+    cskernel::concatGeneric(Slow.data(), A.data(), B.data(),
+                            GT.rowOffsets().data(),
+                            cskernel::pairStream32(GT), U.size(),
+                            Words);
+    ASSERT_TRUE(equalWords(Fast.data(), Slow.data(), Words))
+        << "trial " << Trial;
+  }
+}
+
+TEST_P(KernelParity, StarSpecializedMatchesUnfusedFixpoint) {
+  std::optional<Spec> S = specForWords(GetParam());
+  ASSERT_TRUE(S);
+  Universe U(*S);
+  GuideTable GT(U);
+  size_t Words = U.csWords();
+
+  Rng R(11);
+  std::vector<uint64_t> Cur(Words), Next(Words);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    std::vector<uint64_t> A =
+        Trial % 2 ? randomSparseCs(U, R) : randomCs(U, R);
+    std::vector<uint64_t> Fast(Words, ~uint64_t(0));
+    cskernel::starStaged(Fast.data(), A.data(), GT, U.size(), Words,
+                         U.epsilonIndex(), Cur.data(), Next.data());
+
+    // Reference: the textbook fixpoint S = 1 + S.A over the generic
+    // fold, with separate or/compare passes.
+    std::vector<uint64_t> Ref(Words, 0), Tmp(Words);
+    setBit(Ref.data(), U.epsilonIndex());
+    for (;;) {
+      cskernel::concatGeneric(Tmp.data(), Ref.data(), A.data(),
+                              GT.rowOffsets().data(),
+                              cskernel::pairStream32(GT), U.size(),
+                              Words);
+      orWords(Tmp.data(), Tmp.data(), Ref.data(), Words);
+      if (equalWords(Tmp.data(), Ref.data(), Words))
+        break;
+      copyWords(Ref.data(), Tmp.data(), Words);
+    }
+    ASSERT_TRUE(equalWords(Fast.data(), Ref.data(), Words))
+        << "trial " << Trial;
+  }
+}
+
+TEST_P(KernelParity, EngineKernelAgreesWithSequentialAlgebra) {
+  std::optional<Spec> S = specForWords(GetParam());
+  ASSERT_TRUE(S);
+  Universe U(*S);
+  GuideTable GT(U);
+  CsAlgebra Algebra(U, &GT);
+  size_t Words = U.csWords();
+
+  Rng R(23);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    auto [A, B] = operandPair(U, R, Trial);
+    std::vector<uint64_t> FromKernel(Words), FromAlgebra(Words);
+    engine::csConcat(FromKernel.data(), A.data(), B.data(), U, &GT);
+    Algebra.concat(FromAlgebra.data(), A.data(), B.data());
+    ASSERT_TRUE(
+        equalWords(FromKernel.data(), FromAlgebra.data(), Words));
+    engine::csStar(FromKernel.data(), A.data(), U, &GT);
+    Algebra.star(FromAlgebra.data(), A.data());
+    ASSERT_TRUE(
+        equalWords(FromKernel.data(), FromAlgebra.data(), Words));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KernelParity,
+                         ::testing::Values(size_t(1), size_t(2),
+                                           size_t(4)));
+
+//===----------------------------------------------------------------------===//
+// Tag-byte collision handling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two distinct 2-word keys with identical tag bytes (and hence
+/// identical fingerprints in both hash sets), found deterministically.
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>>
+tagCollidingKeys(size_t Words) {
+  Rng R(99);
+  std::vector<uint64_t> First(Words);
+  for (uint64_t &W : First)
+    W = R.next();
+  uint8_t WantTag = hashTagByte(hashWords(First.data(), Words));
+  for (;;) {
+    std::vector<uint64_t> Probe(Words);
+    for (uint64_t &W : Probe)
+      W = R.next();
+    if (equalWords(Probe.data(), First.data(), Words))
+      continue;
+    if (hashTagByte(hashWords(Probe.data(), Words)) == WantTag)
+      return {First, Probe};
+  }
+}
+
+} // namespace
+
+TEST(CsHashSetTags, EqualTagDifferentBitsAreDistinguished) {
+  constexpr size_t Words = 2;
+  auto [KeyA, KeyB] = tagCollidingKeys(Words);
+  ASSERT_EQ(hashTagByte(hashWords(KeyA.data(), Words)),
+            hashTagByte(hashWords(KeyB.data(), Words)));
+
+  LanguageCache Cache(Words, 16);
+  CsHashSet Set(Cache);
+  uint32_t IdxA = Cache.append(KeyA.data(), Provenance{});
+  Set.insert(KeyA.data(), IdxA);
+  // The tag matches KeyA's slot; only the word comparison can (and
+  // must) reject it.
+  EXPECT_FALSE(Set.contains(KeyB.data()));
+  uint32_t IdxB = Cache.append(KeyB.data(), Provenance{});
+  Set.insert(KeyB.data(), IdxB);
+  EXPECT_TRUE(Set.contains(KeyA.data()));
+  EXPECT_TRUE(Set.contains(KeyB.data()));
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+TEST(CsHashSetTags, TagsSurviveGrowth) {
+  constexpr size_t Words = 2;
+  constexpr size_t Count = 3000; // Several rehash rounds from 64 slots.
+  auto [KeyA, KeyB] = tagCollidingKeys(Words);
+
+  LanguageCache Cache(Words, Count + 2);
+  CsHashSet Set(Cache);
+  Set.insert(KeyA.data(), Cache.append(KeyA.data(), Provenance{}));
+  Set.insert(KeyB.data(), Cache.append(KeyB.data(), Provenance{}));
+
+  Rng R(5);
+  std::vector<std::vector<uint64_t>> Keys;
+  while (Keys.size() < Count) {
+    std::vector<uint64_t> Key(Words);
+    for (uint64_t &W : Key)
+      W = R.next();
+    if (Set.contains(Key.data()))
+      continue;
+    Set.insert(Key.data(), Cache.append(Key.data(), Provenance{}));
+    Keys.push_back(std::move(Key));
+  }
+
+  EXPECT_TRUE(Set.contains(KeyA.data()));
+  EXPECT_TRUE(Set.contains(KeyB.data()));
+  for (const auto &Key : Keys)
+    ASSERT_TRUE(Set.contains(Key.data()));
+}
+
+TEST(WarpHashSetTags, EqualTagDifferentBitsAreDistinguished) {
+  constexpr size_t Words = 2;
+  auto [KeyA, KeyB] = tagCollidingKeys(Words);
+
+  gpusim::WarpHashSet Set(Words, 64);
+  int64_t SlotA = Set.insert(KeyA.data(), 1);
+  ASSERT_GE(SlotA, 0);
+  EXPECT_LT(Set.find(KeyB.data()), 0);
+  int64_t SlotB = Set.insert(KeyB.data(), 2);
+  ASSERT_GE(SlotB, 0);
+  EXPECT_NE(SlotA, SlotB);
+  EXPECT_EQ(Set.find(KeyA.data()), SlotA);
+  EXPECT_EQ(Set.find(KeyB.data()), SlotB);
+  EXPECT_TRUE(Set.isWinner(size_t(SlotA), 1));
+  EXPECT_TRUE(Set.isWinner(size_t(SlotB), 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-backend equivalence under the padded row stride
+//===----------------------------------------------------------------------===//
+
+TEST(RowStrideEquivalence, UnpaddedUniversesAgreeAcrossBackends) {
+  // With power-of-two padding off, CS widths hit non-power-of-two
+  // word counts, so the cache stores rows at a stride wider than the
+  // CS. Every backend must still produce the sequential reference's
+  // answer bit for bit.
+  SynthOptions Opts;
+  Opts.PadToPowerOfTwo = false;
+  Opts.TimeoutSeconds = 0;
+
+  std::vector<Spec> Corpus = {
+      Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+           {"", "0", "1", "00", "11", "010"}),
+      Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"}),
+      Spec({"", "0", "00"}, {"1", "01", "10"}),
+  };
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    SCOPED_TRACE("spec " + std::to_string(I));
+    const Spec &S = Corpus[I];
+    SynthResult Ref = synthesize(S, Alphabet::of("01"), Opts);
+    ASSERT_EQ(Ref.Status, SynthStatus::Found);
+    for (const std::string &Name : engine::backendNames()) {
+      SCOPED_TRACE("backend " + Name);
+      SynthResult R =
+          engine::synthesizeWith(Name, S, Alphabet::of("01"), Opts);
+      ASSERT_EQ(Ref.Status, R.Status);
+      EXPECT_EQ(Ref.Regex, R.Regex);
+      EXPECT_EQ(Ref.Cost, R.Cost);
+      EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+                R.Stats.CandidatesGenerated);
+      EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+    }
+  }
+}
+
+TEST(RowStrideEquivalence, PaddedStrideWiderThanCsAgreesAcrossBackends) {
+  // A spec whose *unpadded* universe needs exactly three CS words
+  // (universe size in (128, 192]): rows then sit at a 4-word stride
+  // with one padding word, the layout the small corpus above cannot
+  // reach. The long example has 134 distinct infixes together with
+  // the short ones.
+  Spec S({"100101011101100011", "01", "10"}, {"", "00", "11", "0000"});
+  Universe Probe(S, /*PadToPowerOfTwo=*/false);
+  ASSERT_GT(Probe.size(), 2 * BitsPerWord);
+  ASSERT_EQ(Probe.csWords(), 3u);
+  ASSERT_NE(LanguageCache::strideForWords(3), 3u);
+  std::optional<Spec> Found = S;
+
+  SynthOptions Opts;
+  Opts.PadToPowerOfTwo = false;
+  Opts.TimeoutSeconds = 0;
+  // Bound the sweep: equivalence of the (possibly NotFound) outcome is
+  // the point, not solving a large instance in a unit test.
+  Opts.MaxCost = 7;
+
+  SynthResult Ref = synthesize(*Found, Alphabet::of("01"), Opts);
+  for (const std::string &Name : engine::backendNames()) {
+    SCOPED_TRACE("backend " + Name);
+    SynthResult R =
+        engine::synthesizeWith(Name, *Found, Alphabet::of("01"), Opts);
+    ASSERT_EQ(Ref.Status, R.Status);
+    EXPECT_EQ(Ref.Regex, R.Regex);
+    EXPECT_EQ(Ref.Cost, R.Cost);
+    EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+              R.Stats.CandidatesGenerated);
+    EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+  }
+}

@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// The service-layer contract (DESIGN.md Sec. 6):
+/// The service-layer contract (DESIGN.md Sec. 5):
 ///
 ///   (a) a result-cache hit returns a result bit-identical to the cold
 ///       run, without invoking any backend (counting test backend);
