@@ -1,0 +1,79 @@
+//===- bench/bench_shards.cpp - Sharded-store overhead quick bench ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharding perf gate (DESIGN.md Sec. 8): one Table-2-sized
+/// classroom instance (no3, ~1M candidates under the AlphaRegex-
+/// comparable cost function) swept on the sequential backend with the
+/// monolithic store (shards=1) and with a partitioned store
+/// (shards=4). Sharding is a re-layout, not an algorithm change, so
+/// both configurations must stay within the CI regression gate - the
+/// shards=1 metric guards the single-arena fast path the default
+/// options use, the shards=4 metric guards the owner-computes routing
+/// overhead.
+///
+/// Emits BENCH_shards.json; the CI perf-smoke job gates this file
+/// against bench/baselines/BENCH_shards.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/AlphaSuite.h"
+#include "engine/CpuBackend.h"
+#include "engine/Staging.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace paresy;
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("shards", Argc, Argv);
+
+  // Table 2 row no3 ("strings of even length"-class instance): heavy
+  // enough that the sweep dominates staging, small enough for CI.
+  const benchgen::SuiteInstance &Inst = benchgen::alphaRegexSuite()[2];
+  const CostFn TableCost(20, 20, 20, 5, 30);
+
+  auto runOnce = [&](unsigned Shards) {
+    SynthOptions Opts;
+    Opts.Cost = TableCost;
+    Opts.Shards = Shards;
+    std::shared_ptr<const engine::StagedQuery> Q =
+        engine::stage(Inst.Examples, Alphabet::of("01"), Opts);
+    engine::CpuBackend B;
+    return engine::runStaged(*Q, B);
+  };
+
+  SynthResult Probe = runOnce(1);
+  if (!Probe.found()) {
+    std::fprintf(stderr, "error: workload did not solve (%s)\n",
+                 statusName(Probe.Status));
+    return 1;
+  }
+  uint64_t Candidates = Probe.Stats.CandidatesGenerated;
+
+  for (unsigned Shards : {1u, 4u}) {
+    SynthResult Check = runOnce(Shards);
+    if (Check.Regex != Probe.Regex ||
+        Check.Stats.CandidatesGenerated != Candidates) {
+      std::fprintf(stderr, "error: shards=%u diverged from shards=1\n",
+                   Shards);
+      return 1;
+    }
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "sweep.no3.shards%u", Shards);
+    H.bench(Name, Candidates, [&] {
+      SynthResult R = runOnce(Shards);
+      if (!R.found())
+        std::exit(1); // A failed sweep would gate on garbage.
+    });
+  }
+
+  H.metric("info.workload.candidates", double(Candidates), "count");
+  return H.finish();
+}

@@ -31,9 +31,22 @@ No dependencies beyond the standard library.
 import argparse
 import json
 import os
+import shutil
 import sys
 
 CALIBRATION = "harness.calibration"
+
+
+def is_gated(name, metric):
+    """Gated = calibration-normalised throughput with baseline teeth.
+
+    ``info.*`` metrics and non-throughput units are context only.
+    """
+    return (
+        metric.get("unit") == "items/s"
+        and name != CALIBRATION
+        and not name.startswith("info.")
+    )
 
 
 def load_report(path):
@@ -58,10 +71,20 @@ def load_normalized(path):
     return {
         name: m["value"] / cal
         for name, m in metrics.items()
-        if m.get("unit") == "items/s"
-        and name != CALIBRATION
-        and not name.startswith("info.")
+        if is_gated(name, m)
     }
+
+
+def classify_current(paths):
+    """(gated names, info-only names) across several current runs."""
+    gated, info = set(), set()
+    for path in paths:
+        metrics, _ = load_report(path)
+        for name, m in metrics.items():
+            if name == CALIBRATION:
+                continue
+            (gated if is_gated(name, m) else info).add(name)
+    return gated, info
 
 
 def best_of(paths):
@@ -94,6 +117,18 @@ def compare_file(base_path, cur_paths, max_regress):
             f"  {status} {name:32s} {ratio:6.2f}x of baseline "
             f"(norm {base_norm:.3f} -> {cur[name]:.3f})"
         )
+
+    # A gate-class metric that only exists in the current results is
+    # running ungated - usually a new bench metric whose baseline was
+    # never captured. Warn loudly instead of passing in silence.
+    gated, info = classify_current(cur_paths)
+    unbaselined = sorted(gated - set(base))
+    for name in unbaselined:
+        print(f"  WARN {name}: not in baseline, running ungated")
+    print(
+        f"  summary: {len(base)} gated, {len(info)} info-only, "
+        f"{len(unbaselined)} ungated (warn)"
+    )
     return ok
 
 
@@ -112,8 +147,42 @@ def main():
         default=0.25,
         help="maximum tolerated fractional regression (0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy each current BENCH_*.json (first --current-dir that "
+        "has it) into the baseline directory instead of gating; for "
+        "best-of-N captures merge runs with bench/merge_bench.py first",
+    )
     args = parser.parse_args()
     current_dirs = args.current_dir or ["."]
+
+    if args.update_baseline:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        updated = 0
+        names = set()
+        for d in current_dirs:
+            if os.path.isdir(d):
+                names.update(
+                    f
+                    for f in os.listdir(d)
+                    if f.startswith("BENCH_") and f.endswith(".json")
+                )
+        for fname in sorted(names):
+            for d in current_dirs:
+                src = os.path.join(d, fname)
+                if os.path.exists(src):
+                    load_report(src)  # Refuse to bless malformed files.
+                    shutil.copyfile(
+                        src, os.path.join(args.baseline_dir, fname)
+                    )
+                    print(f"baseline updated: {fname} (from {d})")
+                    updated += 1
+                    break
+        if not updated:
+            print(f"error: no BENCH_*.json under {current_dirs}")
+            return 1
+        return 0
 
     baselines = sorted(
         f
@@ -144,7 +213,31 @@ def main():
             print(f"  FAIL {e}")
             all_ok = False
 
+    # A whole current-only report (a bench wired into CI whose baseline
+    # was never committed) would otherwise run ungated in silence.
+    current_only = set()
+    for d in current_dirs:
+        if os.path.isdir(d):
+            current_only.update(
+                f
+                for f in os.listdir(d)
+                if f.startswith("BENCH_")
+                and f.endswith(".json")
+                and f not in baselines
+            )
+    for fname in sorted(current_only):
+        print(
+            f"{fname}:\n  WARN no baseline file - every metric runs "
+            "ungated (--update-baseline to capture one)"
+        )
+
     print("perf gate:", "PASS" if all_ok else "FAIL")
+    if not all_ok:
+        print(
+            "hint: if the change is an accepted trade-off, refresh the "
+            "baselines with --update-baseline (after a clean-machine "
+            "best-of-N capture; see bench/merge_bench.py)"
+        )
     return 0 if all_ok else 1
 
 

@@ -24,6 +24,11 @@
 ///   --error FRACTION              allowed error in [0,1) (default 0)
 ///   --max-cost N                  cost budget (default: overfit bound)
 ///   --memory-mb N                 cache budget in MiB (default 256)
+///   --shards N                    hash-partitioned shards of the
+///                                 search state, 1..64 (default 1;
+///                                 results are identical for every
+///                                 value while the memory budget
+///                                 holds - see DESIGN.md Sec. 8)
 ///   --timeout SECONDS             wall-clock limit (default none)
 ///   --alphabet CHARS              alphabet (default: inferred)
 ///   --wildcard                    AlphaRegex wild-card heuristic
@@ -45,6 +50,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/AlphaRegex.h"
+#include "core/ShardedStore.h"
 #include "core/Synthesizer.h"
 #include "engine/BackendRegistry.h"
 #include "gpusim/GpuSynthesizer.h"
@@ -118,6 +124,13 @@ void printStats(const SynthStats &St) {
   std::printf("  precompute/search  %s s / %s s\n",
               formatSeconds(St.PrecomputeSeconds).c_str(),
               formatSeconds(St.SearchSeconds).c_str());
+  if (St.ShardCount > 1) {
+    std::printf("  shards             %llu (rows per shard:",
+                (unsigned long long)St.ShardCount);
+    for (uint64_t Rows : St.ShardRows)
+      std::printf(" %llu", (unsigned long long)Rows);
+    std::printf(")\n");
+  }
   if (St.OnTheFly)
     std::printf("  note               entered OnTheFly mode\n");
 }
@@ -141,6 +154,12 @@ Spec rotatedSpec(const Spec &S, size_t Shift) {
 int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
                  const Alphabet &Sigma, const SynthOptions &Options,
                  unsigned Rounds) {
+  // Self-describing demo logs: the resolved execution configuration
+  // up front, so a pasted transcript answers "what ran this?".
+  std::printf("serving: backend %s, %u worker(s), %u shard(s)\n",
+              Service.options().Backend.c_str(),
+              Service.options().Workers,
+              Options.Shards ? Options.Shards : 1);
   SynthResult First;
   for (unsigned Round = 0; Round != Rounds; ++Round) {
     WallTimer Timer;
@@ -171,6 +190,13 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
               (unsigned long long)St.Coalesced,
               (unsigned long long)St.Evictions,
               (unsigned long long)St.Searches);
+  if (St.ShardCount > 1) {
+    std::printf("shards: %llu (rows per shard:",
+                (unsigned long long)St.ShardCount);
+    for (uint64_t Rows : St.ShardRows)
+      std::printf(" %llu", (unsigned long long)Rows);
+    std::printf(")\n");
+  }
   return 0;
 }
 
@@ -221,6 +247,15 @@ int main(int Argc, char **Argv) {
           uint64_t(std::atoll(Next().c_str())) << 20;
     else if (Arg == "--timeout")
       Options.TimeoutSeconds = std::atof(Next().c_str());
+    else if (Arg == "--shards") {
+      long Shards = std::atol(Next().c_str());
+      if (Shards < 1 || Shards > long(ShardedStore::MaxShards)) {
+        std::fprintf(stderr, "error: --shards wants a count in [1, %u]\n",
+                     ShardedStore::MaxShards);
+        return 2;
+      }
+      Options.Shards = unsigned(Shards);
+    }
     else if (Arg == "--alphabet")
       AlphabetChars = Next();
     else if (Arg == "--wildcard")

@@ -18,8 +18,13 @@ CsHashSet::CsHashSet(const LanguageCache &Cache) : Cache(Cache) {
 }
 
 bool CsHashSet::contains(const uint64_t *Cs) const {
+  return contains(Cs, hashWords(Cs, Cache.csWords()));
+}
+
+bool CsHashSet::contains(const uint64_t *Cs, uint64_t Hash) const {
+  assert(Hash == hashWords(Cs, Cache.csWords()) &&
+         "precomputed hash mismatch");
   size_t Mask = Slots.size() - 1;
-  uint64_t Hash = hashWords(Cs, Cache.csWords());
   uint8_t Tag = hashTagByte(Hash);
   size_t SlotIdx = size_t(Hash) & Mask;
   for (;;) {

@@ -43,6 +43,10 @@ public:
   /// True iff a row with exactly the bits of \p Cs is present.
   bool contains(const uint64_t *Cs) const;
 
+  /// contains() with a caller-precomputed hash of \p Cs (callers that
+  /// already hashed for shard routing skip the re-hash).
+  bool contains(const uint64_t *Cs, uint64_t Hash) const;
+
   /// Registers cache row \p Idx, whose bits must equal \p Cs.
   /// Pre: !contains(Cs).
   void insert(const uint64_t *Cs, uint32_t Idx);

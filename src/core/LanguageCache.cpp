@@ -24,11 +24,17 @@ LanguageCache::LanguageCache(size_t CsWords, size_t MaxEntries)
 }
 
 uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P) {
+  return append(Cs, P, hashWords(Cs, CsWordCount));
+}
+
+uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P,
+                               uint64_t Hash) {
   assert(!full() && "appending to a full language cache");
+  assert(Hash == hashWords(Cs, CsWordCount) && "precomputed hash mismatch");
   uint64_t *Row = Store.data() + EntryCount * RowStride;
   copyWords(Row, Cs, CsWordCount);
   clearWords(Row + CsWordCount, RowStride - CsWordCount);
-  RowHashes.push_back(hashWords(Cs, CsWordCount));
+  RowHashes.push_back(Hash);
   Prov.push_back(P);
   return uint32_t(EntryCount++);
 }
@@ -49,11 +55,17 @@ uint32_t LanguageCache::reserveRows(size_t Count) {
 
 void LanguageCache::writeRow(size_t Idx, const uint64_t *Cs,
                              const Provenance &P) {
+  writeRow(Idx, Cs, P, hashWords(Cs, CsWordCount));
+}
+
+void LanguageCache::writeRow(size_t Idx, const uint64_t *Cs,
+                             const Provenance &P, uint64_t Hash) {
   assert(Idx < EntryCount && "writing an unreserved row");
+  assert(Hash == hashWords(Cs, CsWordCount) && "precomputed hash mismatch");
   uint64_t *Row = Store.data() + Idx * RowStride;
   copyWords(Row, Cs, CsWordCount);
   // Padding words were zeroed by reserveRows and stay zero.
-  RowHashes[Idx] = hashWords(Cs, CsWordCount);
+  RowHashes[Idx] = Hash;
   Prov[Idx] = P;
 }
 
@@ -70,44 +82,6 @@ std::pair<uint32_t, uint32_t> LanguageCache::level(uint64_t Cost) const {
   return Levels[Cost];
 }
 
-const Regex *LanguageCache::reconstruct(size_t Idx, RegexManager &M) const {
-  std::vector<const Regex *> Memo(EntryCount, nullptr);
-  return reconstructImpl(provenance(Idx), M, Memo);
-}
-
-const Regex *
-LanguageCache::reconstructCandidate(const Provenance &P,
-                                    RegexManager &M) const {
-  std::vector<const Regex *> Memo(EntryCount, nullptr);
-  return reconstructImpl(P, M, Memo);
-}
-
-const Regex *
-LanguageCache::reconstructImpl(const Provenance &P, RegexManager &M,
-                               std::vector<const Regex *> &Memo) const {
-  auto Operand = [&](uint32_t Idx) -> const Regex * {
-    assert(Idx < EntryCount && "provenance operand out of range");
-    if (Memo[Idx])
-      return Memo[Idx];
-    const Regex *Re = reconstructImpl(Prov[Idx], M, Memo);
-    Memo[Idx] = Re;
-    return Re;
-  };
-  switch (P.Kind) {
-  case CsOp::Literal:
-    return M.literal(P.Symbol);
-  case CsOp::Epsilon:
-    return M.epsilon();
-  case CsOp::Empty:
-    return M.empty();
-  case CsOp::Question:
-    return M.question(Operand(P.Lhs));
-  case CsOp::Star:
-    return M.star(Operand(P.Lhs));
-  case CsOp::Concat:
-    return M.concat(Operand(P.Lhs), Operand(P.Rhs));
-  case CsOp::Union:
-    return M.alt(Operand(P.Lhs), Operand(P.Rhs));
-  }
-  PARESY_UNREACHABLE("invalid provenance kind");
-}
+// Provenance-to-expression reconstruction lives one layer up, in
+// ShardedStore: operands are global ids, which only the store can
+// resolve across segments.

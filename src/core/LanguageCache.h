@@ -98,6 +98,11 @@ public:
   /// Appends a row (copies \p Cs). Pre: !full(). Returns its index.
   uint32_t append(const uint64_t *Cs, const Provenance &Prov);
 
+  /// Append with a caller-precomputed hash of \p Cs (callers that
+  /// already hashed for routing or uniqueness skip the re-hash).
+  uint32_t append(const uint64_t *Cs, const Provenance &Prov,
+                  uint64_t Hash);
+
   /// Bulk interface for the GPU-style compaction kernel: reserves
   /// \p Count zero-initialised rows (pre: Count <= capacity-size) and
   /// returns the index of the first; distinct reserved rows may then
@@ -107,6 +112,10 @@ public:
   /// Fills a reserved row. Safe to call concurrently for distinct
   /// \p Idx.
   void writeRow(size_t Idx, const uint64_t *Cs, const Provenance &Prov);
+
+  /// writeRow() with a caller-precomputed hash of \p Cs.
+  void writeRow(size_t Idx, const uint64_t *Cs, const Provenance &Prov,
+                uint64_t Hash);
 
   const Provenance &provenance(size_t Idx) const {
     assert(Idx < EntryCount && "cache row out of range");
@@ -128,19 +137,7 @@ public:
             sizeof(uint64_t));
   }
 
-  /// Rebuilds the regular expression recorded for row \p Idx.
-  const Regex *reconstruct(size_t Idx, RegexManager &M) const;
-
-  /// Rebuilds the expression for a candidate that was *not* cached
-  /// (OnTheFly hits): its operands must be cached rows.
-  const Regex *reconstructCandidate(const Provenance &Prov,
-                                    RegexManager &M) const;
-
 private:
-  const Regex *reconstructImpl(
-      const Provenance &Prov, RegexManager &M,
-      std::vector<const Regex *> &Memo) const;
-
   size_t CsWordCount;
   size_t RowStride;
   size_t MaxEntries;

@@ -1,0 +1,136 @@
+//===- core/ShardedStore.cpp - Hash-partitioned search state -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedStore.h"
+
+#include "support/Bits.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace paresy;
+
+ShardedStore::ShardedStore(size_t CsWords, unsigned NumShards,
+                           size_t CapacityPerShard)
+    : CsWordCount(CsWords) {
+  assert(NumShards >= 1 && NumShards <= MaxShards && "bad shard count");
+  // Global ids are uint32 (Provenance operands); cap the address space
+  // exactly as the monolithic cache's planners do.
+  CapacityPerShard =
+      std::min<size_t>(CapacityPerShard, 0xfffffffeu / NumShards);
+  TotalCapacity = CapacityPerShard * NumShards;
+  Shards.reserve(NumShards);
+  for (unsigned S = 0; S != NumShards; ++S)
+    Shards.push_back(
+        std::make_unique<LanguageCache>(CsWords, CapacityPerShard));
+  Dropped.assign(NumShards, 0);
+}
+
+unsigned ShardedStore::shardOf(const uint64_t *Cs) const {
+  return shardOfHash(hashWords(Cs, CsWordCount));
+}
+
+uint32_t ShardedStore::append(unsigned Owner, const uint64_t *Cs,
+                              const Provenance &P, uint64_t Hash) {
+  assert(Owner == shardOfHash(Hash) && "row appended to a non-owner shard");
+  uint32_t Local = Shards[Owner]->append(Cs, P, Hash);
+  if (shardCount() == 1)
+    return Local; // Ids are local rows; no directory maintained.
+  uint32_t Id = uint32_t(Dir.size());
+  Dir.push_back(uint64_t(Owner) << 32 | Local);
+  return Id;
+}
+
+uint32_t ShardedStore::append(const uint64_t *Cs, const Provenance &P) {
+  uint64_t Hash = hashWords(Cs, CsWordCount);
+  return append(shardOfHash(Hash), Cs, P, Hash);
+}
+
+uint32_t ShardedStore::reserveRow(unsigned Owner) {
+  assert(!Shards[Owner]->full() && "reserving in a full shard");
+  uint32_t Local = Shards[Owner]->reserveRows(1);
+  if (shardCount() == 1)
+    return Local;
+  uint32_t Id = uint32_t(Dir.size());
+  Dir.push_back(uint64_t(Owner) << 32 | Local);
+  return Id;
+}
+
+void ShardedStore::writeRow(size_t Id, const uint64_t *Cs,
+                            const Provenance &P) {
+  writeRow(Id, Cs, P, hashWords(Cs, CsWordCount));
+}
+
+void ShardedStore::writeRow(size_t Id, const uint64_t *Cs,
+                            const Provenance &P, uint64_t Hash) {
+  if (shardCount() == 1) {
+    Shards[0]->writeRow(Id, Cs, P, Hash);
+    return;
+  }
+  uint64_t Loc = Dir[Id];
+  Shards[Loc >> 32]->writeRow(uint32_t(Loc), Cs, P, Hash);
+}
+
+void ShardedStore::setLevel(uint64_t Cost, uint32_t Begin, uint32_t End) {
+  assert(Begin <= End && End <= size() && "bad level range");
+  if (Levels.size() <= Cost)
+    Levels.resize(Cost + 1, {0, 0});
+  Levels[Cost] = {Begin, End};
+}
+
+std::pair<uint32_t, uint32_t> ShardedStore::level(uint64_t Cost) const {
+  if (Cost >= Levels.size())
+    return {0, 0};
+  return Levels[Cost];
+}
+
+uint64_t ShardedStore::bytesUsed() const {
+  uint64_t Bytes = Dir.size() * sizeof(uint64_t);
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    Bytes += S->bytesUsed();
+  return Bytes;
+}
+
+const Regex *ShardedStore::reconstruct(size_t Id, RegexManager &M) const {
+  return reconstructCandidate(provenance(Id), M);
+}
+
+const Regex *ShardedStore::reconstructCandidate(const Provenance &P,
+                                                RegexManager &M) const {
+  std::vector<const Regex *> Memo(size(), nullptr);
+  return reconstructImpl(P, M, Memo);
+}
+
+const Regex *
+ShardedStore::reconstructImpl(const Provenance &P, RegexManager &M,
+                              std::vector<const Regex *> &Memo) const {
+  auto Operand = [&](uint32_t Id) -> const Regex * {
+    assert(Id < size() && "provenance operand out of range");
+    if (Memo[Id])
+      return Memo[Id];
+    const Regex *Re = reconstructImpl(provenance(Id), M, Memo);
+    Memo[Id] = Re;
+    return Re;
+  };
+  switch (P.Kind) {
+  case CsOp::Literal:
+    return M.literal(P.Symbol);
+  case CsOp::Epsilon:
+    return M.epsilon();
+  case CsOp::Empty:
+    return M.empty();
+  case CsOp::Question:
+    return M.question(Operand(P.Lhs));
+  case CsOp::Star:
+    return M.star(Operand(P.Lhs));
+  case CsOp::Concat:
+    return M.concat(Operand(P.Lhs), Operand(P.Rhs));
+  case CsOp::Union:
+    return M.alt(Operand(P.Lhs), Operand(P.Rhs));
+  }
+  PARESY_UNREACHABLE("invalid provenance kind");
+}

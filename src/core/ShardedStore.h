@@ -1,0 +1,190 @@
+//===- core/ShardedStore.h - Hash-partitioned search state -------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded language store (DESIGN.md Sec. 8): the search state of
+/// the sweep - the language cache and, per backend, its uniqueness
+/// structure - partitioned into N shards by CS hash. One monolithic
+/// cache plus one hash set is the paper's scalability ceiling (a
+/// single device arena, SynthOptions::MemoryLimitBytes); hash
+/// partitioning is the classic route past it and the prerequisite for
+/// multi-device backends, where each shard is one device's slice of
+/// the state.
+///
+/// Ownership is owner-computes: a characteristic sequence's owner
+/// shard is a pure function of its bits (shardOfHash over the row
+/// hash), so every distinct language has exactly one home and a
+/// per-shard uniqueness set answers global membership questions.
+///
+/// Id encoding: a row's *global id* is its dense append rank - the
+/// order unique winners are committed in, which every backend performs
+/// in candidate-rank order - and is therefore identical for every
+/// shard count and worker count. The store maps each global id to its
+/// physical (shard, local-row) location through a packed directory
+/// word. Provenance operands, GuideTable-driven level ranges and the
+/// min-candidate-id winner rules all speak global ids and survive the
+/// partitioning untouched; only the bytes move. N = 1 reduces to
+/// exactly the pre-sharding layout (one segment, no directory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_SHARDEDSTORE_H
+#define PARESY_CORE_SHARDEDSTORE_H
+
+#include "core/LanguageCache.h"
+
+#include <memory>
+#include <vector>
+
+namespace paresy {
+
+/// N LanguageCache segments behind one global-id address space.
+///
+/// Sequential append (the CPU backend) and the reserve/write bulk
+/// path (the batched backends) both assign global ids in call order;
+/// callers must reserve in candidate-rank order, which is what makes
+/// ids - and hence results - shard-count- and schedule-independent.
+/// writeRow() is safe for concurrent distinct ids once the rows are
+/// reserved (the directory is only read).
+class ShardedStore {
+public:
+  /// Upper bound on SynthOptions::Shards, enforced at validation. Far
+  /// beyond any single-host benefit; bounds the per-shard metadata.
+  static constexpr unsigned MaxShards = 64;
+
+  /// \p NumShards segments of \p CapacityPerShard rows each, rows of
+  /// \p CsWords 64-bit words. The driver derives CapacityPerShard by
+  /// dividing the backend's planned row capacity (and with it the
+  /// MemoryLimitBytes budget) evenly across shards.
+  ShardedStore(size_t CsWords, unsigned NumShards, size_t CapacityPerShard);
+
+  unsigned shardCount() const { return unsigned(Shards.size()); }
+  size_t csWords() const { return CsWordCount; }
+
+  /// Total rows committed, across all shards (== the next global id).
+  size_t size() const {
+    return shardCount() == 1 ? Shards[0]->size() : Dir.size();
+  }
+  /// Total row capacity across all shards.
+  size_t capacity() const { return TotalCapacity; }
+
+  /// Owner shard of a CS with row hash \p Hash. Uses a middle band of
+  /// the hash (bits 24..55): disjoint from both consumers of the same
+  /// hash - the uniqueness sets' slot index (low bits) and their tag
+  /// byte (top 8 bits) - so per-shard sets keep full slot entropy.
+  unsigned shardOfHash(uint64_t Hash) const {
+    return unsigned((((Hash >> 24) & 0xffffffffULL) * shardCount()) >> 32);
+  }
+  /// Owner shard of \p Cs (hashes the row words).
+  unsigned shardOf(const uint64_t *Cs) const;
+
+  /// Shard \p S's segment (the per-shard uniqueness sets key on it).
+  const LanguageCache &shard(unsigned S) const { return *Shards[S]; }
+
+  bool shardFull(unsigned S) const { return Shards[S]->full(); }
+
+  /// Rows committed to shard \p S.
+  size_t shardRows(unsigned S) const { return Shards[S]->size(); }
+
+  /// Winners dropped because shard \p S was full (see noteDropped).
+  uint64_t shardDropped(unsigned S) const { return Dropped[S]; }
+
+  /// Records a checked-but-uncached winner owned by full shard \p S
+  /// (the OnTheFly regime's per-shard overflow accounting).
+  void noteDropped(unsigned S) { ++Dropped[S]; }
+
+  /// Row words of global id \p Id.
+  const uint64_t *cs(size_t Id) const {
+    if (shardCount() == 1) // Ids are local rows; no directory at all.
+      return Shards[0]->cs(Id);
+    uint64_t Loc = Dir[Id];
+    return Shards[Loc >> 32]->cs(uint32_t(Loc));
+  }
+
+  /// Precomputed hash of global id \p Id's row words.
+  uint64_t rowHash(size_t Id) const {
+    if (shardCount() == 1)
+      return Shards[0]->rowHash(Id);
+    uint64_t Loc = Dir[Id];
+    return Shards[Loc >> 32]->rowHash(uint32_t(Loc));
+  }
+
+  const Provenance &provenance(size_t Id) const {
+    if (shardCount() == 1)
+      return Shards[0]->provenance(Id);
+    uint64_t Loc = Dir[Id];
+    return Shards[Loc >> 32]->provenance(uint32_t(Loc));
+  }
+
+  /// Local row index of global id \p Id within its owner shard (the
+  /// handle the per-shard uniqueness sets store).
+  uint32_t localRow(size_t Id) const {
+    return shardCount() == 1 ? uint32_t(Id) : uint32_t(Dir[Id]);
+  }
+
+  /// Appends a row to shard \p Owner with its precomputed \p Hash
+  /// (Owner must be shardOfHash(Hash)). Pre: !shardFull(Owner).
+  /// Returns the new global id.
+  uint32_t append(unsigned Owner, const uint64_t *Cs, const Provenance &P,
+                  uint64_t Hash);
+
+  /// Convenience append: hashes \p Cs and routes to its owner.
+  uint32_t append(const uint64_t *Cs, const Provenance &P);
+
+  /// Bulk path step 1: reserves the next global id in shard \p Owner.
+  /// Pre: !shardFull(Owner). Call in candidate-rank order; fill with
+  /// writeRow() (possibly concurrently) afterwards.
+  uint32_t reserveRow(unsigned Owner);
+
+  /// Bulk path step 2: fills reserved global id \p Id. Safe to call
+  /// concurrently for distinct ids.
+  void writeRow(size_t Id, const uint64_t *Cs, const Provenance &P);
+
+  /// writeRow() with a caller-precomputed hash of \p Cs (the batched
+  /// pipeline reuses the routing hash as the row hash).
+  void writeRow(size_t Id, const uint64_t *Cs, const Provenance &P,
+                uint64_t Hash);
+
+  /// Records that cost level \p Cost spans global ids [Begin, End).
+  /// Levels are contiguous in global-id space by construction (ids are
+  /// append ranks and levels append in order).
+  void setLevel(uint64_t Cost, uint32_t Begin, uint32_t End);
+
+  /// Global-id range of cost level \p Cost; (0,0)-style empty range
+  /// for levels never recorded.
+  std::pair<uint32_t, uint32_t> level(uint64_t Cost) const;
+
+  /// Bytes held by every segment plus the directory.
+  uint64_t bytesUsed() const;
+
+  /// Rebuilds the regular expression recorded for global id \p Id.
+  const Regex *reconstruct(size_t Id, RegexManager &M) const;
+
+  /// Rebuilds the expression for a candidate whose operands are
+  /// committed rows (global ids); the candidate itself need not be
+  /// cached (OnTheFly hits).
+  const Regex *reconstructCandidate(const Provenance &P,
+                                    RegexManager &M) const;
+
+private:
+  const Regex *reconstructImpl(const Provenance &P, RegexManager &M,
+                               std::vector<const Regex *> &Memo) const;
+
+  size_t CsWordCount;
+  size_t TotalCapacity;
+  std::vector<std::unique_ptr<LanguageCache>> Shards;
+  /// Global id -> packed location: shard in the high 32 bits, local
+  /// row in the low 32. Empty with one shard (ids are local rows),
+  /// which is what makes N = 1 byte-for-byte the pre-sharding layout;
+  /// capacity planners charge the entry only when sharding is on.
+  std::vector<uint64_t> Dir;
+  std::vector<uint64_t> Dropped; // Per-shard overflow counters.
+  std::vector<std::pair<uint32_t, uint32_t>> Levels;
+};
+
+} // namespace paresy
+
+#endif // PARESY_CORE_SHARDEDSTORE_H

@@ -14,10 +14,26 @@
 
 #include "core/Synthesizer.h"
 
+#include "core/ShardedStore.h"
 #include "engine/CpuBackend.h"
 #include "engine/SearchDriver.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 using namespace paresy;
+
+unsigned paresy::defaultShardCount() {
+  static const unsigned Value = [] {
+    const char *Env = std::getenv("PARESY_TEST_SHARDS");
+    if (!Env || !*Env)
+      return 1u;
+    long Parsed = std::strtol(Env, nullptr, 10);
+    return unsigned(
+        std::clamp<long>(Parsed, 1, long(ShardedStore::MaxShards)));
+  }();
+  return Value;
+}
 
 const char *paresy::statusName(SynthStatus Status) {
   switch (Status) {

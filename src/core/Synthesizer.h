@@ -31,8 +31,15 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace paresy {
+
+/// Default for SynthOptions::Shards: the PARESY_TEST_SHARDS
+/// environment variable when set (clamped to [1, 64]; how CI runs the
+/// unit suites at a non-trivial shard count), 1 otherwise. Read once
+/// per process.
+unsigned defaultShardCount();
 
 /// Tuning knobs for one synthesis run. The ablation flags default to
 /// the paper's design; turning them off reproduces the strawmen
@@ -48,7 +55,18 @@ struct SynthOptions {
 
   /// Budget for the language cache, its uniqueness set and the
   /// per-row provenance. This is the paper's scalability limit.
+  /// Divided evenly across Shards (DESIGN.md Sec. 8).
   uint64_t MemoryLimitBytes = uint64_t(256) << 20;
+
+  /// Hash-partitioned shards of the search state (language cache and
+  /// uniqueness structure; DESIGN.md Sec. 8). 0 and 1 both select the
+  /// single-arena layout of the paper; at most ShardedStore::MaxShards
+  /// (64). While the memory budget holds, results, costs and candidate
+  /// counts are identical for every value. Under memory pressure hash
+  /// skew can fill one shard before the monolithic cache would have
+  /// filled, so only the weaker OnTheFly guarantee is shard-invariant:
+  /// a Found answer is still the same minimal cost.
+  unsigned Shards = defaultShardCount();
 
   /// Wall-clock timeout in seconds; 0 disables it.
   double TimeoutSeconds = 0;
@@ -117,6 +135,15 @@ struct SynthStats {
   uint64_t LastCompletedCost = 0;
   /// True iff the run kept searching past a full cache.
   bool OnTheFly = false;
+  /// Shards the search state was partitioned into (resolved
+  /// SynthOptions::Shards; 1 = the monolithic layout).
+  uint64_t ShardCount = 1;
+  /// Rows cached per shard (size ShardCount): the occupancy-skew
+  /// diagnostic the service layer aggregates.
+  std::vector<uint64_t> ShardRows;
+  /// Winners checked but dropped per shard because the owner shard
+  /// was full (non-zero only under memory pressure).
+  std::vector<uint64_t> ShardDropped;
   /// Seconds spent staging (universe, guide table, masks).
   double PrecomputeSeconds = 0;
   /// Seconds spent in the cost sweep.

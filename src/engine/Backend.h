@@ -27,7 +27,7 @@
 #ifndef PARESY_ENGINE_BACKEND_H
 #define PARESY_ENGINE_BACKEND_H
 
-#include "core/LanguageCache.h"
+#include "core/ShardedStore.h"
 #include "core/Synthesizer.h"
 #include "support/Timer.h"
 
@@ -48,9 +48,9 @@ class LevelTasks;
 
 /// One run's shared state, owned by the SearchDriver and lent to the
 /// backend for the duration of the run. Staged data (universe, guide
-/// table, algebra) is read-only during the sweep; the language cache
-/// is append-only and written exclusively by the backend's compaction
-/// phase (the driver only records level ranges).
+/// table, algebra) is read-only during the sweep; the sharded language
+/// store is append-only and written exclusively by the backend's
+/// compaction phase (the driver only records level ranges).
 struct SearchContext {
   const Spec *S = nullptr;
   const Alphabet *Sigma = nullptr;
@@ -60,8 +60,10 @@ struct SearchContext {
   /// use the unstaged split discovery (engine/Kernels.h).
   const GuideTable *GT = nullptr;
   CsAlgebra *Algebra = nullptr;
-  /// Set by the driver after planCacheCapacity(), before prepare().
-  LanguageCache *Cache = nullptr;
+  /// The hash-partitioned language store (DESIGN.md Sec. 8). Set by
+  /// the driver after planCacheCapacity(), before prepare(); one shard
+  /// under the default options.
+  ShardedStore *Store = nullptr;
   /// floor(AllowedError * #(P u N)) misclassifications permitted.
   unsigned MistakeBudget = 0;
   /// The run's wall clock, for in-level timeout checks.
@@ -107,10 +109,11 @@ public:
   /// Registry key / display name ("cpu", "cpu-parallel", "gpusim").
   virtual std::string_view name() const = 0;
 
-  /// Divides the run's memory budget between the language cache and
+  /// Divides the run's memory budget between the language store and
   /// the backend's own structures. Called once after staging (Ctx has
-  /// U/GT/Algebra but no Cache yet); returns the row capacity the
-  /// driver should give the cache.
+  /// U/GT/Algebra but no Store yet); returns the total row capacity
+  /// the driver should give the store (it divides rows - and with
+  /// them the budget - evenly across shards).
   virtual size_t planCacheCapacity(const SearchContext &Ctx,
                                    uint64_t BudgetBytes) = 0;
 

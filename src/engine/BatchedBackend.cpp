@@ -8,9 +8,9 @@
 
 #include "engine/Kernels.h"
 #include "engine/LevelTasks.h"
-#include "gpusim/Scan.h"
 #include "lang/CharSeq.h"
 #include "lang/Universe.h"
+#include "support/Bits.h"
 
 #include <algorithm>
 #include <atomic>
@@ -19,14 +19,24 @@ using namespace paresy;
 using namespace paresy::engine;
 using namespace paresy::gpusim;
 
+namespace {
+
+/// RowId sentinel: winner checked but not cached (owner shard full).
+constexpr uint32_t NoRow = 0xffffffffu;
+
+} // namespace
+
 BatchedBackend::BatchedBackend(const DeviceSpec &Spec, unsigned Workers,
                                size_t BatchTasks)
     : Dev(Spec, Workers), BatchTasks(std::max<size_t>(1, BatchTasks)) {}
 
-size_t BatchedBackend::splitBudget(size_t CsWords, uint64_t BudgetBytes) {
+size_t BatchedBackend::splitBudget(const SearchContext &Ctx,
+                                   uint64_t BudgetBytes) {
+  size_t CsWords = Ctx.U->csWords();
   uint64_t RowBytes =
       LanguageCache::strideForWords(CsWords) * sizeof(uint64_t) +
-      sizeof(Provenance) + sizeof(uint64_t);
+      sizeof(Provenance) + sizeof(uint64_t) +
+      (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
   uint64_t SlotBytes =
       CsWords * sizeof(uint64_t) + WarpHashSet::slotBytes();
   uint64_t CacheCap =
@@ -39,8 +49,20 @@ size_t BatchedBackend::splitBudget(size_t CsWords, uint64_t BudgetBytes) {
 }
 
 void BatchedBackend::prepare(SearchContext &Ctx) {
-  HashSet = std::make_unique<WarpHashSet>(Ctx.U->csWords(), HashCapacity);
+  unsigned Shards = Ctx.Store->shardCount();
+  size_t PerShard = std::max<size_t>(32, HashCapacity / Shards);
+  HashSets.clear();
+  for (unsigned S = 0; S != Shards; ++S)
+    HashSets.push_back(
+        std::make_unique<WarpHashSet>(Ctx.U->csWords(), PerShard));
   IdBase = 0;
+}
+
+uint64_t BatchedBackend::auxBytesUsed() const {
+  uint64_t Bytes = 0;
+  for (const std::unique_ptr<WarpHashSet> &Set : HashSets)
+    Bytes += Set->bytesUsed();
+  return Bytes;
 }
 
 LevelOutcome BatchedBackend::runLevel(SearchContext &Ctx, uint64_t,
@@ -50,12 +72,18 @@ LevelOutcome BatchedBackend::runLevel(SearchContext &Ctx, uint64_t,
   // Pull the level in bounded batches: a concat/union level can hold
   // quadratically many tasks, so it is never materialised whole.
   while (Tasks.fill(Batch, BatchTasks)) {
+    // Grown independently: a backend reused across searches can see a
+    // narrower universe with a larger batch, where TempCs still fits
+    // but the per-task vectors would not.
     size_t Words = Ctx.U->csWords();
-    if (TempCs.size() < Batch.size() * Words) {
+    if (TempCs.size() < Batch.size() * Words)
       TempCs.resize(Batch.size() * Words);
+    if (TaskHash.size() < Batch.size()) {
+      TaskHash.resize(Batch.size());
+      TaskShard.resize(Batch.size());
       TaskSlot.resize(Batch.size());
       WinnerFlag.resize(Batch.size());
-      WinnerOffset.resize(Batch.size());
+      RowId.resize(Batch.size());
     }
     bool Continue = processBatch(Ctx, Out);
     IdBase += Batch.size();
@@ -76,28 +104,45 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   const SynthOptions &Opts = *Ctx.Opts;
   const Universe &U = *Ctx.U;
   const GuideTable *GT = Ctx.GT;
-  LanguageCache &Cache = *Ctx.Cache;
+  ShardedStore &Store = *Ctx.Store;
   size_t Count = Batch.size();
   size_t Words = U.csWords();
+  // A single shard with uniqueness off needs no routing hash; every
+  // other configuration hashes in the generate kernel and reuses the
+  // hash for the owner shard, the uniqueness insert and the row hash.
+  bool Route = Opts.UniquenessCheck || Store.shardCount() > 1;
 
-  // Kernel 1: generate every candidate CS into temporary storage.
+  // Kernel 1: generate every candidate CS into temporary storage and,
+  // when routing, partition it (hash + owner shard) - the compute half
+  // of the all-to-all exchange.
   Out.Ops += Dev.launch("paresy.generate", Count, [&](size_t T) -> uint64_t {
-    return generateCs(TempCs.data() + T * Words, Batch[T], U, GT, Cache);
+    uint64_t Ops = generateCs(TempCs.data() + T * Words, Batch[T], U, GT,
+                              Store);
+    if (Route) {
+      uint64_t Hash = hashWords(TempCs.data() + T * Words, Words);
+      TaskHash[T] = Hash;
+      TaskShard[T] = Store.shardOfHash(Hash);
+      Ops += Words;
+    }
+    return Ops;
   });
   Out.Candidates += Count;
 
-  // Kernel 2: concurrent uniqueness insertion (min-id winners). With
+  // Kernel 2: concurrent uniqueness insertion into each candidate's
+  // owner shard (min-id winners). Owner-computes keeps per-shard sets
+  // globally exact: every distinct CS has exactly one home set. With
   // the uniqueness ablation off every candidate is its own winner,
   // exactly as in the sequential backend.
   if (Opts.UniquenessCheck) {
     std::atomic<bool> Full{false};
     Dev.launch("paresy.unique", Count, [&](size_t T) -> uint64_t {
       uint32_t Id = uint32_t(IdBase + T);
-      int64_t Slot = HashSet->insert(TempCs.data() + T * Words, Id);
+      int64_t Slot = HashSets[TaskShard[T]]->insert(
+          TempCs.data() + T * Words, Id, TaskHash[T]);
       TaskSlot[T] = Slot;
       if (Slot < 0)
         Full.store(true, std::memory_order_relaxed);
-      return Words + 2;
+      return 2;
     });
     if (Full.load()) {
       Out.Abort = true;
@@ -112,7 +157,8 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   Dev.launch("paresy.check", Count, [&](size_t T) -> uint64_t {
     uint32_t Id = uint32_t(IdBase + T);
     bool Winner =
-        !Opts.UniquenessCheck || HashSet->isWinner(size_t(TaskSlot[T]), Id);
+        !Opts.UniquenessCheck ||
+        HashSets[TaskShard[T]]->isWinner(size_t(TaskSlot[T]), Id);
     WinnerFlag[T] = Winner ? 1 : 0;
     if (Winner &&
         Ctx.Algebra->satisfies(TempCs.data() + T * Words,
@@ -133,23 +179,44 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
     Out.Satisfier = Batch[size_t(FoundNow - IdBase)];
   }
 
-  // Kernel 4+5: compact winners into the language cache (scan for
-  // offsets, then a parallel copy). Winners beyond the remaining
-  // capacity are checked but not cached: the OnTheFly regime.
-  uint64_t Winners =
-      exclusiveScan(Dev, WinnerFlag.data(), WinnerOffset.data(), Count);
+  // Exchange pass: walk winners in candidate-rank order, assigning
+  // each its global id (the next append rank) and a row in its owner
+  // shard. Rank order is what makes ids - and with them every
+  // downstream level's task enumeration - identical across shard
+  // counts, worker counts and backends. Winners whose owner shard is
+  // full are checked but not cached: the OnTheFly regime, per shard.
+  // (This rank walk replaced the exclusive scan that used to compute
+  // compaction offsets; per-shard row assignment is a multi-split the
+  // single scan cannot express.)
+  uint64_t Winners = 0;
+  for (size_t T = 0; T != Count; ++T) {
+    if (!WinnerFlag[T])
+      continue;
+    ++Winners;
+    unsigned Owner = Route ? TaskShard[T] : 0;
+    if (!Store.shardFull(Owner)) {
+      RowId[T] = Store.reserveRow(Owner);
+    } else {
+      RowId[T] = NoRow;
+      Store.noteDropped(Owner);
+      Out.CacheFilled = true;
+    }
+  }
   Out.Unique += Winners;
-  uint64_t Space = Cache.capacity() - Cache.size();
-  uint64_t ToCache = std::min<uint64_t>(Winners, Space);
-  if (ToCache < Winners)
-    Out.CacheFilled = true;
-  if (ToCache > 0) {
-    uint32_t Base = Cache.reserveRows(size_t(ToCache));
+
+  // Kernel 4: compact winners into their owner shards' segments - the
+  // data-movement half of the all-to-all. Distinct reserved rows write
+  // concurrently; the directory is only read. The routing hash doubles
+  // as the row hash, so no winner is hashed twice.
+  if (Winners > 0) {
     Dev.launch("paresy.compact", Count, [&](size_t T) -> uint64_t {
-      if (!WinnerFlag[T] || WinnerOffset[T] >= ToCache)
+      if (!WinnerFlag[T] || RowId[T] == NoRow)
         return 1;
-      Cache.writeRow(Base + size_t(WinnerOffset[T]),
-                     TempCs.data() + T * Words, Batch[T]);
+      if (Route)
+        Store.writeRow(RowId[T], TempCs.data() + T * Words, Batch[T],
+                       TaskHash[T]);
+      else
+        Store.writeRow(RowId[T], TempCs.data() + T * Words, Batch[T]);
       return Words + 1;
     });
   }

@@ -7,22 +7,37 @@
 /// \file
 /// The data-parallel execution of one cost level, shared by the
 /// host-parallel backend and the GPU simulator (Sec. 3 "GPU language
-/// cache implementation"). Each level runs in batches of independent
-/// tasks through five kernels:
+/// cache implementation"), over the hash-partitioned store of DESIGN.md
+/// Sec. 8. Each level runs in batches of independent tasks through the
+/// kernel pipeline:
 ///
 ///   1. generate   - one task per candidate, CS into temporary
-///                   storage (the paper's grey area (a));
-///   2. uniqueness - concurrent WarpHashSet insert, min-id winners;
+///                   storage (the paper's grey area (a)); when the
+///                   state is sharded (or uniqueness is on) the task
+///                   also hashes its CS and computes its owner shard -
+///                   the partition step of a multi-device all-to-all;
+///   2. uniqueness - concurrent insert into the *owner shard's*
+///                   WarpHashSet, min-id winners;
 ///   3. check      - winners tested against the spec, atomic-min on
 ///                   the first satisfier;
-///   4. scan + compact - winners copied contiguously into the
-///                   language cache (the paper's blue area (b)).
+///   4. exchange   - a candidate-rank-ordered host pass assigning
+///                   every winner its global id and its owner-shard
+///                   row (the all-to-all's metadata pass - a
+///                   per-shard multi-split the old compaction scan
+///                   could not express);
+///   5. compact    - winners copied into their owner shards' segments
+///                   (the paper's blue area (b)), concurrently across
+///                   shards and rows.
 ///
-/// Candidate ids are enumeration ranks, and both the uniqueness
-/// winners (atomic min over inserter ids) and the chosen satisfier
-/// (atomic min over candidate ids) are schedule-independent minima, so
-/// results are identical for any worker count - and identical to the
-/// sequential backend (asserted by tests/engine_test.cpp).
+/// Candidate ids are enumeration ranks, and the uniqueness winners
+/// (atomic min over inserter ids), the chosen satisfier (atomic min
+/// over candidate ids) and the global row ids (assigned in rank order)
+/// are all schedule- and shard-count-independent, so results are
+/// identical for any worker count - and, while the memory budget
+/// holds, any shard count (under pressure per-shard fill order
+/// differs; see DESIGN.md Sec. 8) - and identical to the sequential
+/// backend (asserted by tests/engine_test.cpp and
+/// tests/shard_test.cpp).
 ///
 /// Subclasses choose the execution substrate (thread pool vs simulated
 /// device with modelled timing) and the memory-partitioning policy.
@@ -37,6 +52,7 @@
 #include "gpusim/WarpHashSet.h"
 
 #include <memory>
+#include <vector>
 
 namespace paresy {
 namespace engine {
@@ -55,9 +71,7 @@ public:
   void prepare(SearchContext &Ctx) override;
   LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
                         LevelTasks &Tasks) override;
-  uint64_t auxBytesUsed() const override {
-    return HashSet ? HashSet->bytesUsed() : 0;
-  }
+  uint64_t auxBytesUsed() const override;
 
   /// Modelled-device accounting (meaningful for the GPU simulator).
   const gpusim::PerfModel &perf() const { return Dev.perf(); }
@@ -67,30 +81,35 @@ protected:
   /// The pipeline's memory partition - ~60% language cache rows, ~30%
   /// hash set slots, the rest temporaries - shared by every batched
   /// backend. Stores the hash capacity (see HashCapacity) and returns
-  /// the cache row capacity. Subclasses call this from
+  /// the cache row capacity (charging the store's per-row directory
+  /// word when sharding is on). Subclasses call this from
   /// planCacheCapacity() with their budget (device-capped or not).
-  size_t splitBudget(size_t CsWords, uint64_t BudgetBytes);
+  size_t splitBudget(const SearchContext &Ctx, uint64_t BudgetBytes);
 
   /// Subclasses set this from planCacheCapacity() when dividing the
-  /// memory budget; prepare() allocates the hash set with it.
+  /// memory budget; prepare() divides it across the per-shard hash
+  /// sets it allocates.
   size_t HashCapacity = 32;
 
 private:
   /// Runs one batch of tasks through the kernels. Returns false when
-  /// the run must stop (hash set full, or cache full with OnTheFly
-  /// disabled).
+  /// the run must stop (a shard's hash set full, or a shard's cache
+  /// segment full with OnTheFly disabled).
   bool processBatch(SearchContext &Ctx, LevelOutcome &Out);
 
   gpusim::Device Dev;
   size_t BatchTasks;
-  std::unique_ptr<gpusim::WarpHashSet> HashSet;
+  /// One uniqueness set per shard (owner-computes by CS hash).
+  std::vector<std::unique_ptr<gpusim::WarpHashSet>> HashSets;
 
   // Device buffers reused across batches.
   std::vector<Provenance> Batch;      // Tasks pulled for this batch.
   std::vector<uint64_t> TempCs;       // batch x CsWords.
+  std::vector<uint64_t> TaskHash;     // CS hash per task (routing).
+  std::vector<uint32_t> TaskShard;    // Owner shard per task.
   std::vector<int64_t> TaskSlot;      // Hash slot per task.
   std::vector<uint32_t> WinnerFlag;   // 1 iff task is unique winner.
-  std::vector<uint64_t> WinnerOffset; // Exclusive scan of WinnerFlag.
+  std::vector<uint32_t> RowId;        // Global row per winner (or none).
 
   uint64_t IdBase = 0; // Candidate id of the current batch's task 0.
 };

@@ -9,6 +9,7 @@
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
 #include "lang/Universe.h"
+#include "support/Bits.h"
 
 #include <algorithm>
 
@@ -19,25 +20,41 @@ size_t CpuBackend::planCacheCapacity(const SearchContext &Ctx,
                                      uint64_t BudgetBytes) {
   // Each cached CS costs its padded row, its provenance, its
   // precomputed hash, and an amortised uniqueness slot+tag (the paper
-  // estimates "approx. 3k bits per CS").
+  // estimates "approx. 3k bits per CS"). A sharded store adds its
+  // per-row directory word; one shard keeps no directory.
   uint64_t PerEntry =
       uint64_t(LanguageCache::strideForWords(Ctx.U->csWords())) *
           sizeof(uint64_t) +
-      sizeof(Provenance) + sizeof(uint64_t) + 8;
+      sizeof(Provenance) + sizeof(uint64_t) + 8 +
+      (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
   uint64_t Capacity = std::max<uint64_t>(16, BudgetBytes / PerEntry);
   return size_t(std::min<uint64_t>(Capacity, 0xfffffffeu));
 }
 
 void CpuBackend::prepare(SearchContext &Ctx) {
-  Unique = std::make_unique<CsHashSet>(*Ctx.Cache);
+  Unique.clear();
+  for (unsigned S = 0; S != Ctx.Store->shardCount(); ++S)
+    Unique.push_back(std::make_unique<CsHashSet>(Ctx.Store->shard(S)));
   Scratch.assign(Ctx.U->csWords(), 0);
+}
+
+uint64_t CpuBackend::auxBytesUsed() const {
+  uint64_t Bytes = 0;
+  for (const std::unique_ptr<CsHashSet> &Set : Unique)
+    Bytes += Set->bytesUsed();
+  return Bytes;
 }
 
 LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
                                   LevelTasks &Tasks) {
   const SynthOptions &Opts = *Ctx.Opts;
   CsAlgebra &Algebra = *Ctx.Algebra;
-  LanguageCache &Cache = *Ctx.Cache;
+  ShardedStore &Store = *Ctx.Store;
+  size_t Words = Store.csWords();
+  // A single shard with uniqueness off needs no routing hash; every
+  // other configuration hashes each candidate exactly once and reuses
+  // it for the owner lookup, the membership probe and the append.
+  bool Route = Opts.UniquenessCheck || Store.shardCount() > 1;
   uint64_t *Cs = Scratch.data();
   LevelOutcome Out;
 
@@ -55,16 +72,16 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
       Algebra.makeEmpty(Cs);
       break;
     case CsOp::Question:
-      Algebra.question(Cs, Cache.cs(Prov.Lhs));
+      Algebra.question(Cs, Store.cs(Prov.Lhs));
       break;
     case CsOp::Star:
-      Algebra.star(Cs, Cache.cs(Prov.Lhs));
+      Algebra.star(Cs, Store.cs(Prov.Lhs));
       break;
     case CsOp::Concat:
-      Algebra.concat(Cs, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs));
+      Algebra.concat(Cs, Store.cs(Prov.Lhs), Store.cs(Prov.Rhs));
       break;
     case CsOp::Union:
-      Algebra.unionOf(Cs, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs));
+      Algebra.unionOf(Cs, Store.cs(Prov.Lhs), Store.cs(Prov.Rhs));
       break;
     }
     ++Out.Candidates;
@@ -74,20 +91,26 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
         Ctx.Clock->seconds() > Opts.TimeoutSeconds)
       Out.TimedOut = true;
 
-    if (!Opts.UniquenessCheck || !Unique->contains(Cs)) {
+    // Owner-computes routing: the CS's owner shard holds both its
+    // uniqueness slot and, if it survives, its row.
+    uint64_t Hash = Route ? hashWords(Cs, Words) : 0;
+    unsigned Owner = Route ? Store.shardOfHash(Hash) : 0;
+    if (!Opts.UniquenessCheck || !Unique[Owner]->contains(Cs, Hash)) {
       ++Out.Unique;
       if (!Out.FoundSatisfier && Algebra.satisfies(Cs, Ctx.MistakeBudget)) {
         Out.FoundSatisfier = true;
         Out.Satisfier = Prov;
       }
-      if (!Cache.full()) {
-        uint32_t Idx = Cache.append(Cs, Prov);
+      if (!Store.shardFull(Owner)) {
+        uint32_t Id = Route ? Store.append(Owner, Cs, Prov, Hash)
+                            : Store.append(Cs, Prov);
         if (Opts.UniquenessCheck)
-          Unique->insert(Cs, Idx);
+          Unique[Owner]->insert(Cs, Store.localRow(Id));
       } else {
         // The candidate is dropped from the cache but was fully
         // checked: OnTheFly keeps sweeping while the driver's
         // completeness horizon holds.
+        Store.noteDropped(Owner);
         Out.CacheFilled = true;
         if (!Opts.EnableOnTheFly)
           Out.Abort = true; // Paper behaviour: an immediate OOM error.

@@ -8,10 +8,11 @@
 /// The sequential CPU backend: the paper's reference implementation of
 /// the per-level phases, one candidate at a time on the calling
 /// thread. Generation goes through the CsAlgebra (which accounts split
-/// pairs), uniqueness through the open-addressing CsHashSet keyed on
-/// cache rows, and candidates are appended to the cache as they
-/// survive - no temporary storage, no compaction pass. This is the
-/// semantics every other backend is tested against.
+/// pairs), uniqueness through one open-addressing CsHashSet per shard
+/// (owner-computes by CS hash; one shard under the default options),
+/// and candidates are appended to their owner shard as they survive -
+/// no temporary storage, no compaction pass. This is the semantics
+/// every other backend is tested against.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +23,7 @@
 #include "engine/Backend.h"
 
 #include <memory>
+#include <vector>
 
 namespace paresy {
 namespace engine {
@@ -35,12 +37,11 @@ public:
   void prepare(SearchContext &Ctx) override;
   LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
                         LevelTasks &Tasks) override;
-  uint64_t auxBytesUsed() const override {
-    return Unique ? Unique->bytesUsed() : 0;
-  }
+  uint64_t auxBytesUsed() const override;
 
 private:
-  std::unique_ptr<CsHashSet> Unique;
+  /// One uniqueness set per shard, keyed on that shard's segment.
+  std::vector<std::unique_ptr<CsHashSet>> Unique;
   std::vector<uint64_t> Scratch;
 };
 

@@ -36,5 +36,5 @@ size_t CpuParallelBackend::planCacheCapacity(const SearchContext &Ctx,
                                              uint64_t BudgetBytes) {
   // The shared pipeline split, against host memory only (no device
   // size cap).
-  return splitBudget(Ctx.U->csWords(), BudgetBytes);
+  return splitBudget(Ctx, BudgetBytes);
 }

@@ -20,6 +20,6 @@ GpuSimBackend::GpuSimBackend(const gpusim::GpuOptions &Gpu)
 size_t GpuSimBackend::planCacheCapacity(const SearchContext &Ctx,
                                         uint64_t BudgetBytes) {
   // The shared pipeline split, against whatever fits on the device.
-  return splitBudget(Ctx.U->csWords(),
+  return splitBudget(Ctx,
                      std::min<uint64_t>(BudgetBytes, DeviceMemoryBytes));
 }

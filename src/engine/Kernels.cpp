@@ -98,7 +98,7 @@ uint64_t paresy::engine::csStar(uint64_t *Dst, const uint64_t *A,
 
 uint64_t paresy::engine::generateCs(uint64_t *Dst, const Provenance &Prov,
                                     const Universe &U, const GuideTable *GT,
-                                    const LanguageCache &Cache) {
+                                    const ShardedStore &Store) {
   size_t Words = U.csWords();
   switch (Prov.Kind) {
   case CsOp::Literal: {
@@ -117,15 +117,15 @@ uint64_t paresy::engine::generateCs(uint64_t *Dst, const Provenance &Prov,
     clearWords(Dst, Words);
     return Words;
   case CsOp::Question:
-    copyWords(Dst, Cache.cs(Prov.Lhs), Words);
+    copyWords(Dst, Store.cs(Prov.Lhs), Words);
     setBit(Dst, U.epsilonIndex());
     return Words;
   case CsOp::Star:
-    return csStar(Dst, Cache.cs(Prov.Lhs), U, GT);
+    return csStar(Dst, Store.cs(Prov.Lhs), U, GT);
   case CsOp::Concat:
-    return csConcat(Dst, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs), U, GT);
+    return csConcat(Dst, Store.cs(Prov.Lhs), Store.cs(Prov.Rhs), U, GT);
   case CsOp::Union:
-    orWords(Dst, Cache.cs(Prov.Lhs), Cache.cs(Prov.Rhs), Words);
+    orWords(Dst, Store.cs(Prov.Lhs), Store.cs(Prov.Rhs), Words);
     return Words;
   }
   return 0;

@@ -22,7 +22,7 @@
 #ifndef PARESY_ENGINE_KERNELS_H
 #define PARESY_ENGINE_KERNELS_H
 
-#include "core/LanguageCache.h"
+#include "core/ShardedStore.h"
 
 #include <cstdint>
 
@@ -44,12 +44,12 @@ uint64_t csConcat(uint64_t *Dst, const uint64_t *A, const uint64_t *B,
 uint64_t csStar(uint64_t *Dst, const uint64_t *A, const Universe &U,
                 const GuideTable *GT);
 
-/// Builds the CS for one provenance task into \p Dst. Operand rows are
-/// read from \p Cache (always at strictly lower cost, hence already
-/// compacted when the task runs).
+/// Builds the CS for one provenance task into \p Dst. Operand rows
+/// are read from \p Store by global id (always at strictly lower
+/// cost, hence already compacted when the task runs).
 uint64_t generateCs(uint64_t *Dst, const Provenance &Prov,
                     const Universe &U, const GuideTable *GT,
-                    const LanguageCache &Cache);
+                    const ShardedStore &Store);
 
 } // namespace engine
 } // namespace paresy

@@ -28,7 +28,7 @@ LevelTasks LevelTasks::sweepLevel(const SearchContext &Ctx, uint64_t C,
   T.C = C;
   T.P = Phase::Question;
   if (C > Ctx.Opts->Cost.Question)
-    std::tie(T.I, T.IEnd) = Ctx.Cache->level(C - Ctx.Opts->Cost.Question);
+    std::tie(T.I, T.IEnd) = Ctx.Store->level(C - Ctx.Opts->Cost.Question);
   return T;
 }
 
@@ -69,7 +69,7 @@ bool LevelTasks::next(Provenance &Out) {
       }
       I = IEnd = 0;
       if (C > Cost.Star)
-        std::tie(I, IEnd) = Ctx->Cache->level(C - Cost.Star);
+        std::tie(I, IEnd) = Ctx->Store->level(C - Cost.Star);
       P = Phase::Star;
       break;
 
@@ -94,8 +94,8 @@ bool LevelTasks::next(Provenance &Out) {
           if (LC + Cost.Literal > Budget)
             break;
           ++LevelIdx;
-          auto [Lb, Le] = Ctx->Cache->level(LC);
-          auto [Rb, Re] = Ctx->Cache->level(Budget - LC);
+          auto [Lb, Le] = Ctx->Store->level(LC);
+          auto [Rb, Re] = Ctx->Store->level(Budget - LC);
           if (Lb == Le || Rb == Re)
             continue;
           LB = Lb;
@@ -142,8 +142,8 @@ bool LevelTasks::next(Provenance &Out) {
             break;
           ++LevelIdx;
           uint64_t RC = Budget - LC;
-          auto [Lb, Le] = Ctx->Cache->level(LC);
-          auto [Rb, Re] = Ctx->Cache->level(RC);
+          auto [Lb, Le] = Ctx->Store->level(LC);
+          auto [Rb, Re] = Ctx->Store->level(RC);
           if (Lb == Le || Rb == Re)
             continue;
           LB = Lb;

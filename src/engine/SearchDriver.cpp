@@ -59,7 +59,7 @@ private:
   Backend &B;
 
   std::unique_ptr<CsAlgebra> Algebra;
-  std::unique_ptr<LanguageCache> Cache;
+  std::unique_ptr<ShardedStore> Store;
   SearchContext Ctx;
   std::vector<uint64_t> NonEmptyLevels; // Sorted costs with cached CSs.
 
@@ -103,11 +103,16 @@ SynthResult Sweep::run() {
   Ctx.MistakeBudget = Q.mistakeBudget();
   Ctx.Clock = &Clock;
 
-  // The backend divides the memory budget between the language cache
-  // and its own uniqueness structures.
+  // The backend divides the memory budget between the language store
+  // and its own uniqueness structures; the store divides its share -
+  // row capacity, and with it MemoryLimitBytes - evenly across the
+  // shards (DESIGN.md Sec. 8). One shard reproduces the monolithic
+  // cache exactly.
+  unsigned Shards = std::max(1u, Opts.Shards);
   size_t Capacity = B.planCacheCapacity(Ctx, Opts.MemoryLimitBytes);
-  Cache = std::make_unique<LanguageCache>(U.csWords(), Capacity);
-  Ctx.Cache = Cache.get();
+  Store = std::make_unique<ShardedStore>(
+      U.csWords(), Shards, std::max<size_t>(1, Capacity / Shards));
+  Ctx.Store = Store.get();
   B.prepare(Ctx);
 
   uint64_t MaxCost = Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Cost);
@@ -165,14 +170,14 @@ bool Sweep::runLevel(uint64_t C) {
                          : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
 
   Ctx.CandidatesBefore = Stats.CandidatesGenerated;
-  uint32_t LevelBegin = uint32_t(Cache->size());
+  uint32_t LevelBegin = uint32_t(Store->size());
   Last = B.runLevel(Ctx, C, Tasks);
-  uint32_t LevelEnd = uint32_t(Cache->size());
+  uint32_t LevelEnd = uint32_t(Store->size());
 
   Stats.CandidatesGenerated += Last.Candidates;
   Stats.UniqueLanguages += Last.Unique;
   KernelOps += Last.Ops;
-  Cache->setLevel(C, LevelBegin, LevelEnd);
+  Store->setLevel(C, LevelBegin, LevelEnd);
   if (LevelEnd != LevelBegin)
     NonEmptyLevels.push_back(C);
   if (Last.CacheFilled && !CacheFilled) {
@@ -189,10 +194,19 @@ bool Sweep::runLevel(uint64_t C) {
 }
 
 void Sweep::fillStats(SynthResult &R) {
-  Stats.CacheEntries = Cache ? Cache->size() : 0;
-  Stats.MemoryBytes = (Cache ? Cache->bytesUsed() : 0) + B.auxBytesUsed();
+  Stats.CacheEntries = Store ? Store->size() : 0;
+  Stats.MemoryBytes = (Store ? Store->bytesUsed() : 0) + B.auxBytesUsed();
   Stats.PairsVisited = (Algebra ? Algebra->pairsVisited() : 0) + KernelOps;
   Stats.SearchSeconds = Clock.seconds() - Stats.PrecomputeSeconds;
+  if (Store) {
+    Stats.ShardCount = Store->shardCount();
+    Stats.ShardRows.resize(Store->shardCount());
+    Stats.ShardDropped.resize(Store->shardCount());
+    for (unsigned S = 0; S != Store->shardCount(); ++S) {
+      Stats.ShardRows[S] = Store->shardRows(S);
+      Stats.ShardDropped[S] = Store->shardDropped(S);
+    }
+  }
   R.Stats = Stats;
 }
 
@@ -206,7 +220,7 @@ SynthResult Sweep::finish(SynthStatus Status, std::string Message) {
 
 SynthResult Sweep::finishFound(const Provenance &Satisfier, uint64_t Cost) {
   RegexManager M;
-  const Regex *Re = Cache->reconstructCandidate(Satisfier, M);
+  const Regex *Re = Store->reconstructCandidate(Satisfier, M);
   SynthResult R;
   R.Status = SynthStatus::Found;
   R.Regex = toString(Re);

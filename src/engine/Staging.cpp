@@ -6,11 +6,13 @@
 
 #include "engine/Staging.h"
 
+#include "core/ShardedStore.h"
 #include "lang/GuideTable.h"
 #include "lang/Universe.h"
 #include "support/Timer.h"
 
 #include <cmath>
+#include <string>
 
 using namespace paresy;
 using namespace paresy::engine;
@@ -63,6 +65,12 @@ bool paresy::engine::resolveWithoutSearch(const Spec &S,
   }
   if (!(Opts.AllowedError >= 0.0 && Opts.AllowedError < 1.0)) {
     Out = invalidResult("allowed error must lie in [0, 1)");
+    return true;
+  }
+  if (Opts.Shards > ShardedStore::MaxShards) {
+    Out = invalidResult("shard count must be at most " +
+                        std::to_string(ShardedStore::MaxShards) +
+                        " (0 selects the default)");
     return true;
   }
   std::string SpecError;

@@ -29,8 +29,13 @@ uint64_t WarpHashSet::bytesUsed() const {
 }
 
 int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id) {
+  return insert(Key, Id, hashWords(Key, KeyWords));
+}
+
+int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id,
+                            uint64_t Hash) {
   assert(Id != EmptyOwner && "id collides with the empty marker");
-  uint64_t Hash = hashWords(Key, KeyWords);
+  assert(Hash == hashWords(Key, KeyWords) && "precomputed hash mismatch");
   uint8_t Tag = hashTagByte(Hash);
   size_t SlotIdx = size_t(Hash) & Mask;
   for (size_t Probes = 0; Probes <= Mask; ++Probes) {

@@ -62,6 +62,10 @@ public:
   /// Thread-safe; any number of concurrent inserts.
   int64_t insert(const uint64_t *Key, uint32_t Id);
 
+  /// insert() with a caller-precomputed hash of \p Key (the sharded
+  /// pipeline hashes once for routing and reuses it here).
+  int64_t insert(const uint64_t *Key, uint32_t Id, uint64_t Hash);
+
   /// True iff \p Id won slot \p Slot (the minimum id ever inserted
   /// with that key). Call after all inserts of the batch completed.
   bool isWinner(size_t Slot, uint32_t Id) const {

@@ -92,13 +92,17 @@ Spec paresy::canonicalSpec(const Spec &S) {
 std::string paresy::canonicalQueryText(const Spec &Canonical,
                                        const Alphabet &Sigma,
                                        const SynthOptions &Opts) {
-  std::string Out = "paresy-query-v1\n";
+  std::string Out = "paresy-query-v2\n";
   appendSpecAndAlphabet(Out, Canonical, Sigma);
   Out += "cost=" + Opts.Cost.name() + '\n';
   Out += "maxcost=";
   appendU64Hex(Out, Opts.MaxCost);
   Out += "\nmemory=";
   appendU64Hex(Out, Opts.MemoryLimitBytes);
+  // The *resolved* shard count: 0 and 1 are the same query (both mean
+  // the single-arena layout), so they must share one cache entry.
+  Out += "\nshards=";
+  appendU64Hex(Out, Opts.Shards ? Opts.Shards : 1);
   // Timeout and error enter as exact bit patterns: any difference in
   // either can change the result (status, or the mistake budget).
   Out += "\ntimeout=";

@@ -198,6 +198,19 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
   {
     std::lock_guard<std::mutex> Lock(M);
     ++Counters.Searches;
+    // Per-shard occupancy/overflow, aggregated across searches (the
+    // skew signal an operator watches when raising --shards).
+    if (R.Stats.ShardCount > 0) {
+      Counters.ShardCount = R.Stats.ShardCount;
+      if (Counters.ShardRows.size() < R.Stats.ShardRows.size())
+        Counters.ShardRows.resize(R.Stats.ShardRows.size(), 0);
+      if (Counters.ShardDropped.size() < R.Stats.ShardDropped.size())
+        Counters.ShardDropped.resize(R.Stats.ShardDropped.size(), 0);
+      for (size_t S = 0; S != R.Stats.ShardRows.size(); ++S)
+        Counters.ShardRows[S] += R.Stats.ShardRows[S];
+      for (size_t S = 0; S != R.Stats.ShardDropped.size(); ++S)
+        Counters.ShardDropped[S] += R.Stats.ShardDropped[S];
+    }
     // Timeout is the one wall-clock-dependent status: a re-run might
     // succeed, so replaying it from the cache would pin a transient
     // failure forever. Every other status is deterministic.

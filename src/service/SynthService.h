@@ -114,6 +114,14 @@ struct ServiceStats {
   uint64_t Searches = 0;   ///< Backend runs actually executed.
   size_t QueueDepth = 0;     ///< Requests queued right now.
   size_t PeakQueueDepth = 0; ///< High-water mark of QueueDepth.
+
+  /// Sharded-store occupancy, aggregated over every executed search
+  /// (DESIGN.md Sec. 8). Vectors are sized to the largest shard count
+  /// any request used; requests with fewer shards contribute to the
+  /// leading entries.
+  uint64_t ShardCount = 0;   ///< Shard count of the latest search.
+  std::vector<uint64_t> ShardRows;    ///< Rows cached, per shard.
+  std::vector<uint64_t> ShardDropped; ///< Overflow drops, per shard.
 };
 
 /// A caching, coalescing, asynchronous synthesis service over one

@@ -6,6 +6,7 @@
 
 #include "core/CsHashSet.h"
 #include "core/LanguageCache.h"
+#include "core/ShardedStore.h"
 #include "core/Synthesizer.h"
 #include "support/Rng.h"
 
@@ -145,8 +146,8 @@ TEST(LanguageCache, ConcurrentWritesToDistinctReservedRows) {
   }
 }
 
-TEST(LanguageCache, ReconstructionRebuildsExpressions) {
-  LanguageCache Cache(1, 16);
+TEST(ShardedStoreReconstruct, ReconstructionRebuildsExpressions) {
+  ShardedStore Cache(1, 1, 16);
   uint64_t Row[1] = {0};
   Cache.append(Row, literalProv('0'));            // 0: "0"
   Cache.append(Row, literalProv('1'));            // 1: "1"
@@ -164,9 +165,9 @@ TEST(LanguageCache, ReconstructionRebuildsExpressions) {
   EXPECT_EQ(toString(Cache.reconstruct(6, M)), "(10(0+1)*)?");
 }
 
-TEST(LanguageCache, ReconstructCandidateWithoutCaching) {
+TEST(ShardedStoreReconstruct, ReconstructCandidateWithoutCaching) {
   // OnTheFly solutions are not cached; their operands are.
-  LanguageCache Cache(1, 4);
+  ShardedStore Cache(1, 1, 4);
   uint64_t Row[1] = {0};
   Cache.append(Row, literalProv('a'));
   Cache.append(Row, literalProv('b'));
@@ -176,8 +177,8 @@ TEST(LanguageCache, ReconstructCandidateWithoutCaching) {
   EXPECT_EQ(toString(Re), "ab");
 }
 
-TEST(LanguageCache, EpsilonAndEmptyProvenance) {
-  LanguageCache Cache(1, 4);
+TEST(ShardedStoreReconstruct, EpsilonAndEmptyProvenance) {
+  ShardedStore Cache(1, 1, 4);
   uint64_t Row[1] = {0};
   Provenance Eps;
   Eps.Kind = CsOp::Epsilon;

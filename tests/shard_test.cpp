@@ -1,0 +1,376 @@
+//===- tests/shard_test.cpp - Sharded search state ----------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 8 invariants: the hash-partitioned store is a pure
+/// re-layout of the search state. Synthesis results, costs and
+/// candidate counts are bit-identical for every shard count, on every
+/// backend, at every worker count - the sharded extension of the
+/// Sec. 7 "schedule independence" invariant - and the ShardedStore
+/// container itself routes, resolves and reconstructs correctly
+/// across segments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedStore.h"
+#include "engine/BackendRegistry.h"
+#include "engine/CpuParallelBackend.h"
+#include "engine/SearchDriver.h"
+
+#include "benchgen/Generators.h"
+#include "lang/Fingerprint.h"
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+const unsigned ShardCounts[] = {1, 2, 3, 7};
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+std::vector<Spec> corpus() {
+  return {introSpec(),
+          Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"}),
+          Spec({"0", "00", "000"}, {}),
+          Spec({"", "0", "00"}, {"1", "01", "10"}),
+          Spec({"10"}, {"", "0", "1"})};
+}
+
+/// A 2-word-wide CS with a recognisable pattern per seed.
+std::vector<uint64_t> patternCs(uint64_t Seed) {
+  return {hashMix64(Seed), hashMix64(Seed + 0x1234)};
+}
+
+/// Asserts \p R equals the unsharded reference \p Ref in everything
+/// shard-invariant: result, cost, status and all candidate counts.
+void expectShardInvariant(const SynthResult &Ref, const SynthResult &R) {
+  ASSERT_EQ(Ref.Status, R.Status) << statusName(R.Status);
+  EXPECT_EQ(Ref.Regex, R.Regex);
+  EXPECT_EQ(Ref.Cost, R.Cost);
+  EXPECT_EQ(Ref.Stats.CandidatesGenerated, R.Stats.CandidatesGenerated);
+  EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+  EXPECT_EQ(Ref.Stats.CacheEntries, R.Stats.CacheEntries);
+  EXPECT_EQ(Ref.Stats.LastCompletedCost, R.Stats.LastCompletedCost);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ShardedStore container
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedStore, RoutingIsAPureFunctionOfTheBits) {
+  ShardedStore Store(2, 7, 64);
+  for (uint64_t Seed = 0; Seed != 200; ++Seed) {
+    std::vector<uint64_t> Cs = patternCs(Seed);
+    unsigned Owner = Store.shardOf(Cs.data());
+    EXPECT_LT(Owner, 7u);
+    EXPECT_EQ(Owner, Store.shardOf(Cs.data())); // Stable.
+    EXPECT_EQ(Owner, Store.shardOfHash(hashWords(Cs.data(), 2)));
+  }
+}
+
+TEST(ShardedStore, RoutingSpreadsAcrossShards) {
+  // Not a uniformity proof - just a guard against a routing function
+  // that collapses (e.g. one that reuses the slot-index bits).
+  ShardedStore Store(2, 4, 4096);
+  std::vector<size_t> PerShard(4, 0);
+  for (uint64_t Seed = 0; Seed != 4096; ++Seed)
+    ++PerShard[Store.shardOf(patternCs(Seed).data())];
+  for (size_t Count : PerShard) {
+    EXPECT_GT(Count, 4096u / 8); // Within 2x of the fair share.
+    EXPECT_LT(Count, 4096u / 2);
+  }
+}
+
+TEST(ShardedStore, GlobalIdsAreDenseAppendRanks) {
+  ShardedStore Store(2, 3, 64);
+  std::vector<std::vector<uint64_t>> Rows;
+  for (uint64_t Seed = 0; Seed != 50; ++Seed) {
+    Rows.push_back(patternCs(Seed));
+    Provenance P{CsOp::Literal, char('a' + Seed % 3), 0, 0};
+    uint32_t Id = Store.append(Rows.back().data(), P);
+    ASSERT_EQ(Id, Seed); // Dense, in append order, regardless of owner.
+  }
+  EXPECT_EQ(Store.size(), 50u);
+  size_t Sum = 0;
+  for (unsigned S = 0; S != 3; ++S)
+    Sum += Store.shardRows(S);
+  EXPECT_EQ(Sum, 50u);
+  for (uint32_t Id = 0; Id != 50; ++Id) {
+    EXPECT_TRUE(equalWords(Store.cs(Id), Rows[Id].data(), 2)) << Id;
+    EXPECT_EQ(Store.rowHash(Id), hashWords(Rows[Id].data(), 2)) << Id;
+    EXPECT_EQ(Store.provenance(Id).Symbol, char('a' + Id % 3)) << Id;
+    // The local row resolves through the owner segment to equal bits.
+    unsigned Owner = Store.shardOf(Rows[Id].data());
+    EXPECT_TRUE(equalWords(Store.shard(Owner).cs(Store.localRow(Id)),
+                           Rows[Id].data(), 2))
+        << Id;
+  }
+}
+
+TEST(ShardedStore, ReserveWriteBulkPathMatchesAppend) {
+  ShardedStore A(2, 3, 64), B(2, 3, 64);
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    std::vector<uint64_t> Cs = patternCs(Seed);
+    Provenance P{CsOp::Literal, char('x'), 0, 0};
+    uint32_t IdA = A.append(Cs.data(), P);
+    uint32_t IdB = B.reserveRow(B.shardOf(Cs.data()));
+    B.writeRow(IdB, Cs.data(), P);
+    ASSERT_EQ(IdA, IdB);
+  }
+  for (uint32_t Id = 0; Id != 40; ++Id) {
+    EXPECT_TRUE(equalWords(A.cs(Id), B.cs(Id), 2)) << Id;
+    EXPECT_EQ(A.rowHash(Id), B.rowHash(Id)) << Id;
+  }
+}
+
+TEST(ShardedStore, SingleShardHasIdentityDirectory) {
+  ShardedStore Store(1, 1, 32);
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    uint64_t Word = hashMix64(Seed);
+    uint32_t Id = Store.append(&Word, Provenance{});
+    EXPECT_EQ(Store.localRow(Id), Id);
+    EXPECT_EQ(Store.shardOf(&Word), 0u);
+  }
+  EXPECT_EQ(Store.capacity(), 32u);
+  EXPECT_EQ(Store.shardRows(0), 20u);
+}
+
+TEST(ShardedStore, LevelRangesAreGlobalAndContiguous) {
+  ShardedStore Store(1, 3, 32);
+  for (uint64_t Seed = 0; Seed != 10; ++Seed) {
+    uint64_t Word = hashMix64(Seed);
+    Store.append(&Word, Provenance{});
+  }
+  Store.setLevel(1, 0, 4);
+  Store.setLevel(3, 4, 10);
+  EXPECT_EQ(Store.level(1), std::make_pair(0u, 4u));
+  EXPECT_EQ(Store.level(3), std::make_pair(4u, 10u));
+  EXPECT_EQ(Store.level(2).first, Store.level(2).second); // Empty.
+  EXPECT_EQ(Store.level(99).first, Store.level(99).second);
+}
+
+TEST(ShardedStore, PerShardCapacityAndOverflowAccounting) {
+  ShardedStore Store(1, 2, 4);
+  EXPECT_EQ(Store.capacity(), 8u);
+  unsigned Filled = 0;
+  for (uint64_t Seed = 0; Filled != 4; ++Seed) {
+    uint64_t Word = hashMix64(Seed);
+    unsigned Owner = Store.shardOf(&Word);
+    if (Store.shardFull(Owner))
+      continue;
+    Store.append(Owner, &Word, Provenance{}, hashWords(&Word, 1));
+    Filled = unsigned(std::max(Store.shardRows(0), Store.shardRows(1)));
+  }
+  unsigned FullShard = Store.shardRows(0) == 4 ? 0 : 1;
+  EXPECT_TRUE(Store.shardFull(FullShard));
+  EXPECT_EQ(Store.shardDropped(FullShard), 0u);
+  Store.noteDropped(FullShard);
+  EXPECT_EQ(Store.shardDropped(FullShard), 1u);
+}
+
+TEST(ShardedStore, ReconstructsAcrossShardBoundaries) {
+  // Rows land in different shards; a union provenance over them must
+  // still reconstruct by global id.
+  ShardedStore Store(1, 3, 16);
+  uint64_t W0 = hashMix64(1), W1 = hashMix64(2);
+  uint32_t A = Store.append(&W0, Provenance{CsOp::Literal, '0', 0, 0});
+  uint32_t B = Store.append(&W1, Provenance{CsOp::Literal, '1', 0, 0});
+  RegexManager M;
+  const Regex *Re =
+      Store.reconstructCandidate(Provenance{CsOp::Union, 0, A, B}, M);
+  EXPECT_EQ(toString(Re), "0+1");
+}
+
+//===----------------------------------------------------------------------===//
+// Options plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ShardOptions, OutOfRangeShardCountIsInvalidInput) {
+  SynthOptions Opts;
+  Opts.Shards = ShardedStore::MaxShards + 1;
+  SynthResult R = synthesize(introSpec(), Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Status, SynthStatus::InvalidInput);
+  EXPECT_NE(R.Message.find("shard"), std::string::npos) << R.Message;
+}
+
+TEST(ShardOptions, ZeroMeansOneShard) {
+  SynthOptions One;
+  One.Shards = 1;
+  SynthOptions Zero;
+  Zero.Shards = 0;
+  SynthResult A = synthesize(introSpec(), Alphabet::of("01"), One);
+  SynthResult B = synthesize(introSpec(), Alphabet::of("01"), Zero);
+  expectShardInvariant(A, B);
+  EXPECT_EQ(B.Stats.ShardCount, 1u);
+  // And the two spell the same cached query.
+  Spec Canonical = canonicalSpec(introSpec());
+  EXPECT_EQ(canonicalQueryText(Canonical, Alphabet::of("01"), One),
+            canonicalQueryText(Canonical, Alphabet::of("01"), Zero));
+}
+
+TEST(ShardOptions, ShardCountIsPartOfTheQueryKey) {
+  SynthOptions One, Three;
+  One.Shards = 1;
+  Three.Shards = 3;
+  Spec Canonical = canonicalSpec(introSpec());
+  EXPECT_NE(canonicalQueryText(Canonical, Alphabet::of("01"), One),
+            canonicalQueryText(Canonical, Alphabet::of("01"), Three));
+}
+
+//===----------------------------------------------------------------------===//
+// Shard invariance (the Sec. 8 determinism property)
+//===----------------------------------------------------------------------===//
+
+TEST(ShardInvariance, KnownSpecsAcrossBackends) {
+  for (const Spec &S : corpus()) {
+    SCOPED_TRACE(S.toText());
+    SynthOptions RefOpts;
+    RefOpts.Shards = 1;
+    SynthResult Ref = synthesize(S, Alphabet::of("01"), RefOpts);
+    for (const std::string &Name : backendNames()) {
+      for (unsigned Shards : ShardCounts) {
+        SCOPED_TRACE("backend " + Name + ", shards " +
+                     std::to_string(Shards));
+        SynthOptions Opts;
+        Opts.Shards = Shards;
+        SynthResult R = synthesizeWith(Name, S, Alphabet::of("01"), Opts);
+        expectShardInvariant(Ref, R);
+        EXPECT_EQ(R.Stats.ShardCount, Shards);
+        uint64_t Sum = 0;
+        for (uint64_t Rows : R.Stats.ShardRows)
+          Sum += Rows;
+        EXPECT_EQ(Sum, R.Stats.CacheEntries);
+      }
+    }
+  }
+}
+
+TEST(ShardInvariance, AcrossWorkerCounts) {
+  Spec S = introSpec();
+  SynthOptions RefOpts;
+  RefOpts.Shards = 1;
+  SynthResult Ref = synthesize(S, Alphabet::of("01"), RefOpts);
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    for (unsigned Shards : ShardCounts) {
+      SCOPED_TRACE("workers " + std::to_string(Workers) + ", shards " +
+                   std::to_string(Shards));
+      SynthOptions Opts;
+      Opts.Shards = Shards;
+      CpuParallelBackend B(Workers);
+      SynthResult R = runSearch(S, Alphabet::of("01"), Opts, B);
+      expectShardInvariant(Ref, R);
+    }
+  }
+}
+
+TEST(ShardInvariance, ErrorModeAndAblations) {
+  Spec S({"00", "1101", "0001", "0111", "001", "1", "10", "1100", "111",
+          "1010"},
+         {"", "0", "0000", "0011", "01", "010", "011", "100", "1000",
+          "1001", "11", "1110"});
+  for (int Variant = 0; Variant != 3; ++Variant) {
+    SynthOptions Base;
+    switch (Variant) {
+    case 0:
+      Base.AllowedError = 0.25;
+      break;
+    case 1:
+      Base.UniquenessCheck = false;
+      Base.MaxCost = 7; // Duplicates explode without uniqueness.
+      break;
+    case 2:
+      Base.SeedEpsilon = false;
+      Base.MaxCost = 9;
+      break;
+    }
+    SCOPED_TRACE(Variant);
+    Base.Shards = 1;
+    SynthResult Ref = synthesize(S, Alphabet::of("01"), Base);
+    for (const char *Name : {"cpu", "gpusim"}) {
+      for (unsigned Shards : ShardCounts) {
+        SCOPED_TRACE(std::string(Name) + ", shards " +
+                     std::to_string(Shards));
+        SynthOptions Opts = Base;
+        Opts.Shards = Shards;
+        SynthResult R = synthesizeWith(Name, S, Alphabet::of("01"), Opts);
+        expectShardInvariant(Ref, R);
+      }
+    }
+  }
+}
+
+class ShardInvarianceRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardInvarianceRandom, RandomSpecs) {
+  benchgen::GenParams Params;
+  Params.MaxLen = 4;
+  Params.NumPos = 4;
+  Params.NumNeg = 4;
+  Params.Seed = GetParam();
+  for (benchgen::BenchType Type :
+       {benchgen::BenchType::Type1, benchgen::BenchType::Type2}) {
+    benchgen::GeneratedBenchmark B;
+    std::string Error;
+    ASSERT_TRUE(benchgen::generate(Type, Params, B, &Error)) << Error;
+    SCOPED_TRACE(B.Name);
+    SynthOptions RefOpts;
+    RefOpts.Shards = 1;
+    SynthResult Ref = synthesize(B.Examples, Params.Sigma, RefOpts);
+    for (const char *Name : {"cpu", "cpu-parallel", "gpusim"}) {
+      for (unsigned Shards : {2u, 3u, 7u}) {
+        SCOPED_TRACE(std::string(Name) + ", shards " +
+                     std::to_string(Shards));
+        SynthOptions Opts;
+        Opts.Shards = Shards;
+        SynthResult R =
+            synthesizeWith(Name, B.Examples, Params.Sigma, Opts);
+        expectShardInvariant(Ref, R);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardInvarianceRandom,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ShardInvariance, FoundAnswersSurviveMemoryPressure) {
+  // Tight budgets fill individual shards earlier than the monolithic
+  // cache (hash skew), so the fill level may differ per shard count -
+  // but a Found answer must still be the same minimal cost, and drops
+  // must be accounted to the shard that overflowed.
+  Spec S({"1", "011", "1011"}, {"", "10", "101"});
+  SynthOptions Unlimited;
+  Unlimited.Shards = 1;
+  SynthResult Reference = synthesize(S, Alphabet::of("01"), Unlimited);
+  ASSERT_TRUE(Reference.found());
+  for (unsigned Shards : ShardCounts) {
+    for (uint64_t Budget : {40000u, 10000u, 3000u, 1u}) {
+      SCOPED_TRACE("shards " + std::to_string(Shards) + ", budget " +
+                   std::to_string(Budget));
+      SynthOptions Tight;
+      Tight.Shards = Shards;
+      Tight.MemoryLimitBytes = Budget;
+      SynthResult R = synthesize(S, Alphabet::of("01"), Tight);
+      if (R.found())
+        EXPECT_EQ(R.Cost, Reference.Cost);
+      else
+        EXPECT_EQ(R.Status, SynthStatus::OutOfMemory);
+      uint64_t Dropped = 0;
+      for (uint64_t D : R.Stats.ShardDropped)
+        Dropped += D;
+      if (!R.Stats.OnTheFly && R.Status != SynthStatus::OutOfMemory)
+        EXPECT_EQ(Dropped, 0u);
+    }
+  }
+}

@@ -18,11 +18,13 @@
 #include "gpusim/GpuSynthesizer.h"
 #include "regex/Dfa.h"
 #include "regex/Matcher.h"
+#include "service/SynthService.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 using namespace paresy;
 
@@ -117,3 +119,63 @@ TEST_P(SynthesisStress, SolutionsAreSoundAndBoundedByTheTarget) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisStress,
                          ::testing::Range<uint64_t>(1, 11));
+
+//===----------------------------------------------------------------------===//
+// Service over a sharded store, under concurrent identical requests
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceShardStress, ConcurrentIdenticalRequestsOnShardedStore) {
+  // Many threads hammer one service with the *same* query running on
+  // a 3-shard store: the requests must coalesce/hit rather than fan
+  // out into independent searches, every caller must receive the
+  // byte-identical result, and the per-shard occupancy aggregation
+  // must stay consistent under the contention.
+  Spec S({"10", "101", "100", "1010", "1011", "1000", "1001"},
+         {"", "0", "1", "00", "11", "010"});
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Opts;
+  Opts.Shards = 3;
+  SynthResult Ref = synthesize(S, Sigma, Opts);
+  ASSERT_TRUE(Ref.found());
+
+  service::ServiceOptions SvcOpts;
+  SvcOpts.Backend = "cpu-parallel";
+  SvcOpts.Workers = 4;
+  service::SynthService Service(std::move(SvcOpts));
+
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 16;
+  std::vector<std::vector<SynthResult>> Got(Threads);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        Got[T].push_back(Service.synthesize(S, Sigma, Opts));
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (unsigned T = 0; T != Threads; ++T)
+    for (const SynthResult &R : Got[T]) {
+      EXPECT_EQ(Ref.Regex, R.Regex);
+      EXPECT_EQ(Ref.Cost, R.Cost);
+      EXPECT_EQ(Ref.Stats.CandidatesGenerated,
+                R.Stats.CandidatesGenerated);
+      EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+    }
+
+  service::ServiceStats St = Service.stats();
+  EXPECT_EQ(St.Submitted, uint64_t(Threads) * PerThread);
+  // Identical requests coalesce or hit; only a handful of real
+  // searches may run (one per coalescing window).
+  EXPECT_GE(St.Hits + St.Coalesced + 1, uint64_t(Threads) * PerThread)
+      << "hits " << St.Hits << ", coalesced " << St.Coalesced
+      << ", searches " << St.Searches;
+  EXPECT_EQ(St.ShardCount, 3u);
+  ASSERT_EQ(St.ShardRows.size(), 3u);
+  uint64_t Rows = 0;
+  for (uint64_t R : St.ShardRows)
+    Rows += R;
+  // Every executed search cached the same store contents.
+  EXPECT_EQ(Rows, St.Searches * Ref.Stats.CacheEntries);
+}
