@@ -1,0 +1,144 @@
+//===- bench/bench_resume.cpp - Anytime-synthesis resume quick bench ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resume perf gate (DESIGN.md Sec. 9): a Table-2-sized classroom
+/// instance (no3, under the AlphaRegex-comparable cost function) is
+/// first starved at a budget one below its solving cost so the session
+/// parks on NotFound, then resumed with the budget doubled. Two gated
+/// metrics:
+///
+///   resume.cold - the full-budget sweep from scratch (the price every
+///                 budget retry used to pay);
+///   resume.warm - SearchSession::restore() of the parked snapshot +
+///                 extendBudget + run to Found (what a retry pays now).
+///
+/// Both count the *full* workload's candidates as items, so the warm
+/// throughput exceeding the cold one by construction is the measured
+/// speedup; info.resume.speedup reports the ratio directly. The warm
+/// result is asserted bit-equal to the cold one before anything is
+/// timed - a wrong resume must never be gated as a fast one.
+///
+/// Emits BENCH_resume.json; the CI perf-smoke job gates it against
+/// bench/baselines/BENCH_resume.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/AlphaSuite.h"
+#include "core/Snapshot.h"
+#include "engine/CpuBackend.h"
+#include "engine/Session.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("resume", Argc, Argv);
+
+  // Table 2 row no3: heavy enough that the sweep dominates staging,
+  // small enough for CI (same instance as bench_shards).
+  const benchgen::SuiteInstance &Inst = benchgen::alphaRegexSuite()[2];
+  const Alphabet Sigma = Alphabet::of("01");
+  const CostFn TableCost(20, 20, 20, 5, 30);
+
+  SynthOptions Full;
+  Full.Cost = TableCost;
+  std::shared_ptr<const StagedQuery> FullQ =
+      engine::stage(Inst.Examples, Sigma, Full);
+
+  auto coldRun = [&] {
+    CpuBackend B;
+    return runStaged(*FullQ, B);
+  };
+
+  SynthResult Cold = coldRun();
+  if (!Cold.found()) {
+    std::fprintf(stderr, "error: workload did not solve (%s)\n",
+                 statusName(Cold.Status));
+    return 1;
+  }
+
+  // Park just below the solving cost - the retry-heavy shape: a budget
+  // guessed slightly too small sweeps every level but the last, parks
+  // on NotFound, and the retry doubles the budget. Cost levels grow
+  // combinatorially, so the parked prefix is most of the total work.
+  SynthOptions Half = Full;
+  Half.MaxCost = Cold.Cost - 1;
+  std::shared_ptr<const StagedQuery> HalfQ =
+      engine::stage(Inst.Examples, Sigma, Half);
+  std::string Snapshot;
+  uint64_t ParkedCandidates = 0;
+  {
+    SearchSession Session(HalfQ, std::make_unique<CpuBackend>());
+    SynthResult Starved = Session.run();
+    ParkedCandidates = Starved.Stats.CandidatesGenerated;
+    if (Starved.Status != SynthStatus::NotFound ||
+        Session.state() != SessionState::Parked) {
+      std::fprintf(stderr, "error: half-budget run did not park\n");
+      return 1;
+    }
+    SnapshotWriter W;
+    if (!Session.save(W)) {
+      std::fprintf(stderr, "error: parked session did not serialize\n");
+      return 1;
+    }
+    Snapshot = W.take();
+  }
+
+  auto warmRun = [&] {
+    std::unique_ptr<SearchSession> Session = SearchSession::restore(
+        Snapshot, FullQ, std::make_unique<CpuBackend>());
+    if (!Session)
+      std::exit(1); // A rejected snapshot would gate on garbage.
+    Session->extendBudget(Full.MaxCost, Full.TimeoutSeconds);
+    return Session->run();
+  };
+
+  // Resume-equivalence sanity before timing anything.
+  SynthResult Warm = warmRun();
+  if (Warm.Regex != Cold.Regex || Warm.Cost != Cold.Cost ||
+      Warm.Stats.CandidatesGenerated != Cold.Stats.CandidatesGenerated) {
+    std::fprintf(stderr, "error: resumed run diverged from cold run\n");
+    return 1;
+  }
+
+  uint64_t Candidates = Cold.Stats.CandidatesGenerated;
+  H.bench("resume.cold", Candidates, [&] {
+    if (!coldRun().found())
+      std::exit(1);
+  });
+  H.bench("resume.warm", Candidates, [&] {
+    if (!warmRun().found())
+      std::exit(1);
+  });
+
+  // The ratio a budget retry gains, measured directly (min of a few
+  // interleaved pairs so machine noise hits both sides alike).
+  double ColdSecs = 1e100, WarmSecs = 1e100;
+  for (int Rep = 0; Rep != (H.quick() ? 3 : 5); ++Rep) {
+    WallTimer T;
+    coldRun();
+    ColdSecs = std::min(ColdSecs, T.seconds());
+    T.reset();
+    warmRun();
+    WarmSecs = std::min(WarmSecs, T.seconds());
+  }
+  H.metric("info.resume.speedup", ColdSecs / WarmSecs, "x");
+  H.metric("info.resume.snapshot_bytes", double(Snapshot.size()),
+           "bytes");
+  H.metric("info.workload.candidates", double(Candidates), "count");
+  // Work the warm run inherits from the parked levels instead of
+  // regenerating.
+  H.metric("info.workload.skipped_candidates", double(ParkedCandidates),
+           "count");
+  return H.finish();
+}

@@ -34,6 +34,16 @@
 ///   --wildcard                    AlphaRegex wild-card heuristic
 ///   --stats                       print search statistics
 ///
+/// Anytime synthesis (resumable sessions, DESIGN.md Sec. 9):
+///
+///   --checkpoint FILE             if the search stops on a budget
+///                                 (Timeout/NotFound), write the parked
+///                                 session to FILE; a later run resumes
+///                                 it instead of restarting from level 1
+///   --resume FILE                 restore the session from FILE (same
+///                                 spec and options; --max-cost and
+///                                 --timeout may be larger) and continue
+///
 /// Serving mode (the repeated-workload demo over service/SynthService):
 ///
 ///   --serve-demo N                replay the request N times through a
@@ -51,8 +61,10 @@
 
 #include "baseline/AlphaRegex.h"
 #include "core/ShardedStore.h"
+#include "core/Snapshot.h"
 #include "core/Synthesizer.h"
 #include "engine/BackendRegistry.h"
+#include "engine/Session.h"
 #include "gpusim/GpuSynthesizer.h"
 #include "regex/Matcher.h"
 #include "service/SynthService.h"
@@ -135,6 +147,38 @@ void printStats(const SynthStats &St) {
     std::printf("  note               entered OnTheFly mode\n");
 }
 
+bool readFileBytes(const std::string &Path, std::string &Out,
+                   std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  char Buf[1 << 16];
+  size_t Read;
+  while ((Read = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, Read);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok)
+    Error = "error reading '" + Path + "'";
+  return Ok;
+}
+
+bool writeFileBytes(const std::string &Path, const std::string &Bytes,
+                    std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok)
+    Error = "error writing '" + Path + "'";
+  return Ok;
+}
+
 /// Rotates both example lists by \p Shift: a different request text
 /// with the identical canonical form, so every round past the first is
 /// a service cache hit.
@@ -156,10 +200,12 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
                  unsigned Rounds) {
   // Self-describing demo logs: the resolved execution configuration
   // up front, so a pasted transcript answers "what ran this?".
-  std::printf("serving: backend %s, %u worker(s), %u shard(s)\n",
+  std::printf("serving: backend %s, %u worker(s), %u shard(s), "
+              "session park cap %zu\n",
               Service.options().Backend.c_str(),
               Service.options().Workers,
-              Options.Shards ? Options.Shards : 1);
+              Options.Shards ? Options.Shards : 1,
+              Service.options().SessionParkCapacity);
   SynthResult First;
   for (unsigned Round = 0; Round != Rounds; ++Round) {
     WallTimer Timer;
@@ -190,6 +236,10 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
               (unsigned long long)St.Coalesced,
               (unsigned long long)St.Evictions,
               (unsigned long long)St.Searches);
+  std::printf("sessions: %llu parked, %llu resumed, %llu expired\n",
+              (unsigned long long)St.SessionsParked,
+              (unsigned long long)St.SessionsResumed,
+              (unsigned long long)St.SessionsExpired);
   if (St.ShardCount > 1) {
     std::printf("shards: %llu (rows per shard:",
                 (unsigned long long)St.ShardCount);
@@ -210,6 +260,8 @@ int main(int Argc, char **Argv) {
   bool ShowStats = false;
   unsigned ServeDemoRounds = 0;
   unsigned ServeWorkers = 0;
+  std::string CheckpointFile;
+  std::string ResumeFile;
   std::string AlphabetChars;
   std::string SpecFile;
   Spec Examples;
@@ -278,6 +330,10 @@ int main(int Argc, char **Argv) {
       }
       ServeWorkers = unsigned(Workers);
     }
+    else if (Arg == "--checkpoint")
+      CheckpointFile = Next();
+    else if (Arg == "--resume")
+      ResumeFile = Next();
     else if (Arg == "--pos") {
       Examples.Pos = splitCommas(Next());
       InlineSpec = true;
@@ -360,7 +416,65 @@ int main(int Argc, char **Argv) {
     return runServeDemo(Service, Examples, Sigma, Options,
                         ServeDemoRounds);
   }
-  if (Engine == "gpusim") {
+  if (!CheckpointFile.empty() || !ResumeFile.empty()) {
+    // Anytime synthesis: drive the session state machine directly so a
+    // budget-exhausted search can park to disk and a retry can resume.
+    if (!engine::hasBackend(Engine)) {
+      std::fprintf(stderr,
+                   "error: --checkpoint/--resume need a registry "
+                   "backend (have '%s')\n",
+                   Engine.c_str());
+      return 2;
+    }
+    std::shared_ptr<const engine::StagedQuery> Q =
+        engine::stage(Examples, Sigma, Options);
+    std::unique_ptr<engine::Backend> B =
+        engine::createBackend(Engine, Config);
+    std::unique_ptr<engine::SearchSession> S;
+    std::string Error;
+    if (!ResumeFile.empty()) {
+      std::string Bytes;
+      if (!readFileBytes(ResumeFile, Bytes, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      S = engine::SearchSession::restore(Bytes, Q, std::move(B), &Error);
+      if (!S) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      std::printf("resumed session at cost level %llu "
+                  "(budget: max cost %llu%s)\n",
+                  (unsigned long long)S->nextCost(),
+                  (unsigned long long)S->maxCost(),
+                  Options.TimeoutSeconds > 0 ? ", timed" : "");
+      // Re-enter the sweep under the (possibly wider) CLI budgets; with
+      // unchanged budgets this re-parks immediately.
+      S->extendBudget(Options.MaxCost, Options.TimeoutSeconds);
+    } else {
+      S = std::make_unique<engine::SearchSession>(Q, std::move(B));
+    }
+    R = S->run();
+    if (!CheckpointFile.empty() &&
+        S->state() == engine::SessionState::Parked) {
+      SnapshotWriter W;
+      if (!S->save(W)) {
+        std::fprintf(stderr,
+                     "warning: session is not serializable; no "
+                     "checkpoint written\n");
+      } else if (!writeFileBytes(CheckpointFile, W.buffer(), Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      } else {
+        std::printf("session parked at cost level %llu -> %s "
+                    "(%zu bytes; re-run with --resume %s and a larger "
+                    "--max-cost/--timeout)\n",
+                    (unsigned long long)S->nextCost(),
+                    CheckpointFile.c_str(), W.size(),
+                    CheckpointFile.c_str());
+      }
+    }
+  } else if (Engine == "gpusim") {
     // Route through the public GPU entry point so the device-side
     // accounting can be reported alongside the result.
     gpusim::GpuOptions Gpu;

@@ -23,9 +23,13 @@
 #include "core/LanguageCache.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace paresy {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Hash set of the CS rows already present in a LanguageCache.
 ///
@@ -59,6 +63,12 @@ public:
   }
 
 private:
+  /// Snapshot (de)serialization (core/Snapshot.h) reads and rebuilds
+  /// the private state directly.
+  friend void saveCsHashSet(SnapshotWriter &, const CsHashSet &);
+  friend std::unique_ptr<CsHashSet> loadCsHashSet(SnapshotReader &,
+                                                  const LanguageCache &);
+
   void grow();
   void place(uint32_t Idx, uint64_t Hash);
 

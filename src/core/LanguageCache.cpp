@@ -82,6 +82,22 @@ std::pair<uint32_t, uint32_t> LanguageCache::level(uint64_t Cost) const {
   return Levels[Cost];
 }
 
+void LanguageCache::truncate(size_t NewSize) {
+  assert(NewSize <= EntryCount && "truncating beyond the current size");
+  EntryCount = NewSize;
+  RowHashes.resize(NewSize);
+  Prov.resize(NewSize);
+  // Level ranges reaching into the dropped tail belong to the level
+  // being rolled back; it re-records itself when it re-runs. Trailing
+  // never-recorded entries go too, so the table is exactly the one the
+  // boundary had (snapshots of a rolled-back store must match).
+  for (std::pair<uint32_t, uint32_t> &L : Levels)
+    if (L.second > NewSize)
+      L = {0, 0};
+  while (!Levels.empty() && Levels.back() == std::pair<uint32_t, uint32_t>())
+    Levels.pop_back();
+}
+
 // Provenance-to-expression reconstruction lives one layer up, in
 // ShardedStore: operands are global ids, which only the store can
 // resolve across segments.

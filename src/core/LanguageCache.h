@@ -22,10 +22,14 @@
 #include "support/AlignedAlloc.h"
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace paresy {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Outermost constructor of a cached language (the paper's "L and R
 /// auxiliary data").
@@ -129,6 +133,12 @@ public:
   /// levels never recorded.
   std::pair<uint32_t, uint32_t> level(uint64_t Cost) const;
 
+  /// Discards rows [NewSize, size()) and any level range reaching into
+  /// them: rolls the cache back to a level boundary so a partially
+  /// executed level can be re-run (engine/Session.h). The write-once
+  /// contract is per-row - a truncated row index may be appended again.
+  void truncate(size_t NewSize);
+
   /// Bytes held by the CS matrix (at its padded stride) plus
   /// provenance and the per-row hashes.
   uint64_t bytesUsed() const {
@@ -138,6 +148,11 @@ public:
   }
 
 private:
+  /// Snapshot (de)serialization (core/Snapshot.h) reads and rebuilds
+  /// the private state directly.
+  friend void saveLanguageCache(SnapshotWriter &, const LanguageCache &);
+  friend std::unique_ptr<LanguageCache> loadLanguageCache(SnapshotReader &);
+
   size_t CsWordCount;
   size_t RowStride;
   size_t MaxEntries;

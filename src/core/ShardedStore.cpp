@@ -88,6 +88,27 @@ std::pair<uint32_t, uint32_t> ShardedStore::level(uint64_t Cost) const {
   return Levels[Cost];
 }
 
+void ShardedStore::truncate(const std::vector<uint32_t> &ShardRows,
+                            size_t GlobalSize) {
+  assert(ShardRows.size() == Shards.size() && "one row count per shard");
+  assert(GlobalSize <= size() && "truncating beyond the current size");
+  for (unsigned S = 0; S != shardCount(); ++S)
+    Shards[S]->truncate(ShardRows[S]);
+  if (shardCount() > 1)
+    Dir.resize(GlobalSize);
+  assert(size() == GlobalSize && "shard row counts disagree with the "
+                                 "global size");
+  std::fill(Dropped.begin(), Dropped.end(), 0);
+  // Clear level ranges reaching past the boundary, and drop trailing
+  // never-recorded entries so the table is exactly the boundary's
+  // (snapshots of a rolled-back store must match it byte for byte).
+  for (std::pair<uint32_t, uint32_t> &L : Levels)
+    if (L.second > GlobalSize)
+      L = {0, 0};
+  while (!Levels.empty() && Levels.back() == std::pair<uint32_t, uint32_t>())
+    Levels.pop_back();
+}
+
 uint64_t ShardedStore::bytesUsed() const {
   uint64_t Bytes = Dir.size() * sizeof(uint64_t);
   for (const std::unique_ptr<LanguageCache> &S : Shards)

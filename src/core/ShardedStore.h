@@ -41,6 +41,9 @@
 
 namespace paresy {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// N LanguageCache segments behind one global-id address space.
 ///
 /// Sequential append (the CPU backend) and the reserve/write bulk
@@ -157,6 +160,13 @@ public:
   /// for levels never recorded.
   std::pair<uint32_t, uint32_t> level(uint64_t Cost) const;
 
+  /// Rolls the store back to a level boundary: shard \p S keeps its
+  /// first \p ShardRows[S] rows, the global-id space shrinks to
+  /// \p GlobalSize, and level ranges reaching past it are dropped.
+  /// Only valid for boundaries where no winner had been dropped yet
+  /// (the session's parkable regime); overflow counters reset to zero.
+  void truncate(const std::vector<uint32_t> &ShardRows, size_t GlobalSize);
+
   /// Bytes held by every segment plus the directory.
   uint64_t bytesUsed() const;
 
@@ -170,6 +180,11 @@ public:
                                     RegexManager &M) const;
 
 private:
+  /// Snapshot (de)serialization (core/Snapshot.h) reads and rebuilds
+  /// the private state directly.
+  friend void saveShardedStore(SnapshotWriter &, const ShardedStore &);
+  friend std::unique_ptr<ShardedStore> loadShardedStore(SnapshotReader &);
+
   const Regex *reconstructImpl(const Provenance &P, RegexManager &M,
                                std::vector<const Regex *> &Memo) const;
 

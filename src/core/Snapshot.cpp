@@ -1,0 +1,464 @@
+//===- core/Snapshot.cpp - Versioned byte streams for search state -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Snapshot.h"
+
+#include "core/CsHashSet.h"
+#include "core/ShardedStore.h"
+#include "lang/Fingerprint.h"
+#include "support/Bits.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <new>
+
+using namespace paresy;
+
+static constexpr std::string_view SnapshotMagic = "paresy-snapshot";
+
+//===----------------------------------------------------------------------===//
+// SnapshotWriter
+//===----------------------------------------------------------------------===//
+
+void SnapshotWriter::le(uint64_t V, unsigned Bytes) {
+  for (unsigned I = 0; I != Bytes; ++I)
+    Buf.push_back(char(uint8_t(V >> (8 * I))));
+}
+
+void SnapshotWriter::f64(double V) { u64(std::bit_cast<uint64_t>(V)); }
+
+void SnapshotWriter::bytes(const void *Data, size_t Size) {
+  Buf.append(static_cast<const char *>(Data), Size);
+}
+
+void SnapshotWriter::str(std::string_view S) {
+  u64(S.size());
+  Buf.append(S);
+}
+
+size_t SnapshotWriter::beginSection(std::string_view Tag) {
+  str(Tag);
+  size_t Handle = Buf.size();
+  u64(0); // Payload length, patched by endSection.
+  return Handle;
+}
+
+void SnapshotWriter::endSection(size_t Handle) {
+  assert(Handle + 8 <= Buf.size() && "section handle out of range");
+  uint64_t Length = Buf.size() - (Handle + 8);
+  for (unsigned I = 0; I != 8; ++I)
+    Buf[Handle + I] = char(uint8_t(Length >> (8 * I)));
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotReader
+//===----------------------------------------------------------------------===//
+
+bool SnapshotReader::take(const void *&Ptr, size_t Size) {
+  if (Failed || Size > limit() - Pos) {
+    Failed = true;
+    return false;
+  }
+  Ptr = Data.data() + Pos;
+  Pos += Size;
+  return true;
+}
+
+bool SnapshotReader::bytes(void *Out, size_t Size) {
+  const void *Ptr = nullptr;
+  if (!take(Ptr, Size))
+    return false;
+  std::memcpy(Out, Ptr, Size);
+  return true;
+}
+
+bool SnapshotReader::u8(uint8_t &V) { return bytes(&V, 1); }
+
+bool SnapshotReader::u16(uint16_t &V) {
+  uint8_t Raw[2];
+  if (!bytes(Raw, 2))
+    return false;
+  V = uint16_t(Raw[0]) | uint16_t(Raw[1]) << 8;
+  return true;
+}
+
+bool SnapshotReader::u32(uint32_t &V) {
+  uint8_t Raw[4];
+  if (!bytes(Raw, 4))
+    return false;
+  V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= uint32_t(Raw[I]) << (8 * I);
+  return true;
+}
+
+bool SnapshotReader::u64(uint64_t &V) {
+  uint8_t Raw[8];
+  if (!bytes(Raw, 8))
+    return false;
+  V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= uint64_t(Raw[I]) << (8 * I);
+  return true;
+}
+
+bool SnapshotReader::f64(double &V) {
+  uint64_t Bits = 0;
+  if (!u64(Bits))
+    return false;
+  V = std::bit_cast<double>(Bits);
+  return true;
+}
+
+bool SnapshotReader::str(std::string &Out) {
+  uint64_t Size = 0;
+  if (!u64(Size))
+    return false;
+  const void *Ptr = nullptr;
+  if (!take(Ptr, size_t(Size)))
+    return false;
+  Out.assign(static_cast<const char *>(Ptr), size_t(Size));
+  return true;
+}
+
+bool SnapshotReader::enterSection(std::string_view Tag) {
+  std::string Found;
+  uint64_t Length = 0;
+  if (!str(Found) || !u64(Length))
+    return false;
+  if (Found != Tag || Length > limit() - Pos) {
+    Failed = true;
+    return false;
+  }
+  Ends.push_back(Pos + size_t(Length));
+  return true;
+}
+
+bool SnapshotReader::leaveSection() {
+  if (Failed || Ends.empty()) {
+    Failed = true;
+    return false;
+  }
+  Pos = Ends.back();
+  Ends.pop_back();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Envelope and checksum
+//===----------------------------------------------------------------------===//
+
+void paresy::writeSnapshotHeader(SnapshotWriter &W, std::string_view Kind) {
+  W.bytes(SnapshotMagic.data(), SnapshotMagic.size());
+  W.u32(SnapshotFormatVersion);
+  W.str(Kind);
+}
+
+bool paresy::readSnapshotHeader(SnapshotReader &R, std::string_view Kind) {
+  char Magic[16] = {};
+  assert(SnapshotMagic.size() <= sizeof(Magic));
+  if (!R.bytes(Magic, SnapshotMagic.size()) ||
+      std::string_view(Magic, SnapshotMagic.size()) != SnapshotMagic) {
+    R.markFailed();
+    return false;
+  }
+  uint32_t Version = 0;
+  std::string Found;
+  if (!R.u32(Version) || !R.str(Found))
+    return false;
+  if (Version != SnapshotFormatVersion || Found != Kind) {
+    R.markFailed();
+    return false;
+  }
+  return true;
+}
+
+void paresy::appendSnapshotChecksum(SnapshotWriter &W) {
+  Fingerprint F = fingerprintText(W.buffer());
+  W.u64(F.Hi);
+  W.u64(F.Lo);
+}
+
+std::string_view paresy::stripSnapshotChecksum(std::string_view Data) {
+  return Data.substr(0, Data.size() - 16);
+}
+
+bool paresy::verifySnapshotChecksum(std::string_view Data) {
+  if (Data.size() < 16)
+    return false;
+  std::string_view Payload = stripSnapshotChecksum(Data);
+  Fingerprint Expected = fingerprintText(Payload);
+  SnapshotReader Trailer(Data.substr(Payload.size()));
+  uint64_t Hi = 0, Lo = 0;
+  return Trailer.u64(Hi) && Trailer.u64(Lo) && Hi == Expected.Hi &&
+         Lo == Expected.Lo;
+}
+
+//===----------------------------------------------------------------------===//
+// LanguageCache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveLevels(SnapshotWriter &W,
+                const std::vector<std::pair<uint32_t, uint32_t>> &Levels) {
+  W.u64(Levels.size());
+  for (const std::pair<uint32_t, uint32_t> &L : Levels) {
+    W.u32(L.first);
+    W.u32(L.second);
+  }
+}
+
+bool loadLevels(SnapshotReader &R,
+                std::vector<std::pair<uint32_t, uint32_t>> &Levels,
+                size_t MaxEnd) {
+  uint64_t Count = 0;
+  if (!R.u64(Count) || Count > R.remaining() / 8) {
+    R.markFailed();
+    return false;
+  }
+  Levels.assign(size_t(Count), {0, 0});
+  for (std::pair<uint32_t, uint32_t> &L : Levels) {
+    if (!R.u32(L.first) || !R.u32(L.second))
+      return false;
+    if (L.first > L.second || L.second > MaxEnd) {
+      R.markFailed();
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+void paresy::saveLanguageCache(SnapshotWriter &W, const LanguageCache &C) {
+  size_t Section = W.beginSection("cache");
+  W.u64(C.CsWordCount);
+  W.u64(C.MaxEntries);
+  W.u64(C.EntryCount);
+  // One record per row: the CS words at their logical width (the
+  // padded stride is a host layout choice the restoring side
+  // re-derives) followed by the provenance.
+  for (size_t Row = 0; Row != C.EntryCount; ++Row) {
+    for (size_t Word = 0; Word != C.CsWordCount; ++Word)
+      W.u64(C.cs(Row)[Word]);
+    const Provenance &P = C.Prov[Row];
+    W.u8(uint8_t(P.Kind));
+    W.u8(uint8_t(P.Symbol));
+    W.u32(P.Lhs);
+    W.u32(P.Rhs);
+  }
+  saveLevels(W, C.Levels);
+  W.endSection(Section);
+}
+
+std::unique_ptr<LanguageCache> paresy::loadLanguageCache(SnapshotReader &R) {
+  if (!R.enterSection("cache"))
+    return nullptr;
+  uint64_t CsWords = 0, MaxEntries = 0, EntryCount = 0;
+  if (!R.u64(CsWords) || !R.u64(MaxEntries) || !R.u64(EntryCount))
+    return nullptr;
+  // Plausibility bounds before allocating anything: sane geometry, and
+  // the row payload must actually be present in the stream.
+  if (CsWords == 0 || CsWords > (uint64_t(1) << 20) ||
+      EntryCount > MaxEntries || MaxEntries > 0xfffffffeu ||
+      (EntryCount > 0 && EntryCount > R.remaining() / (CsWords * 8))) {
+    R.markFailed();
+    return nullptr;
+  }
+  // Capacity is genuine metadata (a parked store's row budget), so it
+  // can legitimately dwarf the stream; what must not happen is a
+  // corrupt or crafted claim taking the process down. The fingerprint
+  // trailer is a checksum, not a MAC - a crafted stream passes it - so
+  // allocation failure is treated as one more way the stream is bad.
+  std::unique_ptr<LanguageCache> C;
+  try {
+    C = std::make_unique<LanguageCache>(size_t(CsWords),
+                                        size_t(MaxEntries));
+  } catch (const std::bad_alloc &) {
+    R.markFailed();
+    return nullptr;
+  }
+  std::vector<uint64_t> Row(size_t(CsWords), 0);
+  for (uint64_t I = 0; I != EntryCount; ++I) {
+    for (uint64_t Word = 0; Word != CsWords; ++Word)
+      if (!R.u64(Row[size_t(Word)]))
+        return nullptr;
+    Provenance P;
+    uint8_t Kind = 0, Symbol = 0;
+    if (!R.u8(Kind) || !R.u8(Symbol) || !R.u32(P.Lhs) || !R.u32(P.Rhs))
+      return nullptr;
+    if (Kind > uint8_t(CsOp::Union)) {
+      R.markFailed();
+      return nullptr;
+    }
+    P.Kind = CsOp(Kind);
+    P.Symbol = char(Symbol);
+    C->append(Row.data(), P);
+  }
+  if (!loadLevels(R, C->Levels, size_t(EntryCount)) || !R.leaveSection())
+    return nullptr;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedStore
+//===----------------------------------------------------------------------===//
+
+void paresy::saveShardedStore(SnapshotWriter &W, const ShardedStore &S) {
+  size_t Section = W.beginSection("store");
+  W.u64(S.CsWordCount);
+  W.u32(S.shardCount());
+  W.u64(S.Shards[0]->capacity()); // Per-shard capacity; equal by construction.
+  for (unsigned Shard = 0; Shard != S.shardCount(); ++Shard)
+    saveLanguageCache(W, *S.Shards[Shard]);
+  W.u64(S.Dir.size());
+  for (uint64_t Loc : S.Dir)
+    W.u64(Loc);
+  for (uint64_t Count : S.Dropped)
+    W.u64(Count);
+  saveLevels(W, S.Levels);
+  W.endSection(Section);
+}
+
+std::unique_ptr<ShardedStore> paresy::loadShardedStore(SnapshotReader &R) {
+  if (!R.enterSection("store"))
+    return nullptr;
+  uint64_t CsWords = 0, PerShard = 0;
+  uint32_t Shards = 0;
+  if (!R.u64(CsWords) || !R.u32(Shards) || !R.u64(PerShard))
+    return nullptr;
+  if (CsWords == 0 || Shards == 0 || Shards > ShardedStore::MaxShards) {
+    R.markFailed();
+    return nullptr;
+  }
+  // See loadLanguageCache: a crafted per-shard capacity must reject,
+  // not abort.
+  std::unique_ptr<ShardedStore> S;
+  try {
+    S = std::make_unique<ShardedStore>(size_t(CsWords), Shards,
+                                       size_t(PerShard));
+  } catch (const std::bad_alloc &) {
+    R.markFailed();
+    return nullptr;
+  }
+  size_t Rows = 0;
+  for (uint32_t Shard = 0; Shard != Shards; ++Shard) {
+    std::unique_ptr<LanguageCache> C = loadLanguageCache(R);
+    if (!C)
+      return nullptr;
+    if (C->csWords() != size_t(CsWords) ||
+        C->capacity() != S->Shards[Shard]->capacity()) {
+      R.markFailed();
+      return nullptr;
+    }
+    Rows += C->size();
+    S->Shards[Shard] = std::move(C);
+  }
+  uint64_t DirSize = 0;
+  if (!R.u64(DirSize))
+    return nullptr;
+  // One shard keeps no directory; with several, every row has exactly
+  // one directory word resolving to a committed local row.
+  if (Shards == 1 ? DirSize != 0 : DirSize != Rows) {
+    R.markFailed();
+    return nullptr;
+  }
+  S->Dir.assign(size_t(DirSize), 0);
+  for (uint64_t &Loc : S->Dir) {
+    if (!R.u64(Loc))
+      return nullptr;
+    if ((Loc >> 32) >= Shards ||
+        uint32_t(Loc) >= S->Shards[Loc >> 32]->size()) {
+      R.markFailed();
+      return nullptr;
+    }
+  }
+  for (uint64_t &Count : S->Dropped)
+    if (!R.u64(Count))
+      return nullptr;
+  if (!loadLevels(R, S->Levels, Rows))
+    return nullptr;
+  // Provenance operands are global ids of strictly lower append rank
+  // (operands live at strictly lower cost). Asserts are compiled out
+  // of release builds, so reconstruction would chase corrupt operands
+  // unchecked - reject them here instead.
+  for (size_t Id = 0; Id != Rows; ++Id) {
+    const Provenance &P = S->provenance(Id);
+    bool NeedsLhs = P.Kind == CsOp::Question || P.Kind == CsOp::Star ||
+                    P.Kind == CsOp::Concat || P.Kind == CsOp::Union;
+    bool NeedsRhs = P.Kind == CsOp::Concat || P.Kind == CsOp::Union;
+    if ((NeedsLhs && P.Lhs >= Id) || (NeedsRhs && P.Rhs >= Id)) {
+      R.markFailed();
+      return nullptr;
+    }
+  }
+  if (!R.leaveSection())
+    return nullptr;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// CsHashSet
+//===----------------------------------------------------------------------===//
+
+void paresy::saveCsHashSet(SnapshotWriter &W, const CsHashSet &S) {
+  size_t Section = W.beginSection("csset");
+  W.u64(S.Slots.size());
+  W.u64(S.Count);
+  for (uint32_t Slot : S.Slots)
+    W.u32(Slot);
+  for (uint8_t Tag : S.Tags)
+    W.u8(Tag);
+  W.endSection(Section);
+}
+
+std::unique_ptr<CsHashSet>
+paresy::loadCsHashSet(SnapshotReader &R, const LanguageCache &Cache) {
+  if (!R.enterSection("csset"))
+    return nullptr;
+  uint64_t SlotCount = 0, Count = 0;
+  if (!R.u64(SlotCount) || !R.u64(Count))
+    return nullptr;
+  // Slot tables are power-of-two sized, at least the construction
+  // size, below the writer's 70% grow threshold (insert() grows
+  // before ever reaching it, and contains()'s probe loop terminates
+  // only through an empty slot - a fuller table can only come from a
+  // crafted stream and would spin that loop forever), and their row
+  // indices must resolve into the bound cache.
+  if (SlotCount < 64 || (SlotCount & (SlotCount - 1)) != 0 ||
+      10 * Count >= 7 * SlotCount || SlotCount > R.remaining() / 4) {
+    R.markFailed();
+    return nullptr;
+  }
+  auto S = std::make_unique<CsHashSet>(Cache);
+  S->Slots.assign(size_t(SlotCount), 0);
+  S->Tags.assign(size_t(SlotCount), 0);
+  S->Count = size_t(Count);
+  size_t Occupied = 0;
+  for (uint32_t &Slot : S->Slots) {
+    if (!R.u32(Slot))
+      return nullptr;
+    if (Slot == 0xffffffffu)
+      continue;
+    ++Occupied;
+    if (Slot >= Cache.size()) {
+      R.markFailed();
+      return nullptr;
+    }
+  }
+  if (Occupied != Count) {
+    R.markFailed();
+    return nullptr;
+  }
+  for (uint8_t &Tag : S->Tags)
+    if (!R.u8(Tag))
+      return nullptr;
+  if (!R.leaveSection())
+    return nullptr;
+  return S;
+}

@@ -1,0 +1,174 @@
+//===- core/Snapshot.h - Versioned byte streams for search state -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of the sweep's search state (DESIGN.md Sec. 9). The
+/// cost sweep of Alg. 1 is monotone in the cost budget: everything
+/// computed up to level C is reusable verbatim by any retry with a
+/// larger MaxCost or Timeout. Making that reuse real requires the
+/// state a sweep carries across levels - the sharded language store,
+/// the uniqueness sets, the driver's cursor and counters - to survive
+/// the run that built it, either parked in memory (service resume
+/// cache) or on disk (paresy_cli --checkpoint). This header is the
+/// byte-stream layer both use.
+///
+/// Format rules, chosen so a snapshot written anywhere restores
+/// anywhere:
+///
+///  * endian-stable: every multi-byte value is written least
+///    significant byte first, regardless of host byte order;
+///  * self-describing: streams open with a magic string and a format
+///    version, and every component is a tagged, length-prefixed
+///    section, so a reader can reject foreign bytes and skip sections
+///    it does not know;
+///  * fail-closed: SnapshotReader never reads past its bounds - any
+///    truncation or structural corruption latches a failure flag that
+///    every restore path checks; an optional fingerprint trailer
+///    (appendSnapshotChecksum) additionally rejects payload bit rot.
+///
+/// The component payloads live with their owners: LanguageCache,
+/// ShardedStore and CsHashSet (de)serialize here (they are core
+/// types), gpusim::WarpHashSet in gpusim/, and the driver progress in
+/// engine/Session.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_SNAPSHOT_H
+#define PARESY_CORE_SNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+
+class CsHashSet;
+class LanguageCache;
+class ShardedStore;
+
+/// Version of the overall snapshot format; bumped whenever any
+/// component payload changes incompatibly.
+inline constexpr uint32_t SnapshotFormatVersion = 1;
+
+/// Appends primitive values to a growing byte buffer, least
+/// significant byte first.
+class SnapshotWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(char(V)); }
+  void u16(uint16_t V) { le(V, 2); }
+  void u32(uint32_t V) { le(V, 4); }
+  void u64(uint64_t V) { le(V, 8); }
+  /// Exact bit pattern of \p V (doubles survive round trips bit for
+  /// bit; never used for NaN-sensitive comparisons).
+  void f64(double V);
+  void bytes(const void *Data, size_t Size);
+  /// Length-prefixed byte string.
+  void str(std::string_view S);
+
+  /// Opens a tagged section: writes the tag and a length placeholder.
+  /// Returns a handle endSection() patches once the payload is known.
+  /// Sections may nest.
+  size_t beginSection(std::string_view Tag);
+  void endSection(size_t Handle);
+
+  size_t size() const { return Buf.size(); }
+  const std::string &buffer() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  void le(uint64_t V, unsigned Bytes);
+
+  std::string Buf;
+};
+
+/// Bounds-checked reader over a snapshot byte stream. Every accessor
+/// returns false - and latches fail() - instead of reading out of
+/// bounds or out of the current section, so restore code can check
+/// once at the end instead of after every field.
+class SnapshotReader {
+public:
+  explicit SnapshotReader(std::string_view Data) : Data(Data) {}
+
+  bool u8(uint8_t &V);
+  bool u16(uint16_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+  bool f64(double &V);
+  bool bytes(void *Out, size_t Size);
+  bool str(std::string &Out);
+
+  /// Reads a section header and requires its tag to equal \p Tag;
+  /// bounds all reads until the matching leaveSection().
+  bool enterSection(std::string_view Tag);
+  /// Skips any unread payload and closes the innermost section.
+  bool leaveSection();
+
+  /// True once any read failed (truncation, tag mismatch, bounds).
+  bool failed() const { return Failed; }
+  /// Marks the stream bad from restore-side validation.
+  void markFailed() { Failed = true; }
+
+  /// Bytes left in the current section (or the whole stream).
+  size_t remaining() const { return limit() - Pos; }
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  size_t limit() const { return Ends.empty() ? Data.size() : Ends.back(); }
+  bool take(const void *&Ptr, size_t Size);
+
+  std::string_view Data;
+  size_t Pos = 0;
+  std::vector<size_t> Ends; // Innermost section end offsets.
+  bool Failed = false;
+};
+
+/// Writes the stream envelope: magic, format version, and \p Kind
+/// (which flavour of snapshot follows, e.g. "session").
+void writeSnapshotHeader(SnapshotWriter &W, std::string_view Kind);
+
+/// Reads and validates the envelope written by writeSnapshotHeader.
+bool readSnapshotHeader(SnapshotReader &R, std::string_view Kind);
+
+/// Appends a 128-bit fingerprint of everything written so far. Call
+/// last; verifySnapshotChecksum() then detects any corruption of the
+/// preceding bytes.
+void appendSnapshotChecksum(SnapshotWriter &W);
+
+/// True iff \p Data ends in a fingerprint trailer matching the bytes
+/// before it. stripSnapshotChecksum() returns those payload bytes.
+bool verifySnapshotChecksum(std::string_view Data);
+std::string_view stripSnapshotChecksum(std::string_view Data);
+
+//===----------------------------------------------------------------------===//
+// Component payloads (core types)
+//===----------------------------------------------------------------------===//
+
+/// Serializes \p C (geometry, capacity, rows, provenance, level
+/// ranges) as one tagged section.
+void saveLanguageCache(SnapshotWriter &W, const LanguageCache &C);
+
+/// Restores a cache serialized by saveLanguageCache; null on a
+/// malformed stream (R is then failed()).
+std::unique_ptr<LanguageCache> loadLanguageCache(SnapshotReader &R);
+
+/// Serializes \p S: every shard segment plus the global-id directory,
+/// overflow counters and level table.
+void saveShardedStore(SnapshotWriter &W, const ShardedStore &S);
+std::unique_ptr<ShardedStore> loadShardedStore(SnapshotReader &R);
+
+/// Serializes \p S's slot table. The key bits stay in the cache the
+/// set indexes; restore binds the slots back to \p Cache, which must
+/// be the restored counterpart of the cache the set was saved over.
+void saveCsHashSet(SnapshotWriter &W, const CsHashSet &S);
+std::unique_ptr<CsHashSet> loadCsHashSet(SnapshotReader &R,
+                                         const LanguageCache &Cache);
+
+} // namespace paresy
+
+#endif // PARESY_CORE_SNAPSHOT_H

@@ -6,8 +6,22 @@
 
 #include "engine/Backend.h"
 
+#include "core/Snapshot.h"
+
 using namespace paresy;
 using namespace paresy::engine;
 
 // Anchor the vtable.
 Backend::~Backend() = default;
+
+// Defaults for backends predating (or opting out of) resumable
+// sessions: nothing to save, nothing restorable. Guarded by
+// supportsResume() so the session layer never relies on them.
+void Backend::saveState(SnapshotWriter &) const {}
+
+bool Backend::loadState(SnapshotReader &R, SearchContext &) {
+  R.markFailed();
+  return false;
+}
+
+void Backend::rebuildFromStore(SearchContext &, uint64_t) {}

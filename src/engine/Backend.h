@@ -133,6 +133,32 @@ public:
 
   /// Bytes held by backend-owned structures, for the memory stats.
   virtual uint64_t auxBytesUsed() const = 0;
+
+  /// Resumable-session support (engine/Session.h). A backend that
+  /// returns true implements all three hooks below; the default is a
+  /// non-resumable backend (sessions on it still run, but cannot park
+  /// across a mid-level timeout or snapshot to bytes). All hooks are
+  /// level-boundary operations: no level may be in flight.
+  virtual bool supportsResume() const { return false; }
+
+  /// Serializes the per-run state runLevel() carries across levels
+  /// (uniqueness structures, candidate-id cursor) as sections of
+  /// \p W (core/Snapshot.h).
+  virtual void saveState(SnapshotWriter &W) const;
+
+  /// Restores state saved by saveState() into a prepared backend
+  /// (prepare() ran against the restored store in \p Ctx). Returns
+  /// false on a malformed stream.
+  virtual bool loadState(SnapshotReader &R, SearchContext &Ctx);
+
+  /// Rebuilds the uniqueness state from the committed rows of
+  /// Ctx.Store after the driver rolled a partial level back to its
+  /// boundary. Only exact while no winner has been dropped (the
+  /// session checks); \p NextCandidateId is the enumeration rank the
+  /// resumed level restarts at - every rebuilt entry must lose the
+  /// min-id race against it and all later ranks.
+  virtual void rebuildFromStore(SearchContext &Ctx,
+                                uint64_t NextCandidateId);
 };
 
 } // namespace engine

@@ -6,6 +6,7 @@
 
 #include "engine/BatchedBackend.h"
 
+#include "core/Snapshot.h"
 #include "engine/Kernels.h"
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
@@ -63,6 +64,62 @@ uint64_t BatchedBackend::auxBytesUsed() const {
   for (const std::unique_ptr<WarpHashSet> &Set : HashSets)
     Bytes += Set->bytesUsed();
   return Bytes;
+}
+
+void BatchedBackend::saveState(SnapshotWriter &W) const {
+  size_t Section = W.beginSection("batched");
+  W.u64(IdBase);
+  W.u32(uint32_t(HashSets.size()));
+  for (const std::unique_ptr<WarpHashSet> &Set : HashSets)
+    Set->save(W);
+  W.endSection(Section);
+}
+
+bool BatchedBackend::loadState(SnapshotReader &R, SearchContext &Ctx) {
+  if (!R.enterSection("batched"))
+    return false;
+  uint64_t Base = 0;
+  uint32_t Shards = 0;
+  if (!R.u64(Base) || !R.u32(Shards) ||
+      Shards != Ctx.Store->shardCount()) {
+    R.markFailed();
+    return false;
+  }
+  std::vector<std::unique_ptr<WarpHashSet>> Sets;
+  for (unsigned S = 0; S != Shards; ++S) {
+    std::unique_ptr<WarpHashSet> Set = WarpHashSet::restore(R);
+    if (!Set || Set->keyWords() != Ctx.U->csWords()) {
+      R.markFailed();
+      return false;
+    }
+    Sets.push_back(std::move(Set));
+  }
+  if (!R.leaveSection())
+    return false;
+  HashSets = std::move(Sets);
+  IdBase = Base;
+  return true;
+}
+
+void BatchedBackend::rebuildFromStore(SearchContext &Ctx,
+                                      uint64_t NextCandidateId) {
+  prepare(Ctx);
+  IdBase = NextCandidateId;
+  if (!Ctx.Opts->UniquenessCheck)
+    return; // The uniqueness kernel is ablated; the sets stay empty.
+  ShardedStore &Store = *Ctx.Store;
+  for (size_t Id = 0; Id != Store.size(); ++Id) {
+    uint64_t Hash = Store.rowHash(Id);
+    // Row ids are dense append ranks < NextCandidateId, so every
+    // rebuilt entry loses the min-winner race against resumed
+    // candidates - exactly like the original entries, whose ids were
+    // also below every future rank.
+    int64_t Slot = HashSets[Store.shardOfHash(Hash)]->insert(
+        Store.cs(Id), uint32_t(Id), Hash);
+    (void)Slot;
+    assert(Slot >= 0 && "rebuilt uniqueness set cannot be smaller than "
+                        "the set that admitted these rows");
+  }
 }
 
 LevelOutcome BatchedBackend::runLevel(SearchContext &Ctx, uint64_t,

@@ -73,6 +73,19 @@ public:
                         LevelTasks &Tasks) override;
   uint64_t auxBytesUsed() const override;
 
+  /// Session support. The per-shard WarpHashSets and the candidate-id
+  /// cursor serialize exactly. A store-based rebuild re-inserts the
+  /// committed rows keyed by their global ids; stored winner ids then
+  /// differ from the uninterrupted run's candidate ids, which is
+  /// invisible to later levels - a rebuilt entry only has to lose the
+  /// min-id winner race against future candidates, and global row ids
+  /// are strictly below every future candidate id.
+  bool supportsResume() const override { return true; }
+  void saveState(SnapshotWriter &W) const override;
+  bool loadState(SnapshotReader &R, SearchContext &Ctx) override;
+  void rebuildFromStore(SearchContext &Ctx,
+                        uint64_t NextCandidateId) override;
+
   /// Modelled-device accounting (meaningful for the GPU simulator).
   const gpusim::PerfModel &perf() const { return Dev.perf(); }
   unsigned workerCount() const { return Dev.workerCount(); }

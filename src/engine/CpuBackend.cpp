@@ -6,6 +6,7 @@
 
 #include "engine/CpuBackend.h"
 
+#include "core/Snapshot.h"
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
 #include "lang/Universe.h"
@@ -43,6 +44,46 @@ uint64_t CpuBackend::auxBytesUsed() const {
   for (const std::unique_ptr<CsHashSet> &Set : Unique)
     Bytes += Set->bytesUsed();
   return Bytes;
+}
+
+void CpuBackend::saveState(SnapshotWriter &W) const {
+  size_t Section = W.beginSection("cpu");
+  W.u32(uint32_t(Unique.size()));
+  for (const std::unique_ptr<CsHashSet> &Set : Unique)
+    saveCsHashSet(W, *Set);
+  W.endSection(Section);
+}
+
+bool CpuBackend::loadState(SnapshotReader &R, SearchContext &Ctx) {
+  if (!R.enterSection("cpu"))
+    return false;
+  uint32_t Shards = 0;
+  if (!R.u32(Shards) || Shards != Ctx.Store->shardCount()) {
+    R.markFailed();
+    return false;
+  }
+  Unique.clear();
+  for (unsigned S = 0; S != Shards; ++S) {
+    std::unique_ptr<CsHashSet> Set = loadCsHashSet(R, Ctx.Store->shard(S));
+    if (!Set)
+      return false;
+    Unique.push_back(std::move(Set));
+  }
+  return R.leaveSection();
+}
+
+void CpuBackend::rebuildFromStore(SearchContext &Ctx, uint64_t) {
+  prepare(Ctx);
+  if (!Ctx.Opts->UniquenessCheck)
+    return; // The sets exist but the sweep never consults them.
+  ShardedStore &Store = *Ctx.Store;
+  // Global-id order is the original insertion order (winners commit in
+  // candidate-rank order), so the rebuilt sets grow through the same
+  // schedule and end up bit-identical to the uninterrupted run's.
+  for (size_t Id = 0; Id != Store.size(); ++Id) {
+    unsigned Owner = Store.shardOfHash(Store.rowHash(Id));
+    Unique[Owner]->insert(Store.cs(Id), Store.localRow(Id));
+  }
 }
 
 LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,

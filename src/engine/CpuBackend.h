@@ -39,6 +39,16 @@ public:
                         LevelTasks &Tasks) override;
   uint64_t auxBytesUsed() const override;
 
+  /// Session support: the per-shard CsHashSets serialize exactly, and
+  /// rebuilding them by re-inserting rows in global-id order replays
+  /// the original insertion order (appends commit in rank order), so
+  /// both paths reproduce the uninterrupted layout bit for bit.
+  bool supportsResume() const override { return true; }
+  void saveState(SnapshotWriter &W) const override;
+  bool loadState(SnapshotReader &R, SearchContext &Ctx) override;
+  void rebuildFromStore(SearchContext &Ctx,
+                        uint64_t NextCandidateId) override;
+
 private:
   /// One uniqueness set per shard, keyed on that shard's segment.
   std::vector<std::unique_ptr<CsHashSet>> Unique;

@@ -4,239 +4,26 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Implementation of runStaged() - Alg. 1's cost sweep and the task
-/// enumeration of Alg. 2, plus OnTheFly mode and the REI-with-error
-/// variant of Sec. 5.2, independent of how levels execute - over the
-/// staged artifacts of engine/Staging.h. See DESIGN.md for the
-/// deviations (epsilon seeding, commutative-union halving).
+/// runStaged()/runSearch() as thin wrappers over the session state
+/// machine of engine/Session.h: one uninterrupted run of a
+/// SearchSession is bit-identical to the pre-session run-to-completion
+/// sweep (test-enforced), and callers that never pause pay nothing for
+/// the pause points.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "engine/SearchDriver.h"
 
-#include "engine/Backend.h"
-#include "engine/LevelTasks.h"
-#include "lang/CharSeq.h"
-#include "lang/GuideTable.h"
-#include "lang/Universe.h"
-#include "support/Timer.h"
-
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <memory>
+#include "engine/Session.h"
 
 using namespace paresy;
 using namespace paresy::engine;
 
-namespace {
-
-/// One sweep over a staged query: owns the per-run mutable state (the
-/// algebra's counters, the language cache, sweep bookkeeping) and
-/// delegates level execution to the backend. The staged artifacts are
-/// only read, so any number of Sweeps may share one StagedQuery.
-class Sweep {
-public:
-  Sweep(const StagedQuery &Q, Backend &B)
-      : Q(Q), S(Q.spec()), Sigma(Q.alphabet()), Opts(Q.options()), B(B) {}
-
-  SynthResult run();
-
-private:
-  SynthResult finish(SynthStatus Status, std::string Message = {});
-  SynthResult finishFound(const Provenance &Satisfier, uint64_t Cost);
-  void fillStats(SynthResult &R);
-
-  /// Runs one level through the backend and folds its outcome into the
-  /// sweep state. Returns true when the sweep must stop (the caller
-  /// then dispatches on the recorded outcome).
-  bool runLevel(uint64_t C);
-
-  const StagedQuery &Q;
-  const Spec &S;
-  const Alphabet &Sigma;
-  const SynthOptions &Opts;
-  Backend &B;
-
-  std::unique_ptr<CsAlgebra> Algebra;
-  std::unique_ptr<ShardedStore> Store;
-  SearchContext Ctx;
-  std::vector<uint64_t> NonEmptyLevels; // Sorted costs with cached CSs.
-
-  SynthStats Stats;
-  WallTimer Clock; // The sweep's clock; staging was timed at stage().
-  uint64_t KernelOps = 0; // Backend-reported work units.
-  LevelOutcome Last;      // Outcome of the most recent level.
-
-  // Cache-full bookkeeping (Sec. 3 "OnTheFly mode").
-  bool CacheFilled = false;
-  uint64_t FilledCost = 0;
-};
-
-SynthResult Sweep::run() {
-  const CostFn &Cost = Opts.Cost;
-  const Universe &U = *Q.universe();
-  const GuideTable *GT = Q.guideTable().get();
-
-  // TimeoutSeconds budgets staging + sweep, exactly as in the fused
-  // pre-split pipeline: charge this query's staging time against the
-  // deadline up front. Runs off a cached artifact are charged only the
-  // (tiny) restage time - reuse widens their effective budget.
-  Clock.rewind(Q.stagingSeconds());
-
-  // The algebra is per-run (it counts the split pairs this sweep
-  // visits and owns star-fold scratch); the artifacts it reads are the
-  // staged, shared ones.
-  Algebra = std::make_unique<CsAlgebra>(U, GT);
-  if (GT)
-    Stats.GuidePairs = GT->totalPairs();
-  Stats.UniverseSize = U.size();
-  Stats.CsWords = U.csWords();
-  Stats.PrecomputeSeconds = Q.stagingSeconds();
-
-  Ctx.S = &S;
-  Ctx.Sigma = &Sigma;
-  Ctx.Opts = &Opts;
-  Ctx.U = &U;
-  Ctx.GT = GT;
-  Ctx.Algebra = Algebra.get();
-  Ctx.MistakeBudget = Q.mistakeBudget();
-  Ctx.Clock = &Clock;
-
-  // The backend divides the memory budget between the language store
-  // and its own uniqueness structures; the store divides its share -
-  // row capacity, and with it MemoryLimitBytes - evenly across the
-  // shards (DESIGN.md Sec. 8). One shard reproduces the monolithic
-  // cache exactly.
-  unsigned Shards = std::max(1u, Opts.Shards);
-  size_t Capacity = B.planCacheCapacity(Ctx, Opts.MemoryLimitBytes);
-  Store = std::make_unique<ShardedStore>(
-      U.csWords(), Shards, std::max<size_t>(1, Capacity / Shards));
-  Ctx.Store = Store.get();
-  B.prepare(Ctx);
-
-  uint64_t MaxCost = Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Cost);
-  // The overfit bound writes epsilon as the literal '#'; without the
-  // epsilon seed that literal is unreachable and the fallback is a
-  // question mark, so widen the automatic bound accordingly.
-  if (!Opts.MaxCost && !Opts.SeedEpsilon)
-    MaxCost += Cost.Question;
-
-  // The completeness horizon once the cache has filled at cost F:
-  // every candidate at cost <= F + MinExtra - 1 references only
-  // levels < F, which are fully cached, so minimality still holds.
-  uint64_t MinExtra = std::min<uint64_t>(
-      std::min<uint64_t>(Cost.Question, Cost.Star),
-      std::min<uint64_t>(uint64_t(Cost.Concat) + Cost.Literal,
-                         uint64_t(Cost.Union) + Cost.Literal));
-
-  // Seed level (Alg. 1 line 6), processed through the same phases as
-  // every other level.
-  if (runLevel(Cost.Literal)) {
-    if (Last.FoundSatisfier)
-      return finishFound(Last.Satisfier, Cost.Literal);
-    if (Last.TimedOut)
-      return finish(SynthStatus::Timeout);
-    return finish(SynthStatus::OutOfMemory, Last.AbortReason);
-  }
-
-  for (uint64_t C = uint64_t(Cost.Literal) + 1; C <= MaxCost; ++C) {
-    if (CacheFilled) {
-      uint64_t Horizon =
-          Opts.EnableOnTheFly ? FilledCost + MinExtra - 1 : FilledCost;
-      if (C > Horizon)
-        return finish(SynthStatus::OutOfMemory);
-    }
-    if (Opts.TimeoutSeconds > 0 && Clock.seconds() > Opts.TimeoutSeconds)
-      return finish(SynthStatus::Timeout);
-
-    if (runLevel(C)) {
-      // A satisfier takes precedence over resource aborts in the same
-      // level: candidates of one level share the same cost, so the
-      // first satisfier is minimal even if the level was cut short.
-      if (Last.FoundSatisfier)
-        return finishFound(Last.Satisfier, C);
-      if (Last.TimedOut)
-        return finish(SynthStatus::Timeout);
-      return finish(SynthStatus::OutOfMemory, Last.AbortReason);
-    }
-  }
-  return finish(SynthStatus::NotFound);
-}
-
-bool Sweep::runLevel(uint64_t C) {
-  LevelTasks Tasks = C == Opts.Cost.Literal
-                         ? LevelTasks::seedLevel(Ctx)
-                         : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
-
-  Ctx.CandidatesBefore = Stats.CandidatesGenerated;
-  uint32_t LevelBegin = uint32_t(Store->size());
-  Last = B.runLevel(Ctx, C, Tasks);
-  uint32_t LevelEnd = uint32_t(Store->size());
-
-  Stats.CandidatesGenerated += Last.Candidates;
-  Stats.UniqueLanguages += Last.Unique;
-  KernelOps += Last.Ops;
-  Store->setLevel(C, LevelBegin, LevelEnd);
-  if (LevelEnd != LevelBegin)
-    NonEmptyLevels.push_back(C);
-  if (Last.CacheFilled && !CacheFilled) {
-    CacheFilled = true;
-    FilledCost = C;
-    Stats.OnTheFly = Opts.EnableOnTheFly;
-  }
-  // A satisfier never cuts a level short (all its candidates were
-  // generated), so the level still counts as completed; only resource
-  // aborts leave it partial.
-  if (!Last.TimedOut && !Last.Abort)
-    Stats.LastCompletedCost = C;
-  return Last.FoundSatisfier || Last.TimedOut || Last.Abort;
-}
-
-void Sweep::fillStats(SynthResult &R) {
-  Stats.CacheEntries = Store ? Store->size() : 0;
-  Stats.MemoryBytes = (Store ? Store->bytesUsed() : 0) + B.auxBytesUsed();
-  Stats.PairsVisited = (Algebra ? Algebra->pairsVisited() : 0) + KernelOps;
-  Stats.SearchSeconds = Clock.seconds() - Stats.PrecomputeSeconds;
-  if (Store) {
-    Stats.ShardCount = Store->shardCount();
-    Stats.ShardRows.resize(Store->shardCount());
-    Stats.ShardDropped.resize(Store->shardCount());
-    for (unsigned S = 0; S != Store->shardCount(); ++S) {
-      Stats.ShardRows[S] = Store->shardRows(S);
-      Stats.ShardDropped[S] = Store->shardDropped(S);
-    }
-  }
-  R.Stats = Stats;
-}
-
-SynthResult Sweep::finish(SynthStatus Status, std::string Message) {
-  SynthResult R;
-  R.Status = Status;
-  R.Message = std::move(Message);
-  fillStats(R);
-  return R;
-}
-
-SynthResult Sweep::finishFound(const Provenance &Satisfier, uint64_t Cost) {
-  RegexManager M;
-  const Regex *Re = Store->reconstructCandidate(Satisfier, M);
-  SynthResult R;
-  R.Status = SynthStatus::Found;
-  R.Regex = toString(Re);
-  R.Cost = Cost;
-  assert(Opts.Cost.of(Re) == Cost &&
-         "reconstructed expression must cost exactly its level");
-  fillStats(R);
-  return R;
-}
-
-} // namespace
-
 SynthResult paresy::engine::runStaged(const StagedQuery &Q, Backend &B) {
   if (Q.immediate())
     return Q.immediateResult();
-  return Sweep(Q, B).run();
+  SearchSession Session(Q, B);
+  return Session.run();
 }
 
 SynthResult paresy::engine::runSearch(const Spec &S, const Alphabet &Sigma,

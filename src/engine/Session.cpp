@@ -1,0 +1,561 @@
+//===- engine/Session.cpp - Resumable search sessions ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The per-level state machine behind runStaged(): Alg. 1's cost sweep
+/// and the task enumeration of Alg. 2, plus OnTheFly mode and the
+/// REI-with-error variant of Sec. 5.2, restructured so the sweep can
+/// stop and continue at any level boundary. See DESIGN.md Sec. 9 for
+/// the state machine and the snapshot format, and Sec. 2 for the
+/// deviations from the paper's pseudocode (epsilon seeding,
+/// commutative-union halving).
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Session.h"
+
+#include "core/Snapshot.h"
+#include "engine/LevelTasks.h"
+#include "lang/CharSeq.h"
+#include "lang/Fingerprint.h"
+#include "lang/GuideTable.h"
+#include "lang/Universe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+const char *paresy::engine::sessionStateName(SessionState St) {
+  switch (St) {
+  case SessionState::Running:
+    return "Running";
+  case SessionState::Parked:
+    return "Parked";
+  case SessionState::Finished:
+    return "Finished";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The resolved cost bound of \p Opts for \p S: MaxCost, or the
+/// always-sufficient overfit bound when MaxCost is 0. The overfit
+/// bound writes epsilon as the literal '#'; without the epsilon seed
+/// that literal is unreachable and the fallback is a question mark, so
+/// the automatic bound widens accordingly.
+uint64_t resolveMaxCost(const Spec &S, const SynthOptions &Opts) {
+  uint64_t MaxCost =
+      Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Opts.Cost);
+  if (!Opts.MaxCost && !Opts.SeedEpsilon)
+    MaxCost += Opts.Cost.Question;
+  return MaxCost;
+}
+
+/// A timeout of 0 means "none": rank budgets so that every real budget
+/// is below it.
+double timeoutRank(double TimeoutSeconds) {
+  return TimeoutSeconds == 0 ? std::numeric_limits<double>::infinity()
+                             : TimeoutSeconds;
+}
+
+} // namespace
+
+SearchSession::SearchSession(std::shared_ptr<const StagedQuery> Query,
+                             std::unique_ptr<Backend> Backend)
+    : QOwned(std::move(Query)), BOwned(std::move(Backend)),
+      Q(QOwned.get()), B(BOwned.get()) {
+  initCommon();
+}
+
+SearchSession::SearchSession(const StagedQuery &Query,
+                             engine::Backend &Backend)
+    : Q(&Query), B(&Backend) {
+  initCommon();
+}
+
+SearchSession::~SearchSession() = default;
+
+void SearchSession::initCommon() {
+  EffOpts = Q->options();
+  if (Q->immediate()) {
+    Result = Q->immediateResult();
+    St = SessionState::Finished;
+    return;
+  }
+  // TimeoutSeconds budgets staging + sweep, exactly as in the fused
+  // pre-split pipeline: this query's staging time counts against the
+  // deadline up front. Runs off a cached artifact were charged only
+  // the (tiny) restage time - reuse widens their effective budget.
+  ConsumedSeconds = Q->stagingSeconds();
+  St = SessionState::Running;
+}
+
+void SearchSession::bindContext() {
+  const Universe &U = *Q->universe();
+  const GuideTable *GT = Q->guideTable().get();
+
+  // The algebra is per-run (it counts the split pairs this run visits
+  // and owns star-fold scratch); the artifacts it reads are the
+  // staged, shared ones. PairsBefore carries counts from earlier runs
+  // of a restored session.
+  Algebra = std::make_unique<CsAlgebra>(U, GT);
+  if (GT)
+    Stats.GuidePairs = GT->totalPairs();
+  Stats.UniverseSize = U.size();
+  Stats.CsWords = U.csWords();
+
+  Ctx.S = &Q->spec();
+  Ctx.Sigma = &Q->alphabet();
+  Ctx.Opts = &EffOpts;
+  Ctx.U = &U;
+  Ctx.GT = GT;
+  Ctx.Algebra = Algebra.get();
+  Ctx.MistakeBudget = Q->mistakeBudget();
+  Ctx.Clock = &Clock;
+
+  // The completeness horizon once the cache has filled at cost F:
+  // every candidate at cost <= F + MinExtra - 1 references only
+  // levels < F, which are fully cached, so minimality still holds.
+  const CostFn &Cost = EffOpts.Cost;
+  MinExtra = std::min<uint64_t>(
+      std::min<uint64_t>(Cost.Question, Cost.Star),
+      std::min<uint64_t>(uint64_t(Cost.Concat) + Cost.Literal,
+                         uint64_t(Cost.Union) + Cost.Literal));
+}
+
+void SearchSession::prepareRun() {
+  bindContext();
+  Stats.PrecomputeSeconds = Q->stagingSeconds();
+
+  // The backend divides the memory budget between the language store
+  // and its own uniqueness structures; the store divides its share -
+  // row capacity, and with it MemoryLimitBytes - evenly across the
+  // shards (DESIGN.md Sec. 8). One shard reproduces the monolithic
+  // cache exactly.
+  unsigned Shards = std::max(1u, EffOpts.Shards);
+  size_t Capacity = B->planCacheCapacity(Ctx, EffOpts.MemoryLimitBytes);
+  Store = std::make_unique<ShardedStore>(
+      Q->universe()->csWords(), Shards,
+      std::max<size_t>(1, Capacity / Shards));
+  Ctx.Store = Store.get();
+  B->prepare(Ctx);
+
+  MaxCostResolved = resolveMaxCost(Q->spec(), EffOpts);
+  NextCost = EffOpts.Cost.Literal;
+  Prepared = true;
+}
+
+uint64_t SearchSession::horizon() const {
+  return EffOpts.EnableOnTheFly ? FilledCost + MinExtra - 1 : FilledCost;
+}
+
+SessionState SearchSession::step() {
+  if (St == SessionState::Finished)
+    return St;
+  if (!Prepared)
+    prepareRun();
+  else if (NeedsRollback)
+    rollbackToBoundary();
+  St = SessionState::Running;
+
+  // The session clock runs only while the session does: parked wall
+  // time never counts against the timeout budget.
+  Clock.reset();
+  Clock.rewind(ConsumedSeconds);
+
+  // Budget and horizon checks, in the pre-session driver's order. The
+  // seed level (Alg. 1 line 6) runs unconditionally, like the fused
+  // pipeline ran it before entering the sweep loop.
+  if (NextCost != EffOpts.Cost.Literal) {
+    if (NextCost > MaxCostResolved) {
+      parkWith(SynthStatus::NotFound);
+      return St;
+    }
+    if (CacheFilled && NextCost > horizon()) {
+      finishWith(SynthStatus::OutOfMemory);
+      return St;
+    }
+    if (EffOpts.TimeoutSeconds > 0 &&
+        Clock.seconds() > EffOpts.TimeoutSeconds) {
+      parkWith(SynthStatus::Timeout);
+      return St;
+    }
+  }
+
+  runLevelAt(NextCost);
+  if (St == SessionState::Running)
+    ConsumedSeconds = Clock.seconds();
+  return St;
+}
+
+SynthResult SearchSession::run() {
+  while (St == SessionState::Running)
+    step();
+  return Result;
+}
+
+void SearchSession::captureBoundary() {
+  LastBoundary.Candidates = Stats.CandidatesGenerated;
+  LastBoundary.Unique = Stats.UniqueLanguages;
+  LastBoundary.Pairs = PairsBefore + Algebra->pairsVisited();
+  LastBoundary.KernelOps = KernelOps;
+  LastBoundary.LastCompletedCost = Stats.LastCompletedCost;
+  LastBoundary.NonEmptyLevels = NonEmptyLevels.size();
+  LastBoundary.StoreSize = Store->size();
+  LastBoundary.ShardRows.resize(Store->shardCount());
+  for (unsigned S = 0; S != Store->shardCount(); ++S)
+    LastBoundary.ShardRows[S] = uint32_t(Store->shardRows(S));
+  LastBoundary.CacheFilled = CacheFilled;
+  LastBoundary.FilledCost = FilledCost;
+  LastBoundary.OnTheFly = Stats.OnTheFly;
+}
+
+void SearchSession::rollbackToBoundary() {
+  assert(NeedsRollback && "no partial level to roll back");
+  Stats.CandidatesGenerated = LastBoundary.Candidates;
+  Stats.UniqueLanguages = LastBoundary.Unique;
+  Stats.LastCompletedCost = LastBoundary.LastCompletedCost;
+  Stats.OnTheFly = LastBoundary.OnTheFly;
+  KernelOps = LastBoundary.KernelOps;
+  PairsBefore = LastBoundary.Pairs;
+  Algebra->resetPairsVisited();
+  CacheFilled = LastBoundary.CacheFilled;
+  FilledCost = LastBoundary.FilledCost;
+  NonEmptyLevels.resize(LastBoundary.NonEmptyLevels);
+  Store->truncate(LastBoundary.ShardRows, LastBoundary.StoreSize);
+  B->rebuildFromStore(Ctx, LastBoundary.Candidates);
+  NeedsRollback = false;
+}
+
+void SearchSession::runLevelAt(uint64_t C) {
+  captureBoundary();
+  LevelTasks Tasks = C == EffOpts.Cost.Literal
+                         ? LevelTasks::seedLevel(Ctx)
+                         : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
+
+  Ctx.CandidatesBefore = Stats.CandidatesGenerated;
+  uint32_t LevelBegin = uint32_t(Store->size());
+  LevelOutcome Last = B->runLevel(Ctx, C, Tasks);
+  uint32_t LevelEnd = uint32_t(Store->size());
+
+  // A timed-out level that can roll back is about to be erased from
+  // the kept state; recording it in the level table would leave a
+  // stale entry truncation cannot distinguish from a completed empty
+  // level, so the boundary's table would no longer be reproduced
+  // exactly. Its work still counts in the *reported* stats below,
+  // exactly like the pre-session driver.
+  bool WillRollback = Last.TimedOut && !Last.FoundSatisfier &&
+                      B->supportsResume() && !LastBoundary.CacheFilled;
+  Stats.CandidatesGenerated += Last.Candidates;
+  Stats.UniqueLanguages += Last.Unique;
+  KernelOps += Last.Ops;
+  if (!WillRollback) {
+    Store->setLevel(C, LevelBegin, LevelEnd);
+    if (LevelEnd != LevelBegin)
+      NonEmptyLevels.push_back(C);
+  }
+  if (Last.CacheFilled && !CacheFilled) {
+    CacheFilled = true;
+    FilledCost = C;
+    Stats.OnTheFly = EffOpts.EnableOnTheFly;
+  }
+  // A satisfier never cuts a level short (all its candidates were
+  // generated), so the level still counts as completed; only resource
+  // aborts leave it partial.
+  if (!Last.TimedOut && !Last.Abort)
+    Stats.LastCompletedCost = C;
+
+  // A satisfier takes precedence over resource aborts in the same
+  // level: candidates of one level share the same cost, so the first
+  // satisfier is minimal even if the level was cut short.
+  if (Last.FoundSatisfier) {
+    finishFound(Last.Satisfier, C);
+    return;
+  }
+  if (Last.TimedOut) {
+    // The deadline struck mid-level. The reported result counts the
+    // partial level's work, exactly like the pre-session driver; the
+    // *kept* state rolls back to the boundary before the next step,
+    // so the level re-runs whole on resume. Rolling back is exact
+    // only while no winner has been dropped (a filled shard loses the
+    // dropped CSs the uniqueness sets would need), and only on
+    // backends that can rebuild their sets.
+    if (WillRollback) {
+      NeedsRollback = true;
+      parkWith(SynthStatus::Timeout);
+    } else {
+      finishWith(SynthStatus::Timeout);
+    }
+    return;
+  }
+  if (Last.Abort) {
+    finishWith(SynthStatus::OutOfMemory, Last.AbortReason);
+    return;
+  }
+  NextCost = C + 1;
+}
+
+void SearchSession::fillStats(SynthResult &R) {
+  Stats.CacheEntries = Store ? Store->size() : 0;
+  Stats.MemoryBytes = (Store ? Store->bytesUsed() : 0) + B->auxBytesUsed();
+  Stats.PairsVisited =
+      PairsBefore + (Algebra ? Algebra->pairsVisited() : 0) + KernelOps;
+  ConsumedSeconds = Clock.seconds();
+  Stats.SearchSeconds = ConsumedSeconds - Stats.PrecomputeSeconds;
+  if (Store) {
+    Stats.ShardCount = Store->shardCount();
+    Stats.ShardRows.resize(Store->shardCount());
+    Stats.ShardDropped.resize(Store->shardCount());
+    for (unsigned S = 0; S != Store->shardCount(); ++S) {
+      Stats.ShardRows[S] = Store->shardRows(S);
+      Stats.ShardDropped[S] = Store->shardDropped(S);
+    }
+  }
+  R.Stats = Stats;
+}
+
+void SearchSession::finishWith(SynthStatus Status, std::string Message) {
+  SynthResult R;
+  R.Status = Status;
+  R.Message = std::move(Message);
+  fillStats(R);
+  Result = std::move(R);
+  St = SessionState::Finished;
+}
+
+void SearchSession::parkWith(SynthStatus Status) {
+  SynthResult R;
+  R.Status = Status;
+  fillStats(R);
+  Result = std::move(R);
+  St = SessionState::Parked;
+}
+
+void SearchSession::finishFound(const Provenance &Satisfier,
+                                uint64_t Cost) {
+  RegexManager M;
+  const Regex *Re = Store->reconstructCandidate(Satisfier, M);
+  SynthResult R;
+  R.Status = SynthStatus::Found;
+  R.Regex = toString(Re);
+  R.Cost = Cost;
+  assert(EffOpts.Cost.of(Re) == Cost &&
+         "reconstructed expression must cost exactly its level");
+  fillStats(R);
+  Result = std::move(R);
+  St = SessionState::Finished;
+}
+
+//===----------------------------------------------------------------------===//
+// Budget extension
+//===----------------------------------------------------------------------===//
+
+bool SearchSession::canExtendTo(const SynthOptions &NewOpts) const {
+  if (St != SessionState::Parked)
+    return false;
+  // Budgets may only widen: the resumed sweep must retrace the prefix
+  // a cold run at the new budget would compute.
+  if (resolveMaxCost(Q->spec(), NewOpts) < MaxCostResolved)
+    return false;
+  double NewRank = timeoutRank(NewOpts.TimeoutSeconds);
+  double OldRank = timeoutRank(EffOpts.TimeoutSeconds);
+  // A Timeout park needs a *strictly* larger deadline: resuming under
+  // the same one re-times-out instantly off the recorded clock, and a
+  // load-inflated first run would then pin Timeout on retries that a
+  // genuine re-run might beat (NotFound parks carry no clock, so an
+  // equal deadline is fine there).
+  return Result.Status == SynthStatus::Timeout ? NewRank > OldRank
+                                               : NewRank >= OldRank;
+}
+
+bool SearchSession::extendBudget(uint64_t NewMaxCost,
+                                 double NewTimeoutSeconds) {
+  if (St == SessionState::Finished)
+    return false;
+  EffOpts.MaxCost = NewMaxCost;
+  EffOpts.TimeoutSeconds = NewTimeoutSeconds;
+  if (Prepared)
+    MaxCostResolved = resolveMaxCost(Q->spec(), EffOpts);
+  St = SessionState::Running;
+  return true;
+}
+
+uint64_t SearchSession::bytesUsed() const {
+  return (Store ? Store->bytesUsed() : 0) + B->auxBytesUsed();
+}
+
+std::string SearchSession::sessionKeyText() const {
+  return canonicalSessionText(canonicalSpec(Q->spec()), Q->alphabet(),
+                              EffOpts);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Driver-progress byte in the snapshot that marks a still-Running
+/// session (a clean pause); parked sessions store their result status.
+constexpr uint8_t RunningMarker = 0xff;
+
+} // namespace
+
+bool SearchSession::canSave() const {
+  return St != SessionState::Finished && B->supportsResume();
+}
+
+bool SearchSession::save(SnapshotWriter &W) {
+  if (!canSave())
+    return false;
+  if (!Prepared)
+    prepareRun(); // A never-stepped session snapshots as "before level 1".
+  if (NeedsRollback)
+    rollbackToBoundary();
+
+  writeSnapshotHeader(W, "session");
+
+  size_t Meta = W.beginSection("meta");
+  W.str(sessionKeyText());
+  W.str(B->name());
+  W.endSection(Meta);
+
+  size_t Driver = W.beginSection("driver");
+  W.u8(St == SessionState::Parked ? uint8_t(Result.Status)
+                                  : RunningMarker);
+  W.u64(NextCost);
+  W.u64(Stats.CandidatesGenerated);
+  W.u64(Stats.UniqueLanguages);
+  W.u64(Stats.LastCompletedCost);
+  W.u64(PairsBefore + Algebra->pairsVisited());
+  W.u64(KernelOps);
+  W.u8(CacheFilled ? 1 : 0);
+  W.u64(FilledCost);
+  W.u8(Stats.OnTheFly ? 1 : 0);
+  W.f64(ConsumedSeconds);
+  W.f64(Stats.PrecomputeSeconds);
+  W.u64(NonEmptyLevels.size());
+  for (uint64_t Level : NonEmptyLevels)
+    W.u64(Level);
+  W.endSection(Driver);
+
+  saveShardedStore(W, *Store);
+  B->saveState(W);
+  appendSnapshotChecksum(W);
+  return true;
+}
+
+std::unique_ptr<SearchSession>
+SearchSession::restore(std::string_view Bytes,
+                       std::shared_ptr<const StagedQuery> Query,
+                       std::unique_ptr<Backend> Backend,
+                       std::string *Error) {
+  auto Fail = [&](std::string Message) -> std::unique_ptr<SearchSession> {
+    if (Error)
+      *Error = std::move(Message);
+    return nullptr;
+  };
+  if (!verifySnapshotChecksum(Bytes))
+    return Fail("snapshot rejected: truncated or corrupt (checksum "
+                "mismatch)");
+  SnapshotReader R(stripSnapshotChecksum(Bytes));
+  if (!readSnapshotHeader(R, "session"))
+    return Fail("snapshot rejected: not a paresy session snapshot of "
+                "this format version");
+
+  std::string KeyText, BackendName;
+  if (!R.enterSection("meta") || !R.str(KeyText) || !R.str(BackendName) ||
+      !R.leaveSection())
+    return Fail("snapshot rejected: malformed meta section");
+  if (!Query || Query->immediate())
+    return Fail("snapshot rejected: the query resolves without a "
+                "search; nothing to resume");
+  std::string Expect =
+      canonicalSessionText(canonicalSpec(Query->spec()),
+                           Query->alphabet(), Query->options());
+  if (KeyText != Expect)
+    return Fail("snapshot rejected: it belongs to a different query "
+                "(spec, alphabet or non-budget options differ)");
+  if (!Backend || Backend->name() != BackendName)
+    return Fail("snapshot rejected: it was taken on backend '" +
+                BackendName + "'");
+  if (!Backend->supportsResume())
+    return Fail("snapshot rejected: backend '" + BackendName +
+                "' does not support resumable sessions");
+
+  std::unique_ptr<SearchSession> S(
+      new SearchSession(std::move(Query), std::move(Backend)));
+  if (!S->restoreBody(R))
+    return Fail("snapshot rejected: malformed or inconsistent session "
+                "state");
+  return S;
+}
+
+bool SearchSession::restoreBody(SnapshotReader &R) {
+
+  uint8_t StatusByte = 0, CacheFilledByte = 0, OnTheFlyByte = 0;
+  uint64_t Candidates = 0, Unique = 0, LastCompleted = 0;
+  uint64_t CompletedPairs = 0, Ops = 0, LevelCount = 0;
+  double Consumed = 0, Precompute = 0;
+  if (!R.enterSection("driver") || !R.u8(StatusByte) || !R.u64(NextCost) ||
+      !R.u64(Candidates) || !R.u64(Unique) || !R.u64(LastCompleted) ||
+      !R.u64(CompletedPairs) || !R.u64(Ops) || !R.u8(CacheFilledByte) ||
+      !R.u64(FilledCost) || !R.u8(OnTheFlyByte) || !R.f64(Consumed) ||
+      !R.f64(Precompute) || !R.u64(LevelCount))
+    return false;
+  if (StatusByte != RunningMarker &&
+      StatusByte != uint8_t(SynthStatus::Timeout) &&
+      StatusByte != uint8_t(SynthStatus::NotFound))
+    return false;
+  if (NextCost < EffOpts.Cost.Literal ||
+      LevelCount > R.remaining() / 8)
+    return false;
+  NonEmptyLevels.assign(size_t(LevelCount), 0);
+  for (uint64_t &Level : NonEmptyLevels)
+    if (!R.u64(Level))
+      return false;
+  if (!std::is_sorted(NonEmptyLevels.begin(), NonEmptyLevels.end()) ||
+      !R.leaveSection())
+    return false;
+
+  bindContext();
+  Store = loadShardedStore(R);
+  if (!Store || Store->csWords() != Q->universe()->csWords() ||
+      Store->shardCount() != std::max(1u, EffOpts.Shards))
+    return false;
+  Ctx.Store = Store.get();
+  // planCacheCapacity() re-derives the backend's own memory partition
+  // (the store's capacity is authoritative from the stream; with the
+  // budgets excluded from the session key it re-plans identically).
+  B->planCacheCapacity(Ctx, EffOpts.MemoryLimitBytes);
+  B->prepare(Ctx);
+  if (!B->loadState(R, Ctx))
+    return false;
+
+  Stats.CandidatesGenerated = Candidates;
+  Stats.UniqueLanguages = Unique;
+  Stats.LastCompletedCost = LastCompleted;
+  Stats.OnTheFly = OnTheFlyByte != 0;
+  Stats.PrecomputeSeconds = Precompute;
+  PairsBefore = CompletedPairs;
+  KernelOps = Ops;
+  CacheFilled = CacheFilledByte != 0;
+  ConsumedSeconds = Consumed;
+  MaxCostResolved = resolveMaxCost(Q->spec(), EffOpts);
+  Prepared = true;
+
+  if (StatusByte == RunningMarker) {
+    St = SessionState::Running;
+  } else {
+    Clock.reset();
+    Clock.rewind(ConsumedSeconds);
+    parkWith(SynthStatus(StatusByte));
+  }
+  return true;
+}

@@ -1,0 +1,249 @@
+//===- engine/Session.h - Resumable search sessions --------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost sweep as a first-class, pausable state machine (DESIGN.md
+/// Sec. 9). Alg. 1 sweeps cost levels monotonically, so everything a
+/// run computes up to level C - the language store, the uniqueness
+/// sets, the level table - is reusable verbatim by any retry of the
+/// same query with a larger MaxCost or Timeout. The run-to-completion
+/// runStaged() used to throw that state away on Timeout and NotFound;
+/// SearchSession keeps it:
+///
+///   * the sweep advances one cost level per step(), and every level
+///     boundary is a pause point;
+///   * a session whose budget runs out *parks* instead of dying:
+///     NotFound (cost budget) and Timeout (wall clock) leave the
+///     session holding its full search state, and extendBudget() +
+///     run() continue exactly where it stopped;
+///   * a parked session serializes to a versioned byte stream
+///     (save(), core/Snapshot.h) and restores in another process
+///     (restore()), keyed by the budget-invariant session fingerprint
+///     (lang/Fingerprint.h) so a snapshot can never be resumed against
+///     a different query;
+///   * a timeout that strikes *mid-level* rolls back to the last
+///     completed boundary before resuming: the partial level's rows
+///     are truncated and the backend rebuilds its uniqueness state
+///     from the store, so the level re-runs from scratch.
+///
+/// The resume-equivalence invariant (test-enforced for every backend
+/// and shard count): pause -> snapshot -> restore -> resume yields the
+/// same results, costs and candidate counts as one uninterrupted run
+/// at the final budget. runStaged() is now a thin wrapper - construct
+/// a session, run it to its first stop - and is bit-identical to the
+/// pre-session driver on every path.
+///
+/// The service layer (service/SynthService.h) parks sessions in
+/// memory; paresy_cli --checkpoint/--resume parks them on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_SESSION_H
+#define PARESY_ENGINE_SESSION_H
+
+#include "engine/Backend.h"
+#include "engine/Staging.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paresy {
+
+class CsAlgebra;
+
+namespace engine {
+
+/// Lifecycle of a SearchSession.
+enum class SessionState : uint8_t {
+  /// More levels remain within the current budgets; step()/run()
+  /// advance the sweep.
+  Running,
+  /// Stopped at a level boundary because a budget ran out (Timeout or
+  /// NotFound). result() is the answer at the current budget;
+  /// extendBudget() + run() continue the sweep.
+  Parked,
+  /// Terminal: Found, InvalidInput, OutOfMemory, or a Timeout whose
+  /// boundary state could not be kept. result() is final.
+  Finished,
+};
+
+const char *sessionStateName(SessionState St);
+
+/// One query's cost sweep, pausable at every level boundary.
+/// Not thread-safe; one thread drives a session at a time.
+class SearchSession {
+public:
+  /// Owning constructor: the session keeps the staged query and the
+  /// backend alive for its whole life (what parked sessions need).
+  SearchSession(std::shared_ptr<const StagedQuery> Q,
+                std::unique_ptr<Backend> B);
+
+  /// Borrowing constructor for run-to-completion callers whose query
+  /// and backend outlive the session (engine::runStaged).
+  SearchSession(const StagedQuery &Q, Backend &B);
+
+  ~SearchSession();
+
+  SearchSession(const SearchSession &) = delete;
+  SearchSession &operator=(const SearchSession &) = delete;
+
+  SessionState state() const { return St; }
+  const StagedQuery &query() const { return *Q; }
+  /// The owning handle to the staged query (null for borrowing
+  /// sessions): lets cache layers re-pin the artifacts a resumed
+  /// session already carries instead of re-staging them.
+  std::shared_ptr<const StagedQuery> queryHandle() const { return QOwned; }
+  Backend &backend() const { return *B; }
+
+  /// The cost level the next step() executes (meaningful while not
+  /// Finished).
+  uint64_t nextCost() const { return NextCost; }
+
+  /// The resolved cost bound of the current budget (MaxCost, or the
+  /// overfit bound when MaxCost is 0).
+  uint64_t maxCost() const { return MaxCostResolved; }
+
+  /// The wall-clock budget of the current run (0 = none) and the
+  /// compute seconds already charged against it (staging + completed
+  /// sweep work, across every run of this session).
+  double timeoutSeconds() const { return EffOpts.TimeoutSeconds; }
+  double consumedSeconds() const { return ConsumedSeconds; }
+
+  /// Advances the sweep by at most one cost level and returns the new
+  /// state. On a Parked session this re-evaluates the budgets (the
+  /// caller extended them, or accepts re-parking); on Finished it is a
+  /// no-op.
+  SessionState step();
+
+  /// Runs until the session parks or finishes; returns result().
+  SynthResult run();
+
+  /// The result at the current stop. Valid when Parked or Finished;
+  /// Parked results are answers *at the current budget* (Timeout or
+  /// NotFound) that a budget extension may still improve.
+  const SynthResult &result() const { return Result; }
+
+  /// True when a retry with \p NewOpts can be served by extending this
+  /// session: it is Parked and NewOpts only widens the budgets. The
+  /// caller guarantees the non-budget fields match (equal canonical
+  /// session text); this checks the budget ordering.
+  bool canExtendTo(const SynthOptions &NewOpts) const;
+
+  /// Raises the budgets of a Parked session and puts it back to
+  /// Running: \p NewMaxCost replaces SynthOptions::MaxCost (0 = the
+  /// overfit bound) and \p NewTimeoutSeconds replaces the *total*
+  /// compute budget (staging plus all sweep work so far and to come;
+  /// 0 = none). No-op on Finished sessions (returns false).
+  bool extendBudget(uint64_t NewMaxCost, double NewTimeoutSeconds);
+
+  /// Bytes pinned by the parked search state (store + backend
+  /// structures), for resume-cache byte budgets.
+  uint64_t bytesUsed() const;
+
+  /// The session's budget-invariant identity: the canonical session
+  /// text of its query and effective options (lang/Fingerprint.h).
+  std::string sessionKeyText() const;
+
+  /// True when this session can be serialized: it is at a level
+  /// boundary (Running before a step, or Parked) and the backend
+  /// supports state serialization.
+  bool canSave() const;
+
+  /// Serializes the full session state (driver progress, sharded
+  /// store, backend state) as one self-describing, checksummed stream.
+  /// Pre: canSave(). Returns false if the state cannot be serialized.
+  bool save(SnapshotWriter &W);
+
+  /// Restores a session serialized by save(). \p Q must stage the same
+  /// spec/alphabet/options up to the budgets (equal canonical session
+  /// text - budgets may be larger: that is the resume-with-extension
+  /// path), and \p B must be a fresh backend of the saved kind. On
+  /// failure returns null and, when \p Error is given, says why.
+  static std::unique_ptr<SearchSession>
+  restore(std::string_view Bytes, std::shared_ptr<const StagedQuery> Q,
+          std::unique_ptr<Backend> B, std::string *Error = nullptr);
+
+private:
+  /// Counters and store geometry at the last completed level boundary,
+  /// for rolling back a partially executed level.
+  struct Boundary {
+    uint64_t Candidates = 0;
+    uint64_t Unique = 0;
+    uint64_t Pairs = 0;
+    uint64_t KernelOps = 0;
+    uint64_t LastCompletedCost = 0;
+    size_t NonEmptyLevels = 0;
+    size_t StoreSize = 0;
+    std::vector<uint32_t> ShardRows;
+    bool CacheFilled = false;
+    uint64_t FilledCost = 0;
+    bool OnTheFly = false;
+  };
+
+  void initCommon();
+  void bindContext();
+  void prepareRun();
+  bool restoreBody(SnapshotReader &R);
+  uint64_t horizon() const;
+  void captureBoundary();
+  /// Rolls a partial level back to the captured boundary and rebuilds
+  /// the backend's uniqueness state from the truncated store.
+  void rollbackToBoundary();
+  void runLevelAt(uint64_t C);
+  void fillStats(SynthResult &R);
+  void finishWith(SynthStatus Status, std::string Message = {});
+  void finishFound(const Provenance &Satisfier, uint64_t Cost);
+  void parkWith(SynthStatus Status);
+
+  // Query and backend, owning or borrowed (see constructors).
+  std::shared_ptr<const StagedQuery> QOwned;
+  std::unique_ptr<Backend> BOwned;
+  const StagedQuery *Q;
+  Backend *B;
+
+  /// The options the sweep runs under: the staged query's options with
+  /// the budgets (MaxCost, TimeoutSeconds) possibly extended.
+  SynthOptions EffOpts;
+
+  // Per-run state (created by prepareRun / restore).
+  std::unique_ptr<CsAlgebra> Algebra;
+  std::unique_ptr<ShardedStore> Store;
+  SearchContext Ctx;
+  std::vector<uint64_t> NonEmptyLevels;
+  SynthStats Stats;
+  WallTimer Clock;
+
+  SessionState St = SessionState::Running;
+  SynthResult Result;
+  bool Prepared = false;
+  /// A mid-level timeout left a partial level behind; roll back before
+  /// the next level (or a save).
+  bool NeedsRollback = false;
+
+  uint64_t NextCost = 0;
+  uint64_t MaxCostResolved = 0;
+  uint64_t MinExtra = 0;
+  /// Pairs counted by algebras of earlier runs of this session (a
+  /// restore starts a fresh CsAlgebra).
+  uint64_t PairsBefore = 0;
+  uint64_t KernelOps = 0;
+  /// Compute seconds consumed so far (staging + sweep, across runs);
+  /// the timeout budget is measured against this, so parked wall time
+  /// never counts.
+  double ConsumedSeconds = 0;
+
+  bool CacheFilled = false;
+  uint64_t FilledCost = 0;
+
+  Boundary LastBoundary;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_SESSION_H

@@ -9,8 +9,10 @@
 #include "core/ShardedStore.h"
 #include "lang/GuideTable.h"
 #include "lang/Universe.h"
+#include "support/Bits.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -119,9 +121,21 @@ std::shared_ptr<const StagedQuery>
 paresy::engine::restage(const StagedQuery &Base,
                         const SynthOptions &NewOpts) {
   // Universe geometry must match to reuse anything; immediate bases
-  // staged nothing worth sharing.
-  if (!Base.universe() ||
-      NewOpts.PadToPowerOfTwo != Base.options().PadToPowerOfTwo)
+  // staged nothing worth sharing. A differing PadToPowerOfTwo flag
+  // only changes the geometry when padding actually widens this
+  // universe - a closure whose size is already a power of two has
+  // identical padded and unpadded layouts, so the artifacts stay
+  // shareable (cheap resumes must never silently re-stage).
+  bool PadIsNoOp = false;
+  if (Base.universe()) {
+    size_t Bits = std::max<size_t>(1, Base.universe()->size());
+    PadIsNoOp = size_t(nextPowerOfTwo(Bits)) == Bits;
+  }
+  bool SameGeometry =
+      Base.universe() &&
+      (NewOpts.PadToPowerOfTwo == Base.options().PadToPowerOfTwo ||
+       PadIsNoOp);
+  if (!SameGeometry)
     return stage(Base.spec(), Base.alphabet(), NewOpts);
 
   std::shared_ptr<StagedQuery> Q(new StagedQuery);

@@ -117,9 +117,14 @@ std::shared_ptr<const StagedQuery> stage(const Spec &S,
                                          const SynthOptions &Opts);
 
 /// Re-stages \p Base under \p NewOpts, sharing its universe and guide
-/// table when the staging-relevant flags (PadToPowerOfTwo, and for the
-/// table UseGuideTable) agree; falls back to a full stage() otherwise.
-/// The spec and alphabet are Base's.
+/// table whenever the universe geometry is unchanged: always when only
+/// sweep options (cost function, budgets, shards, error, ablation
+/// flags other than padding) differ, and even across a PadToPowerOfTwo
+/// flip when padding is a no-op for this universe. Falls back to a
+/// full stage() otherwise. The spec and alphabet are Base's. Budget
+/// retries (engine/Session.h resume) rely on this sharing being total:
+/// a MaxCost/Timeout-only change never rebuilds artifacts
+/// (test-enforced).
 std::shared_ptr<const StagedQuery> restage(const StagedQuery &Base,
                                            const SynthOptions &NewOpts);
 

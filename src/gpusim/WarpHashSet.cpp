@@ -6,9 +6,11 @@
 
 #include "gpusim/WarpHashSet.h"
 
+#include "core/Snapshot.h"
 #include "support/Bits.h"
 
 #include <cassert>
+#include <new>
 #include <thread>
 
 using namespace paresy;
@@ -82,6 +84,82 @@ int64_t WarpHashSet::insert(const uint64_t *Key, uint32_t Id,
     SlotIdx = (SlotIdx + 1) & Mask;
   }
   return -1;
+}
+
+void WarpHashSet::save(SnapshotWriter &W) const {
+  size_t Section = W.beginSection("warpset");
+  W.u64(KeyWords);
+  W.u64(capacity());
+  W.u64(size());
+  for (size_t SlotIdx = 0; SlotIdx != capacity(); ++SlotIdx) {
+    const Slot &S = Slots[SlotIdx];
+    if (S.Owner.load(std::memory_order_acquire) == EmptyOwner)
+      continue;
+    assert(S.Ready.load(std::memory_order_acquire) &&
+           "snapshotting a set with an unpublished slot");
+    W.u64(SlotIdx);
+    W.u32(S.Owner.load(std::memory_order_relaxed));
+    W.u32(S.Winner.load(std::memory_order_relaxed));
+    W.u8(S.Tag.load(std::memory_order_relaxed));
+    for (size_t Word = 0; Word != KeyWords; ++Word)
+      W.u64(keyAt(SlotIdx)[Word]);
+  }
+  W.endSection(Section);
+}
+
+std::unique_ptr<WarpHashSet> WarpHashSet::restore(SnapshotReader &R) {
+  if (!R.enterSection("warpset"))
+    return nullptr;
+  uint64_t KeyWords = 0, Capacity = 0, Count = 0;
+  if (!R.u64(KeyWords) || !R.u64(Capacity) || !R.u64(Count))
+    return nullptr;
+  // The construction path rounds capacity to a power of two >= 16; a
+  // stream claiming anything else (or more entries than the stream can
+  // hold - each record is 17 bytes of metadata plus the key words) is
+  // corrupt. The absolute caps keep a corrupt header from triggering a
+  // giant allocation.
+  if (KeyWords == 0 || KeyWords > (uint64_t(1) << 20) ||
+      Capacity < 16 || Capacity > (uint64_t(1) << 34) ||
+      (Capacity & (Capacity - 1)) != 0 || Count > Capacity ||
+      (Count > 0 && Count > R.remaining() / (17 + KeyWords * 8))) {
+    R.markFailed();
+    return nullptr;
+  }
+  // A crafted capacity claim must reject, not abort: the stream's
+  // fingerprint trailer is a checksum, not a MAC (see Snapshot.cpp).
+  std::unique_ptr<WarpHashSet> Set;
+  try {
+    Set = std::make_unique<WarpHashSet>(size_t(KeyWords),
+                                        size_t(Capacity));
+  } catch (const std::bad_alloc &) {
+    R.markFailed();
+    return nullptr;
+  }
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t SlotIdx = 0;
+    uint32_t Owner = 0, Winner = 0;
+    uint8_t Tag = 0;
+    if (!R.u64(SlotIdx) || !R.u32(Owner) || !R.u32(Winner) || !R.u8(Tag))
+      return nullptr;
+    if (SlotIdx >= Capacity || Owner == EmptyOwner ||
+        Set->Slots[SlotIdx].Owner.load(std::memory_order_relaxed) !=
+            EmptyOwner) {
+      R.markFailed();
+      return nullptr;
+    }
+    Slot &S = Set->Slots[SlotIdx];
+    for (size_t Word = 0; Word != size_t(KeyWords); ++Word)
+      if (!R.u64(Set->keyAt(size_t(SlotIdx))[Word]))
+        return nullptr;
+    S.Owner.store(Owner, std::memory_order_relaxed);
+    S.Winner.store(Winner, std::memory_order_relaxed);
+    S.Tag.store(Tag, std::memory_order_relaxed);
+    S.Ready.store(1, std::memory_order_release);
+  }
+  Set->Count.store(size_t(Count), std::memory_order_relaxed);
+  if (!R.leaveSection())
+    return nullptr;
+  return Set;
 }
 
 int64_t WarpHashSet::find(const uint64_t *Key) const {

@@ -43,6 +43,10 @@
 #include <memory>
 
 namespace paresy {
+
+class SnapshotReader;
+class SnapshotWriter;
+
 namespace gpusim {
 
 /// Fixed-capacity concurrent hash set of multi-word keys.
@@ -76,6 +80,7 @@ public:
   int64_t find(const uint64_t *Key) const;
 
   size_t capacity() const { return Mask + 1; }
+  size_t keyWords() const { return KeyWords; }
   size_t size() const {
     return Count.load(std::memory_order_relaxed);
   }
@@ -84,6 +89,17 @@ public:
   /// Metadata bytes per slot (the capacity planners derive per-slot
   /// cost from this instead of a hand-written constant).
   static constexpr size_t slotBytes() { return sizeof(Slot); }
+
+  /// Serializes the occupied slots as one tagged section of
+  /// core/Snapshot.h. A quiescent-state operation: no insert may be in
+  /// flight (the engine only snapshots at level boundaries). Only
+  /// published slots are written, so the stream is proportional to
+  /// size(), not capacity().
+  void save(SnapshotWriter &W) const;
+
+  /// Restores a set serialized by save(); null on a malformed stream
+  /// (\p R is then failed()).
+  static std::unique_ptr<WarpHashSet> restore(SnapshotReader &R);
 
 private:
   struct Slot {

@@ -89,24 +89,23 @@ Spec paresy::canonicalSpec(const Spec &S) {
   return Spec(sortedUnique(S.Pos), sortedUnique(S.Neg));
 }
 
-std::string paresy::canonicalQueryText(const Spec &Canonical,
-                                       const Alphabet &Sigma,
-                                       const SynthOptions &Opts) {
-  std::string Out = "paresy-query-v2\n";
-  appendSpecAndAlphabet(Out, Canonical, Sigma);
+namespace {
+
+/// The budget-invariant sweep options: every SynthOptions field that
+/// shapes the search *per level* - as opposed to MaxCost and
+/// TimeoutSeconds, which only decide how many levels run. This is the
+/// whole option block of the session key and the prefix the query key
+/// extends with the budgets.
+void appendSweepCore(std::string &Out, const SynthOptions &Opts) {
   Out += "cost=" + Opts.Cost.name() + '\n';
-  Out += "maxcost=";
-  appendU64Hex(Out, Opts.MaxCost);
-  Out += "\nmemory=";
+  Out += "memory=";
   appendU64Hex(Out, Opts.MemoryLimitBytes);
   // The *resolved* shard count: 0 and 1 are the same query (both mean
   // the single-arena layout), so they must share one cache entry.
   Out += "\nshards=";
   appendU64Hex(Out, Opts.Shards ? Opts.Shards : 1);
-  // Timeout and error enter as exact bit patterns: any difference in
-  // either can change the result (status, or the mistake budget).
-  Out += "\ntimeout=";
-  appendDoubleBits(Out, Opts.TimeoutSeconds);
+  // Error enters as its exact bit pattern: any difference can change
+  // the mistake budget.
   Out += "\nerror=";
   appendDoubleBits(Out, Opts.AllowedError);
   Out += "\nflags=";
@@ -115,6 +114,32 @@ std::string paresy::canonicalQueryText(const Spec &Canonical,
                     Opts.PadToPowerOfTwo})
     Out += Flag ? '1' : '0';
   Out += '\n';
+}
+
+} // namespace
+
+std::string paresy::canonicalQueryText(const Spec &Canonical,
+                                       const Alphabet &Sigma,
+                                       const SynthOptions &Opts) {
+  std::string Out = "paresy-query-v3\n";
+  appendSpecAndAlphabet(Out, Canonical, Sigma);
+  appendSweepCore(Out, Opts);
+  // The budgets complete the result identity: a different MaxCost or
+  // timeout can change the status, so results never cross budgets.
+  Out += "maxcost=";
+  appendU64Hex(Out, Opts.MaxCost);
+  Out += "\ntimeout=";
+  appendDoubleBits(Out, Opts.TimeoutSeconds);
+  Out += '\n';
+  return Out;
+}
+
+std::string paresy::canonicalSessionText(const Spec &Canonical,
+                                         const Alphabet &Sigma,
+                                         const SynthOptions &Opts) {
+  std::string Out = "paresy-session-v3\n";
+  appendSpecAndAlphabet(Out, Canonical, Sigma);
+  appendSweepCore(Out, Opts);
   return Out;
 }
 
@@ -142,4 +167,9 @@ Fingerprint paresy::fingerprintQuery(const Spec &S, const Alphabet &Sigma,
 Fingerprint paresy::fingerprintStaging(const Spec &S, const Alphabet &Sigma,
                                        const SynthOptions &Opts) {
   return fingerprintText(canonicalStagingText(canonicalSpec(S), Sigma, Opts));
+}
+
+Fingerprint paresy::fingerprintSession(const Spec &S, const Alphabet &Sigma,
+                                       const SynthOptions &Opts) {
+  return fingerprintText(canonicalSessionText(canonicalSpec(S), Sigma, Opts));
 }

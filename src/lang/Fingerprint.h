@@ -95,6 +95,17 @@ std::string canonicalStagingText(const Spec &Canonical,
                                  const Alphabet &Sigma,
                                  const SynthOptions &Opts);
 
+/// Like canonicalQueryText, but *excluding* the two budget fields
+/// (MaxCost, TimeoutSeconds): the identity of a resumable search
+/// session (engine/Session.h). The cost sweep is monotone in its
+/// budgets - a run differing only in them retraces the same levels -
+/// so a parked session can serve any retry with equal session text and
+/// a larger budget. Result caches must keep using the query text: the
+/// budgets do change results.
+std::string canonicalSessionText(const Spec &Canonical,
+                                 const Alphabet &Sigma,
+                                 const SynthOptions &Opts);
+
 /// Fingerprint of an arbitrary byte string.
 Fingerprint fingerprintText(std::string_view Text);
 
@@ -104,6 +115,10 @@ Fingerprint fingerprintQuery(const Spec &S, const Alphabet &Sigma,
 
 /// fingerprintText(canonicalStagingText(canonicalSpec(S), Sigma, Opts)).
 Fingerprint fingerprintStaging(const Spec &S, const Alphabet &Sigma,
+                               const SynthOptions &Opts);
+
+/// fingerprintText(canonicalSessionText(canonicalSpec(S), Sigma, Opts)).
+Fingerprint fingerprintSession(const Spec &S, const Alphabet &Sigma,
                                const SynthOptions &Opts);
 
 } // namespace paresy

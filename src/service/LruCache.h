@@ -67,6 +67,19 @@ public:
     Map.emplace(K, Order.begin());
   }
 
+  /// Removes and returns the entry stored under \p K (not counted as
+  /// an eviction - the caller takes ownership, e.g. to resume a parked
+  /// session), or nothing on a miss.
+  std::optional<Value> take(const Key &K) {
+    auto It = Map.find(K);
+    if (It == Map.end())
+      return std::nullopt;
+    Value Out = std::move(It->second->second);
+    Order.erase(It->second);
+    Map.erase(It);
+    return Out;
+  }
+
   /// Removes and returns the least-recently-used entry (counted as an
   /// eviction), or nothing when empty. For callers enforcing a budget
   /// beyond entry count, e.g. bytes.

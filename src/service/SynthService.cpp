@@ -16,7 +16,8 @@ using namespace paresy::service;
 
 SynthService::SynthService(ServiceOptions Opts)
     : Options(std::move(Opts)), Results(Options.ResultCacheCapacity),
-      Staged(Options.StagedCacheCapacity) {
+      Staged(Options.StagedCacheCapacity),
+      Sessions(Options.SessionParkCapacity) {
   Threads.reserve(Options.Workers);
   for (unsigned I = 0; I != Options.Workers; ++I)
     Threads.emplace_back([this] { workerMain(); });
@@ -38,6 +39,57 @@ SynthService::ResultFuture SynthService::readyFuture(SynthResult R) {
   P.set_value(std::move(R));
   return P.get_future().share();
 }
+
+namespace {
+
+/// Shared admission logic of the service's two byte-budgeted LRUs
+/// (staged artifacts, parked sessions). \p Entry must carry a Bytes
+/// field. Rejects entries larger than the whole byte budget; replaces
+/// in place with byte-delta accounting; otherwise evicts LRU-first
+/// until both the entry-count and the byte budget admit the entry.
+/// Returns true iff the entry was stored; evictions increment
+/// \p Expired when given.
+template <typename Entry>
+bool putBudgeted(service::LruCache<Fingerprint, Entry, FingerprintHash>
+                     &Cache,
+                 uint64_t &BytesTotal, size_t MaxEntries,
+                 uint64_t MaxBytes, uint64_t *Expired,
+                 const Fingerprint &Key, Entry E) {
+  if (MaxEntries == 0 || E.Bytes > MaxBytes)
+    return false;
+
+  auto EvictOne = [&] {
+    std::optional<std::pair<Fingerprint, Entry>> Evicted =
+        Cache.evictOldest();
+    if (!Evicted)
+      return false;
+    BytesTotal -= Evicted->second.Bytes;
+    if (Expired)
+      ++*Expired;
+    return true;
+  };
+
+  // In-place replacement: swap the byte accounting, then trim in case
+  // the entry grew.
+  if (Entry *Old = Cache.get(Key)) {
+    BytesTotal += E.Bytes - Old->Bytes;
+    Cache.put(Key, std::move(E));
+    while (BytesTotal > MaxBytes && EvictOne()) {
+    }
+    return true;
+  }
+
+  // Fresh insert: evict LRU-first until both budgets admit it. The
+  // explicit count check keeps put() from evicting invisibly.
+  while ((Cache.size() + 1 > MaxEntries || BytesTotal + E.Bytes > MaxBytes) &&
+         EvictOne()) {
+  }
+  BytesTotal += E.Bytes;
+  Cache.put(Key, std::move(E));
+  return true;
+}
+
+} // namespace
 
 SynthService::ResultFuture SynthService::submit(const Spec &S,
                                                 const Alphabet &Sigma,
@@ -143,6 +195,7 @@ ServiceStats SynthService::stats() const {
   ServiceStats Copy = Counters;
   Copy.Evictions = Results.evictions();
   Copy.StagedBytes = StagedBytesTotal;
+  Copy.SessionBytes = SessionBytesTotal;
   Copy.QueueDepth = Queue.size();
   return Copy;
 }
@@ -165,35 +218,64 @@ void SynthService::workerMain() {
 }
 
 void SynthService::execute(const std::shared_ptr<Request> &Req) {
-  // Staged-artifact reuse: requests that share a spec but differ in
-  // sweep options (cost function, budgets, timeout) share the staged
-  // universe and guide table.
+  // Resume path first: a parked session with this request's
+  // budget-invariant identity whose budgets only widened continues
+  // from its parked cost level - and already carries its staged
+  // artifacts, so the warm start skips staging entirely. Taking the
+  // session out of the cache gives this worker sole ownership; a
+  // concurrent same-session request simply runs cold.
+  std::string SessionText =
+      canonicalSessionText(Req->Canonical, Req->Sigma, Req->Opts);
+  Fingerprint SessionKey = fingerprintText(SessionText);
+  std::unique_ptr<engine::SearchSession> Session;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (ParkedSession *Hit = Sessions.get(SessionKey);
+        Hit && Hit->KeyText == SessionText &&
+        Hit->Session->canExtendTo(Req->Opts)) {
+      std::optional<ParkedSession> Taken = Sessions.take(SessionKey);
+      SessionBytesTotal -= Taken->Bytes;
+      Session = std::move(Taken->Session);
+      ++Counters.SessionsResumed;
+    }
+  }
+
   std::string StagedText =
       canonicalStagingText(Req->Canonical, Req->Sigma, Req->Opts);
   Fingerprint StagedKey = fingerprintText(StagedText);
-
-  std::shared_ptr<const engine::StagedQuery> Base;
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    if (CachedStaged *Hit = Staged.get(StagedKey);
-        Hit && Hit->KeyText == StagedText) {
-      Base = Hit->Query;
-      ++Counters.StagedHits;
-    } else {
-      ++Counters.StagedMisses;
+  std::shared_ptr<const engine::StagedQuery> Q;
+  if (Session) {
+    Session->extendBudget(Req->Opts.MaxCost, Req->Opts.TimeoutSeconds);
+    // Re-pin the session's own artifacts in the staged cache below.
+    Q = Session->queryHandle();
+  } else {
+    // Staged-artifact reuse: requests that share a spec but differ in
+    // sweep options (cost function, budgets, timeout) share the
+    // staged universe and guide table.
+    std::shared_ptr<const engine::StagedQuery> Base;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (CachedStaged *Hit = Staged.get(StagedKey);
+          Hit && Hit->KeyText == StagedText) {
+        Base = Hit->Query;
+        ++Counters.StagedHits;
+      } else {
+        ++Counters.StagedMisses;
+      }
     }
-  }
-  std::shared_ptr<const engine::StagedQuery> Q =
-      Base ? engine::restage(*Base, Req->Opts)
-           : engine::stage(Req->Canonical, Req->Sigma, Req->Opts);
+    Q = Base ? engine::restage(*Base, Req->Opts)
+             : engine::stage(Req->Canonical, Req->Sigma, Req->Opts);
 
-  engine::BackendConfig Config = Options.Kernels;
-  if (Options.Workers > 0)
-    Config.InlineKernels = true; // The request pool owns parallelism.
-  std::unique_ptr<engine::Backend> B =
-      engine::createBackend(Options.Backend, Config);
-  assert(B && "backend existence was checked at submit");
-  SynthResult R = engine::runStaged(*Q, *B);
+    engine::BackendConfig Config = Options.Kernels;
+    if (Options.Workers > 0)
+      Config.InlineKernels = true; // The request pool owns parallelism.
+    std::unique_ptr<engine::Backend> B =
+        engine::createBackend(Options.Backend, Config);
+    assert(B && "backend existence was checked at submit");
+    Session =
+        std::make_unique<engine::SearchSession>(Q, std::move(B));
+  }
+  SynthResult R = Session->run();
 
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -216,44 +298,33 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     // failure forever. Every other status is deterministic.
     if (R.Status != SynthStatus::Timeout)
       Results.put(Req->Key, CachedResult{Req->KeyText, R});
-    if (!Q->immediate())
+    // Q is the freshly staged artifact on the cold path, the resumed
+    // session's own staged query on the warm path (same staging text
+    // either way - the session key subsumes the staging key).
+    if (Q && !Q->immediate())
       putStaged(StagedKey,
                 CachedStaged{std::move(StagedText), Q, Q->stagedBytes()});
+    // Budget-exhausted searches park their sweep state for the next
+    // budget extension; everything else dies with the session.
+    if (Session->state() == engine::SessionState::Parked) {
+      uint64_t Bytes = Session->bytesUsed();
+      parkSession(SessionKey, ParkedSession{std::move(SessionText),
+                                            std::move(Session), Bytes});
+    }
     InFlight.erase(Req->Key);
   }
   Req->Promise.set_value(std::move(R));
 }
 
+void SynthService::parkSession(const Fingerprint &Key,
+                               ParkedSession Entry) {
+  if (putBudgeted(Sessions, SessionBytesTotal,
+                  Options.SessionParkCapacity, Options.SessionParkBytes,
+                  &Counters.SessionsExpired, Key, std::move(Entry)))
+    ++Counters.SessionsParked;
+}
+
 void SynthService::putStaged(const Fingerprint &Key, CachedStaged Entry) {
-  if (Options.StagedCacheCapacity == 0 ||
-      Entry.Bytes > Options.StagedCacheBytes)
-    return;
-
-  // In-place replacement: swap the byte accounting, then trim in case
-  // the entry grew.
-  if (CachedStaged *Old = Staged.get(Key)) {
-    StagedBytesTotal += Entry.Bytes - Old->Bytes;
-    Staged.put(Key, std::move(Entry));
-    while (StagedBytesTotal > Options.StagedCacheBytes) {
-      std::optional<std::pair<Fingerprint, CachedStaged>> Evicted =
-          Staged.evictOldest();
-      if (!Evicted)
-        break;
-      StagedBytesTotal -= Evicted->second.Bytes;
-    }
-    return;
-  }
-
-  // Fresh insert: evict LRU-first until both budgets admit it. The
-  // explicit count check keeps put() from evicting invisibly.
-  while (Staged.size() + 1 > Options.StagedCacheCapacity ||
-         StagedBytesTotal + Entry.Bytes > Options.StagedCacheBytes) {
-    std::optional<std::pair<Fingerprint, CachedStaged>> Evicted =
-        Staged.evictOldest();
-    if (!Evicted)
-      break;
-    StagedBytesTotal -= Evicted->second.Bytes;
-  }
-  StagedBytesTotal += Entry.Bytes;
-  Staged.put(Key, std::move(Entry));
+  putBudgeted(Staged, StagedBytesTotal, Options.StagedCacheCapacity,
+              Options.StagedCacheBytes, nullptr, Key, std::move(Entry));
 }

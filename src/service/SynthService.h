@@ -24,7 +24,14 @@
 ///      staging fingerprint; requests that share a spec but differ in
 ///      sweep options (cost function, budgets) reuse the staged
 ///      universe/guide table through engine::restage().
-///   5. **A bounded queue + worker pool** — submit() is asynchronous
+///   5. **Session resume cache** — a byte-budgeted LRU of parked
+///      search sessions (engine/Session.h) keyed by the
+///      budget-invariant session fingerprint: a search that ends in
+///      Timeout or NotFound keeps its sweep state, and a retry of the
+///      same query with a wider MaxCost/Timeout continues from the
+///      parked cost level instead of recomputing from level 1 — the
+///      retry-heavy REI traffic shape made incremental.
+///   6. **A bounded queue + worker pool** — submit() is asynchronous
 ///      (future-style handles); when the queue is at MaxQueueDepth,
 ///      submit blocks for space (backpressure, never silent drops).
 ///
@@ -47,6 +54,7 @@
 #define PARESY_SERVICE_SYNTHSERVICE_H
 
 #include "engine/BackendRegistry.h"
+#include "engine/Session.h"
 #include "engine/Staging.h"
 #include "lang/Fingerprint.h"
 #include "service/LruCache.h"
@@ -92,6 +100,19 @@ struct ServiceOptions {
   /// is full. Ignored when Workers == 0 (nothing queues).
   size_t MaxQueueDepth = 1024;
 
+  /// Parked-session entries (LRU): searches that end in Timeout or
+  /// NotFound park their full sweep state (engine/Session.h), keyed by
+  /// the budget-invariant session fingerprint, and a retry with a
+  /// wider MaxCost/Timeout warm-starts from the parked level instead
+  /// of re-running from level 1. 0 disables parking (the pre-session
+  /// behavior: every retry is a cold run).
+  size_t SessionParkCapacity = 16;
+
+  /// Byte budget for parked search state (language stores plus
+  /// uniqueness sets, measured by SearchSession::bytesUsed). Evicts
+  /// LRU-first; a session larger than the whole budget is not parked.
+  uint64_t SessionParkBytes = uint64_t(256) << 20;
+
   /// Per-run backend construction knobs (e.g. kernel worker threads
   /// for a single-request service). When Workers > 0 the service
   /// forces InlineKernels, as the request pool already owns the
@@ -112,6 +133,10 @@ struct ServiceStats {
   uint64_t StagedMisses = 0; ///< Staged artifacts built.
   uint64_t StagedBytes = 0;  ///< Estimated bytes pinned by staged cache.
   uint64_t Searches = 0;   ///< Backend runs actually executed.
+  uint64_t SessionsParked = 0;  ///< Sweep states kept after Timeout/NotFound.
+  uint64_t SessionsResumed = 0; ///< Retries warm-started from a parked state.
+  uint64_t SessionsExpired = 0; ///< Parked states evicted (count/byte budget).
+  uint64_t SessionBytes = 0;    ///< Bytes pinned by parked states right now.
   size_t QueueDepth = 0;     ///< Requests queued right now.
   size_t PeakQueueDepth = 0; ///< High-water mark of QueueDepth.
 
@@ -179,6 +204,11 @@ private:
     std::shared_ptr<const engine::StagedQuery> Query;
     uint64_t Bytes = 0;
   };
+  struct ParkedSession {
+    std::string KeyText; // Exact session key, verified on every hit.
+    std::unique_ptr<engine::SearchSession> Session;
+    uint64_t Bytes = 0;
+  };
 
   static ResultFuture readyFuture(SynthResult R);
   void workerMain();
@@ -187,6 +217,9 @@ private:
   /// Inserts a staged artifact under the count and byte budgets,
   /// evicting LRU entries as needed. Caller holds the lock.
   void putStaged(const Fingerprint &Key, CachedStaged Entry);
+  /// Parks a session under the count and byte budgets (evictions count
+  /// as SessionsExpired). Caller holds the lock.
+  void parkSession(const Fingerprint &Key, ParkedSession Entry);
 
   ServiceOptions Options;
 
@@ -198,7 +231,9 @@ private:
       InFlight;
   LruCache<Fingerprint, CachedResult, FingerprintHash> Results;
   LruCache<Fingerprint, CachedStaged, FingerprintHash> Staged;
+  LruCache<Fingerprint, ParkedSession, FingerprintHash> Sessions;
   uint64_t StagedBytesTotal = 0;
+  uint64_t SessionBytesTotal = 0;
   ServiceStats Counters;
   bool Stopping = false;
 

@@ -568,6 +568,11 @@ TEST(SynthService, TimeoutResultsAreNotCached) {
   EXPECT_EQ(St.Misses, 2u);
   EXPECT_EQ(St.Hits, 0u);
   EXPECT_EQ(St.Searches, 2u);
+  // An *equal*-deadline retry must not warm-start either: the parked
+  // clock would replay the first run's Timeout instantly, pinning it
+  // just as a cached result would. Only a strictly larger deadline
+  // resumes the parked session (see session_test).
+  EXPECT_EQ(St.SessionsResumed, 0u);
   // The staged artifact, by contrast, is reused across the re-runs.
   EXPECT_EQ(St.StagedHits, 1u);
 }

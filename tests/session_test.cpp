@@ -1,0 +1,836 @@
+//===- tests/session_test.cpp - Resumable search sessions ---------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 9 invariants:
+///
+///  * snapshot round trips: serialize -> restore -> serialize is
+///    byte-identical for ShardedStore / CsHashSet across shard counts,
+///    and truncated or corrupted snapshots are rejected, never acted
+///    on;
+///  * resume equivalence: pause at any level boundary -> snapshot ->
+///    restore -> resume yields results, costs and candidate counts
+///    bit-identical to one uninterrupted run, on every backend;
+///  * budget extension: a session parked on NotFound/Timeout, resumed
+///    with a wider budget, equals a cold run at that budget - in
+///    memory, through a snapshot, and through the SynthService resume
+///    cache (ServiceStats counters prove the warm start);
+///  * restage sharing: budget-only option changes never rebuild staged
+///    artifacts (the property cheap resumes rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CsHashSet.h"
+#include "core/ShardedStore.h"
+#include "core/Snapshot.h"
+#include "engine/BackendRegistry.h"
+#include "engine/CpuBackend.h"
+#include "engine/CpuParallelBackend.h"
+#include "engine/SearchDriver.h"
+#include "engine/Session.h"
+#include "lang/Fingerprint.h"
+#include "lang/Universe.h"
+#include "service/SynthService.h"
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+const char *const Backends[] = {"cpu", "cpu-parallel", "gpusim"};
+const unsigned ShardCounts[] = {1, 2, 3, 7};
+
+Alphabet sigma01() { return Alphabet::of("01"); }
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+std::vector<Spec> corpus() {
+  return {introSpec(),
+          Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"}),
+          Spec({"", "0", "00"}, {"1", "01", "10"})};
+}
+
+/// Every deterministic field two equivalent runs must agree on (the
+/// wall-clock figures can never reproduce bit for bit).
+void expectEquivalent(const SynthResult &A, const SynthResult &B) {
+  ASSERT_EQ(A.Status, B.Status) << statusName(B.Status);
+  EXPECT_EQ(A.Regex, B.Regex);
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_EQ(A.Message, B.Message);
+  EXPECT_EQ(A.Stats.CandidatesGenerated, B.Stats.CandidatesGenerated);
+  EXPECT_EQ(A.Stats.UniqueLanguages, B.Stats.UniqueLanguages);
+  EXPECT_EQ(A.Stats.CacheEntries, B.Stats.CacheEntries);
+  EXPECT_EQ(A.Stats.MemoryBytes, B.Stats.MemoryBytes);
+  EXPECT_EQ(A.Stats.PairsVisited, B.Stats.PairsVisited);
+  EXPECT_EQ(A.Stats.LastCompletedCost, B.Stats.LastCompletedCost);
+  EXPECT_EQ(A.Stats.OnTheFly, B.Stats.OnTheFly);
+  EXPECT_EQ(A.Stats.ShardCount, B.Stats.ShardCount);
+  EXPECT_EQ(A.Stats.ShardRows, B.Stats.ShardRows);
+}
+
+SynthResult coldRun(const Spec &S, const SynthOptions &Opts,
+                    const std::string &Backend) {
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+  std::unique_ptr<engine::Backend> B = createBackend(Backend);
+  return runStaged(*Q, *B);
+}
+
+/// A 2-word CS with a recognisable pattern per seed.
+std::vector<uint64_t> patternCs(uint64_t Seed) {
+  return {hashMix64(Seed), hashMix64(Seed + 0x5eed)};
+}
+
+/// A store populated with \p Rows patterned rows whose provenance
+/// forms valid (strictly lower-id) operand chains, plus level ranges.
+std::unique_ptr<ShardedStore> populatedStore(unsigned Shards,
+                                             uint32_t Rows) {
+  // Per-shard capacity roomy enough that hash skew (or the truncate
+  // test growing past Rows) never overflows a shard.
+  auto Store = std::make_unique<ShardedStore>(2, Shards, Rows + 40);
+  for (uint32_t I = 0; I != Rows; ++I) {
+    Provenance P;
+    if (I < 2) {
+      P.Kind = CsOp::Literal;
+      P.Symbol = char('0' + I);
+    } else if (I % 3 == 0) {
+      P.Kind = CsOp::Star;
+      P.Lhs = I / 2;
+    } else {
+      P.Kind = I % 3 == 1 ? CsOp::Concat : CsOp::Union;
+      P.Lhs = I / 2;
+      P.Rhs = I / 3;
+    }
+    Store->append(patternCs(I).data(), P);
+  }
+  Store->setLevel(1, 0, Rows / 2);
+  Store->setLevel(3, Rows / 2, Rows);
+  return Store;
+}
+
+std::string storeBytes(const ShardedStore &Store) {
+  SnapshotWriter W;
+  saveShardedStore(W, Store);
+  return W.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Snapshot primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, PrimitivesRoundTripLittleEndian) {
+  SnapshotWriter W;
+  W.u8(0xab);
+  W.u16(0x1234);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefULL);
+  W.f64(3.25);
+  W.str("hello");
+  // The stream is defined byte for byte: u16 0x1234 is 0x34 0x12.
+  EXPECT_EQ(uint8_t(W.buffer()[1]), 0x34);
+  EXPECT_EQ(uint8_t(W.buffer()[2]), 0x12);
+
+  SnapshotReader R(W.buffer());
+  uint8_t V8 = 0;
+  uint16_t V16 = 0;
+  uint32_t V32 = 0;
+  uint64_t V64 = 0;
+  double F = 0;
+  std::string S;
+  EXPECT_TRUE(R.u8(V8) && R.u16(V16) && R.u32(V32) && R.u64(V64) &&
+              R.f64(F) && R.str(S));
+  EXPECT_EQ(V8, 0xab);
+  EXPECT_EQ(V16, 0x1234);
+  EXPECT_EQ(V32, 0xdeadbeefu);
+  EXPECT_EQ(V64, 0x0123456789abcdefULL);
+  EXPECT_EQ(F, 3.25);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.u8(V8)); // Past the end fails and latches.
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Snapshot, SectionsBoundReadsAndSkipUnreadPayload) {
+  SnapshotWriter W;
+  size_t Outer = W.beginSection("outer");
+  W.u64(1);
+  size_t Inner = W.beginSection("inner");
+  W.u64(2);
+  W.u64(3);
+  W.endSection(Inner);
+  W.endSection(Outer);
+  W.u64(99); // After the outer section.
+
+  SnapshotReader R(W.buffer());
+  uint64_t V = 0;
+  ASSERT_TRUE(R.enterSection("outer"));
+  EXPECT_TRUE(R.u64(V));
+  ASSERT_TRUE(R.enterSection("inner"));
+  EXPECT_TRUE(R.u64(V));
+  EXPECT_EQ(V, 2u);
+  EXPECT_TRUE(R.leaveSection()); // Skips the unread 3.
+  EXPECT_TRUE(R.leaveSection());
+  EXPECT_TRUE(R.u64(V));
+  EXPECT_EQ(V, 99u);
+
+  SnapshotReader Wrong(W.buffer());
+  EXPECT_FALSE(Wrong.enterSection("else"));
+  EXPECT_TRUE(Wrong.failed());
+}
+
+TEST(Snapshot, ReaderNeverReadsPastTruncation) {
+  SnapshotWriter W;
+  size_t Sec = W.beginSection("sec");
+  for (uint64_t I = 0; I != 16; ++I)
+    W.u64(I);
+  W.str("tail");
+  W.endSection(Sec);
+  const std::string &Full = W.buffer();
+  for (size_t Cut = 0; Cut != Full.size(); ++Cut) {
+    SnapshotReader R(std::string_view(Full).substr(0, Cut));
+    uint64_t V = 0;
+    std::string S;
+    if (R.enterSection("sec")) {
+      for (int I = 0; I != 16 && R.u64(V); ++I) {
+      }
+      R.str(S);
+    }
+    // Whatever happened, a truncated stream must end in failure, not
+    // out-of-bounds reads (ASan guards the latter).
+    EXPECT_TRUE(R.failed()) << Cut;
+  }
+}
+
+TEST(Snapshot, ChecksumDetectsBitRotAndTruncation) {
+  SnapshotWriter W;
+  writeSnapshotHeader(W, "session");
+  W.str("payload payload payload");
+  appendSnapshotChecksum(W);
+  std::string Good = W.buffer();
+  EXPECT_TRUE(verifySnapshotChecksum(Good));
+
+  for (size_t I = 0; I != Good.size(); I += 3) {
+    std::string Bad = Good;
+    Bad[I] = char(Bad[I] ^ 0x40);
+    EXPECT_FALSE(verifySnapshotChecksum(Bad)) << I;
+  }
+  for (size_t Cut : {size_t(0), size_t(5), Good.size() - 1})
+    EXPECT_FALSE(
+        verifySnapshotChecksum(std::string_view(Good).substr(0, Cut)));
+}
+
+//===----------------------------------------------------------------------===//
+// Store and uniqueness-set round trips
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotRoundTrip, ShardedStoreSerializeRestoreSerializeIsByteIdentical) {
+  for (unsigned Shards : ShardCounts) {
+    SCOPED_TRACE(Shards);
+    std::unique_ptr<ShardedStore> Store = populatedStore(Shards, 100);
+    std::string First = storeBytes(*Store);
+
+    SnapshotReader R(First);
+    std::unique_ptr<ShardedStore> Restored = loadShardedStore(R);
+    ASSERT_NE(Restored, nullptr);
+    EXPECT_FALSE(R.failed());
+
+    // The restored store is the same store...
+    ASSERT_EQ(Restored->size(), Store->size());
+    ASSERT_EQ(Restored->shardCount(), Store->shardCount());
+    EXPECT_EQ(Restored->capacity(), Store->capacity());
+    for (size_t Id = 0; Id != Store->size(); ++Id) {
+      EXPECT_TRUE(equalWords(Restored->cs(Id), Store->cs(Id), 2)) << Id;
+      EXPECT_EQ(Restored->rowHash(Id), Store->rowHash(Id)) << Id;
+      EXPECT_EQ(Restored->provenance(Id).Lhs, Store->provenance(Id).Lhs);
+    }
+    EXPECT_EQ(Restored->level(1), Store->level(1));
+    EXPECT_EQ(Restored->level(3), Store->level(3));
+    EXPECT_EQ(Restored->level(7), Store->level(7)); // Never recorded.
+
+    // ...and its serialization reproduces the stream byte for byte.
+    EXPECT_EQ(storeBytes(*Restored), First);
+
+    // Reconstruction works across the restored segments.
+    RegexManager M;
+    EXPECT_NE(Restored->reconstruct(Store->size() - 1, M), nullptr);
+  }
+}
+
+TEST(SnapshotRoundTrip, CsHashSetSerializeRestoreSerializeIsByteIdentical) {
+  LanguageCache Cache(2, 256);
+  CsHashSet Set(Cache);
+  for (uint32_t I = 0; I != 150; ++I) {
+    Provenance P{CsOp::Literal, '0', 0, 0};
+    uint32_t Idx = Cache.append(patternCs(I).data(), P);
+    Set.insert(Cache.cs(Idx), Idx);
+  }
+  SnapshotWriter W;
+  saveCsHashSet(W, Set);
+  std::string First = W.take();
+
+  SnapshotReader R(First);
+  std::unique_ptr<CsHashSet> Restored = loadCsHashSet(R, Cache);
+  ASSERT_NE(Restored, nullptr);
+  EXPECT_EQ(Restored->size(), Set.size());
+  EXPECT_EQ(Restored->bytesUsed(), Set.bytesUsed());
+  for (uint32_t I = 0; I != 150; ++I)
+    EXPECT_TRUE(Restored->contains(patternCs(I).data())) << I;
+  EXPECT_FALSE(Restored->contains(patternCs(1000).data()));
+
+  SnapshotWriter W2;
+  saveCsHashSet(W2, *Restored);
+  EXPECT_EQ(W2.buffer(), First);
+}
+
+TEST(SnapshotRoundTrip, TruncatedAndCorruptedStoresAreRejected) {
+  std::unique_ptr<ShardedStore> Store = populatedStore(3, 64);
+  std::string Good = storeBytes(*Store);
+
+  // Truncation at every prefix length: reject, never crash.
+  for (size_t Cut = 0; Cut < Good.size(); Cut += 7) {
+    SnapshotReader R(std::string_view(Good).substr(0, Cut));
+    EXPECT_EQ(loadShardedStore(R), nullptr) << Cut;
+    EXPECT_TRUE(R.failed()) << Cut;
+  }
+
+  // A wrong section tag is structurally rejected.
+  {
+    std::string Bad = Good;
+    Bad[8] = 'x'; // Inside the "store" tag text.
+    SnapshotReader R(Bad);
+    EXPECT_EQ(loadShardedStore(R), nullptr);
+  }
+
+  // An insane shard count is rejected before any allocation.
+  {
+    SnapshotWriter W;
+    size_t Sec = W.beginSection("store");
+    W.u64(2);     // cs words
+    W.u32(65000); // shard count > MaxShards
+    W.u64(16);
+    W.endSection(Sec);
+    SnapshotReader R(W.buffer());
+    EXPECT_EQ(loadShardedStore(R), nullptr);
+    EXPECT_TRUE(R.failed());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Store truncation (the mid-level rollback primitive)
+//===----------------------------------------------------------------------===//
+
+TEST(StoreTruncate, RollsBackToABoundaryExactly) {
+  for (unsigned Shards : ShardCounts) {
+    SCOPED_TRACE(Shards);
+    std::unique_ptr<ShardedStore> Ref = populatedStore(Shards, 60);
+    std::unique_ptr<ShardedStore> Full = populatedStore(Shards, 60);
+
+    // Record the boundary at 60 rows, then grow past it.
+    std::vector<uint32_t> BoundaryRows(Shards);
+    for (unsigned S = 0; S != Shards; ++S)
+      BoundaryRows[S] = uint32_t(Full->shardRows(S));
+    for (uint32_t I = 60; I != 90; ++I)
+      Full->append(patternCs(I).data(),
+                   Provenance{CsOp::Literal, '1', 0, 0});
+    Full->setLevel(5, 60, 90);
+    ASSERT_EQ(Full->size(), 90u);
+
+    Full->truncate(BoundaryRows, 60);
+    EXPECT_EQ(Full->size(), 60u);
+    EXPECT_EQ(Full->level(5), Ref->level(5)); // Dropped with the tail.
+    // Bit-for-bit the boundary store again.
+    EXPECT_EQ(storeBytes(*Full), storeBytes(*Ref));
+
+    // Appends after a truncation reuse the freed row indices.
+    uint32_t Id = Full->append(patternCs(1234).data(),
+                               Provenance{CsOp::Literal, '0', 0, 0});
+    EXPECT_EQ(Id, 60u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Resume equivalence (the tentpole property)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionResume, PauseSnapshotRestoreResumeIsBitIdenticalEverywhere) {
+  SynthOptions Opts;
+  for (const char *Backend : Backends) {
+    for (const Spec &S : corpus()) {
+      SCOPED_TRACE(std::string(Backend) + "\n" + S.toText());
+      SynthResult Cold = coldRun(S, Opts, Backend);
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+      // Pause at every level boundary the sweep reaches.
+      for (unsigned Pause = 1;; ++Pause) {
+        SearchSession Session(Q, createBackend(Backend));
+        for (unsigned I = 0; I != Pause &&
+                             Session.state() == SessionState::Running;
+             ++I)
+          Session.step();
+        if (Session.state() != SessionState::Running) {
+          // The whole sweep fits below this pause point; the stepped
+          // run must equal the uninterrupted one, and the matrix ends.
+          expectEquivalent(Cold, Session.result());
+          break;
+        }
+
+        // Snapshot, restore into a fresh backend, resume to the end.
+        SnapshotWriter W;
+        ASSERT_TRUE(Session.canSave());
+        ASSERT_TRUE(Session.save(W));
+        std::string Error;
+        std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+            W.buffer(), Q, createBackend(Backend), &Error);
+        ASSERT_NE(Restored, nullptr) << Error;
+        expectEquivalent(Cold, Restored->run());
+
+        // The paused original continues in memory to the same answer.
+        expectEquivalent(Cold, Session.run());
+      }
+    }
+  }
+}
+
+TEST(SessionResume, ShardCountsPreserveResumeEquivalence) {
+  Spec S = introSpec();
+  for (unsigned Shards : ShardCounts) {
+    SCOPED_TRACE(Shards);
+    SynthOptions Opts;
+    Opts.Shards = Shards;
+    SynthResult Cold = coldRun(S, Opts, "cpu");
+    std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+    SearchSession Session(Q, createBackend("cpu"));
+    for (unsigned I = 0;
+         I != 4 && Session.state() == SessionState::Running; ++I)
+      Session.step();
+    ASSERT_EQ(Session.state(), SessionState::Running);
+
+    SnapshotWriter W;
+    ASSERT_TRUE(Session.save(W));
+    std::string Error;
+    std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+        W.buffer(), Q, createBackend("cpu"), &Error);
+    ASSERT_NE(Restored, nullptr) << Error;
+    expectEquivalent(Cold, Restored->run());
+  }
+}
+
+TEST(SessionResume, SnapshotsRejectTheWrongQueryBackendAndCorruption) {
+  std::shared_ptr<const StagedQuery> Q =
+      stage(introSpec(), sigma01(), SynthOptions());
+  SearchSession Session(Q, createBackend("cpu"));
+  Session.step();
+  SnapshotWriter W;
+  ASSERT_TRUE(Session.save(W));
+  std::string Error;
+
+  // Wrong backend.
+  EXPECT_EQ(SearchSession::restore(W.buffer(), Q,
+                                   createBackend("cpu-parallel"), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("backend"), std::string::npos);
+
+  // Different spec.
+  std::shared_ptr<const StagedQuery> Other =
+      stage(Spec({"0"}, {"1"}), sigma01(), SynthOptions());
+  EXPECT_EQ(SearchSession::restore(W.buffer(), Other, createBackend("cpu"),
+                                   &Error),
+            nullptr);
+  EXPECT_NE(Error.find("different query"), std::string::npos);
+
+  // Different non-budget option.
+  SynthOptions NoGuide;
+  NoGuide.UseGuideTable = false;
+  std::shared_ptr<const StagedQuery> Divergent =
+      stage(introSpec(), sigma01(), NoGuide);
+  EXPECT_EQ(SearchSession::restore(W.buffer(), Divergent,
+                                   createBackend("cpu"), &Error),
+            nullptr);
+
+  // Corruption anywhere in the stream is caught by the checksum.
+  std::string Bytes = W.buffer();
+  for (size_t I = 0; I < Bytes.size(); I += 53) {
+    std::string Bad = Bytes;
+    Bad[I] = char(Bad[I] ^ 0x01);
+    EXPECT_EQ(SearchSession::restore(Bad, Q, createBackend("cpu"),
+                                     &Error),
+              nullptr)
+        << I;
+  }
+  for (size_t Cut : {size_t(0), Bytes.size() / 2, Bytes.size() - 1})
+    EXPECT_EQ(SearchSession::restore(std::string_view(Bytes).substr(0, Cut),
+                                     Q, createBackend("cpu"), &Error),
+              nullptr);
+
+  // The untampered stream still restores (the loop above copied).
+  EXPECT_NE(
+      SearchSession::restore(Bytes, Q, createBackend("cpu"), &Error),
+      nullptr)
+      << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Budget extension
+//===----------------------------------------------------------------------===//
+
+TEST(SessionBudget, NotFoundParksAndExtensionEqualsColdRun) {
+  Spec S = introSpec();
+  for (const char *Backend : Backends) {
+    SCOPED_TRACE(Backend);
+    SynthOptions Full;
+    SynthResult Cold = coldRun(S, Full, Backend);
+    ASSERT_TRUE(Cold.found());
+
+    SynthOptions Small;
+    Small.MaxCost = Cold.Cost - 1;
+    std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Small);
+    SearchSession Session(Q, createBackend(Backend));
+    SynthResult Starved = Session.run();
+    EXPECT_EQ(Starved.Status, SynthStatus::NotFound);
+    ASSERT_EQ(Session.state(), SessionState::Parked);
+
+    // A cold run at the starved budget agrees with the parked result.
+    expectEquivalent(coldRun(S, Small, Backend), Starved);
+
+    // Widening the budget in memory continues to the cold full answer.
+    SynthOptions Extended = Full;
+    EXPECT_TRUE(Session.canExtendTo(Extended));
+    ASSERT_TRUE(Session.extendBudget(Extended.MaxCost,
+                                     Extended.TimeoutSeconds));
+    expectEquivalent(Cold, Session.run());
+  }
+}
+
+TEST(SessionBudget, SnapshotResumeWithWiderBudgetEqualsColdRun) {
+  Spec S = introSpec();
+  SynthOptions Full;
+  SynthResult Cold = coldRun(S, Full, "cpu");
+  ASSERT_TRUE(Cold.found());
+
+  SynthOptions Small;
+  Small.MaxCost = Cold.Cost - 1;
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Small);
+  SearchSession Session(Q, createBackend("cpu"));
+  EXPECT_EQ(Session.run().Status, SynthStatus::NotFound);
+
+  SnapshotWriter W;
+  ASSERT_TRUE(Session.save(W));
+
+  // Restore against a query staged at the *wider* budget: the session
+  // key ignores budgets, so the snapshot resumes under the new ones.
+  std::shared_ptr<const StagedQuery> Wider = stage(S, sigma01(), Full);
+  std::string Error;
+  std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+      W.buffer(), Wider, createBackend("cpu"), &Error);
+  ASSERT_NE(Restored, nullptr) << Error;
+  EXPECT_EQ(Restored->state(), SessionState::Parked);
+  ASSERT_TRUE(Restored->extendBudget(Full.MaxCost, Full.TimeoutSeconds));
+  expectEquivalent(Cold, Restored->run());
+
+  // A *narrower* budget must not resume (the prefix would diverge).
+  SynthOptions Narrower;
+  Narrower.MaxCost = Small.MaxCost - 1;
+  SearchSession Parked(Q, createBackend("cpu"));
+  Parked.run();
+  EXPECT_FALSE(Parked.canExtendTo(Narrower));
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-level timeout rollback
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Wraps a real backend and reports the chosen level as timed out
+/// (once), after the level ran: from the session's point of view a
+/// deadline struck mid-level with the maximum amount of partial state
+/// to roll back.
+template <typename BaseBackend>
+class TimeoutOnce : public BaseBackend {
+public:
+  explicit TimeoutOnce(uint64_t TriggerCost) : TriggerCost(TriggerCost) {}
+
+  LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                        LevelTasks &Tasks) override {
+    LevelOutcome Out = BaseBackend::runLevel(Ctx, LevelCost, Tasks);
+    if (!Fired && LevelCost == TriggerCost && !Out.FoundSatisfier) {
+      Fired = true;
+      Out.TimedOut = true;
+    }
+    return Out;
+  }
+
+private:
+  uint64_t TriggerCost;
+  bool Fired = false;
+};
+
+} // namespace
+
+TEST(SessionRollback, MidLevelTimeoutResumesBitIdentically) {
+  Spec S = introSpec();
+  SynthOptions Opts;
+  for (uint64_t Trigger : {uint64_t(1), uint64_t(3), uint64_t(5)}) {
+    SCOPED_TRACE(Trigger);
+    // Sequential backend.
+    {
+      SynthResult Cold = coldRun(S, Opts, "cpu");
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+      SearchSession Session(
+          Q, std::make_unique<TimeoutOnce<CpuBackend>>(Trigger));
+      SynthResult Timed = Session.run();
+      ASSERT_EQ(Timed.Status, SynthStatus::Timeout);
+      ASSERT_EQ(Session.state(), SessionState::Parked);
+
+      // In-memory resume rolls the partial level back and re-runs it.
+      ASSERT_TRUE(Session.extendBudget(0, 0));
+      expectEquivalent(Cold, Session.run());
+    }
+    // Batched pipeline (thread-pool kernels).
+    {
+      SynthResult Cold = coldRun(S, Opts, "cpu-parallel");
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+      SearchSession Session(
+          Q,
+          std::make_unique<TimeoutOnce<CpuParallelBackend>>(Trigger));
+      ASSERT_EQ(Session.run().Status, SynthStatus::Timeout);
+      ASSERT_EQ(Session.state(), SessionState::Parked);
+
+      // Through a snapshot: save() performs the rollback, and the
+      // stream restores into a *plain* backend of the same kind.
+      SnapshotWriter W;
+      ASSERT_TRUE(Session.save(W));
+      std::string Error;
+      std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+          W.buffer(), Q, createBackend("cpu-parallel"), &Error);
+      ASSERT_NE(Restored, nullptr) << Error;
+      ASSERT_TRUE(Restored->extendBudget(0, 0));
+      expectEquivalent(Cold, Restored->run());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Service resume cache
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceSessions, BudgetRetryIsServedFromAParkedSession) {
+  using paresy::service::ServiceStats;
+  using paresy::service::SynthService;
+  Spec S = introSpec();
+  SynthOptions Full;
+  SynthResult Cold = coldRun(S, Full, "cpu");
+  ASSERT_TRUE(Cold.found());
+
+  SynthService Service{{}};
+  SynthOptions Small;
+  Small.MaxCost = Cold.Cost - 1;
+  SynthResult Starved = Service.synthesize(S, sigma01(), Small);
+  EXPECT_EQ(Starved.Status, SynthStatus::NotFound);
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.SessionsParked, 1u);
+  EXPECT_EQ(St.SessionsResumed, 0u);
+  EXPECT_GT(St.SessionBytes, 0u);
+
+  // The budget-extended retry warm-starts from the parked session and
+  // still equals a cold run at the full budget.
+  SynthResult Retry = Service.synthesize(S, sigma01(), Full);
+  expectEquivalent(Cold, Retry);
+  St = Service.stats();
+  EXPECT_EQ(St.SessionsResumed, 1u);
+  EXPECT_EQ(St.SessionBytes, 0u); // Resumed to completion; not re-parked.
+  EXPECT_EQ(St.Searches, 2u);
+
+  // The result entered the cache under the *new* budget's key.
+  SynthResult Again = Service.synthesize(S, sigma01(), Full);
+  EXPECT_EQ(Service.stats().Hits, 1u);
+  expectEquivalent(Cold, Again);
+}
+
+TEST(ServiceSessions, TimeoutRetryWithWiderDeadlineWarmStarts) {
+  using paresy::service::SynthService;
+  Spec S = introSpec();
+  SynthResult Cold = coldRun(S, SynthOptions(), "cpu");
+
+  SynthService Service{{}};
+  SynthOptions Hopeless;
+  Hopeless.TimeoutSeconds = 1e-9;
+  EXPECT_EQ(Service.synthesize(S, sigma01(), Hopeless).Status,
+            SynthStatus::Timeout);
+  EXPECT_EQ(Service.stats().SessionsParked, 1u);
+
+  // An *equal* deadline must not warm-start: the parked clock already
+  // exceeds it, so resuming would replay the first run's Timeout
+  // instead of genuinely re-trying (Timeout results are deliberately
+  // never replayed - neither from the result cache nor from a parked
+  // clock).
+  EXPECT_EQ(Service.synthesize(S, sigma01(), Hopeless).Status,
+            SynthStatus::Timeout);
+  EXPECT_EQ(Service.stats().SessionsResumed, 0u);
+
+  // Lifting the deadline entirely (0 = none) is a strict widening.
+  SynthOptions Unlimited;
+  expectEquivalent(Cold, Service.synthesize(S, sigma01(), Unlimited));
+  EXPECT_EQ(Service.stats().SessionsResumed, 1u);
+}
+
+TEST(ServiceSessions, ParkRespectsCountAndByteBudgets) {
+  using paresy::service::ServiceOptions;
+  using paresy::service::SynthService;
+  SynthOptions Small;
+  Small.MaxCost = 2;
+  std::vector<Spec> Specs = corpus();
+
+  // Capacity 1: the second park expires the first.
+  ServiceOptions One;
+  One.SessionParkCapacity = 1;
+  SynthService Tight(std::move(One));
+  EXPECT_EQ(Tight.synthesize(Specs[0], sigma01(), Small).Status,
+            SynthStatus::NotFound);
+  EXPECT_EQ(Tight.synthesize(Specs[1], sigma01(), Small).Status,
+            SynthStatus::NotFound);
+  EXPECT_EQ(Tight.stats().SessionsParked, 2u);
+  EXPECT_EQ(Tight.stats().SessionsExpired, 1u);
+
+  // A one-byte budget parks nothing.
+  ServiceOptions Tiny;
+  Tiny.SessionParkBytes = 1;
+  SynthService NoBytes(std::move(Tiny));
+  NoBytes.synthesize(Specs[0], sigma01(), Small);
+  EXPECT_EQ(NoBytes.stats().SessionsParked, 0u);
+  EXPECT_EQ(NoBytes.stats().SessionBytes, 0u);
+
+  // Parking disabled: retries run cold, results stay correct.
+  ServiceOptions Off;
+  Off.SessionParkCapacity = 0;
+  SynthService Disabled(std::move(Off));
+  Disabled.synthesize(Specs[0], sigma01(), Small);
+  SynthResult Retry = Disabled.synthesize(Specs[0], sigma01(),
+                                          SynthOptions());
+  EXPECT_EQ(Disabled.stats().SessionsParked, 0u);
+  EXPECT_EQ(Disabled.stats().SessionsResumed, 0u);
+  expectEquivalent(coldRun(Specs[0], SynthOptions(), "cpu"), Retry);
+}
+
+//===----------------------------------------------------------------------===//
+// Restage sharing (cheap resumes depend on it)
+//===----------------------------------------------------------------------===//
+
+TEST(RestageSharing, BudgetAndSweepOnlyChangesShareArtifactsAlways) {
+  std::shared_ptr<const StagedQuery> Base =
+      stage(introSpec(), sigma01(), SynthOptions());
+  ASSERT_NE(Base->universe(), nullptr);
+  ASSERT_NE(Base->guideTable(), nullptr);
+
+  auto Mutated = [](auto Mutate) {
+    SynthOptions O;
+    Mutate(O);
+    return O;
+  };
+  const SynthOptions Variants[] = {
+      Mutated([](SynthOptions &O) { O.MaxCost = 7; }),
+      Mutated([](SynthOptions &O) { O.TimeoutSeconds = 42; }),
+      Mutated([](SynthOptions &O) { O.MemoryLimitBytes = 1 << 20; }),
+      Mutated([](SynthOptions &O) { O.Shards = 3; }),
+      Mutated([](SynthOptions &O) { O.AllowedError = 0.2; }),
+      Mutated([](SynthOptions &O) { O.EnableOnTheFly = false; }),
+      Mutated([](SynthOptions &O) { O.SeedEpsilon = false; }),
+      Mutated([](SynthOptions &O) { O.UniquenessCheck = false; }),
+      Mutated([](SynthOptions &O) { O.Cost = CostFn(2, 1, 3, 1, 1); }),
+  };
+  for (const SynthOptions &NewOpts : Variants) {
+    std::shared_ptr<const StagedQuery> Re = restage(*Base, NewOpts);
+    // Pointer identity: the artifacts are shared, not rebuilt.
+    EXPECT_EQ(Re->universe().get(), Base->universe().get());
+    EXPECT_EQ(Re->guideTable().get(), Base->guideTable().get());
+  }
+
+  // Turning the guide table off keeps the universe; back on reuses
+  // the staged table.
+  SynthOptions NoGuide;
+  NoGuide.UseGuideTable = false;
+  std::shared_ptr<const StagedQuery> Off = restage(*Base, NoGuide);
+  EXPECT_EQ(Off->universe().get(), Base->universe().get());
+  EXPECT_EQ(Off->guideTable(), nullptr);
+  std::shared_ptr<const StagedQuery> On = restage(*Off, SynthOptions());
+  EXPECT_EQ(On->universe().get(), Base->universe().get());
+  EXPECT_NE(On->guideTable(), nullptr);
+}
+
+TEST(RestageSharing, PaddingFlipSharesWhenPaddingIsANoOp) {
+  // ic({"", "0"}) has 2 words: already a power of two, so the padded
+  // and unpadded geometries coincide and a Pad flip shares.
+  std::shared_ptr<const StagedQuery> Pow2 =
+      stage(Spec({"0"}, {""}), sigma01(), SynthOptions());
+  ASSERT_EQ(Pow2->universe()->size(), 2u);
+  SynthOptions NoPad;
+  NoPad.PadToPowerOfTwo = false;
+  std::shared_ptr<const StagedQuery> Shared = restage(*Pow2, NoPad);
+  EXPECT_EQ(Shared->universe().get(), Pow2->universe().get());
+  EXPECT_EQ(Shared->guideTable().get(), Pow2->guideTable().get());
+
+  // ic of the intro spec is not a power of two: the flip must
+  // re-stage (the geometries genuinely differ) - in both directions.
+  // The unpadded direction is the trap: an unpadded universe always
+  // has csBits == size, which says nothing about padding being a
+  // no-op.
+  std::shared_ptr<const StagedQuery> Odd =
+      stage(introSpec(), sigma01(), SynthOptions());
+  ASSERT_NE(Odd->universe()->csBits(), Odd->universe()->size());
+  std::shared_ptr<const StagedQuery> Restaged = restage(*Odd, NoPad);
+  EXPECT_NE(Restaged->universe().get(), Odd->universe().get());
+  EXPECT_EQ(Restaged->universe()->csBits(), Restaged->universe()->size());
+
+  std::shared_ptr<const StagedQuery> OddUnpadded =
+      stage(introSpec(), sigma01(), NoPad);
+  std::shared_ptr<const StagedQuery> BackToPadded =
+      restage(*OddUnpadded, SynthOptions());
+  EXPECT_NE(BackToPadded->universe().get(), OddUnpadded->universe().get());
+  EXPECT_NE(BackToPadded->universe()->csBits(),
+            BackToPadded->universe()->size());
+}
+
+//===----------------------------------------------------------------------===//
+// Session fingerprints (v3)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionFingerprint, ExcludesBudgetsButKeepsEverythingElse) {
+  Spec S = introSpec();
+  SynthOptions Base;
+  Fingerprint Ref = fingerprintSession(S, sigma01(), Base);
+
+  // Budget-only changes keep the session identity...
+  SynthOptions Budget = Base;
+  Budget.MaxCost = 99;
+  Budget.TimeoutSeconds = 3.5;
+  EXPECT_EQ(Ref, fingerprintSession(S, sigma01(), Budget));
+  // ...but change the result identity.
+  EXPECT_NE(fingerprintQuery(S, sigma01(), Base),
+            fingerprintQuery(S, sigma01(), Budget));
+
+  // Any sweep-shaping change breaks the session identity.
+  SynthOptions OtherCost = Base;
+  OtherCost.Cost = CostFn(2, 1, 3, 1, 1);
+  EXPECT_NE(Ref, fingerprintSession(S, sigma01(), OtherCost));
+  SynthOptions OtherShards = Base;
+  OtherShards.Shards = 5;
+  EXPECT_NE(Ref, fingerprintSession(S, sigma01(), OtherShards));
+  SynthOptions OtherError = Base;
+  OtherError.AllowedError = 0.3;
+  EXPECT_NE(Ref, fingerprintSession(S, sigma01(), OtherError));
+
+  // Example order still never splits identities.
+  Spec Shuffled({"101", "10", "1000", "100", "1011", "1010", "1001"},
+                {"11", "", "1", "0", "010", "00"});
+  EXPECT_EQ(Ref, fingerprintSession(Shuffled, sigma01(), Base));
+}
