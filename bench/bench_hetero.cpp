@@ -1,0 +1,183 @@
+//===- bench/bench_hetero.cpp - Heterogeneous co-scheduling quick bench -------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The co-scheduling perf gate (DESIGN.md Sec. 10): the Table-2 no3
+/// instance swept by the hetero backend, which runs every kernel grid
+/// on the CPU engine and the GPU-sim engine simultaneously with work
+/// stealing.
+///
+/// Two claims are checked, matching the two things the backend is:
+///
+///  * a pipeline (regression teeth): "sweep.no3.hetero" times the
+///    default threaded hetero path wall-clock, gated like every other
+///    items/s metric by bench/compare_bench.py. This guards the
+///    queue/split/accounting overhead, not a speed-up - on this
+///    container the "GPU" executes on the same host cores, so real
+///    wall-clock co-scheduling gain is impossible by construction.
+///
+///  * a scheduler (speed-up teeth): "info.hetero.speedup" is the
+///    modelled co-scheduled time (per launch, max of the CPU side's
+///    measured busy seconds and the GPU side's modelled device
+///    seconds) against the better single engine running the whole
+///    sweep alone. For the comparison to exercise the *scheduler*
+///    rather than the device gap, the GPU spec is calibrated to a
+///    peer of the measured host (one lane retiring ops at the
+///    measured host rate): against the default A100 spec the model is
+///    ~1000x one core and any schedule that ships everything to the
+///    device wins, telling us nothing about the split/steal logic.
+///    With peer devices an even co-schedule halves the time, and the
+///    per-kernel splits beat 2x: the engines' relative speed differs
+///    per kernel class, so shipping each engine the grids it is
+///    relatively fast at wins more than aggregate-rate splitting ever
+///    could. The bench fails (exit 1) below 1.2x - room for EWMA
+///    convergence and imbalance, while still catching a scheduler
+///    that serialises the engines.
+///
+/// A portfolio race over the same staged query is reported as info
+/// metrics (first-winner race timing is too noisy for a 25% gate).
+///
+/// Emits BENCH_hetero.json; the CI perf-smoke job gates this file
+/// against bench/baselines/BENCH_hetero.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/AlphaSuite.h"
+#include "engine/BackendRegistry.h"
+#include "engine/HeteroBackend.h"
+#include "engine/Portfolio.h"
+#include "engine/Staging.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace paresy;
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("hetero", Argc, Argv);
+
+  // The same workload bench_shards gates: Table 2 row no3, heavy
+  // enough that the sweep dominates staging, small enough for CI.
+  const benchgen::SuiteInstance &Inst = benchgen::alphaRegexSuite()[2];
+  SynthOptions Opts;
+  Opts.Cost = CostFn(20, 20, 20, 5, 30);
+  std::shared_ptr<const engine::StagedQuery> Q =
+      engine::stage(Inst.Examples, Alphabet::of("01"), Opts);
+
+  auto runNamed = [&](std::string_view Name) {
+    std::unique_ptr<engine::Backend> B = engine::createBackend(Name);
+    return engine::runStaged(*Q, *B);
+  };
+
+  SynthResult Ref = runNamed("cpu");
+  if (!Ref.found()) {
+    std::fprintf(stderr, "error: workload did not solve (%s)\n",
+                 statusName(Ref.Status));
+    return 1;
+  }
+  uint64_t Candidates = Ref.Stats.CandidatesGenerated;
+
+  // Bit-identity first: timing a divergent backend would gate garbage.
+  for (std::string_view Name : {"cpu-parallel", "gpusim", "hetero"}) {
+    SynthResult Check = runNamed(Name);
+    if (Check.Regex != Ref.Regex || Check.Cost != Ref.Cost ||
+        Check.Stats.CandidatesGenerated != Candidates) {
+      std::fprintf(stderr, "error: %.*s diverged from cpu\n",
+                   int(Name.size()), Name.data());
+      return 1;
+    }
+  }
+
+  // Measured host kernel rate, from an inline hetero probe: only the
+  // CPU side's drains are timed, so ops/busy-seconds is a pure kernel
+  // rate with no staging or exchange-pass time mixed in.
+  engine::HeteroOptions ProbeOpts;
+  ProbeOpts.InlineKernels = true;
+  engine::HeteroBackend Probe(ProbeOpts);
+  SynthResult PR = engine::runStaged(*Q, Probe);
+  if (PR.Stats.HeteroCpuSeconds <= 0 || PR.Stats.HeteroCpuOps == 0) {
+    std::fprintf(stderr, "error: probe measured no CPU kernel time\n");
+    return 1;
+  }
+  double HostRate =
+      double(PR.Stats.HeteroCpuOps) / PR.Stats.HeteroCpuSeconds;
+
+  // A device that is a peer of the measured host: one lane at the
+  // host's measured rate, so ceil(tasks/lanes) * avgOps/laneRate
+  // collapses to totalOps/hostRate per launch.
+  gpusim::DeviceSpec Peer;
+  Peer.Name = "sim-host-peer";
+  Peer.ParallelLanes = 1;
+  Peer.LaneOpsPerSecond = HostRate;
+  Peer.LaunchLatencySeconds = 1e-6;
+  Peer.SessionOverheadSeconds = 0;
+
+  engine::HeteroOptions CoOpts;
+  CoOpts.InlineKernels = true; // deterministic single-thread measurement
+  CoOpts.GrainTasks = 16;
+  CoOpts.GpuSpec = Peer;
+  engine::HeteroBackend Co(CoOpts);
+  SynthResult CR = engine::runStaged(*Q, Co);
+  if (CR.Regex != Ref.Regex ||
+      CR.Stats.CandidatesGenerated != Candidates) {
+    std::fprintf(stderr, "error: peer-spec hetero diverged from cpu\n");
+    return 1;
+  }
+
+  // Either engine alone costs TotalOps/HostRate: the host by the
+  // probe's measurement of it running every kernel itself, the peer
+  // device by construction of its spec. (The co-run's own blended CPU
+  // rate is NOT a valid baseline - the scheduler offloads the CPU's
+  // slow kernels, inflating the blend.)
+  uint64_t TotalOps = CR.Stats.HeteroCpuOps + CR.Stats.HeteroGpuOps;
+  double BestSingle = double(TotalOps) / HostRate;
+  double Cosched = CR.Stats.HeteroCoschedSeconds;
+  double Speedup = Cosched > 0 ? BestSingle / Cosched : 0;
+
+  // Regression teeth: the default threaded hetero path, wall-clock.
+  H.bench("sweep.no3.hetero", Candidates, [&] {
+    SynthResult R = runNamed("hetero");
+    if (!R.found())
+      std::exit(1); // A failed sweep would gate on garbage.
+  });
+
+  // Portfolio race over the shared staged query (info only).
+  WallTimer RaceTimer;
+  engine::PortfolioOutcome Race = engine::runPortfolio(Q, "cpu");
+  double RaceSeconds = RaceTimer.seconds();
+  if (Race.Result.Regex != Ref.Regex || Race.Result.Cost != Ref.Cost) {
+    std::fprintf(stderr, "error: portfolio winner diverged from cpu\n");
+    return 1;
+  }
+  uint64_t ArmsCancelled = 0;
+  for (const engine::PortfolioArmReport &Arm : Race.Arms)
+    if (Arm.Status == SynthStatus::Cancelled)
+      ++ArmsCancelled;
+
+  H.metric("info.workload.candidates", double(Candidates), "count");
+  H.metric("info.hetero.host_rate", HostRate, "ops/s");
+  H.metric("info.hetero.cosched_seconds", Cosched, "s");
+  H.metric("info.hetero.best_single_seconds", BestSingle, "s");
+  H.metric("info.hetero.speedup", Speedup, "x");
+  H.metric("info.hetero.cpu_share", CR.Stats.HeteroCpuShare, "ratio");
+  H.metric("info.portfolio.arms", double(Race.Arms.size()), "count");
+  H.metric("info.portfolio.cancelled", double(ArmsCancelled), "count");
+  H.metric("info.portfolio.race_seconds", RaceSeconds, "s");
+
+  int Exit = H.finish();
+  if (Speedup < 1.2) {
+    std::fprintf(stderr,
+                 "error: modelled co-scheduled speedup %.3fx is below "
+                 "the 1.2x acceptance floor\n",
+                 Speedup);
+    return 1;
+  }
+  return Exit;
+}

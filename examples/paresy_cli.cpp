@@ -14,8 +14,11 @@
 /// lang/Spec.h). Options:
 ///
 ///   --backend NAME                search backend: any registered name
-///                                 (cpu, cpu-parallel, gpusim, ...) or
-///                                 alpharegex (default cpu)
+///                                 (cpu, cpu-parallel, gpusim, hetero,
+///                                 ...) or alpharegex (default cpu);
+///                                 hetero co-schedules each level across
+///                                 the CPU and GPU-sim engines with
+///                                 work stealing (DESIGN.md Sec. 10)
 ///   --jobs N                      worker threads for parallel backends
 ///                                 (default: backend's choice)
 ///   --engine cpu|gpu|alpharegex   legacy alias for --backend (gpu
@@ -32,6 +35,11 @@
 ///   --timeout SECONDS             wall-clock limit (default none)
 ///   --alphabet CHARS              alphabet (default: inferred)
 ///   --wildcard                    AlphaRegex wild-card heuristic
+///   --portfolio                   race result-equivalent sweep
+///                                 configurations (guide table, shards,
+///                                 padding) on the chosen backend and
+///                                 return the first winner, cancelling
+///                                 the losers (engine/Portfolio.h)
 ///   --stats                       print search statistics
 ///
 /// Anytime synthesis (resumable sessions, DESIGN.md Sec. 9):
@@ -143,6 +151,15 @@ void printStats(const SynthStats &St) {
       std::printf(" %llu", (unsigned long long)Rows);
     std::printf(")\n");
   }
+  if (St.HeteroCpuTasks + St.HeteroGpuTasks > 0) {
+    std::printf("  hetero split       cpu %s / gpu %s tasks "
+                "(%s steals, final cpu share %.2f)\n",
+                withCommas(St.HeteroCpuTasks).c_str(),
+                withCommas(St.HeteroGpuTasks).c_str(),
+                withCommas(St.HeteroSteals).c_str(), St.HeteroCpuShare);
+    std::printf("  hetero co-sched    %s s modelled concurrent kernels\n",
+                formatSeconds(St.HeteroCoschedSeconds).c_str());
+  }
   if (St.OnTheFly)
     std::printf("  note               entered OnTheFly mode\n");
 }
@@ -200,9 +217,10 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
                  unsigned Rounds) {
   // Self-describing demo logs: the resolved execution configuration
   // up front, so a pasted transcript answers "what ran this?".
-  std::printf("serving: backend %s, %u worker(s), %u shard(s), "
+  std::printf("serving: backend %s%s, %u worker(s), %u shard(s), "
               "session park cap %zu\n",
               Service.options().Backend.c_str(),
+              Service.options().Portfolio ? " (portfolio)" : "",
               Service.options().Workers,
               Options.Shards ? Options.Shards : 1,
               Service.options().SessionParkCapacity);
@@ -240,6 +258,14 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
               (unsigned long long)St.SessionsParked,
               (unsigned long long)St.SessionsResumed,
               (unsigned long long)St.SessionsExpired);
+  for (const auto &[Backend, Levels] : St.BackendLevels)
+    std::printf("levels: %llu cost level(s) run on backend %s\n",
+                (unsigned long long)Levels, Backend.c_str());
+  if (St.PortfolioRaces > 0)
+    std::printf("portfolio: %llu race(s), %llu arm(s), %llu cancelled\n",
+                (unsigned long long)St.PortfolioRaces,
+                (unsigned long long)St.PortfolioArms,
+                (unsigned long long)St.PortfolioCancelled);
   if (St.ShardCount > 1) {
     std::printf("shards: %llu (rows per shard:",
                 (unsigned long long)St.ShardCount);
@@ -312,6 +338,8 @@ int main(int Argc, char **Argv) {
       AlphabetChars = Next();
     else if (Arg == "--wildcard")
       Wildcard = true;
+    else if (Arg == "--portfolio")
+      Options.Portfolio = true;
     else if (Arg == "--stats")
       ShowStats = true;
     else if (Arg == "--serve-demo") {
@@ -412,11 +440,19 @@ int main(int Argc, char **Argv) {
     SOpts.Backend = Engine;
     SOpts.Workers = ServeWorkers;
     SOpts.Kernels = Config;
+    SOpts.Portfolio = Options.Portfolio;
     service::SynthService Service(std::move(SOpts));
     return runServeDemo(Service, Examples, Sigma, Options,
                         ServeDemoRounds);
   }
   if (!CheckpointFile.empty() || !ResumeFile.empty()) {
+    if (Options.Portfolio) {
+      // A race's arms die with the race; there is no single session to
+      // park or resume.
+      std::fprintf(stderr, "error: --portfolio cannot be combined with "
+                           "--checkpoint/--resume\n");
+      return 2;
+    }
     // Anytime synthesis: drive the session state machine directly so a
     // budget-exhausted search can park to disk and a retry can resume.
     if (!engine::hasBackend(Engine)) {
@@ -474,7 +510,7 @@ int main(int Argc, char **Argv) {
                     CheckpointFile.c_str());
       }
     }
-  } else if (Engine == "gpusim") {
+  } else if (Engine == "gpusim" && !Options.Portfolio) {
     // Route through the public GPU entry point so the device-side
     // accounting can be reported alongside the result.
     gpusim::GpuOptions Gpu;
@@ -491,6 +527,7 @@ int main(int Argc, char **Argv) {
     SOpts.Backend = Engine;
     SOpts.Workers = ServeWorkers;
     SOpts.Kernels = Config;
+    SOpts.Portfolio = Options.Portfolio;
     service::SynthService Service(std::move(SOpts));
     R = Service.synthesize(Examples, Sigma, Options);
   }

@@ -47,6 +47,8 @@ const char *paresy::statusName(SynthStatus Status) {
     return "Timeout";
   case SynthStatus::InvalidInput:
     return "InvalidInput";
+  case SynthStatus::Cancelled:
+    return "Cancelled";
   }
   return "Unknown";
 }

@@ -96,6 +96,15 @@ struct SynthOptions {
   /// Pad CS bit length to the next power of two (the paper's second
   /// space-time trade-off).
   bool PadToPowerOfTwo = true;
+
+  /// Race a portfolio of equivalent sweep configurations (guide table
+  /// on/off, shard count, padding) over one shared staged query and
+  /// return the first winner, cancelling the losers
+  /// (engine/Portfolio.h). Every arm is result-identical by the
+  /// repo's ablation/shard invariants, so this changes wall-clock
+  /// behaviour only - it is deliberately *excluded* from the
+  /// canonical query/session fingerprints (lang/Fingerprint.h).
+  bool Portfolio = false;
 };
 
 /// Why a synthesis run ended.
@@ -105,7 +114,9 @@ enum class SynthStatus : uint8_t {
   OutOfMemory, ///< Cache exhausted before a verdict (paper's
                ///< "out-of-memory error").
   Timeout,     ///< TimeoutSeconds elapsed.
-  InvalidInput ///< Spec/alphabet/options rejected; see Message.
+  InvalidInput, ///< Spec/alphabet/options rejected; see Message.
+  Cancelled    ///< Stopped by a cooperative stop token (a portfolio
+               ///< arm lost its race). Never cached, never parked.
 };
 
 /// Human-readable status name.
@@ -133,6 +144,26 @@ struct SynthStats {
   uint64_t PairsVisited = 0;
   /// Highest cost level whose candidates were all generated.
   uint64_t LastCompletedCost = 0;
+  /// Cost levels this run executed (complete or partial): the
+  /// per-backend work counter the service layer aggregates.
+  uint64_t LevelsRun = 0;
+  /// Heterogeneous backend only ("hetero"): work split between the
+  /// two co-scheduled engines, in kernel tasks and work units, plus
+  /// the work-stealing traffic and the final adaptive CPU share.
+  uint64_t HeteroCpuTasks = 0;
+  uint64_t HeteroGpuTasks = 0;
+  uint64_t HeteroCpuOps = 0;
+  uint64_t HeteroGpuOps = 0;
+  uint64_t HeteroSteals = 0;
+  double HeteroCpuShare = 0;
+  /// Measured seconds the CPU engine spent inside kernel drains (its
+  /// side of the co-schedule; the per-engine throughput the EWMA sees).
+  double HeteroCpuSeconds = 0;
+  /// Modelled seconds the co-scheduled level pipeline would take with
+  /// the two engines running concurrently: per launch, the maximum of
+  /// the CPU side's measured busy time and the GPU side's modelled
+  /// device time (gpusim/PerfModel.h), summed.
+  double HeteroCoschedSeconds = 0;
   /// True iff the run kept searching past a full cache.
   bool OnTheFly = false;
   /// Shards the search state was partitioned into (resolved

@@ -31,6 +31,7 @@
 #include "core/Synthesizer.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,6 +72,11 @@ struct SearchContext {
   /// Candidates generated in all completed levels, so backends can
   /// keep a run-global cadence for periodic checks.
   uint64_t CandidatesBefore = 0;
+  /// Cooperative stop token (engine/Portfolio.h), or null. Backends
+  /// poll it at their timeout-check cadence and stop the level with
+  /// LevelOutcome::Cancelled; like a timeout, cancellation may cut a
+  /// level short, and the run's partial work stays reported.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// What happened while a backend ran one cost level.
@@ -93,6 +99,9 @@ struct LevelOutcome {
   bool CacheFilled = false;
   /// The deadline passed mid-level; remaining tasks were skipped.
   bool TimedOut = false;
+  /// The cooperative stop token fired mid-level; remaining tasks were
+  /// skipped. Terminal: the session reports SynthStatus::Cancelled.
+  bool Cancelled = false;
   /// The backend cannot continue (uniqueness structure exhausted, or
   /// cache full with OnTheFly disabled). Maps to OutOfMemory.
   bool Abort = false;
@@ -133,6 +142,11 @@ public:
 
   /// Bytes held by backend-owned structures, for the memory stats.
   virtual uint64_t auxBytesUsed() const = 0;
+
+  /// Adds backend-specific counters to the run's stats (called by the
+  /// session when it assembles a result). The default adds nothing;
+  /// the heterogeneous backend reports its per-engine split here.
+  virtual void addBackendStats(SynthStats &Stats) const { (void)Stats; }
 
   /// Resumable-session support (engine/Session.h). A backend that
   /// returns true implements all three hooks below; the default is a

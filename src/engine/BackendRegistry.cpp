@@ -9,7 +9,10 @@
 #include "engine/CpuBackend.h"
 #include "engine/CpuParallelBackend.h"
 #include "engine/GpuSimBackend.h"
+#include "engine/HeteroBackend.h"
+#include "engine/Portfolio.h"
 #include "engine/SearchDriver.h"
+#include "support/ThreadPool.h"
 
 #include <map>
 #include <mutex>
@@ -43,6 +46,20 @@ FactoryMap &factories() {
       gpusim::GpuOptions Gpu;
       Gpu.HostWorkers = Config.InlineKernels ? 0 : Config.Workers;
       return std::make_unique<GpuSimBackend>(Gpu);
+    });
+    M.emplace("hetero", [](const BackendConfig &Config) {
+      HeteroOptions Hetero;
+      if (Config.InlineKernels) {
+        Hetero.InlineKernels = true;
+      } else {
+        // Split the requested pool (or the host's spare threads)
+        // between the two co-scheduled engines.
+        unsigned Total =
+            Config.Workers ? Config.Workers : ThreadPool::defaultWorkers();
+        Hetero.CpuWorkers = Total / 2;
+        Hetero.GpuWorkers = Total - Total / 2;
+      }
+      return std::make_unique<HeteroBackend>(Hetero);
     });
     return M;
   }();
@@ -86,16 +103,35 @@ std::vector<std::string> paresy::engine::backendNames() {
   return Names;
 }
 
+std::string paresy::engine::unknownBackendMessage(std::string_view Name) {
+  std::string Known;
+  for (const std::string &N : backendNames()) {
+    if (!Known.empty())
+      Known += ", ";
+    Known += N;
+  }
+  return "unknown backend '" + std::string(Name) +
+         "' (registered: " + Known + ")";
+}
+
 SynthResult paresy::engine::synthesizeWith(std::string_view Name,
                                            const Spec &S,
                                            const Alphabet &Sigma,
                                            const SynthOptions &Opts,
                                            const BackendConfig &Config) {
+  if (!hasBackend(Name)) {
+    SynthResult R;
+    R.Status = SynthStatus::InvalidInput;
+    R.Message = unknownBackendMessage(Name);
+    return R;
+  }
+  if (Opts.Portfolio)
+    return runPortfolio(stage(S, Sigma, Opts), Name, Config).Result;
   std::unique_ptr<Backend> B = createBackend(Name, Config);
   if (!B) {
     SynthResult R;
     R.Status = SynthStatus::InvalidInput;
-    R.Message = "unknown backend '" + std::string(Name) + "'";
+    R.Message = unknownBackendMessage(Name);
     return R;
   }
   return runSearch(S, Sigma, Opts, *B);

@@ -60,8 +60,13 @@ std::unique_ptr<Backend> createBackend(std::string_view Name,
 bool hasBackend(std::string_view Name);
 
 /// The registered backend names, sorted ("cpu", "cpu-parallel",
-/// "gpusim" plus any out-of-tree registrations).
+/// "gpusim", "hetero" plus any out-of-tree registrations).
 std::vector<std::string> backendNames();
+
+/// The diagnostic every string-driven surface reports for an
+/// unrecognised backend name: names the offender *and* lists the
+/// registered backends, so a typo is a one-glance fix.
+std::string unknownBackendMessage(std::string_view Name);
 
 /// One-call dispatch: runs the search on the backend registered under
 /// \p Name. Unknown names produce an InvalidInput result naming the

@@ -146,11 +146,16 @@ LevelOutcome BatchedBackend::runLevel(SearchContext &Ctx, uint64_t,
     IdBase += Batch.size();
     if (!Continue)
       break;
-    // Deadline check between batches, so a quadratically large level
-    // cannot overrun the timeout by more than one batch.
+    // Deadline and stop-token checks between batches, so a
+    // quadratically large level cannot overrun the timeout (or outlive
+    // a lost portfolio race) by more than one batch.
     if (Opts.TimeoutSeconds > 0 &&
         Ctx.Clock->seconds() > Opts.TimeoutSeconds) {
       Out.TimedOut = true;
+      break;
+    }
+    if (Ctx.Cancel && Ctx.Cancel->load(std::memory_order_relaxed)) {
+      Out.Cancelled = true;
       break;
     }
   }
@@ -172,7 +177,7 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   // Kernel 1: generate every candidate CS into temporary storage and,
   // when routing, partition it (hash + owner shard) - the compute half
   // of the all-to-all exchange.
-  Out.Ops += Dev.launch("paresy.generate", Count, [&](size_t T) -> uint64_t {
+  Out.Ops += launch("paresy.generate", Count, [&](size_t T) -> uint64_t {
     uint64_t Ops = generateCs(TempCs.data() + T * Words, Batch[T], U, GT,
                               Store);
     if (Route) {
@@ -192,7 +197,7 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   // exactly as in the sequential backend.
   if (Opts.UniquenessCheck) {
     std::atomic<bool> Full{false};
-    Dev.launch("paresy.unique", Count, [&](size_t T) -> uint64_t {
+    launch("paresy.unique", Count, [&](size_t T) -> uint64_t {
       uint32_t Id = uint32_t(IdBase + T);
       int64_t Slot = HashSets[TaskShard[T]]->insert(
           TempCs.data() + T * Words, Id, TaskHash[T]);
@@ -211,7 +216,7 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   // Kernel 3: winner flags and specification check; the first
   // satisfying winner (minimum candidate id) is recorded atomically.
   std::atomic<uint64_t> FoundId{UINT64_MAX};
-  Dev.launch("paresy.check", Count, [&](size_t T) -> uint64_t {
+  launch("paresy.check", Count, [&](size_t T) -> uint64_t {
     uint32_t Id = uint32_t(IdBase + T);
     bool Winner =
         !Opts.UniquenessCheck ||
@@ -266,7 +271,7 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
   // concurrently; the directory is only read. The routing hash doubles
   // as the row hash, so no winner is hashed twice.
   if (Winners > 0) {
-    Dev.launch("paresy.compact", Count, [&](size_t T) -> uint64_t {
+    launch("paresy.compact", Count, [&](size_t T) -> uint64_t {
       if (!WinnerFlag[T] || RowId[T] == NoRow)
         return 1;
       if (Route)

@@ -51,6 +51,7 @@
 #include "gpusim/Device.h"
 #include "gpusim/WarpHashSet.h"
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -103,6 +104,18 @@ protected:
   /// memory budget; prepare() divides it across the per-shard hash
   /// sets it allocates.
   size_t HashCapacity = 32;
+
+  /// The kernel-launch seam every pipeline stage goes through.
+  /// \p Body(TaskIdx) runs once per task in [0, Tasks) and returns its
+  /// work units; the call blocks until the grid finished and returns
+  /// the aggregate. The default executes on this backend's device;
+  /// the heterogeneous backend overrides it to co-schedule the grid
+  /// across two engines (task results must stay - and are -
+  /// schedule-independent, so overrides never change results).
+  virtual uint64_t launch(const char *Name, size_t Tasks,
+                          const std::function<uint64_t(size_t)> &Body) {
+    return Dev.launch(Name, Tasks, Body);
+  }
 
 private:
   /// Runs one batch of tasks through the kernels. Returns false when

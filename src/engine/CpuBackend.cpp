@@ -127,10 +127,15 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
     }
     ++Out.Candidates;
 
-    if (Opts.TimeoutSeconds > 0 && !Out.TimedOut &&
-        ((Ctx.CandidatesBefore + Out.Candidates) & 0xfff) == 0 &&
-        Ctx.Clock->seconds() > Opts.TimeoutSeconds)
-      Out.TimedOut = true;
+    // Timeout and stop-token polls share one cadence; both cut the
+    // level short the same way.
+    if (((Ctx.CandidatesBefore + Out.Candidates) & 0xfff) == 0) {
+      if (Opts.TimeoutSeconds > 0 && !Out.TimedOut &&
+          Ctx.Clock->seconds() > Opts.TimeoutSeconds)
+        Out.TimedOut = true;
+      if (Ctx.Cancel && Ctx.Cancel->load(std::memory_order_relaxed))
+        Out.Cancelled = true;
+    }
 
     // Owner-computes routing: the CS's owner shard holds both its
     // uniqueness slot and, if it survives, its row.
@@ -157,7 +162,7 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
           Out.Abort = true; // Paper behaviour: an immediate OOM error.
       }
     }
-    if (Out.TimedOut || Out.Abort)
+    if (Out.TimedOut || Out.Cancelled || Out.Abort)
       break;
   }
   return Out;

@@ -1,0 +1,257 @@
+//===- engine/HeteroBackend.cpp - CPU + GPU-sim co-scheduling backend --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/HeteroBackend.h"
+
+#include "support/Timer.h"
+#include "support/WorkQueue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+/// Spec of the (unused) base-class device: the hetero backend routes
+/// every grid through its own two engines, so the base Dev never runs
+/// a kernel and its perf counters stay inert.
+gpusim::DeviceSpec unusedDevSpec() {
+  gpusim::DeviceSpec Spec;
+  Spec.Name = "hetero";
+  Spec.SessionOverheadSeconds = 0;
+  return Spec;
+}
+
+/// Both engines must always hold some share, or the EWMA could starve
+/// one permanently on a single noisy level.
+double clampShare(double Share) {
+  return std::clamp(Share, 0.05, 0.95);
+}
+
+} // namespace
+
+HeteroBackend::HeteroBackend(const HeteroOptions &Options)
+    : BatchedBackend(unusedDevSpec(), /*Workers=*/0,
+                     /*BatchTasks=*/size_t(1) << 16),
+      Opts(Options), CpuPool(Options.CpuWorkers),
+      GpuPool(Options.GpuWorkers), GpuModel(Options.GpuSpec) {
+  Opts.GrainTasks = std::max<size_t>(1, Opts.GrainTasks);
+  Opts.InitialCpuShare = clampShare(Opts.InitialCpuShare);
+}
+
+size_t HeteroBackend::planCacheCapacity(const SearchContext &Ctx,
+                                        uint64_t BudgetBytes) {
+  // Host memory plan: the language cache lives in host memory on both
+  // engines (the GPU side is simulated), so no device cap applies.
+  return splitBudget(Ctx, BudgetBytes);
+}
+
+void HeteroBackend::prepare(SearchContext &Ctx) {
+  BatchedBackend::prepare(Ctx);
+  // A fresh search restarts the adaptive schedule and the accounting;
+  // a resume does too - the EWMAs re-converge within a level or two.
+  GpuModel = gpusim::PerfModel(Opts.GpuSpec);
+  Kernels.clear();
+  CpuTasksTotal = GpuTasksTotal = 0;
+  CpuOpsTotal = GpuOpsTotal = 0;
+  StealsTotal = 0;
+  CpuBusyTotal = 0;
+  CoschedSeconds = 0;
+}
+
+HeteroBackend::KernelSched &HeteroBackend::kernelSched(const char *Name) {
+  for (KernelSched &K : Kernels)
+    if (K.Name == Name || std::strcmp(K.Name, Name) == 0)
+      return K;
+  Kernels.push_back(KernelSched{Name, Opts.InitialCpuShare});
+  return Kernels.back();
+}
+
+double HeteroBackend::cpuShare() const {
+  double Weighted = 0, Weight = 0;
+  for (const KernelSched &K : Kernels) {
+    Weighted += K.Share * double(K.OpsTotal);
+    Weight += double(K.OpsTotal);
+  }
+  return Weight > 0 ? Weighted / Weight : Opts.InitialCpuShare;
+}
+
+void HeteroBackend::account(KernelSched &K, uint64_t CpuT, uint64_t CpuO,
+                            double CpuSecs, uint64_t GpuT, uint64_t GpuO,
+                            uint64_t StolenNow) {
+  CpuTasksTotal += CpuT;
+  CpuOpsTotal += CpuO;
+  GpuTasksTotal += GpuT;
+  GpuOpsTotal += GpuO;
+  StealsTotal += StolenNow;
+  CpuBusyTotal += CpuSecs;
+  K.OpsTotal += CpuO + GpuO;
+  K.CpuSecsLevel += CpuSecs;
+  K.CpuOpsLevel += CpuO;
+  K.GpuOpsLevel += GpuO;
+  double GpuSecs = 0;
+  if (GpuT > 0) {
+    // The model's session overhead is a constant of modeledSeconds(),
+    // so the before/after delta is exactly this launch's charge.
+    double Before = GpuModel.modeledSeconds();
+    GpuModel.recordLaunch(size_t(GpuT), GpuO);
+    GpuSecs = GpuModel.modeledSeconds() - Before;
+    K.GpuSecsLevel += GpuSecs;
+  }
+  // The engines run concurrently, so the launch costs the slower side.
+  CoschedSeconds += std::max(CpuSecs, GpuSecs);
+}
+
+uint64_t HeteroBackend::launch(const char *Name, size_t Tasks,
+                               const std::function<uint64_t(size_t)> &Body) {
+  if (Tasks == 0)
+    return 0;
+  KernelSched &K = kernelSched(Name);
+  size_t Grain = Opts.GrainTasks;
+  uint32_t NumUnits = uint32_t((Tasks + Grain - 1) / Grain);
+
+  auto runRange = [&](size_t Begin, size_t End) -> uint64_t {
+    uint64_t Ops = 0;
+    for (size_t I = Begin; I != End; ++I)
+      Ops += Body(I);
+    return Ops;
+  };
+
+  if (NumUnits < 2) {
+    // Too small to split: a co-scheduling round trip costs more than
+    // the grid, so the CPU engine takes it whole.
+    WallTimer T;
+    uint64_t Ops = runRange(0, Tasks);
+    account(K, Tasks, Ops, T.seconds(), 0, 0, 0);
+    return Ops;
+  }
+
+  uint32_t Split = uint32_t(std::lround(K.Share * double(NumUnits)));
+  // Both engines always hold at least one grain, so the EWMAs keep
+  // getting a fresh sample from each.
+  Split = std::max<uint32_t>(1, std::min(Split, NumUnits - 1));
+
+  if (Opts.InlineKernels) {
+    // An outer pool owns the parallelism: both engines drain
+    // sequentially on the caller, no stealing. With no stealing to
+    // correct imbalance, the grains are striped (Bresenham) instead
+    // of split into contiguous ranges - a grid's work units are often
+    // concentrated at one end, and striping samples that skew evenly
+    // into both engines. Identical results either way - which engine
+    // runs a grain is never observable.
+    auto isCpuUnit = [&](uint32_t Unit) {
+      return uint64_t(Unit + 1) * Split / NumUnits >
+             uint64_t(Unit) * Split / NumUnits;
+    };
+    uint64_t CpuOps = 0, GpuOps = 0;
+    uint64_t CpuT = 0, GpuT = 0;
+    double CpuSecs = 0;
+    for (unsigned Side = 0; Side < 2; ++Side) {
+      WallTimer T;
+      for (uint32_t Unit = 0; Unit != NumUnits; ++Unit) {
+        if (isCpuUnit(Unit) != (Side == 0))
+          continue;
+        size_t Begin = size_t(Unit) * Grain;
+        size_t End = std::min(Begin + Grain, Tasks);
+        uint64_t Ops = runRange(Begin, End);
+        (Side == 0 ? CpuOps : GpuOps) += Ops;
+        (Side == 0 ? CpuT : GpuT) += End - Begin;
+      }
+      if (Side == 0)
+        CpuSecs = T.seconds();
+    }
+    account(K, CpuT, CpuOps, CpuSecs, GpuT, GpuOps, 0);
+    return CpuOps + GpuOps;
+  }
+
+  WorkQueue Q(NumUnits, Split);
+  std::atomic<uint64_t> SideOps[2] = {{0}, {0}};
+  std::atomic<uint64_t> SideTasks[2] = {{0}, {0}};
+  auto drain = [&](unsigned SideIdx, ThreadPool &Pool) {
+    // Every lane (workers plus the driving thread) loops the queue:
+    // own side front-first, then steals from the other side's back.
+    size_t Lanes = size_t(Pool.workerCount()) + 1;
+    Pool.parallelFor(Lanes, [&](size_t) {
+      uint64_t Ops = 0;
+      uint64_t Count = 0;
+      for (uint32_t Unit; (Unit = Q.claim(SideIdx)) != WorkQueue::None;) {
+        size_t Begin = size_t(Unit) * Grain;
+        size_t End = std::min(Begin + Grain, Tasks);
+        Ops += runRange(Begin, End);
+        Count += End - Begin;
+      }
+      SideOps[SideIdx].fetch_add(Ops, std::memory_order_relaxed);
+      SideTasks[SideIdx].fetch_add(Count, std::memory_order_relaxed);
+    });
+  };
+
+  // The GPU engine drains on a helper thread (its pool's driver), the
+  // CPU engine on the caller - the two engines genuinely co-execute.
+  double CpuSecs = 0;
+  std::thread GpuThread([&] { drain(1, GpuPool); });
+  {
+    WallTimer T;
+    drain(0, CpuPool);
+    CpuSecs = T.seconds();
+  }
+  GpuThread.join();
+
+  uint64_t CpuT = SideTasks[0].load(std::memory_order_relaxed);
+  uint64_t GpuT = SideTasks[1].load(std::memory_order_relaxed);
+  uint64_t CpuO = SideOps[0].load(std::memory_order_relaxed);
+  uint64_t GpuO = SideOps[1].load(std::memory_order_relaxed);
+  account(K, CpuT, CpuO, CpuSecs, GpuT, GpuO,
+          Q.stolenBy(0) + Q.stolenBy(1));
+  return CpuO + GpuO;
+}
+
+LevelOutcome HeteroBackend::runLevel(SearchContext &Ctx,
+                                     uint64_t LevelCost,
+                                     LevelTasks &Tasks) {
+  for (KernelSched &K : Kernels) {
+    K.CpuSecsLevel = K.GpuSecsLevel = 0;
+    K.CpuOpsLevel = K.GpuOpsLevel = 0;
+  }
+  LevelOutcome Out = BatchedBackend::runLevel(Ctx, LevelCost, Tasks);
+  // Per-engine, per-kernel throughput EWMAs feeding the next level's
+  // static splits: the CPU rate is measured, the GPU rate comes from
+  // the device model - the currencies match because both count the
+  // kernels' work units (see gpusim/PerfModel.h). Kept per kernel
+  // class because the engines' speed ratio differs by orders of
+  // magnitude between the compute-dense and the hash-probe kernels.
+  double Alpha = std::clamp(Opts.EwmaAlpha, 0.01, 1.0);
+  for (KernelSched &K : Kernels) {
+    if (K.CpuSecsLevel > 0 && K.CpuOpsLevel > 0) {
+      double Rate = double(K.CpuOpsLevel) / K.CpuSecsLevel;
+      K.CpuEwma =
+          K.CpuEwma > 0 ? (1 - Alpha) * K.CpuEwma + Alpha * Rate : Rate;
+    }
+    if (K.GpuSecsLevel > 0 && K.GpuOpsLevel > 0) {
+      double Rate = double(K.GpuOpsLevel) / K.GpuSecsLevel;
+      K.GpuEwma =
+          K.GpuEwma > 0 ? (1 - Alpha) * K.GpuEwma + Alpha * Rate : Rate;
+    }
+    if (K.CpuEwma > 0 && K.GpuEwma > 0)
+      K.Share = clampShare(K.CpuEwma / (K.CpuEwma + K.GpuEwma));
+  }
+  return Out;
+}
+
+void HeteroBackend::addBackendStats(SynthStats &Stats) const {
+  Stats.HeteroCpuTasks = CpuTasksTotal;
+  Stats.HeteroGpuTasks = GpuTasksTotal;
+  Stats.HeteroCpuOps = CpuOpsTotal;
+  Stats.HeteroGpuOps = GpuOpsTotal;
+  Stats.HeteroSteals = StealsTotal;
+  Stats.HeteroCpuShare = cpuShare();
+  Stats.HeteroCpuSeconds = CpuBusyTotal;
+  Stats.HeteroCoschedSeconds = CoschedSeconds;
+}

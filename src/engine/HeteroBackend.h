@@ -1,0 +1,157 @@
+//===- engine/HeteroBackend.h - CPU + GPU-sim co-scheduling backend ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heterogeneous backend ("hetero"): one cost level executed by
+/// *two* engines at once - the host CPU pool of the cpu-parallel
+/// backend and the simulated device of the gpusim backend - instead
+/// of leaving one of them idle. The shape follows dfc-opencl's
+/// heterogeneous design: every kernel grid is chopped into
+/// shard-granular grains, a static split seeds each engine's range of
+/// a shared work-stealing queue (support/WorkQueue.h), and whichever
+/// engine finishes first steals grains from the other, so the level
+/// ends when *both* are out of work, never when the slower one is.
+/// The split ratio is re-estimated level to level by an EWMA of each
+/// engine's observed throughput - the CPU side from measured kernel
+/// rates, the GPU side from the gpusim/PerfModel device model - so
+/// the seed converges to the engines' real speed ratio and stealing
+/// only has to correct the residual error. The EWMA is kept *per
+/// kernel class* (generate/unique/check/compact), not blended: the
+/// engines' relative speed differs by orders of magnitude between
+/// kernels (the host is strongest on the compute-dense generate
+/// inner loop, weakest on the hash-probe kernels), and per-kernel
+/// splits let each engine specialise in the grids it is relatively
+/// fast at - the classic heterogeneous-scheduling win that a single
+/// blended ratio forfeits.
+///
+/// Results are bit-identical to every single-engine backend at every
+/// shard count, for free: the batched pipeline's winners are
+/// schedule-independent minima and the rank-ordered exchange pass
+/// (BatchedBackend.h) assigns global ids on the host, so *which*
+/// engine computed a grain is unobservable in the output
+/// (test-enforced by tests/hetero_test.cpp).
+///
+/// This is the seam a real CUDA/OpenCL backend slots into: replace
+/// the GPU-side pool with device launches and the queue becomes the
+/// host-side scheduler of a genuine CPU+GPU co-execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_HETEROBACKEND_H
+#define PARESY_ENGINE_HETEROBACKEND_H
+
+#include "engine/BatchedBackend.h"
+#include "support/ThreadPool.h"
+
+namespace paresy {
+namespace engine {
+
+/// Construction-time knobs of the heterogeneous backend.
+struct HeteroOptions {
+  /// Threads of the CPU-side engine's pool (0 = the grains run on the
+  /// draining thread alone).
+  unsigned CpuWorkers = 0;
+  /// Threads of the GPU-side engine's pool (0 = its grains run on the
+  /// one thread that drives the simulated device).
+  unsigned GpuWorkers = 0;
+  /// No concurrency at all: both engines drain their seeded ranges
+  /// sequentially on the caller (no helper thread, no stealing). Used
+  /// when an outer pool already owns the parallelism
+  /// (BackendConfig::InlineKernels); results are identical either way.
+  bool InlineKernels = false;
+  /// Fraction of each grid initially assigned to the CPU engine
+  /// (seeding every kernel class); the per-kernel EWMA replaces it
+  /// from each kernel's second observed level on.
+  double InitialCpuShare = 0.5;
+  /// Smoothing factor of the per-engine throughput EWMA in (0, 1];
+  /// higher weighs the latest level more.
+  double EwmaAlpha = 0.4;
+  /// Tasks per work-stealing grain. Small enough that stealing can
+  /// balance a skewed split, large enough that a grain amortises its
+  /// queue claim.
+  size_t GrainTasks = 256;
+  /// Timing model of the GPU-side engine (defaults to the gpusim
+  /// A100 model).
+  gpusim::DeviceSpec GpuSpec;
+};
+
+/// The batched kernel pipeline co-scheduled across a host CPU engine
+/// and the simulated GPU engine with work stealing.
+class HeteroBackend : public BatchedBackend {
+public:
+  explicit HeteroBackend(const HeteroOptions &Options = {});
+
+  std::string_view name() const override { return "hetero"; }
+  size_t planCacheCapacity(const SearchContext &Ctx,
+                           uint64_t BudgetBytes) override;
+  void prepare(SearchContext &Ctx) override;
+  LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                        LevelTasks &Tasks) override;
+  void addBackendStats(SynthStats &Stats) const override;
+
+  /// The GPU-side engine's device accounting (modelled seconds, ops).
+  const gpusim::PerfModel &gpuPerf() const { return GpuModel; }
+  /// The current adaptive CPU share of a grid's grains, averaged over
+  /// the kernel classes weighted by their observed work.
+  double cpuShare() const;
+
+protected:
+  /// Co-schedules the grid: grains seeded CpuShare/1-CpuShare across
+  /// the two engines' sides of a WorkQueue, drained concurrently with
+  /// stealing (sequentially under InlineKernels).
+  uint64_t launch(const char *Name, size_t Tasks,
+                  const std::function<uint64_t(size_t)> &Body) override;
+
+private:
+  /// Adaptive schedule state of one kernel class. The engines' speed
+  /// ratio is kernel-specific, so each class carries its own
+  /// throughput EWMAs and split ratio.
+  struct KernelSched {
+    const char *Name;
+    double Share;       ///< CPU fraction of this kernel's grains.
+    double CpuEwma = 0; ///< ops/s, measured (CPU engine).
+    double GpuEwma = 0; ///< ops/s, modelled (GPU engine).
+    uint64_t OpsTotal = 0; ///< Work weight for the blended report.
+    // Per-level accumulators feeding the EWMAs.
+    double CpuSecsLevel = 0;
+    double GpuSecsLevel = 0;
+    uint64_t CpuOpsLevel = 0;
+    uint64_t GpuOpsLevel = 0;
+  };
+
+  /// The schedule entry of kernel \p Name (kernel names are literals,
+  /// so pointer identity is the fast path).
+  KernelSched &kernelSched(const char *Name);
+
+  /// Accounts one launch's per-engine outcome: totals, the GPU device
+  /// model, the kernel's level accumulators, and the co-scheduled
+  /// (concurrent-execution) time.
+  void account(KernelSched &K, uint64_t CpuT, uint64_t CpuO,
+               double CpuSecs, uint64_t GpuT, uint64_t GpuO,
+               uint64_t StolenNow);
+
+  HeteroOptions Opts;
+  ThreadPool CpuPool;
+  ThreadPool GpuPool;
+  gpusim::PerfModel GpuModel;
+
+  // Adaptive schedule state, one entry per kernel class seen.
+  std::vector<KernelSched> Kernels;
+
+  // Run totals, reported through addBackendStats().
+  uint64_t CpuTasksTotal = 0;
+  uint64_t GpuTasksTotal = 0;
+  uint64_t CpuOpsTotal = 0;
+  uint64_t GpuOpsTotal = 0;
+  uint64_t StealsTotal = 0;
+  double CpuBusyTotal = 0;
+  double CoschedSeconds = 0;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_HETEROBACKEND_H

@@ -1,0 +1,134 @@
+//===- engine/Portfolio.cpp - Racing equivalent sweep configurations ---------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Portfolio.h"
+
+#include "engine/Backend.h"
+#include "engine/Session.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+struct ArmPlan {
+  std::string Label;
+  SynthOptions Opts;
+};
+
+/// The standard arm set: the base configuration plus one flip of each
+/// result-preserving sweep option. Every arm returns the same regex
+/// and cost when it Finds (ablation/shard invariants, test-enforced),
+/// so the race is deterministic in content.
+std::vector<ArmPlan> planArms(const SynthOptions &Base) {
+  std::vector<ArmPlan> Arms;
+  SynthOptions Common = Base;
+  Common.Portfolio = false; // Arms never recurse into the racer.
+
+  Arms.push_back({"base", Common});
+
+  ArmPlan Guide{Common.UseGuideTable ? "no-guide" : "guide", Common};
+  Guide.Opts.UseGuideTable = !Common.UseGuideTable;
+  Arms.push_back(std::move(Guide));
+
+  ArmPlan Shard{Common.Shards <= 1 ? "shards=4" : "shards=1", Common};
+  Shard.Opts.Shards = Common.Shards <= 1 ? 4 : 1;
+  Arms.push_back(std::move(Shard));
+
+  ArmPlan Pad{Common.PadToPowerOfTwo ? "no-pad" : "pad", Common};
+  Pad.Opts.PadToPowerOfTwo = !Common.PadToPowerOfTwo;
+  Arms.push_back(std::move(Pad));
+  return Arms;
+}
+
+} // namespace
+
+PortfolioOutcome
+paresy::engine::runPortfolio(std::shared_ptr<const StagedQuery> Q,
+                             std::string_view BackendName,
+                             const BackendConfig &Config) {
+  PortfolioOutcome Out;
+  if (!Q) {
+    Out.Result.Status = SynthStatus::InvalidInput;
+    Out.Result.Message = "portfolio: no staged query";
+    return Out;
+  }
+  if (Q->immediate()) {
+    // Nothing to race: staging already resolved the query.
+    Out.Result = Q->immediateResult();
+    return Out;
+  }
+
+  std::vector<ArmPlan> Plans = planArms(Q->options());
+  size_t N = Plans.size();
+
+  // Divide the machine across the arms: with no explicit worker count
+  // the arms themselves are the parallelism and each runs its kernels
+  // inline; otherwise each arm gets an equal share of the pool.
+  BackendConfig ArmConfig = Config;
+  if (Config.Workers == 0)
+    ArmConfig.InlineKernels = true;
+  else
+    ArmConfig.Workers = std::max(1u, Config.Workers / unsigned(N));
+
+  // Build every arm up front so a bad backend name fails before any
+  // thread starts.
+  std::vector<std::unique_ptr<SearchSession>> Sessions;
+  for (const ArmPlan &Plan : Plans) {
+    std::unique_ptr<Backend> B = createBackend(BackendName, ArmConfig);
+    if (!B) {
+      Out.Result.Status = SynthStatus::InvalidInput;
+      Out.Result.Message = unknownBackendMessage(BackendName);
+      return Out;
+    }
+    std::shared_ptr<const StagedQuery> ArmQ = restage(*Q, Plan.Opts);
+    Sessions.push_back(
+        std::make_unique<SearchSession>(std::move(ArmQ), std::move(B)));
+  }
+
+  std::atomic<bool> Stop{false};
+  std::vector<SynthResult> Results(N);
+  Out.Arms.resize(N);
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    Out.Arms[I].Label = Plans[I].Label;
+    Sessions[I]->setCancelToken(&Stop);
+    Threads.emplace_back([&, I] {
+      WallTimer T;
+      Results[I] = Sessions[I]->run();
+      Out.Arms[I].Seconds = T.seconds();
+      // First Find wins the race; every other arm winds down at its
+      // next poll point. (Found results are identical across arms, so
+      // the time race never changes the returned content.)
+      if (Results[I].found())
+        Stop.store(true, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  size_t WinnerIdx = N;
+  for (size_t I = 0; I != N; ++I) {
+    Out.Arms[I].Status = Results[I].Status;
+    Out.Arms[I].LevelsRun = Results[I].Stats.LevelsRun;
+    if (WinnerIdx == N && Results[I].found())
+      WinnerIdx = I;
+  }
+  if (WinnerIdx == N) {
+    // No arm found an answer. Nobody set the stop token, so no arm was
+    // cancelled: report the base configuration's (deterministic)
+    // outcome at the given budgets.
+    WinnerIdx = 0;
+  }
+  Out.Arms[WinnerIdx].Winner = true;
+  Out.Result = Results[WinnerIdx];
+  return Out;
+}

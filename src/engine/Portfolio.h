@@ -1,0 +1,78 @@
+//===- engine/Portfolio.h - Racing equivalent sweep configurations -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The portfolio racer: several result-equivalent sweep configurations
+/// of one query run concurrently, the first to finish wins, the losers
+/// are cancelled. The arms differ only in options the repo proves (and
+/// tests) result-preserving - guide table on/off, shard count, CS
+/// padding - so *which* arm wins changes wall-clock behaviour only,
+/// never the returned regex or cost: the racer is deterministic in
+/// content even though it is a race in time.
+///
+/// All arms share one staged query: restage() re-derives each arm's
+/// StagedQuery from the base artifact, sharing the universe and guide
+/// table whenever the geometry allows (engine/Staging.h), so the
+/// expensive staging work is paid once. Each arm owns a private
+/// SearchSession and backend; a shared cooperative stop token
+/// (SearchSession::setCancelToken) is set by the first arm to Find,
+/// and every other arm winds down at its next poll point with
+/// SynthStatus::Cancelled. Cancelled results are discarded - never
+/// cached, never parked (service/SynthService.h relies on this).
+///
+/// Reached through SynthOptions::Portfolio (honoured by
+/// engine::synthesizeWith and the service layer) and
+/// `paresy_cli --portfolio`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_PORTFOLIO_H
+#define PARESY_ENGINE_PORTFOLIO_H
+
+#include "engine/BackendRegistry.h"
+#include "engine/Staging.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+namespace engine {
+
+/// What one arm of the race did, for stats surfaces (CLI, service).
+struct PortfolioArmReport {
+  /// The option delta this arm ran ("base", "no-guide", "shards=4",
+  /// "no-pad", ...).
+  std::string Label;
+  SynthStatus Status = SynthStatus::NotFound;
+  /// Cost levels the arm executed before finishing or being cancelled.
+  uint64_t LevelsRun = 0;
+  /// Wall-clock seconds the arm's thread ran.
+  double Seconds = 0;
+  bool Winner = false;
+};
+
+/// The race's result plus per-arm accounting.
+struct PortfolioOutcome {
+  SynthResult Result;
+  std::vector<PortfolioArmReport> Arms;
+};
+
+/// Races the standard arm set - base options, guide table flipped,
+/// shard count flipped (1 <-> 4), padding flipped - over \p Q on the
+/// backend registered under \p BackendName. \p Config is divided
+/// across the arms: with Workers == 0 each arm runs its kernels inline
+/// (the arms themselves are the parallelism), otherwise each arm gets
+/// an equal share of the workers. Losing arms' results are discarded.
+PortfolioOutcome runPortfolio(std::shared_ptr<const StagedQuery> Q,
+                              std::string_view BackendName,
+                              const BackendConfig &Config = {});
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_PORTFOLIO_H

@@ -118,6 +118,7 @@ void SearchSession::bindContext() {
   Ctx.Algebra = Algebra.get();
   Ctx.MistakeBudget = Q->mistakeBudget();
   Ctx.Clock = &Clock;
+  Ctx.Cancel = Cancel;
 
   // The completeness horizon once the cache has filled at cost F:
   // every candidate at cost <= F + MinExtra - 1 references only
@@ -168,6 +169,14 @@ SessionState SearchSession::step() {
   // time never counts against the timeout budget.
   Clock.reset();
   Clock.rewind(ConsumedSeconds);
+
+  // Cooperative cancellation wins over every budget verdict: a
+  // cancelled arm's answer is discarded by its portfolio, so parking
+  // state or reporting NotFound for it would only waste memory.
+  if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+    finishWith(SynthStatus::Cancelled, "cancelled by stop token");
+    return St;
+  }
 
   // Budget and horizon checks, in the pre-session driver's order. The
   // seed level (Alg. 1 line 6) runs unconditionally, like the fused
@@ -235,6 +244,7 @@ void SearchSession::rollbackToBoundary() {
 
 void SearchSession::runLevelAt(uint64_t C) {
   captureBoundary();
+  ++Stats.LevelsRun;
   LevelTasks Tasks = C == EffOpts.Cost.Literal
                          ? LevelTasks::seedLevel(Ctx)
                          : LevelTasks::sweepLevel(Ctx, C, NonEmptyLevels);
@@ -267,8 +277,8 @@ void SearchSession::runLevelAt(uint64_t C) {
   }
   // A satisfier never cuts a level short (all its candidates were
   // generated), so the level still counts as completed; only resource
-  // aborts leave it partial.
-  if (!Last.TimedOut && !Last.Abort)
+  // aborts, timeouts and cancellations leave it partial.
+  if (!Last.TimedOut && !Last.Abort && !Last.Cancelled)
     Stats.LastCompletedCost = C;
 
   // A satisfier takes precedence over resource aborts in the same
@@ -276,6 +286,10 @@ void SearchSession::runLevelAt(uint64_t C) {
   // satisfier is minimal even if the level was cut short.
   if (Last.FoundSatisfier) {
     finishFound(Last.Satisfier, C);
+    return;
+  }
+  if (Last.Cancelled) {
+    finishWith(SynthStatus::Cancelled, "cancelled by stop token");
     return;
   }
   if (Last.TimedOut) {
@@ -302,6 +316,7 @@ void SearchSession::runLevelAt(uint64_t C) {
 }
 
 void SearchSession::fillStats(SynthResult &R) {
+  B->addBackendStats(Stats);
   Stats.CacheEntries = Store ? Store->size() : 0;
   Stats.MemoryBytes = (Store ? Store->bytesUsed() : 0) + B->auxBytesUsed();
   Stats.PairsVisited =
@@ -382,8 +397,17 @@ bool SearchSession::extendBudget(uint64_t NewMaxCost,
   EffOpts.TimeoutSeconds = NewTimeoutSeconds;
   if (Prepared)
     MaxCostResolved = resolveMaxCost(Q->spec(), EffOpts);
+  // Each budget extension starts a new run: the per-run level counter
+  // restarts so callers aggregating LevelsRun across retries never
+  // double-count the parked prefix.
+  Stats.LevelsRun = 0;
   St = SessionState::Running;
   return true;
+}
+
+void SearchSession::setCancelToken(const std::atomic<bool> *Token) {
+  Cancel = Token;
+  Ctx.Cancel = Token;
 }
 
 uint64_t SearchSession::bytesUsed() const {

@@ -141,6 +141,15 @@ public:
   /// 0 = none). No-op on Finished sessions (returns false).
   bool extendBudget(uint64_t NewMaxCost, double NewTimeoutSeconds);
 
+  /// Installs a cooperative stop token (engine/Portfolio.h): when
+  /// \p Token reads true, the next poll point - between candidates on
+  /// the sequential backend, between batches on the batched ones,
+  /// between levels here - finishes the session with
+  /// SynthStatus::Cancelled. Cancelled sessions are terminal: they
+  /// never park, and their results must be discarded, not cached.
+  /// Null detaches the token.
+  void setCancelToken(const std::atomic<bool> *Token);
+
   /// Bytes pinned by the parked search state (store + backend
   /// structures), for resume-cache byte budgets.
   uint64_t bytesUsed() const;
@@ -239,6 +248,9 @@ private:
 
   bool CacheFilled = false;
   uint64_t FilledCost = 0;
+
+  /// Cooperative stop token threaded into SearchContext::Cancel.
+  const std::atomic<bool> *Cancel = nullptr;
 
   Boundary LastBoundary;
 };

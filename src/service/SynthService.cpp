@@ -7,6 +7,7 @@
 #include "service/SynthService.h"
 
 #include "engine/Backend.h"
+#include "engine/Portfolio.h"
 
 #include <algorithm>
 #include <cassert>
@@ -102,7 +103,7 @@ SynthService::ResultFuture SynthService::submit(const Spec &S,
     ++Counters.Immediate;
     SynthResult R;
     R.Status = SynthStatus::InvalidInput;
-    R.Message = "unknown backend '" + Options.Backend + "'";
+    R.Message = engine::unknownBackendMessage(Options.Backend);
     return readyFuture(std::move(R));
   }
 
@@ -228,7 +229,9 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
       canonicalSessionText(Req->Canonical, Req->Sigma, Req->Opts);
   Fingerprint SessionKey = fingerprintText(SessionText);
   std::unique_ptr<engine::SearchSession> Session;
-  {
+  if (!Options.Portfolio) {
+    // A portfolio race never parks (its arms' states die with the
+    // race), so a portfolio service skips the resume path symmetrically.
     std::lock_guard<std::mutex> Lock(M);
     if (ParkedSession *Hit = Sessions.get(SessionKey);
         Hit && Hit->KeyText == SessionText &&
@@ -266,20 +269,64 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     Q = Base ? engine::restage(*Base, Req->Opts)
              : engine::stage(Req->Canonical, Req->Sigma, Req->Opts);
 
+    if (!Options.Portfolio) {
+      engine::BackendConfig Config = Options.Kernels;
+      if (Options.Workers > 0)
+        Config.InlineKernels = true; // The request pool owns parallelism.
+      std::unique_ptr<engine::Backend> B =
+          engine::createBackend(Options.Backend, Config);
+      assert(B && "backend existence was checked at submit");
+      Session =
+          std::make_unique<engine::SearchSession>(Q, std::move(B));
+    }
+  }
+
+  SynthResult R;
+  uint64_t LevelsCharged = 0;
+  uint64_t ArmsStarted = 0;
+  uint64_t ArmsCancelled = 0;
+  if (Session) {
+    R = Session->run();
+    LevelsCharged = R.Stats.LevelsRun;
+  } else {
+    // Portfolio strategy: race the equivalent sweep configurations
+    // over the shared staged artifact; the work ledger charges every
+    // arm's levels - cancelled arms' work was spent too.
     engine::BackendConfig Config = Options.Kernels;
     if (Options.Workers > 0)
-      Config.InlineKernels = true; // The request pool owns parallelism.
-    std::unique_ptr<engine::Backend> B =
-        engine::createBackend(Options.Backend, Config);
-    assert(B && "backend existence was checked at submit");
-    Session =
-        std::make_unique<engine::SearchSession>(Q, std::move(B));
+      Config.InlineKernels = true;
+    engine::PortfolioOutcome Race =
+        engine::runPortfolio(Q, Options.Backend, Config);
+    R = std::move(Race.Result);
+    ArmsStarted = Race.Arms.size();
+    for (const engine::PortfolioArmReport &Arm : Race.Arms) {
+      LevelsCharged += Arm.LevelsRun;
+      if (Arm.Status == SynthStatus::Cancelled)
+        ++ArmsCancelled;
+    }
   }
-  SynthResult R = Session->run();
 
   {
     std::lock_guard<std::mutex> Lock(M);
     ++Counters.Searches;
+    // Per-backend work ledger: cost levels executed under each
+    // backend name (one name per service; kept a list so stats merge
+    // naturally across services in callers).
+    {
+      auto It = std::find_if(
+          Counters.BackendLevels.begin(), Counters.BackendLevels.end(),
+          [&](const auto &E) { return E.first == Options.Backend; });
+      if (It == Counters.BackendLevels.end())
+        Counters.BackendLevels.emplace_back(Options.Backend,
+                                            LevelsCharged);
+      else
+        It->second += LevelsCharged;
+    }
+    if (ArmsStarted > 0) {
+      ++Counters.PortfolioRaces;
+      Counters.PortfolioArms += ArmsStarted;
+      Counters.PortfolioCancelled += ArmsCancelled;
+    }
     // Per-shard occupancy/overflow, aggregated across searches (the
     // skew signal an operator watches when raising --shards).
     if (R.Stats.ShardCount > 0) {
@@ -295,8 +342,10 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     }
     // Timeout is the one wall-clock-dependent status: a re-run might
     // succeed, so replaying it from the cache would pin a transient
-    // failure forever. Every other status is deterministic.
-    if (R.Status != SynthStatus::Timeout)
+    // failure forever; Cancelled is a discarded race loser, not an
+    // answer. Every other status is deterministic.
+    if (R.Status != SynthStatus::Timeout &&
+        R.Status != SynthStatus::Cancelled)
       Results.put(Req->Key, CachedResult{Req->KeyText, R});
     // Q is the freshly staged artifact on the cold path, the resumed
     // session's own staged query on the warm path (same staging text
@@ -305,8 +354,9 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
       putStaged(StagedKey,
                 CachedStaged{std::move(StagedText), Q, Q->stagedBytes()});
     // Budget-exhausted searches park their sweep state for the next
-    // budget extension; everything else dies with the session.
-    if (Session->state() == engine::SessionState::Parked) {
+    // budget extension; everything else dies with the session (a
+    // portfolio race has no session here at all).
+    if (Session && Session->state() == engine::SessionState::Parked) {
       uint64_t Bytes = Session->bytesUsed();
       parkSession(SessionKey, ParkedSession{std::move(SessionText),
                                             std::move(Session), Bytes});

@@ -118,6 +118,16 @@ struct ServiceOptions {
   /// forces InlineKernels, as the request pool already owns the
   /// parallelism (the synthesizeBatch idiom).
   engine::BackendConfig Kernels;
+
+  /// Execution strategy: run every search miss as a portfolio race of
+  /// result-equivalent sweep configurations on this service's backend
+  /// (engine/Portfolio.h) instead of a single session. Results are
+  /// identical (the arms are result-preserving); only wall-clock
+  /// behaviour changes. A portfolio service keeps its result and
+  /// staged caches but does not park/resume sessions - the racing
+  /// arms' states die with the race, and cancelled arms are never
+  /// cached.
+  bool Portfolio = false;
 };
 
 /// Monotonic service counters plus current queue state. All counters
@@ -147,6 +157,19 @@ struct ServiceStats {
   uint64_t ShardCount = 0;   ///< Shard count of the latest search.
   std::vector<uint64_t> ShardRows;    ///< Rows cached, per shard.
   std::vector<uint64_t> ShardDropped; ///< Overflow drops, per shard.
+
+  /// Cost levels executed, accumulated per backend name (one entry
+  /// for a single-backend service; portfolio races charge the sum of
+  /// all arms' levels - cancelled arms included, their work was
+  /// spent). The per-backend work ledger --serve-demo prints.
+  std::vector<std::pair<std::string, uint64_t>> BackendLevels;
+
+  /// Portfolio strategy counters (zero unless ServiceOptions::
+  /// Portfolio): races run, arms started, and arms that lost and were
+  /// cancelled mid-sweep.
+  uint64_t PortfolioRaces = 0;
+  uint64_t PortfolioArms = 0;
+  uint64_t PortfolioCancelled = 0;
 };
 
 /// A caching, coalescing, asynchronous synthesis service over one

@@ -1,0 +1,127 @@
+//===- support/WorkQueue.h - Two-sided work-stealing range queue -----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling substrate of the heterogeneous backend
+/// (engine/HeteroBackend.h): a fixed range of independent work units
+/// [0, NumUnits) split between two engines, where a finished engine
+/// *steals* from the slow one instead of idling. The shape follows
+/// dfc-opencl's heterogeneous design - a static split seeds the
+/// schedule, dynamic stealing corrects the seed's error - restricted
+/// to exactly two consumers-with-teams, which is what CPU+GPU
+/// co-execution needs and what keeps the queue a pair of packed
+/// 64-bit cursors instead of a general deque.
+///
+/// Each side owns a contiguous sub-range and holds one atomic word
+/// packing (Next, End). Claims from the owning side pop the front
+/// (Next++); steals take the victim's *back* (End--), so the thief
+/// and the owner only collide on the final unit, where the CAS on the
+/// packed word arbitrates. Every unit is claimed exactly once; which
+/// side claims it is scheduling, never semantics - callers must only
+/// submit units whose results are claim-order-independent (the kernel
+/// grains of the batched pipeline are, by design).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_WORKQUEUE_H
+#define PARESY_SUPPORT_WORKQUEUE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace paresy {
+
+/// A two-sided work-stealing queue over the unit range [0, NumUnits).
+/// Side 0 is seeded with [0, Split), side 1 with [Split, NumUnits).
+/// claim() is lock-free and safe to call from any number of threads
+/// acting for either side.
+class WorkQueue {
+public:
+  /// claim() result when no work remains anywhere.
+  static constexpr uint32_t None = 0xffffffffu;
+
+  /// \p Split is clamped to [0, NumUnits].
+  WorkQueue(uint32_t NumUnits, uint32_t Split) {
+    if (Split > NumUnits)
+      Split = NumUnits;
+    Side[0].store(pack(0, Split), std::memory_order_relaxed);
+    Side[1].store(pack(Split, NumUnits), std::memory_order_relaxed);
+  }
+
+  WorkQueue(const WorkQueue &) = delete;
+  WorkQueue &operator=(const WorkQueue &) = delete;
+
+  /// Claims the next unit for \p Taker (0 or 1): the front of its own
+  /// sub-range while that lasts, then the back of the other side's
+  /// (a steal). Returns None when every unit has been claimed.
+  uint32_t claim(unsigned Taker) {
+    uint32_t Unit = popFront(Taker);
+    if (Unit != None)
+      return Unit;
+    Unit = popBack(1 - Taker);
+    if (Unit != None)
+      Stolen[Taker].fetch_add(1, std::memory_order_relaxed);
+    return Unit;
+  }
+
+  /// Units side \p Taker took from the *other* side's range.
+  uint64_t stolenBy(unsigned Taker) const {
+    return Stolen[Taker].load(std::memory_order_relaxed);
+  }
+
+  /// Units not yet claimed (racy under concurrent claims; exact once
+  /// the consumers have quiesced).
+  uint32_t remaining() const {
+    uint32_t Left = 0;
+    for (const std::atomic<uint64_t> &S : Side) {
+      uint64_t Word = S.load(std::memory_order_relaxed);
+      Left += end(Word) - next(Word);
+    }
+    return Left;
+  }
+
+private:
+  static uint64_t pack(uint32_t Next, uint32_t End) {
+    return uint64_t(End) << 32 | Next;
+  }
+  static uint32_t next(uint64_t Word) { return uint32_t(Word); }
+  static uint32_t end(uint64_t Word) { return uint32_t(Word >> 32); }
+
+  uint32_t popFront(unsigned S) {
+    uint64_t Word = Side[S].load(std::memory_order_relaxed);
+    while (next(Word) < end(Word)) {
+      // One CAS on the packed word claims the front unit; a concurrent
+      // steal of the same (last) unit changes End and fails this CAS.
+      if (Side[S].compare_exchange_weak(Word,
+                                        pack(next(Word) + 1, end(Word)),
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+        return next(Word);
+    }
+    return None;
+  }
+
+  uint32_t popBack(unsigned S) {
+    uint64_t Word = Side[S].load(std::memory_order_relaxed);
+    while (next(Word) < end(Word)) {
+      if (Side[S].compare_exchange_weak(Word,
+                                        pack(next(Word), end(Word) - 1),
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+        return end(Word) - 1;
+    }
+    return None;
+  }
+
+  /// One packed (Next, End) cursor per side, cache-line separated so
+  /// the two engines' claims do not false-share.
+  alignas(64) std::atomic<uint64_t> Side[2];
+  alignas(64) std::atomic<uint64_t> Stolen[2] = {{0}, {0}};
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_WORKQUEUE_H

@@ -9,6 +9,7 @@
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/WorkQueue.h"
 
 #include <gtest/gtest.h>
 
@@ -259,4 +260,64 @@ TEST(Timer, MeasuresForwardTime) {
   EXPECT_GE(B, A);
   T.reset();
   EXPECT_GE(T.seconds(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// WorkQueue (the hetero backend's work-stealing substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkQueue, OwnSideDrainsFrontFirst) {
+  WorkQueue Q(8, 5);
+  for (uint32_t Expected = 0; Expected != 5; ++Expected)
+    EXPECT_EQ(Q.claim(0), Expected);
+  for (uint32_t Expected = 5; Expected != 8; ++Expected)
+    EXPECT_EQ(Q.claim(1), Expected);
+  EXPECT_EQ(Q.claim(0), WorkQueue::None);
+  EXPECT_EQ(Q.claim(1), WorkQueue::None);
+  EXPECT_EQ(Q.stolenBy(0), 0u);
+  EXPECT_EQ(Q.stolenBy(1), 0u);
+}
+
+TEST(WorkQueue, StealsTakeTheVictimsBack) {
+  WorkQueue Q(6, 2);
+  // Side 0 exhausts its own [0, 2), then steals 5, 4, 3, 2 from the
+  // back of side 1's range.
+  EXPECT_EQ(Q.claim(0), 0u);
+  EXPECT_EQ(Q.claim(0), 1u);
+  EXPECT_EQ(Q.claim(0), 5u);
+  EXPECT_EQ(Q.claim(0), 4u);
+  EXPECT_EQ(Q.stolenBy(0), 2u);
+  // The victim still pops its own front.
+  EXPECT_EQ(Q.claim(1), 2u);
+  EXPECT_EQ(Q.claim(1), 3u);
+  EXPECT_EQ(Q.claim(1), WorkQueue::None);
+  EXPECT_EQ(Q.claim(0), WorkQueue::None);
+  EXPECT_EQ(Q.stolenBy(1), 0u);
+}
+
+TEST(WorkQueue, SplitEdgesGiveOneSideEverything) {
+  WorkQueue AllRight(4, 0);
+  for (uint32_t Expected = 0; Expected != 4; ++Expected)
+    EXPECT_EQ(AllRight.claim(1), Expected);
+  EXPECT_EQ(AllRight.claim(1), WorkQueue::None);
+
+  WorkQueue AllLeft(4, 4); // Split clamps to NumUnits.
+  for (uint32_t Expected = 0; Expected != 4; ++Expected)
+    EXPECT_EQ(AllLeft.claim(0), Expected);
+  EXPECT_EQ(AllLeft.claim(0), WorkQueue::None);
+
+  WorkQueue Empty(0, 0);
+  EXPECT_EQ(Empty.claim(0), WorkQueue::None);
+  EXPECT_EQ(Empty.claim(1), WorkQueue::None);
+}
+
+TEST(WorkQueue, RemainingCountsBothSides) {
+  WorkQueue Q(10, 4);
+  EXPECT_EQ(Q.remaining(), 10u);
+  (void)Q.claim(0);
+  (void)Q.claim(1);
+  EXPECT_EQ(Q.remaining(), 8u);
+  while (Q.claim(0) != WorkQueue::None) {
+  }
+  EXPECT_EQ(Q.remaining(), 0u);
 }
