@@ -27,6 +27,15 @@
 ///   --error FRACTION              allowed error in [0,1) (default 0)
 ///   --max-cost N                  cost budget (default: overfit bound)
 ///   --memory-mb N                 cache budget in MiB (default 256)
+///   --memory-limit N              hard RAM cap in MiB: same budget as
+///                                 --memory-mb, but enforced on
+///                                 *resident* bytes through the
+///                                 compressed store (DESIGN.md Sec. 11)
+///   --compress-store              per-row codec for sealed levels
+///                                 without changing the budget
+///   --spill-dir DIR               tiering: sealed chunks beyond the
+///                                 pinned budget spill to DIR and page
+///                                 back on demand (implies compression)
 ///   --shards N                    hash-partitioned shards of the
 ///                                 search state, 1..64 (default 1;
 ///                                 results are identical for every
@@ -160,6 +169,27 @@ void printStats(const SynthStats &St) {
     std::printf("  hetero co-sched    %s s modelled concurrent kernels\n",
                 formatSeconds(St.HeteroCoschedSeconds).c_str());
   }
+  if (St.StoreCompressed) {
+    std::printf("  store              compressed %.2fx (%s sealed + %s "
+                "window rows, %s compressed bytes)\n",
+                St.StoreCompressionRatio,
+                withCommas(St.StoreSealedRows).c_str(),
+                withCommas(St.StoreWindowRows).c_str(),
+                withCommas(St.StoreCompressedBytes).c_str());
+    std::printf("  codec mix          raw %s, all-zero %s, sparse-bits "
+                "%s, sparse-words %s\n",
+                withCommas(St.StoreCodecRows[0]).c_str(),
+                withCommas(St.StoreCodecRows[1]).c_str(),
+                withCommas(St.StoreCodecRows[2]).c_str(),
+                withCommas(St.StoreCodecRows[3]).c_str());
+    if (St.StoreSpilledChunks > 0 || St.StoreHotChunks > 0)
+      std::printf("  store tiers        hot %s chunk(s) / %s bytes, "
+                  "spilled %s chunk(s) / %s bytes\n",
+                  withCommas(St.StoreHotChunks).c_str(),
+                  withCommas(St.StoreHotBytes).c_str(),
+                  withCommas(St.StoreSpilledChunks).c_str(),
+                  withCommas(St.StoreSpilledBytes).c_str());
+  }
   if (St.OnTheFly)
     std::printf("  note               entered OnTheFly mode\n");
 }
@@ -273,6 +303,25 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
       std::printf(" %llu", (unsigned long long)Rows);
     std::printf(")\n");
   }
+  if (St.StoreCompressed) {
+    std::printf("info.store.compression_ratio: %.3f\n",
+                St.StoreCompressionRatio);
+    std::printf("info.store.sealed_rows: %llu (window %llu)\n",
+                (unsigned long long)St.StoreSealedRows,
+                (unsigned long long)St.StoreWindowRows);
+    std::printf("info.store.codec_rows: raw %llu, zero %llu, bits %llu, "
+                "words %llu\n",
+                (unsigned long long)St.StoreCodecRows[0],
+                (unsigned long long)St.StoreCodecRows[1],
+                (unsigned long long)St.StoreCodecRows[2],
+                (unsigned long long)St.StoreCodecRows[3]);
+    std::printf("info.store.tier_hot: %llu chunk(s), %llu bytes\n",
+                (unsigned long long)St.StoreHotChunks,
+                (unsigned long long)St.StoreHotBytes);
+    std::printf("info.store.tier_spilled: %llu chunk(s), %llu bytes\n",
+                (unsigned long long)St.StoreSpilledChunks,
+                (unsigned long long)St.StoreSpilledBytes);
+  }
   return 0;
 }
 
@@ -323,6 +372,16 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--memory-mb")
       Options.MemoryLimitBytes =
           uint64_t(std::atoll(Next().c_str())) << 20;
+    else if (Arg == "--memory-limit") {
+      // The hard-cap spelling: same budget, enforced on resident bytes
+      // through the compressed store.
+      Options.MemoryLimitBytes =
+          uint64_t(std::atoll(Next().c_str())) << 20;
+      Options.CompressStore = true;
+    } else if (Arg == "--compress-store")
+      Options.CompressStore = true;
+    else if (Arg == "--spill-dir")
+      Options.SpillDir = Next();
     else if (Arg == "--timeout")
       Options.TimeoutSeconds = std::atof(Next().c_str());
     else if (Arg == "--shards") {
@@ -534,6 +593,14 @@ int main(int Argc, char **Argv) {
 
   if (!R.found()) {
     std::printf("result: %s %s\n", statusName(R.Status), R.Message.c_str());
+    if (R.Status == SynthStatus::OutOfMemory &&
+        !storeCompressionEnabled(Options))
+      std::fprintf(stderr,
+                   "hint: the language store hit the memory budget; "
+                   "enable tiering with --memory-limit %llu (compressed "
+                   "store) or --spill-dir DIR (disk spill) to search "
+                   "further in the same RAM\n",
+                   (unsigned long long)(Options.MemoryLimitBytes >> 20));
     if (ShowStats)
       printStats(R.Stats);
     return 1;

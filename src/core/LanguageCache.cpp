@@ -9,18 +9,105 @@
 #include "support/Bits.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 using namespace paresy;
 
-LanguageCache::LanguageCache(size_t CsWords, size_t MaxEntries)
+namespace {
+
+/// Process-unique cache ids for the sealed-row scratch rings: a ring
+/// slot is valid only for the exact cache instance that filled it, and
+/// uids are never reused, so a destroyed cache can never alias a live
+/// slot.
+std::atomic<uint64_t> NextCacheUid{1};
+
+/// Per-thread decode ring for sealed rows. Eight slots: callers hold
+/// at most two sealed-row pointers at once (a concat/union's operands)
+/// and the ring gives repeated reads of the same hot operand a free
+/// hit. Slots key on (cache uid, row); sealed rows are immutable for a
+/// cache's lifetime, so a match can never be stale.
+///
+/// The two most recently accessed slots are never chosen as refill
+/// victims: a hit hands out a pointer into its slot, and a caller
+/// holding that pointer may trigger one more read (the second operand
+/// of a concat/union) before consuming both - evicting the hit slot
+/// there would silently swap the first operand's bits for the
+/// second's.
+struct ScratchRing {
+  static constexpr unsigned SlotCount = 8;
+  struct Slot {
+    uint64_t Uid = 0;
+    uint64_t Row = 0;
+    std::vector<uint64_t> Words;
+  };
+  Slot Slots[SlotCount];
+  unsigned Next = 0;
+  unsigned LastA = SlotCount; // Most recently accessed slot.
+  unsigned LastB = SlotCount; // Second most recently accessed slot.
+
+  void touch(unsigned Idx) {
+    if (LastA == Idx)
+      return;
+    LastB = LastA;
+    LastA = Idx;
+  }
+
+  /// The next refill victim, skipping the two live-pointer slots.
+  unsigned victim() {
+    unsigned Idx = Next++ % SlotCount;
+    while (Idx == LastA || Idx == LastB)
+      Idx = Next++ % SlotCount;
+    return Idx;
+  }
+};
+
+thread_local ScratchRing Ring;
+
+} // namespace
+
+LanguageCache::LanguageCache(size_t CsWords, size_t MaxEntries,
+                             StoreTierConfig TierConfig)
     : CsWordCount(CsWords), RowStride(strideForWords(CsWords)),
-      MaxEntries(MaxEntries), Store(MaxEntries * RowStride) {
+      MaxEntries(MaxEntries), Tier(std::move(TierConfig)),
+      Store(Tier.Compress ? 0 : MaxEntries * RowStride),
+      CacheUid(NextCacheUid.fetch_add(1, std::memory_order_relaxed)) {
   assert(CsWords > 0 && "rows need at least one word");
-  // The paper allocates the cache as one contiguous, uninitialised
-  // array whose structure emerges during the search; the aligned store
-  // mirrors that (pages commit as rows are appended) and keeps
-  // out-of-budget allocation failures at construction time.
-  RowHashes.reserve(MaxEntries);
-  Prov.reserve(MaxEntries);
+  // Raw mode mirrors the paper: one contiguous, uninitialised array
+  // whose structure emerges during the search (pages commit as rows
+  // are appended), with out-of-budget allocation failures at
+  // construction time. Compressed mode allocates nothing up front -
+  // the open window grows with the live level and sealed levels cost
+  // only their codec bytes.
+  if (!Tier.Compress) {
+    RowHashes.reserve(MaxEntries);
+    Prov.reserve(MaxEntries);
+  }
+}
+
+LanguageCache::~LanguageCache() {
+  if (Spill) {
+    std::fclose(Spill);
+    std::remove(Tier.SpillPath.c_str());
+  }
+}
+
+void LanguageCache::ensureWindowRows(size_t Rows) {
+  if (Rows <= WindowCap)
+    return;
+  size_t NewCap = std::max<size_t>(WindowCap ? WindowCap * 2 : 64, Rows);
+  AlignedWordBuffer Grown(NewCap * RowStride);
+  copyWords(Grown.data(), Window.data(),
+            (EntryCount - WindowBase) * RowStride);
+  Window = std::move(Grown);
+  WindowCap = NewCap;
+}
+
+uint64_t *LanguageCache::rowSlot(size_t Idx) {
+  if (!Tier.Compress)
+    return Store.data() + Idx * RowStride;
+  assert(Idx >= WindowBase && "writing a sealed row");
+  return Window.data() + (Idx - WindowBase) * RowStride;
 }
 
 uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P) {
@@ -31,20 +118,34 @@ uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P,
                                uint64_t Hash) {
   assert(!full() && "appending to a full language cache");
   assert(Hash == hashWords(Cs, CsWordCount) && "precomputed hash mismatch");
-  uint64_t *Row = Store.data() + EntryCount * RowStride;
+  if (Tier.Compress)
+    ensureWindowRows(EntryCount - WindowBase + 1);
+  uint64_t *Row = rowSlot(EntryCount);
   copyWords(Row, Cs, CsWordCount);
   clearWords(Row + CsWordCount, RowStride - CsWordCount);
   RowHashes.push_back(Hash);
   Prov.push_back(P);
-  return uint32_t(EntryCount++);
+  uint32_t Idx = uint32_t(EntryCount++);
+  // Mid-level auto-seal: the sequential append path is the only
+  // writer and holds no window pointers, so sealing here is as
+  // quiesced as a level boundary. Operands always live in already-
+  // sealed levels, and probe reads of this level go through cs()'s
+  // sealed dispatch afterwards - results are bit-identical either way.
+  if (Tier.Compress && Tier.WindowBudget &&
+      (EntryCount - WindowBase) * RowStride * sizeof(uint64_t) >=
+          Tier.WindowBudget)
+    sealWindow();
+  return Idx;
 }
 
 uint32_t LanguageCache::reserveRows(size_t Count) {
   assert(EntryCount + Count <= MaxEntries &&
          "reserving beyond the cache capacity");
   uint32_t Base = uint32_t(EntryCount);
+  if (Tier.Compress)
+    ensureWindowRows(EntryCount - WindowBase + Count);
   EntryCount += Count;
-  clearWords(Store.data() + size_t(Base) * RowStride, Count * RowStride);
+  clearWords(rowSlot(Base), Count * RowStride);
   // Reserved rows get their real hash in writeRow; until then the
   // placeholder is never read (only the uniqueness set reads hashes,
   // and it indexes rows that were appended, not reserved).
@@ -62,7 +163,7 @@ void LanguageCache::writeRow(size_t Idx, const uint64_t *Cs,
                              const Provenance &P, uint64_t Hash) {
   assert(Idx < EntryCount && "writing an unreserved row");
   assert(Hash == hashWords(Cs, CsWordCount) && "precomputed hash mismatch");
-  uint64_t *Row = Store.data() + Idx * RowStride;
+  uint64_t *Row = rowSlot(Idx);
   copyWords(Row, Cs, CsWordCount);
   // Padding words were zeroed by reserveRows and stay zero.
   RowHashes[Idx] = Hash;
@@ -84,6 +185,11 @@ std::pair<uint32_t, uint32_t> LanguageCache::level(uint64_t Cost) const {
 
 void LanguageCache::truncate(size_t NewSize) {
   assert(NewSize <= EntryCount && "truncating beyond the current size");
+  // Rollbacks stop at level boundaries, but a WindowBudget auto-seal
+  // may have sealed part of the level being rolled back - those chunks
+  // reopen here. Level-boundary chunks survive untouched.
+  if (Tier.Compress && NewSize < WindowBase)
+    reopenSealedTail(NewSize);
   EntryCount = NewSize;
   RowHashes.resize(NewSize);
   Prov.resize(NewSize);
@@ -96,6 +202,244 @@ void LanguageCache::truncate(size_t NewSize) {
       L = {0, 0};
   while (!Levels.empty() && Levels.back() == std::pair<uint32_t, uint32_t>())
     Levels.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Sealing, decompression and the disk tier
+//===----------------------------------------------------------------------===//
+
+void LanguageCache::sealLevel() {
+  if (!Tier.Compress)
+    return;
+  sealWindow();
+}
+
+void LanguageCache::sealWindow() {
+  if (WindowBase != EntryCount) {
+    auto C = std::make_unique<SealedChunk>();
+    C->BeginRow = uint32_t(WindowBase);
+    C->EndRow = uint32_t(EntryCount);
+    size_t Rows = EntryCount - WindowBase;
+    C->Offsets.reserve(Rows + 1);
+    for (size_t R = 0; R != Rows; ++R) {
+      C->Offsets.push_back(uint32_t(C->Bytes.size()));
+      RowCodec Used =
+          encodeRow(Window.data() + R * RowStride, CsWordCount, C->Bytes);
+      ++CodecCounts[unsigned(Used)];
+    }
+    C->Offsets.push_back(uint32_t(C->Bytes.size()));
+    SealedCompressedBytes += C->Bytes.size();
+    HotChunkBytes.fetch_add(C->Bytes.size(), std::memory_order_relaxed);
+    C->LastTouch.store(TouchClock.fetch_add(1, std::memory_order_relaxed) +
+                           1,
+                       std::memory_order_relaxed);
+    Chunks.push_back(std::move(C));
+    WindowBase = EntryCount;
+  }
+  enforcePinnedBudget();
+}
+
+void LanguageCache::reopenSealedTail(size_t NewSize) {
+  assert(Tier.Compress && NewSize < WindowBase && "nothing sealed to reopen");
+  // Decoded prefix of a straddling chunk; stride-padded and
+  // zero-initialised so padding words come out clean.
+  std::vector<uint64_t> Reopened;
+  size_t NewBase = NewSize;
+  while (!Chunks.empty() && Chunks.back()->EndRow > NewSize) {
+    SealedChunk &C = *Chunks.back();
+    ensureHot(C); // Spilled bytes are needed for tags and the prefix.
+    size_t Rows = C.EndRow - C.BeginRow;
+    size_t Keep = C.BeginRow < NewSize ? NewSize - C.BeginRow : 0;
+    // The kept prefix re-enters the window; re-sealing re-counts its
+    // codecs, so the whole chunk's tags are un-counted here.
+    for (size_t R = 0; R != Rows; ++R) {
+      uint8_t Tag = uint8_t(C.Bytes[C.Offsets[R]]);
+      assert(Tag < NumRowCodecs && CodecCounts[Tag] > 0);
+      --CodecCounts[Tag];
+    }
+    SealedCompressedBytes -= C.Bytes.size();
+    HotChunkBytes.fetch_sub(C.Bytes.size(), std::memory_order_relaxed);
+    if (Keep) {
+      NewBase = C.BeginRow;
+      Reopened.assign(Keep * RowStride, 0);
+      for (size_t R = 0; R != Keep; ++R) {
+        size_t Off = C.Offsets[R];
+        size_t Used =
+            decodeRow(C.Bytes.data() + Off, C.Offsets[R + 1] - Off,
+                      Reopened.data() + R * RowStride, CsWordCount);
+        (void)Used;
+        assert(Used == C.Offsets[R + 1] - Off && "reopened row must decode");
+      }
+    }
+    // The chunk's spill-file extent (if any) is left behind as dead
+    // bytes; the file is append-only and dies with the cache.
+    Chunks.pop_back();
+  }
+  WindowBase = NewBase;
+  size_t WRows = NewSize - NewBase;
+  // The old window's rows are all past the cut; the reopened prefix is
+  // the entire new window (ensureWindowRows would copy stale rows
+  // using the not-yet-cut EntryCount, so allocate directly).
+  WindowCap = std::max<size_t>(64, WRows);
+  Window = AlignedWordBuffer(WindowCap * RowStride);
+  copyWords(Window.data(), Reopened.data(), WRows * RowStride);
+  // Discarded rows may be re-appended with different bits under the
+  // same indices; a fresh uid keeps every thread's scratch ring from
+  // serving decoded copies of the old rows.
+  CacheUid = NextCacheUid.fetch_add(1, std::memory_order_relaxed);
+}
+
+const uint64_t *LanguageCache::sealedRow(size_t Idx) const {
+  assert(Tier.Compress && Idx < WindowBase && "not a sealed row");
+  for (unsigned SlotIdx = 0; SlotIdx != ScratchRing::SlotCount; ++SlotIdx) {
+    ScratchRing::Slot &S = Ring.Slots[SlotIdx];
+    if (S.Uid == CacheUid && S.Row == Idx && !S.Words.empty()) {
+      Ring.touch(SlotIdx);
+      return S.Words.data();
+    }
+  }
+
+  // Chunks tile [0, WindowBase) in order; find the one holding Idx.
+  auto It = std::upper_bound(
+      Chunks.begin(), Chunks.end(), Idx,
+      [](size_t Row, const std::unique_ptr<SealedChunk> &C) {
+        return Row < C->BeginRow;
+      });
+  assert(It != Chunks.begin() && "sealed row not covered by any chunk");
+  SealedChunk &C = **std::prev(It);
+  assert(Idx >= C.BeginRow && Idx < C.EndRow && "chunk lookup mismatch");
+  ensureHot(C);
+  C.LastTouch.store(TouchClock.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+
+  unsigned SlotIdx = Ring.victim();
+  ScratchRing::Slot &S = Ring.Slots[SlotIdx];
+  S.Uid = 0; // Invalid while being refilled.
+  if (S.Words.size() != RowStride)
+    S.Words.assign(RowStride, 0);
+  else // Zero the padding a wider previous tenant may have written.
+    clearWords(S.Words.data() + CsWordCount, RowStride - CsWordCount);
+  size_t Local = Idx - C.BeginRow;
+  size_t Off = C.Offsets[Local];
+  size_t Len = C.Offsets[Local + 1] - Off;
+  size_t Used = decodeRow(C.Bytes.data() + Off, Len, S.Words.data(),
+                          CsWordCount);
+  (void)Used;
+  assert(Used == Len && "sealed row bytes must decode exactly");
+  S.Uid = CacheUid;
+  S.Row = Idx;
+  Ring.touch(SlotIdx);
+  return S.Words.data();
+}
+
+void LanguageCache::ensureHot(SealedChunk &C) const {
+  if (C.Hot.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(PageMutex);
+  if (C.Hot.load(std::memory_order_relaxed))
+    return;
+  std::string Buf;
+  Buf.resize(size_t(C.FileLen));
+  if (!Spill || std::fseek(Spill, long(C.FileOffset), SEEK_SET) != 0 ||
+      std::fread(Buf.data(), 1, Buf.size(), Spill) != Buf.size())
+    throw std::runtime_error("paresy: failed to page a spilled chunk "
+                             "back in from " +
+                             Tier.SpillPath);
+  C.Bytes = std::move(Buf);
+  HotChunkBytes.fetch_add(C.FileLen, std::memory_order_relaxed);
+  // Release: readers that observe Hot also observe the bytes. Once a
+  // chunk is hot it stays hot until the next level boundary, so the
+  // pointer a reader takes cannot be freed under it.
+  C.Hot.store(true, std::memory_order_release);
+}
+
+bool LanguageCache::spillChunk(SealedChunk &C) {
+  if (!Spill) {
+    Spill = std::fopen(Tier.SpillPath.c_str(), "w+b");
+    if (!Spill)
+      return false;
+  }
+  if (C.FileLen == 0) { // First spill: append the bytes to the file.
+    if (std::fseek(Spill, long(SpillFileSize), SEEK_SET) != 0 ||
+        std::fwrite(C.Bytes.data(), 1, C.Bytes.size(), Spill) !=
+            C.Bytes.size() ||
+        std::fflush(Spill) != 0)
+      return false;
+    C.FileOffset = SpillFileSize;
+    C.FileLen = C.Bytes.size();
+    SpillFileSize += C.Bytes.size();
+  }
+  HotChunkBytes.fetch_sub(C.Bytes.size(), std::memory_order_relaxed);
+  C.Bytes = std::string(); // Free the in-memory copy.
+  C.Hot.store(false, std::memory_order_release);
+  return true;
+}
+
+void LanguageCache::enforcePinnedBudget() {
+  if (Tier.SpillPath.empty() || SpillBroken)
+    return;
+  std::lock_guard<std::mutex> Lock(PageMutex);
+  while (HotChunkBytes.load(std::memory_order_relaxed) > Tier.PinnedBytes) {
+    SealedChunk *Cold = nullptr;
+    for (const std::unique_ptr<SealedChunk> &C : Chunks) {
+      if (!C->Hot.load(std::memory_order_relaxed) || C->Bytes.empty())
+        continue;
+      if (!Cold || C->LastTouch.load(std::memory_order_relaxed) <
+                       Cold->LastTouch.load(std::memory_order_relaxed))
+        Cold = C.get();
+    }
+    if (!Cold)
+      break;
+    if (!spillChunk(*Cold)) {
+      // A dead disk must not kill the search: keep everything hot from
+      // here on (the byte charge already planned for PinnedBytes, so
+      // this only means using more RAM than asked, not wrong results).
+      SpillBroken = true;
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accounting
+//===----------------------------------------------------------------------===//
+
+uint64_t LanguageCache::chargedBytes() const {
+  if (!Tier.Compress)
+    return bytesUsed();
+  uint64_t Sealed = SealedCompressedBytes;
+  // With a disk tier the pinned budget bounds what sealing keeps in
+  // memory, so only that much is charged; the cap is a formula over
+  // seal history - not the paging state - which keeps full() verdicts
+  // deterministic across backends and worker counts.
+  if (!Tier.SpillPath.empty() && Sealed > Tier.PinnedBytes)
+    Sealed = Tier.PinnedBytes;
+  return Sealed +
+         uint64_t(EntryCount - WindowBase) * RowStride * sizeof(uint64_t) +
+         uint64_t(EntryCount) * (sizeof(Provenance) + sizeof(uint64_t));
+}
+
+uint64_t LanguageCache::bytesUsed() const {
+  uint64_t Meta = uint64_t(EntryCount) *
+                  (sizeof(Provenance) + sizeof(uint64_t));
+  if (!Tier.Compress)
+    return uint64_t(EntryCount) * RowStride * sizeof(uint64_t) + Meta;
+  uint64_t OffsetTables = 0;
+  for (const std::unique_ptr<SealedChunk> &C : Chunks)
+    OffsetTables += C->Offsets.size() * sizeof(uint32_t);
+  return uint64_t(EntryCount - WindowBase) * RowStride * sizeof(uint64_t) +
+         hotBytes() + OffsetTables + Meta;
+}
+
+size_t LanguageCache::hotChunks() const {
+  size_t N = 0;
+  for (const std::unique_ptr<SealedChunk> &C : Chunks)
+    N += C->Hot.load(std::memory_order_relaxed) ? 1 : 0;
+  return N;
+}
+
+size_t LanguageCache::spilledChunks() const {
+  return Chunks.size() - hotChunks();
 }
 
 // Provenance-to-expression reconstruction lives one layer up, in

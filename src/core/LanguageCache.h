@@ -13,16 +13,43 @@
 /// constructor and the row indices of its operands - from which a
 /// minimal regular expression is reconstructed on demand.
 ///
+/// Two storage modes (DESIGN.md Sec. 11):
+///
+///  * Raw (the default): one fixed cache-line-aligned allocation, rows
+///    at their padded stride - the paper's single uninitialised arena.
+///  * Compressed + tiered (StoreTierConfig::Compress): only the
+///    *open window* - the rows of the level currently being built -
+///    lives in the aligned form the kernels read and write. At every
+///    level boundary the window is sealed into an immutable chunk of
+///    per-row codec bytes (lang/RowCodec.h), and sealed chunks can
+///    further spill to disk and page back on demand under a pinned-
+///    bytes budget. Reads of sealed rows decompress through a small
+///    per-thread scratch ring, so cs() keeps returning a plain
+///    word pointer on every path. Fullness becomes byte-driven
+///    (charged compressed + window + metadata bytes against
+///    ByteBudget) instead of row-driven.
+///
+/// Layout (raw mode and the open window): rows are padded to
+/// strideForWords(CsWords) words, so no row straddles a cache line it
+/// does not have to. Padding words are always zero. Each row's hash is
+/// computed once when the row is written and served from rowHash();
+/// the uniqueness set reads it instead of re-hashing row words.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARESY_CORE_LANGUAGECACHE_H
 #define PARESY_CORE_LANGUAGECACHE_H
 
+#include "lang/RowCodec.h"
 #include "regex/Regex.h"
 #include "support/AlignedAlloc.h"
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -53,21 +80,45 @@ struct Provenance {
   uint32_t Rhs = 0;
 };
 
+/// Storage-tier configuration of a language store (DESIGN.md Sec. 11).
+/// The default is the paper's raw single-arena layout; Compress turns
+/// on the sealed-row codec, and a non-empty SpillPath adds the disk
+/// tier below it.
+struct StoreTierConfig {
+  /// Seal completed levels into per-row codec bytes.
+  bool Compress = false;
+  /// Byte budget charged against sealed + window + metadata bytes; a
+  /// full() verdict once reached. 0 leaves fullness row-driven only.
+  uint64_t ByteBudget = 0;
+  /// Hot-tier budget for sealed chunk bytes: at each seal point,
+  /// least-recently-read chunks beyond it spill to SpillPath.
+  /// Meaningful only with a SpillPath; 0 there means "spill all".
+  uint64_t PinnedBytes = 0;
+  /// Byte cap on the uncompressed open window: once a sequential
+  /// append pushes the window past it, the window auto-seals into a
+  /// chunk mid-level, so one huge in-flight level cannot hold the
+  /// whole byte budget hostage in aligned form. 0 seals at level
+  /// boundaries only. Reserved-row batches (writeRow) never
+  /// auto-seal - bulk writers rely on a stable window.
+  uint64_t WindowBudget = 0;
+  /// Spill file of this store's cold chunks; empty disables the disk
+  /// tier (sealed chunks all stay in memory).
+  std::string SpillPath;
+};
+
 /// Append-only storage for characteristic sequences with provenance
 /// and cost-level ranges. Rows are never modified once appended.
-///
-/// Layout: the matrix is a single cache-line-aligned allocation whose
-/// rows are padded to strideForWords(CsWords) words, so no row
-/// straddles a cache line it does not have to. Padding words are
-/// always zero. Each row's hash is computed once when the row is
-/// written and served from rowHash(); the uniqueness set reads it
-/// instead of re-hashing row words.
 class LanguageCache {
 public:
   /// \p CsWords is the row width in 64-bit words; \p MaxEntries caps
   /// the number of rows (derived from the memory budget by the
-  /// synthesizer).
-  LanguageCache(size_t CsWords, size_t MaxEntries);
+  /// synthesizer). \p Tier selects the storage mode; under
+  /// Tier.Compress the arena is not preallocated and MaxEntries is an
+  /// address-space bound, with fullness driven by Tier.ByteBudget.
+  LanguageCache(size_t CsWords, size_t MaxEntries,
+                StoreTierConfig Tier = {});
+
+  ~LanguageCache();
 
   /// Row stride (words) used for \p CsWords-word rows: the next power
   /// of two below a cache line (a row never straddles a line the base
@@ -84,12 +135,32 @@ public:
   size_t rowStride() const { return RowStride; }
   size_t capacity() const { return MaxEntries; }
   size_t size() const { return EntryCount; }
-  bool full() const { return EntryCount == MaxEntries; }
 
-  /// Row \p Idx of the matrix.
+  /// The storage-tier configuration this cache was built with.
+  const StoreTierConfig &tier() const { return Tier; }
+  bool compressed() const { return Tier.Compress; }
+
+  /// No further row fits: the row capacity is reached or, under
+  /// compression, the charged byte budget is exhausted (chargedBytes).
+  bool full() const {
+    if (EntryCount >= MaxEntries)
+      return true;
+    return Tier.Compress && Tier.ByteBudget &&
+           chargedBytes() >= Tier.ByteBudget;
+  }
+
+  /// Row \p Idx of the matrix. Raw rows and the open window resolve to
+  /// the aligned store; sealed rows decompress through a per-thread
+  /// scratch ring (the pointer stays valid until the calling thread
+  /// reads several further sealed rows - callers hold at most their
+  /// operands, see DESIGN.md Sec. 11).
   const uint64_t *cs(size_t Idx) const {
     assert(Idx < EntryCount && "cache row out of range");
-    return Store.data() + Idx * RowStride;
+    if (!Tier.Compress)
+      return Store.data() + Idx * RowStride;
+    if (Idx >= WindowBase)
+      return Window.data() + (Idx - WindowBase) * RowStride;
+    return sealedRow(Idx);
   }
 
   /// Hash of row \p Idx's CS words, precomputed at append/writeRow
@@ -137,30 +208,146 @@ public:
   /// them: rolls the cache back to a level boundary so a partially
   /// executed level can be re-run (engine/Session.h). The write-once
   /// contract is per-row - a truncated row index may be appended again.
+  /// Under compression, chunks auto-sealed past the boundary are
+  /// dropped and a chunk straddling it is decoded back into the open
+  /// window; the cache takes a fresh scratch-ring uid so stale decoded
+  /// copies of discarded rows can never be served again.
   void truncate(size_t NewSize);
 
-  /// Bytes held by the CS matrix (at its padded stride) plus
-  /// provenance and the per-row hashes.
-  uint64_t bytesUsed() const {
-    return uint64_t(EntryCount) *
-           (RowStride * sizeof(uint64_t) + sizeof(Provenance) +
-            sizeof(uint64_t));
+  /// Seals the open window into an immutable compressed chunk and
+  /// re-enforces the pinned-bytes budget (spilling cold chunks).
+  /// Level-boundary operation; a no-op in raw mode. Concurrent readers
+  /// must be quiesced (no level in flight).
+  void sealLevel();
+
+  /// Resident bytes: the CS matrix (raw mode: at its padded stride;
+  /// compressed: the open window plus hot chunk bytes and chunk
+  /// tables) plus provenance and the per-row hashes. Spilled chunks
+  /// do not count - this is the in-memory footprint the stats and the
+  /// park LRU charge.
+  uint64_t bytesUsed() const;
+
+  /// Deterministic byte charge driving full() under compression:
+  /// sealed compressed bytes (capped at PinnedBytes when a disk tier
+  /// absorbs the excess) + open-window bytes + per-row metadata. A
+  /// pure function of the committed rows and seal points, so verdicts
+  /// are identical across backends and worker counts.
+  uint64_t chargedBytes() const;
+
+  //===--------------------------------------------------------------------===//
+  // Compression / tier statistics (all zero in raw mode)
+  //===--------------------------------------------------------------------===//
+
+  /// Rows sealed into compressed chunks so far.
+  size_t sealedRows() const { return Tier.Compress ? WindowBase : 0; }
+  /// Rows still in the uncompressed open window.
+  size_t windowRows() const {
+    return Tier.Compress ? EntryCount - WindowBase : 0;
+  }
+  /// Total compressed bytes across all sealed chunks (hot + spilled).
+  uint64_t compressedBytes() const { return SealedCompressedBytes; }
+  /// Sealed rows stored under codec \p C (index < NumRowCodecs).
+  uint64_t codecRows(unsigned C) const { return CodecCounts[C]; }
+  /// Hot/spilled chunk counts and their byte split.
+  size_t hotChunks() const;
+  size_t spilledChunks() const;
+  uint64_t hotBytes() const {
+    return HotChunkBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t spilledBytes() const {
+    return SealedCompressedBytes - hotBytes();
   }
 
 private:
+  /// One sealed row range: per-row codec bytes plus the row-offset
+  /// table. Hot chunks hold their bytes in memory; spilled chunks
+  /// re-read them from the spill file on demand (ensureHot). Chunks
+  /// only go cold at seal points (level boundaries and sequential
+  /// auto-seals, both quiesced), so a chunk observed hot stays
+  /// readable until the next seal point.
+  struct SealedChunk {
+    uint32_t BeginRow = 0;
+    uint32_t EndRow = 0;
+    /// Byte offset of each row's encoding in Bytes; EndRow - BeginRow
+    /// + 1 entries (the last is the chunk's byte size).
+    std::vector<uint32_t> Offsets;
+    std::string Bytes;
+    std::atomic<bool> Hot{true};
+    std::atomic<uint64_t> LastTouch{0};
+    uint64_t FileOffset = 0;
+    uint64_t FileLen = 0; ///< 0: never written to the spill file.
+  };
+
   /// Snapshot (de)serialization (core/Snapshot.h) reads and rebuilds
   /// the private state directly.
   friend void saveLanguageCache(SnapshotWriter &, const LanguageCache &);
-  friend std::unique_ptr<LanguageCache> loadLanguageCache(SnapshotReader &);
+  friend std::unique_ptr<LanguageCache>
+  loadLanguageCache(SnapshotReader &, const StoreTierConfig &);
+
+  /// Grows the open window to hold \p Rows rows (geometric; only ever
+  /// called from the sequential append/reserve path, so no reader
+  /// holds a window pointer across it).
+  void ensureWindowRows(size_t Rows);
+
+  /// Writable storage of row \p Idx (raw arena or open window).
+  uint64_t *rowSlot(size_t Idx);
+
+  /// Decompresses sealed row \p Idx through the calling thread's
+  /// scratch ring.
+  const uint64_t *sealedRow(size_t Idx) const;
+
+  /// Pages chunk \p C back in from the spill file if it is cold.
+  void ensureHot(SealedChunk &C) const;
+
+  /// Seals the open window into a chunk (if non-empty) and enforces
+  /// the pinned budget. Shared by sealLevel and the WindowBudget
+  /// auto-seal in append.
+  void sealWindow();
+
+  /// truncate() helper for cuts below WindowBase: drops chunks past
+  /// \p NewSize, decodes a straddling chunk's surviving prefix back
+  /// into the window, and re-keys the scratch rings.
+  void reopenSealedTail(size_t NewSize);
+
+  /// Spills least-recently-read hot chunks until hot bytes fit
+  /// PinnedBytes. No-op without a SpillPath.
+  void enforcePinnedBudget();
+
+  /// Appends \p C's bytes to the spill file and drops its in-memory
+  /// copy. Pre: PageMutex held.
+  bool spillChunk(SealedChunk &C);
 
   size_t CsWordCount;
   size_t RowStride;
   size_t MaxEntries;
   size_t EntryCount = 0;
-  AlignedWordBuffer Store;
+  StoreTierConfig Tier;
+  AlignedWordBuffer Store; ///< Raw mode: the whole arena. Else empty.
   std::vector<uint64_t> RowHashes;
   std::vector<Provenance> Prov;
   std::vector<std::pair<uint32_t, uint32_t>> Levels;
+
+  // Compressed-mode state.
+  size_t WindowBase = 0; ///< First row of the open window.
+  size_t WindowCap = 0;  ///< Window capacity, in rows.
+  AlignedWordBuffer Window;
+  std::vector<std::unique_ptr<SealedChunk>> Chunks;
+  uint64_t SealedCompressedBytes = 0;
+  uint64_t CodecCounts[NumRowCodecs] = {};
+  /// Distinguishes this cache's sealed rows in the per-thread scratch
+  /// rings (never reused across cache instances, and refreshed by a
+  /// truncate that reopens sealed rows).
+  uint64_t CacheUid;
+
+  // Disk-tier state. Mutable: paging a chunk back in is logically
+  // const (cs() is a read), and all of it is guarded by PageMutex
+  // except the two relaxed counters.
+  mutable std::atomic<uint64_t> HotChunkBytes{0};
+  mutable std::atomic<uint64_t> TouchClock{0};
+  mutable std::mutex PageMutex;
+  mutable std::FILE *Spill = nullptr;
+  mutable uint64_t SpillFileSize = 0;
+  bool SpillBroken = false; ///< Disk write failed; stop spilling.
 };
 
 } // namespace paresy

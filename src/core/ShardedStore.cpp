@@ -15,7 +15,8 @@
 using namespace paresy;
 
 ShardedStore::ShardedStore(size_t CsWords, unsigned NumShards,
-                           size_t CapacityPerShard)
+                           size_t CapacityPerShard,
+                           const StoreTierConfig &Tier)
     : CsWordCount(CsWords) {
   assert(NumShards >= 1 && NumShards <= MaxShards && "bad shard count");
   // Global ids are uint32 (Provenance operands); cap the address space
@@ -24,9 +25,19 @@ ShardedStore::ShardedStore(size_t CsWords, unsigned NumShards,
       std::min<size_t>(CapacityPerShard, 0xfffffffeu / NumShards);
   TotalCapacity = CapacityPerShard * NumShards;
   Shards.reserve(NumShards);
-  for (unsigned S = 0; S != NumShards; ++S)
-    Shards.push_back(
-        std::make_unique<LanguageCache>(CsWords, CapacityPerShard));
+  for (unsigned S = 0; S != NumShards; ++S) {
+    StoreTierConfig ShardTier = Tier;
+    // Budgets split evenly, like the row capacity; each shard spills
+    // to its own file so the per-shard chunk tables stay independent.
+    ShardTier.ByteBudget = Tier.ByteBudget / NumShards;
+    ShardTier.PinnedBytes = Tier.PinnedBytes / NumShards;
+    if (!Tier.SpillPath.empty())
+      ShardTier.SpillPath =
+          Tier.SpillPath + ".shard" + std::to_string(S);
+    Shards.push_back(std::make_unique<LanguageCache>(CsWords,
+                                                     CapacityPerShard,
+                                                     std::move(ShardTier)));
+  }
   Dropped.assign(NumShards, 0);
 }
 
@@ -109,11 +120,89 @@ void ShardedStore::truncate(const std::vector<uint32_t> &ShardRows,
     Levels.pop_back();
 }
 
+void ShardedStore::sealLevel() {
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    S->sealLevel();
+}
+
 uint64_t ShardedStore::bytesUsed() const {
   uint64_t Bytes = Dir.size() * sizeof(uint64_t);
   for (const std::unique_ptr<LanguageCache> &S : Shards)
     Bytes += S->bytesUsed();
   return Bytes;
+}
+
+uint64_t ShardedStore::chargedBytes() const {
+  uint64_t Bytes = Dir.size() * sizeof(uint64_t);
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    Bytes += S->chargedBytes();
+  return Bytes;
+}
+
+size_t ShardedStore::sealedRows() const {
+  size_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->sealedRows();
+  return N;
+}
+
+size_t ShardedStore::windowRows() const {
+  size_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->windowRows();
+  return N;
+}
+
+uint64_t ShardedStore::compressedBytes() const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->compressedBytes();
+  return N;
+}
+
+uint64_t ShardedStore::codecRows(unsigned C) const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->codecRows(C);
+  return N;
+}
+
+size_t ShardedStore::hotChunks() const {
+  size_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->hotChunks();
+  return N;
+}
+
+size_t ShardedStore::spilledChunks() const {
+  size_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->spilledChunks();
+  return N;
+}
+
+uint64_t ShardedStore::hotBytes() const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->hotBytes();
+  return N;
+}
+
+uint64_t ShardedStore::spilledBytes() const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<LanguageCache> &S : Shards)
+    N += S->spilledBytes();
+  return N;
+}
+
+double ShardedStore::compressionRatio() const {
+  uint64_t Compressed = compressedBytes();
+  if (!Compressed)
+    return 0.0;
+  uint64_t Logical = uint64_t(sealedRows()) *
+                     LanguageCache::strideForWords(CsWordCount) *
+                     sizeof(uint64_t);
+  return double(Logical) / double(Compressed);
 }
 
 const Regex *ShardedStore::reconstruct(size_t Id, RegexManager &M) const {

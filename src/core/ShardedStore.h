@@ -61,8 +61,12 @@ public:
   /// \p NumShards segments of \p CapacityPerShard rows each, rows of
   /// \p CsWords 64-bit words. The driver derives CapacityPerShard by
   /// dividing the backend's planned row capacity (and with it the
-  /// MemoryLimitBytes budget) evenly across shards.
-  ShardedStore(size_t CsWords, unsigned NumShards, size_t CapacityPerShard);
+  /// MemoryLimitBytes budget) evenly across shards. \p Tier selects
+  /// the segments' storage mode; byte and pinned budgets are divided
+  /// evenly across shards and SpillPath becomes one ".shardN" file per
+  /// segment.
+  ShardedStore(size_t CsWords, unsigned NumShards, size_t CapacityPerShard,
+               const StoreTierConfig &Tier = {});
 
   unsigned shardCount() const { return unsigned(Shards.size()); }
   size_t csWords() const { return CsWordCount; }
@@ -167,8 +171,36 @@ public:
   /// (the session's parkable regime); overflow counters reset to zero.
   void truncate(const std::vector<uint32_t> &ShardRows, size_t GlobalSize);
 
-  /// Bytes held by every segment plus the directory.
+  /// Seals every shard's open window at a level boundary (a no-op in
+  /// raw mode). Concurrent readers must be quiesced.
+  void sealLevel();
+
+  /// Whether the segments run the compressed + tiered storage mode.
+  bool compressed() const { return Shards[0]->compressed(); }
+
+  /// Resident bytes held by every segment plus the directory.
   uint64_t bytesUsed() const;
+
+  /// Deterministic byte charge across all segments (LanguageCache::
+  /// chargedBytes summed; equals bytesUsed + directory in raw mode).
+  uint64_t chargedBytes() const;
+
+  //===--------------------------------------------------------------------===//
+  // Aggregate compression / tier statistics (all zero in raw mode)
+  //===--------------------------------------------------------------------===//
+
+  size_t sealedRows() const;
+  size_t windowRows() const;
+  uint64_t compressedBytes() const;
+  uint64_t codecRows(unsigned C) const;
+  size_t hotChunks() const;
+  size_t spilledChunks() const;
+  uint64_t hotBytes() const;
+  uint64_t spilledBytes() const;
+
+  /// Logical (padded-stride) bytes of the sealed rows divided by their
+  /// compressed bytes; 0 when nothing is sealed.
+  double compressionRatio() const;
 
   /// Rebuilds the regular expression recorded for global id \p Id.
   const Regex *reconstruct(size_t Id, RegexManager &M) const;
@@ -183,7 +215,8 @@ private:
   /// Snapshot (de)serialization (core/Snapshot.h) reads and rebuilds
   /// the private state directly.
   friend void saveShardedStore(SnapshotWriter &, const ShardedStore &);
-  friend std::unique_ptr<ShardedStore> loadShardedStore(SnapshotReader &);
+  friend std::unique_ptr<ShardedStore>
+  loadShardedStore(SnapshotReader &, const StoreTierConfig &);
 
   const Regex *reconstructImpl(const Provenance &P, RegexManager &M,
                                std::vector<const Regex *> &Memo) const;

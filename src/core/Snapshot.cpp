@@ -235,38 +235,88 @@ bool loadLevels(SnapshotReader &R,
 
 } // namespace
 
+namespace {
+
+void saveProvenance(SnapshotWriter &W, const Provenance &P) {
+  W.u8(uint8_t(P.Kind));
+  W.u8(uint8_t(P.Symbol));
+  W.u32(P.Lhs);
+  W.u32(P.Rhs);
+}
+
+bool loadProvenance(SnapshotReader &R, Provenance &P) {
+  uint8_t Kind = 0, Symbol = 0;
+  if (!R.u8(Kind) || !R.u8(Symbol) || !R.u32(P.Lhs) || !R.u32(P.Rhs))
+    return false;
+  if (Kind > uint8_t(CsOp::Union)) {
+    R.markFailed();
+    return false;
+  }
+  P.Kind = CsOp(Kind);
+  P.Symbol = char(Symbol);
+  return true;
+}
+
+} // namespace
+
 void paresy::saveLanguageCache(SnapshotWriter &W, const LanguageCache &C) {
   size_t Section = W.beginSection("cache");
   W.u64(C.CsWordCount);
   W.u64(C.MaxEntries);
   W.u64(C.EntryCount);
-  // One record per row: the CS words at their logical width (the
-  // padded stride is a host layout choice the restoring side
-  // re-derives) followed by the provenance.
-  for (size_t Row = 0; Row != C.EntryCount; ++Row) {
-    for (size_t Word = 0; Word != C.CsWordCount; ++Word)
-      W.u64(C.cs(Row)[Word]);
-    const Provenance &P = C.Prov[Row];
-    W.u8(uint8_t(P.Kind));
-    W.u8(uint8_t(P.Symbol));
-    W.u32(P.Lhs);
-    W.u32(P.Rhs);
+  W.u8(C.Tier.Compress ? 1 : 0);
+  if (!C.Tier.Compress) {
+    // One record per row: the CS words at their logical width (the
+    // padded stride is a host layout choice the restoring side
+    // re-derives) followed by the provenance.
+    for (size_t Row = 0; Row != C.EntryCount; ++Row) {
+      for (size_t Word = 0; Word != C.CsWordCount; ++Word)
+        W.u64(C.cs(Row)[Word]);
+      saveProvenance(W, C.Prov[Row]);
+    }
+  } else {
+    // Sealed chunks go out as their codec bytes verbatim (offsets and
+    // hashes are derived data the loader rebuilds while validating),
+    // then the open window's raw words, then provenance for all rows.
+    // Spilled chunks page back in first: the stream must stand alone.
+    W.u64(C.WindowBase);
+    W.u64(C.Chunks.size());
+    for (const std::unique_ptr<LanguageCache::SealedChunk> &Chunk :
+         C.Chunks) {
+      C.ensureHot(*Chunk);
+      W.u32(Chunk->BeginRow);
+      W.u32(Chunk->EndRow);
+      W.u64(Chunk->Bytes.size());
+      W.bytes(Chunk->Bytes.data(), Chunk->Bytes.size());
+    }
+    for (size_t Row = C.WindowBase; Row != C.EntryCount; ++Row)
+      for (size_t Word = 0; Word != C.CsWordCount; ++Word)
+        W.u64(C.cs(Row)[Word]);
+    for (size_t Row = 0; Row != C.EntryCount; ++Row)
+      saveProvenance(W, C.Prov[Row]);
   }
   saveLevels(W, C.Levels);
   W.endSection(Section);
 }
 
-std::unique_ptr<LanguageCache> paresy::loadLanguageCache(SnapshotReader &R) {
+std::unique_ptr<LanguageCache>
+paresy::loadLanguageCache(SnapshotReader &R, const StoreTierConfig &Tier) {
   if (!R.enterSection("cache"))
     return nullptr;
   uint64_t CsWords = 0, MaxEntries = 0, EntryCount = 0;
-  if (!R.u64(CsWords) || !R.u64(MaxEntries) || !R.u64(EntryCount))
+  uint8_t Mode = 0;
+  if (!R.u64(CsWords) || !R.u64(MaxEntries) || !R.u64(EntryCount) ||
+      !R.u8(Mode))
     return nullptr;
-  // Plausibility bounds before allocating anything: sane geometry, and
-  // the row payload must actually be present in the stream.
+  // Plausibility bounds before allocating anything: sane geometry, a
+  // storage mode matching the restoring configuration (the modes
+  // charge different budgets, so crossing them silently would corrupt
+  // accounting), and enough stream left to plausibly hold the rows.
   if (CsWords == 0 || CsWords > (uint64_t(1) << 20) ||
-      EntryCount > MaxEntries || MaxEntries > 0xfffffffeu ||
-      (EntryCount > 0 && EntryCount > R.remaining() / (CsWords * 8))) {
+      EntryCount > MaxEntries || MaxEntries > 0xfffffffeu || Mode > 1 ||
+      (Mode == 1) != Tier.Compress ||
+      (Mode == 0 && EntryCount > 0 &&
+       EntryCount > R.remaining() / (CsWords * 8))) {
     R.markFailed();
     return nullptr;
   }
@@ -278,30 +328,115 @@ std::unique_ptr<LanguageCache> paresy::loadLanguageCache(SnapshotReader &R) {
   std::unique_ptr<LanguageCache> C;
   try {
     C = std::make_unique<LanguageCache>(size_t(CsWords),
-                                        size_t(MaxEntries));
+                                        size_t(MaxEntries), Tier);
   } catch (const std::bad_alloc &) {
     R.markFailed();
     return nullptr;
   }
-  std::vector<uint64_t> Row(size_t(CsWords), 0);
-  for (uint64_t I = 0; I != EntryCount; ++I) {
-    for (uint64_t Word = 0; Word != CsWords; ++Word)
-      if (!R.u64(Row[size_t(Word)]))
+
+  if (Mode == 0) {
+    std::vector<uint64_t> Row(size_t(CsWords), 0);
+    for (uint64_t I = 0; I != EntryCount; ++I) {
+      for (uint64_t Word = 0; Word != CsWords; ++Word)
+        if (!R.u64(Row[size_t(Word)]))
+          return nullptr;
+      Provenance P;
+      if (!loadProvenance(R, P))
         return nullptr;
-    Provenance P;
-    uint8_t Kind = 0, Symbol = 0;
-    if (!R.u8(Kind) || !R.u8(Symbol) || !R.u32(P.Lhs) || !R.u32(P.Rhs))
+      C->append(Row.data(), P);
+    }
+    if (!loadLevels(R, C->Levels, size_t(EntryCount)) || !R.leaveSection())
       return nullptr;
-    if (Kind > uint8_t(CsOp::Union)) {
+    return C;
+  }
+
+  // Compressed mode: chunks tile [0, WindowBase), the window holds
+  // [WindowBase, EntryCount). Every chunk row is decode-validated here
+  // - offsets, hashes and codec counts are rebuilt from the bytes, so
+  // nothing downstream ever chases a malformed encoding.
+  uint64_t WindowBase = 0, ChunkCount = 0;
+  if (!R.u64(WindowBase) || !R.u64(ChunkCount))
+    return nullptr;
+  // Bound the allocations the claimed counts imply by what the stream
+  // can actually hold: a window row costs CsWords*8 payload bytes and
+  // every row a 10-byte provenance record; a sealed row at least one
+  // codec byte.
+  if (WindowBase > EntryCount || ChunkCount > WindowBase ||
+      EntryCount - WindowBase > R.remaining() / (CsWords * 8) ||
+      EntryCount > R.remaining()) {
+    R.markFailed();
+    return nullptr;
+  }
+  std::vector<uint64_t> Row(size_t(CsWords), 0);
+  uint64_t NextRow = 0;
+  for (uint64_t I = 0; I != ChunkCount; ++I) {
+    uint32_t Begin = 0, End = 0;
+    uint64_t ByteLen = 0;
+    if (!R.u32(Begin) || !R.u32(End) || !R.u64(ByteLen))
+      return nullptr;
+    if (Begin != NextRow || End <= Begin || End > WindowBase ||
+        ByteLen > R.remaining()) {
       R.markFailed();
       return nullptr;
     }
-    P.Kind = CsOp(Kind);
-    P.Symbol = char(Symbol);
-    C->append(Row.data(), P);
+    auto Chunk = std::make_unique<LanguageCache::SealedChunk>();
+    Chunk->BeginRow = Begin;
+    Chunk->EndRow = End;
+    Chunk->Bytes.resize(size_t(ByteLen));
+    if (!R.bytes(Chunk->Bytes.data(), size_t(ByteLen)))
+      return nullptr;
+    size_t Pos = 0;
+    Chunk->Offsets.reserve(size_t(End - Begin) + 1);
+    for (uint32_t RowIdx = Begin; RowIdx != End; ++RowIdx) {
+      Chunk->Offsets.push_back(uint32_t(Pos));
+      size_t Used = decodeRow(Chunk->Bytes.data() + Pos,
+                              size_t(ByteLen) - Pos, Row.data(),
+                              size_t(CsWords));
+      if (Used == 0) {
+        R.markFailed();
+        return nullptr;
+      }
+      ++C->CodecCounts[uint8_t(Chunk->Bytes[Pos])];
+      Pos += Used;
+      C->RowHashes.push_back(hashWords(Row.data(), size_t(CsWords)));
+    }
+    if (Pos != size_t(ByteLen)) {
+      R.markFailed();
+      return nullptr;
+    }
+    Chunk->Offsets.push_back(uint32_t(ByteLen));
+    Chunk->LastTouch.store(
+        C->TouchClock.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    C->SealedCompressedBytes += ByteLen;
+    C->HotChunkBytes.fetch_add(ByteLen, std::memory_order_relaxed);
+    C->Chunks.push_back(std::move(Chunk));
+    NextRow = End;
   }
+  if (NextRow != WindowBase) {
+    R.markFailed();
+    return nullptr;
+  }
+  C->WindowBase = size_t(WindowBase);
+  C->EntryCount = size_t(EntryCount);
+  C->ensureWindowRows(size_t(EntryCount - WindowBase));
+  for (uint64_t I = WindowBase; I != EntryCount; ++I) {
+    for (uint64_t Word = 0; Word != CsWords; ++Word)
+      if (!R.u64(Row[size_t(Word)]))
+        return nullptr;
+    uint64_t *Slot = C->rowSlot(size_t(I));
+    copyWords(Slot, Row.data(), size_t(CsWords));
+    clearWords(Slot + CsWords, C->RowStride - size_t(CsWords));
+    C->RowHashes.push_back(hashWords(Row.data(), size_t(CsWords)));
+  }
+  C->Prov.resize(size_t(EntryCount));
+  for (uint64_t I = 0; I != EntryCount; ++I)
+    if (!loadProvenance(R, C->Prov[size_t(I)]))
+      return nullptr;
   if (!loadLevels(R, C->Levels, size_t(EntryCount)) || !R.leaveSection())
     return nullptr;
+  // Everything restored hot; the next level boundary re-applies the
+  // pinned budget and spills what this host cannot keep in memory.
   return C;
 }
 
@@ -325,7 +460,8 @@ void paresy::saveShardedStore(SnapshotWriter &W, const ShardedStore &S) {
   W.endSection(Section);
 }
 
-std::unique_ptr<ShardedStore> paresy::loadShardedStore(SnapshotReader &R) {
+std::unique_ptr<ShardedStore>
+paresy::loadShardedStore(SnapshotReader &R, const StoreTierConfig &Tier) {
   if (!R.enterSection("store"))
     return nullptr;
   uint64_t CsWords = 0, PerShard = 0;
@@ -341,14 +477,17 @@ std::unique_ptr<ShardedStore> paresy::loadShardedStore(SnapshotReader &R) {
   std::unique_ptr<ShardedStore> S;
   try {
     S = std::make_unique<ShardedStore>(size_t(CsWords), Shards,
-                                       size_t(PerShard));
+                                       size_t(PerShard), Tier);
   } catch (const std::bad_alloc &) {
     R.markFailed();
     return nullptr;
   }
   size_t Rows = 0;
   for (uint32_t Shard = 0; Shard != Shards; ++Shard) {
-    std::unique_ptr<LanguageCache> C = loadLanguageCache(R);
+    // Each segment restores under the per-shard config the store
+    // constructor derived (split budgets, ".shardN" spill file).
+    std::unique_ptr<LanguageCache> C =
+        loadLanguageCache(R, S->Shards[Shard]->tier());
     if (!C)
       return nullptr;
     if (C->csWords() != size_t(CsWords) ||

@@ -51,10 +51,13 @@ namespace paresy {
 class CsHashSet;
 class LanguageCache;
 class ShardedStore;
+struct StoreTierConfig;
 
 /// Version of the overall snapshot format; bumped whenever any
 /// component payload changes incompatibly.
-inline constexpr uint32_t SnapshotFormatVersion = 1;
+/// v2: cache sections carry a storage-mode byte; compressed caches
+/// serialize their sealed chunks' codec bytes verbatim.
+inline constexpr uint32_t SnapshotFormatVersion = 2;
 
 /// Appends primitive values to a growing byte buffer, least
 /// significant byte first.
@@ -150,17 +153,29 @@ std::string_view stripSnapshotChecksum(std::string_view Data);
 //===----------------------------------------------------------------------===//
 
 /// Serializes \p C (geometry, capacity, rows, provenance, level
-/// ranges) as one tagged section.
+/// ranges) as one tagged section. Compressed caches write their sealed
+/// chunks' codec bytes verbatim (spilled chunks are paged back in
+/// first) plus the open window's raw rows, so serialize -> restore ->
+/// serialize is byte-identical.
 void saveLanguageCache(SnapshotWriter &W, const LanguageCache &C);
 
 /// Restores a cache serialized by saveLanguageCache; null on a
-/// malformed stream (R is then failed()).
-std::unique_ptr<LanguageCache> loadLanguageCache(SnapshotReader &R);
+/// malformed stream (R is then failed()). \p Tier must match the saved
+/// storage mode (a raw stream cannot restore into a compressed store
+/// or vice versa - the modes charge different budgets); its budgets
+/// and spill path are the restoring host's, not the saving host's.
+std::unique_ptr<LanguageCache> loadLanguageCache(SnapshotReader &R,
+                                                 const StoreTierConfig &Tier);
 
 /// Serializes \p S: every shard segment plus the global-id directory,
 /// overflow counters and level table.
 void saveShardedStore(SnapshotWriter &W, const ShardedStore &S);
-std::unique_ptr<ShardedStore> loadShardedStore(SnapshotReader &R);
+
+/// Restores a store serialized by saveShardedStore under the
+/// store-level tier config \p Tier (split per shard exactly as the
+/// ShardedStore constructor does).
+std::unique_ptr<ShardedStore> loadShardedStore(SnapshotReader &R,
+                                               const StoreTierConfig &Tier);
 
 /// Serializes \p S's slot table. The key bits stay in the cache the
 /// set indexes; restore binds the slots back to \p Cache, which must

@@ -97,6 +97,29 @@ struct SynthOptions {
   /// space-time trade-off).
   bool PadToPowerOfTwo = true;
 
+  /// Compressed + tiered language store (DESIGN.md Sec. 11): sealed
+  /// levels shrink to per-row codec bytes and the memory budget is
+  /// charged in resident bytes, raising the solvable-instance ceiling
+  /// at a fixed MemoryLimitBytes. Results are bit-identical to the raw
+  /// store. Implied by a non-empty SpillDir.
+  bool CompressStore = false;
+
+  /// Directory for the compressed store's cold-level spill files;
+  /// empty disables the disk tier. Implies CompressStore.
+  std::string SpillDir;
+
+  /// With a SpillDir: sealed compressed bytes kept in memory; colder
+  /// levels spill and page back on demand.
+  uint64_t PinnedStoreBytes = uint64_t(64) << 20;
+
+  /// Byte cap on a compressed store's uncompressed in-flight window
+  /// (per shard): past it the window auto-seals mid-level, so one
+  /// geometric level cannot hold the whole byte budget in aligned
+  /// form. 0 derives the cap from the memory budget (or leaves the
+  /// window unbounded when there is no budget). Lossless either way -
+  /// results never change, only resident bytes.
+  uint64_t WindowStoreBytes = 0;
+
   /// Race a portfolio of equivalent sweep configurations (guide table
   /// on/off, shard count, padding) over one shared staged query and
   /// return the first winner, cancelling the losers
@@ -106,6 +129,12 @@ struct SynthOptions {
   /// canonical query/session fingerprints (lang/Fingerprint.h).
   bool Portfolio = false;
 };
+
+/// Whether \p Opts selects the compressed + tiered store (directly or
+/// via a spill directory).
+inline bool storeCompressionEnabled(const SynthOptions &Opts) {
+  return Opts.CompressStore || !Opts.SpillDir.empty();
+}
 
 /// Why a synthesis run ended.
 enum class SynthStatus : uint8_t {
@@ -179,6 +208,29 @@ struct SynthStats {
   double PrecomputeSeconds = 0;
   /// Seconds spent in the cost sweep.
   double SearchSeconds = 0;
+
+  /// Compressed + tiered store counters (SynthOptions::CompressStore;
+  /// all zero on the raw store). MemoryBytes above is always the
+  /// *resident* footprint: compressed hot chunks + the uncompressed
+  /// open window + metadata, never the logical row bytes.
+  bool StoreCompressed = false;
+  /// Rows sealed into compressed chunks / still in the open window.
+  uint64_t StoreSealedRows = 0;
+  uint64_t StoreWindowRows = 0;
+  /// Compressed bytes across sealed chunks (hot + spilled) and their
+  /// logical (padded-stride) size; the ratio Logical/Compressed is the
+  /// headline compression number.
+  uint64_t StoreCompressedBytes = 0;
+  uint64_t StoreLogicalBytes = 0;
+  double StoreCompressionRatio = 0;
+  /// Sealed rows per codec, indexed like lang/RowCodec.h's RowCodec.
+  uint64_t StoreCodecRows[4] = {};
+  /// Disk-tier occupancy: chunk counts and compressed-byte split
+  /// between the pinned hot tier and the spill files.
+  uint64_t StoreHotChunks = 0;
+  uint64_t StoreSpilledChunks = 0;
+  uint64_t StoreHotBytes = 0;
+  uint64_t StoreSpilledBytes = 0;
 };
 
 /// Result of a synthesis run.

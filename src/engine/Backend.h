@@ -126,6 +126,17 @@ public:
   virtual size_t planCacheCapacity(const SearchContext &Ctx,
                                    uint64_t BudgetBytes) = 0;
 
+  /// Bytes of the run's budget that planCacheCapacity() will hand the
+  /// language store (the rest funds backend structures). The byte
+  /// budget of the compressed store mirrors this split, so a byte-full
+  /// verdict fires where the raw row capacity would have. Must be
+  /// consistent with planCacheCapacity's division of the same budget.
+  virtual uint64_t planStoreBytes(const SearchContext &Ctx,
+                                  uint64_t BudgetBytes) {
+    (void)Ctx;
+    return BudgetBytes;
+  }
+
   /// Allocates per-run structures (uniqueness set, temporaries).
   /// Called once, after the cache exists.
   virtual void prepare(SearchContext &Ctx) = 0;
@@ -147,6 +158,13 @@ public:
   /// session when it assembles a result). The default adds nothing;
   /// the heterogeneous backend reports its per-engine split here.
   virtual void addBackendStats(SynthStats &Stats) const { (void)Stats; }
+
+  /// Level-boundary notification: the driver sealed the completed
+  /// level into the store's compressed tier (ShardedStore::sealLevel
+  /// already ran). Backends that cache row pointers across levels must
+  /// refresh them here; the default has nothing to refresh (uniqueness
+  /// structures hold row *indices* or key copies, never pointers).
+  virtual void onLevelSealed(SearchContext &Ctx) { (void)Ctx; }
 
   /// Resumable-session support (engine/Session.h). A backend that
   /// returns true implements all three hooks below; the default is a

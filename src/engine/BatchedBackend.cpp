@@ -38,6 +38,15 @@ size_t BatchedBackend::splitBudget(const SearchContext &Ctx,
       LanguageCache::strideForWords(CsWords) * sizeof(uint64_t) +
       sizeof(Provenance) + sizeof(uint64_t) +
       (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
+  if (storeCompressionEnabled(*Ctx.Opts))
+    // Compressed store: sealed rows cost codec bytes, so the row
+    // count is only a metadata/address-space bound and fullness is
+    // byte-driven against planStoreBytes' 60% share. The hash sets
+    // keep full-key slots either way (they are the hot probe path),
+    // which is why their 30% share is unchanged - and why the batched
+    // pipelines see a smaller ceiling lift than "cpu" does.
+    RowBytes = sizeof(Provenance) + sizeof(uint64_t) +
+               (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
   uint64_t SlotBytes =
       CsWords * sizeof(uint64_t) + WarpHashSet::slotBytes();
   uint64_t CacheCap =
@@ -47,6 +56,14 @@ size_t BatchedBackend::splitBudget(const SearchContext &Ctx,
       std::max<uint64_t>(32, BudgetBytes * 3 / 10 / SlotBytes);
   HashCapacity = size_t(std::min<uint64_t>(HashCap, 0x7fffffffu));
   return size_t(CacheCap);
+}
+
+uint64_t BatchedBackend::planStoreBytes(const SearchContext &Ctx,
+                                        uint64_t BudgetBytes) {
+  (void)Ctx;
+  // Mirrors splitBudget's partition: 60% language store, 30% hash
+  // sets, the rest temporaries.
+  return BudgetBytes * 6 / 10;
 }
 
 void BatchedBackend::prepare(SearchContext &Ctx) {

@@ -100,6 +100,13 @@ protected:
   /// planCacheCapacity() with their budget (device-capped or not).
   size_t splitBudget(const SearchContext &Ctx, uint64_t BudgetBytes);
 
+public:
+  /// The store's byte share of splitBudget's partition (60%).
+  uint64_t planStoreBytes(const SearchContext &Ctx,
+                          uint64_t BudgetBytes) override;
+
+protected:
+
   /// Subclasses set this from planCacheCapacity() when dividing the
   /// memory budget; prepare() divides it across the per-shard hash
   /// sets it allocates.

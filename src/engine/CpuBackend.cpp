@@ -28,8 +28,26 @@ size_t CpuBackend::planCacheCapacity(const SearchContext &Ctx,
           sizeof(uint64_t) +
       sizeof(Provenance) + sizeof(uint64_t) + 8 +
       (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
+  if (storeCompressionEnabled(*Ctx.Opts))
+    // Sealed rows cost codec bytes, not their padded stride, so the
+    // row count is only an address-space bound here - fullness is
+    // byte-driven (chargedBytes against planStoreBytes' share), and
+    // with a spill directory sealed bytes need not stay resident at
+    // all. Bound by the per-row metadata alone and let the byte
+    // verdict decide.
+    PerEntry = sizeof(Provenance) + sizeof(uint64_t) + 8 +
+               (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
   uint64_t Capacity = std::max<uint64_t>(16, BudgetBytes / PerEntry);
   return size_t(std::min<uint64_t>(Capacity, 0xfffffffeu));
+}
+
+uint64_t CpuBackend::planStoreBytes(const SearchContext &Ctx,
+                                    uint64_t BudgetBytes) {
+  (void)Ctx;
+  // Rows, provenance and hashes are the store's; the remaining quarter
+  // funds the uniqueness sets' slots and tags (the same amortised
+  // slot+tag charge planCacheCapacity folds into PerEntry).
+  return BudgetBytes - BudgetBytes / 4;
 }
 
 void CpuBackend::prepare(SearchContext &Ctx) {

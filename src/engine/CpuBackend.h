@@ -34,6 +34,8 @@ public:
   std::string_view name() const override { return "cpu"; }
   size_t planCacheCapacity(const SearchContext &Ctx,
                            uint64_t BudgetBytes) override;
+  uint64_t planStoreBytes(const SearchContext &Ctx,
+                          uint64_t BudgetBytes) override;
   void prepare(SearchContext &Ctx) override;
   LevelOutcome runLevel(SearchContext &Ctx, uint64_t LevelCost,
                         LevelTasks &Tasks) override;

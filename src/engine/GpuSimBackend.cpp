@@ -23,3 +23,11 @@ size_t GpuSimBackend::planCacheCapacity(const SearchContext &Ctx,
   return splitBudget(Ctx,
                      std::min<uint64_t>(BudgetBytes, DeviceMemoryBytes));
 }
+
+uint64_t GpuSimBackend::planStoreBytes(const SearchContext &Ctx,
+                                       uint64_t BudgetBytes) {
+  // Same device cap as planCacheCapacity, so the store's byte budget
+  // and its row capacity describe the same memory.
+  return BatchedBackend::planStoreBytes(
+      Ctx, std::min<uint64_t>(BudgetBytes, DeviceMemoryBytes));
+}

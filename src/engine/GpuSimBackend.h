@@ -33,6 +33,8 @@ public:
   std::string_view name() const override { return "gpusim"; }
   size_t planCacheCapacity(const SearchContext &Ctx,
                            uint64_t BudgetBytes) override;
+  uint64_t planStoreBytes(const SearchContext &Ctx,
+                          uint64_t BudgetBytes) override;
 
 private:
   uint64_t DeviceMemoryBytes;

@@ -130,6 +130,40 @@ void SearchSession::bindContext() {
                          uint64_t(Cost.Union) + Cost.Literal));
 }
 
+StoreTierConfig SearchSession::storeTierConfig() {
+  StoreTierConfig Tier;
+  if (!storeCompressionEnabled(EffOpts))
+    return Tier;
+  Tier.Compress = true;
+  // The store's byte budget is the share planCacheCapacity() gives it
+  // of the same run budget, so a byte-full verdict fires where the raw
+  // row capacity would have (just much later in rows).
+  Tier.ByteBudget = B->planStoreBytes(Ctx, EffOpts.MemoryLimitBytes);
+  // The in-flight window cap: an explicit option wins; otherwise an
+  // eighth of the store's byte share (floored so tiny budgets do not
+  // seal every few rows), split across the shards. Without a byte
+  // budget the window stays unbounded - levels were already free to
+  // grow, and capping would only add seal overhead.
+  unsigned ShardCount = std::max(1u, EffOpts.Shards);
+  if (EffOpts.WindowStoreBytes)
+    Tier.WindowBudget = EffOpts.WindowStoreBytes;
+  else if (Tier.ByteBudget)
+    Tier.WindowBudget =
+        std::max<uint64_t>(uint64_t(64) << 10, Tier.ByteBudget / 8) /
+        ShardCount;
+  if (!EffOpts.SpillDir.empty()) {
+    Tier.PinnedBytes = EffOpts.PinnedStoreBytes;
+    // One spill file name per store instance, so concurrent sessions
+    // sharing a SpillDir never collide (each shard then appends its
+    // own ".shardN" suffix).
+    static std::atomic<uint64_t> SpillSerial{0};
+    Tier.SpillPath =
+        EffOpts.SpillDir + "/paresy-spill-" +
+        std::to_string(SpillSerial.fetch_add(1, std::memory_order_relaxed));
+  }
+  return Tier;
+}
+
 void SearchSession::prepareRun() {
   bindContext();
   Stats.PrecomputeSeconds = Q->stagingSeconds();
@@ -143,7 +177,7 @@ void SearchSession::prepareRun() {
   size_t Capacity = B->planCacheCapacity(Ctx, EffOpts.MemoryLimitBytes);
   Store = std::make_unique<ShardedStore>(
       Q->universe()->csWords(), Shards,
-      std::max<size_t>(1, Capacity / Shards));
+      std::max<size_t>(1, Capacity / Shards), storeTierConfig());
   Ctx.Store = Store.get();
   B->prepare(Ctx);
 
@@ -269,6 +303,15 @@ void SearchSession::runLevelAt(uint64_t C) {
     Store->setLevel(C, LevelBegin, LevelEnd);
     if (LevelEnd != LevelBegin)
       NonEmptyLevels.push_back(C);
+    // Level boundary: the kept level's rows are final, so the
+    // compressed store seals them out of the open window (and spills
+    // past the pinned budget). A rolled-back level stays unsealed -
+    // its rows are about to be truncated away, and truncation only
+    // reaches open-window rows.
+    if (Store->compressed()) {
+      Store->sealLevel();
+      B->onLevelSealed(Ctx);
+    }
   }
   if (Last.CacheFilled && !CacheFilled) {
     CacheFilled = true;
@@ -330,6 +373,23 @@ void SearchSession::fillStats(SynthResult &R) {
     for (unsigned S = 0; S != Store->shardCount(); ++S) {
       Stats.ShardRows[S] = Store->shardRows(S);
       Stats.ShardDropped[S] = Store->shardDropped(S);
+    }
+    if (Store->compressed()) {
+      Stats.StoreCompressed = true;
+      Stats.StoreSealedRows = Store->sealedRows();
+      Stats.StoreWindowRows = Store->windowRows();
+      Stats.StoreCompressedBytes = Store->compressedBytes();
+      Stats.StoreLogicalBytes =
+          uint64_t(Store->sealedRows()) *
+          LanguageCache::strideForWords(Store->csWords()) *
+          sizeof(uint64_t);
+      Stats.StoreCompressionRatio = Store->compressionRatio();
+      for (unsigned C = 0; C != NumRowCodecs; ++C)
+        Stats.StoreCodecRows[C] = Store->codecRows(C);
+      Stats.StoreHotChunks = Store->hotChunks();
+      Stats.StoreSpilledChunks = Store->spilledChunks();
+      Stats.StoreHotBytes = Store->hotBytes();
+      Stats.StoreSpilledBytes = Store->spilledBytes();
     }
   }
   R.Stats = Stats;
@@ -549,7 +609,7 @@ bool SearchSession::restoreBody(SnapshotReader &R) {
     return false;
 
   bindContext();
-  Store = loadShardedStore(R);
+  Store = loadShardedStore(R, storeTierConfig());
   if (!Store || Store->csWords() != Q->universe()->csWords() ||
       Store->shardCount() != std::max(1u, EffOpts.Shards))
     return false;

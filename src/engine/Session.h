@@ -196,6 +196,11 @@ private:
 
   void initCommon();
   void bindContext();
+  /// The store-level tier configuration EffOpts selects: byte budget
+  /// from the backend's planned store share, a process-unique spill
+  /// file name under SpillDir. Raw (all defaults) when compression is
+  /// off.
+  StoreTierConfig storeTierConfig();
   void prepareRun();
   bool restoreBody(SnapshotReader &R);
   uint64_t horizon() const;

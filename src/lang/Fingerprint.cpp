@@ -108,6 +108,17 @@ void appendSweepCore(std::string &Out, const SynthOptions &Opts) {
   // the mistake budget.
   Out += "\nerror=";
   appendDoubleBits(Out, Opts.AllowedError);
+  // The storage tier shapes *verdicts* under memory pressure (byte-
+  // driven fullness, the pinned budget), so it is part of the result
+  // identity. The spill directory's path is environmental - only
+  // whether a disk tier exists matters - and PinnedStoreBytes is
+  // charged only when it does.
+  Out += "\nstore=";
+  appendU64Hex(Out, storeCompressionEnabled(Opts) ? 1 : 0);
+  Out += ':';
+  appendU64Hex(Out, Opts.SpillDir.empty() ? 0 : 1);
+  Out += ':';
+  appendU64Hex(Out, Opts.SpillDir.empty() ? 0 : Opts.PinnedStoreBytes);
   Out += "\nflags=";
   for (bool Flag : {Opts.EnableOnTheFly, Opts.SeedEpsilon,
                     Opts.UniquenessCheck, Opts.UseGuideTable,
@@ -121,7 +132,7 @@ void appendSweepCore(std::string &Out, const SynthOptions &Opts) {
 std::string paresy::canonicalQueryText(const Spec &Canonical,
                                        const Alphabet &Sigma,
                                        const SynthOptions &Opts) {
-  std::string Out = "paresy-query-v3\n";
+  std::string Out = "paresy-query-v4\n";
   appendSpecAndAlphabet(Out, Canonical, Sigma);
   appendSweepCore(Out, Opts);
   // The budgets complete the result identity: a different MaxCost or
@@ -137,7 +148,7 @@ std::string paresy::canonicalQueryText(const Spec &Canonical,
 std::string paresy::canonicalSessionText(const Spec &Canonical,
                                          const Alphabet &Sigma,
                                          const SynthOptions &Opts) {
-  std::string Out = "paresy-session-v3\n";
+  std::string Out = "paresy-session-v4\n";
   appendSpecAndAlphabet(Out, Canonical, Sigma);
   appendSweepCore(Out, Opts);
   return Out;

@@ -1,0 +1,262 @@
+//===- lang/RowCodec.cpp - Per-row codecs for sealed cache rows -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/RowCodec.h"
+
+#include "support/Bits.h"
+
+#include <cassert>
+
+using namespace paresy;
+
+const char *paresy::rowCodecName(RowCodec C) {
+  switch (C) {
+  case RowCodec::Raw:
+    return "raw";
+  case RowCodec::AllZero:
+    return "all-zero";
+  case RowCodec::SparseBits:
+    return "sparse-bits";
+  case RowCodec::SparseWords:
+    return "sparse-words";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Bytes a LEB128 varint of \p V occupies.
+size_t varintSize(uint64_t V) {
+  size_t Bytes = 1;
+  while (V >= 0x80) {
+    V >>= 7;
+    ++Bytes;
+  }
+  return Bytes;
+}
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(char(uint8_t(V) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(char(uint8_t(V)));
+}
+
+void putWordLe(std::string &Out, uint64_t W) {
+  for (unsigned B = 0; B != 8; ++B)
+    Out.push_back(char(uint8_t(W >> (8 * B))));
+}
+
+/// Bounds-checked byte cursor over an encoded row; every get latches
+/// failure instead of reading past Avail.
+struct ByteCursor {
+  const uint8_t *Bytes;
+  size_t Avail;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  bool getByte(uint8_t &B) {
+    if (Failed || Pos == Avail) {
+      Failed = true;
+      return false;
+    }
+    B = Bytes[Pos++];
+    return true;
+  }
+
+  bool getVarint(uint64_t &V) {
+    V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B = 0;
+      if (!getByte(B))
+        return false;
+      // Bits above 63 must be zero: a continuation past the 9th byte
+      // or a final byte overflowing the width is malformed, not
+      // silently truncated.
+      if (Shift == 63 && (B & 0xfe)) {
+        Failed = true;
+        return false;
+      }
+      V |= uint64_t(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    Failed = true;
+    return false;
+  }
+
+  bool getWordLe(uint64_t &W) {
+    W = 0;
+    for (unsigned B = 0; B != 8; ++B) {
+      uint8_t Byte = 0;
+      if (!getByte(Byte))
+        return false;
+      W |= uint64_t(Byte) << (8 * B);
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+RowCodec paresy::encodeRow(const uint64_t *Row, size_t Words,
+                           std::string &Out) {
+  assert(Words > 0 && "rows have at least one word");
+  size_t RawSize = encodedRowBound(Words);
+
+  // One scan for the structure every candidate encoding prices from.
+  size_t NonZero = 0;
+  unsigned Pop = 0;
+  for (size_t I = 0; I != Words; ++I)
+    if (Row[I]) {
+      ++NonZero;
+      Pop += unsigned(std::popcount(Row[I]));
+    }
+
+  if (NonZero == 0) {
+    Out.push_back(char(uint8_t(RowCodec::AllZero)));
+    return RowCodec::AllZero;
+  }
+
+  // Price SparseWords exactly: tag + count + per nonzero word its
+  // index gap and 8 value bytes.
+  size_t WordsSize = 1 + varintSize(NonZero);
+  {
+    uint64_t Prev = 0;
+    bool First = true;
+    for (size_t I = 0; I != Words; ++I) {
+      if (!Row[I])
+        continue;
+      WordsSize += varintSize(First ? I : I - Prev - 1) + 8;
+      Prev = I;
+      First = false;
+    }
+  }
+
+  // Price SparseBits exactly, but only when it can still win: each set
+  // bit costs at least one gap byte, so a popcount at or above the
+  // cheaper alternative's size cannot beat it.
+  size_t BitsSize = SIZE_MAX;
+  size_t BitsCutoff = std::min(RawSize, WordsSize);
+  if (size_t(Pop) + 1 + varintSize(Pop) <= BitsCutoff) {
+    size_t Size = 1 + varintSize(Pop);
+    uint64_t Prev = 0;
+    bool First = true;
+    forEachSetBit(Row, Words, [&](size_t Bit) {
+      Size += varintSize(First ? Bit : Bit - Prev - 1);
+      Prev = Bit;
+      First = false;
+    });
+    BitsSize = Size;
+  }
+
+  // Smallest wins; ties prefer the sparser form (cheaper to decode on
+  // the set-bit walks the kernels favour).
+  if (BitsSize <= WordsSize && BitsSize < RawSize) {
+    Out.push_back(char(uint8_t(RowCodec::SparseBits)));
+    putVarint(Out, Pop);
+    uint64_t Prev = 0;
+    bool First = true;
+    forEachSetBit(Row, Words, [&](size_t Bit) {
+      putVarint(Out, First ? Bit : Bit - Prev - 1);
+      Prev = Bit;
+      First = false;
+    });
+    return RowCodec::SparseBits;
+  }
+  if (WordsSize < RawSize) {
+    Out.push_back(char(uint8_t(RowCodec::SparseWords)));
+    putVarint(Out, NonZero);
+    uint64_t Prev = 0;
+    bool First = true;
+    for (size_t I = 0; I != Words; ++I) {
+      if (!Row[I])
+        continue;
+      putVarint(Out, First ? I : I - Prev - 1);
+      putWordLe(Out, Row[I]);
+      Prev = I;
+      First = false;
+    }
+    return RowCodec::SparseWords;
+  }
+
+  Out.push_back(char(uint8_t(RowCodec::Raw)));
+  for (size_t I = 0; I != Words; ++I)
+    putWordLe(Out, Row[I]);
+  return RowCodec::Raw;
+}
+
+size_t paresy::decodeRow(const char *Bytes, size_t Avail, uint64_t *Row,
+                         size_t Words) {
+  assert(Words > 0 && "rows have at least one word");
+  clearWords(Row, Words);
+  ByteCursor In{reinterpret_cast<const uint8_t *>(Bytes), Avail};
+  uint8_t Tag = 0;
+  if (!In.getByte(Tag))
+    return 0;
+  switch (RowCodec(Tag)) {
+  case RowCodec::AllZero:
+    return In.Pos;
+
+  case RowCodec::Raw:
+    for (size_t I = 0; I != Words; ++I)
+      if (!In.getWordLe(Row[I]))
+        break;
+    break;
+
+  case RowCodec::SparseBits: {
+    uint64_t Count = 0;
+    if (!In.getVarint(Count) || Count == 0 || Count > Words * BitsPerWord) {
+      In.Failed = true;
+      break;
+    }
+    uint64_t Bit = 0;
+    for (uint64_t I = 0; I != Count; ++I) {
+      uint64_t Gap = 0;
+      if (!In.getVarint(Gap))
+        break;
+      Bit = I == 0 ? Gap : Bit + Gap + 1;
+      if (Bit >= Words * BitsPerWord) {
+        In.Failed = true;
+        break;
+      }
+      setBit(Row, size_t(Bit));
+    }
+    break;
+  }
+
+  case RowCodec::SparseWords: {
+    uint64_t Count = 0;
+    if (!In.getVarint(Count) || Count == 0 || Count > Words) {
+      In.Failed = true;
+      break;
+    }
+    uint64_t Idx = 0;
+    for (uint64_t I = 0; I != Count; ++I) {
+      uint64_t Gap = 0, Value = 0;
+      if (!In.getVarint(Gap))
+        break;
+      Idx = I == 0 ? Gap : Idx + Gap + 1;
+      if (Idx >= Words || !In.getWordLe(Value)) {
+        In.Failed = true;
+        break;
+      }
+      Row[size_t(Idx)] = Value;
+    }
+    break;
+  }
+
+  default:
+    In.Failed = true;
+    break;
+  }
+  if (In.Failed) {
+    clearWords(Row, Words);
+    return 0;
+  }
+  return In.Pos;
+}

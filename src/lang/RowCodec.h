@@ -1,0 +1,86 @@
+//===- lang/RowCodec.h - Per-row codecs for sealed cache rows ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-row compression of characteristic sequences (DESIGN.md
+/// Sec. 11). A CS is a bitset over the universe ic(P u N); most cached
+/// rows are extremely sparse (a few accepted infixes out of thousands)
+/// or extremely regular (the empty language, near-universal star
+/// languages), so the sealed tier of the language cache stores each
+/// row under the smallest of four encodings instead of its padded
+/// aligned form. The codec is chosen per row by the same sparsity
+/// observation PR 3's kernel dispatch exploits: dense rows stay raw
+/// (word-exact), sparse rows shrink to their set-bit or nonzero-word
+/// deltas.
+///
+/// Encodings are byte-oriented and endian-stable (every multi-byte
+/// value is least-significant-byte first), so encoded rows can be
+/// serialized into snapshots verbatim and restored on any host. Every
+/// encoding round-trips bit-exactly: decode(encode(row)) == row for
+/// all inputs, including the padding-free logical width (the padded
+/// stride is a host layout choice the decoder's caller re-applies).
+///
+/// Decoding is fail-closed: malformed bytes (bad tag, truncated
+/// varint, out-of-range or non-increasing indices) return 0 consumed
+/// bytes instead of writing garbage, so snapshot restores can reject
+/// corrupt streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_LANG_ROWCODEC_H
+#define PARESY_LANG_ROWCODEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace paresy {
+
+/// How one sealed row is encoded. The tag is the first byte of every
+/// encoded row.
+enum class RowCodec : uint8_t {
+  /// Tag + the logical words verbatim (LE). Chosen for dense rows
+  /// where no sparse form wins.
+  Raw = 0,
+  /// Tag only: the all-zero row (the empty language).
+  AllZero = 1,
+  /// Tag + varint popcount + delta-varint set-*bit* indices (first
+  /// index absolute, then gap-1). The extreme-sparsity form.
+  SparseBits = 2,
+  /// Tag + varint nonzero-word count + per word a delta-varint word
+  /// index (first absolute, then gap-1) and its 8 LE value bytes. The
+  /// clustered-sparsity form.
+  SparseWords = 3,
+};
+
+/// Number of codec tags (the size of per-codec count arrays).
+inline constexpr unsigned NumRowCodecs = 4;
+
+/// Display name of \p C ("raw", "all-zero", "sparse-bits",
+/// "sparse-words"); "?" for an invalid tag.
+const char *rowCodecName(RowCodec C);
+
+/// Upper bound on the encoded size of any \p Words-word row (the Raw
+/// form plus its tag). Chunk writers can reserve against it.
+constexpr size_t encodedRowBound(size_t Words) {
+  return 1 + Words * sizeof(uint64_t);
+}
+
+/// Encodes \p Words words of \p Row under the smallest applicable
+/// codec, appending the bytes to \p Out. Returns the codec chosen.
+/// Deterministic: equal rows always produce equal bytes.
+RowCodec encodeRow(const uint64_t *Row, size_t Words, std::string &Out);
+
+/// Decodes one row of \p Words words from the first \p Avail bytes at
+/// \p Bytes into \p Row (fully overwritten). Returns the number of
+/// bytes consumed, or 0 if the bytes are not a well-formed encoding of
+/// a \p Words-word row (Row is then zeroed, never partial garbage).
+size_t decodeRow(const char *Bytes, size_t Avail, uint64_t *Row,
+                 size_t Words);
+
+} // namespace paresy
+
+#endif // PARESY_LANG_ROWCODEC_H

@@ -327,6 +327,22 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
       Counters.PortfolioArms += ArmsStarted;
       Counters.PortfolioCancelled += ArmsCancelled;
     }
+    // Compressed-store occupancy snapshot from the latest search (an
+    // operator watching --serve-demo sees the current tier mix, not a
+    // sum over dead stores).
+    if (R.Stats.StoreCompressed) {
+      Counters.StoreCompressed = true;
+      Counters.StoreCompressionRatio = R.Stats.StoreCompressionRatio;
+      Counters.StoreSealedRows = R.Stats.StoreSealedRows;
+      Counters.StoreWindowRows = R.Stats.StoreWindowRows;
+      Counters.StoreCompressedBytes = R.Stats.StoreCompressedBytes;
+      for (int T = 0; T != 4; ++T)
+        Counters.StoreCodecRows[T] = R.Stats.StoreCodecRows[T];
+      Counters.StoreHotChunks = R.Stats.StoreHotChunks;
+      Counters.StoreSpilledChunks = R.Stats.StoreSpilledChunks;
+      Counters.StoreHotBytes = R.Stats.StoreHotBytes;
+      Counters.StoreSpilledBytes = R.Stats.StoreSpilledBytes;
+    }
     // Per-shard occupancy/overflow, aggregated across searches (the
     // skew signal an operator watches when raising --shards).
     if (R.Stats.ShardCount > 0) {

@@ -170,6 +170,22 @@ struct ServiceStats {
   uint64_t PortfolioRaces = 0;
   uint64_t PortfolioArms = 0;
   uint64_t PortfolioCancelled = 0;
+
+  /// Compressed + tiered store occupancy (DESIGN.md Sec. 11): a
+  /// snapshot of the latest executed search's store, all zero while
+  /// the service runs raw stores. Byte counters report *resident*
+  /// bytes - compressed sealed rows plus the pinned uncompressed
+  /// window - not the logical uncompressed footprint.
+  bool StoreCompressed = false;        ///< Latest search compressed rows.
+  double StoreCompressionRatio = 0;    ///< Logical / compressed bytes.
+  uint64_t StoreSealedRows = 0;        ///< Rows in sealed (compressed) chunks.
+  uint64_t StoreWindowRows = 0;        ///< Rows still in the open window.
+  uint64_t StoreCompressedBytes = 0;   ///< Sealed chunk bytes (all tiers).
+  uint64_t StoreCodecRows[4] = {0, 0, 0, 0}; ///< Rows per codec tag.
+  uint64_t StoreHotChunks = 0;         ///< Sealed chunks resident in RAM.
+  uint64_t StoreSpilledChunks = 0;     ///< Sealed chunks on disk only.
+  uint64_t StoreHotBytes = 0;          ///< Bytes of hot sealed chunks.
+  uint64_t StoreSpilledBytes = 0;      ///< Bytes of spilled sealed chunks.
 };
 
 /// A caching, coalescing, asynchronous synthesis service over one

@@ -239,7 +239,7 @@ TEST(SnapshotRoundTrip, ShardedStoreSerializeRestoreSerializeIsByteIdentical) {
     std::string First = storeBytes(*Store);
 
     SnapshotReader R(First);
-    std::unique_ptr<ShardedStore> Restored = loadShardedStore(R);
+    std::unique_ptr<ShardedStore> Restored = loadShardedStore(R, {});
     ASSERT_NE(Restored, nullptr);
     EXPECT_FALSE(R.failed());
 
@@ -298,7 +298,7 @@ TEST(SnapshotRoundTrip, TruncatedAndCorruptedStoresAreRejected) {
   // Truncation at every prefix length: reject, never crash.
   for (size_t Cut = 0; Cut < Good.size(); Cut += 7) {
     SnapshotReader R(std::string_view(Good).substr(0, Cut));
-    EXPECT_EQ(loadShardedStore(R), nullptr) << Cut;
+    EXPECT_EQ(loadShardedStore(R, {}), nullptr) << Cut;
     EXPECT_TRUE(R.failed()) << Cut;
   }
 
@@ -307,7 +307,7 @@ TEST(SnapshotRoundTrip, TruncatedAndCorruptedStoresAreRejected) {
     std::string Bad = Good;
     Bad[8] = 'x'; // Inside the "store" tag text.
     SnapshotReader R(Bad);
-    EXPECT_EQ(loadShardedStore(R), nullptr);
+    EXPECT_EQ(loadShardedStore(R, {}), nullptr);
   }
 
   // An insane shard count is rejected before any allocation.
@@ -319,7 +319,7 @@ TEST(SnapshotRoundTrip, TruncatedAndCorruptedStoresAreRejected) {
     W.u64(16);
     W.endSection(Sec);
     SnapshotReader R(W.buffer());
-    EXPECT_EQ(loadShardedStore(R), nullptr);
+    EXPECT_EQ(loadShardedStore(R, {}), nullptr);
     EXPECT_TRUE(R.failed());
   }
 }

@@ -1,0 +1,728 @@
+//===- tests/store_test.cpp - Compressed + tiered language store --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 11 invariants:
+///
+///  * codec round trips: decode(encode(row)) is bit-identical for
+///    every width and sparsity class (fuzzed, including the all-zero,
+///    all-one and single-word extremes), encodings are deterministic,
+///    and malformed bytes are rejected fail-closed (0 consumed, row
+///    zeroed);
+///  * seal equivalence: sealing at every level boundary never changes
+///    a bit - synthesis results, costs and candidate counts equal the
+///    raw store's on every backend and shard count, including through
+///    the disk tier under a tiny pinned budget;
+///  * snapshots: serialize -> restore -> serialize is byte-identical
+///    for compressed stores (spilled chunks page in at save), mode
+///    mismatches and truncation are rejected;
+///  * park/resume: a session over a compressed store snapshots and
+///    resumes to the raw run's exact answer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedStore.h"
+#include "core/Snapshot.h"
+#include "engine/BackendRegistry.h"
+#include "engine/SearchDriver.h"
+#include "engine/Session.h"
+#include "lang/RowCodec.h"
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+const char *const Backends[] = {"cpu", "cpu-parallel", "gpusim"};
+const unsigned ShardCounts[] = {1, 2, 3, 7};
+const size_t RowWidths[] = {1, 2, 3, 4, 8, 13};
+
+Alphabet sigma01() { return Alphabet::of("01"); }
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+std::vector<Spec> corpus() {
+  return {introSpec(),
+          Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"}),
+          Spec({"", "0", "00"}, {"1", "01", "10"})};
+}
+
+/// A \p Words-word row of sparsity class \p Class (cycled): all-zero,
+/// all-one, single nonzero word, single set bit, a few scattered bits,
+/// dense random. Together the classes hit every codec arm.
+std::vector<uint64_t> classRow(size_t Words, unsigned Class, uint64_t Seed) {
+  std::vector<uint64_t> Row(Words, 0);
+  switch (Class % 6) {
+  case 0: // All-zero (the empty language).
+    break;
+  case 1: // All-one.
+    Row.assign(Words, ~uint64_t(0));
+    break;
+  case 2: // Single nonzero word.
+    Row[hashMix64(Seed) % Words] = hashMix64(Seed + 1) | 1;
+    break;
+  case 3: { // Single set bit.
+    size_t Bit = hashMix64(Seed) % (Words * 64);
+    Row[Bit / 64] = uint64_t(1) << (Bit % 64);
+    break;
+  }
+  case 4: { // A few scattered bits.
+    for (uint64_t I = 0; I != 5; ++I) {
+      size_t Bit = hashMix64(Seed * 31 + I) % (Words * 64);
+      Row[Bit / 64] |= uint64_t(1) << (Bit % 64);
+    }
+    break;
+  }
+  case 5: // Dense random.
+    for (size_t W = 0; W != Words; ++W)
+      Row[W] = hashMix64(Seed * 131 + W);
+    break;
+  }
+  return Row;
+}
+
+/// Everything two result-equivalent runs must agree on, minus the
+/// fields the storage mode legitimately changes (MemoryBytes shrinks
+/// under compression).
+void expectSameAnswer(const SynthResult &Ref, const SynthResult &R) {
+  ASSERT_EQ(Ref.Status, R.Status) << statusName(R.Status);
+  EXPECT_EQ(Ref.Regex, R.Regex);
+  EXPECT_EQ(Ref.Cost, R.Cost);
+  EXPECT_EQ(Ref.Stats.CandidatesGenerated, R.Stats.CandidatesGenerated);
+  EXPECT_EQ(Ref.Stats.UniqueLanguages, R.Stats.UniqueLanguages);
+  EXPECT_EQ(Ref.Stats.CacheEntries, R.Stats.CacheEntries);
+  EXPECT_EQ(Ref.Stats.LastCompletedCost, R.Stats.LastCompletedCost);
+}
+
+/// A tiered store populated with \p Rows classRow rows, sealed at two
+/// interior boundaries plus the end, with valid provenance chains and
+/// level ranges (the compressed analogue of session_test's
+/// populatedStore).
+std::unique_ptr<ShardedStore>
+populatedTieredStore(unsigned Shards, uint32_t Rows,
+                     const StoreTierConfig &Tier) {
+  auto Store =
+      std::make_unique<ShardedStore>(2, Shards, Rows + 40, Tier);
+  for (uint32_t I = 0; I != Rows; ++I) {
+    Provenance P;
+    if (I < 2) {
+      P.Kind = CsOp::Literal;
+      P.Symbol = char('0' + I);
+    } else if (I % 3 == 0) {
+      P.Kind = CsOp::Star;
+      P.Lhs = I / 2;
+    } else {
+      P.Kind = I % 3 == 1 ? CsOp::Concat : CsOp::Union;
+      P.Lhs = I / 2;
+      P.Rhs = I / 3;
+    }
+    Store->append(classRow(2, I, I * 977 + 5).data(), P);
+    if (I + 1 == Rows / 3 || I + 1 == 2 * Rows / 3)
+      Store->sealLevel();
+  }
+  Store->setLevel(1, 0, Rows / 2);
+  Store->setLevel(3, Rows / 2, Rows);
+  Store->sealLevel();
+  return Store;
+}
+
+std::string storeBytes(const ShardedStore &Store) {
+  SnapshotWriter W;
+  saveShardedStore(W, Store);
+  return W.take();
+}
+
+/// Unique spill-path base per test point (segments append ".shardN").
+std::string spillBase(const std::string &Tag) {
+  return ::testing::TempDir() + "paresy_store_test_" + Tag;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Row codec
+//===----------------------------------------------------------------------===//
+
+TEST(RowCodec, RoundTripsEveryWidthAndSparsityClassBitExactly) {
+  for (size_t Words : RowWidths) {
+    for (unsigned Class = 0; Class != 6; ++Class) {
+      for (uint64_t Seed = 0; Seed != 25; ++Seed) {
+        SCOPED_TRACE("words " + std::to_string(Words) + ", class " +
+                     std::to_string(Class) + ", seed " +
+                     std::to_string(Seed));
+        std::vector<uint64_t> Row = classRow(Words, Class, Seed);
+        std::string Bytes;
+        RowCodec Used = encodeRow(Row.data(), Words, Bytes);
+        ASSERT_FALSE(Bytes.empty());
+        EXPECT_LE(Bytes.size(), encodedRowBound(Words));
+        EXPECT_EQ(uint8_t(Bytes[0]), uint8_t(Used));
+
+        // Decode over a poisoned buffer: every word must be written.
+        std::vector<uint64_t> Decoded(Words, 0xaaaaaaaaaaaaaaaaULL);
+        size_t Consumed =
+            decodeRow(Bytes.data(), Bytes.size(), Decoded.data(), Words);
+        ASSERT_EQ(Consumed, Bytes.size());
+        EXPECT_TRUE(equalWords(Decoded.data(), Row.data(), Words));
+
+        // With trailing garbage the decoder consumes exactly its row.
+        std::string Padded = Bytes + "garbage";
+        EXPECT_EQ(decodeRow(Padded.data(), Padded.size(), Decoded.data(),
+                            Words),
+                  Bytes.size());
+
+        // Deterministic: equal rows, equal bytes.
+        std::string Again;
+        EXPECT_EQ(encodeRow(Row.data(), Words, Again), Used);
+        EXPECT_EQ(Again, Bytes);
+      }
+    }
+  }
+}
+
+TEST(RowCodec, ExtremesPickTheObviousCodec) {
+  std::vector<uint64_t> Zero(4, 0);
+  std::string Bytes;
+  EXPECT_EQ(encodeRow(Zero.data(), 4, Bytes), RowCodec::AllZero);
+  EXPECT_EQ(Bytes.size(), 1u); // Tag only.
+
+  std::vector<uint64_t> OneBit(4, 0);
+  OneBit[2] = uint64_t(1) << 17;
+  Bytes.clear();
+  EXPECT_EQ(encodeRow(OneBit.data(), 4, Bytes), RowCodec::SparseBits);
+  EXPECT_LT(Bytes.size(), encodedRowBound(4));
+
+  std::vector<uint64_t> Dense(4);
+  for (size_t W = 0; W != 4; ++W)
+    Dense[W] = hashMix64(W + 7) | 0x8888888888888888ULL;
+  Bytes.clear();
+  EXPECT_EQ(encodeRow(Dense.data(), 4, Bytes), RowCodec::Raw);
+  EXPECT_EQ(Bytes.size(), encodedRowBound(4));
+}
+
+TEST(RowCodec, FailsClosedOnMalformedBytes) {
+  for (size_t Words : RowWidths) {
+    for (unsigned Class = 0; Class != 6; ++Class) {
+      std::string Bytes;
+      std::vector<uint64_t> Row = classRow(Words, Class, Class + 3);
+      encodeRow(Row.data(), Words, Bytes);
+
+      // Truncation at every prefix must be rejected, with the output
+      // row zeroed rather than partially written.
+      for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+        std::vector<uint64_t> Out(Words, 0xbbbbbbbbbbbbbbbbULL);
+        EXPECT_EQ(decodeRow(Bytes.data(), Cut, Out.data(), Words), 0u)
+            << "words " << Words << " class " << Class << " cut " << Cut;
+        for (size_t W = 0; W != Words; ++W)
+          EXPECT_EQ(Out[W], 0u);
+      }
+    }
+  }
+
+  // An unknown tag byte is rejected outright.
+  std::vector<uint64_t> Out(2, 0xccccccccccccccccULL);
+  char Bad[] = {0x7f, 0, 0, 0};
+  EXPECT_EQ(decodeRow(Bad, sizeof(Bad), Out.data(), 2), 0u);
+  EXPECT_EQ(Out[0], 0u);
+  EXPECT_EQ(Out[1], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compressed cache vs the raw arena
+//===----------------------------------------------------------------------===//
+
+TEST(CompressedCache, SealedRowsMatchRawAcrossLevelBoundaries) {
+  for (size_t Words : {size_t(1), size_t(2), size_t(8)}) {
+    SCOPED_TRACE(Words);
+    LanguageCache Raw(Words, 512);
+    StoreTierConfig Tier;
+    Tier.Compress = true;
+    LanguageCache Comp(Words, 512, Tier);
+
+    const uint32_t N = 300;
+    for (uint32_t I = 0; I != N; ++I) {
+      std::vector<uint64_t> Row = classRow(Words, I, I * 977 + Words);
+      Provenance P{CsOp::Literal, char('a' + I % 7), I / 2, I / 3};
+      Raw.append(Row.data(), P);
+      Comp.append(Row.data(), P);
+      if (I % 37 == 36) // Seal at many interior "level boundaries".
+        Comp.sealLevel();
+    }
+    Comp.sealLevel();
+    ASSERT_EQ(Comp.size(), Raw.size());
+    EXPECT_EQ(Comp.sealedRows(), N);
+    EXPECT_EQ(Comp.windowRows(), 0u);
+    uint64_t CodecSum = 0;
+    for (unsigned C = 0; C != NumRowCodecs; ++C)
+      CodecSum += Comp.codecRows(C);
+    EXPECT_EQ(CodecSum, N);
+    EXPECT_EQ(Comp.compressedBytes(), Comp.hotBytes());
+    EXPECT_EQ(Comp.spilledBytes(), 0u);
+
+    // Forward, backward and strided reads (the backward pass defeats
+    // the scratch ring, the strided pass mixes chunks).
+    for (uint32_t I = 0; I != N; ++I)
+      EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), Words)) << I;
+    for (uint32_t I = N; I-- > 0;) {
+      EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), Words)) << I;
+      EXPECT_EQ(Comp.rowHash(I), Raw.rowHash(I)) << I;
+      EXPECT_EQ(Comp.provenance(I).Symbol, Raw.provenance(I).Symbol) << I;
+    }
+    for (uint32_t I = 0; I < N; I += 41)
+      EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), Words)) << I;
+  }
+}
+
+TEST(CompressedCache, SparseRowsShrinkBelowTheLogicalFootprint) {
+  // 8-word rows dominated by the sparse classes: sealed bytes must be
+  // well below the padded-stride footprint the raw arena would pay.
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  LanguageCache Comp(8, 512, Tier);
+  const uint32_t N = 300;
+  for (uint32_t I = 0; I != N; ++I) {
+    std::vector<uint64_t> Row = classRow(8, I % 5, I); // No dense class.
+    Comp.append(Row.data(), Provenance{});
+  }
+  Comp.sealLevel();
+  uint64_t Logical =
+      uint64_t(N) * LanguageCache::strideForWords(8) * sizeof(uint64_t);
+  EXPECT_LT(Comp.compressedBytes(), Logical / 2);
+}
+
+TEST(CompressedCache, ByteBudgetDrivesFullnessDeterministically) {
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  Tier.ByteBudget = 16 << 10;
+  auto Fill = [&](LanguageCache &C, uint32_t Limit) {
+    uint32_t I = 0;
+    for (; I != Limit && !C.full(); ++I) {
+      std::vector<uint64_t> Row = classRow(2, I, I * 7 + 1);
+      C.append(Row.data(), Provenance{});
+      if (I % 16 == 15)
+        C.sealLevel();
+    }
+    return I;
+  };
+  LanguageCache A(2, 1u << 20, Tier);
+  uint32_t N = Fill(A, 1u << 20);
+  EXPECT_TRUE(A.full());
+  EXPECT_GT(N, 0u);
+  EXPECT_GE(A.chargedBytes(), Tier.ByteBudget);
+
+  // An identical append/seal history reaches the identical verdict at
+  // the identical point with the identical charge (the property that
+  // keeps full() deterministic across backends).
+  LanguageCache B(2, 1u << 20, Tier);
+  EXPECT_EQ(Fill(B, N), N);
+  EXPECT_TRUE(B.full());
+  EXPECT_EQ(A.chargedBytes(), B.chargedBytes());
+}
+
+TEST(CompressedCache, TruncateDiscardsOnlyTheOpenWindow) {
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  LanguageCache Comp(2, 256, Tier);
+  std::vector<std::vector<uint64_t>> Rows;
+  for (uint32_t I = 0; I != 40; ++I) {
+    Rows.push_back(classRow(2, I, I + 17));
+    Comp.append(Rows.back().data(), Provenance{});
+  }
+  Comp.setLevel(1, 0, 40);
+  Comp.sealLevel();
+  for (uint32_t I = 0; I != 20; ++I)
+    Comp.append(classRow(2, I, I + 9999).data(), Provenance{});
+
+  // Roll the open window back to the sealed boundary; the sealed rows
+  // and the level table survive untouched, and the window refills.
+  Comp.truncate(40);
+  EXPECT_EQ(Comp.size(), 40u);
+  EXPECT_EQ(Comp.windowRows(), 0u);
+  EXPECT_EQ(Comp.level(1), std::make_pair(0u, 40u));
+  for (uint32_t I = 0; I != 40; ++I)
+    EXPECT_TRUE(equalWords(Comp.cs(I), Rows[I].data(), 2)) << I;
+  std::vector<uint64_t> Fresh = classRow(2, 3, 424242);
+  uint32_t Id = Comp.append(Fresh.data(), Provenance{});
+  EXPECT_EQ(Id, 40u);
+  EXPECT_TRUE(equalWords(Comp.cs(40), Fresh.data(), 2));
+}
+
+TEST(CompressedCache, SpillsAndPagesBackUnderTinyPinnedBudget) {
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  Tier.SpillPath = spillBase("cache_spill");
+  Tier.PinnedBytes = 1; // Every sealed chunk goes cold at the boundary.
+  LanguageCache Comp(2, 512, Tier);
+  LanguageCache Raw(2, 512);
+  const uint32_t N = 200;
+  for (uint32_t I = 0; I != N; ++I) {
+    std::vector<uint64_t> Row = classRow(2, I, I * 3 + 1);
+    Raw.append(Row.data(), Provenance{});
+    Comp.append(Row.data(), Provenance{});
+    if (I % 25 == 24)
+      Comp.sealLevel();
+  }
+  Comp.sealLevel();
+
+  // Everything sealed is on disk; nothing hot.
+  EXPECT_GT(Comp.spilledChunks(), 0u);
+  EXPECT_EQ(Comp.hotChunks(), 0u);
+  EXPECT_EQ(Comp.hotBytes(), 0u);
+  EXPECT_EQ(Comp.spilledBytes(), Comp.compressedBytes());
+
+  // Reads page chunks back in and decode to the raw store's exact
+  // bits; hot + spilled always partitions the sealed bytes.
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), 2)) << I;
+  EXPECT_GT(Comp.hotChunks(), 0u);
+  EXPECT_EQ(Comp.hotBytes() + Comp.spilledBytes(), Comp.compressedBytes());
+
+  // The next boundary re-enforces the budget: cold again, still exact.
+  Comp.sealLevel();
+  EXPECT_EQ(Comp.hotChunks(), 0u);
+  for (uint32_t I = N; I-- > 0;)
+    EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), 2)) << I;
+}
+
+TEST(CompressedCache, WindowBudgetAutoSealsMidLevel) {
+  // An 8-row window budget: the cache must seal mid-level on its own,
+  // keep the open window under the cap, and stay bit-exact - no
+  // sealLevel() call anywhere before the final one.
+  const uint64_t RowBytes =
+      LanguageCache::strideForWords(2) * sizeof(uint64_t);
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  Tier.WindowBudget = 8 * RowBytes;
+  LanguageCache Comp(2, 512, Tier);
+  LanguageCache Raw(2, 512);
+  const uint32_t N = 100;
+  for (uint32_t I = 0; I != N; ++I) {
+    std::vector<uint64_t> Row = classRow(2, I, I * 13 + 3);
+    Raw.append(Row.data(), Provenance{});
+    Comp.append(Row.data(), Provenance{});
+    ASSERT_LE(Comp.windowRows() * RowBytes, Tier.WindowBudget) << I;
+  }
+  EXPECT_GT(Comp.sealedRows(), 0u);
+  uint64_t CodecSum = 0;
+  for (unsigned C = 0; C != NumRowCodecs; ++C)
+    CodecSum += Comp.codecRows(C);
+  EXPECT_EQ(CodecSum, Comp.sealedRows());
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), 2)) << I;
+  for (uint32_t I = N; I-- > 0;) {
+    EXPECT_TRUE(equalWords(Comp.cs(I), Raw.cs(I), 2)) << I;
+    EXPECT_EQ(Comp.rowHash(I), Raw.rowHash(I)) << I;
+  }
+}
+
+TEST(CompressedCache, TruncateReopensSealedChunksExactly) {
+  // Roll back below the sealed frontier, mid-chunk: chunks past the
+  // cut drop, the straddling chunk's prefix decodes back into the
+  // open window, and re-appended rows never see stale scratch-ring
+  // copies. Run once hot and once with every chunk spilled to disk.
+  for (bool Spill : {false, true}) {
+    SCOPED_TRACE(Spill ? "spill" : "hot");
+    StoreTierConfig Tier;
+    Tier.Compress = true;
+    Tier.WindowBudget =
+        16 * LanguageCache::strideForWords(2) * sizeof(uint64_t);
+    if (Spill) {
+      Tier.SpillPath = spillBase("reopen_spill");
+      Tier.PinnedBytes = 1;
+    }
+    LanguageCache Comp(2, 512, Tier);
+    std::vector<std::vector<uint64_t>> Rows;
+    for (uint32_t I = 0; I != 100; ++I) {
+      Rows.push_back(classRow(2, I, I * 7 + 11));
+      Comp.append(Rows.back().data(), Provenance{});
+    }
+    Comp.sealLevel();
+    ASSERT_EQ(Comp.sealedRows(), 100u);
+    if (Spill)
+      ASSERT_GT(Comp.spilledChunks(), 0u);
+
+    // 42 cuts into the third 16-row auto-seal chunk [32, 48).
+    Comp.truncate(42);
+    EXPECT_EQ(Comp.size(), 42u);
+    EXPECT_EQ(Comp.windowRows(), 10u);
+    EXPECT_EQ(Comp.sealedRows(), 32u);
+    uint64_t CodecSum = 0;
+    for (unsigned C = 0; C != NumRowCodecs; ++C)
+      CodecSum += Comp.codecRows(C);
+    EXPECT_EQ(CodecSum, Comp.sealedRows());
+    for (uint32_t I = 0; I != 42; ++I)
+      EXPECT_TRUE(equalWords(Comp.cs(I), Rows[I].data(), 2)) << I;
+
+    // Overwrite the cut range with different rows; reads and a reseal
+    // must serve the new bits everywhere.
+    for (uint32_t I = 42; I != 100; ++I) {
+      Rows[I] = classRow(2, I + 1, I * 31 + 5);
+      ASSERT_EQ(Comp.append(Rows[I].data(), Provenance{}), I);
+    }
+    Comp.sealLevel();
+    for (uint32_t I = 100; I-- > 0;)
+      EXPECT_TRUE(equalWords(Comp.cs(I), Rows[I].data(), 2)) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seal equivalence (the Sec. 11 determinism property)
+//===----------------------------------------------------------------------===//
+
+TEST(StoreEquivalence, CompressedEqualsRawAcrossBackendsAndShards) {
+  for (const Spec &S : corpus()) {
+    SCOPED_TRACE(S.toText());
+    SynthOptions RawOpts;
+    SynthResult Ref = synthesize(S, sigma01(), RawOpts);
+    for (const char *Name : Backends) {
+      for (unsigned Shards : ShardCounts) {
+        SCOPED_TRACE(std::string(Name) + ", shards " +
+                     std::to_string(Shards));
+        SynthOptions Opts;
+        Opts.Shards = Shards;
+        Opts.CompressStore = true;
+        SynthResult R = synthesizeWith(Name, S, sigma01(), Opts);
+        expectSameAnswer(Ref, R);
+        EXPECT_TRUE(R.Stats.StoreCompressed);
+      }
+    }
+  }
+}
+
+TEST(StoreEquivalence, DiskTierPreservesResultsOnEveryBackend) {
+  Spec S = introSpec();
+  SynthResult Ref = synthesize(S, sigma01(), SynthOptions());
+  for (const char *Name : Backends) {
+    for (unsigned Shards : {1u, 3u}) {
+      SCOPED_TRACE(std::string(Name) + ", shards " +
+                   std::to_string(Shards));
+      SynthOptions Opts;
+      Opts.Shards = Shards;
+      Opts.SpillDir = ::testing::TempDir();
+      Opts.PinnedStoreBytes = 1; // Spill every sealed chunk.
+      SynthResult R = synthesizeWith(Name, S, sigma01(), Opts);
+      expectSameAnswer(Ref, R);
+      ASSERT_TRUE(R.Stats.StoreCompressed);
+      EXPECT_EQ(R.Stats.StoreHotBytes + R.Stats.StoreSpilledBytes,
+                R.Stats.StoreCompressedBytes);
+    }
+  }
+}
+
+TEST(StoreEquivalence, WindowAutoSealIsInvisibleToEveryBackend) {
+  // A 256-byte window budget seals many times inside every cost level
+  // on the sequential append path (and is a no-op on the reserved-row
+  // batch path) - results must not move on any backend or shard count.
+  for (const Spec &S : corpus()) {
+    SCOPED_TRACE(S.toText());
+    SynthResult Ref = synthesize(S, sigma01(), SynthOptions());
+    for (const char *Name : Backends) {
+      for (unsigned Shards : {1u, 3u}) {
+        SCOPED_TRACE(std::string(Name) + ", shards " +
+                     std::to_string(Shards));
+        SynthOptions Opts;
+        Opts.Shards = Shards;
+        Opts.CompressStore = true;
+        Opts.WindowStoreBytes = 256;
+        SynthResult R = synthesizeWith(Name, S, sigma01(), Opts);
+        expectSameAnswer(Ref, R);
+      }
+    }
+  }
+}
+
+TEST(StoreEquivalence, StatsReportTheCompressedFootprint) {
+  SynthOptions Opts;
+  Opts.CompressStore = true;
+  SynthResult R = synthesize(introSpec(), sigma01(), Opts);
+  ASSERT_EQ(R.Status, SynthStatus::Found);
+  ASSERT_TRUE(R.Stats.StoreCompressed);
+  EXPECT_GT(R.Stats.StoreSealedRows, 0u);
+  EXPECT_GT(R.Stats.StoreCompressedBytes, 0u);
+  EXPECT_GT(R.Stats.StoreCompressionRatio, 0.0);
+  uint64_t CodecSum = 0;
+  for (int T = 0; T != 4; ++T)
+    CodecSum += R.Stats.StoreCodecRows[T];
+  EXPECT_EQ(CodecSum, R.Stats.StoreSealedRows);
+  EXPECT_EQ(R.Stats.StoreHotBytes + R.Stats.StoreSpilledBytes,
+            R.Stats.StoreCompressedBytes);
+  EXPECT_EQ(R.Stats.StoreSealedRows + R.Stats.StoreWindowRows,
+            R.Stats.CacheEntries);
+
+  // The raw run of the same query reports no store tier at all.
+  SynthResult Raw = synthesize(introSpec(), sigma01(), SynthOptions());
+  EXPECT_FALSE(Raw.Stats.StoreCompressed);
+  EXPECT_EQ(Raw.Stats.StoreCompressedBytes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compressed snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(CompressedSnapshot, SerializeRestoreSerializeIsByteIdentical) {
+  for (unsigned Shards : ShardCounts) {
+    SCOPED_TRACE(Shards);
+    StoreTierConfig Tier;
+    Tier.Compress = true;
+    std::unique_ptr<ShardedStore> Store =
+        populatedTieredStore(Shards, 100, Tier);
+    std::string First = storeBytes(*Store);
+
+    SnapshotReader R(First);
+    std::unique_ptr<ShardedStore> Restored = loadShardedStore(R, Tier);
+    ASSERT_NE(Restored, nullptr);
+    EXPECT_FALSE(R.failed());
+
+    ASSERT_EQ(Restored->size(), Store->size());
+    ASSERT_EQ(Restored->shardCount(), Store->shardCount());
+    EXPECT_EQ(Restored->sealedRows(), Store->sealedRows());
+    EXPECT_EQ(Restored->compressedBytes(), Store->compressedBytes());
+    for (unsigned C = 0; C != NumRowCodecs; ++C)
+      EXPECT_EQ(Restored->codecRows(C), Store->codecRows(C));
+    for (size_t Id = 0; Id != Store->size(); ++Id) {
+      EXPECT_TRUE(equalWords(Restored->cs(Id), Store->cs(Id), 2)) << Id;
+      EXPECT_EQ(Restored->rowHash(Id), Store->rowHash(Id)) << Id;
+    }
+    EXPECT_EQ(Restored->level(1), Store->level(1));
+    EXPECT_EQ(Restored->level(3), Store->level(3));
+
+    EXPECT_EQ(storeBytes(*Restored), First);
+
+    RegexManager M;
+    EXPECT_NE(Restored->reconstruct(Store->size() - 1, M), nullptr);
+  }
+}
+
+TEST(CompressedSnapshot, SpilledChunksPageInAtSaveAndRoundTrip) {
+  StoreTierConfig Tier;
+  Tier.Compress = true;
+  Tier.SpillPath = spillBase("snap_spill_a");
+  Tier.PinnedBytes = 1;
+  std::unique_ptr<ShardedStore> Store = populatedTieredStore(3, 90, Tier);
+  EXPECT_GT(Store->spilledChunks(), 0u);
+
+  std::string First = storeBytes(*Store); // Pages every chunk in.
+
+  StoreTierConfig RestoreTier = Tier;
+  RestoreTier.SpillPath = spillBase("snap_spill_b");
+  SnapshotReader R(First);
+  std::unique_ptr<ShardedStore> Restored =
+      loadShardedStore(R, RestoreTier);
+  ASSERT_NE(Restored, nullptr);
+  ASSERT_EQ(Restored->size(), Store->size());
+  for (size_t Id = 0; Id != Store->size(); ++Id)
+    EXPECT_TRUE(equalWords(Restored->cs(Id), Store->cs(Id), 2)) << Id;
+  EXPECT_EQ(storeBytes(*Restored), First);
+}
+
+TEST(CompressedSnapshot, RejectsModeMismatchAndTruncation) {
+  StoreTierConfig Comp;
+  Comp.Compress = true;
+  std::unique_ptr<ShardedStore> Store = populatedTieredStore(2, 60, Comp);
+  std::string Good = storeBytes(*Store);
+
+  // A compressed stream must not load into a raw store, nor a raw
+  // stream into a compressed one (the layouts do not mix).
+  {
+    SnapshotReader R(Good);
+    EXPECT_EQ(loadShardedStore(R, {}), nullptr);
+    EXPECT_TRUE(R.failed());
+  }
+  {
+    std::unique_ptr<ShardedStore> Raw =
+        populatedTieredStore(2, 60, StoreTierConfig{});
+    std::string RawBytes = storeBytes(*Raw);
+    SnapshotReader R(RawBytes);
+    EXPECT_EQ(loadShardedStore(R, Comp), nullptr);
+    EXPECT_TRUE(R.failed());
+  }
+
+  // Truncation at every prefix length: reject, never crash.
+  for (size_t Cut = 0; Cut < Good.size(); Cut += 7) {
+    SnapshotReader R(std::string_view(Good).substr(0, Cut));
+    EXPECT_EQ(loadShardedStore(R, Comp), nullptr) << Cut;
+    EXPECT_TRUE(R.failed()) << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Park/resume over compressed stores
+//===----------------------------------------------------------------------===//
+
+TEST(CompressedSession, ParkResumeEqualsTheRawRun) {
+  Spec S = introSpec();
+  SynthResult Ref = synthesize(S, sigma01(), SynthOptions());
+  for (const char *Backend : Backends) {
+    for (bool Spill : {false, true}) {
+      SCOPED_TRACE(std::string(Backend) + (Spill ? ", spill" : ""));
+      SynthOptions Opts;
+      Opts.Shards = 2;
+      Opts.CompressStore = true;
+      if (Spill) {
+        Opts.SpillDir = ::testing::TempDir();
+        Opts.PinnedStoreBytes = 1;
+      }
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+      SearchSession Session(Q, createBackend(Backend));
+      for (int I = 0; I != 4 && Session.state() == SessionState::Running;
+           ++I)
+        Session.step();
+      ASSERT_EQ(Session.state(), SessionState::Running);
+
+      SnapshotWriter W;
+      ASSERT_TRUE(Session.canSave());
+      ASSERT_TRUE(Session.save(W));
+      std::string Error;
+      std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+          W.buffer(), Q, createBackend(Backend), &Error);
+      ASSERT_NE(Restored, nullptr) << Error;
+      expectSameAnswer(Ref, Restored->run());
+
+      // The paused original finishes in memory to the same answer.
+      expectSameAnswer(Ref, Session.run());
+    }
+  }
+}
+
+TEST(CompressedSession, ParkResumeWithAutoSealedWindows) {
+  // Park/resume while a tiny window budget auto-seals mid-level: the
+  // snapshot carries mid-level chunk tilings, and the park-time
+  // rollback to the last boundary truncates through auto-sealed
+  // chunks (the reopen path) in a real search.
+  Spec S = introSpec();
+  SynthResult Ref = synthesize(S, sigma01(), SynthOptions());
+  for (const char *Backend : Backends) {
+    SCOPED_TRACE(Backend);
+    SynthOptions Opts;
+    Opts.Shards = 2;
+    Opts.CompressStore = true;
+    Opts.WindowStoreBytes = 256;
+    std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+    SearchSession Session(Q, createBackend(Backend));
+    for (int I = 0; I != 4 && Session.state() == SessionState::Running;
+         ++I)
+      Session.step();
+    ASSERT_EQ(Session.state(), SessionState::Running);
+
+    SnapshotWriter W;
+    ASSERT_TRUE(Session.canSave());
+    ASSERT_TRUE(Session.save(W));
+    std::string Error;
+    std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+        W.buffer(), Q, createBackend(Backend), &Error);
+    ASSERT_NE(Restored, nullptr) << Error;
+    expectSameAnswer(Ref, Restored->run());
+    expectSameAnswer(Ref, Session.run());
+  }
+}
