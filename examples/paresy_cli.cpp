@@ -69,7 +69,21 @@
 ///                                 each round permutes the example
 ///                                 order to show canonicalization
 ///   --serve-workers K             service worker threads (default 0 =
-///                                 synchronous)
+///                                 synchronous; in --serve mode: server
+///                                 worker threads, default 1)
+///
+/// Network serving (the real multi-tenant server, DESIGN.md Sec. 12):
+///
+///   --serve PORT                  serve the wire protocol on
+///                                 127.0.0.1:PORT (0 picks an ephemeral
+///                                 port) with the backend/options above
+///                                 as server defaults; runs until
+///                                 SIGINT/SIGTERM, then prints stats
+///   --connect HOST:PORT           client mode: submit the spec to a
+///                                 running server, print streamed
+///                                 progress frames and the result
+///   --tenant NAME                 tenant identity for --connect
+///                                 (default "default")
 ///
 /// The plain registry-backend path also runs through a (one-request)
 /// SynthService, so the CLI exercises the full serving stack.
@@ -84,15 +98,20 @@
 #include "engine/Session.h"
 #include "gpusim/GpuSynthesizer.h"
 #include "regex/Matcher.h"
+#include "serve/Client.h"
+#include "serve/SynthServer.h"
 #include "service/SynthService.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace paresy;
@@ -246,14 +265,10 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
                  const Alphabet &Sigma, const SynthOptions &Options,
                  unsigned Rounds) {
   // Self-describing demo logs: the resolved execution configuration
-  // up front, so a pasted transcript answers "what ran this?".
-  std::printf("serving: backend %s%s, %u worker(s), %u shard(s), "
-              "session park cap %zu\n",
-              Service.options().Backend.c_str(),
-              Service.options().Portfolio ? " (portfolio)" : "",
-              Service.options().Workers,
-              Options.Shards ? Options.Shards : 1,
-              Service.options().SessionParkCapacity);
+  // up front, so a pasted transcript answers "what ran this?". The
+  // banner is shared with --serve (service/SynthService.h).
+  std::printf("%s\n",
+              service::serviceBanner(Service.options(), Options).c_str());
   SynthResult First;
   for (unsigned Round = 0; Round != Rounds; ++Round) {
     WallTimer Timer;
@@ -275,53 +290,127 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
     std::printf("round %u: %s  (cost %llu, %.3f ms)\n", Round + 1,
                 R.Regex.c_str(), (unsigned long long)R.Cost, Millis);
   }
-  paresy::service::ServiceStats St = Service.stats();
-  std::printf("service: %llu submitted, %llu hits, %llu misses, "
-              "%llu coalesced, %llu evictions, %llu searches\n",
-              (unsigned long long)St.Submitted,
-              (unsigned long long)St.Hits,
-              (unsigned long long)St.Misses,
-              (unsigned long long)St.Coalesced,
-              (unsigned long long)St.Evictions,
-              (unsigned long long)St.Searches);
-  std::printf("sessions: %llu parked, %llu resumed, %llu expired\n",
-              (unsigned long long)St.SessionsParked,
-              (unsigned long long)St.SessionsResumed,
-              (unsigned long long)St.SessionsExpired);
-  for (const auto &[Backend, Levels] : St.BackendLevels)
-    std::printf("levels: %llu cost level(s) run on backend %s\n",
-                (unsigned long long)Levels, Backend.c_str());
-  if (St.PortfolioRaces > 0)
-    std::printf("portfolio: %llu race(s), %llu arm(s), %llu cancelled\n",
-                (unsigned long long)St.PortfolioRaces,
-                (unsigned long long)St.PortfolioArms,
-                (unsigned long long)St.PortfolioCancelled);
-  if (St.ShardCount > 1) {
-    std::printf("shards: %llu (rows per shard:",
-                (unsigned long long)St.ShardCount);
-    for (uint64_t Rows : St.ShardRows)
-      std::printf(" %llu", (unsigned long long)Rows);
-    std::printf(")\n");
+  // The same stats text a network client gets from a StatsReq frame.
+  std::fputs(service::serviceStatsText(Service.stats()).c_str(), stdout);
+  return 0;
+}
+
+volatile std::sig_atomic_t GStopServing = 0;
+void onStopSignal(int) { GStopServing = 1; }
+
+/// The --serve mode: a real multi-tenant TCP server over the wire
+/// protocol, configured from the same CLI options as a local search.
+int runServe(const std::string &Engine, uint16_t Port, unsigned Workers,
+             const engine::BackendConfig &Config,
+             const SynthOptions &Options) {
+  serve::ServerOptions SrvOpts;
+  SrvOpts.Port = Port;
+  SrvOpts.Workers = Workers ? Workers : 1;
+  SrvOpts.Service.Backend = Engine;
+  SrvOpts.Service.Kernels = Config;
+  SrvOpts.Service.Portfolio = Options.Portfolio;
+  SrvOpts.Defaults = Options;
+  serve::SynthServer Server(std::move(SrvOpts));
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
   }
-  if (St.StoreCompressed) {
-    std::printf("info.store.compression_ratio: %.3f\n",
-                St.StoreCompressionRatio);
-    std::printf("info.store.sealed_rows: %llu (window %llu)\n",
-                (unsigned long long)St.StoreSealedRows,
-                (unsigned long long)St.StoreWindowRows);
-    std::printf("info.store.codec_rows: raw %llu, zero %llu, bits %llu, "
-                "words %llu\n",
-                (unsigned long long)St.StoreCodecRows[0],
-                (unsigned long long)St.StoreCodecRows[1],
-                (unsigned long long)St.StoreCodecRows[2],
-                (unsigned long long)St.StoreCodecRows[3]);
-    std::printf("info.store.tier_hot: %llu chunk(s), %llu bytes\n",
-                (unsigned long long)St.StoreHotChunks,
-                (unsigned long long)St.StoreHotBytes);
-    std::printf("info.store.tier_spilled: %llu chunk(s), %llu bytes\n",
-                (unsigned long long)St.StoreSpilledChunks,
-                (unsigned long long)St.StoreSpilledBytes);
+  std::printf("%s\n", Server.banner().c_str());
+  std::printf("serving on %s:%u\n", Server.options().Host.c_str(),
+              unsigned(Server.port()));
+  std::fflush(stdout);
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  while (!GStopServing)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Server.stop();
+  std::fputs(Server.statsText().c_str(), stdout);
+  return 0;
+}
+
+/// The --connect mode: submit the spec to a running server and print
+/// the streamed anytime frames plus the final result.
+int runConnect(const std::string &Addr, const std::string &Tenant,
+               const Spec &Examples, const std::string &AlphabetChars,
+               const SynthOptions &Options, bool ShowStats) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Addr.size()) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+    return 2;
   }
+  std::string Host = Addr.substr(0, Colon);
+  long Port = std::atol(Addr.c_str() + Colon + 1);
+  if (Port <= 0 || Port > 65535) {
+    std::fprintf(stderr, "error: bad port in --connect '%s'\n",
+                 Addr.c_str());
+    return 2;
+  }
+  serve::ServeClient Client;
+  std::string Error;
+  if (!Client.connect(Host, uint16_t(Port), Tenant, 1.0, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("connected: %s\n", Client.banner().c_str());
+  if (!Client.submit(1, Examples, AlphabetChars, Options)) {
+    std::fprintf(stderr, "error: connection closed on submit\n");
+    return 1;
+  }
+  serve::Frame F;
+  for (;;) {
+    if (!Client.next(F, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (F.Type == serve::FrameType::Progress) {
+      std::printf("progress: no solution of cost <= %llu (horizon "
+                  "%llu); best %s (cost %llu), %s candidates, %s s\n",
+                  (unsigned long long)F.Progress.CompletedCost,
+                  (unsigned long long)F.Progress.Horizon,
+                  F.Progress.BestRegex.c_str(),
+                  (unsigned long long)F.Progress.BestCost,
+                  withCommas(F.Progress.Candidates).c_str(),
+                  formatSeconds(F.Progress.ConsumedSeconds).c_str());
+      continue;
+    }
+    if (F.Type == serve::FrameType::Overloaded) {
+      std::printf("overloaded: %s%s\n", F.Overloaded.Reason.c_str(),
+                  F.Overloaded.Retryable ? " (retryable)" : "");
+      return 3;
+    }
+    if (F.Type == serve::FrameType::Error) {
+      std::fprintf(stderr, "error: server said: %s\n",
+                   F.Error.Message.c_str());
+      return 1;
+    }
+    if (F.Type == serve::FrameType::Result)
+      break;
+  }
+  const serve::ResultFrame &R = F.Result;
+  if (SynthStatus(R.Status) != SynthStatus::Found) {
+    std::printf("result: %s %s\n", statusName(SynthStatus(R.Status)),
+                R.Message.c_str());
+    if (R.Parked)
+      std::printf("note: session parked server-side; resubmitting with "
+                  "an equal-or-wider budget resumes it\n");
+    return 1;
+  }
+  std::printf("result: %s  (cost %llu)\n", R.Regex.c_str(),
+              (unsigned long long)R.Cost);
+  // Verify locally, exactly like the in-process path.
+  RegexManager M;
+  ParseResult Parsed = parseRegex(M, R.Regex);
+  if (Options.AllowedError == 0 &&
+      !(Parsed &&
+        satisfiesExamples(M, Parsed.Re, Examples.Pos, Examples.Neg))) {
+    std::fprintf(stderr, "internal error: result failed verification\n");
+    return 1;
+  }
+  if (ShowStats && Client.requestStats() && Client.next(F) &&
+      F.Type == serve::FrameType::StatsReply)
+    std::fputs(F.Stats.Text.c_str(), stdout);
+  Client.goodbye();
   return 0;
 }
 
@@ -335,6 +424,10 @@ int main(int Argc, char **Argv) {
   bool ShowStats = false;
   unsigned ServeDemoRounds = 0;
   unsigned ServeWorkers = 0;
+  bool ServeMode = false;
+  long ServePort = 0;
+  std::string ConnectAddr;
+  std::string Tenant = "default";
   std::string CheckpointFile;
   std::string ResumeFile;
   std::string AlphabetChars;
@@ -408,7 +501,18 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       ServeDemoRounds = unsigned(Rounds);
-    } else if (Arg == "--serve-workers") {
+    } else if (Arg == "--serve") {
+      ServePort = std::atol(Next().c_str());
+      if (ServePort < 0 || ServePort > 65535) {
+        std::fprintf(stderr, "error: --serve wants a port in [0, 65535]\n");
+        return 2;
+      }
+      ServeMode = true;
+    } else if (Arg == "--connect")
+      ConnectAddr = Next();
+    else if (Arg == "--tenant")
+      Tenant = Next();
+    else if (Arg == "--serve-workers") {
       long Workers = std::atol(Next().c_str());
       if (Workers < 0) {
         std::fprintf(stderr,
@@ -431,6 +535,18 @@ int main(int Argc, char **Argv) {
       usage();
     else
       SpecFile = Arg;
+  }
+
+  if (ServeMode) {
+    // Serving needs no spec; the clients bring those.
+    if (!engine::hasBackend(Engine)) {
+      std::fprintf(stderr, "error: --serve wants a registry backend "
+                           "(have '%s')\n",
+                   Engine.c_str());
+      return 2;
+    }
+    return runServe(Engine, uint16_t(ServePort), ServeWorkers, Config,
+                    Options);
   }
 
   if (!InlineSpec) {
@@ -459,6 +575,10 @@ int main(int Argc, char **Argv) {
               Sigma.symbols().c_str());
   std::printf("cost: %s, allowed error %.0f%%\n",
               Options.Cost.name().c_str(), Options.AllowedError * 100);
+
+  if (!ConnectAddr.empty())
+    return runConnect(ConnectAddr, Tenant, Examples, AlphabetChars,
+                      Options, ShowStats);
 
   if (Engine == "alpharegex") {
     baseline::AlphaRegexOptions AOpts;

@@ -118,7 +118,7 @@ void SearchSession::bindContext() {
   Ctx.Algebra = Algebra.get();
   Ctx.MistakeBudget = Q->mistakeBudget();
   Ctx.Clock = &Clock;
-  Ctx.Cancel = Cancel;
+  Ctx.Cancel = Cancel ? Cancel : ParkRequest;
 
   // The completeness horizon once the cache has filled at cost F:
   // every candidate at cost <= F + MinExtra - 1 references only
@@ -212,6 +212,14 @@ SessionState SearchSession::step() {
     return St;
   }
 
+  // A park request (serving layer: the client disconnected) stops at
+  // the boundary like a timeout would, keeping the full state so a
+  // reconnect with the same session fingerprint warm-starts.
+  if (parkRequested()) {
+    parkWith(SynthStatus::Timeout, "interrupted; session parked for resume");
+    return St;
+  }
+
   // Budget and horizon checks, in the pre-session driver's order. The
   // seed level (Alg. 1 line 6) runs unconditionally, like the fused
   // pipeline ran it before entering the sweep loop.
@@ -294,8 +302,12 @@ void SearchSession::runLevelAt(uint64_t C) {
   // level, so the boundary's table would no longer be reproduced
   // exactly. Its work still counts in the *reported* stats below,
   // exactly like the pre-session driver.
-  bool WillRollback = Last.TimedOut && !Last.FoundSatisfier &&
-                      B->supportsResume() && !LastBoundary.CacheFilled;
+  // A mid-level stop by the *park* token (not the cancel token) must
+  // keep the session resumable, so it follows the timeout path below.
+  bool ParkInterrupt = Last.Cancelled && parkRequested();
+  bool WillRollback = (Last.TimedOut || ParkInterrupt) &&
+                      !Last.FoundSatisfier && B->supportsResume() &&
+                      !LastBoundary.CacheFilled;
   Stats.CandidatesGenerated += Last.Candidates;
   Stats.UniqueLanguages += Last.Unique;
   KernelOps += Last.Ops;
@@ -321,8 +333,10 @@ void SearchSession::runLevelAt(uint64_t C) {
   // A satisfier never cuts a level short (all its candidates were
   // generated), so the level still counts as completed; only resource
   // aborts, timeouts and cancellations leave it partial.
-  if (!Last.TimedOut && !Last.Abort && !Last.Cancelled)
+  if (!Last.TimedOut && !Last.Abort && !Last.Cancelled) {
     Stats.LastCompletedCost = C;
+    fireProgress(C);
+  }
 
   // A satisfier takes precedence over resource aborts in the same
   // level: candidates of one level share the same cost, so the first
@@ -332,6 +346,23 @@ void SearchSession::runLevelAt(uint64_t C) {
     return;
   }
   if (Last.Cancelled) {
+    if (ParkInterrupt) {
+      // The disconnect struck mid-level: roll back to the boundary and
+      // park, exactly like a mid-level timeout, so the reconnect
+      // re-runs the level whole. Backends that cannot roll back lose
+      // the state; report Timeout (never cached) rather than
+      // Cancelled so the retry path stays open.
+      if (WillRollback) {
+        NeedsRollback = true;
+        parkWith(SynthStatus::Timeout,
+                 "interrupted; session parked for resume");
+      } else {
+        finishWith(SynthStatus::Timeout,
+                   "interrupted mid-level; state not resumable on this "
+                   "backend");
+      }
+      return;
+    }
     finishWith(SynthStatus::Cancelled, "cancelled by stop token");
     return;
   }
@@ -404,12 +435,32 @@ void SearchSession::finishWith(SynthStatus Status, std::string Message) {
   St = SessionState::Finished;
 }
 
-void SearchSession::parkWith(SynthStatus Status) {
+void SearchSession::parkWith(SynthStatus Status, std::string Message) {
   SynthResult R;
   R.Status = Status;
+  R.Message = std::move(Message);
   fillStats(R);
   Result = std::move(R);
   St = SessionState::Parked;
+}
+
+bool SearchSession::parkRequested() const {
+  if (Cancel && Cancel->load(std::memory_order_relaxed))
+    return false; // The cancel token wins: a cancelled arm never parks.
+  return ParkRequest && ParkRequest->load(std::memory_order_relaxed);
+}
+
+void SearchSession::fireProgress(uint64_t CompletedCost) {
+  if (!Progress)
+    return;
+  SessionProgress P;
+  P.CompletedCost = CompletedCost;
+  P.NextCost = CompletedCost + 1;
+  P.MaxCost = MaxCostResolved;
+  P.Candidates = Stats.CandidatesGenerated;
+  P.Unique = Stats.UniqueLanguages;
+  P.ConsumedSeconds = Clock.seconds();
+  Progress(P);
 }
 
 void SearchSession::finishFound(const Provenance &Satisfier,
@@ -440,13 +491,18 @@ bool SearchSession::canExtendTo(const SynthOptions &NewOpts) const {
     return false;
   double NewRank = timeoutRank(NewOpts.TimeoutSeconds);
   double OldRank = timeoutRank(EffOpts.TimeoutSeconds);
-  // A Timeout park needs a *strictly* larger deadline: resuming under
-  // the same one re-times-out instantly off the recorded clock, and a
-  // load-inflated first run would then pin Timeout on retries that a
-  // genuine re-run might beat (NotFound parks carry no clock, so an
-  // equal deadline is fine there).
-  return Result.Status == SynthStatus::Timeout ? NewRank > OldRank
-                                               : NewRank >= OldRank;
+  if (Result.Status != SynthStatus::Timeout)
+    return NewRank >= OldRank;
+  // A Timeout park that exhausted its deadline needs a *strictly*
+  // larger one: resuming under the same deadline re-times-out
+  // instantly off the recorded clock, and a load-inflated first run
+  // would then pin Timeout on retries that a genuine re-run might beat
+  // (NotFound parks carry no clock, so an equal deadline is fine
+  // there). An *interrupt* park (the park token: a client disconnect)
+  // recorded less compute than the old deadline, so an equal budget
+  // still has headroom and may resume.
+  return NewRank > OldRank ||
+         (NewRank >= OldRank && ConsumedSeconds < OldRank);
 }
 
 bool SearchSession::extendBudget(uint64_t NewMaxCost,
@@ -467,7 +523,17 @@ bool SearchSession::extendBudget(uint64_t NewMaxCost,
 
 void SearchSession::setCancelToken(const std::atomic<bool> *Token) {
   Cancel = Token;
-  Ctx.Cancel = Token;
+  Ctx.Cancel = Token ? Token : ParkRequest;
+}
+
+void SearchSession::setParkToken(const std::atomic<bool> *Token) {
+  ParkRequest = Token;
+  if (!Cancel)
+    Ctx.Cancel = Token;
+}
+
+void SearchSession::setProgressHook(SessionProgressFn Hook) {
+  Progress = std::move(Hook);
 }
 
 uint64_t SearchSession::bytesUsed() const {

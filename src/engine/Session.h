@@ -48,6 +48,7 @@
 #include "engine/Staging.h"
 #include "support/Timer.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,24 @@ enum class SessionState : uint8_t {
 };
 
 const char *sessionStateName(SessionState St);
+
+/// What a session reports after every completed cost level (the
+/// streaming anytime-results hook, serve/SynthServer.h): the level
+/// just proven candidate-free (or the level where the satisfier was
+/// found), the level the next step runs, the resolved cost horizon,
+/// and the work counters so far. The best *provable* answer at this
+/// point is "no regex of cost <= CompletedCost matches" plus the
+/// overfit union candidate; a server streams that as the best-so-far.
+struct SessionProgress {
+  uint64_t CompletedCost = 0;
+  uint64_t NextCost = 0;
+  uint64_t MaxCost = 0;
+  uint64_t Candidates = 0;
+  uint64_t Unique = 0;
+  double ConsumedSeconds = 0;
+};
+
+using SessionProgressFn = std::function<void(const SessionProgress &)>;
 
 /// One query's cost sweep, pausable at every level boundary.
 /// Not thread-safe; one thread drives a session at a time.
@@ -150,6 +169,23 @@ public:
   /// Null detaches the token.
   void setCancelToken(const std::atomic<bool> *Token);
 
+  /// Installs a cooperative *park* token: when \p Token reads true the
+  /// session stops like a mid-run timeout instead of a cancellation -
+  /// it rolls a partial level back to the last boundary and parks with
+  /// SynthStatus::Timeout, keeping its full state for a later
+  /// extendBudget() + run(). This is the disconnect path of the
+  /// serving layer: a vanished client must not poison the session the
+  /// way Cancelled (terminal, never cached) would, because the same
+  /// client may reconnect and warm-start it. When both tokens are set
+  /// the cancel token wins. Null detaches the token.
+  void setParkToken(const std::atomic<bool> *Token);
+
+  /// Installs a hook fired after every completed cost level (including
+  /// the level that finds the satisfier), from the thread driving the
+  /// session. Null detaches. Hooks are not serialized by save(); a
+  /// restored or re-run session starts with none.
+  void setProgressHook(SessionProgressFn Hook);
+
   /// Bytes pinned by the parked search state (store + backend
   /// structures), for resume-cache byte budgets.
   uint64_t bytesUsed() const;
@@ -212,7 +248,10 @@ private:
   void fillStats(SynthResult &R);
   void finishWith(SynthStatus Status, std::string Message = {});
   void finishFound(const Provenance &Satisfier, uint64_t Cost);
-  void parkWith(SynthStatus Status);
+  void parkWith(SynthStatus Status, std::string Message = {});
+  /// True when the park token (and not the cancel token) fired.
+  bool parkRequested() const;
+  void fireProgress(uint64_t CompletedCost);
 
   // Query and backend, owning or borrowed (see constructors).
   std::shared_ptr<const StagedQuery> QOwned;
@@ -256,6 +295,12 @@ private:
 
   /// Cooperative stop token threaded into SearchContext::Cancel.
   const std::atomic<bool> *Cancel = nullptr;
+  /// Cooperative park token (setParkToken); threaded into
+  /// SearchContext::Cancel only when no cancel token is installed, so
+  /// backends stop mid-level for it too.
+  const std::atomic<bool> *ParkRequest = nullptr;
+  /// Per-level progress hook (setProgressHook); never serialized.
+  SessionProgressFn Progress;
 
   Boundary LastBoundary;
 };

@@ -1,0 +1,137 @@
+//===- serve/Admission.h - Token buckets + weighted fair queueing -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-control primitives of the network server (DESIGN.md
+/// Sec. 12), kept header-only and clock-free so tests drive them with
+/// explicit timestamps and assert exact schedules:
+///
+///  * TokenBucket - the per-tenant rate quota. Deterministic: time is
+///    a parameter, never sampled. A rate of 0 disables refill (the
+///    bucket is then a pure burst allowance, which is how tests pin
+///    quota-denial behaviour without sleeping).
+///
+///  * FairQueue - weighted fair dequeue over tenants via start-time
+///    fair queueing: each pushed item gets the virtual finish time
+///    max(global, tenant's last) + 1/weight, and pop() always takes
+///    the smallest tag (FIFO within ties, by sequence number). A
+///    tenant with weight 3 drains ~3 items for every 1 of a weight-1
+///    tenant under contention, yet an idle tenant's first item never
+///    waits behind a backlog it did not build (its start tag catches
+///    up to the global virtual time).
+///
+/// The server composes them: bucket check at admission (quota), depth
+/// check at admission (backpressure shed), queue-age check at dequeue
+/// (staleness shed) - see serve/SynthServer.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVE_ADMISSION_H
+#define PARESY_SERVE_ADMISSION_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace paresy {
+namespace serve {
+
+/// A deterministic token bucket: \p RatePerSec tokens accrue per
+/// second up to \p Burst. Callers pass the current time explicitly.
+class TokenBucket {
+public:
+  TokenBucket() = default;
+  TokenBucket(double RatePerSec, double Burst)
+      : Rate(RatePerSec), Burst(Burst), Tokens(Burst) {}
+
+  /// Takes one token if available at \p NowSeconds.
+  bool tryAcquire(double NowSeconds) {
+    refill(NowSeconds);
+    if (Tokens < 1.0)
+      return false;
+    Tokens -= 1.0;
+    return true;
+  }
+
+  /// Tokens available at \p NowSeconds (after refill).
+  double available(double NowSeconds) {
+    refill(NowSeconds);
+    return Tokens;
+  }
+
+private:
+  void refill(double Now) {
+    if (Now > Last)
+      Tokens = std::min(Burst, Tokens + (Now - Last) * Rate);
+    Last = std::max(Last, Now);
+  }
+
+  double Rate = 0;
+  double Burst = 1;
+  double Tokens = 1;
+  double Last = 0;
+};
+
+/// A weighted fair queue (start-time fair queueing) over opaque
+/// payloads. Not thread-safe; the server holds its mutex around it.
+template <typename T> class FairQueue {
+public:
+  struct Entry {
+    std::string Tenant;
+    double EnqueuedAt = 0;
+    T Payload;
+  };
+
+  /// Enqueues \p Payload for \p Tenant with fair-share \p Weight
+  /// (clamped below to a sane minimum) at time \p NowSeconds.
+  void push(const std::string &Tenant, double Weight, double NowSeconds,
+            T Payload) {
+    double &TenantTag = LastFinish[Tenant];
+    double Start = std::max(VirtualTime, TenantTag);
+    double Finish = Start + 1.0 / std::max(Weight, 1e-6);
+    TenantTag = Finish;
+    Items.emplace(std::make_pair(Finish, Seq++),
+                  Entry{Tenant, NowSeconds, std::move(Payload)});
+  }
+
+  /// Pops the entry with the smallest virtual finish tag (FIFO within
+  /// ties). Empty optional when the queue is empty.
+  std::optional<Entry> pop() {
+    if (Items.empty())
+      return std::nullopt;
+    auto It = Items.begin();
+    VirtualTime = It->first.first;
+    Entry E = std::move(It->second);
+    Items.erase(It);
+    return E;
+  }
+
+  size_t size() const { return Items.size(); }
+  bool empty() const { return Items.empty(); }
+
+  /// Enqueue time of the next entry pop() would return (the queue-age
+  /// shedding probe). 0 when empty.
+  double headEnqueuedAt() const {
+    return Items.empty() ? 0 : Items.begin()->second.EnqueuedAt;
+  }
+
+private:
+  // Keyed by (virtual finish tag, sequence): ordered dequeue with a
+  // deterministic FIFO tiebreak.
+  std::map<std::pair<double, uint64_t>, Entry> Items;
+  std::unordered_map<std::string, double> LastFinish;
+  double VirtualTime = 0;
+  uint64_t Seq = 0;
+};
+
+} // namespace serve
+} // namespace paresy
+
+#endif // PARESY_SERVE_ADMISSION_H

@@ -1,0 +1,83 @@
+//===- serve/Client.cpp - Blocking client for the synthesis server ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+using namespace paresy;
+using namespace paresy::serve;
+
+bool ServeClient::connect(const std::string &Host, uint16_t Port,
+                          const std::string &Tenant, double Weight,
+                          std::string *Error) {
+  Sock = connectTo(Host, Port, Error);
+  if (!Sock.valid())
+    return false;
+  HelloFrame Hello;
+  Hello.Tenant = Tenant;
+  Hello.Weight = Weight;
+  if (!writeFrame(Sock, encodeFrame(Hello))) {
+    if (Error)
+      *Error = "connection closed during handshake";
+    Sock.close();
+    return false;
+  }
+  std::string Payload;
+  Frame F;
+  if (!readFrame(Sock, Payload) || !decodeFrame(Payload, F, Error)) {
+    if (Error && Error->empty())
+      *Error = "connection closed during handshake";
+    Sock.close();
+    return false;
+  }
+  if (F.Type != FrameType::HelloOk) {
+    if (Error)
+      *Error = F.Type == FrameType::Error
+                   ? F.Error.Message
+                   : std::string("unexpected handshake reply");
+    Sock.close();
+    return false;
+  }
+  Banner = F.HelloOk.Banner;
+  return true;
+}
+
+bool ServeClient::submit(uint64_t RequestId, const Spec &Examples,
+                         const std::string &AlphabetChars,
+                         const SynthOptions &Opts) {
+  SubmitFrame F;
+  F.RequestId = RequestId;
+  F.Examples = Examples;
+  F.AlphabetChars = AlphabetChars;
+  F.Opts = Opts;
+  return writeFrame(Sock, encodeFrame(F));
+}
+
+bool ServeClient::cancel(uint64_t RequestId) {
+  CancelFrame F;
+  F.RequestId = RequestId;
+  return writeFrame(Sock, encodeFrame(F));
+}
+
+bool ServeClient::requestStats() {
+  return writeFrame(Sock, encodeFrame(FrameType::StatsReq));
+}
+
+bool ServeClient::next(Frame &Out, std::string *Error) {
+  std::string Payload;
+  if (!readFrame(Sock, Payload)) {
+    if (Error)
+      *Error = "connection closed";
+    return false;
+  }
+  return decodeFrame(Payload, Out, Error);
+}
+
+void ServeClient::goodbye() {
+  if (!Sock.valid())
+    return;
+  writeFrame(Sock, encodeFrame(FrameType::Bye));
+  Sock.close();
+}

@@ -1,0 +1,75 @@
+//===- serve/Client.h - Blocking client for the synthesis server --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client over the serve/Wire.h protocol, used by the
+/// CLI's --connect mode, the serve-labelled tests, and bench_serve.
+/// One connection, one thread: connect() performs the Hello handshake,
+/// submit()/cancel()/requestStats() write frames, next() blocks for
+/// the next server frame. disconnect() closes the socket abruptly -
+/// that is the tested path by which an in-flight search parks its
+/// session server-side for a later warm-started reconnect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVE_CLIENT_H
+#define PARESY_SERVE_CLIENT_H
+
+#include "serve/Wire.h"
+#include "support/Socket.h"
+
+#include <string>
+
+namespace paresy {
+namespace serve {
+
+class ServeClient {
+public:
+  ServeClient() = default;
+
+  /// Connects and runs the Hello handshake as \p Tenant with fair-share
+  /// \p Weight. False (with \p Error) on connect failure, a rejected
+  /// handshake, or a protocol mismatch.
+  bool connect(const std::string &Host, uint16_t Port,
+               const std::string &Tenant, double Weight,
+               std::string *Error);
+
+  bool connected() const { return Sock.valid(); }
+
+  /// The server banner from the HelloOk frame.
+  const std::string &banner() const { return Banner; }
+
+  /// Sends one Submit frame. Progress/Result/Overloaded frames for it
+  /// arrive via next(), tagged with \p RequestId.
+  bool submit(uint64_t RequestId, const Spec &Examples,
+              const std::string &AlphabetChars, const SynthOptions &Opts);
+
+  /// Asks the server to abandon a request (its session parks).
+  bool cancel(uint64_t RequestId);
+
+  /// Asks for the server's stats text (answered by a StatsReply).
+  bool requestStats();
+
+  /// Blocks for the next server frame. False on EOF/disconnect or an
+  /// undecodable frame (\p Error says why when given).
+  bool next(Frame &Out, std::string *Error = nullptr);
+
+  /// Orderly goodbye: sends Bye and closes.
+  void goodbye();
+
+  /// Hard disconnect: closes the socket with no Bye, abandoning every
+  /// in-flight request (server-side their sessions park).
+  void disconnect() { Sock.close(); }
+
+private:
+  Socket Sock;
+  std::string Banner;
+};
+
+} // namespace serve
+} // namespace paresy
+
+#endif // PARESY_SERVE_CLIENT_H

@@ -1,0 +1,415 @@
+//===- serve/SynthServer.cpp - Multi-tenant TCP synthesis server --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SynthServer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace paresy;
+using namespace paresy::serve;
+
+std::string serve::overfitRegexText(const Spec &S) {
+  if (S.Pos.empty())
+    return "@";
+  std::string Out;
+  for (size_t I = 0; I != S.Pos.size(); ++I) {
+    if (I)
+      Out += '+';
+    Out += S.Pos[I].empty() ? std::string("#") : S.Pos[I];
+  }
+  return Out;
+}
+
+/// One live connection. The socket is read by its reader thread only;
+/// writes (from the reader and any worker streaming progress) are
+/// serialized by WriteM. Teardown shuts the socket down but never
+/// closes it while jobs still hold the Conn - the destructor closes.
+struct SynthServer::Conn {
+  Socket Sock;
+  std::mutex WriteM;
+  std::string Tenant = "default";
+  double Weight = 1.0;
+  /// Requests admitted and not yet answered, by client request id
+  /// (guarded by ActiveM): the Cancel and disconnect paths mark these
+  /// sinks gone so the search parks.
+  std::mutex ActiveM;
+  std::unordered_map<uint64_t, std::shared_ptr<service::ClientSink>>
+      Active;
+};
+
+/// One admitted Submit frame, queued for a worker.
+struct SynthServer::Job {
+  std::shared_ptr<Conn> C;
+  uint64_t RequestId = 0;
+  Spec Examples;
+  std::string AlphabetChars;
+  SynthOptions Opts;
+  std::shared_ptr<service::ClientSink> Sink;
+};
+
+namespace {
+
+service::ServiceOptions synchronousService(service::ServiceOptions O) {
+  // The server's worker pool owns the parallelism; a synchronous
+  // service keeps each search on the worker that owns the response.
+  O.Workers = 0;
+  return O;
+}
+
+} // namespace
+
+SynthServer::SynthServer(ServerOptions O)
+    : Opts(std::move(O)), Service(synchronousService(Opts.Service)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+}
+
+SynthServer::~SynthServer() { stop(); }
+
+bool SynthServer::start(std::string *Error) {
+  if (!L.open(Opts.Host, Opts.Port, Error))
+    return false;
+  Workers.reserve(Opts.Workers);
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void SynthServer::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping && !Acceptor.joinable())
+      return; // Already stopped.
+    Stopping = true;
+    // Unblock every reader stuck in recv; sockets stay open (jobs may
+    // still hold the Conn) and close with their last owner.
+    for (const std::shared_ptr<Conn> &C : Conns)
+      C->Sock.shutdownBoth();
+  }
+  WorkReady.notify_all();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  // The acceptor is gone, so Readers is stable; move it out under the
+  // lock and join without holding it (readers lock M on their way out).
+  std::vector<std::thread> Rs;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Rs.swap(Readers);
+  }
+  for (std::thread &T : Rs)
+    T.join();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  L.close();
+  std::lock_guard<std::mutex> Lock(M);
+  Conns.clear();
+}
+
+ServerStats SynthServer::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}
+
+std::string SynthServer::banner() const {
+  // The service runs synchronously (Workers = 0) behind the server's
+  // own pool; report the pool, which is the real execution width.
+  service::ServiceOptions SO = Service.options();
+  SO.Workers = Opts.Workers;
+  return service::serviceBanner(SO, Opts.Defaults);
+}
+
+std::string SynthServer::statsText() const {
+  std::string Out = service::serviceStatsText(Service.stats());
+  ServerStats S = stats();
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "server: %llu connection(s), %llu submitted, "
+                "%llu completed, %llu shed (%llu stale), "
+                "%llu quota-denied, %llu disconnect(s), "
+                "%llu progress frame(s), queue %zu (peak %zu)\n",
+                (unsigned long long)S.Connections,
+                (unsigned long long)S.Submitted,
+                (unsigned long long)S.Completed,
+                (unsigned long long)(S.ShedQueueFull + S.ShedStale),
+                (unsigned long long)S.ShedStale,
+                (unsigned long long)S.QuotaDenied,
+                (unsigned long long)S.Disconnects,
+                (unsigned long long)S.ProgressFrames, S.QueueDepth,
+                S.PeakQueueDepth);
+  Out += Buf;
+  return Out;
+}
+
+void SynthServer::sendFrame(Conn &C, const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(C.WriteM);
+  if (C.Sock.valid())
+    writeFrame(C.Sock, Payload); // A dead peer fails silently; the
+                                 // reader observes the disconnect.
+}
+
+void SynthServer::acceptLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Stopping)
+        return;
+    }
+    Socket S = L.accept(100);
+    if (!S.valid())
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Sock = std::move(S);
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      return; // The new socket closes unanswered.
+    ++Counters.Connections;
+    Conns.push_back(C);
+    Readers.emplace_back([this, C] { connLoop(C); });
+  }
+}
+
+void SynthServer::connLoop(std::shared_ptr<Conn> C) {
+  std::string Payload;
+  Frame F;
+  // Handshake: exactly one Hello, matching protocol version.
+  bool Ok = readFrame(C->Sock, Payload) && decodeFrame(Payload, F) &&
+            F.Type == FrameType::Hello;
+  if (Ok && F.Hello.Protocol != WireProtocolVersion) {
+    sendFrame(*C, encodeFrame(ErrorFrame{
+                      "protocol version mismatch: server speaks v" +
+                      std::to_string(WireProtocolVersion)}));
+    Ok = false;
+  }
+  if (Ok) {
+    C->Tenant = F.Hello.Tenant.empty() ? "default" : F.Hello.Tenant;
+    C->Weight = std::clamp(F.Hello.Weight, 0.1,
+                           std::max(0.1, Opts.MaxTenantWeight));
+    HelloOkFrame Hello;
+    Hello.Banner = banner();
+    sendFrame(*C, encodeFrame(Hello));
+
+    while (readFrame(C->Sock, Payload)) {
+      std::string DecodeError;
+      if (!decodeFrame(Payload, F, &DecodeError)) {
+        sendFrame(*C, encodeFrame(ErrorFrame{DecodeError}));
+        break;
+      }
+      if (F.Type == FrameType::Bye)
+        break;
+      if (F.Type == FrameType::StatsReq) {
+        sendFrame(*C, encodeFrame(StatsReplyFrame{statsText()}));
+        continue;
+      }
+      if (F.Type == FrameType::Cancel) {
+        std::shared_ptr<service::ClientSink> Sink;
+        {
+          std::lock_guard<std::mutex> Lock(C->ActiveM);
+          auto It = C->Active.find(F.Cancel.RequestId);
+          if (It != C->Active.end()) {
+            Sink = It->second;
+            C->Active.erase(It);
+          }
+        }
+        if (Sink)
+          Service.abandon(Sink); // Parks, never cancels: see Session.h.
+        continue;
+      }
+      if (F.Type != FrameType::Submit) {
+        sendFrame(*C, encodeFrame(
+                          ErrorFrame{"unexpected frame type from client"}));
+        break;
+      }
+      handleSubmit(C, std::move(F.Submit));
+    }
+  } else if (C->Sock.valid()) {
+    sendFrame(*C, encodeFrame(ErrorFrame{"expected a Hello frame"}));
+  }
+
+  // Disconnect: every request still active loses its waiter. Once all
+  // waiters of an in-flight search are gone it stops at the next poll
+  // point and parks its session for a warm-started reconnect.
+  std::vector<std::shared_ptr<service::ClientSink>> Abandoned;
+  {
+    std::lock_guard<std::mutex> Lock(C->ActiveM);
+    for (auto &[Id, Sink] : C->Active)
+      Abandoned.push_back(Sink);
+    C->Active.clear();
+  }
+  for (const std::shared_ptr<service::ClientSink> &Sink : Abandoned)
+    Service.abandon(Sink);
+  C->Sock.shutdownBoth();
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Abandoned.empty())
+    ++Counters.Disconnects;
+  Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
+}
+
+void SynthServer::handleSubmit(const std::shared_ptr<Conn> &C,
+                               SubmitFrame S) {
+  double Now = Clock.seconds();
+  const char *DenyReason = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      return;
+    if (Opts.TenantRatePerSec > 0 &&
+        !Buckets
+             .try_emplace(C->Tenant,
+                          TokenBucket(Opts.TenantRatePerSec,
+                                      std::max(1.0, Opts.TenantBurst)))
+             .first->second.tryAcquire(Now)) {
+      ++Counters.QuotaDenied;
+      DenyReason = "tenant quota exceeded; retry later";
+    } else if (Queue.size() >= std::max<size_t>(Opts.MaxQueueDepth, 1)) {
+      ++Counters.ShedQueueFull;
+      DenyReason = "server overloaded: request queue is full";
+    }
+  }
+  if (DenyReason) {
+    OverloadedFrame O;
+    O.RequestId = S.RequestId;
+    O.Reason = DenyReason;
+    sendFrame(*C, encodeFrame(O));
+    return;
+  }
+
+  Job J;
+  J.C = C;
+  J.RequestId = S.RequestId;
+  J.Examples = std::move(S.Examples);
+  J.AlphabetChars = std::move(S.AlphabetChars);
+  J.Opts = S.Opts;
+  // Host-resource options are the server's call, never the wire's.
+  J.Opts.SpillDir = Opts.Defaults.SpillDir;
+  J.Opts.PinnedStoreBytes = Opts.Defaults.PinnedStoreBytes;
+  J.Opts.WindowStoreBytes = Opts.Defaults.WindowStoreBytes;
+
+  // The streaming sink: best-so-far is the overfit union candidate
+  // until the minimal answer lands in the Result frame, so the
+  // streamed best cost never increases.
+  auto Sink = std::make_shared<service::ClientSink>();
+  uint64_t Id = J.RequestId;
+  std::string Best = overfitRegexText(J.Examples);
+  uint64_t BestCost = overfitCostBound(J.Examples, J.Opts.Cost);
+  std::shared_ptr<Conn> CC = C;
+  Sink->OnProgress = [this, CC, Id, Best,
+                      BestCost](const engine::SessionProgress &P) {
+    ProgressFrame F;
+    F.RequestId = Id;
+    F.BestRegex = Best;
+    F.BestCost = BestCost;
+    F.CompletedCost = P.CompletedCost;
+    F.Horizon = P.MaxCost;
+    F.Candidates = P.Candidates;
+    F.ConsumedSeconds = P.ConsumedSeconds;
+    sendFrame(*CC, encodeFrame(F));
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.ProgressFrames;
+  };
+  J.Sink = Sink;
+  {
+    std::lock_guard<std::mutex> Lock(C->ActiveM);
+    C->Active[Id] = Sink;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      return;
+    ++Counters.Submitted;
+    Queue.push(C->Tenant, C->Weight, Now, std::move(J));
+    Counters.QueueDepth = Queue.size();
+    Counters.PeakQueueDepth =
+        std::max(Counters.PeakQueueDepth, Counters.QueueDepth);
+  }
+  WorkReady.notify_one();
+}
+
+void SynthServer::workerLoop() {
+  for (;;) {
+    FairQueue<Job>::Entry E;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return; // Pending jobs die with their closing connections.
+      std::optional<FairQueue<Job>::Entry> Got = Queue.pop();
+      Counters.QueueDepth = Queue.size();
+      if (!Got)
+        continue;
+      E = std::move(*Got);
+    }
+    // Staleness shed: a job that sat past the deadline answers
+    // Overloaded instead of burning a worker on a stale request.
+    double Age = Clock.seconds() - E.EnqueuedAt;
+    if (Opts.QueueAgeDeadlineSeconds > 0 &&
+        Age > Opts.QueueAgeDeadlineSeconds) {
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        ++Counters.ShedStale;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(E.Payload.C->ActiveM);
+        E.Payload.C->Active.erase(E.Payload.RequestId);
+      }
+      OverloadedFrame O;
+      O.RequestId = E.Payload.RequestId;
+      O.Reason = "server overloaded: queue age exceeded deadline";
+      sendFrame(*E.Payload.C, encodeFrame(O));
+      continue;
+    }
+    runJob(std::move(E.Payload));
+  }
+}
+
+void SynthServer::runJob(Job J) {
+  // Cancelled or disconnected while queued: nobody wants the answer.
+  if (J.Sink->Gone.load(std::memory_order_relaxed))
+    return;
+
+  SynthResult Res;
+  Alphabet Sigma;
+  std::string Error;
+  if (!J.AlphabetChars.empty()) {
+    Sigma = Alphabet::create(J.AlphabetChars, &Error);
+  } else {
+    inferAlphabet(J.Examples, Sigma, &Error);
+  }
+  if (!Error.empty()) {
+    Res.Status = SynthStatus::InvalidInput;
+    Res.Message = Error;
+  } else {
+    service::SubmitContext Ctx;
+    Ctx.Tenant = J.C->Tenant;
+    Ctx.Sink = J.Sink;
+    Res = Service.submit(J.Examples, Sigma, J.Opts, Ctx).get();
+  }
+
+  // Deregister before replying: a Cancel racing the answer is a no-op.
+  {
+    std::lock_guard<std::mutex> Lock(J.C->ActiveM);
+    J.C->Active.erase(J.RequestId);
+  }
+
+  ResultFrame R;
+  R.RequestId = J.RequestId;
+  R.Status = uint8_t(Res.Status);
+  R.Regex = Res.Regex;
+  R.Cost = Res.Cost;
+  R.Message = Res.Message;
+  R.Candidates = Res.Stats.CandidatesGenerated;
+  R.Unique = Res.Stats.UniqueLanguages;
+  R.PrecomputeSeconds = Res.Stats.PrecomputeSeconds;
+  R.SearchSeconds = Res.Stats.SearchSeconds;
+  R.LevelsRun = Res.Stats.LevelsRun;
+  R.Parked = J.Sink->SessionParked.load(std::memory_order_relaxed) ? 1 : 0;
+  if (!J.Sink->Gone.load(std::memory_order_relaxed))
+    sendFrame(*J.C, encodeFrame(R));
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.Completed;
+}

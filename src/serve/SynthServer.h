@@ -1,0 +1,179 @@
+//===- serve/SynthServer.h - Multi-tenant TCP synthesis server ----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front end over service/SynthService (DESIGN.md
+/// Sec. 12): an acceptor thread, one reader thread per connection, and
+/// a worker pool draining a weighted fair queue. Admission control
+/// happens in the reader (per-tenant token-bucket quota, bounded
+/// global queue depth - both answered with retryable Overloaded
+/// frames); staleness shedding happens at dequeue (a job older than
+/// the queue-age deadline is shed, not run). Workers run searches
+/// through a synchronous SynthService, so the service's caches,
+/// coalescing and session parking all apply across tenants.
+///
+/// Streaming anytime results: each completed cost level pushes a
+/// Progress frame carrying the best-so-far candidate (the overfit
+/// union of the positive examples until the minimal answer is found),
+/// the proven cost floor, and the cost horizon. The best cost is
+/// non-increasing per request. A disconnect marks the request's sink
+/// gone; once every waiter is gone the search stops at its next poll
+/// point and the session *parks* (engine/Session.h park token), so a
+/// reconnect submitting the same spec/options with an equal-or-wider
+/// budget warm-starts from the parked cost level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVE_SYNTHSERVER_H
+#define PARESY_SERVE_SYNTHSERVER_H
+
+#include "serve/Admission.h"
+#include "serve/Wire.h"
+#include "service/SynthService.h"
+#include "support/Socket.h"
+#include "support/Timer.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace paresy {
+namespace serve {
+
+/// Construction-time configuration of one server.
+struct ServerOptions {
+  std::string Host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t Port = 0;
+
+  /// Worker threads draining the fair queue (>= 1). Each runs its
+  /// search synchronously through the shared service.
+  unsigned Workers = 1;
+
+  /// The backing service configuration. Workers is forced to 0: the
+  /// server's own pool is the execution parallelism, and a synchronous
+  /// service keeps searches on the worker that owns the response.
+  service::ServiceOptions Service;
+
+  /// Server-side option defaults applied over every Submit frame:
+  /// host-resource fields the wire protocol deliberately omits
+  /// (SpillDir, PinnedStoreBytes, WindowStoreBytes).
+  SynthOptions Defaults;
+
+  /// Admission: pending jobs beyond this depth are shed with a
+  /// retryable Overloaded frame.
+  size_t MaxQueueDepth = 64;
+  /// Staleness: a job whose queue age exceeds this at dequeue is shed
+  /// instead of run (0 disables the check).
+  double QueueAgeDeadlineSeconds = 30.0;
+  /// Per-tenant token bucket: sustained requests per second (0 =
+  /// unlimited) and burst allowance.
+  double TenantRatePerSec = 0;
+  double TenantBurst = 64;
+  /// Clamp on the fair-share weight a Hello may request.
+  double MaxTenantWeight = 16.0;
+};
+
+/// Monotonic server counters (admission and transport; the search
+/// counters live in ServiceStats).
+struct ServerStats {
+  uint64_t Connections = 0;    ///< Accepted connections.
+  uint64_t Submitted = 0;      ///< Submit frames admitted to the queue.
+  uint64_t Completed = 0;      ///< Result frames sent.
+  uint64_t ShedQueueFull = 0;  ///< Overloaded: queue at MaxQueueDepth.
+  uint64_t ShedStale = 0;      ///< Overloaded: queue age past deadline.
+  uint64_t QuotaDenied = 0;    ///< Overloaded: tenant bucket empty.
+  uint64_t Disconnects = 0;    ///< Connections that left requests behind.
+  uint64_t ProgressFrames = 0; ///< Progress frames sent.
+  size_t QueueDepth = 0;       ///< Jobs queued right now.
+  size_t PeakQueueDepth = 0;   ///< High-water mark of QueueDepth.
+};
+
+/// A multi-tenant TCP server over one SynthService. start() spawns
+/// the acceptor and workers; stop() (or the destructor) shuts every
+/// thread down and closes every connection.
+class SynthServer {
+public:
+  explicit SynthServer(ServerOptions Opts);
+  ~SynthServer();
+
+  SynthServer(const SynthServer &) = delete;
+  SynthServer &operator=(const SynthServer &) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads. False
+  /// (with \p Error) when the listener cannot open.
+  bool start(std::string *Error);
+
+  /// Stops accepting, closes every connection, joins every thread.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (after start(); resolves ephemeral binds).
+  uint16_t port() const { return L.port(); }
+
+  const ServerOptions &options() const { return Opts; }
+
+  /// The self-describing banner (backend, workers, shards, store tier,
+  /// park budget) sent in every HelloOk and printed by `--serve`. The
+  /// worker count is the server pool's, not the synchronous service's.
+  std::string banner() const;
+
+  /// The backing service (its stats are the cache/session counters).
+  service::SynthService &service() { return Service; }
+
+  /// A consistent snapshot of the transport counters.
+  ServerStats stats() const;
+
+  /// The stats text a StatsReq frame returns: service + server lines.
+  std::string statsText() const;
+
+private:
+  struct Conn;
+  struct Job;
+
+  void acceptLoop();
+  void connLoop(std::shared_ptr<Conn> C);
+  /// Admission control for one Submit frame (quota, then queue depth);
+  /// admitted jobs enter the fair queue with a streaming sink attached.
+  void handleSubmit(const std::shared_ptr<Conn> &C, SubmitFrame S);
+  void workerLoop();
+  /// Handles one admitted Submit frame end to end on this worker.
+  void runJob(Job J);
+  /// Serializes frame writes per connection (progress fan-out may
+  /// come from another worker's thread).
+  static void sendFrame(Conn &C, const std::string &Payload);
+
+  ServerOptions Opts;
+  service::SynthService Service;
+  Listener L;
+  WallTimer Clock;
+
+  mutable std::mutex M;
+  std::condition_variable WorkReady;
+  FairQueue<Job> Queue;
+  std::unordered_map<std::string, TokenBucket> Buckets;
+  ServerStats Counters;
+  bool Stopping = false;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  std::vector<std::thread> Workers;
+  std::vector<std::thread> Readers;
+  std::thread Acceptor;
+};
+
+/// The maximally overfitted candidate for \p S: the union of the
+/// positive examples ('#' for the empty word, '@' when P is empty).
+/// It satisfies any valid spec, costs overfitCostBound(S, Cost), and
+/// is the Progress stream's initial best-so-far.
+std::string overfitRegexText(const Spec &S);
+
+} // namespace serve
+} // namespace paresy
+
+#endif // PARESY_SERVE_SYNTHSERVER_H

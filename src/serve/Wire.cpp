@@ -1,0 +1,299 @@
+//===- serve/Wire.cpp - Length-prefixed binary wire protocol ------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wire.h"
+
+#include "core/Snapshot.h"
+#include "support/Socket.h"
+
+using namespace paresy;
+using namespace paresy::serve;
+
+namespace {
+
+/// Every payload is a snapshot stream of kind "frame": magic + format
+/// version, the frame type byte, the type's fields, checksum trailer.
+SnapshotWriter openPayload(FrameType Type) {
+  SnapshotWriter W;
+  writeSnapshotHeader(W, "frame");
+  W.u8(uint8_t(Type));
+  return W;
+}
+
+std::string sealPayload(SnapshotWriter &W) {
+  appendSnapshotChecksum(W);
+  return W.take();
+}
+
+void writeStringList(SnapshotWriter &W, const std::vector<std::string> &L) {
+  W.u64(L.size());
+  for (const std::string &S : L)
+    W.str(S);
+}
+
+bool readStringList(SnapshotReader &R, std::vector<std::string> &Out) {
+  uint64_t Count = 0;
+  if (!R.u64(Count))
+    return false;
+  // Each entry costs at least its length prefix, so a count beyond the
+  // remaining bytes is structurally impossible: reject it before
+  // looping (fail closed, and never trust a length field).
+  if (Count > R.remaining())
+    return false;
+  Out.clear();
+  Out.resize(size_t(Count));
+  for (std::string &S : Out)
+    if (!R.str(S))
+      return false;
+  return true;
+}
+
+/// The client-settable SynthOptions subset (see Wire.h): cost tuple,
+/// budgets, shards, error tolerance, and the semantic flag bits.
+/// SpillDir/PinnedStoreBytes/WindowStoreBytes stay server-side.
+enum OptionFlagBits : uint8_t {
+  FlagOnTheFly = 1 << 0,
+  FlagSeedEpsilon = 1 << 1,
+  FlagUniquenessCheck = 1 << 2,
+  FlagUseGuideTable = 1 << 3,
+  FlagPadToPowerOfTwo = 1 << 4,
+  FlagCompressStore = 1 << 5,
+  FlagPortfolio = 1 << 6,
+};
+
+void writeOptions(SnapshotWriter &W, const SynthOptions &O) {
+  W.u32(O.Cost.Literal);
+  W.u32(O.Cost.Question);
+  W.u32(O.Cost.Star);
+  W.u32(O.Cost.Concat);
+  W.u32(O.Cost.Union);
+  W.u64(O.MaxCost);
+  W.u64(O.MemoryLimitBytes);
+  W.u32(O.Shards);
+  W.f64(O.TimeoutSeconds);
+  W.f64(O.AllowedError);
+  uint8_t Flags = 0;
+  if (O.EnableOnTheFly)
+    Flags |= FlagOnTheFly;
+  if (O.SeedEpsilon)
+    Flags |= FlagSeedEpsilon;
+  if (O.UniquenessCheck)
+    Flags |= FlagUniquenessCheck;
+  if (O.UseGuideTable)
+    Flags |= FlagUseGuideTable;
+  if (O.PadToPowerOfTwo)
+    Flags |= FlagPadToPowerOfTwo;
+  if (O.CompressStore)
+    Flags |= FlagCompressStore;
+  if (O.Portfolio)
+    Flags |= FlagPortfolio;
+  W.u8(Flags);
+}
+
+bool readOptions(SnapshotReader &R, SynthOptions &O) {
+  uint8_t Flags = 0;
+  if (!R.u32(O.Cost.Literal) || !R.u32(O.Cost.Question) ||
+      !R.u32(O.Cost.Star) || !R.u32(O.Cost.Concat) ||
+      !R.u32(O.Cost.Union) || !R.u64(O.MaxCost) ||
+      !R.u64(O.MemoryLimitBytes) || !R.u32(O.Shards) ||
+      !R.f64(O.TimeoutSeconds) || !R.f64(O.AllowedError) || !R.u8(Flags))
+    return false;
+  O.EnableOnTheFly = Flags & FlagOnTheFly;
+  O.SeedEpsilon = Flags & FlagSeedEpsilon;
+  O.UniquenessCheck = Flags & FlagUniquenessCheck;
+  O.UseGuideTable = Flags & FlagUseGuideTable;
+  O.PadToPowerOfTwo = Flags & FlagPadToPowerOfTwo;
+  O.CompressStore = Flags & FlagCompressStore;
+  O.Portfolio = Flags & FlagPortfolio;
+  return true;
+}
+
+} // namespace
+
+std::string serve::encodeFrame(const HelloFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Hello);
+  W.u32(F.Protocol);
+  W.str(F.Tenant);
+  W.f64(F.Weight);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const HelloOkFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::HelloOk);
+  W.u32(F.Protocol);
+  W.str(F.Banner);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const SubmitFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Submit);
+  W.u64(F.RequestId);
+  writeStringList(W, F.Examples.Pos);
+  writeStringList(W, F.Examples.Neg);
+  W.str(F.AlphabetChars);
+  writeOptions(W, F.Opts);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const CancelFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Cancel);
+  W.u64(F.RequestId);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(FrameType Bare) {
+  SnapshotWriter W = openPayload(Bare);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const ProgressFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Progress);
+  W.u64(F.RequestId);
+  W.str(F.BestRegex);
+  W.u64(F.BestCost);
+  W.u64(F.CompletedCost);
+  W.u64(F.Horizon);
+  W.u64(F.Candidates);
+  W.f64(F.ConsumedSeconds);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const ResultFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Result);
+  W.u64(F.RequestId);
+  W.u8(F.Status);
+  W.str(F.Regex);
+  W.u64(F.Cost);
+  W.str(F.Message);
+  W.u64(F.Candidates);
+  W.u64(F.Unique);
+  W.f64(F.PrecomputeSeconds);
+  W.f64(F.SearchSeconds);
+  W.u64(F.LevelsRun);
+  W.u8(F.Parked);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const OverloadedFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Overloaded);
+  W.u64(F.RequestId);
+  W.str(F.Reason);
+  W.u8(F.Retryable);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const StatsReplyFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::StatsReply);
+  W.str(F.Text);
+  return sealPayload(W);
+}
+
+std::string serve::encodeFrame(const ErrorFrame &F) {
+  SnapshotWriter W = openPayload(FrameType::Error);
+  W.str(F.Message);
+  return sealPayload(W);
+}
+
+bool serve::decodeFrame(std::string_view Payload, Frame &Out,
+                        std::string *Error) {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  if (Payload.size() > MaxFrameBytes)
+    return Fail("frame rejected: payload exceeds MaxFrameBytes");
+  if (!verifySnapshotChecksum(Payload))
+    return Fail("frame rejected: truncated or corrupt (checksum "
+                "mismatch)");
+  SnapshotReader R(stripSnapshotChecksum(Payload));
+  if (!readSnapshotHeader(R, "frame"))
+    return Fail("frame rejected: not a paresy wire frame of this "
+                "format version");
+  uint8_t TypeByte = 0;
+  if (!R.u8(TypeByte))
+    return Fail("frame rejected: missing frame type");
+
+  Out = Frame();
+  Out.Type = FrameType(TypeByte);
+  bool Ok = true;
+  switch (Out.Type) {
+  case FrameType::Hello:
+    Ok = R.u32(Out.Hello.Protocol) && R.str(Out.Hello.Tenant) &&
+         R.f64(Out.Hello.Weight);
+    break;
+  case FrameType::HelloOk:
+    Ok = R.u32(Out.HelloOk.Protocol) && R.str(Out.HelloOk.Banner);
+    break;
+  case FrameType::Submit:
+    Ok = R.u64(Out.Submit.RequestId) &&
+         readStringList(R, Out.Submit.Examples.Pos) &&
+         readStringList(R, Out.Submit.Examples.Neg) &&
+         R.str(Out.Submit.AlphabetChars) && readOptions(R, Out.Submit.Opts);
+    break;
+  case FrameType::Cancel:
+    Ok = R.u64(Out.Cancel.RequestId);
+    break;
+  case FrameType::StatsReq:
+  case FrameType::Bye:
+    break;
+  case FrameType::Progress:
+    Ok = R.u64(Out.Progress.RequestId) && R.str(Out.Progress.BestRegex) &&
+         R.u64(Out.Progress.BestCost) && R.u64(Out.Progress.CompletedCost) &&
+         R.u64(Out.Progress.Horizon) && R.u64(Out.Progress.Candidates) &&
+         R.f64(Out.Progress.ConsumedSeconds);
+    break;
+  case FrameType::Result:
+    Ok = R.u64(Out.Result.RequestId) && R.u8(Out.Result.Status) &&
+         R.str(Out.Result.Regex) && R.u64(Out.Result.Cost) &&
+         R.str(Out.Result.Message) && R.u64(Out.Result.Candidates) &&
+         R.u64(Out.Result.Unique) && R.f64(Out.Result.PrecomputeSeconds) &&
+         R.f64(Out.Result.SearchSeconds) && R.u64(Out.Result.LevelsRun) &&
+         R.u8(Out.Result.Parked);
+    break;
+  case FrameType::Overloaded:
+    Ok = R.u64(Out.Overloaded.RequestId) && R.str(Out.Overloaded.Reason) &&
+         R.u8(Out.Overloaded.Retryable);
+    break;
+  case FrameType::StatsReply:
+    Ok = R.str(Out.Stats.Text);
+    break;
+  case FrameType::Error:
+    Ok = R.str(Out.Error.Message);
+    break;
+  default:
+    return Fail("frame rejected: unknown frame type");
+  }
+  if (!Ok || R.failed())
+    return Fail("frame rejected: malformed payload");
+  if (!R.atEnd())
+    return Fail("frame rejected: trailing bytes after payload");
+  return true;
+}
+
+bool serve::writeFrame(Socket &S, std::string_view Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  uint32_t Len = uint32_t(Payload.size());
+  unsigned char Prefix[4] = {
+      (unsigned char)(Len & 0xff), (unsigned char)((Len >> 8) & 0xff),
+      (unsigned char)((Len >> 16) & 0xff),
+      (unsigned char)((Len >> 24) & 0xff)};
+  return S.sendAll(Prefix, sizeof(Prefix)) &&
+         S.sendAll(Payload.data(), Payload.size());
+}
+
+bool serve::readFrame(Socket &S, std::string &Payload) {
+  unsigned char Prefix[4];
+  if (!S.recvAll(Prefix, sizeof(Prefix)))
+    return false;
+  uint32_t Len = uint32_t(Prefix[0]) | (uint32_t(Prefix[1]) << 8) |
+                 (uint32_t(Prefix[2]) << 16) | (uint32_t(Prefix[3]) << 24);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || S.recvAll(Payload.data(), Len);
+}

@@ -1,0 +1,189 @@
+//===- serve/Wire.h - Length-prefixed binary wire protocol --------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the network serving stack (DESIGN.md Sec. 12).
+/// Every message is one *frame*: a 4-byte little-endian payload length
+/// followed by the payload, which is a core/Snapshot byte stream - the
+/// same envelope (magic + format version + kind tag), little-endian
+/// primitives, and 128-bit fingerprint trailer the session snapshots
+/// use. Decoding is fail-closed exactly like snapshot restore: a
+/// truncated, oversized, bit-rotten or trailing-garbage payload is
+/// rejected as a whole, never partially applied.
+///
+/// Frame types: client -> server Hello / Submit / Cancel / StatsReq /
+/// Bye, server -> client HelloOk / Progress / Result / Overloaded /
+/// StatsReply / Error. Submit carries the spec, the alphabet, and the
+/// client-settable subset of SynthOptions; host-resource options
+/// (spill directory, pinned/window byte caps) are deliberately *not*
+/// on the wire - a client must not dictate the server's disk layout.
+///
+/// Progress frames stream the anytime state after every completed cost
+/// level: the best candidate so far (initially the overfit union of
+/// the positive examples, later the found minimal regex), the proven
+/// floor ("no solution of cost <= CompletedCost"), and the cost
+/// horizon. Best cost is non-increasing over a request's lifetime;
+/// tests enforce that monotonicity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SERVE_WIRE_H
+#define PARESY_SERVE_WIRE_H
+
+#include "core/Synthesizer.h"
+#include "lang/Spec.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paresy {
+
+class Socket;
+
+namespace serve {
+
+/// Version of the frame vocabulary; servers reject Hellos from other
+/// versions with an Error frame (fail closed, never guess).
+inline constexpr uint32_t WireProtocolVersion = 1;
+
+/// Hard cap on one frame's payload: a length prefix beyond it is
+/// treated as a protocol violation and the connection is dropped
+/// before any allocation.
+inline constexpr uint32_t MaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  Hello = 1,    ///< First frame on a connection: version + tenant.
+  Submit = 2,   ///< One synthesis request.
+  Cancel = 3,   ///< Abandon a request (best effort; parks the session).
+  StatsReq = 4, ///< Ask for the server's stats text.
+  Bye = 5,      ///< Orderly goodbye (same effect as closing).
+  // Server -> client.
+  HelloOk = 16,    ///< Hello accepted; carries the server banner.
+  Progress = 17,   ///< Streaming anytime state (one per cost level).
+  Result = 18,     ///< Final answer for a request.
+  Overloaded = 19, ///< Admission refused (quota or shed); retryable.
+  StatsReply = 20, ///< Stats text.
+  Error = 21,      ///< Protocol-level failure; connection closes.
+};
+
+struct HelloFrame {
+  uint32_t Protocol = WireProtocolVersion;
+  std::string Tenant = "default";
+  /// Fair-share weight this tenant asks for (the server clamps it).
+  double Weight = 1.0;
+};
+
+struct HelloOkFrame {
+  uint32_t Protocol = WireProtocolVersion;
+  std::string Banner;
+};
+
+struct SubmitFrame {
+  /// Client-chosen id echoed on every Progress/Result/Overloaded
+  /// frame, so one connection can multiplex requests.
+  uint64_t RequestId = 0;
+  Spec Examples;
+  /// Alphabet characters; empty infers the alphabet from the examples.
+  std::string AlphabetChars;
+  /// Client-settable options; host-resource fields keep the server's
+  /// defaults (see file comment).
+  SynthOptions Opts;
+};
+
+struct CancelFrame {
+  uint64_t RequestId = 0;
+};
+
+struct ProgressFrame {
+  uint64_t RequestId = 0;
+  /// Best candidate so far (always satisfies the spec).
+  std::string BestRegex;
+  uint64_t BestCost = 0;
+  /// Proven: no satisfying regex of cost <= CompletedCost exists
+  /// (except BestRegex itself once it is the found answer).
+  uint64_t CompletedCost = 0;
+  /// Resolved cost bound of the sweep.
+  uint64_t Horizon = 0;
+  uint64_t Candidates = 0;
+  double ConsumedSeconds = 0;
+};
+
+struct ResultFrame {
+  uint64_t RequestId = 0;
+  uint8_t Status = 0; ///< SynthStatus.
+  std::string Regex;
+  uint64_t Cost = 0;
+  std::string Message;
+  uint64_t Candidates = 0;
+  uint64_t Unique = 0;
+  double PrecomputeSeconds = 0;
+  double SearchSeconds = 0;
+  uint64_t LevelsRun = 0;
+  /// The session parked server-side: a reconnect submitting the same
+  /// spec/options with an equal-or-wider budget warm-starts it.
+  uint8_t Parked = 0;
+};
+
+struct OverloadedFrame {
+  uint64_t RequestId = 0;
+  std::string Reason;
+  uint8_t Retryable = 1;
+};
+
+struct StatsReplyFrame {
+  std::string Text;
+};
+
+struct ErrorFrame {
+  std::string Message;
+};
+
+/// A decoded frame: Type selects which member is meaningful.
+struct Frame {
+  FrameType Type = FrameType::Error;
+  HelloFrame Hello;
+  HelloOkFrame HelloOk;
+  SubmitFrame Submit;
+  CancelFrame Cancel;
+  ProgressFrame Progress;
+  ResultFrame Result;
+  OverloadedFrame Overloaded;
+  StatsReplyFrame Stats;
+  ErrorFrame Error;
+};
+
+/// Payload encoders (length prefix not included; writeFrame adds it).
+std::string encodeFrame(const HelloFrame &F);
+std::string encodeFrame(const HelloOkFrame &F);
+std::string encodeFrame(const SubmitFrame &F);
+std::string encodeFrame(const CancelFrame &F);
+std::string encodeFrame(FrameType Bare); ///< StatsReq / Bye.
+std::string encodeFrame(const ProgressFrame &F);
+std::string encodeFrame(const ResultFrame &F);
+std::string encodeFrame(const OverloadedFrame &F);
+std::string encodeFrame(const StatsReplyFrame &F);
+std::string encodeFrame(const ErrorFrame &F);
+
+/// Fail-closed payload decoder: checksum, envelope, per-type fields,
+/// and exact-length consumption must all hold, or the frame is
+/// rejected (\p Error says why when given).
+bool decodeFrame(std::string_view Payload, Frame &Out,
+                 std::string *Error = nullptr);
+
+/// Writes one length-prefixed frame. False on a broken connection or
+/// an oversized payload.
+bool writeFrame(Socket &S, std::string_view Payload);
+
+/// Reads one length-prefixed frame payload. False on EOF, a broken
+/// connection, or a length prefix beyond MaxFrameBytes.
+bool readFrame(Socket &S, std::string &Payload);
+
+} // namespace serve
+} // namespace paresy
+
+#endif // PARESY_SERVE_WIRE_H

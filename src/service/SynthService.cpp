@@ -8,9 +8,12 @@
 
 #include "engine/Backend.h"
 #include "engine/Portfolio.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdarg>
+#include <cstdio>
 
 using namespace paresy;
 using namespace paresy::service;
@@ -95,12 +98,64 @@ bool putBudgeted(service::LruCache<Fingerprint, Entry, FingerprintHash>
 SynthService::ResultFuture SynthService::submit(const Spec &S,
                                                 const Alphabet &Sigma,
                                                 const SynthOptions &Opts) {
+  return submit(S, Sigma, Opts, SubmitContext{});
+}
+
+void SynthService::bumpTenantLocked(const std::string &Tenant) {
+  if (Tenant.empty())
+    return;
+  auto It = std::find_if(
+      Counters.TenantRequests.begin(), Counters.TenantRequests.end(),
+      [&](const auto &E) { return E.first == Tenant; });
+  if (It == Counters.TenantRequests.end())
+    Counters.TenantRequests.emplace_back(Tenant, 1);
+  else
+    ++It->second;
+}
+
+void SynthService::attachWaiter(Request &Req,
+                                const std::shared_ptr<Request> &Owner,
+                                const SubmitContext &Ctx) {
+  if (Ctx.Sink) {
+    Ctx.Sink->Owner = Owner;
+    Req.Sinks.push_back(Ctx.Sink);
+  } else {
+    Req.HasPlainWaiter = true;
+  }
+  // A fresh waiter revives a search every earlier waiter abandoned.
+  Req.ParkRequest.store(false, std::memory_order_relaxed);
+}
+
+void SynthService::abandon(const std::shared_ptr<ClientSink> &Sink) {
+  if (!Sink)
+    return;
+  Sink->Gone.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(M);
+  std::shared_ptr<Request> Req =
+      std::static_pointer_cast<Request>(Sink->Owner.lock());
+  if (!Req || Req->HasPlainWaiter)
+    return;
+  bool AllGone = !Req->Sinks.empty();
+  for (const std::shared_ptr<ClientSink> &S : Req->Sinks)
+    if (!S->Gone.load(std::memory_order_relaxed)) {
+      AllGone = false;
+      break;
+    }
+  if (AllGone)
+    Req->ParkRequest.store(true, std::memory_order_relaxed);
+}
+
+SynthService::ResultFuture SynthService::submit(const Spec &S,
+                                                const Alphabet &Sigma,
+                                                const SynthOptions &Opts,
+                                                const SubmitContext &Ctx) {
   // Unknown backends answer first, exactly as synthesizeWith() does,
   // so the service is a drop-in for string-driven callers.
   if (!engine::hasBackend(Options.Backend)) {
     std::lock_guard<std::mutex> Lock(M);
     ++Counters.Submitted;
     ++Counters.Immediate;
+    bumpTenantLocked(Ctx.Tenant);
     SynthResult R;
     R.Status = SynthStatus::InvalidInput;
     R.Message = engine::unknownBackendMessage(Options.Backend);
@@ -117,6 +172,7 @@ SynthService::ResultFuture SynthService::submit(const Spec &S,
     std::lock_guard<std::mutex> Lock(M);
     ++Counters.Submitted;
     ++Counters.Immediate;
+    bumpTenantLocked(Ctx.Tenant);
     return readyFuture(std::move(Fast));
   }
 
@@ -126,6 +182,7 @@ SynthService::ResultFuture SynthService::submit(const Spec &S,
 
   std::unique_lock<std::mutex> Lock(M);
   ++Counters.Submitted;
+  bumpTenantLocked(Ctx.Tenant);
 
   if (CachedResult *Hit = Results.get(Key);
       Hit && Hit->KeyText == KeyText) {
@@ -136,6 +193,7 @@ SynthService::ResultFuture SynthService::submit(const Spec &S,
   if (auto It = InFlight.find(Key);
       It != InFlight.end() && It->second->KeyText == KeyText) {
     ++Counters.Coalesced;
+    attachWaiter(*It->second, It->second, Ctx);
     return It->second->Future;
   }
 
@@ -147,6 +205,7 @@ SynthService::ResultFuture SynthService::submit(const Spec &S,
   Req->Sigma = Sigma;
   Req->Opts = Opts;
   Req->Future = Req->Promise.get_future().share();
+  attachWaiter(*Req, Req, Ctx);
   // Plain assignment: on the (2^-128) fingerprint collision with a
   // different in-flight query, the displaced request still completes
   // through its own future; only its coalescing window closes early.
@@ -286,7 +345,27 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
   uint64_t ArmsStarted = 0;
   uint64_t ArmsCancelled = 0;
   if (Session) {
+    // Streaming + disconnect wiring: per-level progress fans out to
+    // every live sink, and the park token stops the search at its
+    // next poll point once every waiter has abandoned it. Both hooks
+    // point into this request, so they are detached right after the
+    // run - a parked session must carry no dangling pointers into a
+    // dead request.
+    Session->setParkToken(&Req->ParkRequest);
+    Session->setProgressHook(
+        [this, Req](const engine::SessionProgress &P) {
+          std::vector<std::shared_ptr<ClientSink>> Fan;
+          {
+            std::lock_guard<std::mutex> Lock(M);
+            Fan = Req->Sinks;
+          }
+          for (const std::shared_ptr<ClientSink> &S : Fan)
+            if (S->OnProgress && !S->Gone.load(std::memory_order_relaxed))
+              S->OnProgress(P);
+        });
     R = Session->run();
+    Session->setProgressHook(nullptr);
+    Session->setParkToken(nullptr);
     LevelsCharged = R.Stats.LevelsRun;
   } else {
     // Portfolio strategy: race the equivalent sweep configurations
@@ -374,23 +453,127 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     // portfolio race has no session here at all).
     if (Session && Session->state() == engine::SessionState::Parked) {
       uint64_t Bytes = Session->bytesUsed();
-      parkSession(SessionKey, ParkedSession{std::move(SessionText),
-                                            std::move(Session), Bytes});
+      if (parkSession(SessionKey, ParkedSession{std::move(SessionText),
+                                                std::move(Session), Bytes}))
+        // Publish "your session is parked for resume" before the
+        // future resolves, so a waiter reading its sink after get()
+        // never races the flag.
+        for (const std::shared_ptr<ClientSink> &S : Req->Sinks)
+          S->SessionParked.store(true, std::memory_order_relaxed);
     }
     InFlight.erase(Req->Key);
   }
   Req->Promise.set_value(std::move(R));
 }
 
-void SynthService::parkSession(const Fingerprint &Key,
+bool SynthService::parkSession(const Fingerprint &Key,
                                ParkedSession Entry) {
-  if (putBudgeted(Sessions, SessionBytesTotal,
-                  Options.SessionParkCapacity, Options.SessionParkBytes,
-                  &Counters.SessionsExpired, Key, std::move(Entry)))
-    ++Counters.SessionsParked;
+  if (!putBudgeted(Sessions, SessionBytesTotal,
+                   Options.SessionParkCapacity, Options.SessionParkBytes,
+                   &Counters.SessionsExpired, Key, std::move(Entry)))
+    return false;
+  ++Counters.SessionsParked;
+  return true;
 }
 
 void SynthService::putStaged(const Fingerprint &Key, CachedStaged Entry) {
   putBudgeted(Staged, StagedBytesTotal, Options.StagedCacheCapacity,
               Options.StagedCacheBytes, nullptr, Key, std::move(Entry));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared banner / stats text (every serving front end prints these)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, std::min(size_t(N), sizeof(Buf) - 1));
+}
+
+} // namespace
+
+std::string service::serviceBanner(const ServiceOptions &Options,
+                                   const SynthOptions &Defaults) {
+  std::string Out;
+  appendf(Out, "serving: backend %s%s, %u worker(s), %u shard(s)",
+          Options.Backend.c_str(), Options.Portfolio ? " (portfolio)" : "",
+          Options.Workers, Defaults.Shards ? Defaults.Shards : 1);
+  if (storeCompressionEnabled(Defaults)) {
+    appendf(Out, ", store compressed");
+    if (!Defaults.SpillDir.empty())
+      appendf(Out, "+spill (pinned %llu MiB)",
+              (unsigned long long)(Defaults.PinnedStoreBytes >> 20));
+  } else {
+    appendf(Out, ", store raw");
+  }
+  appendf(Out, ", memory %llu MiB",
+          (unsigned long long)(Defaults.MemoryLimitBytes >> 20));
+  appendf(Out, ", session park cap %zu (%llu MiB)",
+          Options.SessionParkCapacity,
+          (unsigned long long)(Options.SessionParkBytes >> 20));
+  return Out;
+}
+
+std::string service::serviceStatsText(const ServiceStats &St) {
+  std::string Out;
+  appendf(Out,
+          "service: %llu submitted, %llu hits, %llu misses, "
+          "%llu coalesced, %llu evictions, %llu searches\n",
+          (unsigned long long)St.Submitted, (unsigned long long)St.Hits,
+          (unsigned long long)St.Misses, (unsigned long long)St.Coalesced,
+          (unsigned long long)St.Evictions,
+          (unsigned long long)St.Searches);
+  appendf(Out, "sessions: %llu parked, %llu resumed, %llu expired\n",
+          (unsigned long long)St.SessionsParked,
+          (unsigned long long)St.SessionsResumed,
+          (unsigned long long)St.SessionsExpired);
+  for (const auto &[Backend, Levels] : St.BackendLevels)
+    appendf(Out, "levels: %llu cost level(s) run on backend %s\n",
+            (unsigned long long)Levels, Backend.c_str());
+  for (const auto &[Tenant, Requests] : St.TenantRequests)
+    appendf(Out, "tenant: %s, %llu request(s)\n", Tenant.c_str(),
+            (unsigned long long)Requests);
+  if (St.PortfolioRaces > 0)
+    appendf(Out, "portfolio: %llu race(s), %llu arm(s), %llu cancelled\n",
+            (unsigned long long)St.PortfolioRaces,
+            (unsigned long long)St.PortfolioArms,
+            (unsigned long long)St.PortfolioCancelled);
+  if (St.ShardCount > 1) {
+    appendf(Out, "shards: %llu (rows per shard:",
+            (unsigned long long)St.ShardCount);
+    for (uint64_t Rows : St.ShardRows)
+      appendf(Out, " %llu", (unsigned long long)Rows);
+    appendf(Out, ")\n");
+  }
+  if (St.StoreCompressed) {
+    appendf(Out, "info.store.compression_ratio: %.3f\n",
+            St.StoreCompressionRatio);
+    appendf(Out, "info.store.sealed_rows: %llu (window %llu)\n",
+            (unsigned long long)St.StoreSealedRows,
+            (unsigned long long)St.StoreWindowRows);
+    appendf(Out,
+            "info.store.codec_rows: raw %llu, zero %llu, bits %llu, "
+            "words %llu\n",
+            (unsigned long long)St.StoreCodecRows[0],
+            (unsigned long long)St.StoreCodecRows[1],
+            (unsigned long long)St.StoreCodecRows[2],
+            (unsigned long long)St.StoreCodecRows[3]);
+    appendf(Out, "info.store.tier_hot: %llu chunk(s), %llu bytes\n",
+            (unsigned long long)St.StoreHotChunks,
+            (unsigned long long)St.StoreHotBytes);
+    appendf(Out, "info.store.tier_spilled: %llu chunk(s), %llu bytes\n",
+            (unsigned long long)St.StoreSpilledChunks,
+            (unsigned long long)St.StoreSpilledBytes);
+  }
+  return Out;
 }

@@ -59,8 +59,10 @@
 #include "lang/Fingerprint.h"
 #include "service/LruCache.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -71,6 +73,38 @@
 
 namespace paresy {
 namespace service {
+
+class SynthService;
+
+/// The streaming/abandonment handle of one waiter on one request (the
+/// serving layer's per-client view; DESIGN.md Sec. 12). OnProgress is
+/// fanned out after every completed cost level from the thread running
+/// the search - it must be fast and must not call back into the
+/// service. abandon() marks the sink Gone; when *every* waiter of an
+/// in-flight request is gone, the search stops at the next poll point
+/// and the session parks for a warm-started retry (never Cancelled -
+/// the same client may reconnect).
+struct ClientSink {
+  std::function<void(const engine::SessionProgress &)> OnProgress;
+  /// Set by SynthService::abandon; progress fan-out skips gone sinks.
+  std::atomic<bool> Gone{false};
+  /// Set (before the result future resolves) when the search parked
+  /// its session for resume - the Result frame's "parked" bit.
+  std::atomic<bool> SessionParked{false};
+
+private:
+  friend class SynthService;
+  std::weak_ptr<void> Owner; // The in-flight request this sink feeds.
+};
+
+/// Per-submission context of the tenant-aware entry point.
+struct SubmitContext {
+  /// Tenant name for the per-tenant request ledger; empty = untracked.
+  std::string Tenant;
+  /// Optional streaming/abandonment handle; null = a plain waiter
+  /// (plain waiters pin the search: it never parks on abandonment).
+  std::shared_ptr<ClientSink> Sink;
+};
 
 /// Construction-time configuration of one service instance.
 struct ServiceOptions {
@@ -164,6 +198,10 @@ struct ServiceStats {
   /// spent). The per-backend work ledger --serve-demo prints.
   std::vector<std::pair<std::string, uint64_t>> BackendLevels;
 
+  /// Requests per tenant (tenant-aware submissions only; the network
+  /// front-end's per-tenant ledger).
+  std::vector<std::pair<std::string, uint64_t>> TenantRequests;
+
   /// Portfolio strategy counters (zero unless ServiceOptions::
   /// Portfolio): races run, arms started, and arms that lost and were
   /// cancelled mid-sweep.
@@ -212,6 +250,22 @@ public:
   ResultFuture submit(const Spec &S, const Alphabet &Sigma,
                       const SynthOptions &Opts = {});
 
+  /// Tenant-aware, streaming-capable submit (the network front-end's
+  /// entry point): \p Ctx names the tenant for the per-tenant ledger
+  /// and may carry a ClientSink receiving per-level progress. Sinks
+  /// attach to coalesced requests too - every waiter of one in-flight
+  /// search streams the same levels.
+  ResultFuture submit(const Spec &S, const Alphabet &Sigma,
+                      const SynthOptions &Opts, const SubmitContext &Ctx);
+
+  /// Marks \p Sink gone (its client disconnected). When every waiter
+  /// of the request is gone, the in-flight search stops at its next
+  /// poll point and *parks* its session (engine/Session.h park token),
+  /// so a reconnect submitting the same query with an equal-or-wider
+  /// budget warm-starts instead of recomputing. Safe to call at any
+  /// time, including after the request completed.
+  void abandon(const std::shared_ptr<ClientSink> &Sink);
+
   /// Blocking convenience: submit(...).get().
   SynthResult synthesize(const Spec &S, const Alphabet &Sigma,
                          const SynthOptions &Opts = {});
@@ -233,6 +287,14 @@ private:
     SynthOptions Opts;
     std::promise<SynthResult> Promise;
     ResultFuture Future;
+    /// Streaming waiters (guarded by the service mutex).
+    std::vector<std::shared_ptr<ClientSink>> Sinks;
+    /// A future-only waiter exists; the search never parks on
+    /// abandonment while one does.
+    bool HasPlainWaiter = false;
+    /// The session park token (engine/Session.h): set once every
+    /// sink is gone and no plain waiter remains.
+    std::atomic<bool> ParkRequest{false};
   };
   struct CachedResult {
     std::string KeyText; // Exact key, verified on every hit.
@@ -257,8 +319,13 @@ private:
   /// evicting LRU entries as needed. Caller holds the lock.
   void putStaged(const Fingerprint &Key, CachedStaged Entry);
   /// Parks a session under the count and byte budgets (evictions count
-  /// as SessionsExpired). Caller holds the lock.
-  void parkSession(const Fingerprint &Key, ParkedSession Entry);
+  /// as SessionsExpired). Caller holds the lock. True iff stored.
+  bool parkSession(const Fingerprint &Key, ParkedSession Entry);
+  /// Attaches \p Ctx's waiter to \p Req. Caller holds the lock.
+  void attachWaiter(Request &Req, const std::shared_ptr<Request> &Owner,
+                    const SubmitContext &Ctx);
+  /// Bumps the per-tenant ledger. Caller holds the lock.
+  void bumpTenantLocked(const std::string &Tenant);
 
   ServiceOptions Options;
 
@@ -279,6 +346,18 @@ private:
   std::vector<std::thread> Threads; // Last member: joins before the
                                     // state above is destroyed.
 };
+
+/// One self-describing configuration banner shared by every serving
+/// front end (--serve, --serve-demo, the HelloOk frame): backend,
+/// strategy, workers, shards, store tiering, park budgets.
+std::string serviceBanner(const ServiceOptions &Options,
+                          const SynthOptions &Defaults);
+
+/// The service counters as the canonical multi-line stats text the
+/// CLI prints and the server returns in StatsReply frames: cache and
+/// session counters, the per-backend level ledger, portfolio and
+/// per-tenant lines, shard occupancy, and the store-tier block.
+std::string serviceStatsText(const ServiceStats &St);
 
 } // namespace service
 } // namespace paresy

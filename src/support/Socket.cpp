@@ -1,0 +1,228 @@
+//===- support/Socket.cpp - Minimal TCP socket wrappers ----------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARESY_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define PARESY_HAVE_SOCKETS 0
+#endif
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using namespace paresy;
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+#if PARESY_HAVE_SOCKETS
+
+bool Socket::sendAll(const void *Data, size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::send(Fd, P, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    P += N;
+    Size -= size_t(N);
+  }
+  return true;
+}
+
+bool Socket::recvAll(void *Data, size_t Size) {
+  char *P = static_cast<char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::recv(Fd, P, Size, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // Peer closed.
+    P += N;
+    Size -= size_t(N);
+  }
+  return true;
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+
+/// Resolves Host:Port into a sockaddr_in. Numeric addresses first (no
+/// resolver round trip for the common 127.0.0.1 case), names second.
+bool resolveV4(const std::string &Host, uint16_t Port, sockaddr_in &Out,
+               std::string *Error) {
+  std::memset(&Out, 0, sizeof(Out));
+  Out.sin_family = AF_INET;
+  Out.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Out.sin_addr) == 1)
+    return true;
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  if (::getaddrinfo(Host.c_str(), nullptr, &Hints, &Res) != 0 || !Res) {
+    if (Error)
+      *Error = "cannot resolve host '" + Host + "'";
+    return false;
+  }
+  Out.sin_addr =
+      reinterpret_cast<sockaddr_in *>(Res->ai_addr)->sin_addr;
+  ::freeaddrinfo(Res);
+  return true;
+}
+
+} // namespace
+
+Socket paresy::connectTo(const std::string &Host, uint16_t Port,
+                         std::string *Error) {
+  sockaddr_in Addr;
+  if (!resolveV4(Host, Port, Addr, Error))
+    return Socket();
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return Socket();
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    if (Error)
+      *Error = "cannot connect to " + Host + ":" + std::to_string(Port) +
+               ": " + std::strerror(errno);
+    ::close(Fd);
+    return Socket();
+  }
+  // Frames are small and latency-bound; never batch them.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Socket(Fd);
+}
+
+bool Listener::open(const std::string &Host, uint16_t Port,
+                    std::string *Error) {
+  close();
+  sockaddr_in Addr;
+  if (!resolveV4(Host, Port, Addr, Error))
+    return false;
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    if (Error)
+      *Error = "cannot listen on " + Host + ":" + std::to_string(Port) +
+               ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  sockaddr_in Bound;
+  socklen_t Len = sizeof(Bound);
+  BoundPort = Port;
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+    BoundPort = ntohs(Bound.sin_port);
+  return true;
+}
+
+Socket Listener::accept(int TimeoutMillis) {
+  if (Fd < 0)
+    return Socket();
+  pollfd P{Fd, POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMillis);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc <= 0 || !(P.revents & POLLIN))
+    return Socket();
+  int Conn;
+  do {
+    Conn = ::accept(Fd, nullptr, nullptr);
+  } while (Conn < 0 && errno == EINTR);
+  if (Conn < 0)
+    return Socket();
+  int One = 1;
+  ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Socket(Conn);
+}
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+#else // !PARESY_HAVE_SOCKETS
+
+namespace {
+constexpr const char *NoSockets =
+    "TCP serving is not supported on this platform";
+}
+
+bool Socket::sendAll(const void *, size_t) { return false; }
+bool Socket::recvAll(void *, size_t) { return false; }
+void Socket::shutdownBoth() {}
+void Socket::close() { Fd = -1; }
+
+Socket paresy::connectTo(const std::string &, uint16_t,
+                         std::string *Error) {
+  if (Error)
+    *Error = NoSockets;
+  return Socket();
+}
+
+bool Listener::open(const std::string &, uint16_t, std::string *Error) {
+  if (Error)
+    *Error = NoSockets;
+  return false;
+}
+Socket Listener::accept(int) { return Socket(); }
+void Listener::close() { Fd = -1; }
+
+#endif // PARESY_HAVE_SOCKETS

@@ -1,0 +1,102 @@
+//===- support/Socket.h - Minimal TCP socket wrappers ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX socket layer under the network serving stack
+/// (serve/SynthServer.h, serve/Client.h). Deliberately minimal: RAII
+/// file descriptors, full-buffer send/recv loops (the wire layer
+/// frames messages, so partial reads are never surfaced upward), a
+/// listener with a polled accept so server threads can observe a stop
+/// flag, and nothing else. All blocking calls retry on EINTR; sends
+/// use MSG_NOSIGNAL so a peer disconnect surfaces as a failed write,
+/// never as SIGPIPE.
+///
+/// On non-POSIX hosts the whole layer compiles to stubs that fail with
+/// a clear error string, keeping the library portable without an
+/// #ifdef in every serving file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_SUPPORT_SOCKET_H
+#define PARESY_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace paresy {
+
+/// An owned, connected TCP socket. Move-only; the destructor closes.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Writes all \p Size bytes; false on any error (including a closed
+  /// peer). Safe to call from several threads only under an external
+  /// lock (the serving layer holds a per-connection write mutex).
+  bool sendAll(const void *Data, size_t Size);
+
+  /// Reads exactly \p Size bytes; false on EOF or error.
+  bool recvAll(void *Data, size_t Size);
+
+  /// Half-close in both directions: any blocked recvAll() on this
+  /// socket (in another thread) returns false. Idempotent.
+  void shutdownBoth();
+
+  /// Closes the descriptor. Idempotent.
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Connects to Host:Port (numeric or resolvable name). Returns an
+/// invalid Socket and fills \p Error on failure.
+Socket connectTo(const std::string &Host, uint16_t Port,
+                 std::string *Error);
+
+/// A listening TCP socket with a polled accept.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on Host:Port (SO_REUSEADDR; Port 0 picks an
+  /// ephemeral port, readable via port()).
+  bool open(const std::string &Host, uint16_t Port, std::string *Error);
+
+  bool valid() const { return Fd >= 0; }
+
+  /// The bound port (resolved after open(), also for ephemeral binds).
+  uint16_t port() const { return BoundPort; }
+
+  /// Waits up to \p TimeoutMillis for a connection; returns an invalid
+  /// Socket on timeout or a closed listener, so accept loops can poll
+  /// a stop flag between calls.
+  Socket accept(int TimeoutMillis);
+
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t BoundPort = 0;
+};
+
+} // namespace paresy
+
+#endif // PARESY_SUPPORT_SOCKET_H

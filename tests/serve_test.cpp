@@ -1,0 +1,934 @@
+//===- tests/serve_test.cpp - Network serving stack ---------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The network-serving contract (DESIGN.md Sec. 12):
+///
+///   (a) the wire codec round-trips every frame type and rejects every
+///       truncation, every single-byte corruption, and trailing
+///       garbage - fail closed, like snapshot restore;
+///   (b) admission control is deterministic: per-tenant token buckets
+///       deny over-quota tenants without touching others, the bounded
+///       queue sheds with a retryable Overloaded frame when full, and
+///       jobs older than the queue-age deadline are shed at dequeue;
+///   (c) weighted fair dequeue gives a weight-3 tenant ~3 slots per
+///       weight-1 slot under contention, FIFO within ties;
+///   (d) streamed anytime results are monotone: the best-so-far cost
+///       never increases, the proven floor only rises;
+///   (e) the Result frame is byte-identical (on every deterministic
+///       field) to an in-process SynthService run of the same request
+///       on the same backend - the wire adds transport, not answers;
+///   (f) a mid-search disconnect *parks* the session; a reconnect
+///       submitting the same query warm-starts it and returns the same
+///       result a never-interrupted run produces.
+///
+/// Tests named External* run against a live server named by the
+/// PARESY_SERVE_ADDR environment variable (HOST:PORT) and skip when it
+/// is unset; CI's server-integration job provides one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Admission.h"
+#include "serve/Client.h"
+#include "serve/SynthServer.h"
+#include "serve/Wire.h"
+
+#include "engine/Backend.h"
+#include "engine/BackendRegistry.h"
+#include "engine/CpuBackend.h"
+#include "regex/Matcher.h"
+#include "service/SynthService.h"
+#include "support/Socket.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::serve;
+
+namespace {
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+Spec example36Spec() {
+  return Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"});
+}
+
+/// Polls \p P every few milliseconds for up to \p Seconds.
+template <typename Pred> bool eventually(Pred P, double Seconds = 10.0) {
+  WallTimer T;
+  while (T.seconds() < Seconds) {
+    if (P())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return P();
+}
+
+bool satisfies(const std::string &Regex, const Spec &S) {
+  RegexManager M;
+  ParseResult P = parseRegex(M, Regex);
+  return P && satisfiesExamples(M, P.Re, S.Pos, S.Neg);
+}
+
+//===----------------------------------------------------------------------===//
+// Test backend: holds every search at a gate so admission and
+// disconnects can be staged deterministically.
+//===----------------------------------------------------------------------===//
+
+struct SearchGate {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Open = false;
+
+  void reset() {
+    std::lock_guard<std::mutex> Lock(M);
+    Open = false;
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Open = true;
+    }
+    Cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Open; });
+  }
+};
+
+SearchGate &gate() {
+  static SearchGate G;
+  return G;
+}
+
+/// Opens the gate on scope exit, so a failing ASSERT never leaves a
+/// server worker blocked forever.
+struct GateOpener {
+  ~GateOpener() { gate().open(); }
+};
+
+class GatedCpuBackend : public engine::CpuBackend {
+public:
+  std::string_view name() const override { return "serve-gated-cpu"; }
+  void prepare(engine::SearchContext &Ctx) override {
+    gate().wait();
+    engine::CpuBackend::prepare(Ctx);
+  }
+};
+
+bool registerServeTestBackends() {
+  static bool Done = [] {
+    engine::registerBackend("serve-gated-cpu",
+                            [](const engine::BackendConfig &) {
+                              return std::make_unique<GatedCpuBackend>();
+                            });
+    return true;
+  }();
+  return Done;
+}
+
+//===----------------------------------------------------------------------===//
+// Client-side frame pump
+//===----------------------------------------------------------------------===//
+
+struct Collected {
+  std::vector<ProgressFrame> Progress;
+  std::map<uint64_t, ResultFrame> Results;
+  std::map<uint64_t, OverloadedFrame> Overloaded;
+};
+
+/// Reads frames until every id in \p Want has a Result or Overloaded
+/// answer. False on disconnect or an unexpected frame type.
+bool pump(ServeClient &C, const std::set<uint64_t> &Want, Collected &Out) {
+  std::set<uint64_t> Seen;
+  Frame F;
+  while (Seen.size() < Want.size()) {
+    if (!C.next(F))
+      return false;
+    if (F.Type == FrameType::Progress)
+      Out.Progress.push_back(F.Progress);
+    else if (F.Type == FrameType::Result) {
+      Out.Results[F.Result.RequestId] = F.Result;
+      if (Want.count(F.Result.RequestId))
+        Seen.insert(F.Result.RequestId);
+    } else if (F.Type == FrameType::Overloaded) {
+      Out.Overloaded[F.Overloaded.RequestId] = F.Overloaded;
+      if (Want.count(F.Overloaded.RequestId))
+        Seen.insert(F.Overloaded.RequestId);
+    } else
+      return false;
+  }
+  return true;
+}
+
+/// The streamed-anytime monotonicity contract for one request's
+/// progress frames: floor strictly rising, best cost never increasing,
+/// every streamed candidate satisfying the spec.
+void expectMonotoneProgress(const std::vector<ProgressFrame> &Frames,
+                            uint64_t Id, const Spec &S) {
+  uint64_t LastFloor = 0;
+  uint64_t LastBest = ~uint64_t(0);
+  bool First = true;
+  for (const ProgressFrame &P : Frames) {
+    if (P.RequestId != Id)
+      continue;
+    if (!First) {
+      EXPECT_GT(P.CompletedCost, LastFloor);
+      EXPECT_LE(P.BestCost, LastBest);
+    }
+    EXPECT_LE(P.CompletedCost, P.Horizon);
+    EXPECT_TRUE(satisfies(P.BestRegex, S)) << P.BestRegex;
+    LastFloor = P.CompletedCost;
+    LastBest = P.BestCost;
+    First = false;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Admission primitives (deterministic, clock-free)
+//===----------------------------------------------------------------------===//
+
+TEST(TokenBucket, RefillsAtRateUpToBurst) {
+  TokenBucket B(1.0, 2.0);
+  EXPECT_TRUE(B.tryAcquire(0));
+  EXPECT_TRUE(B.tryAcquire(0));
+  EXPECT_FALSE(B.tryAcquire(0));
+  // Half a second refills half a token: still denied.
+  EXPECT_FALSE(B.tryAcquire(0.5));
+  // By 1.6s the balance crossed one token.
+  EXPECT_TRUE(B.tryAcquire(1.6));
+  EXPECT_FALSE(B.tryAcquire(1.6));
+  // Time never runs backwards for the bucket.
+  EXPECT_FALSE(B.tryAcquire(1.0));
+  // Burst caps the balance no matter how long the tenant was idle.
+  EXPECT_TRUE(B.tryAcquire(1000));
+  EXPECT_TRUE(B.tryAcquire(1000));
+  EXPECT_FALSE(B.tryAcquire(1000));
+}
+
+TEST(TokenBucket, ZeroRateIsAPureBurstAllowance) {
+  TokenBucket B(0, 3.0);
+  EXPECT_TRUE(B.tryAcquire(0));
+  EXPECT_TRUE(B.tryAcquire(10));
+  EXPECT_TRUE(B.tryAcquire(1e9));
+  EXPECT_FALSE(B.tryAcquire(1e12));
+  EXPECT_EQ(B.available(1e12), 0);
+}
+
+TEST(FairQueue, WeightThreeDrainsThreeToOneUnderContention) {
+  FairQueue<int> Q;
+  // 4 jobs per tenant, interleaved arrivals: A has weight 3, B has 1.
+  for (int I = 0; I != 4; ++I) {
+    Q.push("A", 3.0, 0, I);
+    Q.push("B", 1.0, 0, 100 + I);
+  }
+  ASSERT_EQ(Q.size(), 8u);
+  std::vector<std::string> Order;
+  while (auto E = Q.pop())
+    Order.push_back(E->Tenant);
+  ASSERT_EQ(Order.size(), 8u);
+  // The first two slots are A's (tags 1/3, 2/3 beat B's 1), and all
+  // four of A's jobs drain within the first five slots: a 3:1 share.
+  EXPECT_EQ(Order[0], "A");
+  EXPECT_EQ(Order[1], "A");
+  EXPECT_EQ(std::count(Order.begin(), Order.begin() + 5, "A"), 4);
+  // B drains FIFO among itself.
+  EXPECT_EQ(Order[5], "B");
+  EXPECT_EQ(Order[6], "B");
+  EXPECT_EQ(Order[7], "B");
+}
+
+TEST(FairQueue, IdleTenantCatchesUpInsteadOfBankingCredit) {
+  FairQueue<int> Q;
+  for (int I = 0; I != 4; ++I)
+    Q.push("A", 1.0, 0, I);
+  while (Q.pop())
+    ;
+  // C was idle the whole time; its first job must not jump a future
+  // backlog (start tag catches up to the virtual time) but also must
+  // not wait behind anything now.
+  Q.push("C", 1.0, 0, 1);
+  Q.push("A", 1.0, 0, 2);
+  auto E = Q.pop();
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Tenant, "C");
+}
+
+TEST(FairQueue, HeadEnqueueTimeProbesTheOldestJob) {
+  FairQueue<int> Q;
+  EXPECT_EQ(Q.headEnqueuedAt(), 0);
+  Q.push("A", 1.0, 7.5, 1);
+  Q.push("A", 1.0, 9.5, 2);
+  EXPECT_EQ(Q.headEnqueuedAt(), 7.5);
+  Q.pop();
+  EXPECT_EQ(Q.headEnqueuedAt(), 9.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire codec: round trips and fail-closed rejection
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodec, RoundTripsEveryFrameType) {
+  std::string Nasty("nasty\0\xff\x01+,#@", 12); // Embedded NUL included.
+
+  HelloFrame H;
+  H.Tenant = Nasty;
+  H.Weight = 3.25;
+  Frame F;
+  ASSERT_TRUE(decodeFrame(encodeFrame(H), F));
+  ASSERT_EQ(F.Type, FrameType::Hello);
+  EXPECT_EQ(F.Hello.Protocol, WireProtocolVersion);
+  EXPECT_EQ(F.Hello.Tenant, Nasty);
+  EXPECT_EQ(F.Hello.Weight, 3.25);
+
+  HelloOkFrame HO;
+  HO.Banner = "serving: backend cpu";
+  ASSERT_TRUE(decodeFrame(encodeFrame(HO), F));
+  ASSERT_EQ(F.Type, FrameType::HelloOk);
+  EXPECT_EQ(F.HelloOk.Banner, HO.Banner);
+
+  SubmitFrame S;
+  S.RequestId = 0x1122334455667788ull;
+  S.Examples = Spec({"10", "", Nasty}, {"0", "11"});
+  S.AlphabetChars = "01";
+  S.Opts.Cost = CostFn(2, 3, 4, 5, 6);
+  S.Opts.MaxCost = 500;
+  S.Opts.MemoryLimitBytes = 123456789;
+  S.Opts.TimeoutSeconds = 2.5;
+  S.Opts.AllowedError = 0.125;
+  S.Opts.Shards = 3;
+  S.Opts.CompressStore = true;
+  S.Opts.Portfolio = true;
+  S.Opts.UseGuideTable = false;
+  ASSERT_TRUE(decodeFrame(encodeFrame(S), F));
+  ASSERT_EQ(F.Type, FrameType::Submit);
+  EXPECT_EQ(F.Submit.RequestId, S.RequestId);
+  EXPECT_EQ(F.Submit.Examples.Pos, S.Examples.Pos);
+  EXPECT_EQ(F.Submit.Examples.Neg, S.Examples.Neg);
+  EXPECT_EQ(F.Submit.AlphabetChars, "01");
+  EXPECT_EQ(F.Submit.Opts.Cost.name(), S.Opts.Cost.name());
+  EXPECT_EQ(F.Submit.Opts.MaxCost, 500u);
+  EXPECT_EQ(F.Submit.Opts.MemoryLimitBytes, 123456789u);
+  EXPECT_EQ(F.Submit.Opts.TimeoutSeconds, 2.5);
+  EXPECT_EQ(F.Submit.Opts.AllowedError, 0.125);
+  EXPECT_EQ(F.Submit.Opts.Shards, 3u);
+  EXPECT_TRUE(F.Submit.Opts.CompressStore);
+  EXPECT_TRUE(F.Submit.Opts.Portfolio);
+  EXPECT_FALSE(F.Submit.Opts.UseGuideTable);
+  // Host-resource options are not on the wire: decoding always yields
+  // the defaults, whatever the sender's process had.
+  EXPECT_TRUE(F.Submit.Opts.SpillDir.empty());
+
+  CancelFrame C;
+  C.RequestId = 42;
+  ASSERT_TRUE(decodeFrame(encodeFrame(C), F));
+  ASSERT_EQ(F.Type, FrameType::Cancel);
+  EXPECT_EQ(F.Cancel.RequestId, 42u);
+
+  ASSERT_TRUE(decodeFrame(encodeFrame(FrameType::StatsReq), F));
+  EXPECT_EQ(F.Type, FrameType::StatsReq);
+  ASSERT_TRUE(decodeFrame(encodeFrame(FrameType::Bye), F));
+  EXPECT_EQ(F.Type, FrameType::Bye);
+
+  ProgressFrame P;
+  P.RequestId = 7;
+  P.BestRegex = "10(1+0)*";
+  P.BestCost = 99;
+  P.CompletedCost = 5;
+  P.Horizon = 31;
+  P.Candidates = 123456;
+  P.ConsumedSeconds = 0.75;
+  ASSERT_TRUE(decodeFrame(encodeFrame(P), F));
+  ASSERT_EQ(F.Type, FrameType::Progress);
+  EXPECT_EQ(F.Progress.BestRegex, P.BestRegex);
+  EXPECT_EQ(F.Progress.BestCost, 99u);
+  EXPECT_EQ(F.Progress.CompletedCost, 5u);
+  EXPECT_EQ(F.Progress.Horizon, 31u);
+  EXPECT_EQ(F.Progress.Candidates, 123456u);
+  EXPECT_EQ(F.Progress.ConsumedSeconds, 0.75);
+
+  ResultFrame R;
+  R.RequestId = 8;
+  R.Status = uint8_t(SynthStatus::Found);
+  R.Regex = "10(0+1)*";
+  R.Cost = 10;
+  R.Message = Nasty;
+  R.Candidates = 999;
+  R.Unique = 555;
+  R.PrecomputeSeconds = 0.5;
+  R.SearchSeconds = 1.5;
+  R.LevelsRun = 9;
+  R.Parked = 1;
+  ASSERT_TRUE(decodeFrame(encodeFrame(R), F));
+  ASSERT_EQ(F.Type, FrameType::Result);
+  EXPECT_EQ(F.Result.Regex, R.Regex);
+  EXPECT_EQ(F.Result.Cost, 10u);
+  EXPECT_EQ(F.Result.Message, Nasty);
+  EXPECT_EQ(F.Result.Candidates, 999u);
+  EXPECT_EQ(F.Result.Unique, 555u);
+  EXPECT_EQ(F.Result.LevelsRun, 9u);
+  EXPECT_EQ(F.Result.Parked, 1);
+
+  OverloadedFrame O;
+  O.RequestId = 9;
+  O.Reason = "queue full";
+  ASSERT_TRUE(decodeFrame(encodeFrame(O), F));
+  ASSERT_EQ(F.Type, FrameType::Overloaded);
+  EXPECT_EQ(F.Overloaded.Reason, "queue full");
+  EXPECT_EQ(F.Overloaded.Retryable, 1);
+
+  ASSERT_TRUE(decodeFrame(encodeFrame(StatsReplyFrame{"stats\ntext\n"}), F));
+  ASSERT_EQ(F.Type, FrameType::StatsReply);
+  EXPECT_EQ(F.Stats.Text, "stats\ntext\n");
+
+  ASSERT_TRUE(decodeFrame(encodeFrame(ErrorFrame{Nasty}), F));
+  ASSERT_EQ(F.Type, FrameType::Error);
+  EXPECT_EQ(F.Error.Message, Nasty);
+}
+
+TEST(WireCodec, RejectsEveryTruncationOfEveryFrame) {
+  SubmitFrame S;
+  S.RequestId = 3;
+  S.Examples = introSpec();
+  S.AlphabetChars = "01";
+  std::vector<std::string> Payloads = {
+      encodeFrame(HelloFrame{}), encodeFrame(S),
+      encodeFrame(ProgressFrame{1, "10*", 5, 2, 9, 100, 0.5}),
+      encodeFrame(StatsReplyFrame{"text"})};
+  for (const std::string &Payload : Payloads) {
+    Frame F;
+    ASSERT_TRUE(decodeFrame(Payload, F));
+    for (size_t Len = 0; Len != Payload.size(); ++Len)
+      EXPECT_FALSE(decodeFrame(std::string_view(Payload.data(), Len), F))
+          << "prefix of length " << Len << " of " << Payload.size();
+  }
+}
+
+TEST(WireCodec, RejectsEverySingleByteCorruption) {
+  SubmitFrame S;
+  S.RequestId = 3;
+  S.Examples = example36Spec();
+  S.AlphabetChars = "01";
+  std::string Payload = encodeFrame(S);
+  Frame F;
+  ASSERT_TRUE(decodeFrame(Payload, F));
+  // The checksum trailer covers the whole payload: any one-byte flip -
+  // envelope, fields, or the trailer itself - must reject.
+  for (size_t I = 0; I != Payload.size(); ++I) {
+    std::string Rotten = Payload;
+    Rotten[I] = char(Rotten[I] ^ 0x2c);
+    EXPECT_FALSE(decodeFrame(Rotten, F)) << "flip at byte " << I;
+  }
+}
+
+TEST(WireCodec, RejectsTrailingGarbageAndOversizedClaims) {
+  std::string Payload = encodeFrame(CancelFrame{11});
+  Frame F;
+  ASSERT_TRUE(decodeFrame(Payload, F));
+  EXPECT_FALSE(decodeFrame(Payload + std::string(1, '\0'), F));
+  EXPECT_FALSE(decodeFrame(Payload + "garbage", F));
+  std::string Error;
+  EXPECT_FALSE(decodeFrame(std::string(), F, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Frame transport over a real socket pair
+//===----------------------------------------------------------------------===//
+
+TEST(WireTransport, LengthPrefixedFramesCrossALoopbackSocket) {
+  std::string Error;
+  Listener L;
+  ASSERT_TRUE(L.open("127.0.0.1", 0, &Error)) << Error;
+  Socket Client = connectTo("127.0.0.1", L.port(), &Error);
+  ASSERT_TRUE(Client.valid()) << Error;
+  Socket Server = L.accept(2000);
+  ASSERT_TRUE(Server.valid());
+
+  std::string Out = encodeFrame(StatsReplyFrame{std::string(70000, 'x')});
+  ASSERT_TRUE(writeFrame(Client, Out));
+  std::string In;
+  ASSERT_TRUE(readFrame(Server, In));
+  EXPECT_EQ(In, Out);
+
+  // A length prefix beyond MaxFrameBytes is rejected before any
+  // allocation, and the connection is treated as broken.
+  uint32_t Huge = MaxFrameBytes + 1;
+  char Prefix[4] = {char(Huge & 0xff), char((Huge >> 8) & 0xff),
+                    char((Huge >> 16) & 0xff), char((Huge >> 24) & 0xff)};
+  ASSERT_TRUE(Client.sendAll(Prefix, 4));
+  EXPECT_FALSE(readFrame(Server, In));
+}
+
+//===----------------------------------------------------------------------===//
+// Server: handshake and protocol policing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ServerOptions basicServer(const std::string &Backend,
+                          unsigned Workers = 1) {
+  ServerOptions O;
+  O.Workers = Workers;
+  O.Service.Backend = Backend;
+  return O;
+}
+
+} // namespace
+
+TEST(ServeHandshake, HelloOkCarriesTheServiceBanner) {
+  SynthServer Server(basicServer("cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+  EXPECT_NE(C.banner().find("serving: backend cpu"), std::string::npos)
+      << C.banner();
+  // The banner reports the server pool's width, not the synchronous
+  // service's zero workers.
+  EXPECT_NE(C.banner().find("1 worker(s)"), std::string::npos) << C.banner();
+  EXPECT_EQ(C.banner(), Server.banner());
+  C.goodbye();
+  Server.stop();
+  EXPECT_GE(Server.stats().Connections, 1u);
+}
+
+TEST(ServeHandshake, RejectsProtocolMismatchAndNonHelloOpenings) {
+  SynthServer Server(basicServer("cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  {
+    Socket S = connectTo("127.0.0.1", Server.port(), &Error);
+    ASSERT_TRUE(S.valid()) << Error;
+    HelloFrame H;
+    H.Protocol = WireProtocolVersion + 1;
+    ASSERT_TRUE(writeFrame(S, encodeFrame(H)));
+    std::string Payload;
+    Frame F;
+    ASSERT_TRUE(readFrame(S, Payload));
+    ASSERT_TRUE(decodeFrame(Payload, F));
+    ASSERT_EQ(F.Type, FrameType::Error);
+    EXPECT_NE(F.Error.Message.find("protocol"), std::string::npos);
+  }
+  {
+    Socket S = connectTo("127.0.0.1", Server.port(), &Error);
+    ASSERT_TRUE(S.valid()) << Error;
+    ASSERT_TRUE(writeFrame(S, encodeFrame(CancelFrame{1})));
+    std::string Payload;
+    Frame F;
+    ASSERT_TRUE(readFrame(S, Payload));
+    ASSERT_TRUE(decodeFrame(Payload, F));
+    ASSERT_EQ(F.Type, FrameType::Error);
+    EXPECT_NE(F.Error.Message.find("Hello"), std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Server: streamed anytime results
+//===----------------------------------------------------------------------===//
+
+TEST(ServeStreaming, ProgressIsMonotoneAndCandidatesAlwaysSatisfy) {
+  SynthServer Server(basicServer("cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+
+  Spec S = introSpec();
+  SynthOptions Opts;
+  ASSERT_TRUE(C.submit(5, S, "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(C, {5}, Got));
+  ASSERT_TRUE(Got.Results.count(5));
+  const ResultFrame &R = Got.Results[5];
+  EXPECT_EQ(SynthStatus(R.Status), SynthStatus::Found);
+  EXPECT_TRUE(satisfies(R.Regex, S)) << R.Regex;
+
+  // At least one completed level streamed before the answer, each one
+  // monotone, and the initial best-so-far is the overfit union at its
+  // documented cost bound.
+  ASSERT_FALSE(Got.Progress.empty());
+  expectMonotoneProgress(Got.Progress, 5, S);
+  EXPECT_EQ(Got.Progress.front().BestRegex, overfitRegexText(S));
+  EXPECT_EQ(Got.Progress.front().BestCost, overfitCostBound(S, Opts.Cost));
+  // The final answer beats (or matches) everything that was streamed.
+  EXPECT_LE(R.Cost, Got.Progress.back().BestCost);
+  C.goodbye();
+  Server.stop();
+  EXPECT_GE(Server.stats().ProgressFrames, Got.Progress.size());
+}
+
+TEST(ServeStreaming, ResultMatchesInProcessServiceOnEveryBackend) {
+  // The acceptance gate: what crosses the wire is byte-identical (on
+  // every deterministic field) to an in-process SynthService answer
+  // for the same request on the same backend.
+  for (const char *Backend : {"cpu", "cpu-parallel", "gpusim", "hetero"}) {
+    SCOPED_TRACE(Backend);
+    SynthServer Server(basicServer(Backend));
+    std::string Error;
+    ASSERT_TRUE(Server.start(&Error)) << Error;
+    ServeClient C;
+    ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+        << Error;
+    Spec S = introSpec();
+    SynthOptions Opts;
+    ASSERT_TRUE(C.submit(1, S, "01", Opts));
+    Collected Got;
+    ASSERT_TRUE(pump(C, {1}, Got));
+    ASSERT_TRUE(Got.Results.count(1));
+    const ResultFrame &R = Got.Results[1];
+
+    service::ServiceOptions SO;
+    SO.Backend = Backend;
+    service::SynthService Direct(SO);
+    SynthResult Ref =
+        Direct.synthesize(S, Alphabet::of("01"), Opts);
+
+    EXPECT_EQ(SynthStatus(R.Status), Ref.Status);
+    EXPECT_EQ(R.Regex, Ref.Regex);
+    EXPECT_EQ(R.Cost, Ref.Cost);
+    EXPECT_EQ(R.Message, Ref.Message);
+    EXPECT_EQ(R.Candidates, Ref.Stats.CandidatesGenerated);
+    EXPECT_EQ(R.Unique, Ref.Stats.UniqueLanguages);
+    EXPECT_EQ(R.LevelsRun, Ref.Stats.LevelsRun);
+    C.goodbye();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Server: admission control
+//===----------------------------------------------------------------------===//
+
+TEST(ServeAdmission, QuotaDeniesTheNoisyTenantNotTheQuietOne) {
+  ServerOptions O = basicServer("cpu");
+  // A near-zero rate makes the bucket a pure burst allowance for the
+  // duration of the test: 2 admissions per tenant, deterministically.
+  O.TenantRatePerSec = 1e-9;
+  O.TenantBurst = 2;
+  SynthServer Server(std::move(O));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  ServeClient Noisy;
+  ASSERT_TRUE(Noisy.connect("127.0.0.1", Server.port(), "noisy", 1.0,
+                            &Error))
+      << Error;
+  SynthOptions Opts;
+  ASSERT_TRUE(Noisy.submit(1, Spec({"0"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(Noisy.submit(2, Spec({"1"}, {"0"}), "01", Opts));
+  ASSERT_TRUE(Noisy.submit(3, Spec({"00"}, {"1"}), "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(Noisy, {1, 2, 3}, Got));
+  EXPECT_TRUE(Got.Results.count(1));
+  EXPECT_TRUE(Got.Results.count(2));
+  ASSERT_TRUE(Got.Overloaded.count(3));
+  EXPECT_NE(Got.Overloaded[3].Reason.find("quota"), std::string::npos);
+  EXPECT_EQ(Got.Overloaded[3].Retryable, 1);
+
+  // The quiet tenant's bucket is untouched by the noisy one's burn.
+  ServeClient Quiet;
+  ASSERT_TRUE(Quiet.connect("127.0.0.1", Server.port(), "quiet", 1.0,
+                            &Error))
+      << Error;
+  ASSERT_TRUE(Quiet.submit(4, Spec({"10"}, {"01"}), "01", Opts));
+  Collected QuietGot;
+  ASSERT_TRUE(pump(Quiet, {4}, QuietGot));
+  EXPECT_TRUE(QuietGot.Results.count(4));
+
+  EXPECT_EQ(Server.stats().QuotaDenied, 1u);
+  // The per-tenant ledger (admitted requests only) shows the skew.
+  std::string Stats = Server.statsText();
+  EXPECT_NE(Stats.find("tenant: noisy, 2 request(s)"), std::string::npos)
+      << Stats;
+  EXPECT_NE(Stats.find("tenant: quiet, 1 request(s)"), std::string::npos)
+      << Stats;
+}
+
+TEST(ServeAdmission, ShedsWithOverloadedWhenTheQueueIsFull) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  ServerOptions O = basicServer("serve-gated-cpu");
+  O.MaxQueueDepth = 1;
+  SynthServer Server(std::move(O));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+
+  SynthOptions Opts;
+  // Job 1 lands on the (only) worker and blocks at the gate.
+  ASSERT_TRUE(C.submit(1, Spec({"0"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(eventually([&] {
+    return Server.service().stats().Misses >= 1 &&
+           Server.stats().QueueDepth == 0;
+  }));
+  // Job 2 fills the queue; job 3 is shed.
+  ASSERT_TRUE(C.submit(2, Spec({"1"}, {"0"}), "01", Opts));
+  ASSERT_TRUE(eventually([&] { return Server.stats().QueueDepth == 1; }));
+  ASSERT_TRUE(C.submit(3, Spec({"00"}, {"1"}), "01", Opts));
+
+  Collected Got;
+  ASSERT_TRUE(pump(C, {3}, Got));
+  ASSERT_TRUE(Got.Overloaded.count(3));
+  EXPECT_NE(Got.Overloaded[3].Reason.find("queue"), std::string::npos);
+  EXPECT_EQ(Server.stats().ShedQueueFull, 1u);
+
+  // Open the gate: both admitted jobs complete normally.
+  gate().open();
+  ASSERT_TRUE(pump(C, {1, 2}, Got));
+  EXPECT_TRUE(Got.Results.count(1));
+  EXPECT_TRUE(Got.Results.count(2));
+  EXPECT_EQ(Server.stats().PeakQueueDepth, 1u);
+}
+
+TEST(ServeAdmission, ShedsJobsOlderThanTheQueueAgeDeadline) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  ServerOptions O = basicServer("serve-gated-cpu");
+  O.QueueAgeDeadlineSeconds = 0.25;
+  SynthServer Server(std::move(O));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+
+  SynthOptions Opts;
+  // Job 1 is dequeued immediately (age ~0) and blocks at the gate.
+  ASSERT_TRUE(C.submit(1, Spec({"0"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(eventually([&] {
+    return Server.service().stats().Misses >= 1;
+  }));
+  // Job 2 queues behind it and ages past the deadline.
+  ASSERT_TRUE(C.submit(2, Spec({"1"}, {"0"}), "01", Opts));
+  ASSERT_TRUE(eventually([&] { return Server.stats().QueueDepth == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  gate().open();
+
+  Collected Got;
+  ASSERT_TRUE(pump(C, {1, 2}, Got));
+  EXPECT_TRUE(Got.Results.count(1));
+  ASSERT_TRUE(Got.Overloaded.count(2));
+  EXPECT_NE(Got.Overloaded[2].Reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(Server.stats().ShedStale, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Server: disconnect parks, reconnect resumes
+//===----------------------------------------------------------------------===//
+
+TEST(ServeResume, DisconnectParksThenReconnectWarmStartsBitIdentically) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  SynthServer Server(basicServer("serve-gated-cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  Spec S = introSpec();
+  SynthOptions Opts;
+
+  // Client A submits and vanishes mid-search (the search is held at
+  // the gate, so the disconnect strictly precedes any level).
+  {
+    ServeClient A;
+    ASSERT_TRUE(A.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+        << Error;
+    ASSERT_TRUE(A.submit(7, S, "01", Opts));
+    ASSERT_TRUE(eventually([&] {
+      return Server.service().stats().Misses >= 1;
+    }));
+    A.disconnect();
+  }
+  ASSERT_TRUE(eventually([&] { return Server.stats().Disconnects >= 1; }));
+  gate().open();
+  // With every waiter gone the search stops at its next poll point and
+  // parks; the session survives the disconnect.
+  ASSERT_TRUE(eventually([&] {
+    return Server.service().stats().SessionsParked >= 1;
+  }));
+
+  // Client B reconnects with the same query and equal budgets: the
+  // parked session warm-starts instead of recomputing.
+  ServeClient B;
+  ASSERT_TRUE(B.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+  ASSERT_TRUE(B.submit(8, S, "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(B, {8}, Got));
+  ASSERT_TRUE(Got.Results.count(8));
+  const ResultFrame &R = Got.Results[8];
+  EXPECT_EQ(SynthStatus(R.Status), SynthStatus::Found);
+  EXPECT_EQ(Server.service().stats().SessionsResumed, 1u);
+  expectMonotoneProgress(Got.Progress, 8, S);
+
+  // Bit-identity with a never-interrupted in-process run of the same
+  // request (the gated backend is a plain cpu backend past the gate).
+  service::SynthService Direct{service::ServiceOptions{}};
+  SynthResult Ref = Direct.synthesize(S, Alphabet::of("01"), Opts);
+  EXPECT_EQ(R.Regex, Ref.Regex);
+  EXPECT_EQ(R.Cost, Ref.Cost);
+  EXPECT_EQ(R.Candidates, Ref.Stats.CandidatesGenerated);
+  EXPECT_EQ(R.Unique, Ref.Stats.UniqueLanguages);
+  B.goodbye();
+}
+
+TEST(ServeResume, CancelFrameParksTheSessionToo) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  SynthServer Server(basicServer("serve-gated-cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+  Spec S = example36Spec();
+  SynthOptions Opts;
+  ASSERT_TRUE(C.submit(1, S, "01", Opts));
+  ASSERT_TRUE(eventually([&] {
+    return Server.service().stats().Misses >= 1;
+  }));
+  ASSERT_TRUE(C.cancel(1));
+  gate().open();
+  // Cancel abandons, never kills: the session parks for a retry.
+  ASSERT_TRUE(eventually([&] {
+    return Server.service().stats().SessionsParked >= 1;
+  }));
+  // The connection is still usable, and a resubmit resumes the parked
+  // sweep and completes.
+  ASSERT_TRUE(C.submit(2, S, "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(C, {2}, Got));
+  ASSERT_TRUE(Got.Results.count(2));
+  EXPECT_EQ(SynthStatus(Got.Results[2].Status), SynthStatus::Found);
+  EXPECT_EQ(Server.service().stats().SessionsResumed, 1u);
+  C.goodbye();
+}
+
+//===----------------------------------------------------------------------===//
+// External server (PARESY_SERVE_ADDR): the CI integration lane
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool externalAddr(std::string &Host, uint16_t &Port) {
+  const char *Addr = std::getenv("PARESY_SERVE_ADDR");
+  if (!Addr || !*Addr)
+    return false;
+  std::string Text = Addr;
+  size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos)
+    return false;
+  Host = Text.substr(0, Colon);
+  Port = uint16_t(std::atoi(Text.c_str() + Colon + 1));
+  return Port != 0;
+}
+
+} // namespace
+
+TEST(ExternalServe, SubmitStreamsMonotonicallyAndFinds) {
+  std::string Host;
+  uint16_t Port;
+  if (!externalAddr(Host, Port))
+    GTEST_SKIP() << "PARESY_SERVE_ADDR not set";
+  std::string Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect(Host, Port, "ci-basic", 1.0, &Error)) << Error;
+  EXPECT_NE(C.banner().find("serving:"), std::string::npos);
+  Spec S = introSpec();
+  SynthOptions Opts;
+  ASSERT_TRUE(C.submit(1, S, "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(C, {1}, Got));
+  ASSERT_TRUE(Got.Results.count(1));
+  EXPECT_EQ(SynthStatus(Got.Results[1].Status), SynthStatus::Found);
+  EXPECT_TRUE(satisfies(Got.Results[1].Regex, S));
+  expectMonotoneProgress(Got.Progress, 1, S);
+  // The stats endpoint answers with the shared service text.
+  Frame F;
+  ASSERT_TRUE(C.requestStats());
+  ASSERT_TRUE(C.next(F, &Error)) << Error;
+  ASSERT_EQ(F.Type, FrameType::StatsReply);
+  EXPECT_NE(F.Stats.Text.find("service:"), std::string::npos);
+  EXPECT_NE(F.Stats.Text.find("server:"), std::string::npos);
+  C.goodbye();
+}
+
+TEST(ExternalServe, KillAndReconnectResumesABudgetParkedSession) {
+  std::string Host;
+  uint16_t Port;
+  if (!externalAddr(Host, Port))
+    GTEST_SKIP() << "PARESY_SERVE_ADDR not set";
+  std::string Error;
+  Spec S = example36Spec();
+
+  // Round 1: a budget too small to finish. On a fresh server this
+  // parks the session (Parked=1); on a reused server the NotFound may
+  // come from the result cache instead.
+  SynthOptions Small;
+  Small.MaxCost = 4;
+  uint8_t Parked;
+  {
+    ServeClient C1;
+    ASSERT_TRUE(C1.connect(Host, Port, "ci-resume", 1.0, &Error)) << Error;
+    ASSERT_TRUE(C1.submit(1, S, "01", Small));
+    Collected Got;
+    ASSERT_TRUE(pump(C1, {1}, Got));
+    ASSERT_TRUE(Got.Results.count(1));
+    EXPECT_EQ(SynthStatus(Got.Results[1].Status), SynthStatus::NotFound);
+    Parked = Got.Results[1].Parked;
+    C1.disconnect(); // The abrupt path, not a polite Bye.
+  }
+
+  // Round 2: reconnect and widen the budget; the parked sweep state
+  // warm-starts and the search completes.
+  ServeClient C2;
+  ASSERT_TRUE(C2.connect(Host, Port, "ci-resume", 1.0, &Error)) << Error;
+  SynthOptions Wide;
+  ASSERT_TRUE(C2.submit(2, S, "01", Wide));
+  Collected Got;
+  ASSERT_TRUE(pump(C2, {2}, Got));
+  ASSERT_TRUE(Got.Results.count(2));
+  EXPECT_EQ(SynthStatus(Got.Results[2].Status), SynthStatus::Found);
+  EXPECT_TRUE(satisfies(Got.Results[2].Regex, S));
+
+  if (Parked) {
+    // Fresh-server run: the resume must be visible in the stats.
+    Frame F;
+    ASSERT_TRUE(C2.requestStats());
+    ASSERT_TRUE(C2.next(F, &Error)) << Error;
+    ASSERT_EQ(F.Type, FrameType::StatsReply);
+    size_t At = F.Stats.Text.find(" resumed");
+    ASSERT_NE(At, std::string::npos) << F.Stats.Text;
+    size_t Digits = F.Stats.Text.find_last_not_of("0123456789", At - 1);
+    uint64_t Resumed = std::strtoull(
+        F.Stats.Text.c_str() + Digits + 1, nullptr, 10);
+    EXPECT_GE(Resumed, 1u) << F.Stats.Text;
+  }
+  C2.goodbye();
+}
