@@ -1,0 +1,111 @@
+//===- bench/bench_dist.cpp - Distributed pipeline quick bench ----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distributed-mode perf gate (DESIGN.md Sec. 13): one Table-2
+/// classroom instance swept through the coordinator + loopback-worker
+/// cluster at 1 worker and at 3 workers. The 1-worker metric guards
+/// the exchange-protocol overhead over the in-process batched path
+/// (same sweep, every batch crossing a channel); the 3-worker metric
+/// guards the cross-owner routing hub. A third metric times the sweep
+/// with a live 1->2 reshard requested mid-run, so the cost of a
+/// migration (store sync + replica rebuild at a level boundary) stays
+/// on the perf trajectory; the measured migration pause itself is
+/// emitted as the context metric ``info.dist.migration_ms``.
+///
+/// Emits BENCH_dist.json; the CI perf-smoke job gates this file
+/// against bench/baselines/BENCH_dist.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/AlphaSuite.h"
+#include "dist/Coordinator.h"
+#include "engine/Session.h"
+#include "engine/Staging.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace paresy;
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("dist", Argc, Argv);
+
+  // The same Table 2 row the sharding gate uses (no3): heavy enough
+  // that level traffic dominates cluster setup, small enough for CI.
+  const benchgen::SuiteInstance &Inst = benchgen::alphaRegexSuite()[2];
+  const CostFn TableCost(20, 20, 20, 5, 30);
+
+  SynthOptions Opts;
+  Opts.Cost = TableCost;
+  Opts.Shards = 4; // Multiple shards so 3 workers actually split owners.
+  std::shared_ptr<const engine::StagedQuery> Q =
+      engine::stage(Inst.Examples, Alphabet::of("01"), Opts);
+
+  auto runCluster = [&](unsigned Workers) {
+    std::unique_ptr<dist::DistBackend> B = dist::DistBackend::inProcess(Workers);
+    return engine::runStaged(*Q, *B);
+  };
+
+  // One full sweep with a live 1->2 reshard two levels in; returns the
+  // result carrying DistMigrationSeconds.
+  auto runMigrating = [&] {
+    std::unique_ptr<dist::DistBackend> B = dist::DistBackend::inProcess(1);
+    dist::DistBackend *Cluster = B.get();
+    engine::SearchSession Session(Q, std::move(B));
+    Session.step();
+    Session.step();
+    Cluster->requestReshard(2);
+    return Session.run();
+  };
+
+  SynthResult Probe = runCluster(1);
+  if (!Probe.found()) {
+    std::fprintf(stderr, "error: workload did not solve (%s)\n",
+                 statusName(Probe.Status));
+    return 1;
+  }
+  uint64_t Candidates = Probe.Stats.CandidatesGenerated;
+
+  for (unsigned Workers : {1u, 3u}) {
+    SynthResult Check = runCluster(Workers);
+    if (Check.Regex != Probe.Regex ||
+        Check.Stats.CandidatesGenerated != Candidates) {
+      std::fprintf(stderr, "error: workers=%u diverged from workers=1\n",
+                   Workers);
+      return 1;
+    }
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "sweep.no3.workers%u", Workers);
+    H.bench(Name, Candidates, [&] {
+      SynthResult R = runCluster(Workers);
+      if (!R.found())
+        std::exit(1); // A failed sweep would gate on garbage.
+    });
+  }
+
+  SynthResult Migrated = runMigrating();
+  if (Migrated.Regex != Probe.Regex ||
+      Migrated.Stats.CandidatesGenerated != Candidates ||
+      Migrated.Stats.DistMigrations != 1) {
+    std::fprintf(stderr, "error: migrating sweep diverged\n");
+    return 1;
+  }
+  H.bench("sweep.no3.migrate1to2", Candidates, [&] {
+    SynthResult R = runMigrating();
+    if (!R.found())
+      std::exit(1);
+  });
+
+  H.metric("info.workload.candidates", double(Candidates), "count");
+  H.metric("info.dist.migration_ms",
+           Migrated.Stats.DistMigrationSeconds * 1e3, "ms");
+  H.metric("info.dist.exchanged_rows",
+           double(runCluster(3).Stats.DistExchangedRows), "count");
+  return H.finish();
+}

@@ -96,6 +96,16 @@ def best_of(paths):
     return merged
 
 
+def load_context(path):
+    """name -> metric dict for context (non-gated, non-calibration)."""
+    metrics, _ = load_report(path)
+    return {
+        name: m
+        for name, m in metrics.items()
+        if name != CALIBRATION and not is_gated(name, m)
+    }
+
+
 def compare_file(base_path, cur_paths, max_regress):
     base = load_normalized(base_path)
     cur = best_of(cur_paths)
@@ -113,10 +123,34 @@ def compare_file(base_path, cur_paths, max_regress):
         if ratio < 1.0 - max_regress:
             status = "FAIL"
             ok = False
+        # The signed delta is printed for passing metrics too, so the
+        # perf trajectory (slow drift as well as hard failures) stays
+        # visible in CI logs between baseline refreshes.
+        delta = (ratio - 1.0) * 100.0
         print(
             f"  {status} {name:32s} {ratio:6.2f}x of baseline "
-            f"(norm {base_norm:.3f} -> {cur[name]:.3f})"
+            f"({delta:+6.1f}%, norm {base_norm:.3f} -> {cur[name]:.3f})"
         )
+
+    # Context metrics (info.* and non-throughput units) never gate, but
+    # their drift is part of the trajectory: print raw deltas when the
+    # baseline tracked the same metric. Values are unnormalised - they
+    # are machine-local context, compared best-effort.
+    base_ctx = load_context(base_path)
+    cur_ctx = {}
+    for path in cur_paths:
+        for name, m in load_context(path).items():
+            cur_ctx.setdefault(name, m)
+    for name in sorted(set(base_ctx) & set(cur_ctx)):
+        bv, cv = base_ctx[name]["value"], cur_ctx[name]["value"]
+        unit = cur_ctx[name].get("unit", "")
+        if bv > 0:
+            print(
+                f"  info {name:32s} {bv:.3f} -> {cv:.3f} {unit} "
+                f"({(cv / bv - 1.0) * 100.0:+6.1f}%)"
+            )
+        else:
+            print(f"  info {name:32s} {bv:.3f} -> {cv:.3f} {unit}")
 
     # A gate-class metric that only exists in the current results is
     # running ungated - usually a new bench metric whose baseline was

@@ -85,6 +85,27 @@
 ///   --tenant NAME                 tenant identity for --connect
 ///                                 (default "default")
 ///
+/// Distributed execution (coordinator + shard workers, DESIGN.md
+/// Sec. 13; results are bit-identical to every in-process backend at
+/// every worker count):
+///
+///   --workers-dist N              run the sweep on N in-process
+///                                 virtual shard workers (the "dist"
+///                                 backend over loopback channels)
+///   --coordinator PORT            coordinate a worker cluster: listen
+///                                 on 127.0.0.1:PORT, wait for
+///                                 --workers-dist N joiners (default
+///                                 2), then run the spec across them;
+///                                 late joiners are admitted by live
+///                                 resharding at level boundaries
+///   --join HOST:PORT              be a shard worker: connect to a
+///                                 --coordinator and serve until
+///                                 shutdown (no spec needed)
+///   --reshard N                   grow the cluster to N workers at
+///                                 the first level boundary (live
+///                                 migration; implies the "dist"
+///                                 backend when none was chosen)
+///
 /// The plain registry-backend path also runs through a (one-request)
 /// SynthService, so the CLI exercises the full serving stack.
 ///
@@ -92,6 +113,9 @@
 
 #include "baseline/AlphaRegex.h"
 #include "core/ShardedStore.h"
+#include "dist/Channel.h"
+#include "dist/Coordinator.h"
+#include "dist/Worker.h"
 #include "core/Snapshot.h"
 #include "core/Synthesizer.h"
 #include "engine/BackendRegistry.h"
@@ -209,6 +233,15 @@ void printStats(const SynthStats &St) {
                   withCommas(St.StoreSpilledChunks).c_str(),
                   withCommas(St.StoreSpilledBytes).c_str());
   }
+  if (St.DistWorkers > 0) {
+    std::printf("  dist workers       %u (%s rows / %s bytes exchanged)\n",
+                St.DistWorkers, withCommas(St.DistExchangedRows).c_str(),
+                withCommas(St.DistExchangedBytes).c_str());
+    if (St.DistMigrations > 0)
+      std::printf("  dist migrations    %llu (%s s)\n",
+                  (unsigned long long)St.DistMigrations,
+                  formatSeconds(St.DistMigrationSeconds).c_str());
+  }
   if (St.OnTheFly)
     std::printf("  note               entered OnTheFly mode\n");
 }
@@ -293,6 +326,77 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
   // The same stats text a network client gets from a StatsReq frame.
   std::fputs(service::serviceStatsText(Service.stats()).c_str(), stdout);
   return 0;
+}
+
+/// The --join mode: one shard worker process serving one coordinator
+/// until shutdown. Needs no spec - Init carries it.
+int runJoin(const std::string &Addr) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Addr.size()) {
+    std::fprintf(stderr, "error: --join wants HOST:PORT\n");
+    return 2;
+  }
+  std::string Host = Addr.substr(0, Colon);
+  long Port = std::atol(Addr.c_str() + Colon + 1);
+  if (Port <= 0 || Port > 65535) {
+    std::fprintf(stderr, "error: bad port in --join '%s'\n", Addr.c_str());
+    return 2;
+  }
+  std::string Error;
+  Socket S = connectTo(Host, uint16_t(Port), &Error);
+  if (!S.valid()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("joined coordinator at %s; serving as shard worker\n",
+              Addr.c_str());
+  std::fflush(stdout);
+  dist::SocketChannel Ch(std::move(S));
+  bool Clean = dist::runWorker(Ch);
+  std::printf("worker done (%s)\n",
+              Clean ? "clean shutdown" : "coordinator lost");
+  return Clean ? 0 : 1;
+}
+
+/// Builds the distributed backend for the direct-session path:
+/// --coordinator accepts real --join workers from the network,
+/// otherwise in-process virtual workers stand in (same code path).
+std::unique_ptr<dist::DistBackend> makeDistBackend(long CoordinatorPort,
+                                                   unsigned Workers) {
+  if (CoordinatorPort < 0)
+    return dist::DistBackend::inProcess(Workers);
+  auto L = std::make_shared<Listener>();
+  std::string Error;
+  if (!L->open("127.0.0.1", uint16_t(CoordinatorPort), &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return nullptr;
+  }
+  unsigned Want = Workers ? Workers : 2;
+  std::printf("coordinating on 127.0.0.1:%u; waiting for %u worker(s) "
+              "(paresy_cli --join 127.0.0.1:%u)\n",
+              unsigned(L->port()), Want, unsigned(L->port()));
+  std::fflush(stdout);
+  std::vector<std::unique_ptr<dist::ShardChannel>> Channels;
+  while (Channels.size() < Want) {
+    Socket S = L->accept(500);
+    if (!S.valid())
+      continue;
+    Channels.push_back(
+        std::make_unique<dist::SocketChannel>(std::move(S)));
+    std::printf("worker %zu joined\n", Channels.size() - 1);
+    std::fflush(stdout);
+  }
+  dist::DistClusterOptions Cluster;
+  // Late joiners are admitted at level boundaries by live resharding:
+  // the coordinator polls the listener whenever it wants to grow.
+  Cluster.JoinPoll = [L]() -> std::unique_ptr<dist::ShardChannel> {
+    Socket S = L->accept(0);
+    if (!S.valid())
+      return nullptr;
+    return std::make_unique<dist::SocketChannel>(std::move(S));
+  };
+  return dist::DistBackend::overChannels(std::move(Channels),
+                                         std::move(Cluster));
 }
 
 volatile std::sig_atomic_t GStopServing = 0;
@@ -428,6 +532,9 @@ int main(int Argc, char **Argv) {
   long ServePort = 0;
   std::string ConnectAddr;
   std::string Tenant = "default";
+  long CoordinatorPort = -1;
+  std::string JoinAddr;
+  unsigned ReshardWorkers = 0;
   std::string CheckpointFile;
   std::string ResumeFile;
   std::string AlphabetChars;
@@ -521,6 +628,32 @@ int main(int Argc, char **Argv) {
       }
       ServeWorkers = unsigned(Workers);
     }
+    else if (Arg == "--workers-dist") {
+      long N = std::atol(Next().c_str());
+      if (N < 1) {
+        std::fprintf(stderr,
+                     "error: --workers-dist wants a worker count\n");
+        return 2;
+      }
+      Engine = "dist";
+      Config.Workers = unsigned(N);
+    } else if (Arg == "--coordinator") {
+      CoordinatorPort = std::atol(Next().c_str());
+      if (CoordinatorPort < 0 || CoordinatorPort > 65535) {
+        std::fprintf(stderr,
+                     "error: --coordinator wants a port in [0, 65535]\n");
+        return 2;
+      }
+    } else if (Arg == "--join")
+      JoinAddr = Next();
+    else if (Arg == "--reshard") {
+      long N = std::atol(Next().c_str());
+      if (N < 1) {
+        std::fprintf(stderr, "error: --reshard wants a worker count\n");
+        return 2;
+      }
+      ReshardWorkers = unsigned(N);
+    }
     else if (Arg == "--checkpoint")
       CheckpointFile = Next();
     else if (Arg == "--resume")
@@ -536,6 +669,10 @@ int main(int Argc, char **Argv) {
     else
       SpecFile = Arg;
   }
+
+  if (!JoinAddr.empty())
+    // A worker needs no spec either; the coordinator's Init carries it.
+    return runJoin(JoinAddr);
 
   if (ServeMode) {
     // Serving needs no spec; the clients bring those.
@@ -624,17 +761,20 @@ int main(int Argc, char **Argv) {
     return runServeDemo(Service, Examples, Sigma, Options,
                         ServeDemoRounds);
   }
-  if (!CheckpointFile.empty() || !ResumeFile.empty()) {
+  bool DistDirect = CoordinatorPort >= 0 || ReshardWorkers > 0;
+  if (!CheckpointFile.empty() || !ResumeFile.empty() || DistDirect) {
     if (Options.Portfolio) {
       // A race's arms die with the race; there is no single session to
-      // park or resume.
+      // park or resume (and a coordinator owns exactly one cluster).
       std::fprintf(stderr, "error: --portfolio cannot be combined with "
-                           "--checkpoint/--resume\n");
+                           "--checkpoint/--resume/--coordinator\n");
       return 2;
     }
     // Anytime synthesis: drive the session state machine directly so a
     // budget-exhausted search can park to disk and a retry can resume.
-    if (!engine::hasBackend(Engine)) {
+    // The distributed modes ride the same session path, so --checkpoint
+    // and --resume keep working across live migrations.
+    if (!DistDirect && !engine::hasBackend(Engine)) {
       std::fprintf(stderr,
                    "error: --checkpoint/--resume need a registry "
                    "backend (have '%s')\n",
@@ -643,8 +783,18 @@ int main(int Argc, char **Argv) {
     }
     std::shared_ptr<const engine::StagedQuery> Q =
         engine::stage(Examples, Sigma, Options);
-    std::unique_ptr<engine::Backend> B =
-        engine::createBackend(Engine, Config);
+    std::unique_ptr<engine::Backend> B;
+    if (DistDirect) {
+      std::unique_ptr<dist::DistBackend> D =
+          makeDistBackend(CoordinatorPort, Config.Workers);
+      if (!D)
+        return 1;
+      if (ReshardWorkers > 0)
+        D->requestReshard(ReshardWorkers);
+      B = std::move(D);
+    } else {
+      B = engine::createBackend(Engine, Config);
+    }
     std::unique_ptr<engine::SearchSession> S;
     std::string Error;
     if (!ResumeFile.empty()) {

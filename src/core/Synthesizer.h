@@ -231,6 +231,15 @@ struct SynthStats {
   uint64_t StoreSpilledChunks = 0;
   uint64_t StoreHotBytes = 0;
   uint64_t StoreSpilledBytes = 0;
+  /// Distributed execution (the "dist" backend; DESIGN.md Sec. 13):
+  /// workers at run end, live resharding migrations and the time they
+  /// took, candidate rows routed through the all-to-all exchange, and
+  /// total channel traffic in both directions.
+  unsigned DistWorkers = 0;
+  uint64_t DistMigrations = 0;
+  double DistMigrationSeconds = 0;
+  uint64_t DistExchangedRows = 0;
+  uint64_t DistExchangedBytes = 0;
 };
 
 /// Result of a synthesis run.

@@ -1,0 +1,129 @@
+//===- dist/Channel.cpp - Message channels between shard workers -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Channel.h"
+
+#include <cstring>
+
+namespace paresy {
+namespace dist {
+
+ShardChannel::~ShardChannel() = default;
+
+//===----------------------------------------------------------------------===//
+// Loopback
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared core of a loopback pair: two directed queues under one lock.
+/// Direction d sends into Q[d] and receives from Q[1 - d].
+struct LoopbackCore {
+  std::mutex Lock;
+  std::condition_variable Ready;
+  std::deque<std::string> Q[2];
+  bool Closed = false;
+};
+
+class LoopbackChannel final : public ShardChannel {
+public:
+  LoopbackChannel(std::shared_ptr<LoopbackCore> Core, int Dir)
+      : Core(std::move(Core)), Dir(Dir) {}
+
+  ~LoopbackChannel() override { close(); }
+
+  bool send(std::string_view Bytes) override {
+    if (Bytes.size() > MaxDistMessageBytes)
+      return false;
+    std::lock_guard<std::mutex> G(Core->Lock);
+    if (Core->Closed)
+      return false;
+    Core->Q[Dir].emplace_back(Bytes);
+    SentBytes += Bytes.size();
+    Core->Ready.notify_all();
+    return true;
+  }
+
+  bool recv(std::string &Bytes) override {
+    std::unique_lock<std::mutex> G(Core->Lock);
+    auto &Inbox = Core->Q[1 - Dir];
+    Core->Ready.wait(G, [&] { return !Inbox.empty() || Core->Closed; });
+    if (Inbox.empty())
+      return false;
+    Bytes = std::move(Inbox.front());
+    Inbox.pop_front();
+    RecvBytes += Bytes.size();
+    return true;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> G(Core->Lock);
+    Core->Closed = true;
+    Core->Ready.notify_all();
+  }
+
+private:
+  std::shared_ptr<LoopbackCore> Core;
+  int Dir;
+};
+
+} // namespace
+
+ChannelPair makeLoopbackPair() {
+  auto Core = std::make_shared<LoopbackCore>();
+  ChannelPair P;
+  P.A = std::make_unique<LoopbackChannel>(Core, 0);
+  P.B = std::make_unique<LoopbackChannel>(Core, 1);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Socket framing
+//===----------------------------------------------------------------------===//
+
+bool SocketChannel::send(std::string_view Bytes) {
+  if (!Sock.valid() || Bytes.size() > MaxDistMessageBytes)
+    return false;
+  unsigned char Header[4];
+  uint32_t Size = uint32_t(Bytes.size());
+  Header[0] = (unsigned char)(Size & 0xff);
+  Header[1] = (unsigned char)((Size >> 8) & 0xff);
+  Header[2] = (unsigned char)((Size >> 16) & 0xff);
+  Header[3] = (unsigned char)((Size >> 24) & 0xff);
+  if (!Sock.sendAll(Header, sizeof(Header)))
+    return false;
+  if (!Bytes.empty() && !Sock.sendAll(Bytes.data(), Bytes.size()))
+    return false;
+  SentBytes += Bytes.size();
+  return true;
+}
+
+bool SocketChannel::recv(std::string &Bytes) {
+  if (!Sock.valid())
+    return false;
+  unsigned char Header[4];
+  if (!Sock.recvAll(Header, sizeof(Header)))
+    return false;
+  uint32_t Size = uint32_t(Header[0]) | (uint32_t(Header[1]) << 8) |
+                  (uint32_t(Header[2]) << 16) | (uint32_t(Header[3]) << 24);
+  if (uint64_t(Size) > MaxDistMessageBytes)
+    return false;
+  Bytes.resize(Size);
+  if (Size != 0 && !Sock.recvAll(Bytes.data(), Size))
+    return false;
+  RecvBytes += Size;
+  return true;
+}
+
+void SocketChannel::close() {
+  if (!Sock.valid())
+    return;
+  Sock.shutdownBoth();
+  Sock.close();
+}
+
+} // namespace dist
+} // namespace paresy

@@ -1,0 +1,109 @@
+//===- dist/Channel.h - Message channels between shard workers ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the distributed execution mode (DESIGN.md
+/// Sec. 13): an ordered, reliable, message-oriented channel between
+/// the coordinator and one shard worker. Two implementations share the
+/// interface so the protocol layer cannot tell them apart:
+///
+///  * LoopbackChannel - an in-memory queue pair for "virtual workers"
+///    (pinned threads under one roof) and for tests; send never
+///    blocks, close wakes blocked receivers;
+///  * SocketChannel - a length-prefixed framing over support/Socket,
+///    the process-separation transport behind `paresy_cli
+///    --coordinator` / `--join`. A peer death surfaces as a failed
+///    send/recv, never as a hang (support/Socket's recvAll returns
+///    false on EOF), which is what makes the coordinator's fail-closed
+///    worker-loss story possible.
+///
+/// Channels move opaque byte strings; dist/Protocol.h gives the bytes
+/// meaning (and the checksummed, versioned, fail-closed envelope).
+/// Each endpoint is owned by exactly one thread; there is no internal
+/// locking of the socket variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_DIST_CHANNEL_H
+#define PARESY_DIST_CHANNEL_H
+
+#include "support/Socket.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace paresy {
+namespace dist {
+
+/// Hard cap on one message's bytes. Deliberately far beyond the wire
+/// protocol's 16 MiB frame cap: a StoreSync message carries an entire
+/// sharded store snapshot, which on a large instance exceeds any
+/// per-request frame budget.
+inline constexpr uint64_t MaxDistMessageBytes = uint64_t(1) << 30;
+
+/// One end of an ordered, reliable message channel to a shard worker
+/// (or, from a worker's perspective, to the coordinator).
+class ShardChannel {
+public:
+  virtual ~ShardChannel();
+
+  /// Sends one message; false once the channel is broken or closed.
+  virtual bool send(std::string_view Bytes) = 0;
+
+  /// Receives the next message, blocking until one arrives or the
+  /// channel dies. False on close/peer loss - the caller's fail-closed
+  /// path, never a hang.
+  virtual bool recv(std::string &Bytes) = 0;
+
+  /// Breaks the channel: any blocked recv() (either end for loopback)
+  /// returns false. Idempotent.
+  virtual void close() = 0;
+
+  /// Traffic counters for the exchange stats (bytes of message
+  /// payloads, framing excluded).
+  uint64_t bytesSent() const { return SentBytes; }
+  uint64_t bytesReceived() const { return RecvBytes; }
+
+protected:
+  uint64_t SentBytes = 0;
+  uint64_t RecvBytes = 0;
+};
+
+/// A connected pair of in-memory channel ends: what A sends, B
+/// receives, and vice versa.
+struct ChannelPair {
+  std::unique_ptr<ShardChannel> A;
+  std::unique_ptr<ShardChannel> B;
+};
+
+/// Creates a loopback pair (unbounded queues; close on either end
+/// wakes both).
+ChannelPair makeLoopbackPair();
+
+/// Message framing over a connected TCP socket: u32-LE payload length,
+/// then the payload, exactly the serve/Wire discipline but with the
+/// MaxDistMessageBytes cap.
+class SocketChannel : public ShardChannel {
+public:
+  explicit SocketChannel(Socket S) : Sock(std::move(S)) {}
+
+  bool send(std::string_view Bytes) override;
+  bool recv(std::string &Bytes) override;
+  void close() override;
+
+private:
+  Socket Sock;
+};
+
+} // namespace dist
+} // namespace paresy
+
+#endif // PARESY_DIST_CHANNEL_H

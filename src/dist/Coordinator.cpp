@@ -1,0 +1,665 @@
+//===- dist/Coordinator.cpp - Distributed shard-worker backend ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+
+#include "core/LanguageCache.h"
+#include "core/Snapshot.h"
+#include "dist/Worker.h"
+#include "engine/LevelTasks.h"
+#include "gpusim/WarpHashSet.h"
+#include "lang/Alphabet.h"
+#include "lang/Spec.h"
+#include "lang/Universe.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace paresy;
+using namespace paresy::dist;
+using namespace paresy::engine;
+
+DistBackend::DistBackend(unsigned Workers, DistClusterOptions Cluster,
+                         bool Loopback)
+    : Loopback(Loopback), InitialWorkers(std::max(1u, Workers)),
+      Cluster(std::move(Cluster)), BatchTasks(size_t(1) << 16) {}
+
+std::unique_ptr<DistBackend>
+DistBackend::inProcess(unsigned Workers, DistClusterOptions Cluster) {
+  return std::unique_ptr<DistBackend>(
+      new DistBackend(Workers ? Workers : 2, std::move(Cluster), true));
+}
+
+std::unique_ptr<DistBackend>
+DistBackend::overChannels(std::vector<std::unique_ptr<ShardChannel>> Channels,
+                          DistClusterOptions Cluster) {
+  std::unique_ptr<DistBackend> B(
+      new DistBackend(std::max<unsigned>(1, unsigned(Channels.size())),
+                      std::move(Cluster), false));
+  for (std::unique_ptr<ShardChannel> &Ch : Channels)
+    B->Links.push_back(WorkerLink{std::move(Ch), std::thread()});
+  return B;
+}
+
+DistBackend::~DistBackend() {
+  SnapshotWriter W = openMessage(Msg::Shutdown);
+  std::string Payload = sealMessage(W);
+  for (WorkerLink &L : Links) {
+    if (L.Ch) {
+      L.Ch->send(Payload); // Best effort; close() unblocks either way.
+      L.Ch->close();
+    }
+    if (L.Thread.joinable())
+      L.Thread.join();
+  }
+}
+
+void DistBackend::markBroken(unsigned Worker, const std::string &Why) {
+  (void)Worker;
+  if (Broken)
+    return; // First failure wins; it is the one the session reports.
+  Broken = true;
+  BrokenWhy = Why;
+}
+
+bool DistBackend::sendTo(unsigned Worker, const std::string &Payload) {
+  if (Broken)
+    return false;
+  if (Links[Worker].Ch && Links[Worker].Ch->send(Payload))
+    return true;
+  markBroken(Worker, "distributed worker " + std::to_string(Worker) +
+                         " failed (connection lost)");
+  return false;
+}
+
+bool DistBackend::recvExpect(unsigned Worker, Msg Expected,
+                             std::string &Payload, MessageReader &M) {
+  if (Broken)
+    return false;
+  if (!Links[Worker].Ch || !Links[Worker].Ch->recv(Payload)) {
+    markBroken(Worker, "distributed worker " + std::to_string(Worker) +
+                           " failed (connection lost)");
+    return false;
+  }
+  if (!M.open(Payload)) {
+    markBroken(Worker, "distributed worker " + std::to_string(Worker) +
+                           " failed (corrupt message)");
+    return false;
+  }
+  if (M.type() == Msg::Err) {
+    std::string Why;
+    M.r().str(Why);
+    markBroken(Worker, "distributed worker " + std::to_string(Worker) +
+                           " failed: " +
+                           (Why.empty() ? std::string("unknown error") : Why));
+    return false;
+  }
+  if (M.type() != Expected) {
+    markBroken(Worker, "distributed worker " + std::to_string(Worker) +
+                           " failed (unexpected reply)");
+    return false;
+  }
+  return true;
+}
+
+void DistBackend::spawnLoopbackWorker() {
+  ChannelPair Pair = makeLoopbackPair();
+  WorkerLink L;
+  L.Ch = std::move(Pair.A);
+  L.Thread = std::thread(
+      [Ch = std::move(Pair.B)]() { runWorker(*Ch); });
+  Links.push_back(std::move(L));
+}
+
+size_t DistBackend::planCacheCapacity(const SearchContext &Ctx,
+                                      uint64_t BudgetBytes) {
+  // BatchedBackend::splitBudget's partition, replicated number for
+  // number: identical store capacities and per-shard set capacities on
+  // the coordinator and every worker are what make distributed results
+  // bit-identical to the in-process backends.
+  size_t CsWords = Ctx.U->csWords();
+  uint64_t RowBytes =
+      LanguageCache::strideForWords(CsWords) * sizeof(uint64_t) +
+      sizeof(Provenance) + sizeof(uint64_t) +
+      (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
+  if (storeCompressionEnabled(*Ctx.Opts))
+    RowBytes = sizeof(Provenance) + sizeof(uint64_t) +
+               (Ctx.Opts->Shards > 1 ? sizeof(uint64_t) : 0);
+  uint64_t SlotBytes =
+      CsWords * sizeof(uint64_t) + gpusim::WarpHashSet::slotBytes();
+  uint64_t CacheCap =
+      std::max<uint64_t>(16, BudgetBytes * 6 / 10 / RowBytes);
+  CacheCap = std::min<uint64_t>(CacheCap, 0xfffffffeu);
+  uint64_t HashCap =
+      std::max<uint64_t>(32, BudgetBytes * 3 / 10 / SlotBytes);
+  HashCapacity = size_t(std::min<uint64_t>(HashCap, 0x7fffffffu));
+  return size_t(CacheCap);
+}
+
+uint64_t DistBackend::planStoreBytes(const SearchContext &Ctx,
+                                     uint64_t BudgetBytes) {
+  (void)Ctx;
+  return BudgetBytes * 6 / 10;
+}
+
+std::string DistBackend::buildInit(const SearchContext &Ctx, unsigned Worker,
+                                   unsigned Workers,
+                                   const std::vector<uint32_t> &Map) const {
+  SnapshotWriter W = openMessage(Msg::Init);
+  W.u32(Worker);
+  W.u32(Workers);
+  W.u64(Ctx.S->Pos.size());
+  for (const std::string &E : Ctx.S->Pos)
+    W.str(E);
+  W.u64(Ctx.S->Neg.size());
+  for (const std::string &E : Ctx.S->Neg)
+    W.str(E);
+  W.str(Ctx.Sigma->symbols());
+  writeDistOptions(W, *Ctx.Opts);
+  W.str(Ctx.Opts->SpillDir);
+  W.u64(Ctx.U->csWords());
+  W.u64(SetCapacityPerShard);
+  W.u64(TierByteBudget);
+  W.u64(TierWindowBudget);
+  W.u64(TierPinnedBytes);
+  writeOwnerMap(W, Map);
+  return sealMessage(W);
+}
+
+bool DistBackend::initWorker(const SearchContext &Ctx, unsigned Worker,
+                             unsigned Workers,
+                             const std::vector<uint32_t> &Map) {
+  if (!sendTo(Worker, buildInit(Ctx, Worker, Workers, Map)))
+    return false;
+  std::string Payload;
+  MessageReader M;
+  return recvExpect(Worker, Msg::Ok, Payload, M);
+}
+
+bool DistBackend::syncStore(const SearchContext &Ctx, unsigned Worker) {
+  SnapshotWriter W = openMessage(Msg::StoreSync);
+  saveShardedStore(W, *Ctx.Store);
+  return sendTo(Worker, sealMessage(W)); // Ack-less.
+}
+
+void DistBackend::prepare(SearchContext &Ctx) {
+  unsigned Shards = Ctx.Store->shardCount();
+  SetCapacityPerShard =
+      std::max<uint64_t>(32, uint64_t(HashCapacity) / Shards);
+
+  // The worker replicas' tier budgets: SearchSession::storeTierConfig's
+  // math over the same options, shipped as scalars so replica stores
+  // seal and spill on exactly the coordinator's schedule.
+  TierByteBudget = TierWindowBudget = TierPinnedBytes = 0;
+  if (storeCompressionEnabled(*Ctx.Opts)) {
+    TierByteBudget = Ctx.Opts->MemoryLimitBytes * 6 / 10;
+    unsigned ShardCount = std::max(1u, Ctx.Opts->Shards);
+    if (Ctx.Opts->WindowStoreBytes)
+      TierWindowBudget = Ctx.Opts->WindowStoreBytes;
+    else if (TierByteBudget)
+      TierWindowBudget =
+          std::max<uint64_t>(uint64_t(64) << 10, TierByteBudget / 8) /
+          ShardCount;
+    if (!Ctx.Opts->SpillDir.empty())
+      TierPinnedBytes = Ctx.Opts->PinnedStoreBytes;
+  }
+
+  if (Loopback)
+    while (unsigned(Links.size()) < InitialWorkers)
+      spawnLoopbackWorker();
+  if (Links.empty()) {
+    markBroken(0, "distributed cluster has no workers");
+    return;
+  }
+
+  unsigned Workers = unsigned(Links.size());
+  Owner.resize(Shards);
+  for (unsigned S = 0; S != Shards; ++S)
+    Owner[S] = S % Workers;
+
+  // Init every worker (send all first: staging runs in parallel on the
+  // virtual workers), then replicate the store - empty on a fresh run,
+  // fully populated on the restore path, one code path either way.
+  for (unsigned I = 0; I != Workers; ++I)
+    if (!sendTo(I, buildInit(Ctx, I, Workers, Owner)))
+      return;
+  for (unsigned I = 0; I != Workers; ++I) {
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(I, Msg::Ok, Payload, M))
+      return;
+  }
+  for (unsigned I = 0; I != Workers; ++I)
+    if (!syncStore(Ctx, I))
+      return;
+  IdBase = 0;
+  LastAux = 0;
+  MaxWorkerBytes = 0;
+}
+
+void DistBackend::maybeReshard(const SearchContext &Ctx) {
+  unsigned Current = unsigned(Links.size());
+  unsigned Target = ReshardTarget.exchange(0, std::memory_order_relaxed);
+  if (Cluster.WorkerByteBudget && MaxWorkerBytes > Cluster.WorkerByteBudget)
+    Target = std::max(Target, Current + 1);
+  unsigned Cap =
+      Cluster.MaxWorkers ? Cluster.MaxWorkers : ShardedStore::MaxShards;
+  Target = std::min(Target, Cap);
+  if (Target <= Current)
+    return; // Grow-only; shrink would orphan replicas mid-sweep.
+
+  double Start = Ctx.Clock ? Ctx.Clock->seconds() : 0;
+
+  // Acquire the joiners' links. A channel-fed cluster can only grow as
+  // far as joiners are actually waiting; falling short is not an error
+  // - the sweep continues at the size we have and retries at the next
+  // boundary if the policy still wants more.
+  while (unsigned(Links.size()) < Target) {
+    if (Loopback) {
+      spawnLoopbackWorker();
+    } else if (Cluster.JoinPoll) {
+      std::unique_ptr<ShardChannel> Ch = Cluster.JoinPoll();
+      if (!Ch)
+        break;
+      Links.push_back(WorkerLink{std::move(Ch), std::thread()});
+    } else {
+      break;
+    }
+  }
+  unsigned NewW = unsigned(Links.size());
+  if (NewW == Current)
+    return;
+
+  // Bring the joiners up to date: identity + staging against the
+  // *current* map (they own nothing yet), then the full store replica.
+  for (unsigned I = Current; I != NewW; ++I)
+    if (!initWorker(Ctx, I, NewW, Owner) || !syncStore(Ctx, I))
+      return;
+
+  // Stream every shard whose owner changes under the new map: its
+  // uniqueness set leaves the old owner (Drop) and lands on the new
+  // one as a raw snapshot section - no decode on the coordinator.
+  std::vector<uint32_t> NewOwner(Owner.size());
+  for (unsigned S = 0; S != Owner.size(); ++S)
+    NewOwner[S] = S % NewW;
+  for (unsigned S = 0; S != Owner.size(); ++S) {
+    if (Owner[S] == NewOwner[S])
+      continue;
+    SnapshotWriter F = openMessage(Msg::SetFetch);
+    F.u32(S);
+    F.u8(1);
+    if (!sendTo(Owner[S], sealMessage(F)))
+      return;
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(Owner[S], Msg::SetBytes, Payload, M))
+      return;
+    std::string_view Bytes = M.rest();
+    SnapshotWriter Ins = openMessage(Msg::SetInstall);
+    Ins.u32(S);
+    Ins.bytes(Bytes.data(), Bytes.size());
+    if (!sendTo(NewOwner[S], sealMessage(Ins)))
+      return;
+    std::string AckPayload;
+    MessageReader Ack;
+    if (!recvExpect(NewOwner[S], Msg::Ok, AckPayload, Ack))
+      return;
+  }
+
+  // Publish the new geometry; the next batch runs 1->N elastically.
+  SnapshotWriter OW = openMessage(Msg::Owners);
+  OW.u32(NewW);
+  writeOwnerMap(OW, NewOwner);
+  std::string OwnersPayload = sealMessage(OW);
+  for (unsigned I = 0; I != NewW; ++I)
+    if (!sendTo(I, OwnersPayload))
+      return;
+  Owner = std::move(NewOwner);
+  ++Migrations;
+  if (Ctx.Clock)
+    MigrationSeconds += Ctx.Clock->seconds() - Start;
+}
+
+LevelOutcome DistBackend::runLevel(SearchContext &Ctx, uint64_t LevelCost,
+                                   LevelTasks &Tasks) {
+  LevelOutcome Out;
+  if (Broken) {
+    Out.Abort = true;
+    Out.AbortReason = BrokenWhy;
+    return Out;
+  }
+  maybeReshard(Ctx); // Level boundaries are the only reshard points.
+  if (Broken) {
+    Out.Abort = true;
+    Out.AbortReason = BrokenWhy;
+    return Out;
+  }
+
+  const SynthOptions &Opts = *Ctx.Opts;
+  uint32_t LevelBegin = uint32_t(Ctx.Store->size());
+  while (Tasks.fill(Batch, BatchTasks)) {
+    bool Continue = processBatch(Ctx, Out);
+    IdBase += Batch.size();
+    if (!Continue)
+      break;
+    if (Opts.TimeoutSeconds > 0 &&
+        Ctx.Clock->seconds() > Opts.TimeoutSeconds) {
+      Out.TimedOut = true;
+      break;
+    }
+    if (Ctx.Cancel && Ctx.Cancel->load(std::memory_order_relaxed)) {
+      Out.Cancelled = true;
+      break;
+    }
+  }
+
+  // Only a cleanly completed level becomes a boundary on the replicas.
+  // A timed-out or cancelled partial level is either rolled back (the
+  // session truncates and we rebroadcast via rebuildFromStore) or
+  // terminal - in both cases the replicas' missing setLevel/seal is
+  // never observed.
+  if (!Out.TimedOut && !Out.Cancelled && !Out.Abort && !Broken) {
+    SnapshotWriter W = openMessage(Msg::LevelEnd);
+    W.u64(LevelCost);
+    W.u32(LevelBegin);
+    W.u32(uint32_t(Ctx.Store->size()));
+    W.u8(Ctx.Store->compressed() ? 1 : 0);
+    std::string Payload = sealMessage(W);
+    for (unsigned I = 0; I != Links.size(); ++I)
+      if (!sendTo(I, Payload))
+        break;
+    if (!Broken)
+      collectLevelAcks();
+    if (Broken) {
+      Out.Abort = true;
+      Out.AbortReason = BrokenWhy;
+    }
+  }
+  return Out;
+}
+
+bool DistBackend::collectLevelAcks() {
+  LastAux = 0;
+  MaxWorkerBytes = 0;
+  for (unsigned I = 0; I != Links.size(); ++I) {
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(I, Msg::LevelAck, Payload, M))
+      return false;
+    uint64_t StoreBytes = 0, Aux = 0;
+    if (!M.r().u64(StoreBytes) || !M.r().u64(Aux)) {
+      markBroken(I, "distributed worker " + std::to_string(I) +
+                        " failed (corrupt message)");
+      return false;
+    }
+    LastAux += Aux;
+    MaxWorkerBytes = std::max(MaxWorkerBytes, StoreBytes + Aux);
+  }
+  return true;
+}
+
+bool DistBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
+  const SynthOptions &Opts = *Ctx.Opts;
+  ShardedStore &Store = *Ctx.Store;
+  size_t Count = Batch.size();
+  size_t Words = Ctx.U->csWords();
+  bool Route = Opts.UniquenessCheck || Store.shardCount() > 1;
+  unsigned Workers = unsigned(Links.size());
+
+  auto Fail = [&]() {
+    Out.Abort = true;
+    Out.AbortReason = BrokenWhy;
+    return false;
+  };
+  auto Corrupt = [&](unsigned I) {
+    markBroken(I, "distributed worker " + std::to_string(I) +
+                      " failed (corrupt message)");
+    return Fail();
+  };
+
+  // Phase 1: broadcast the batch; each worker generates its contiguous
+  // rank slice (the generate kernel, split by rank).
+  {
+    SnapshotWriter GB = openMessage(Msg::GenBatch);
+    GB.u64(IdBase);
+    GB.u32(uint32_t(Count));
+    for (const Provenance &P : Batch)
+      writeTask(GB, P);
+    std::string Payload = sealMessage(GB);
+    for (unsigned I = 0; I != Workers; ++I)
+      if (!sendTo(I, Payload))
+        return Fail();
+  }
+
+  // Phase 2: collect GenOuts and route each cross-owner candidate to
+  // its owner - the hub step of the all-to-all. Concatenating slices
+  // in worker order keeps each destination's list rank-ascending,
+  // which the workers' merge relies on.
+  std::vector<CandList> ToWorker(Workers);
+  for (unsigned I = 0; I != Workers; ++I) {
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(I, Msg::GenOut, Payload, M))
+      return Fail();
+    uint64_t GenOps = 0;
+    CandList L;
+    if (!M.r().u64(GenOps) || !readCandList(M.r(), L, Words))
+      return Corrupt(I);
+    Out.Ops += GenOps;
+    for (size_t K = 0; K != L.size(); ++K) {
+      uint32_t Rank = L.Ranks[K];
+      if (Rank >= Count)
+        return Corrupt(I);
+      unsigned Shard = Route ? Store.shardOfHash(L.Hashes[K]) : 0;
+      CandList &D = ToWorker[Owner[Shard]];
+      D.Ranks.push_back(Rank);
+      D.Hashes.push_back(L.Hashes[K]);
+      D.Words.insert(D.Words.end(), L.Words.begin() + K * Words,
+                     L.Words.begin() + (K + 1) * Words);
+      ++ExchangedRows;
+    }
+  }
+  Out.Candidates += Count;
+
+  // Phase 3: deliver each worker its owned candidates (always, even
+  // empty - the WinnerRep is the uniqueness/check barrier).
+  for (unsigned I = 0; I != Workers; ++I) {
+    SnapshotWriter E = openMessage(Msg::ExchIn);
+    writeCandList(E, ToWorker[I], Words);
+    if (!sendTo(I, sealMessage(E)))
+      return Fail();
+  }
+
+  // Phase 4: scatter the winner reports back onto batch ranks. Reps
+  // keeps every report's CS words alive for the compaction below.
+  if (WinnerFlag.size() < Count) {
+    WinnerFlag.resize(Count);
+    WinnerHash.resize(Count);
+    WinnerCs.resize(Count);
+  }
+  std::fill_n(WinnerFlag.begin(), Count, uint8_t(0));
+  std::vector<CandList> Reps(Workers);
+  bool AnyFull = false;
+  uint64_t FoundNow = UINT64_MAX;
+  for (unsigned I = 0; I != Workers; ++I) {
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(I, Msg::WinnerRep, Payload, M))
+      return Fail();
+    uint8_t SetFull = 0;
+    uint64_t FoundRank = UINT64_MAX;
+    if (!M.r().u8(SetFull) || !M.r().u64(FoundRank) ||
+        !readCandList(M.r(), Reps[I], Words))
+      return Corrupt(I);
+    if (FoundRank != UINT64_MAX &&
+        (FoundRank < IdBase || FoundRank - IdBase >= Count))
+      return Corrupt(I);
+    if (SetFull)
+      AnyFull = true;
+    FoundNow = std::min(FoundNow, FoundRank);
+    const CandList &L = Reps[I];
+    for (size_t K = 0; K != L.size(); ++K) {
+      uint32_t Rank = L.Ranks[K];
+      if (Rank >= Count || WinnerFlag[Rank])
+        return Corrupt(I);
+      WinnerFlag[Rank] = 1;
+      WinnerHash[Rank] = L.Hashes[K];
+      WinnerCs[Rank] = L.Words.data() + K * Words;
+    }
+  }
+  if (AnyFull) {
+    // Same point as the in-process pipeline: abort before the check
+    // phase's results are consumed, so no satisfier is recorded.
+    Out.Abort = true;
+    Out.AbortReason = "uniqueness hash set exhausted";
+    return false;
+  }
+  if (!Out.FoundSatisfier && FoundNow != UINT64_MAX) {
+    Out.FoundSatisfier = true;
+    Out.Satisfier = Batch[size_t(FoundNow - IdBase)];
+  }
+
+  // Phase 5: the exchange pass, verbatim from the in-process pipeline
+  // - walk winners in candidate-rank order on the authoritative store,
+  // assigning each its global id (the next append rank) and a row in
+  // its owner shard. The row-winning subset, in the same order, is the
+  // Commit that keeps every replica bit-identical.
+  uint64_t Winners = 0;
+  CandList Commit;
+  for (size_t T = 0; T != Count; ++T) {
+    if (!WinnerFlag[T])
+      continue;
+    ++Winners;
+    unsigned OwnerShard = Route ? Store.shardOfHash(WinnerHash[T]) : 0;
+    if (!Store.shardFull(OwnerShard)) {
+      uint32_t Row = Store.reserveRow(OwnerShard);
+      if (Route)
+        Store.writeRow(Row, WinnerCs[T], Batch[T], WinnerHash[T]);
+      else
+        Store.writeRow(Row, WinnerCs[T], Batch[T]);
+      Commit.Ranks.push_back(uint32_t(T));
+      Commit.Hashes.push_back(WinnerHash[T]);
+      Commit.Words.insert(Commit.Words.end(), WinnerCs[T],
+                          WinnerCs[T] + Words);
+    } else {
+      Store.noteDropped(OwnerShard);
+      Out.CacheFilled = true;
+    }
+  }
+  Out.Unique += Winners;
+  if (!Commit.empty()) {
+    SnapshotWriter CW = openMessage(Msg::Commit);
+    writeCandList(CW, Commit, Words);
+    std::string Payload = sealMessage(CW);
+    for (unsigned I = 0; I != Workers; ++I)
+      if (!sendTo(I, Payload))
+        return Fail();
+  }
+  if (Out.CacheFilled && !Opts.EnableOnTheFly) {
+    Out.Abort = true; // Paper behaviour: an immediate OOM error.
+    return false;
+  }
+  return true;
+}
+
+uint64_t DistBackend::auxBytesUsed() const { return LastAux; }
+
+void DistBackend::addBackendStats(SynthStats &Stats) const {
+  Stats.DistWorkers = unsigned(Links.size());
+  Stats.DistMigrations += Migrations;
+  Stats.DistMigrationSeconds += MigrationSeconds;
+  Stats.DistExchangedRows += ExchangedRows;
+  uint64_t Bytes = 0;
+  for (const WorkerLink &L : Links)
+    if (L.Ch)
+      Bytes += L.Ch->bytesSent() + L.Ch->bytesReceived();
+  Stats.DistExchangedBytes += Bytes;
+}
+
+void DistBackend::saveState(SnapshotWriter &W) const {
+  // Byte-compatible with BatchedBackend's "batched" section, so dist
+  // snapshots restore on any resumable backend and vice versa: the
+  // shard sets are fetched from their owners and spliced in verbatim
+  // (WarpHashSet::save sections are position-independent). A worker
+  // failure mid-fetch truncates the section, which the restore side
+  // rejects - fail closed, never a half-right snapshot.
+  DistBackend &Self = const_cast<DistBackend &>(*this);
+  size_t Section = W.beginSection("batched");
+  W.u64(IdBase);
+  W.u32(uint32_t(Owner.size()));
+  for (unsigned S = 0; S != unsigned(Owner.size()); ++S) {
+    SnapshotWriter F = openMessage(Msg::SetFetch);
+    F.u32(S);
+    F.u8(0); // Keep: saving must not disturb the live sweep.
+    if (!Self.sendTo(Owner[S], sealMessage(F)))
+      break;
+    std::string Payload;
+    MessageReader M;
+    if (!Self.recvExpect(Owner[S], Msg::SetBytes, Payload, M))
+      break;
+    std::string_view Bytes = M.rest();
+    W.bytes(Bytes.data(), Bytes.size());
+  }
+  W.endSection(Section);
+}
+
+bool DistBackend::loadState(SnapshotReader &R, SearchContext &Ctx) {
+  if (Broken || !R.enterSection("batched"))
+    return false;
+  uint64_t Base = 0;
+  uint32_t Shards = 0;
+  if (!R.u64(Base) || !R.u32(Shards) ||
+      Shards != Ctx.Store->shardCount() || Shards != Owner.size()) {
+    R.markFailed();
+    return false;
+  }
+  for (unsigned S = 0; S != Shards; ++S) {
+    // Validate locally (restore() rejects malformed sections), then
+    // re-serialize - byte-identical by construction - and install on
+    // the shard's owner.
+    std::unique_ptr<gpusim::WarpHashSet> Set =
+        gpusim::WarpHashSet::restore(R);
+    if (!Set || Set->keyWords() != Ctx.U->csWords()) {
+      R.markFailed();
+      return false;
+    }
+    SnapshotWriter Body;
+    Set->save(Body);
+    SnapshotWriter Ins = openMessage(Msg::SetInstall);
+    Ins.u32(S);
+    Ins.bytes(Body.buffer().data(), Body.buffer().size());
+    if (!sendTo(Owner[S], sealMessage(Ins)))
+      return false;
+    std::string Payload;
+    MessageReader M;
+    if (!recvExpect(Owner[S], Msg::Ok, Payload, M))
+      return false;
+  }
+  if (!R.leaveSection())
+    return false;
+  IdBase = Base;
+  return true;
+}
+
+void DistBackend::rebuildFromStore(SearchContext &Ctx,
+                                   uint64_t NextCandidateId) {
+  IdBase = NextCandidateId;
+  // The session already truncated the authoritative store to the last
+  // boundary; replicas follow, then rebuild their owned shards' sets
+  // from the surviving rows (BatchedBackend::rebuildFromStore, split
+  // by ownership).
+  SnapshotWriter W = openMessage(Msg::Truncate);
+  W.u64(uint64_t(Ctx.Store->size()));
+  W.u64(NextCandidateId);
+  unsigned Shards = Ctx.Store->shardCount();
+  W.u32(Shards);
+  for (unsigned S = 0; S != Shards; ++S)
+    W.u32(uint32_t(Ctx.Store->shardRows(S)));
+  std::string Payload = sealMessage(W);
+  for (unsigned I = 0; I != Links.size(); ++I)
+    if (!sendTo(I, Payload))
+      return;
+}

@@ -1,0 +1,186 @@
+//===- dist/Coordinator.h - Distributed shard-worker backend -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator half of the distributed execution mode (DESIGN.md
+/// Sec. 13): an engine::Backend ("dist") that runs each cost level's
+/// batched pipeline across N shard workers behind dist/Channel.h
+/// links. The coordinator keeps the session-owned store as the
+/// authoritative replica, enumerates level tasks exactly like every
+/// in-process backend, broadcasts each batch, routes the workers'
+/// cross-shard candidates (the all-to-all, via the hub), runs the
+/// rank-ordered exchange pass that assigns dense global ids, and
+/// commits the row winners back to every replica - so results are
+/// bit-identical to the in-process backends at every worker count,
+/// the same invariance bar the sharded store already meets.
+///
+/// Elasticity: requestReshard(N) (or a per-worker byte budget trip)
+/// grows the cluster at the next level boundary - new workers are
+/// initialised and store-synced, the affected shards' uniqueness sets
+/// stream over as snapshot sections, and the sweep continues 1->N
+/// without restarting. Worker loss is fail-closed: any channel or
+/// protocol failure aborts the level before any partial global-id
+/// assignment, and the session reports a clean OutOfMemory with the
+/// worker named.
+///
+/// Two deployment shapes, one code path: inProcess() spawns pinned
+/// "virtual worker" threads over loopback channels (the registry's
+/// "dist" backend; also the test harness), overChannels() drives
+/// remote `paresy_cli --join` processes over sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_DIST_COORDINATOR_H
+#define PARESY_DIST_COORDINATOR_H
+
+#include "dist/Channel.h"
+#include "dist/Protocol.h"
+#include "engine/Backend.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace paresy {
+namespace dist {
+
+/// Cluster-level knobs of a distributed backend.
+struct DistClusterOptions {
+  /// Per-worker resident-byte trip point (store replica + owned
+  /// uniqueness sets, as reported by level-boundary acks): past it the
+  /// coordinator grows the cluster by one worker at the next level
+  /// boundary, when one is available. 0 disables the byte policy
+  /// (explicit requestReshard still works).
+  uint64_t WorkerByteBudget = 0;
+  /// Upper bound on elastic growth; 0 means ShardedStore::MaxShards.
+  unsigned MaxWorkers = 0;
+  /// Source of elastic joiners for channel-fed clusters: polled at
+  /// level boundaries when growth is wanted; returns null when no
+  /// joiner is waiting. Loopback clusters spawn threads instead and
+  /// ignore this.
+  std::function<std::unique_ptr<ShardChannel>()> JoinPoll;
+};
+
+/// The "dist" backend: coordinator over N shard workers.
+class DistBackend : public engine::Backend {
+public:
+  /// A cluster of \p Workers in-process virtual workers (threads over
+  /// loopback channels), spawned lazily at prepare(). 0 selects the
+  /// default of 2.
+  static std::unique_ptr<DistBackend>
+  inProcess(unsigned Workers, DistClusterOptions Cluster = {});
+
+  /// A cluster over pre-connected channels (one per worker), e.g.
+  /// accepted `paresy_cli --join` sockets.
+  static std::unique_ptr<DistBackend>
+  overChannels(std::vector<std::unique_ptr<ShardChannel>> Channels,
+               DistClusterOptions Cluster = {});
+
+  ~DistBackend() override;
+
+  std::string_view name() const override { return "dist"; }
+  size_t planCacheCapacity(const engine::SearchContext &Ctx,
+                           uint64_t BudgetBytes) override;
+  uint64_t planStoreBytes(const engine::SearchContext &Ctx,
+                          uint64_t BudgetBytes) override;
+  void prepare(engine::SearchContext &Ctx) override;
+  engine::LevelOutcome runLevel(engine::SearchContext &Ctx,
+                                uint64_t LevelCost,
+                                engine::LevelTasks &Tasks) override;
+  uint64_t auxBytesUsed() const override;
+  void addBackendStats(SynthStats &Stats) const override;
+
+  /// Resumable until a worker is lost: once the cluster is broken the
+  /// session must not park on it (results could no longer be resumed
+  /// bit-identically).
+  bool supportsResume() const override { return !Broken; }
+  void saveState(SnapshotWriter &W) const override;
+  bool loadState(SnapshotReader &R, engine::SearchContext &Ctx) override;
+  void rebuildFromStore(engine::SearchContext &Ctx,
+                        uint64_t NextCandidateId) override;
+
+  /// Requests growth to \p Workers at the next level boundary
+  /// (grow-only; smaller or equal targets are ignored). Thread-safe.
+  void requestReshard(unsigned Workers) {
+    ReshardTarget.store(Workers, std::memory_order_relaxed);
+  }
+
+  /// Active workers (after prepare()).
+  unsigned workerCount() const { return unsigned(Links.size()); }
+
+  /// True once a worker was lost or a protocol error latched; the
+  /// next level aborts with the failure's reason.
+  bool broken() const { return Broken; }
+
+private:
+  struct WorkerLink {
+    std::unique_ptr<ShardChannel> Ch;
+    std::thread Thread; ///< Joinable only for virtual workers.
+  };
+
+  DistBackend(unsigned Workers, DistClusterOptions Cluster, bool Loopback);
+
+  void markBroken(unsigned Worker, const std::string &Why);
+  bool sendTo(unsigned Worker, const std::string &Payload);
+  /// Receives one message from \p Worker and requires \p Expected;
+  /// an Err message or any channel/decode failure latches Broken.
+  bool recvExpect(unsigned Worker, Msg Expected, std::string &Payload,
+                  MessageReader &M);
+  void spawnLoopbackWorker();
+  std::string buildInit(const engine::SearchContext &Ctx, unsigned Worker,
+                        unsigned Workers,
+                        const std::vector<uint32_t> &Map) const;
+  bool initWorker(const engine::SearchContext &Ctx, unsigned Worker,
+                  unsigned Workers, const std::vector<uint32_t> &Map);
+  bool syncStore(const engine::SearchContext &Ctx, unsigned Worker);
+  void maybeReshard(const engine::SearchContext &Ctx);
+  bool processBatch(engine::SearchContext &Ctx,
+                    engine::LevelOutcome &Out);
+  bool collectLevelAcks();
+
+  std::vector<WorkerLink> Links;
+  bool Loopback = false;
+  unsigned InitialWorkers = 2;
+  DistClusterOptions Cluster;
+
+  std::vector<uint32_t> Owner; ///< Shard -> owning worker.
+  size_t HashCapacity = 32;
+  uint64_t SetCapacityPerShard = 32;
+  size_t BatchTasks;
+  uint64_t IdBase = 0;
+
+  // Tier numbers shipped to workers (the Session's storeTierConfig
+  // math, replicated in prepare(); see Worker.cpp).
+  uint64_t TierByteBudget = 0;
+  uint64_t TierWindowBudget = 0;
+  uint64_t TierPinnedBytes = 0;
+
+  bool Broken = false;
+  std::string BrokenWhy;
+  std::atomic<unsigned> ReshardTarget{0};
+
+  // Per-batch buffers (see processBatch).
+  std::vector<Provenance> Batch;
+  std::vector<uint8_t> WinnerFlag;
+  std::vector<uint64_t> WinnerHash;
+  std::vector<const uint64_t *> WinnerCs;
+
+  // Level-boundary accounting from LevelAcks.
+  uint64_t LastAux = 0;
+  uint64_t MaxWorkerBytes = 0;
+
+  // Stats.
+  uint64_t Migrations = 0;
+  double MigrationSeconds = 0;
+  uint64_t ExchangedRows = 0;
+};
+
+} // namespace dist
+} // namespace paresy
+
+#endif // PARESY_DIST_COORDINATOR_H

@@ -1,0 +1,191 @@
+//===- dist/Protocol.cpp - Coordinator/worker message protocol ---------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Protocol.h"
+
+namespace paresy {
+namespace dist {
+
+namespace {
+
+/// Same semantic flag bits as serve/Wire.cpp's client options, so the
+/// two wire vocabularies cannot drift apart silently.
+enum OptionFlagBits : uint8_t {
+  FlagOnTheFly = 1 << 0,
+  FlagSeedEpsilon = 1 << 1,
+  FlagUniquenessCheck = 1 << 2,
+  FlagUseGuideTable = 1 << 3,
+  FlagPadToPowerOfTwo = 1 << 4,
+  FlagCompressStore = 1 << 5,
+  FlagPortfolio = 1 << 6,
+};
+
+} // namespace
+
+SnapshotWriter openMessage(Msg Type) {
+  SnapshotWriter W;
+  writeSnapshotHeader(W, "dist");
+  W.u8(uint8_t(Type));
+  return W;
+}
+
+std::string sealMessage(SnapshotWriter &W) {
+  appendSnapshotChecksum(W);
+  return W.take();
+}
+
+bool MessageReader::open(std::string_view Payload) {
+  if (!verifySnapshotChecksum(Payload))
+    return false;
+  Body = stripSnapshotChecksum(Payload);
+  R.emplace(Body);
+  if (!readSnapshotHeader(*R, "dist"))
+    return false;
+  uint8_t TypeByte = 0;
+  if (!R->u8(TypeByte))
+    return false;
+  Type = Msg(TypeByte);
+  return true;
+}
+
+std::string_view MessageReader::rest() const {
+  if (!R)
+    return {};
+  return Body.substr(Body.size() - R->remaining());
+}
+
+void writeCandList(SnapshotWriter &W, const CandList &L, size_t CsWords) {
+  W.u32(uint32_t(L.Ranks.size()));
+  for (uint32_t Rank : L.Ranks)
+    W.u32(Rank);
+  for (uint64_t Hash : L.Hashes)
+    W.u64(Hash);
+  W.bytes(L.Words.data(), L.Ranks.size() * CsWords * sizeof(uint64_t));
+}
+
+bool readCandList(SnapshotReader &R, CandList &Out, size_t CsWords) {
+  Out.clear();
+  uint32_t Count = 0;
+  if (!R.u32(Count))
+    return false;
+  // Every entry costs at least 4 + 8 + 8 * CsWords bytes; a count the
+  // remaining payload cannot hold is structurally impossible. Reject
+  // it before sizing any buffer (fail closed, never trust a length).
+  uint64_t PerEntry = 4 + 8 + uint64_t(CsWords) * 8;
+  if (uint64_t(Count) * PerEntry > R.remaining()) {
+    R.markFailed();
+    return false;
+  }
+  Out.Ranks.resize(Count);
+  Out.Hashes.resize(Count);
+  Out.Words.resize(size_t(Count) * CsWords);
+  for (uint32_t &Rank : Out.Ranks)
+    if (!R.u32(Rank))
+      return false;
+  for (uint64_t &Hash : Out.Hashes)
+    if (!R.u64(Hash))
+      return false;
+  if (!Out.Words.empty() &&
+      !R.bytes(Out.Words.data(), Out.Words.size() * sizeof(uint64_t)))
+    return false;
+  // Snapshot streams are little-endian by contract; the word block is
+  // written verbatim, so big-endian hosts must swap. The repo's
+  // supported hosts are little-endian (snapshot bytes() callers make
+  // the same assumption), so nothing to do here.
+  return true;
+}
+
+void writeOwnerMap(SnapshotWriter &W, const std::vector<uint32_t> &Owner) {
+  W.u32(uint32_t(Owner.size()));
+  for (uint32_t O : Owner)
+    W.u32(O);
+}
+
+bool readOwnerMap(SnapshotReader &R, std::vector<uint32_t> &Out) {
+  uint32_t Count = 0;
+  if (!R.u32(Count))
+    return false;
+  // ShardedStore::MaxShards bounds any legitimate map.
+  if (uint64_t(Count) * 4 > R.remaining() || Count == 0 || Count > 64) {
+    R.markFailed();
+    return false;
+  }
+  Out.resize(Count);
+  for (uint32_t &O : Out)
+    if (!R.u32(O))
+      return false;
+  return true;
+}
+
+void writeDistOptions(SnapshotWriter &W, const SynthOptions &O) {
+  W.u32(O.Cost.Literal);
+  W.u32(O.Cost.Question);
+  W.u32(O.Cost.Star);
+  W.u32(O.Cost.Concat);
+  W.u32(O.Cost.Union);
+  W.u64(O.MaxCost);
+  W.u64(O.MemoryLimitBytes);
+  W.u32(O.Shards);
+  W.f64(O.TimeoutSeconds);
+  W.f64(O.AllowedError);
+  uint8_t Flags = 0;
+  if (O.EnableOnTheFly)
+    Flags |= FlagOnTheFly;
+  if (O.SeedEpsilon)
+    Flags |= FlagSeedEpsilon;
+  if (O.UniquenessCheck)
+    Flags |= FlagUniquenessCheck;
+  if (O.UseGuideTable)
+    Flags |= FlagUseGuideTable;
+  if (O.PadToPowerOfTwo)
+    Flags |= FlagPadToPowerOfTwo;
+  if (O.CompressStore)
+    Flags |= FlagCompressStore;
+  if (O.Portfolio)
+    Flags |= FlagPortfolio;
+  W.u8(Flags);
+}
+
+bool readDistOptions(SnapshotReader &R, SynthOptions &O) {
+  uint8_t Flags = 0;
+  if (!R.u32(O.Cost.Literal) || !R.u32(O.Cost.Question) ||
+      !R.u32(O.Cost.Star) || !R.u32(O.Cost.Concat) ||
+      !R.u32(O.Cost.Union) || !R.u64(O.MaxCost) ||
+      !R.u64(O.MemoryLimitBytes) || !R.u32(O.Shards) ||
+      !R.f64(O.TimeoutSeconds) || !R.f64(O.AllowedError) || !R.u8(Flags))
+    return false;
+  O.EnableOnTheFly = Flags & FlagOnTheFly;
+  O.SeedEpsilon = Flags & FlagSeedEpsilon;
+  O.UniquenessCheck = Flags & FlagUniquenessCheck;
+  O.UseGuideTable = Flags & FlagUseGuideTable;
+  O.PadToPowerOfTwo = Flags & FlagPadToPowerOfTwo;
+  O.CompressStore = Flags & FlagCompressStore;
+  O.Portfolio = Flags & FlagPortfolio;
+  return true;
+}
+
+void writeTask(SnapshotWriter &W, const Provenance &P) {
+  W.u8(uint8_t(P.Kind));
+  W.u8(uint8_t(P.Symbol));
+  W.u32(P.Lhs);
+  W.u32(P.Rhs);
+}
+
+bool readTask(SnapshotReader &R, Provenance &Out) {
+  uint8_t Kind = 0, Symbol = 0;
+  if (!R.u8(Kind) || !R.u8(Symbol) || !R.u32(Out.Lhs) || !R.u32(Out.Rhs))
+    return false;
+  if (Kind > uint8_t(CsOp::Union)) {
+    R.markFailed();
+    return false;
+  }
+  Out.Kind = CsOp(Kind);
+  Out.Symbol = char(Symbol);
+  return true;
+}
+
+} // namespace dist
+} // namespace paresy

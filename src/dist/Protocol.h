@@ -1,0 +1,147 @@
+//===- dist/Protocol.h - Coordinator/worker message protocol -----------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message vocabulary of the distributed execution mode (DESIGN.md
+/// Sec. 13), spoken over dist/Channel.h between the coordinator
+/// (dist/Coordinator.h) and shard workers (dist/Worker.h). Every
+/// message reuses the serve/Wire payload discipline: a snapshot stream
+/// (core/Snapshot.h) of kind "dist" - magic + format version, one type
+/// byte, the type's fields, checksum trailer - so a truncated,
+/// corrupted or foreign-version message is rejected fail-closed by the
+/// same machinery that guards snapshots and network frames.
+///
+/// The conversation is a star: the coordinator drives, workers react.
+/// Per batch of one cost level:
+///
+///   GenBatch  C->W  the batch's tasks + id base; each worker
+///                   generates its contiguous rank slice
+///   GenOut    W->C  candidates owned by *other* workers' shards
+///                   (the all-to-all's first half, via the hub)
+///   ExchIn    C->W  candidates this worker's shards own, collected
+///                   from the other workers' GenOuts
+///   WinnerRep W->C  min-id uniqueness winners + satisfier rank
+///   Commit    C->W  the winners that got rows, in candidate-rank
+///                   order, so every replica appends identically
+///
+/// plus lifecycle (Init/StoreSync/Owners/LevelEnd/Truncate/Shutdown)
+/// and migration/persistence traffic (SetFetch/SetInstall with raw
+/// WarpHashSet snapshot sections). Candidate lists travel as struct-
+/// of-arrays (ranks, hashes, CS words) - the wire twin of the batched
+/// pipeline's task vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_DIST_PROTOCOL_H
+#define PARESY_DIST_PROTOCOL_H
+
+#include "core/LanguageCache.h"
+#include "core/Snapshot.h"
+#include "core/Synthesizer.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paresy {
+namespace dist {
+
+/// Message types. Coordinator-to-worker types live below 16,
+/// worker-to-coordinator types at 16 and above.
+enum class Msg : uint8_t {
+  // Coordinator -> worker.
+  Init = 1,      ///< Identity, spec, options, budgets, ownership map.
+  StoreSync = 2, ///< Full ShardedStore snapshot to replicate.
+  Owners = 3,    ///< New worker count + shard ownership map.
+  GenBatch = 4,  ///< One batch of level tasks to generate.
+  ExchIn = 5,    ///< Candidates owned by the receiver's shards.
+  Commit = 6,    ///< Row-winning candidates to append, rank order.
+  LevelEnd = 7,  ///< Level boundary: record range, maybe seal.
+  SetFetch = 8,  ///< Serialize one shard's uniqueness set.
+  SetInstall = 9, ///< Install one shard's uniqueness set.
+  Truncate = 10, ///< Roll back to a level boundary and rebuild sets.
+  Shutdown = 11, ///< Clean exit.
+
+  // Worker -> coordinator.
+  GenOut = 16,    ///< Generate results: ops + cross-owner candidates.
+  WinnerRep = 17, ///< Uniqueness/check results for owned candidates.
+  LevelAck = 18,  ///< Byte accounting at a level boundary.
+  SetBytes = 19,  ///< One shard set's snapshot section (SetFetch reply).
+  Ok = 20,        ///< Generic acknowledgement.
+  Err = 21,       ///< Fatal worker-side failure, with reason.
+};
+
+/// A candidate list in struct-of-arrays form. Ranks index the current
+/// batch's tasks (candidate id = IdBase + rank); Words holds
+/// Ranks.size() * CsWords row words, row-major.
+struct CandList {
+  std::vector<uint32_t> Ranks;
+  std::vector<uint64_t> Hashes;
+  std::vector<uint64_t> Words;
+
+  size_t size() const { return Ranks.size(); }
+  bool empty() const { return Ranks.empty(); }
+  void clear() {
+    Ranks.clear();
+    Hashes.clear();
+    Words.clear();
+  }
+};
+
+/// Opens a message payload: snapshot header of kind "dist" plus the
+/// type byte. Append fields, then seal with sealMessage().
+SnapshotWriter openMessage(Msg Type);
+
+/// Appends the checksum trailer and takes the finished payload.
+std::string sealMessage(SnapshotWriter &W);
+
+/// Verifies one received payload (checksum, envelope, type byte) and
+/// exposes a bounded reader over its fields. The payload must outlive
+/// the reader.
+class MessageReader {
+public:
+  /// False on any structural problem - the caller's fail-closed path.
+  bool open(std::string_view Payload);
+
+  Msg type() const { return Type; }
+  SnapshotReader &r() { return *R; }
+
+  /// The unread tail of the payload (checksum trailer excluded): how
+  /// raw snapshot sections (SetBytes) are spliced without a parse.
+  std::string_view rest() const;
+
+private:
+  std::string_view Body;
+  std::optional<SnapshotReader> R;
+  Msg Type = Msg::Err;
+};
+
+/// Candidate-list fields (u32 count, ranks, hashes, then the row
+/// words). \p CsWords is the fixed row width both sides were
+/// initialised with.
+void writeCandList(SnapshotWriter &W, const CandList &L, size_t CsWords);
+bool readCandList(SnapshotReader &R, CandList &Out, size_t CsWords);
+
+/// Shard-ownership map fields (u32 count + u32 owner per shard).
+void writeOwnerMap(SnapshotWriter &W, const std::vector<uint32_t> &Owner);
+bool readOwnerMap(SnapshotReader &R, std::vector<uint32_t> &Out);
+
+/// The SynthOptions subset a worker needs to stage and sweep
+/// identically, in serve/Wire's field order (cost tuple, budgets,
+/// shards, error, semantic flag bits).
+void writeDistOptions(SnapshotWriter &W, const SynthOptions &O);
+bool readDistOptions(SnapshotReader &R, SynthOptions &O);
+
+/// One level task (provenance) as wire fields.
+void writeTask(SnapshotWriter &W, const Provenance &P);
+bool readTask(SnapshotReader &R, Provenance &Out);
+
+} // namespace dist
+} // namespace paresy
+
+#endif // PARESY_DIST_PROTOCOL_H

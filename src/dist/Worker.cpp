@@ -1,0 +1,484 @@
+//===- dist/Worker.cpp - Shard-owner worker loop -------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Worker.h"
+
+#include "core/Snapshot.h"
+#include "dist/Channel.h"
+#include "dist/Protocol.h"
+#include "engine/Kernels.h"
+#include "engine/Staging.h"
+#include "gpusim/WarpHashSet.h"
+#include "lang/CharSeq.h"
+#include "lang/Universe.h"
+#include "support/Bits.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+using namespace paresy::dist;
+
+namespace {
+
+/// Serial for worker-local spill paths, so two virtual workers in one
+/// process (or two joins of one host) never share a spill file.
+std::atomic<uint64_t> SpillSerial{0};
+
+/// One owned candidate of the current batch: its rank, routing hash,
+/// CS pointer (into the slice buffer or the received exchange words)
+/// and, after insertion, its uniqueness slot.
+struct OwnedCand {
+  uint32_t Rank = 0;
+  uint64_t Hash = 0;
+  const uint64_t *Cs = nullptr;
+  int64_t Slot = -1;
+};
+
+struct WorkerState {
+  ShardChannel &Link;
+
+  unsigned Index = 0;
+  unsigned WorkerCount = 1;
+  SynthOptions Opts;
+  std::shared_ptr<const engine::StagedQuery> Query;
+  std::unique_ptr<CsAlgebra> Algebra;
+  unsigned MistakeBudget = 0;
+  size_t CsWords = 0;
+  uint64_t SetCapacityPerShard = 32;
+  StoreTierConfig Tier;
+  std::unique_ptr<ShardedStore> Store;
+  /// Index = shard; null for shards other workers own.
+  std::vector<std::unique_ptr<gpusim::WarpHashSet>> Sets;
+  std::vector<uint32_t> Owner;
+
+  // Current batch (GenBatch .. Commit).
+  uint64_t IdBase = 0;
+  std::vector<Provenance> Tasks;
+  std::vector<uint64_t> SliceCs; // (SliceEnd - SliceBegin) x CsWords.
+  uint32_t SliceBegin = 0;
+  uint32_t SliceEnd = 0;
+  bool Route = false;
+  std::vector<OwnedCand> Stash; ///< Own-owned candidates of my slice.
+  CandList Received;            ///< ExchIn candidates (keeps Cs alive).
+  std::vector<OwnedCand> Owned; ///< Stash + Received, rank order.
+
+  explicit WorkerState(ShardChannel &Link) : Link(Link) {}
+
+  bool fail(const std::string &Reason) {
+    SnapshotWriter W = openMessage(Msg::Err);
+    W.str(Reason);
+    Link.send(sealMessage(W)); // Best effort; we exit either way.
+    return false;
+  }
+
+  bool reply(SnapshotWriter &W) { return Link.send(sealMessage(W)); }
+
+  bool replyOk() {
+    SnapshotWriter W = openMessage(Msg::Ok);
+    return reply(W);
+  }
+
+  bool handleInit(SnapshotReader &R);
+  bool handleStoreSync(MessageReader &M);
+  bool handleOwners(SnapshotReader &R);
+  bool handleGenBatch(SnapshotReader &R);
+  bool handleExchIn(SnapshotReader &R);
+  bool handleCommit(SnapshotReader &R);
+  bool handleLevelEnd(SnapshotReader &R);
+  bool handleSetFetch(SnapshotReader &R);
+  bool handleSetInstall(SnapshotReader &R);
+  bool handleTruncate(SnapshotReader &R);
+
+  bool run();
+};
+
+bool WorkerState::handleInit(SnapshotReader &R) {
+  uint32_t Idx = 0, Count = 0;
+  Spec S;
+  std::string AlphabetChars, SpillDir;
+  SynthOptions O;
+  uint64_t Words = 0, SetCap = 0, ByteBudget = 0, WindowBudget = 0,
+           PinnedBytes = 0;
+  std::vector<uint32_t> Map;
+  if (!R.u32(Idx) || !R.u32(Count) || Count == 0 || Idx >= Count)
+    return fail("dist init rejected: malformed identity");
+  {
+    uint64_t N = 0;
+    if (!R.u64(N) || N > R.remaining())
+      return fail("dist init rejected: malformed examples");
+    S.Pos.resize(size_t(N));
+    for (std::string &E : S.Pos)
+      if (!R.str(E))
+        return fail("dist init rejected: malformed examples");
+    if (!R.u64(N) || N > R.remaining())
+      return fail("dist init rejected: malformed examples");
+    S.Neg.resize(size_t(N));
+    for (std::string &E : S.Neg)
+      if (!R.str(E))
+        return fail("dist init rejected: malformed examples");
+  }
+  if (!R.str(AlphabetChars) || !readDistOptions(R, O) || !R.str(SpillDir) ||
+      !R.u64(Words) || !R.u64(SetCap) || !R.u64(ByteBudget) ||
+      !R.u64(WindowBudget) || !R.u64(PinnedBytes) || !readOwnerMap(R, Map))
+    return fail("dist init rejected: malformed fields");
+
+  std::string Error;
+  Alphabet Sigma = Alphabet::create(AlphabetChars, &Error);
+  if (!Error.empty())
+    return fail("dist init rejected: " + Error);
+
+  // Stage locally: the universe and guide table are deterministic in
+  // (spec, alphabet, options), so this replica is bit-identical to the
+  // coordinator's.
+  std::shared_ptr<const engine::StagedQuery> Q = engine::stage(S, Sigma, O);
+  if (Q->immediate())
+    return fail("dist init rejected: query resolves without search");
+  if (Q->universe()->csWords() != Words)
+    return fail("dist init rejected: universe width mismatch");
+
+  Index = Idx;
+  WorkerCount = Count;
+  Opts = O;
+  Query = std::move(Q);
+  Algebra = std::make_unique<CsAlgebra>(*Query->universe(),
+                                        Query->guideTable().get());
+  MistakeBudget = Query->mistakeBudget();
+  CsWords = size_t(Words);
+  SetCapacityPerShard = SetCap;
+  Tier = StoreTierConfig();
+  Tier.Compress = storeCompressionEnabled(Opts);
+  Tier.ByteBudget = ByteBudget;
+  Tier.WindowBudget = WindowBudget;
+  if (!SpillDir.empty()) {
+    Tier.PinnedBytes = PinnedBytes;
+    Tier.SpillPath = SpillDir + "/paresy-dist-w" + std::to_string(Index) +
+                     "-" +
+                     std::to_string(SpillSerial.fetch_add(1) + 1);
+  }
+  Owner = std::move(Map);
+  Store.reset(); // Replicated by the StoreSync that always follows.
+  Sets.clear();
+  Sets.resize(Owner.size());
+  for (unsigned Sh = 0; Sh != Owner.size(); ++Sh)
+    if (Owner[Sh] == Index)
+      Sets[Sh] = std::make_unique<gpusim::WarpHashSet>(
+          CsWords, size_t(SetCapacityPerShard));
+  IdBase = 0;
+  return replyOk();
+}
+
+bool WorkerState::handleStoreSync(MessageReader &M) {
+  if (!Query)
+    return fail("dist store sync rejected: not initialised");
+  std::unique_ptr<ShardedStore> Loaded = loadShardedStore(M.r(), Tier);
+  if (!Loaded || M.r().failed())
+    return fail("dist store sync rejected: malformed store snapshot");
+  if (Loaded->csWords() != CsWords ||
+      Loaded->shardCount() != Owner.size())
+    return fail("dist store sync rejected: geometry mismatch");
+  Store = std::move(Loaded);
+  return true; // Ack-less; the next exchange surfaces failures.
+}
+
+bool WorkerState::handleOwners(SnapshotReader &R) {
+  uint32_t Count = 0;
+  std::vector<uint32_t> Map;
+  if (!R.u32(Count) || Count == 0 || !readOwnerMap(R, Map) ||
+      Map.size() != Owner.size() || Index >= Count)
+    return fail("dist owners rejected: malformed map");
+  WorkerCount = Count;
+  Owner = std::move(Map);
+  return true; // Ack-less; migrations end with a LevelEnd or batch.
+}
+
+bool WorkerState::handleGenBatch(SnapshotReader &R) {
+  if (!Store || !Query)
+    return fail("dist batch rejected: no replicated store");
+  uint64_t Base = 0;
+  uint32_t Count = 0;
+  if (!R.u64(Base) || !R.u32(Count) ||
+      uint64_t(Count) * 10 > R.remaining())
+    return fail("dist batch rejected: malformed header");
+  IdBase = Base;
+  Tasks.resize(Count);
+  for (Provenance &P : Tasks)
+    if (!readTask(R, P))
+      return fail("dist batch rejected: malformed task");
+
+  const Universe &U = *Query->universe();
+  const GuideTable *GT = Query->guideTable().get();
+  Route = Opts.UniquenessCheck || Store->shardCount() > 1;
+  SliceBegin = uint32_t(uint64_t(Index) * Count / WorkerCount);
+  SliceEnd = uint32_t(uint64_t(Index + 1) * Count / WorkerCount);
+  if (SliceCs.size() < size_t(SliceEnd - SliceBegin) * CsWords)
+    SliceCs.resize(size_t(SliceEnd - SliceBegin) * CsWords);
+
+  // Generate my contiguous rank slice; stash candidates my shards own,
+  // forward the rest through the hub (GenOut).
+  uint64_t GenOps = 0;
+  Stash.clear();
+  CandList Outbound;
+  for (uint32_t T = SliceBegin; T != SliceEnd; ++T) {
+    uint64_t *Dst = SliceCs.data() + size_t(T - SliceBegin) * CsWords;
+    GenOps += engine::generateCs(Dst, Tasks[T], U, GT, *Store);
+    uint64_t Hash = 0;
+    unsigned Shard = 0;
+    if (Route) {
+      Hash = hashWords(Dst, CsWords);
+      Shard = Store->shardOfHash(Hash);
+      GenOps += CsWords;
+    }
+    if (Owner[Shard] == Index) {
+      Stash.push_back({T, Hash, Dst, -1});
+    } else {
+      Outbound.Ranks.push_back(T);
+      Outbound.Hashes.push_back(Hash);
+      Outbound.Words.insert(Outbound.Words.end(), Dst, Dst + CsWords);
+    }
+  }
+  SnapshotWriter W = openMessage(Msg::GenOut);
+  W.u64(GenOps);
+  writeCandList(W, Outbound, CsWords);
+  return reply(W);
+}
+
+bool WorkerState::handleExchIn(SnapshotReader &R) {
+  if (!Store || !Query)
+    return fail("dist exchange rejected: no replicated store");
+  if (!readCandList(R, Received, CsWords))
+    return fail("dist exchange rejected: malformed candidates");
+
+  // Merge the received candidates around my stash: rank slices are
+  // contiguous per worker and the coordinator concatenates GenOuts in
+  // worker order, so Received is ascending with a gap at my slice.
+  Owned.clear();
+  Owned.reserve(Stash.size() + Received.size());
+  size_t RI = 0;
+  for (; RI != Received.size() && Received.Ranks[RI] < SliceBegin; ++RI)
+    Owned.push_back({Received.Ranks[RI], Received.Hashes[RI],
+                     Received.Words.data() + RI * CsWords, -1});
+  Owned.insert(Owned.end(), Stash.begin(), Stash.end());
+  for (; RI != Received.size(); ++RI)
+    Owned.push_back({Received.Ranks[RI], Received.Hashes[RI],
+                     Received.Words.data() + RI * CsWords, -1});
+
+  for (const OwnedCand &C : Owned)
+    if (C.Rank >= Tasks.size())
+      return fail("dist exchange rejected: rank out of batch");
+
+  // Uniqueness inserts into my shards' sets (min-id winners). A full
+  // set is reported after every insert ran - the full/not-full verdict
+  // of a WarpHashSet depends on the distinct-key set, not on insert
+  // order, so this stays deterministic.
+  bool SetFull = false;
+  if (Opts.UniquenessCheck) {
+    for (OwnedCand &C : Owned) {
+      unsigned Shard = Route ? Store->shardOfHash(C.Hash) : 0;
+      if (Shard >= Owner.size() || Owner[Shard] != Index || !Sets[Shard])
+        return fail("dist exchange rejected: candidate not mine");
+      C.Slot = Sets[Shard]->insert(C.Cs, uint32_t(IdBase + C.Rank), C.Hash);
+      if (C.Slot < 0)
+        SetFull = true;
+    }
+  }
+
+  SnapshotWriter W = openMessage(Msg::WinnerRep);
+  if (SetFull) {
+    W.u8(1);
+    W.u64(UINT64_MAX);
+    writeCandList(W, CandList(), CsWords);
+    return reply(W);
+  }
+
+  // Winner flags and the specification check; ranks ascend, so the
+  // first satisfying winner is the batch's minimum - the same answer
+  // the in-process check kernel's atomic min computes.
+  uint64_t FoundRank = UINT64_MAX;
+  CandList Winners;
+  for (const OwnedCand &C : Owned) {
+    bool Winner = true;
+    if (Opts.UniquenessCheck) {
+      unsigned Shard = Route ? Store->shardOfHash(C.Hash) : 0;
+      Winner = Sets[Shard]->isWinner(size_t(C.Slot),
+                                     uint32_t(IdBase + C.Rank));
+    }
+    if (!Winner)
+      continue;
+    Winners.Ranks.push_back(C.Rank);
+    Winners.Hashes.push_back(C.Hash);
+    Winners.Words.insert(Winners.Words.end(), C.Cs, C.Cs + CsWords);
+    if (FoundRank == UINT64_MAX &&
+        Algebra->satisfies(C.Cs, MistakeBudget))
+      FoundRank = IdBase + C.Rank;
+  }
+  W.u8(0);
+  W.u64(FoundRank);
+  writeCandList(W, Winners, CsWords);
+  return reply(W);
+}
+
+bool WorkerState::handleCommit(SnapshotReader &R) {
+  if (!Store)
+    return fail("dist commit rejected: no replicated store");
+  CandList L;
+  if (!readCandList(R, L, CsWords))
+    return fail("dist commit rejected: malformed candidates");
+  // Apply in the coordinator's candidate-rank order through the same
+  // reserveRow/writeRow path the in-process pipeline uses (reserved
+  // rows never auto-seal, so seal schedules stay identical too).
+  for (size_t I = 0; I != L.size(); ++I) {
+    uint32_t Rank = L.Ranks[I];
+    if (Rank >= Tasks.size())
+      return fail("dist commit rejected: rank out of batch");
+    const uint64_t *Cs = L.Words.data() + I * CsWords;
+    unsigned Shard = Route ? Store->shardOfHash(L.Hashes[I]) : 0;
+    if (Store->shardFull(Shard))
+      return fail("dist commit rejected: replica diverged (shard full)");
+    uint32_t Row = Store->reserveRow(Shard);
+    if (Route)
+      Store->writeRow(Row, Cs, Tasks[Rank], L.Hashes[I]);
+    else
+      Store->writeRow(Row, Cs, Tasks[Rank]);
+  }
+  return true; // Ack-less; LevelEnd's byte report closes the loop.
+}
+
+bool WorkerState::handleLevelEnd(SnapshotReader &R) {
+  if (!Store)
+    return fail("dist level end rejected: no replicated store");
+  uint64_t Cost = 0;
+  uint32_t Begin = 0, End = 0;
+  uint8_t Seal = 0;
+  if (!R.u64(Cost) || !R.u32(Begin) || !R.u32(End) || !R.u8(Seal))
+    return fail("dist level end rejected: malformed fields");
+  Store->setLevel(Cost, Begin, End);
+  if (Seal)
+    Store->sealLevel();
+  uint64_t Aux = 0;
+  for (const std::unique_ptr<gpusim::WarpHashSet> &Set : Sets)
+    if (Set)
+      Aux += Set->bytesUsed();
+  SnapshotWriter W = openMessage(Msg::LevelAck);
+  W.u64(Store->bytesUsed());
+  W.u64(Aux);
+  return reply(W);
+}
+
+bool WorkerState::handleSetFetch(SnapshotReader &R) {
+  uint32_t Shard = 0;
+  uint8_t Drop = 0;
+  if (!R.u32(Shard) || !R.u8(Drop) || Shard >= Sets.size() || !Sets[Shard])
+    return fail("dist set fetch rejected: no such shard set");
+  SnapshotWriter W = openMessage(Msg::SetBytes);
+  Sets[Shard]->save(W);
+  if (Drop)
+    Sets[Shard].reset();
+  return reply(W);
+}
+
+bool WorkerState::handleSetInstall(SnapshotReader &R) {
+  uint32_t Shard = 0;
+  if (!R.u32(Shard) || Shard >= Sets.size())
+    return fail("dist set install rejected: no such shard");
+  std::unique_ptr<gpusim::WarpHashSet> Set = gpusim::WarpHashSet::restore(R);
+  if (!Set || Set->keyWords() != CsWords)
+    return fail("dist set install rejected: malformed set snapshot");
+  Sets[Shard] = std::move(Set);
+  return replyOk();
+}
+
+bool WorkerState::handleTruncate(SnapshotReader &R) {
+  if (!Store)
+    return fail("dist truncate rejected: no replicated store");
+  uint64_t GlobalSize = 0, NextId = 0;
+  uint32_t Shards = 0;
+  if (!R.u64(GlobalSize) || !R.u64(NextId) || !R.u32(Shards) ||
+      Shards != Store->shardCount())
+    return fail("dist truncate rejected: malformed fields");
+  std::vector<uint32_t> Rows(Shards);
+  for (uint32_t &N : Rows)
+    if (!R.u32(N))
+      return fail("dist truncate rejected: malformed fields");
+  Store->truncate(Rows, size_t(GlobalSize));
+  IdBase = NextId;
+
+  // Fresh sets, then re-admit the committed rows my shards own, keyed
+  // by their global ids - exactly BatchedBackend::rebuildFromStore,
+  // restricted to this worker's ownership.
+  for (unsigned Sh = 0; Sh != Owner.size(); ++Sh)
+    Sets[Sh] = Owner[Sh] == Index
+                   ? std::make_unique<gpusim::WarpHashSet>(
+                         CsWords, size_t(SetCapacityPerShard))
+                   : nullptr;
+  if (Opts.UniquenessCheck) {
+    for (size_t Id = 0; Id != Store->size(); ++Id) {
+      uint64_t Hash = Store->rowHash(Id);
+      unsigned Shard = Store->shardOfHash(Hash);
+      if (Owner[Shard] == Index)
+        Sets[Shard]->insert(Store->cs(Id), uint32_t(Id), Hash);
+    }
+  }
+  return true; // Ack-less.
+}
+
+bool WorkerState::run() {
+  std::string Payload;
+  while (Link.recv(Payload)) {
+    MessageReader M;
+    if (!M.open(Payload))
+      return fail("dist message rejected: truncated or corrupt");
+    bool Ok = false;
+    switch (M.type()) {
+    case Msg::Init:
+      Ok = handleInit(M.r());
+      break;
+    case Msg::StoreSync:
+      Ok = handleStoreSync(M);
+      break;
+    case Msg::Owners:
+      Ok = handleOwners(M.r());
+      break;
+    case Msg::GenBatch:
+      Ok = handleGenBatch(M.r());
+      break;
+    case Msg::ExchIn:
+      Ok = handleExchIn(M.r());
+      break;
+    case Msg::Commit:
+      Ok = handleCommit(M.r());
+      break;
+    case Msg::LevelEnd:
+      Ok = handleLevelEnd(M.r());
+      break;
+    case Msg::SetFetch:
+      Ok = handleSetFetch(M.r());
+      break;
+    case Msg::SetInstall:
+      Ok = handleSetInstall(M.r());
+      break;
+    case Msg::Truncate:
+      Ok = handleTruncate(M.r());
+      break;
+    case Msg::Shutdown:
+      return true;
+    default:
+      Ok = fail("dist message rejected: unknown type");
+      break;
+    }
+    if (!Ok)
+      return false;
+  }
+  return false; // Channel died without a Shutdown.
+}
+
+} // namespace
+
+bool paresy::dist::runWorker(ShardChannel &Link) {
+  WorkerState S(Link);
+  return S.run();
+}

@@ -1,0 +1,49 @@
+//===- dist/Worker.h - Shard-owner worker loop --------------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of the distributed execution mode (DESIGN.md
+/// Sec. 13). A shard worker is a pure reactive state machine over one
+/// ShardChannel to the coordinator: it stages the query locally from
+/// the Init message (universe and guide table are deterministic
+/// functions of spec + options, so every replica stages identically),
+/// replicates the sharded store from StoreSync snapshots, owns the
+/// uniqueness sets of the shards the ownership map assigns it, and
+/// then executes the batched pipeline's generate/unique/check locally
+/// - generation split by contiguous candidate-rank slice, uniqueness
+/// and checking split by shard ownership - while the coordinator runs
+/// the rank-ordered exchange pass that assigns global ids.
+///
+/// Workers never enumerate levels and never decide row placement; they
+/// apply the coordinator's Commit messages through the same
+/// reserveRow/writeRow path every in-process backend uses, which is
+/// what keeps all replicas - and therefore results - bit-identical at
+/// every worker count.
+///
+/// The same loop serves both deployment shapes: a thread over a
+/// loopback channel (the coordinator's in-process "virtual workers")
+/// and a separate `paresy_cli --join` process over a socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_DIST_WORKER_H
+#define PARESY_DIST_WORKER_H
+
+namespace paresy {
+namespace dist {
+
+class ShardChannel;
+
+/// Runs one shard worker over \p Link until a Shutdown message or a
+/// channel/protocol failure. Returns true on a clean shutdown, false
+/// when the loop ended on an error (the peer saw a best-effort Err
+/// message or a closed channel either way - fail closed).
+bool runWorker(ShardChannel &Link);
+
+} // namespace dist
+} // namespace paresy
+
+#endif // PARESY_DIST_WORKER_H

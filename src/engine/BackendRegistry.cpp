@@ -6,6 +6,7 @@
 
 #include "engine/BackendRegistry.h"
 
+#include "dist/Coordinator.h"
 #include "engine/CpuBackend.h"
 #include "engine/CpuParallelBackend.h"
 #include "engine/GpuSimBackend.h"
@@ -60,6 +61,12 @@ FactoryMap &factories() {
         Hetero.GpuWorkers = Total - Total / 2;
       }
       return std::make_unique<HeteroBackend>(Hetero);
+    });
+    M.emplace("dist", [](const BackendConfig &Config) {
+      // In-process virtual workers (threads over loopback channels) -
+      // the degenerate case of the coordinator/worker split, same code
+      // path as real `--join` processes.
+      return dist::DistBackend::inProcess(Config.Workers);
     });
     return M;
   }();

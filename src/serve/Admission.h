@@ -23,8 +23,18 @@
 ///    waits behind a backlog it did not build (its start tag catches
 ///    up to the global virtual time).
 ///
+///  * TenantGate - the per-tenant session ledger: a cap on concurrent
+///    admitted sessions, plus a parked-session budget that keeps one
+///    tenant from stuffing the service's shared parked-session LRU
+///    (SynthService's resume cache) with its own sweep states and
+///    evicting everybody else's warm starts. A tenant over its park
+///    budget degrades to strictly serial admission - one session at a
+///    time, exactly the path that resumes (and thereby drains) its
+///    parked state - instead of being locked out.
+///
 /// The server composes them: bucket check at admission (quota), depth
-/// check at admission (backpressure shed), queue-age check at dequeue
+/// check at admission (backpressure shed), gate check at admission
+/// (per-tenant session cap + park budget), queue-age check at dequeue
 /// (staleness shed) - see serve/SynthServer.cpp.
 ///
 //===----------------------------------------------------------------------===//
@@ -129,6 +139,95 @@ private:
   std::unordered_map<std::string, double> LastFinish;
   double VirtualTime = 0;
   uint64_t Seq = 0;
+};
+
+/// The per-tenant session ledger: concurrent admitted sessions
+/// (acquired at admission, released when the request is answered) and
+/// the parked-session charge (incremented when a tenant's search parks
+/// its sweep state in the service LRU, decremented when a retry
+/// resumes one). Deterministic and clock-free like the other
+/// primitives; not thread-safe - the server holds its mutex around it.
+class TenantGate {
+public:
+  enum class Verdict : uint8_t {
+    Admitted,      ///< Acquired one active-session slot.
+    SessionCapped, ///< At MaxActive concurrent sessions already.
+    ParkCapped,    ///< Over the park budget and a session is already
+                   ///< running: serialized until the charge drains.
+  };
+
+  TenantGate() = default;
+  /// \p MaxActive caps concurrent admitted sessions per tenant;
+  /// \p MaxParked is the parked-session budget. 0 disables either.
+  TenantGate(size_t MaxActive, size_t MaxParked)
+      : MaxActive(MaxActive), MaxParked(MaxParked) {}
+
+  /// Admission check for one Submit. On Admitted the caller owns one
+  /// active-session slot and must release() it when the request is
+  /// answered (result, shed, or abandoned-while-queued). A tenant at
+  /// or over its park budget is never denied outright - it keeps one
+  /// session at a time so a resuming retry can drain the charge.
+  Verdict tryAcquire(const std::string &Tenant) {
+    Ledger &L = Tenants[Tenant];
+    if (MaxParked && L.Parked >= MaxParked && L.Active >= 1)
+      return Verdict::ParkCapped;
+    if (MaxActive && L.Active >= MaxActive)
+      return Verdict::SessionCapped;
+    ++L.Active;
+    return Verdict::Admitted;
+  }
+
+  /// Returns the active-session slot of an answered request.
+  void release(const std::string &Tenant) {
+    auto It = Tenants.find(Tenant);
+    if (It == Tenants.end())
+      return;
+    if (It->second.Active > 0)
+      --It->second.Active;
+    eraseIfIdle(It);
+  }
+
+  /// Charges one parked session to \p Tenant (its search ended with
+  /// its sweep state parked in the service LRU).
+  void notePark(const std::string &Tenant) { ++Tenants[Tenant].Parked; }
+
+  /// Drains one parked charge (a retry warm-started from a parked
+  /// state, consuming the LRU entry). Saturates at zero: LRU evictions
+  /// the server cannot observe may have drained the charge already.
+  void noteResume(const std::string &Tenant) {
+    auto It = Tenants.find(Tenant);
+    if (It == Tenants.end())
+      return;
+    if (It->second.Parked > 0)
+      --It->second.Parked;
+    eraseIfIdle(It);
+  }
+
+  size_t active(const std::string &Tenant) const {
+    auto It = Tenants.find(Tenant);
+    return It == Tenants.end() ? 0 : It->second.Active;
+  }
+  size_t parked(const std::string &Tenant) const {
+    auto It = Tenants.find(Tenant);
+    return It == Tenants.end() ? 0 : It->second.Parked;
+  }
+
+private:
+  struct Ledger {
+    size_t Active = 0;
+    size_t Parked = 0;
+  };
+
+  /// The ledger map stays bounded by live tenants: an entry with no
+  /// active session and no parked charge is dropped.
+  void eraseIfIdle(std::unordered_map<std::string, Ledger>::iterator It) {
+    if (It->second.Active == 0 && It->second.Parked == 0)
+      Tenants.erase(It);
+  }
+
+  size_t MaxActive = 0;
+  size_t MaxParked = 0;
+  std::unordered_map<std::string, Ledger> Tenants;
 };
 
 } // namespace serve

@@ -63,7 +63,8 @@ service::ServiceOptions synchronousService(service::ServiceOptions O) {
 } // namespace
 
 SynthServer::SynthServer(ServerOptions O)
-    : Opts(std::move(O)), Service(synchronousService(Opts.Service)) {
+    : Opts(std::move(O)), Service(synchronousService(Opts.Service)),
+      Gate(Opts.MaxSessionsPerTenant, Opts.MaxParkedPerTenant) {
   if (Opts.Workers == 0)
     Opts.Workers = 1;
 }
@@ -127,11 +128,12 @@ std::string SynthServer::banner() const {
 std::string SynthServer::statsText() const {
   std::string Out = service::serviceStatsText(Service.stats());
   ServerStats S = stats();
-  char Buf[320];
+  char Buf[400];
   std::snprintf(Buf, sizeof(Buf),
                 "server: %llu connection(s), %llu submitted, "
                 "%llu completed, %llu shed (%llu stale), "
-                "%llu quota-denied, %llu disconnect(s), "
+                "%llu quota-denied, %llu session-capped, "
+                "%llu park-capped, %llu disconnect(s), "
                 "%llu progress frame(s), queue %zu (peak %zu)\n",
                 (unsigned long long)S.Connections,
                 (unsigned long long)S.Submitted,
@@ -139,6 +141,8 @@ std::string SynthServer::statsText() const {
                 (unsigned long long)(S.ShedQueueFull + S.ShedStale),
                 (unsigned long long)S.ShedStale,
                 (unsigned long long)S.QuotaDenied,
+                (unsigned long long)S.ShedSessionCap,
+                (unsigned long long)S.ShedParkBudget,
                 (unsigned long long)S.Disconnects,
                 (unsigned long long)S.ProgressFrames, S.QueueDepth,
                 S.PeakQueueDepth);
@@ -269,6 +273,21 @@ void SynthServer::handleSubmit(const std::shared_ptr<Conn> &C,
     } else if (Queue.size() >= std::max<size_t>(Opts.MaxQueueDepth, 1)) {
       ++Counters.ShedQueueFull;
       DenyReason = "server overloaded: request queue is full";
+    } else {
+      // Last check acquires: an admitted Submit owns one per-tenant
+      // session slot until it is answered (result or shed).
+      switch (Gate.tryAcquire(C->Tenant)) {
+      case TenantGate::Verdict::SessionCapped:
+        ++Counters.ShedSessionCap;
+        DenyReason = "tenant session cap reached; retry later";
+        break;
+      case TenantGate::Verdict::ParkCapped:
+        ++Counters.ShedParkBudget;
+        DenyReason = "tenant park budget exhausted; retry later";
+        break;
+      case TenantGate::Verdict::Admitted:
+        break;
+      }
     }
   }
   if (DenyReason) {
@@ -319,8 +338,10 @@ void SynthServer::handleSubmit(const std::shared_ptr<Conn> &C,
   }
   {
     std::lock_guard<std::mutex> Lock(M);
-    if (Stopping)
+    if (Stopping) {
+      Gate.release(C->Tenant);
       return;
+    }
     ++Counters.Submitted;
     Queue.push(C->Tenant, C->Weight, Now, std::move(J));
     Counters.QueueDepth = Queue.size();
@@ -352,6 +373,7 @@ void SynthServer::workerLoop() {
       {
         std::lock_guard<std::mutex> Lock(M);
         ++Counters.ShedStale;
+        Gate.release(E.Payload.C->Tenant);
       }
       {
         std::lock_guard<std::mutex> Lock(E.Payload.C->ActiveM);
@@ -369,8 +391,11 @@ void SynthServer::workerLoop() {
 
 void SynthServer::runJob(Job J) {
   // Cancelled or disconnected while queued: nobody wants the answer.
-  if (J.Sink->Gone.load(std::memory_order_relaxed))
+  if (J.Sink->Gone.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> Lock(M);
+    Gate.release(J.C->Tenant);
     return;
+  }
 
   SynthResult Res;
   Alphabet Sigma;
@@ -408,6 +433,20 @@ void SynthServer::runJob(Job J) {
   R.SearchSeconds = Res.Stats.SearchSeconds;
   R.LevelsRun = Res.Stats.LevelsRun;
   R.Parked = J.Sink->SessionParked.load(std::memory_order_relaxed) ? 1 : 0;
+  // Per-tenant ledger strictly before the reply: a parked search
+  // charges one parked session to its tenant, a resumed one drains one
+  // (a resumed search that parks again does both - net zero), and the
+  // session slot is returned. Ordering this before sendFrame makes an
+  // immediate resubmit-on-result deterministic: the client never races
+  // its own released slot.
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (J.Sink->SessionParked.load(std::memory_order_relaxed))
+      Gate.notePark(J.C->Tenant);
+    if (J.Sink->SessionResumed.load(std::memory_order_relaxed))
+      Gate.noteResume(J.C->Tenant);
+    Gate.release(J.C->Tenant);
+  }
   if (!J.Sink->Gone.load(std::memory_order_relaxed))
     sendFrame(*J.C, encodeFrame(R));
   std::lock_guard<std::mutex> Lock(M);

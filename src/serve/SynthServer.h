@@ -76,6 +76,17 @@ struct ServerOptions {
   /// unlimited) and burst allowance.
   double TenantRatePerSec = 0;
   double TenantBurst = 64;
+  /// Per-tenant concurrent-session cap: Submit frames admitted (queued
+  /// or running) at once for one tenant; a breach answers a retryable
+  /// Overloaded frame. 0 = unlimited.
+  size_t MaxSessionsPerTenant = 0;
+  /// Per-tenant parked-session budget (serve/Admission.h TenantGate):
+  /// a tenant holding this many parked sweep states in the service's
+  /// resume LRU is serialized to one session at a time - enough to
+  /// resume and drain the charge, not enough to keep stuffing the
+  /// shared LRU - with further concurrent Submits answered by a
+  /// retryable Overloaded frame. 0 = unlimited.
+  size_t MaxParkedPerTenant = 0;
   /// Clamp on the fair-share weight a Hello may request.
   double MaxTenantWeight = 16.0;
 };
@@ -89,6 +100,8 @@ struct ServerStats {
   uint64_t ShedQueueFull = 0;  ///< Overloaded: queue at MaxQueueDepth.
   uint64_t ShedStale = 0;      ///< Overloaded: queue age past deadline.
   uint64_t QuotaDenied = 0;    ///< Overloaded: tenant bucket empty.
+  uint64_t ShedSessionCap = 0; ///< Overloaded: tenant session cap.
+  uint64_t ShedParkBudget = 0; ///< Overloaded: tenant park budget.
   uint64_t Disconnects = 0;    ///< Connections that left requests behind.
   uint64_t ProgressFrames = 0; ///< Progress frames sent.
   size_t QueueDepth = 0;       ///< Jobs queued right now.
@@ -158,6 +171,7 @@ private:
   std::condition_variable WorkReady;
   FairQueue<Job> Queue;
   std::unordered_map<std::string, TokenBucket> Buckets;
+  TenantGate Gate;
   ServerStats Counters;
   bool Stopping = false;
   std::vector<std::shared_ptr<Conn>> Conns;

@@ -288,6 +288,7 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
       canonicalSessionText(Req->Canonical, Req->Sigma, Req->Opts);
   Fingerprint SessionKey = fingerprintText(SessionText);
   std::unique_ptr<engine::SearchSession> Session;
+  bool Resumed = false;
   if (!Options.Portfolio) {
     // A portfolio race never parks (its arms' states die with the
     // race), so a portfolio service skips the resume path symmetrically.
@@ -298,6 +299,7 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
       std::optional<ParkedSession> Taken = Sessions.take(SessionKey);
       SessionBytesTotal -= Taken->Bytes;
       Session = std::move(Taken->Session);
+      Resumed = true;
       ++Counters.SessionsResumed;
     }
   }
@@ -461,6 +463,11 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
         for (const std::shared_ptr<ClientSink> &S : Req->Sinks)
           S->SessionParked.store(true, std::memory_order_relaxed);
     }
+    // Publish "this run consumed a parked session" the same way; the
+    // server's park-budget ledger drains one charge per resume.
+    if (Resumed)
+      for (const std::shared_ptr<ClientSink> &S : Req->Sinks)
+        S->SessionResumed.store(true, std::memory_order_relaxed);
     InFlight.erase(Req->Key);
   }
   Req->Promise.set_value(std::move(R));

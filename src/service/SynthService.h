@@ -91,6 +91,12 @@ struct ClientSink {
   /// Set (before the result future resolves) when the search parked
   /// its session for resume - the Result frame's "parked" bit.
   std::atomic<bool> SessionParked{false};
+  /// Set (before the result future resolves) when the search
+  /// warm-started from a parked session, consuming its LRU entry. A
+  /// resumed search that runs out of budget again sets both flags.
+  /// The network server's per-tenant park-budget ledger reads these
+  /// to charge and drain parked holdings (serve/Admission.h).
+  std::atomic<bool> SessionResumed{false};
 
 private:
   friend class SynthService;

@@ -1,0 +1,357 @@
+//===- tests/dist_test.cpp - Distributed shard workers ------------------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 13 invariants:
+///
+///  * worker invariance: the "dist" backend (coordinator + N loopback
+///    virtual workers - the same code path `--join` processes run) is
+///    bit-identical to the in-process cpu reference on results, costs,
+///    candidate counts, cache entries and per-shard occupancy, for
+///    every worker count x shard count;
+///  * migration: a session snapshotted at any level boundary restores
+///    into a cluster of a *different* worker count and resumes to the
+///    bit-identical answer (resharding is invisible to results);
+///  * live elasticity: requestReshard() mid-sweep grows the cluster at
+///    the next level boundary without changing any result, and the
+///    migration is visible in the stats; park/snapshot/resume keep
+///    working after a migration;
+///  * fail-closed worker loss: a worker dying at any protocol point -
+///    during prepare, mid-level, or at a boundary - surfaces as a
+///    clean OutOfMemory with the worker named, never a hang and never
+///    partial global ids (the broken cluster refuses to park).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dist/Channel.h"
+#include "dist/Coordinator.h"
+#include "dist/Worker.h"
+#include "engine/BackendRegistry.h"
+#include "engine/SearchDriver.h"
+#include "engine/Session.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+const unsigned ShardCounts[] = {1, 2, 3, 7};
+const unsigned WorkerCounts[] = {1, 2, 3};
+
+Alphabet sigma01() { return Alphabet::of("01"); }
+
+Spec introSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+Spec example36Spec() {
+  return Spec({"1", "011", "1011", "11011"}, {"", "10", "101", "0011"});
+}
+
+/// Every deterministic field a distributed run must reproduce from the
+/// in-process reference. MemoryBytes is excluded: the uniqueness
+/// structure differs between the sequential backend (CsHashSet) and
+/// the batched pipeline (WarpHashSet), exactly as in the session suite.
+void expectDistEquivalent(const SynthResult &Ref, const SynthResult &Got) {
+  ASSERT_EQ(Ref.Status, Got.Status) << statusName(Got.Status)
+                                    << " " << Got.Message;
+  EXPECT_EQ(Ref.Regex, Got.Regex);
+  EXPECT_EQ(Ref.Cost, Got.Cost);
+  EXPECT_EQ(Ref.Stats.CandidatesGenerated, Got.Stats.CandidatesGenerated);
+  EXPECT_EQ(Ref.Stats.UniqueLanguages, Got.Stats.UniqueLanguages);
+  EXPECT_EQ(Ref.Stats.CacheEntries, Got.Stats.CacheEntries);
+  EXPECT_EQ(Ref.Stats.UniverseSize, Got.Stats.UniverseSize);
+  EXPECT_EQ(Ref.Stats.LastCompletedCost, Got.Stats.LastCompletedCost);
+  EXPECT_EQ(Ref.Stats.ShardCount, Got.Stats.ShardCount);
+  EXPECT_EQ(Ref.Stats.ShardRows, Got.Stats.ShardRows);
+}
+
+SynthResult coldCpu(const Spec &S, const SynthOptions &Opts) {
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+  std::unique_ptr<engine::Backend> B = createBackend("cpu");
+  return runStaged(*Q, *B);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Worker invariance
+//===----------------------------------------------------------------------===//
+
+TEST(DistEquivalence, BitIdenticalToCpuAcrossWorkersAndShards) {
+  for (const Spec &S : {introSpec(), example36Spec()}) {
+    for (unsigned Shards : ShardCounts) {
+      SynthOptions Opts;
+      Opts.Shards = Shards;
+      SynthResult Ref = coldCpu(S, Opts);
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+      for (unsigned W : WorkerCounts) {
+        SCOPED_TRACE("shards=" + std::to_string(Shards) +
+                     " workers=" + std::to_string(W));
+        std::unique_ptr<dist::DistBackend> B = dist::DistBackend::inProcess(W);
+        SynthResult Got = runStaged(*Q, *B);
+        expectDistEquivalent(Ref, Got);
+        EXPECT_EQ(Got.Stats.DistWorkers, W);
+        EXPECT_EQ(Got.Stats.DistMigrations, 0u);
+        // Cross-owner routing only exists with 2+ workers and 2+
+        // shards; a single worker owns everything.
+        if (W == 1)
+          EXPECT_EQ(Got.Stats.DistExchangedRows, 0u);
+      }
+    }
+  }
+}
+
+TEST(DistEquivalence, RegistryBackendIsTheLoopbackCluster) {
+  // "dist" from the registry must be the same engine (Config.Workers
+  // selects the cluster size; 0 falls back to the default of 2).
+  SynthOptions Opts;
+  Opts.Shards = 3;
+  SynthResult Ref = coldCpu(introSpec(), Opts);
+  std::shared_ptr<const StagedQuery> Q = stage(introSpec(), sigma01(), Opts);
+  BackendConfig Config;
+  Config.Workers = 3;
+  std::unique_ptr<engine::Backend> B = createBackend("dist", Config);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->name(), "dist");
+  SynthResult Got = runStaged(*Q, *B);
+  expectDistEquivalent(Ref, Got);
+  EXPECT_EQ(Got.Stats.DistWorkers, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot-migrate-resume (the migration property)
+//===----------------------------------------------------------------------===//
+
+TEST(DistMigration, SnapshotMigrateResumeBitIdenticalAtEveryBoundary) {
+  Spec S = introSpec();
+  for (unsigned Shards : ShardCounts) {
+    SynthOptions Opts;
+    Opts.Shards = Shards;
+    SynthResult Cold = coldCpu(S, Opts);
+    std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+    for (unsigned Src : WorkerCounts) {
+      // Migrate to a different cluster size: 1->2, 2->3, 3->1 covers
+      // both growth and shrink-through-snapshot.
+      unsigned Dst = Src % 3 + 1;
+      SCOPED_TRACE("shards=" + std::to_string(Shards) + " workers " +
+                   std::to_string(Src) + "->" + std::to_string(Dst));
+      for (unsigned Pause = 1;; ++Pause) {
+        SearchSession Session(Q, dist::DistBackend::inProcess(Src));
+        for (unsigned I = 0;
+             I != Pause && Session.state() == SessionState::Running; ++I)
+          Session.step();
+        if (Session.state() != SessionState::Running) {
+          // The sweep ended below this pause point: the stepped run
+          // must equal the reference, and the boundary matrix is done.
+          expectDistEquivalent(Cold, Session.result());
+          break;
+        }
+
+        // Snapshot at this boundary, restore into a cluster of a
+        // different size, resume to the end.
+        SnapshotWriter W;
+        ASSERT_TRUE(Session.canSave());
+        ASSERT_TRUE(Session.save(W));
+        std::string Error;
+        std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+            W.buffer(), Q, dist::DistBackend::inProcess(Dst), &Error);
+        ASSERT_NE(Restored, nullptr) << Error;
+        expectDistEquivalent(Cold, Restored->run());
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Live elastic resharding
+//===----------------------------------------------------------------------===//
+
+TEST(DistMigration, LiveReshardMidSweepIsBitIdenticalAndAccounted) {
+  Spec S = introSpec();
+  for (unsigned Shards : {3u, 7u}) {
+    for (unsigned Target : {2u, 3u}) {
+      SCOPED_TRACE("shards=" + std::to_string(Shards) +
+                   " reshard 1->" + std::to_string(Target));
+      SynthOptions Opts;
+      Opts.Shards = Shards;
+      SynthResult Cold = coldCpu(S, Opts);
+      std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+      std::unique_ptr<dist::DistBackend> B = dist::DistBackend::inProcess(1);
+      dist::DistBackend *Cluster = B.get();
+      SearchSession Session(Q, std::move(B));
+      Session.step();
+      Session.step();
+      ASSERT_EQ(Session.state(), SessionState::Running);
+      EXPECT_EQ(Cluster->workerCount(), 1u);
+
+      // Grow at the next level boundary; the sweep continues 1->N.
+      Cluster->requestReshard(Target);
+      SynthResult Got = Session.run();
+      expectDistEquivalent(Cold, Got);
+      EXPECT_EQ(Cluster->workerCount(), Target);
+      EXPECT_EQ(Got.Stats.DistWorkers, Target);
+      EXPECT_EQ(Got.Stats.DistMigrations, 1u);
+      EXPECT_GE(Got.Stats.DistMigrationSeconds, 0.0);
+    }
+  }
+}
+
+TEST(DistMigration, SnapshotAfterALiveReshardStillResumes) {
+  // Park/checkpoint must keep working across a migration: reshard
+  // mid-sweep, snapshot at the next boundary, restore, resume.
+  Spec S = introSpec();
+  SynthOptions Opts;
+  Opts.Shards = 3;
+  SynthResult Cold = coldCpu(S, Opts);
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+  std::unique_ptr<dist::DistBackend> B = dist::DistBackend::inProcess(1);
+  dist::DistBackend *Cluster = B.get();
+  SearchSession Session(Q, std::move(B));
+  Session.step();
+  ASSERT_EQ(Session.state(), SessionState::Running);
+  Cluster->requestReshard(2);
+  Session.step(); // The boundary that performs the migration.
+  ASSERT_EQ(Session.state(), SessionState::Running);
+  EXPECT_EQ(Cluster->workerCount(), 2u);
+
+  SnapshotWriter W;
+  ASSERT_TRUE(Session.canSave());
+  ASSERT_TRUE(Session.save(W));
+  std::string Error;
+  std::unique_ptr<SearchSession> Restored = SearchSession::restore(
+      W.buffer(), Q, dist::DistBackend::inProcess(3), &Error);
+  ASSERT_NE(Restored, nullptr) << Error;
+  expectDistEquivalent(Cold, Restored->run());
+
+  // The live original (post-migration) reaches the same answer.
+  expectDistEquivalent(Cold, Session.run());
+}
+
+//===----------------------------------------------------------------------===//
+// Fail-closed worker loss
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forwards to a real loopback worker but severs the link after a
+/// fixed number of coordinator sends: a deterministic worker death at
+/// any chosen protocol point (during prepare, mid-level, boundary).
+class DropAfter : public dist::ShardChannel {
+public:
+  DropAfter(std::unique_ptr<dist::ShardChannel> Inner, unsigned Limit)
+      : Inner(std::move(Inner)), Limit(Limit) {}
+
+  bool send(std::string_view Bytes) override {
+    if (Sent >= Limit) {
+      Inner->close();
+      return false;
+    }
+    ++Sent;
+    return Inner->send(Bytes);
+  }
+  bool recv(std::string &Bytes) override { return Inner->recv(Bytes); }
+  void close() override { Inner->close(); }
+
+private:
+  std::unique_ptr<dist::ShardChannel> Inner;
+  unsigned Limit;
+  unsigned Sent = 0;
+};
+
+} // namespace
+
+TEST(DistFailure, KilledWorkerFailsClosedAtEveryProtocolPoint) {
+  Spec S = introSpec();
+  SynthOptions Opts;
+  Opts.Shards = 3;
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+  // Limits chosen to land in prepare (Init is send #1, StoreSync #2),
+  // in the first level's batch traffic, and deeper into the sweep.
+  for (unsigned Limit : {0u, 1u, 2u, 4u, 9u}) {
+    SCOPED_TRACE("sends before death: " + std::to_string(Limit));
+    std::vector<std::unique_ptr<dist::ShardChannel>> Ends;
+    std::vector<std::thread> Threads;
+    for (unsigned W = 0; W != 2; ++W) {
+      dist::ChannelPair Pair = dist::makeLoopbackPair();
+      Threads.emplace_back(
+          [Ch = std::move(Pair.B)]() mutable { dist::runWorker(*Ch); });
+      if (W == 1)
+        Ends.push_back(
+            std::make_unique<DropAfter>(std::move(Pair.A), Limit));
+      else
+        Ends.push_back(std::move(Pair.A));
+    }
+    {
+      std::unique_ptr<dist::DistBackend> B =
+          dist::DistBackend::overChannels(std::move(Ends));
+      dist::DistBackend *Cluster = B.get();
+      SearchSession Session(Q, std::move(B));
+      // Must return (fail-closed, no hang), with a clean error naming
+      // the lost worker and no partial level published.
+      SynthResult R = Session.run();
+      EXPECT_EQ(R.Status, SynthStatus::OutOfMemory) << statusName(R.Status);
+      EXPECT_NE(R.Message.find("worker"), std::string::npos) << R.Message;
+      EXPECT_TRUE(Cluster->broken());
+      // A broken cluster refuses to park or snapshot: a resumed run
+      // could no longer be bit-identical.
+      EXPECT_FALSE(Session.canSave());
+    }
+    // The backend's destruction releases both workers (Shutdown on the
+    // live link, close on the severed one): joins cannot hang.
+    for (std::thread &T : Threads)
+      T.join();
+  }
+}
+
+TEST(DistFailure, WorkerLossAfterACompletedLevelKeepsTheFloor) {
+  // Death at a level boundary: everything up to the last completed
+  // level stays reported (LastCompletedCost is the proven floor), and
+  // the failure is still clean.
+  Spec S = introSpec();
+  SynthOptions Opts;
+  Opts.Shards = 2;
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), Opts);
+
+  std::vector<std::unique_ptr<dist::ShardChannel>> Ends;
+  std::vector<std::thread> Threads;
+  dist::ShardChannel *Victim = nullptr;
+  for (unsigned W = 0; W != 2; ++W) {
+    dist::ChannelPair Pair = dist::makeLoopbackPair();
+    Threads.emplace_back(
+        [Ch = std::move(Pair.B)]() mutable { dist::runWorker(*Ch); });
+    if (W == 1)
+      Victim = Pair.A.get();
+    Ends.push_back(std::move(Pair.A));
+  }
+  {
+    SearchSession Session(Q, dist::DistBackend::overChannels(std::move(Ends)));
+    Session.step();
+    Session.step();
+    ASSERT_EQ(Session.state(), SessionState::Running);
+    uint64_t Boundary = Session.nextCost();
+
+    Victim->close(); // SIGKILL analogue: the link just dies.
+    SynthResult R = Session.run();
+    EXPECT_EQ(R.Status, SynthStatus::OutOfMemory) << statusName(R.Status);
+    EXPECT_NE(R.Message.find("worker"), std::string::npos) << R.Message;
+    // No partial global ids: the proven floor is exactly the boundary
+    // the sweep stopped at - every level below it completed before the
+    // loss, none after it was published.
+    EXPECT_GT(R.Stats.LastCompletedCost, 0u);
+    EXPECT_LT(R.Stats.LastCompletedCost, Boundary);
+    EXPECT_GT(R.Stats.CacheEntries, 0u);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}

@@ -282,6 +282,51 @@ TEST(FairQueue, HeadEnqueueTimeProbesTheOldestJob) {
   EXPECT_EQ(Q.headEnqueuedAt(), 9.5);
 }
 
+TEST(TenantGate, CapsConcurrentSessionsPerTenantOnly) {
+  TenantGate G(2, 0);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::SessionCapped);
+  // Another tenant's ledger is independent.
+  EXPECT_EQ(G.tryAcquire("B"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.active("A"), 2u);
+  G.release("A");
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::SessionCapped);
+  // Releasing a never-admitted tenant is a no-op, not a negative count.
+  G.release("C");
+  EXPECT_EQ(G.active("C"), 0u);
+}
+
+TEST(TenantGate, ParkBudgetSerializesButNeverLocksOut) {
+  TenantGate G(0, 1);
+  // At the budget: one session at a time - the resuming path stays
+  // open - but no concurrent fan-out that could stuff the shared LRU.
+  G.notePark("A");
+  EXPECT_EQ(G.parked("A"), 1u);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::ParkCapped);
+  G.release("A");
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  G.release("A");
+  // A resume drains the charge; concurrency is restored.
+  G.noteResume("A");
+  EXPECT_EQ(G.parked("A"), 0u);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("A"), TenantGate::Verdict::Admitted);
+  // Other tenants never see A's charge.
+  G.notePark("A");
+  G.notePark("A");
+  EXPECT_EQ(G.tryAcquire("B"), TenantGate::Verdict::Admitted);
+  EXPECT_EQ(G.tryAcquire("B"), TenantGate::Verdict::Admitted);
+  // The drain saturates at zero (LRU evictions the caller cannot see
+  // may have emptied the charge already).
+  G.noteResume("A");
+  G.noteResume("A");
+  G.noteResume("A");
+  EXPECT_EQ(G.parked("A"), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Wire codec: round trips and fail-closed rejection
 //===----------------------------------------------------------------------===//
@@ -735,6 +780,118 @@ TEST(ServeAdmission, ShedsJobsOlderThanTheQueueAgeDeadline) {
   ASSERT_TRUE(Got.Overloaded.count(2));
   EXPECT_NE(Got.Overloaded[2].Reason.find("deadline"), std::string::npos);
   EXPECT_EQ(Server.stats().ShedStale, 1u);
+}
+
+TEST(ServeAdmission, SessionCapShedsTheFanOutNotTheOtherTenant) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  ServerOptions O = basicServer("serve-gated-cpu");
+  O.MaxSessionsPerTenant = 1;
+  SynthServer Server(std::move(O));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+  SynthOptions Opts;
+  // Job 1 holds t1's only session slot at the gate; job 2 from the
+  // same connection is read strictly after job 1 was admitted, so the
+  // shed is deterministic.
+  ASSERT_TRUE(C.submit(1, Spec({"0"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(C.submit(2, Spec({"1"}, {"0"}), "01", Opts));
+  Collected Got;
+  ASSERT_TRUE(pump(C, {2}, Got));
+  ASSERT_TRUE(Got.Overloaded.count(2));
+  EXPECT_NE(Got.Overloaded[2].Reason.find("session cap"), std::string::npos);
+  EXPECT_EQ(Got.Overloaded[2].Retryable, 1);
+  EXPECT_EQ(Server.stats().ShedSessionCap, 1u);
+
+  // The cap is per tenant: t2's first session is admitted.
+  ServeClient Other;
+  ASSERT_TRUE(Other.connect("127.0.0.1", Server.port(), "t2", 1.0, &Error))
+      << Error;
+  ASSERT_TRUE(Other.submit(3, Spec({"00"}, {"1"}), "01", Opts));
+  gate().open();
+  ASSERT_TRUE(pump(C, {1}, Got));
+  EXPECT_TRUE(Got.Results.count(1));
+  Collected OtherGot;
+  ASSERT_TRUE(pump(Other, {3}, OtherGot));
+  EXPECT_TRUE(OtherGot.Results.count(3));
+
+  // Completion released the slot: t1 submits again unimpeded.
+  ASSERT_TRUE(C.submit(4, Spec({"10"}, {"01"}), "01", Opts));
+  ASSERT_TRUE(pump(C, {4}, Got));
+  EXPECT_TRUE(Got.Results.count(4));
+  EXPECT_EQ(Server.stats().ShedSessionCap, 1u);
+  std::string Stats = Server.statsText();
+  EXPECT_NE(Stats.find("1 session-capped"), std::string::npos) << Stats;
+}
+
+TEST(ServeAdmission, ParkBudgetSerializesAndAResumeDrainsTheCharge) {
+  registerServeTestBackends();
+  gate().reset();
+  GateOpener Guard;
+  ServerOptions O = basicServer("serve-gated-cpu");
+  O.MaxParkedPerTenant = 1;
+  SynthServer Server(std::move(O));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+
+  // Round 1: a budget too small to finish parks the session and
+  // charges the tenant's park budget (now at its cap of 1).
+  gate().open();
+  Spec S = example36Spec();
+  SynthOptions Small;
+  Small.MaxCost = 4;
+  ASSERT_TRUE(C.submit(1, S, "01", Small));
+  Collected Got;
+  ASSERT_TRUE(pump(C, {1}, Got));
+  ASSERT_TRUE(Got.Results.count(1));
+  EXPECT_EQ(SynthStatus(Got.Results[1].Status), SynthStatus::NotFound);
+  EXPECT_EQ(Got.Results[1].Parked, 1);
+  EXPECT_GE(Server.service().stats().SessionsParked, 1u);
+
+  // Round 2: over the budget the tenant is serialized - one session
+  // (held at the gate) is fine, a second concurrent one is shed.
+  gate().reset();
+  SynthOptions Opts;
+  ASSERT_TRUE(C.submit(2, Spec({"0"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(C.submit(3, Spec({"1"}, {"0"}), "01", Opts));
+  ASSERT_TRUE(pump(C, {3}, Got));
+  ASSERT_TRUE(Got.Overloaded.count(3));
+  EXPECT_NE(Got.Overloaded[3].Reason.find("park budget"), std::string::npos);
+  EXPECT_EQ(Got.Overloaded[3].Retryable, 1);
+  EXPECT_EQ(Server.stats().ShedParkBudget, 1u);
+  gate().open();
+  ASSERT_TRUE(pump(C, {2}, Got));
+  EXPECT_TRUE(Got.Results.count(2));
+
+  // Round 3: widening the budget resumes the parked session, which
+  // drains the charge...
+  SynthOptions Wide;
+  ASSERT_TRUE(C.submit(4, S, "01", Wide));
+  ASSERT_TRUE(pump(C, {4}, Got));
+  ASSERT_TRUE(Got.Results.count(4));
+  EXPECT_EQ(SynthStatus(Got.Results[4].Status), SynthStatus::Found);
+  EXPECT_EQ(Server.service().stats().SessionsResumed, 1u);
+
+  // ...so concurrent fan-out is admitted again.
+  gate().reset();
+  ASSERT_TRUE(C.submit(5, Spec({"00"}, {"1"}), "01", Opts));
+  ASSERT_TRUE(C.submit(6, Spec({"11"}, {"0"}), "01", Opts));
+  gate().open();
+  ASSERT_TRUE(pump(C, {5, 6}, Got));
+  EXPECT_TRUE(Got.Results.count(5));
+  EXPECT_TRUE(Got.Results.count(6));
+  EXPECT_EQ(Server.stats().ShedParkBudget, 1u);
+  std::string Stats = Server.statsText();
+  EXPECT_NE(Stats.find("1 park-capped"), std::string::npos) << Stats;
+  C.goodbye();
 }
 
 //===----------------------------------------------------------------------===//
