@@ -1,0 +1,189 @@
+//===- bench/bench_delta.cpp - Spec-delta resynthesis quick bench -------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spec-delta perf gate (DESIGN.md Sec. 14): an interactive
+/// refinement trace on the Table-2 classroom instance no3. The user
+/// starts from a partial example set and adds one example per round,
+/// as a --repl session would; every round submits the full current
+/// spec. Two gated metrics over the identical trace:
+///
+///   delta.replay - the rounds through one SynthService, so every
+///                  example-adding edit grafts the previous round's
+///                  parked sweep (appendColumns + dup-ledger replay)
+///                  and resumes it (what a refinement session pays
+///                  now);
+///   delta.cold   - every round swept from scratch (the price each
+///                  edit used to pay).
+///
+/// Both count the cumulative cold candidates as items, so the replay
+/// throughput exceeding the cold one is the measured speedup;
+/// info.delta.cumulative_speedup reports the ratio directly and the
+/// bench FAILS below 2x - the tentpole claim is that a refinement
+/// trace costs a fraction of its per-edit cold runs. Every round's
+/// delta result is asserted bit-equal to its cold run before anything
+/// is timed: a diverging graft must never be gated as a fast one.
+///
+/// Emits BENCH_delta.json; the CI perf-smoke job gates it against
+/// bench/baselines/BENCH_delta.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "benchgen/AlphaSuite.h"
+#include "engine/CpuBackend.h"
+#include "engine/Staging.h"
+#include "service/SynthService.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+int main(int Argc, char **Argv) {
+  bench::Harness H("delta", Argc, Argv);
+
+  // Table 2 row no3 under the AlphaRegex-comparable cost function:
+  // heavy enough that the sweep dominates staging, small enough for CI
+  // (the same instance bench_resume gates on).
+  const benchgen::SuiteInstance &Inst = benchgen::alphaRegexSuite()[2];
+  const Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Opts;
+  Opts.Cost = CostFn(20, 20, 20, 5, 30);
+
+  // The refinement trace: hold back four of no3's examples, then add
+  // them back one per round, ending on the full instance. Every edit
+  // is a proper superset of its predecessor, so each round grafts the
+  // previous round's parked sweep; every held-out word is an infix of
+  // a kept one, so no graft appends universe columns (the appended-
+  // column case legitimately replays split levels - see DESIGN.md
+  // Sec. 14 - and is covered by delta_test, not gated here). Three of
+  // the edits confirm the current answer (the graft finishes by
+  // scanning the solved level); '-01' breaks it, and the graft resumes
+  // the sweep at cost 206 instead of restarting at 1 - the tail is
+  // the expensive part of the cold run, but the three confirmations
+  // cost nearly nothing, which is where the cumulative win comes from.
+  std::vector<Spec> Trace;
+  {
+    Spec S;
+    S.Pos = {"00101", "01010", "110101", "0101011"};
+    S.Neg = {"0", "0110", "1010", "00110", "010011"};
+    Trace.push_back(S); // solves at cost 205
+    S.Pos.push_back("0101"); // confirming
+    Trace.push_back(S);
+    S.Neg.push_back("01"); // breaking: re-solves at cost 230
+    Trace.push_back(S);
+    S.Pos.push_back("10101"); // confirming
+    Trace.push_back(S);
+    S.Neg.push_back("010"); // confirming
+    Trace.push_back(S);
+  }
+  if (Trace.back().Pos.size() != Inst.Examples.Pos.size() ||
+      Trace.back().Neg.size() != Inst.Examples.Neg.size()) {
+    std::fprintf(stderr, "error: trace does not end on the suite spec\n");
+    return 1;
+  }
+
+  auto coldRun = [&](const Spec &S) {
+    CpuBackend B;
+    return runStaged(*engine::stage(S, Sigma, Opts), B);
+  };
+  auto replayTrace = [&](std::vector<SynthResult> *Out,
+                         service::ServiceStats *Stats) {
+    // A fresh service per replay: the point is the graft path, not the
+    // result cache (each round's spec is new text anyway).
+    service::SynthService Service{{}};
+    for (const Spec &S : Trace) {
+      SynthResult R = Service.synthesize(S, Sigma, Opts);
+      if (Out)
+        Out->push_back(R);
+      else if (!R.found())
+        std::exit(1);
+    }
+    if (Stats)
+      *Stats = Service.stats();
+  };
+
+  // Bit-identity sanity before timing anything: every round of the
+  // delta replay must match its cold run exactly.
+  std::vector<SynthResult> Colds;
+  uint64_t TotalCandidates = 0;
+  for (const Spec &S : Trace) {
+    Colds.push_back(coldRun(S));
+    if (!Colds.back().found()) {
+      std::fprintf(stderr, "error: trace round %zu did not solve (%s)\n",
+                   Colds.size() - 1, statusName(Colds.back().Status));
+      return 1;
+    }
+    TotalCandidates += Colds.back().Stats.CandidatesGenerated;
+  }
+  std::vector<SynthResult> Deltas;
+  service::ServiceStats Replay;
+  replayTrace(&Deltas, &Replay);
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    const SynthResult &D = Deltas[I], &C = Colds[I];
+    if (D.Regex != C.Regex || D.Cost != C.Cost ||
+        D.Stats.CandidatesGenerated != C.Stats.CandidatesGenerated ||
+        D.Stats.UniqueLanguages != C.Stats.UniqueLanguages ||
+        D.Stats.CacheEntries != C.Stats.CacheEntries) {
+      std::fprintf(stderr,
+                   "error: delta round %zu diverged from its cold run "
+                   "(%s vs %s)\n",
+                   I, D.Regex.c_str(), C.Regex.c_str());
+      return 1;
+    }
+  }
+  if (Replay.DeltaHits != Trace.size() - 1) {
+    std::fprintf(stderr,
+                 "error: expected %zu grafts, got %llu (%llu declined)\n",
+                 Trace.size() - 1, (unsigned long long)Replay.DeltaHits,
+                 (unsigned long long)Replay.DeltaDeclined);
+    return 1;
+  }
+
+  H.bench("delta.replay", TotalCandidates,
+          [&] { replayTrace(nullptr, nullptr); });
+  H.bench("delta.cold", TotalCandidates, [&] {
+    for (const Spec &S : Trace)
+      if (!coldRun(S).found())
+        std::exit(1);
+  });
+
+  // The cumulative ratio a refinement session gains, measured directly
+  // (min of interleaved pairs so machine noise hits both sides alike).
+  double ColdSecs = 1e100, DeltaSecs = 1e100;
+  for (int Rep = 0; Rep != (H.quick() ? 3 : 5); ++Rep) {
+    WallTimer T;
+    for (const Spec &S : Trace)
+      coldRun(S);
+    ColdSecs = std::min(ColdSecs, T.seconds());
+    T.reset();
+    replayTrace(nullptr, nullptr);
+    DeltaSecs = std::min(DeltaSecs, T.seconds());
+  }
+  double Speedup = ColdSecs / DeltaSecs;
+  H.metric("info.delta.cumulative_speedup", Speedup, "x");
+  H.metric("info.delta.rounds", double(Trace.size()), "count");
+  H.metric("info.delta.levels_skipped", double(Replay.DeltaLevelsSkipped),
+           "count");
+  H.metric("info.delta.levels_replayed",
+           double(Replay.DeltaLevelsReplayed), "count");
+  H.metric("info.delta.columns_appended",
+           double(Replay.DeltaColumnsAppended), "count");
+  H.metric("info.workload.candidates", double(TotalCandidates), "count");
+  if (Speedup < 2.0) {
+    std::fprintf(stderr,
+                 "error: cumulative speedup %.2fx is below the 2x gate\n",
+                 Speedup);
+    return 1;
+  }
+  return H.finish();
+}

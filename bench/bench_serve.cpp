@@ -27,6 +27,17 @@
 /// Emits BENCH_serve.json; CI perf-smoke gates it against
 /// bench/baselines/BENCH_serve.json.
 ///
+/// A second, harness-free mode drives a LIVE server instead of
+/// spawning one:
+///
+///   bench_serve --soak HOST:PORT [--seconds N]
+///
+/// replays the connect / pipeline / disconnect churn in a loop until
+/// the deadline, asserting every request completes and that answers
+/// stay stable loop over loop. The CI server-integration job runs it
+/// against its long-lived server and then asserts the server process
+/// leaked no file descriptors and no unbounded memory.
+///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
@@ -39,6 +50,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -188,9 +201,124 @@ ReplayResult replay(const std::vector<Spec> &Pool,
   return R;
 }
 
+/// The --soak mode: loops the churn pattern against an already-running
+/// server until \p Seconds elapse. Returns a process exit code.
+int runSoak(const std::string &Addr, double Seconds) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Addr.size()) {
+    std::fprintf(stderr, "error: --soak wants HOST:PORT\n");
+    return 2;
+  }
+  std::string Host = Addr.substr(0, Colon);
+  long Port = std::atol(Addr.c_str() + Colon + 1);
+  if (Port <= 0 || Port > 65535) {
+    std::fprintf(stderr, "error: bad port in --soak '%s'\n", Addr.c_str());
+    return 2;
+  }
+
+  const size_t Distinct = 6;
+  std::vector<Spec> Pool;
+  for (size_t I = 0; I != Distinct; ++I)
+    Pool.push_back(generated(100 + I, I % 2));
+
+  std::vector<std::string> FirstAnswers(Distinct);
+  uint64_t Loops = 0, Requests = 0, Churned = 0;
+  SynthOptions Opts;
+  std::string Error;
+  Clock::time_point Start = Clock::now();
+  while (since(Start) < Seconds) {
+    // Fresh connections every loop: connection setup/teardown is the
+    // descriptor-churn half of what the soak is probing.
+    ServeClient C;
+    if (!C.connect(Host, uint16_t(Port), "soak", 1.0, &Error)) {
+      std::fprintf(stderr, "error: loop %llu: %s\n",
+                   (unsigned long long)Loops, Error.c_str());
+      return 1;
+    }
+    for (size_t I = 0; I != Distinct; ++I)
+      if (!C.submit(I, Pool[I], "01", Opts)) {
+        std::fprintf(stderr, "error: loop %llu: submit failed\n",
+                     (unsigned long long)Loops);
+        return 1;
+      }
+    Frame F;
+    size_t Got = 0;
+    while (Got < Distinct && C.next(F, &Error)) {
+      if (F.Type != FrameType::Result)
+        continue;
+      ++Got;
+      ++Requests;
+      std::string Answer =
+          SynthStatus(F.Result.Status) == SynthStatus::Found
+              ? F.Result.Regex
+              : "<" +
+                    std::string(
+                        statusName(SynthStatus(F.Result.Status))) +
+                    ">";
+      std::string &First = FirstAnswers[F.Result.RequestId];
+      if (First.empty())
+        First = Answer;
+      else if (First != Answer) {
+        std::fprintf(stderr,
+                     "error: loop %llu: answer drifted (%s vs %s)\n",
+                     (unsigned long long)Loops, Answer.c_str(),
+                     First.c_str());
+        return 1;
+      }
+    }
+    if (Got != Distinct) {
+      std::fprintf(stderr, "error: loop %llu: lost %zu request(s): %s\n",
+                   (unsigned long long)Loops, Distinct - Got,
+                   Error.c_str());
+      return 1;
+    }
+    C.goodbye();
+
+    // Every fourth loop a churn client parks an in-flight search by
+    // vanishing: the park budget must evict, not accumulate.
+    if (Loops % 4 == 3) {
+      ServeClient D;
+      if (D.connect(Host, uint16_t(Port), "soak-churn", 1.0, &Error)) {
+        D.submit(1, generated(3000 + Loops, Loops % 2), "01", Opts);
+        D.disconnect();
+        ++Churned;
+      }
+    }
+    ++Loops;
+  }
+
+  // One last stats round trip, printed for the CI log.
+  ServeClient C;
+  if (C.connect(Host, uint16_t(Port), "soak", 1.0, &Error)) {
+    Frame F;
+    if (C.requestStats() && C.next(F) &&
+        F.Type == FrameType::StatsReply)
+      std::fputs(F.Stats.Text.c_str(), stdout);
+    C.goodbye();
+  }
+  std::printf("soak: %llu loop(s), %llu request(s), %llu churn "
+              "disconnect(s), %.1f s, answers stable\n",
+              (unsigned long long)Loops, (unsigned long long)Requests,
+              (unsigned long long)Churned, since(Start));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // The soak mode is handled before the harness (it measures nothing
+  // and must not write a BENCH report).
+  std::string SoakAddr;
+  double SoakSeconds = 120;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--soak" && I + 1 < Argc)
+      SoakAddr = Argv[I + 1];
+    else if (std::string(Argv[I]) == "--seconds" && I + 1 < Argc)
+      SoakSeconds = std::atof(Argv[I + 1]);
+  }
+  if (!SoakAddr.empty())
+    return runSoak(SoakAddr, SoakSeconds);
+
   bench::Harness H("serve", Argc, Argv);
 
   // The distinct pool: small Type 1/2 instances (the bench_service

@@ -72,6 +72,22 @@
 ///                                 synchronous; in --serve mode: server
 ///                                 worker threads, default 1)
 ///
+/// Interactive refinement (spec-delta resynthesis, DESIGN.md Sec. 14):
+///
+///   --repl                        read edit commands from stdin:
+///                                 '+WORD' / '-WORD' add a positive /
+///                                 negative example (a bare '+' or '-'
+///                                 adds the empty word), '=' or an
+///                                 empty line synthesizes the current
+///                                 spec, 'show' prints it, 'stats' the
+///                                 service counters, 'quit' exits. An
+///                                 example-adding edit grafts the
+///                                 previous round's parked sweep and
+///                                 resumes it instead of restarting
+///                                 cold; the result is bit-identical
+///                                 either way. A spec file or
+///                                 --pos/--neg seeds the first round.
+///
 /// Network serving (the real multi-tenant server, DESIGN.md Sec. 12):
 ///
 ///   --serve PORT                  serve the wire protocol on
@@ -328,6 +344,106 @@ int runServeDemo(paresy::service::SynthService &Service, const Spec &S,
   return 0;
 }
 
+/// The --repl mode: an interactive refinement loop over one caching
+/// service. Every round submits the full current spec; when the edit
+/// only added examples, the service grafts the previous round's parked
+/// sweep via spec-delta resynthesis (engine/DeltaStage.h) instead of
+/// restarting cold, and the per-round note says which path served it.
+int runRepl(const std::string &Engine, unsigned Workers,
+            const engine::BackendConfig &Config, Spec Examples,
+            const std::string &AlphabetChars, const SynthOptions &Options) {
+  service::ServiceOptions SOpts;
+  SOpts.Backend = Engine;
+  SOpts.Workers = Workers;
+  SOpts.Kernels = Config;
+  SOpts.Portfolio = Options.Portfolio;
+  service::SynthService Service(std::move(SOpts));
+  std::printf("%s\n",
+              service::serviceBanner(Service.options(), Options).c_str());
+  std::printf("repl: +WORD / -WORD add examples (bare +/- adds the empty "
+              "word); '=' or an empty\n"
+              "      line synthesizes; show | stats | quit. Edits that "
+              "only add examples reuse\n"
+              "      the previous sweep.\n");
+
+  RegexManager M;
+  auto Synthesize = [&]() {
+    Alphabet Sigma;
+    std::string Error;
+    if (!AlphabetChars.empty())
+      Sigma = Alphabet::create(AlphabetChars, &Error);
+    else if (!inferAlphabet(Examples, Sigma, &Error))
+      Sigma = Alphabet();
+    if (!Error.empty()) {
+      std::printf("error: %s\n", Error.c_str());
+      return;
+    }
+    service::ServiceStats Before = Service.stats();
+    WallTimer Timer;
+    SynthResult R = Service.synthesize(Examples, Sigma, Options);
+    double Millis = Timer.millis();
+    service::ServiceStats After = Service.stats();
+    if (!R.found()) {
+      std::printf("result: %s %s\n", statusName(R.Status),
+                  R.Message.c_str());
+      return;
+    }
+    ParseResult Parsed = parseRegex(M, R.Regex);
+    if (Options.AllowedError == 0 &&
+        !(Parsed &&
+          satisfiesExamples(M, Parsed.Re, Examples.Pos, Examples.Neg))) {
+      std::printf("internal error: result failed verification\n");
+      return;
+    }
+    std::printf("result: %s  (cost %llu, %.3f ms)\n", R.Regex.c_str(),
+                (unsigned long long)R.Cost, Millis);
+    if (After.DeltaHits > Before.DeltaHits)
+      std::printf("  via spec-delta graft: %llu level(s) skipped, %llu "
+                  "replayed, %llu column(s) appended\n",
+                  (unsigned long long)(After.DeltaLevelsSkipped -
+                                       Before.DeltaLevelsSkipped),
+                  (unsigned long long)(After.DeltaLevelsReplayed -
+                                       Before.DeltaLevelsReplayed),
+                  (unsigned long long)(After.DeltaColumnsAppended -
+                                       Before.DeltaColumnsAppended));
+    else if (After.Hits > Before.Hits)
+      std::printf("  via result cache\n");
+    else if (After.SessionsResumed > Before.SessionsResumed)
+      std::printf("  via resumed parked session\n");
+  };
+
+  char Line[4096];
+  for (;;) {
+    std::printf("paresy> ");
+    std::fflush(stdout);
+    if (!std::fgets(Line, sizeof Line, stdin))
+      break;
+    std::string Cmd = Line;
+    while (!Cmd.empty() && (Cmd.back() == '\n' || Cmd.back() == '\r'))
+      Cmd.pop_back();
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "show") {
+      std::printf("%s", Examples.toText().c_str());
+    } else if (Cmd == "stats") {
+      std::fputs(service::serviceStatsText(Service.stats()).c_str(),
+                 stdout);
+    } else if (Cmd.empty() || Cmd == "=" || Cmd == "go") {
+      Synthesize();
+    } else if (Cmd[0] == '+') {
+      Examples.Pos.push_back(Cmd.substr(1));
+    } else if (Cmd[0] == '-') {
+      Examples.Neg.push_back(Cmd.substr(1));
+    } else {
+      std::printf("unknown command '%s' (want +WORD, -WORD, =, show, "
+                  "stats, quit)\n",
+                  Cmd.c_str());
+    }
+  }
+  std::fputs(service::serviceStatsText(Service.stats()).c_str(), stdout);
+  return 0;
+}
+
 /// The --join mode: one shard worker process serving one coordinator
 /// until shutdown. Needs no spec - Init carries it.
 int runJoin(const std::string &Addr) {
@@ -529,6 +645,7 @@ int main(int Argc, char **Argv) {
   unsigned ServeDemoRounds = 0;
   unsigned ServeWorkers = 0;
   bool ServeMode = false;
+  bool ReplMode = false;
   long ServePort = 0;
   std::string ConnectAddr;
   std::string Tenant = "default";
@@ -597,6 +714,8 @@ int main(int Argc, char **Argv) {
       AlphabetChars = Next();
     else if (Arg == "--wildcard")
       Wildcard = true;
+    else if (Arg == "--repl")
+      ReplMode = true;
     else if (Arg == "--portfolio")
       Options.Portfolio = true;
     else if (Arg == "--stats")
@@ -687,13 +806,26 @@ int main(int Argc, char **Argv) {
   }
 
   if (!InlineSpec) {
-    if (SpecFile.empty())
+    // The REPL may start from an empty spec and grow it from stdin.
+    if (SpecFile.empty() && !ReplMode)
       usage();
     std::string Error;
-    if (!readSpecFile(SpecFile, Examples, &Error)) {
+    if (!SpecFile.empty() &&
+        !readSpecFile(SpecFile, Examples, &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 2;
     }
+  }
+
+  if (ReplMode) {
+    if (!engine::hasBackend(Engine)) {
+      std::fprintf(stderr, "error: --repl wants a registry backend "
+                           "(have '%s')\n",
+                   Engine.c_str());
+      return 2;
+    }
+    return runRepl(Engine, ServeWorkers, Config, std::move(Examples),
+                   AlphabetChars, Options);
   }
 
   Alphabet Sigma;

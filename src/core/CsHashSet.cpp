@@ -22,6 +22,10 @@ bool CsHashSet::contains(const uint64_t *Cs) const {
 }
 
 bool CsHashSet::contains(const uint64_t *Cs, uint64_t Hash) const {
+  return find(Cs, Hash) >= 0;
+}
+
+int64_t CsHashSet::find(const uint64_t *Cs, uint64_t Hash) const {
   assert(Hash == hashWords(Cs, Cache.csWords()) &&
          "precomputed hash mismatch");
   size_t Mask = Slots.size() - 1;
@@ -30,12 +34,12 @@ bool CsHashSet::contains(const uint64_t *Cs, uint64_t Hash) const {
   for (;;) {
     uint32_t Entry = Slots[SlotIdx];
     if (Entry == EmptySlot)
-      return false;
+      return -1;
     // Tag first: only a matching fingerprint justifies fetching the
     // row words.
     if (Tags[SlotIdx] == Tag &&
         equalWords(Cache.cs(Entry), Cs, Cache.csWords()))
-      return true;
+      return int64_t(Entry);
     SlotIdx = (SlotIdx + 1) & Mask;
   }
 }

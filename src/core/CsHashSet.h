@@ -51,6 +51,12 @@ public:
   /// already hashed for shard routing skip the re-hash).
   bool contains(const uint64_t *Cs, uint64_t Hash) const;
 
+  /// The cache row holding exactly the bits of \p Cs, or -1 when
+  /// absent. Same probe sequence as contains() - callers that need
+  /// the duplicate's winner (the spec-delta dup ledger, DESIGN.md
+  /// Sec. 14) pay nothing beyond the membership test.
+  int64_t find(const uint64_t *Cs, uint64_t Hash) const;
+
   /// Registers cache row \p Idx, whose bits must equal \p Cs.
   /// Pre: !contains(Cs).
   void insert(const uint64_t *Cs, uint32_t Idx);

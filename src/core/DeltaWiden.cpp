@@ -1,0 +1,123 @@
+//===- core/DeltaWiden.cpp - Widening cached rows across spec edits ----------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeltaWiden.h"
+
+#include "lang/CsKernels.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace paresy;
+
+bool paresy::buildDeltaGeometry(const Universe &OldU, const Universe &NewU,
+                                DeltaGeometry &G) {
+  G.OldBits = OldU.size();
+  G.NewBits = NewU.size();
+  G.OldWords = OldU.csWords();
+  G.NewWords = NewU.csWords();
+  G.NewOfOld.assign(G.OldBits, 0);
+  std::vector<char> Covered(G.NewBits, 0);
+  for (size_t I = 0; I != G.OldBits; ++I) {
+    int64_t N = NewU.indexOf(OldU.word(I));
+    if (N < 0)
+      return false; // An old word vanished: not a superset edit.
+    G.NewOfOld[I] = uint32_t(N);
+    Covered[size_t(N)] = 1;
+  }
+
+  G.Appended.clear();
+  G.SplitRows.assign(1, 0);
+  G.SplitPairs.clear();
+  G.Symbol1.clear();
+  for (size_t N = 0; N != G.NewBits; ++N) {
+    if (Covered[N])
+      continue;
+    G.Appended.push_back(uint32_t(N));
+    const std::string &W = NewU.word(N);
+    // Every split half is an infix of W, hence of the new examples:
+    // the infix closure contains it by construction.
+    for (size_t K = 0; K <= W.size(); ++K) {
+      int64_t U = NewU.indexOf(std::string_view(W).substr(0, K));
+      int64_t V = NewU.indexOf(std::string_view(W).substr(K));
+      assert(U >= 0 && V >= 0 && "split half missing from the closure");
+      G.SplitPairs.push_back(uint32_t(U));
+      G.SplitPairs.push_back(uint32_t(V));
+    }
+    G.SplitRows.push_back(uint32_t(G.SplitPairs.size() / 2));
+    G.Symbol1.push_back(W.size() == 1 ? W[0] : char(0));
+  }
+  return true;
+}
+
+void paresy::deltaFillAppended(uint64_t *Row, const Provenance &P,
+                               const DeltaGeometry &G,
+                               const ShardedStore &S) {
+  const size_t Cols = G.appendedCount();
+  if (!Cols)
+    return;
+  const uint32_t *Pairs = G.SplitPairs.data();
+  auto set = [&](size_t J) {
+    const uint32_t N = G.Appended[J];
+    Row[N / 64] |= uint64_t(1) << (N % 64);
+  };
+
+  switch (P.Kind) {
+  case CsOp::Literal:
+    // A new word is a member of {c} iff it *is* "c" - possible when a
+    // symbol of the alphabet first appears in the added examples.
+    for (size_t J = 0; J != Cols; ++J)
+      if (G.Symbol1[J] == P.Symbol && P.Symbol != 0)
+        set(J);
+    return;
+  case CsOp::Epsilon:
+  case CsOp::Empty:
+    // Epsilon is an infix of everything, so it is always an old word;
+    // appended words are non-empty and never members.
+    return;
+  case CsOp::Question: {
+    // L? = {eps} u L, and appended words are non-empty.
+    const uint64_t *L = S.cs(P.Lhs);
+    for (size_t J = 0; J != Cols; ++J)
+      if (cskernel::testBit(L, G.Appended[J]))
+        set(J);
+    return;
+  }
+  case CsOp::Union: {
+    const uint64_t *L = S.cs(P.Lhs);
+    const uint64_t *R = S.cs(P.Rhs);
+    for (size_t J = 0; J != Cols; ++J)
+      if (cskernel::testBit(L, G.Appended[J]) ||
+          cskernel::testBit(R, G.Appended[J]))
+        set(J);
+    return;
+  }
+  case CsOp::Concat: {
+    const uint64_t *L = S.cs(P.Lhs);
+    const uint64_t *R = S.cs(P.Rhs);
+    for (size_t J = 0; J != Cols; ++J)
+      if (cskernel::deltaSplitAny(L, R, Pairs, G.SplitRows[J],
+                                  G.SplitRows[J + 1],
+                                  /*SkipEpsilonLhs=*/false))
+        set(J);
+    return;
+  }
+  case CsOp::Star: {
+    // w in A* iff some split w = u v with u != eps has u in A and
+    // v in A*. v is strictly shorter than w, so its bit - old word or
+    // appended column alike - is already final in Row when columns are
+    // visited in ascending shortlex order.
+    const uint64_t *A = S.cs(P.Lhs);
+    for (size_t J = 0; J != Cols; ++J)
+      if (cskernel::deltaSplitAny(A, Row, Pairs, G.SplitRows[J],
+                                  G.SplitRows[J + 1],
+                                  /*SkipEpsilonLhs=*/true))
+        set(J);
+    return;
+  }
+  }
+  PARESY_UNREACHABLE("invalid provenance kind");
+}

@@ -1,0 +1,91 @@
+//===- core/DeltaWiden.h - Widening cached rows across spec edits ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spec-delta incremental resynthesis, the store half (DESIGN.md
+/// Sec. 14). When a spec gains examples (none removed), the universe
+/// ic(P u N) is a superset of the old one: every old word keeps a
+/// (shifted) shortlex position and the new infixes appear as fresh
+/// columns. A cached row - the characteristic sequence of a candidate
+/// language - widens losslessly:
+///
+///  * old bits scatter to their new positions (a pure permutation,
+///    cskernel::widenScatter), and
+///  * the appended columns are recomputed from the row's provenance
+///    by a membership recursion over the split structure of each new
+///    word (deltaFillAppended): a literal tests the word itself,
+///    question/union read operand bits, concat folds over all splits
+///    u v of the word, and star is the usual fixpoint - but because
+///    columns are filled in shortlex order, the strictly-shorter
+///    suffix bits a star split needs are already final, including the
+///    row's own.
+///
+/// Membership is semantic, so a widened row is bit-identical to what a
+/// cold run on the edited spec would have computed for the same
+/// candidate - the invariant the whole delta path rests on.
+///
+/// DeltaGeometry precomputes the per-edit structure once (column map,
+/// appended columns, their split pairs); ShardedStore::appendColumns
+/// streams rows through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_CORE_DELTAWIDEN_H
+#define PARESY_CORE_DELTAWIDEN_H
+
+#include "core/ShardedStore.h"
+#include "lang/Universe.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+
+/// Precomputed geometry of one spec edit: how the old universe embeds
+/// in the new one and how each appended column decomposes.
+struct DeltaGeometry {
+  size_t OldBits = 0;  ///< #ic of the old spec (un-padded).
+  size_t NewBits = 0;  ///< #ic of the edited spec (un-padded).
+  size_t OldWords = 0; ///< Old CS width in 64-bit words (padded).
+  size_t NewWords = 0; ///< New CS width in 64-bit words (padded).
+  /// Old universe index -> new universe index (shortlex-preserving
+  /// injection; size OldBits).
+  std::vector<uint32_t> NewOfOld;
+  /// New universe indices with no old counterpart, ascending (so
+  /// shortlex order: a column's proper infixes precede it).
+  std::vector<uint32_t> Appended;
+  /// CSR over Appended: column j's splits are SplitPairs[2*P .. ) for
+  /// P in [SplitRows[j], SplitRows[j+1]). Each split is (u, v) with
+  /// word = u v, both as new universe indices (infix closure
+  /// guarantees membership); the epsilon halves are included.
+  std::vector<uint32_t> SplitRows;
+  std::vector<uint32_t> SplitPairs;
+  /// Per appended column: the word's only character when it is a
+  /// single-symbol word (the literal kernel's test), else 0.
+  std::vector<char> Symbol1;
+
+  size_t appendedCount() const { return Appended.size(); }
+};
+
+/// Builds the geometry of the edit \p OldU -> \p NewU. False when the
+/// new universe does not contain every old word (then the edit removed
+/// examples, or reordered the alphabet - no delta applies).
+bool buildDeltaGeometry(const Universe &OldU, const Universe &NewU,
+                        DeltaGeometry &G);
+
+/// Fills the appended columns of \p Row. On entry Row holds the old
+/// bits at their widened positions and zeros everywhere else (the
+/// widenScatter postcondition); on exit the appended columns hold the
+/// candidate's membership bits for the new words. \p P is the
+/// candidate's provenance; operand rows are read - fully widened -
+/// from \p S, so rows must be processed in global-id order (operands
+/// precede their consumers).
+void deltaFillAppended(uint64_t *Row, const Provenance &P,
+                       const DeltaGeometry &G, const ShardedStore &S);
+
+} // namespace paresy
+
+#endif // PARESY_CORE_DELTAWIDEN_H

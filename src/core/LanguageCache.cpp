@@ -138,6 +138,22 @@ uint32_t LanguageCache::append(const uint64_t *Cs, const Provenance &P,
   return Idx;
 }
 
+bool LanguageCache::appendColumns(const LanguageCache &Old, uint32_t Begin,
+                                  uint32_t End,
+                                  const DeltaWidenFn &WidenRow) {
+  assert(EntryCount == Begin && "widened rows must extend the row space");
+  // One scratch row: Old.cs() may serve compressed rows from a
+  // per-thread ring, so the widened words are built outside it.
+  std::vector<uint64_t> Row(CsWordCount);
+  for (uint32_t Id = Begin; Id != End; ++Id) {
+    if (full())
+      return false;
+    WidenRow(Id, Old.cs(Id), Row.data());
+    append(Row.data(), Old.provenance(Id));
+  }
+  return true;
+}
+
 uint32_t LanguageCache::reserveRows(size_t Count) {
   assert(EntryCount + Count <= MaxEntries &&
          "reserving beyond the cache capacity");

@@ -47,6 +47,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,6 +106,13 @@ struct StoreTierConfig {
   /// tier (sealed chunks all stay in memory).
   std::string SpillPath;
 };
+
+/// Widens one row across a spec edit (core/DeltaWiden.h): fills
+/// \p NewCs (the destination store's csWords) with the widened bits of
+/// the source store's row \p Id, whose words are \p OldCs. The
+/// callback owns the whole row content - scatter and appended columns.
+using DeltaWidenFn =
+    std::function<void(uint32_t Id, const uint64_t *OldCs, uint64_t *NewCs)>;
 
 /// Append-only storage for characteristic sequences with provenance
 /// and cost-level ranges. Rows are never modified once appended.
@@ -177,6 +185,16 @@ public:
   /// already hashed for routing or uniqueness skip the re-hash).
   uint32_t append(const uint64_t *Cs, const Provenance &Prov,
                   uint64_t Hash);
+
+  /// Spec-delta widening (DESIGN.md Sec. 14), the single-store fast
+  /// path: appends the widened image of \p Old's rows [Begin, End) -
+  /// provenance copied verbatim, so operand indices keep meaning -
+  /// with each row's words produced by \p WidenRow. Rows are visited
+  /// in ascending order (operands precede consumers, the membership
+  /// recursion's precondition). Returns false when this cache fills
+  /// before \p End; the caller then discards the store.
+  bool appendColumns(const LanguageCache &Old, uint32_t Begin, uint32_t End,
+                     const DeltaWidenFn &WidenRow);
 
   /// Bulk interface for the GPU-style compaction kernel: reserves
   /// \p Count zero-initialised rows (pre: Count <= capacity-size) and

@@ -39,6 +39,7 @@ ShardedStore::ShardedStore(size_t CsWords, unsigned NumShards,
                                                      std::move(ShardTier)));
   }
   Dropped.assign(NumShards, 0);
+  LocalToGlobal.assign(NumShards, {});
 }
 
 unsigned ShardedStore::shardOf(const uint64_t *Cs) const {
@@ -53,6 +54,7 @@ uint32_t ShardedStore::append(unsigned Owner, const uint64_t *Cs,
     return Local; // Ids are local rows; no directory maintained.
   uint32_t Id = uint32_t(Dir.size());
   Dir.push_back(uint64_t(Owner) << 32 | Local);
+  LocalToGlobal[Owner].push_back(Id);
   return Id;
 }
 
@@ -68,6 +70,7 @@ uint32_t ShardedStore::reserveRow(unsigned Owner) {
     return Local;
   uint32_t Id = uint32_t(Dir.size());
   Dir.push_back(uint64_t(Owner) << 32 | Local);
+  LocalToGlobal[Owner].push_back(Id);
   return Id;
 }
 
@@ -84,6 +87,40 @@ void ShardedStore::writeRow(size_t Id, const uint64_t *Cs,
   }
   uint64_t Loc = Dir[Id];
   Shards[Loc >> 32]->writeRow(uint32_t(Loc), Cs, P, Hash);
+}
+
+bool ShardedStore::appendColumns(const ShardedStore &Old, uint32_t Begin,
+                                 uint32_t End, const DeltaWidenFn &WidenRow) {
+  assert(size() == Begin && "widened rows must extend the global-id space");
+  assert(End <= Old.size() && "widening rows the old store never committed");
+  if (shardCount() == 1 && Old.shardCount() == 1)
+    return Shards[0]->appendColumns(*Old.Shards[0], Begin, End, WidenRow);
+  std::vector<uint64_t> Row(CsWordCount);
+  for (uint32_t Id = Begin; Id != End; ++Id) {
+    WidenRow(Id, Old.cs(Id), Row.data());
+    // The widened words re-hash; the hash picks the owner, exactly as
+    // a cold run on the edited spec would route this row.
+    uint64_t Hash = hashWords(Row.data(), CsWordCount);
+    unsigned Owner = shardOfHash(Hash);
+    if (Shards[Owner]->full())
+      return false;
+    append(Owner, Row.data(), Old.provenance(Id), Hash);
+  }
+  return true;
+}
+
+void ShardedStore::rebuildShardIndex() {
+  LocalToGlobal.assign(Shards.size(), {});
+  if (shardCount() == 1)
+    return;
+  for (unsigned S = 0; S != shardCount(); ++S)
+    LocalToGlobal[S].reserve(Shards[S]->size());
+  for (size_t Id = 0; Id != Dir.size(); ++Id) {
+    uint64_t Loc = Dir[Id];
+    assert(uint32_t(Loc) == LocalToGlobal[Loc >> 32].size() &&
+           "directory local rows out of append order");
+    LocalToGlobal[Loc >> 32].push_back(uint32_t(Id));
+  }
 }
 
 void ShardedStore::setLevel(uint64_t Cost, uint32_t Begin, uint32_t End) {
@@ -105,8 +142,11 @@ void ShardedStore::truncate(const std::vector<uint32_t> &ShardRows,
   assert(GlobalSize <= size() && "truncating beyond the current size");
   for (unsigned S = 0; S != shardCount(); ++S)
     Shards[S]->truncate(ShardRows[S]);
-  if (shardCount() > 1)
+  if (shardCount() > 1) {
     Dir.resize(GlobalSize);
+    for (unsigned S = 0; S != shardCount(); ++S)
+      LocalToGlobal[S].resize(ShardRows[S]);
+  }
   assert(size() == GlobalSize && "shard row counts disagree with the "
                                  "global size");
   std::fill(Dropped.begin(), Dropped.end(), 0);

@@ -132,6 +132,13 @@ public:
     return shardCount() == 1 ? uint32_t(Id) : uint32_t(Dir[Id]);
   }
 
+  /// Inverse of localRow: the global id of shard \p S's local row
+  /// \p Local (what a per-shard uniqueness probe yields back into
+  /// global-id space - the dup ledger records winners this way).
+  uint32_t globalOf(unsigned S, uint32_t Local) const {
+    return shardCount() == 1 ? Local : LocalToGlobal[S][Local];
+  }
+
   /// Appends a row to shard \p Owner with its precomputed \p Hash
   /// (Owner must be shardOfHash(Hash)). Pre: !shardFull(Owner).
   /// Returns the new global id.
@@ -154,6 +161,19 @@ public:
   /// pipeline reuses the routing hash as the row hash).
   void writeRow(size_t Id, const uint64_t *Cs, const Provenance &P,
                 uint64_t Hash);
+
+  /// Spec-delta widening (DESIGN.md Sec. 14): appends the widened
+  /// image of \p Old's global ids [Begin, End) to this store, which
+  /// must currently hold exactly \p Begin rows - append ranks line up,
+  /// so every row keeps its global id and provenance (copied verbatim)
+  /// keeps meaning. \p WidenRow produces each row's new words; the
+  /// widened bits re-hash and re-route, so a row's *shard* may move
+  /// even though its id does not. Shard counts of the two stores are
+  /// independent. Returns false when a destination shard fills before
+  /// \p End - the store is then partially extended and the caller
+  /// discards it (the delta is declined, never patched up).
+  bool appendColumns(const ShardedStore &Old, uint32_t Begin, uint32_t End,
+                     const DeltaWidenFn &WidenRow);
 
   /// Records that cost level \p Cost spans global ids [Begin, End).
   /// Levels are contiguous in global-id space by construction (ids are
@@ -221,6 +241,9 @@ private:
   const Regex *reconstructImpl(const Provenance &P, RegexManager &M,
                                std::vector<const Regex *> &Memo) const;
 
+  /// Rebuilds LocalToGlobal from the directory (snapshot load).
+  void rebuildShardIndex();
+
   size_t CsWordCount;
   size_t TotalCapacity;
   std::vector<std::unique_ptr<LanguageCache>> Shards;
@@ -229,6 +252,9 @@ private:
   /// which is what makes N = 1 byte-for-byte the pre-sharding layout;
   /// capacity planners charge the entry only when sharding is on.
   std::vector<uint64_t> Dir;
+  /// Per-shard inverse directory: local row -> global id (globalOf).
+  /// Empty vectors with one shard, like Dir.
+  std::vector<std::vector<uint32_t>> LocalToGlobal;
   std::vector<uint64_t> Dropped; // Per-shard overflow counters.
   std::vector<std::pair<uint32_t, uint32_t>> Levels;
 };

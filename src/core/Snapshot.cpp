@@ -508,15 +508,20 @@ paresy::loadShardedStore(SnapshotReader &R, const StoreTierConfig &Tier) {
     return nullptr;
   }
   S->Dir.assign(size_t(DirSize), 0);
+  // Per shard, local rows appear in dense append order - the invariant
+  // globalOf's inverse directory is rebuilt from below.
+  std::vector<uint32_t> NextLocal(Shards, 0);
   for (uint64_t &Loc : S->Dir) {
     if (!R.u64(Loc))
       return nullptr;
     if ((Loc >> 32) >= Shards ||
-        uint32_t(Loc) >= S->Shards[Loc >> 32]->size()) {
+        uint32_t(Loc) >= S->Shards[Loc >> 32]->size() ||
+        uint32_t(Loc) != NextLocal[Loc >> 32]++) {
       R.markFailed();
       return nullptr;
     }
   }
+  S->rebuildShardIndex();
   for (uint64_t &Count : S->Dropped)
     if (!R.u64(Count))
       return nullptr;

@@ -45,6 +45,7 @@ class Universe;
 
 namespace engine {
 
+class DupLedger;
 class LevelTasks;
 
 /// One run's shared state, owned by the SearchDriver and lent to the
@@ -77,6 +78,12 @@ struct SearchContext {
   /// LevelOutcome::Cancelled; like a timeout, cancellation may cut a
   /// level short, and the run's partial work stays reported.
   const std::atomic<bool> *Cancel = nullptr;
+  /// Spec-delta dup ledger (engine/DupLedger.h), or null. Backends
+  /// whose supportsDeltaLedger() is true record every pruned duplicate
+  /// (provenance + winner row) here, in candidate-rank order, and mark
+  /// the ledger broken when a winner is dropped (CacheFilled). The
+  /// session sets this only on ledger-capable backends.
+  DupLedger *Ledger = nullptr;
 };
 
 /// What happened while a backend ran one cost level.
@@ -172,6 +179,12 @@ public:
   /// across a mid-level timeout or snapshot to bytes). All hooks are
   /// level-boundary operations: no level may be in flight.
   virtual bool supportsResume() const { return false; }
+
+  /// True when runLevel() honours SearchContext::Ledger - the
+  /// precondition of spec-delta resynthesis (engine/DeltaStage.h),
+  /// which replays pruning decisions from the recorded dups. The
+  /// default backend ignores the ledger and must say so.
+  virtual bool supportsDeltaLedger() const { return false; }
 
   /// Serializes the per-run state runLevel() carries across levels
   /// (uniqueness structures, candidate-id cursor) as sections of

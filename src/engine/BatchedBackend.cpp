@@ -7,6 +7,7 @@
 #include "engine/BatchedBackend.h"
 
 #include "core/Snapshot.h"
+#include "engine/DupLedger.h"
 #include "engine/Kernels.h"
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
@@ -298,6 +299,27 @@ bool BatchedBackend::processBatch(SearchContext &Ctx, LevelOutcome &Out) {
         Store.writeRow(RowId[T], TempCs.data() + T * Words, Batch[T]);
       return Words + 1;
     });
+  }
+  // Dup-ledger pass (spec-delta, DESIGN.md Sec. 14), rank order like
+  // the exchange: each committed winner's slot is rewritten from its
+  // candidate id to its global row id - row ids sit strictly below
+  // every future candidate id, so the rewritten value keeps winning
+  // the atomic-min insert race exactly as before - and each dup is
+  // journaled against the (already rewritten) winner row. A dropped
+  // winner leaves a slot no store row can resolve; coverage ends
+  // there.
+  if (Ctx.Ledger && Opts.UniquenessCheck) {
+    if (Out.CacheFilled) {
+      Ctx.Ledger->markBroken();
+    } else {
+      for (size_t T = 0; T != Count; ++T) {
+        if (WinnerFlag[T])
+          HashSets[TaskShard[T]]->setWinner(size_t(TaskSlot[T]), RowId[T]);
+        else
+          Ctx.Ledger->record(
+              Batch[T], HashSets[TaskShard[T]]->winnerAt(size_t(TaskSlot[T])));
+      }
+    }
   }
   if (Out.CacheFilled && !Opts.EnableOnTheFly) {
     Out.Abort = true; // Paper behaviour: an immediate OOM error.

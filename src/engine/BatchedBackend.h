@@ -82,6 +82,11 @@ public:
   /// min-id winner race against future candidates, and global row ids
   /// are strictly below every future candidate id.
   bool supportsResume() const override { return true; }
+
+  /// processBatch() journals pruned duplicates through a post-exchange
+  /// rank-order pass (winner slots rewritten to global row ids, dups
+  /// recorded against them).
+  bool supportsDeltaLedger() const override { return true; }
   void saveState(SnapshotWriter &W) const override;
   bool loadState(SnapshotReader &R, SearchContext &Ctx) override;
   void rebuildFromStore(SearchContext &Ctx,

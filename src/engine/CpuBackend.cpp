@@ -7,6 +7,7 @@
 #include "engine/CpuBackend.h"
 
 #include "core/Snapshot.h"
+#include "engine/DupLedger.h"
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
 #include "lang/Universe.h"
@@ -159,7 +160,15 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
     // uniqueness slot and, if it survives, its row.
     uint64_t Hash = Route ? hashWords(Cs, Words) : 0;
     unsigned Owner = Route ? Store.shardOfHash(Hash) : 0;
-    if (!Opts.UniquenessCheck || !Unique[Owner]->contains(Cs, Hash)) {
+    // find() is contains() returning the colliding row: the dup
+    // ledger's winner costs nothing beyond the membership probe.
+    int64_t WinnerLocal =
+        Opts.UniquenessCheck ? Unique[Owner]->find(Cs, Hash) : -1;
+    if (WinnerLocal >= 0) {
+      if (Ctx.Ledger)
+        Ctx.Ledger->record(Prov,
+                           Store.globalOf(Owner, uint32_t(WinnerLocal)));
+    } else {
       ++Out.Unique;
       if (!Out.FoundSatisfier && Algebra.satisfies(Cs, Ctx.MistakeBudget)) {
         Out.FoundSatisfier = true;
@@ -173,9 +182,13 @@ LevelOutcome CpuBackend::runLevel(SearchContext &Ctx, uint64_t,
       } else {
         // The candidate is dropped from the cache but was fully
         // checked: OnTheFly keeps sweeping while the driver's
-        // completeness horizon holds.
+        // completeness horizon holds. With a winner missing from the
+        // store, later dup sets are unknowable - the ledger's
+        // coverage ends here.
         Store.noteDropped(Owner);
         Out.CacheFilled = true;
+        if (Ctx.Ledger)
+          Ctx.Ledger->markBroken();
         if (!Opts.EnableOnTheFly)
           Out.Abort = true; // Paper behaviour: an immediate OOM error.
       }

@@ -46,6 +46,11 @@ public:
   /// the original insertion order (appends commit in rank order), so
   /// both paths reproduce the uninterrupted layout bit for bit.
   bool supportsResume() const override { return true; }
+
+  /// runLevel() journals every pruned duplicate - the find() probe
+  /// yields the winner row at the cost of the membership test it
+  /// replaces.
+  bool supportsDeltaLedger() const override { return true; }
   void saveState(SnapshotWriter &W) const override;
   bool loadState(SnapshotReader &R, SearchContext &Ctx) override;
   void rebuildFromStore(SearchContext &Ctx,

@@ -1,0 +1,297 @@
+//===- engine/DeltaStage.cpp - Spec-delta incremental resynthesis ------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The graft of DESIGN.md Sec. 14: widen the old store by the edit's
+/// appended columns, validate the journaled pruning decisions level by
+/// level, and resume the sweep on the edited query from the first
+/// level whose decisions no longer hold. Declines are cheap and leave
+/// the old session intact; the expensive failure modes (a destination
+/// shard filling under wider rows, a dup split below a sealed window)
+/// decline after the stolen backend is handed back untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/DeltaStage.h"
+
+#include "core/DeltaWiden.h"
+#include "engine/Backend.h"
+#include "engine/DupLedger.h"
+#include "lang/CsKernels.h"
+#include "lang/Fingerprint.h"
+#include "lang/Universe.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+/// Mirror of the session's budget resolution (Session.cpp): MaxCost,
+/// or the overfit bound - widened by a question mark without the
+/// epsilon seed - when MaxCost is 0. Must stay identical; the replay
+/// boundary is clamped by the *edited* query's resolution.
+uint64_t resolveMaxCost(const Spec &S, const SynthOptions &Opts) {
+  uint64_t MaxCost =
+      Opts.MaxCost ? Opts.MaxCost : overfitCostBound(S, Opts.Cost);
+  if (!Opts.MaxCost && !Opts.SeedEpsilon)
+    MaxCost += Opts.Cost.Question;
+  return MaxCost;
+}
+
+/// True iff canonical \p Inner is contained in canonical \p Outer
+/// (both shortlex-sorted and deduplicated).
+bool specContained(const Spec &Inner, const Spec &Outer) {
+  return std::includes(Outer.Pos.begin(), Outer.Pos.end(),
+                       Inner.Pos.begin(), Inner.Pos.end(), shortlexLess) &&
+         std::includes(Outer.Neg.begin(), Outer.Neg.end(),
+                       Inner.Neg.begin(), Inner.Neg.end(), shortlexLess);
+}
+
+} // namespace
+
+bool paresy::engine::isSupersetEdit(const Spec &Inner, const Spec &Outer) {
+  return specContained(Inner, Outer) &&
+         Outer.exampleCount() > Inner.exampleCount();
+}
+
+DeltaAttempt
+paresy::engine::deltaResynthesize(SearchSession &Old,
+                                  std::shared_ptr<const StagedQuery> NewQ) {
+  DeltaAttempt A;
+  auto Decline = [&](const char *Why) {
+    A.DeclineReason = Why;
+    return std::move(A);
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Eligibility (the old session is untouched past this block)
+  //===--------------------------------------------------------------------===//
+
+  if (!NewQ || NewQ->immediate())
+    return Decline("edited query resolves without a search");
+  bool OldFound = Old.St == SessionState::Finished &&
+                  Old.Result.Status == SynthStatus::Found;
+  if (!(Old.St == SessionState::Parked || OldFound))
+    return Decline("old session is neither parked nor solved");
+  if (!Old.Prepared || !Old.Store)
+    return Decline("old session never ran a level");
+  if (!Old.QOwned || !Old.BOwned)
+    return Decline("old session does not own its query and backend");
+  if (!Old.B->supportsResume() || !Old.B->supportsDeltaLedger())
+    return Decline("backend does not support delta resynthesis");
+  if (!Old.Ledger || Old.Ledger->levelCount() == 0)
+    return Decline("no journaled level prefix to validate");
+  // Error tolerance makes the mistake budget - and with it every
+  // satisfies() verdict - a function of the example count; only exact
+  // queries replay. (An old session with a nonzero budget never has a
+  // ledger, so checking the edited query suffices.)
+  if (NewQ->mistakeBudget() != 0)
+    return Decline("error-tolerant queries cannot replay");
+  // Same alphabet, same non-budget sweep options: the enumeration and
+  // all cost/geometry decisions must be the edit-invariant part.
+  if (canonicalLineageText(NewQ->alphabet(), NewQ->options()) !=
+      canonicalLineageText(Old.Q->alphabet(), Old.EffOpts))
+    return Decline("alphabet or sweep options differ");
+
+  Spec OldC = canonicalSpec(Old.Q->spec());
+  Spec NewC = canonicalSpec(NewQ->spec());
+  if (!specContained(OldC, NewC))
+    return Decline("edit removed or flipped examples");
+  if (NewC.exampleCount() <= OldC.exampleCount())
+    return Decline("edit added no examples");
+
+  const Universe &OldU = *Old.Q->universe();
+  const Universe &NewU = *NewQ->universe();
+  DeltaGeometry G;
+  if (!buildDeltaGeometry(OldU, NewU, G))
+    return Decline("old universe does not embed in the edited one");
+
+  // A mid-level park left a partial level behind; drop it now exactly
+  // as a resume would, so the store ends at a journaled boundary.
+  if (Old.NeedsRollback)
+    Old.rollbackToBoundary();
+
+  uint64_t NewMaxResolved = resolveMaxCost(NewQ->spec(), NewQ->options());
+  const uint64_t CostLit = NewQ->options().Cost.Literal;
+
+  //===--------------------------------------------------------------------===//
+  // Build the edited session around the stolen backend
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<SearchSession> NS(
+      new SearchSession(std::move(NewQ), std::move(Old.BOwned)));
+  // Declines past this point hand the backend back; re-planning the
+  // capacity restores the memory partition planCacheCapacity() is
+  // about to derive for the edited geometry.
+  auto DeclineLate = [&](const char *Why) {
+    Old.BOwned = std::move(NS->BOwned);
+    Old.B->planCacheCapacity(Old.Ctx, Old.EffOpts.MemoryLimitBytes);
+    return Decline(Why);
+  };
+
+  NS->bindContext();
+  NS->Stats.PrecomputeSeconds = NS->Q->stagingSeconds();
+  unsigned Shards = std::max(1u, NS->EffOpts.Shards);
+  size_t Capacity =
+      NS->B->planCacheCapacity(NS->Ctx, NS->EffOpts.MemoryLimitBytes);
+  NS->Store = std::make_unique<ShardedStore>(
+      NS->Q->universe()->csWords(), Shards,
+      std::max<size_t>(1, Capacity / Shards), NS->storeTierConfig());
+  NS->Ctx.Store = NS->Store.get();
+
+  //===--------------------------------------------------------------------===//
+  // Widen + validate, level by level
+  //===--------------------------------------------------------------------===//
+
+  ShardedStore &OldStore = *Old.Store;
+  ShardedStore &NewStore = *NS->Store;
+  const size_t NewWords = NewU.csWords();
+
+  DeltaWidenFn Widen = [&](uint32_t Id, const uint64_t *OldCs,
+                           uint64_t *NewCs) {
+    cskernel::widenScatter(NewCs, OldCs, G.NewOfOld.data(), G.OldBits,
+                           G.OldWords, G.NewWords);
+    deltaFillAppended(NewCs, OldStore.provenance(Id), G, NewStore);
+  };
+
+  const DupLedger &Journal = *Old.Ledger;
+  size_t Validated = 0;
+  uint64_t BoundaryCand = 0, BoundaryUniq = 0;
+  std::vector<uint64_t> NewNonEmpty;
+  std::vector<uint64_t> DupRow(NewWords);
+  std::vector<uint32_t> PreShardRows(NewStore.shardCount());
+  bool Split = false;
+
+  for (size_t LI = 0; LI != Journal.levelCount() && !Split; ++LI) {
+    const DupLevelRec &L = Journal.level(LI);
+    if (L.Cost > NewMaxResolved)
+      break; // The edited budget is smaller; never materialize past it.
+    auto [Begin, End] = OldStore.level(L.Cost);
+    assert(NewStore.size() == Begin &&
+           "journal levels must extend the widened store contiguously");
+    size_t PreSize = NewStore.size();
+    for (unsigned S = 0; S != NewStore.shardCount(); ++S)
+      PreShardRows[S] = uint32_t(NewStore.shardRows(S));
+
+    if (!NewStore.appendColumns(OldStore, Begin, End, Widen))
+      return DeclineLate("widened rows overflow a destination shard");
+
+    // Re-derive every pruning decision of this level. A dup's old
+    // columns equal its winner's by construction (they collided), so
+    // only the appended columns can diverge: rebuild them from the
+    // dup's provenance on top of the winner's scattered base.
+    for (size_t D = L.DupBegin; D != L.DupEnd && !Split; ++D) {
+      const DupRec &Rec = Journal.dup(D);
+      const uint64_t *Winner = NewStore.cs(Rec.WinnerRow);
+      copyWords(DupRow.data(), Winner, NewWords);
+      for (uint32_t J : G.Appended)
+        clearBit(DupRow.data(), J);
+      deltaFillAppended(DupRow.data(), Rec.Prov, G, NewStore);
+      // cs() may have rotated a compressed chunk out of its scratch
+      // slot while the fill read operands; refetch for the compare.
+      Split = !equalWords(DupRow.data(), NewStore.cs(Rec.WinnerRow),
+                          NewWords);
+    }
+    if (Split) {
+      // The level's pruning changed: the resumed sweep re-runs it (and
+      // everything after). Un-append its rows; with a byte-budgeted
+      // window the append may already have auto-sealed some of them,
+      // and sealed rows cannot truncate - decline, cold-running is
+      // then the honest cost.
+      if (NewStore.compressed() && NewStore.sealedRows() > PreSize)
+        return DeclineLate("dup split below an auto-sealed window");
+      NewStore.truncate(PreShardRows, PreSize);
+      break;
+    }
+
+    NewStore.setLevel(L.Cost, Begin, End);
+    if (End != Begin)
+      NewNonEmpty.push_back(L.Cost);
+    if (NewStore.compressed())
+      NewStore.sealLevel(); // Backend pointers rebind in prepare().
+    ++Validated;
+    BoundaryCand = L.CumCandidates;
+    BoundaryUniq = L.CumUnique;
+  }
+
+  if (Validated == 0)
+    return DeclineLate("no level survived validation");
+
+  // The first cost the resumed sweep runs. Journaled levels are the
+  // consecutive completed costs from the seed on, so the boundary is
+  // simply one past the last validated cost.
+  uint64_t R = Journal.level(Validated - 1).Cost + 1;
+
+  A.ColumnsAppended = G.appendedCount();
+  A.LevelsSkipped = Validated;
+  uint64_t OldDone = Old.Stats.LastCompletedCost >= CostLit
+                         ? Old.Stats.LastCompletedCost - CostLit + 1
+                         : 0;
+  uint64_t Reusable =
+      std::min<uint64_t>(OldDone, NewMaxResolved - CostLit + 1);
+  A.LevelsReplayed = Reusable > Validated ? Reusable - Validated : 0;
+
+  //===--------------------------------------------------------------------===//
+  // Hand the validated prefix to the edited session
+  //===--------------------------------------------------------------------===//
+
+  NS->Ledger = std::make_unique<DupLedger>(Journal);
+  NS->Ledger->keepLevelPrefix(Validated);
+  NS->Ctx.Ledger = NS->Ledger.get();
+
+  NS->Stats.CandidatesGenerated = BoundaryCand;
+  NS->Stats.UniqueLanguages = BoundaryUniq;
+  NS->Stats.LastCompletedCost = R - 1;
+  NS->NonEmptyLevels = std::move(NewNonEmpty);
+  NS->MaxCostResolved = NewMaxResolved;
+  NS->NextCost = R;
+  NS->PairsBefore = 0;
+  NS->CacheFilled = false;
+  NS->Prepared = true;
+  NS->St = SessionState::Running;
+
+  // The old session's backend state keys on the old store; from here
+  // the old session is dead and must be discarded by the caller.
+  Old.St = SessionState::Finished;
+
+  // Solved-session fast path: every level through the old satisfier's
+  // cost validated, so the edited spec's minimal satisfier - if one
+  // exists at all - sits in that same level. Any regex satisfying the
+  // superset spec satisfies the old one, and the old sweep proved the
+  // levels below the satisfier empty of those; within the level, the
+  // first satisfying *committed* row is the cold run's answer (a
+  // pruned dup satisfies iff its earlier-ranked winner does).
+  if (OldFound && R > Old.Result.Cost) {
+    uint64_t Cf = Old.Result.Cost;
+    auto [LB, LE] = NewStore.level(Cf);
+    const std::vector<uint64_t> &Pos = NewU.posMask();
+    const std::vector<uint64_t> &Neg = NewU.negMask();
+    for (uint32_t Id = LB; Id != LE; ++Id) {
+      const uint64_t *Cs = NewStore.cs(Id);
+      if (containsWords(Cs, Pos.data(), NewWords) &&
+          disjointWords(Cs, Neg.data(), NewWords)) {
+        Provenance Sat = NewStore.provenance(Id);
+        NS->B->prepare(NS->Ctx); // Rebind aux structures to the store.
+        NS->Clock.reset();
+        NS->Clock.rewind(NS->ConsumedSeconds);
+        NS->finishFound(Sat, Cf);
+        A.Session = std::move(NS);
+        return std::move(A);
+      }
+    }
+    // No widened row of the level still satisfies: the sweep continues
+    // past it, exactly as a cold run would (NextCost is already Cf+1).
+    assert(R == Cf + 1 && "found level must be the last validated");
+  }
+
+  // Rebuild the uniqueness state over the widened rows (global-id
+  // order reproduces the uninterrupted insertion schedule) and resume.
+  NS->B->rebuildFromStore(NS->Ctx, BoundaryCand);
+  A.Session = std::move(NS);
+  return std::move(A);
+}

@@ -1,0 +1,84 @@
+//===- engine/DeltaStage.h - Spec-delta incremental resynthesis --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusing a parked (or solved) session's search state when its spec
+/// gains examples (DESIGN.md Sec. 14). A superset edit leaves the cost
+/// sweep's enumeration untouched - candidate order, costs and operand
+/// ranges depend only on the alphabet and the sweep options - so the
+/// one thing an edit can change below a given level is which candidates
+/// were *pruned as duplicates*. deltaResynthesize() therefore:
+///
+///  1. widens every committed row of the old store by the edit's
+///     appended universe columns (core/DeltaWiden.h) - semantically, so
+///     widened rows are bit-identical to a cold run's;
+///  2. re-checks each journaled pruning decision (engine/DupLedger.h)
+///     against the widened rows, level by level; the first dup whose
+///     appended bits diverge from its winner's marks the level the
+///     resumed sweep must re-run;
+///  3. hands the validated prefix - store, levels, counters, ledger -
+///     to a fresh SearchSession on the edited query, which resumes the
+///     sweep from that boundary on the old session's (stolen) backend.
+///
+/// The contract, property-tested across backends, shard counts and
+/// store tiers: the delta session's result and equivalence-relevant
+/// counters are identical to a cold run of the edited query. When the
+/// edit cannot be grafted (examples removed, options differ, no ledger
+/// coverage, store full under the wider rows, ...) the attempt declines
+/// and the old session is left intact for ordinary resume or parking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_DELTASTAGE_H
+#define PARESY_ENGINE_DELTASTAGE_H
+
+#include "engine/Session.h"
+
+#include <memory>
+#include <string>
+
+namespace paresy {
+namespace engine {
+
+/// Outcome of one delta-resynthesis attempt.
+struct DeltaAttempt {
+  /// The resumed session on the edited query (Running, or already
+  /// Finished when the old satisfier's level still contains one for
+  /// the edited spec); null when the attempt declined.
+  std::unique_ptr<SearchSession> Session;
+  /// Why the attempt declined (empty on success).
+  std::string DeclineReason;
+  /// Universe columns appended by the edit.
+  uint64_t ColumnsAppended = 0;
+  /// Old completed levels validated and reused verbatim.
+  uint64_t LevelsSkipped = 0;
+  /// Old completed levels the resumed sweep re-runs (a dup split, or
+  /// the ledger's coverage ended).
+  uint64_t LevelsReplayed = 0;
+};
+
+/// True iff canonical \p Outer is a proper superset edit of canonical
+/// \p Inner: every example kept with its sign, at least one added.
+/// The spec relation under which \p Outer can be grafted onto a
+/// session parked on \p Inner; the serving layer uses it to select
+/// delta donors (deltaResynthesize re-checks it authoritatively).
+/// Both specs must already be canonical (lang/Fingerprint.h).
+bool isSupersetEdit(const Spec &Inner, const Spec &Outer);
+
+/// Attempts to graft \p NewQ - a staged query whose spec is a proper
+/// superset edit of \p Old's - onto \p Old's parked search state.
+///
+/// On success, \p Old's backend is *stolen* by the returned session and
+/// \p Old is finished: it must be discarded, not resumed or saved. On
+/// decline, \p Old is intact and still parked (a pending mid-level
+/// rollback may have been applied, which is an ordinary resume step).
+DeltaAttempt deltaResynthesize(SearchSession &Old,
+                               std::shared_ptr<const StagedQuery> NewQ);
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_DELTASTAGE_H

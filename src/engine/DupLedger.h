@@ -1,0 +1,250 @@
+//===- engine/DupLedger.h - Per-level pruning journal for spec deltas --------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dup ledger of spec-delta resynthesis (DESIGN.md Sec. 14).
+///
+/// The only pruning decision the cost sweep bases on CS *equality* -
+/// and hence the only one a spec edit can invalidate - is dropping a
+/// candidate whose CS collides with an earlier winner. Everything else
+/// (costs, enumeration order, operand ranges) is independent of the
+/// examples. So to know whether the levels computed under the old spec
+/// are still exactly what a cold run on the edited spec would produce,
+/// it suffices to re-check each dropped candidate against its winner
+/// under the widened columns: if every pair still collides, the
+/// level's rows, ids and counters are all unchanged; the first pair
+/// that splits marks the level the resumed sweep must re-run.
+///
+/// The ledger is that journal: per completed level, the cumulative
+/// candidate/unique counters at its boundary plus one compact record
+/// per dropped duplicate (its provenance and its winner's global row
+/// id). Backends append records in candidate-rank order from
+/// runLevel() via SearchContext::Ledger; the session brackets levels
+/// with beginLevel / commitLevel / cancelLevel so mid-level rollbacks
+/// never leave half a level journaled.
+///
+/// Degradation is by prefix, never by gaps: once the byte cap is
+/// reached - or a winner was dropped (CacheFilled), after which the
+/// dup set is unknowable - the ledger stops covering further levels
+/// but keeps everything already committed. A delta replay then simply
+/// re-runs from the first uncovered level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARESY_ENGINE_DUPLEDGER_H
+#define PARESY_ENGINE_DUPLEDGER_H
+
+#include "core/LanguageCache.h"
+#include "core/Snapshot.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace paresy {
+namespace engine {
+
+/// One pruned candidate: how it was built and which committed row it
+/// collided with. Operand ids and the winner id are global row ids,
+/// stable across shard counts and backends.
+struct DupRec {
+  Provenance Prov;
+  uint32_t WinnerRow = 0;
+};
+
+/// One covered level: its cost, the run-cumulative counters at its
+/// boundary (what a resumed sweep restores when it replays through
+/// this level), and its slice of the dup records.
+struct DupLevelRec {
+  uint64_t Cost = 0;
+  uint64_t CumCandidates = 0;
+  uint64_t CumUnique = 0;
+  uint32_t DupBegin = 0;
+  uint32_t DupEnd = 0;
+};
+
+/// Append-only journal of pruning decisions, coverage degrading by
+/// level prefix under a byte cap.
+class DupLedger {
+public:
+  /// Cap on record storage (~16 MiB). Far above any instance the
+  /// sweep solves interactively; a bound, not a tuning knob.
+  static constexpr uint64_t ByteCap = 16 << 20;
+
+  /// Coverage ended (byte cap or a dropped winner): levels after the
+  /// committed prefix are not journaled and a delta replay re-runs
+  /// them.
+  bool truncated() const { return Truncated; }
+
+  /// Completed levels with full dup coverage, in execution order.
+  size_t levelCount() const { return Levels.size(); }
+  const DupLevelRec &level(size_t I) const { return Levels[I]; }
+
+  /// The covered level of cost \p Cost, or null.
+  const DupLevelRec *findLevel(uint64_t Cost) const {
+    for (const DupLevelRec &L : Levels)
+      if (L.Cost == Cost)
+        return &L;
+    return nullptr;
+  }
+
+  const DupRec &dup(size_t I) const { return Dups[I]; }
+
+  uint64_t bytesUsed() const {
+    return Dups.size() * sizeof(DupRec) + Levels.size() * sizeof(DupLevelRec);
+  }
+
+  /// Opens journaling for the level about to run. No-op once
+  /// truncated.
+  void beginLevel() {
+    assert(!Open && "level journal already open");
+    if (Truncated)
+      return;
+    Open = true;
+    OpenBegin = uint32_t(Dups.size());
+  }
+
+  /// Journals one pruned duplicate of the open level. Backends call
+  /// this in candidate-rank order; past the byte cap the level - and
+  /// all later ones - degrade to uncovered.
+  void record(const Provenance &P, uint32_t WinnerRow) {
+    if (!Open)
+      return;
+    if (bytesUsed() >= ByteCap) {
+      markBroken();
+      return;
+    }
+    Dups.push_back({P, WinnerRow});
+  }
+
+  /// Commits the open level: it is fully journaled and its boundary
+  /// counters are \p CumCandidates / \p CumUnique.
+  void commitLevel(uint64_t Cost, uint64_t CumCandidates,
+                   uint64_t CumUnique) {
+    if (!Open)
+      return;
+    Open = false;
+    Levels.push_back({Cost, CumCandidates, CumUnique, OpenBegin,
+                      uint32_t(Dups.size())});
+  }
+
+  /// Discards the open level's records (mid-level rollback: the level
+  /// will re-run and re-journal).
+  void cancelLevel() {
+    if (!Open)
+      return;
+    Open = false;
+    Dups.resize(OpenBegin);
+  }
+
+  /// Ends coverage: drops the open level (if any) and refuses further
+  /// journaling. Called when a winner is dropped (CacheFilled) or the
+  /// byte cap is reached.
+  void markBroken() {
+    cancelLevel();
+    Truncated = true;
+  }
+
+  /// Keeps only the first \p Count committed levels and their dup
+  /// records, reopening coverage (a delta replay validated this prefix
+  /// and re-runs the rest, journaling afresh). Pre: no open level.
+  void keepLevelPrefix(size_t Count) {
+    assert(!Open && "truncating mid-level");
+    assert(Count <= Levels.size() && "prefix longer than the journal");
+    Dups.resize(Count == Levels.size() ? Dups.size()
+                                       : Levels[Count].DupBegin);
+    Levels.resize(Count);
+    Truncated = false;
+  }
+
+  /// Serializes the committed prefix as one tagged section.
+  void save(SnapshotWriter &W) const {
+    assert(!Open && "serializing mid-level");
+    size_t Section = W.beginSection("ledger");
+    W.u8(Truncated ? 1 : 0);
+    W.u64(Levels.size());
+    for (const DupLevelRec &L : Levels) {
+      W.u64(L.Cost);
+      W.u64(L.CumCandidates);
+      W.u64(L.CumUnique);
+      W.u64(uint64_t(L.DupEnd) - L.DupBegin);
+    }
+    W.u64(Dups.size());
+    for (const DupRec &D : Dups) {
+      W.u8(uint8_t(D.Prov.Kind));
+      W.u8(uint8_t(D.Prov.Symbol));
+      W.u32(D.Prov.Lhs);
+      W.u32(D.Prov.Rhs);
+      W.u32(D.WinnerRow);
+    }
+    W.endSection(Section);
+  }
+
+  /// Restores a ledger serialized by save(); false on a malformed
+  /// stream (the ledger is then unusable).
+  bool load(SnapshotReader &R) {
+    if (!R.enterSection("ledger"))
+      return false;
+    uint8_t Trunc = 0;
+    uint64_t NLevels = 0;
+    if (!R.u8(Trunc) || !R.u64(NLevels))
+      return false;
+    Truncated = Trunc != 0;
+    Levels.clear();
+    Dups.clear();
+    uint32_t Offset = 0;
+    for (uint64_t I = 0; I != NLevels; ++I) {
+      DupLevelRec L;
+      uint64_t Count = 0;
+      if (!R.u64(L.Cost) || !R.u64(L.CumCandidates) ||
+          !R.u64(L.CumUnique) || !R.u64(Count))
+        return false;
+      if (Count > 0xffffffffu - Offset) {
+        R.markFailed();
+        return false;
+      }
+      L.DupBegin = Offset;
+      Offset += uint32_t(Count);
+      L.DupEnd = Offset;
+      Levels.push_back(L);
+    }
+    uint64_t NDups = 0;
+    if (!R.u64(NDups))
+      return false;
+    if (NDups != Offset || NDups > ByteCap / sizeof(DupRec) + 1) {
+      R.markFailed();
+      return false;
+    }
+    Dups.reserve(size_t(NDups));
+    for (uint64_t I = 0; I != NDups; ++I) {
+      DupRec D;
+      uint8_t Kind = 0, Symbol = 0;
+      if (!R.u8(Kind) || !R.u8(Symbol) || !R.u32(D.Prov.Lhs) ||
+          !R.u32(D.Prov.Rhs) || !R.u32(D.WinnerRow))
+        return false;
+      if (Kind > uint8_t(CsOp::Union)) {
+        R.markFailed();
+        return false;
+      }
+      D.Prov.Kind = CsOp(Kind);
+      D.Prov.Symbol = char(Symbol);
+      Dups.push_back(D);
+    }
+    return R.leaveSection();
+  }
+
+private:
+  std::vector<DupRec> Dups;
+  std::vector<DupLevelRec> Levels;
+  uint32_t OpenBegin = 0;
+  bool Open = false;
+  bool Truncated = false;
+};
+
+} // namespace engine
+} // namespace paresy
+
+#endif // PARESY_ENGINE_DUPLEDGER_H

@@ -17,6 +17,7 @@
 #include "engine/Session.h"
 
 #include "core/Snapshot.h"
+#include "engine/DupLedger.h"
 #include "engine/LevelTasks.h"
 #include "lang/CharSeq.h"
 #include "lang/Fingerprint.h"
@@ -181,6 +182,15 @@ void SearchSession::prepareRun() {
   Ctx.Store = Store.get();
   B->prepare(Ctx);
 
+  // Journal pruned duplicates for spec-delta resynthesis. Error
+  // tolerance is excluded: its mistake budget grows with the example
+  // count, so satisfies() verdicts - not just dup sets - would need
+  // revalidation.
+  if (B->supportsDeltaLedger() && Ctx.MistakeBudget == 0) {
+    Ledger = std::make_unique<DupLedger>();
+    Ctx.Ledger = Ledger.get();
+  }
+
   MaxCostResolved = resolveMaxCost(Q->spec(), EffOpts);
   NextCost = EffOpts.Cost.Literal;
   Prepared = true;
@@ -293,6 +303,8 @@ void SearchSession::runLevelAt(uint64_t C) {
 
   Ctx.CandidatesBefore = Stats.CandidatesGenerated;
   uint32_t LevelBegin = uint32_t(Store->size());
+  if (Ctx.Ledger)
+    Ledger->beginLevel();
   LevelOutcome Last = B->runLevel(Ctx, C, Tasks);
   uint32_t LevelEnd = uint32_t(Store->size());
 
@@ -335,7 +347,14 @@ void SearchSession::runLevelAt(uint64_t C) {
   // aborts, timeouts and cancellations leave it partial.
   if (!Last.TimedOut && !Last.Abort && !Last.Cancelled) {
     Stats.LastCompletedCost = C;
+    // The ledger journals completed levels only: a cut-short level's
+    // partial dup list could never be validated against a cold run.
+    if (Ctx.Ledger)
+      Ledger->commitLevel(C, Stats.CandidatesGenerated,
+                          Stats.UniqueLanguages);
     fireProgress(C);
+  } else if (Ctx.Ledger) {
+    Ledger->cancelLevel();
   }
 
   // A satisfier takes precedence over resource aborts in the same
@@ -505,6 +524,12 @@ bool SearchSession::canExtendTo(const SynthOptions &NewOpts) const {
          (NewRank >= OldRank && ConsumedSeconds < OldRank);
 }
 
+bool SearchSession::deltaCapable() const {
+  return Prepared && Store && QOwned && BOwned && Ledger &&
+         Ledger->levelCount() > 0 && B->supportsResume() &&
+         B->supportsDeltaLedger();
+}
+
 bool SearchSession::extendBudget(uint64_t NewMaxCost,
                                  double NewTimeoutSeconds) {
   if (St == SessionState::Finished)
@@ -597,6 +622,8 @@ bool SearchSession::save(SnapshotWriter &W) {
 
   saveShardedStore(W, *Store);
   B->saveState(W);
+  if (Ledger)
+    Ledger->save(W);
   appendSnapshotChecksum(W);
   return true;
 }
@@ -687,6 +714,19 @@ bool SearchSession::restoreBody(SnapshotReader &R) {
   B->prepare(Ctx);
   if (!B->loadState(R, Ctx))
     return false;
+  if (B->supportsDeltaLedger() && Ctx.MistakeBudget == 0) {
+    Ledger = std::make_unique<DupLedger>();
+    Ctx.Ledger = Ledger.get();
+    // The ledger section trails the backend state. Snapshots written
+    // before it existed simply end here; the restored session then has
+    // no delta coverage but resumes normally.
+    if (R.remaining() > 0) {
+      if (!Ledger->load(R))
+        return false;
+    } else {
+      Ledger->markBroken();
+    }
+  }
 
   Stats.CandidatesGenerated = Candidates;
   Stats.UniqueLanguages = Unique;

@@ -59,6 +59,14 @@ class CsAlgebra;
 
 namespace engine {
 
+class SearchSession;
+struct DeltaAttempt;
+
+/// Declared in engine/DeltaStage.h; defined there as a friend so it
+/// can graft a superset-edit query onto a parked session's state.
+DeltaAttempt deltaResynthesize(SearchSession &Old,
+                               std::shared_ptr<const StagedQuery> NewQ);
+
 /// Lifecycle of a SearchSession.
 enum class SessionState : uint8_t {
   /// More levels remain within the current budgets; step()/run()
@@ -153,6 +161,14 @@ public:
   /// session text); this checks the budget ordering.
   bool canExtendTo(const SynthOptions &NewOpts) const;
 
+  /// True when this session can serve as the *donor* of a spec-delta
+  /// graft (engine/DeltaStage.h): it owns its query and backend, the
+  /// backend journaled its pruning decisions, and a validated level
+  /// prefix exists. The serving layer keeps Finished(Found) sessions
+  /// parked only when they pass this check - a solved session without
+  /// a ledger has nothing an edit could reuse.
+  bool deltaCapable() const;
+
   /// Raises the budgets of a Parked session and puts it back to
   /// Running: \p NewMaxCost replaces SynthOptions::MaxCost (0 = the
   /// overfit bound) and \p NewTimeoutSeconds replaces the *total*
@@ -214,6 +230,9 @@ public:
           std::unique_ptr<Backend> B, std::string *Error = nullptr);
 
 private:
+  friend DeltaAttempt deltaResynthesize(SearchSession &Old,
+                                        std::shared_ptr<const StagedQuery> NewQ);
+
   /// Counters and store geometry at the last completed level boundary,
   /// for rolling back a partially executed level.
   struct Boundary {
@@ -266,6 +285,11 @@ private:
   // Per-run state (created by prepareRun / restore).
   std::unique_ptr<CsAlgebra> Algebra;
   std::unique_ptr<ShardedStore> Store;
+  /// The spec-delta dup ledger (engine/DupLedger.h), kept when the
+  /// backend journals pruned duplicates and the mistake budget is zero
+  /// (error tolerance makes pruning spec-dependent beyond dup-dropping,
+  /// so those sessions carry none). Serialized with the session.
+  std::unique_ptr<DupLedger> Ledger;
   SearchContext Ctx;
   std::vector<uint64_t> NonEmptyLevels;
   SynthStats Stats;

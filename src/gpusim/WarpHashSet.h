@@ -76,6 +76,22 @@ public:
     return Slots[Slot].Winner.load(std::memory_order_relaxed) == Id;
   }
 
+  /// Winner id of slot \p Slot. Call after all inserts of the batch
+  /// completed.
+  uint32_t winnerAt(size_t Slot) const {
+    return Slots[Slot].Winner.load(std::memory_order_relaxed);
+  }
+
+  /// Rewrites slot \p Slot's winner. The batched pipeline's dup-ledger
+  /// pass replaces a committed winner's candidate id with its global
+  /// row id; row ids are strictly below every future candidate id, so
+  /// the rewritten value keeps winning the atomic-min insert race
+  /// exactly as the original would have. Quiescent-state operation (no
+  /// insert in flight).
+  void setWinner(size_t Slot, uint32_t Id) {
+    Slots[Slot].Winner.store(Id, std::memory_order_relaxed);
+  }
+
   /// Looks up \p Key without inserting; returns the slot or -1.
   int64_t find(const uint64_t *Key) const;
 

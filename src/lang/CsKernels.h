@@ -296,6 +296,56 @@ inline unsigned starStaged(uint64_t *Dst, const uint64_t *A,
   return Rounds;
 }
 
+//===----------------------------------------------------------------------===//
+// Spec-delta widening kernels (DESIGN.md Sec. 14)
+//
+// When a spec gains examples the universe ic(P u N) gains infixes, and
+// every cached CS must widen: its old bits move to the new words'
+// shortlex positions and the appended columns - the new words'
+// membership bits - are recomputed per row. These kernels are the
+// bit-level half of that edit; the provenance-directed membership
+// recursion lives in core/DeltaWiden.h.
+//===----------------------------------------------------------------------===//
+
+/// Bit \p Idx of row \p Cs.
+inline bool testBit(const uint64_t *Cs, uint32_t Idx) {
+  return (Cs[Idx / BitsPerWord] >> (Idx % BitsPerWord)) & 1;
+}
+
+/// Scatters an old-universe row into its widened positions: new bit
+/// NewOfOld[i] takes old bit i; every other bit of Dst (the appended
+/// columns and the padding) is cleared. Walks only the set bits of
+/// Src, so the cost tracks row population, not universe size.
+inline void widenScatter(uint64_t *Dst, const uint64_t *Src,
+                         const uint32_t *NewOfOld, size_t OldBits,
+                         size_t SrcWords, size_t DstWords) {
+  clearWords(Dst, DstWords);
+  forEachSetBit(Src, SrcWords, [&](size_t I) {
+    if (I < OldBits) {
+      const uint32_t N = NewOfOld[I];
+      Dst[N / BitsPerWord] |= uint64_t(1) << (N % BitsPerWord);
+    }
+  });
+}
+
+/// Membership fold for one appended column: true iff some split
+/// w = u v in \p Pairs[2*Begin .. 2*End) has bit u set in L and bit v
+/// set in R. \p SkipEpsilonLhs drops the u = epsilon split (bit 0) -
+/// the star fixpoint's guard against the trivial self-decomposition.
+inline bool deltaSplitAny(const uint64_t *L, const uint64_t *R,
+                          const uint32_t *Pairs, uint32_t Begin,
+                          uint32_t End, bool SkipEpsilonLhs) {
+  for (uint32_t P = Begin; P != End; ++P) {
+    const uint32_t U = Pairs[2 * P];
+    const uint32_t V = Pairs[2 * P + 1];
+    if (SkipEpsilonLhs && U == 0)
+      continue;
+    if (testBit(L, U) && testBit(R, V))
+      return true;
+  }
+  return false;
+}
+
 } // namespace cskernel
 } // namespace paresy
 

@@ -154,6 +154,16 @@ std::string paresy::canonicalSessionText(const Spec &Canonical,
   return Out;
 }
 
+std::string paresy::canonicalLineageText(const Alphabet &Sigma,
+                                         const SynthOptions &Opts) {
+  std::string Out = "paresy-lineage-v1\n";
+  Out += "alphabet=";
+  Out += Sigma.symbols();
+  Out += '\n';
+  appendSweepCore(Out, Opts);
+  return Out;
+}
+
 std::string paresy::canonicalStagingText(const Spec &Canonical,
                                          const Alphabet &Sigma,
                                          const SynthOptions &Opts) {
@@ -183,4 +193,9 @@ Fingerprint paresy::fingerprintStaging(const Spec &S, const Alphabet &Sigma,
 Fingerprint paresy::fingerprintSession(const Spec &S, const Alphabet &Sigma,
                                        const SynthOptions &Opts) {
   return fingerprintText(canonicalSessionText(canonicalSpec(S), Sigma, Opts));
+}
+
+Fingerprint paresy::fingerprintLineage(const Alphabet &Sigma,
+                                       const SynthOptions &Opts) {
+  return fingerprintText(canonicalLineageText(Sigma, Opts));
 }

@@ -106,6 +106,17 @@ std::string canonicalSessionText(const Spec &Canonical,
                                  const Alphabet &Sigma,
                                  const SynthOptions &Opts);
 
+/// Like canonicalSessionText, but *excluding the spec* as well: the
+/// lineage key of spec-delta resynthesis (engine/DeltaStage.h). Two
+/// sessions with equal lineage text differ at most in their examples
+/// (same alphabet, same non-budget sweep options), which is exactly
+/// when a superset edit of one can be grafted onto the other's parked
+/// store. The examples still gate the graft - the delta path checks
+/// the subset relation itself - so the lineage key only narrows the
+/// candidate set, never decides alone.
+std::string canonicalLineageText(const Alphabet &Sigma,
+                                 const SynthOptions &Opts);
+
 /// Fingerprint of an arbitrary byte string.
 Fingerprint fingerprintText(std::string_view Text);
 
@@ -119,6 +130,10 @@ Fingerprint fingerprintStaging(const Spec &S, const Alphabet &Sigma,
 
 /// fingerprintText(canonicalSessionText(canonicalSpec(S), Sigma, Opts)).
 Fingerprint fingerprintSession(const Spec &S, const Alphabet &Sigma,
+                               const SynthOptions &Opts);
+
+/// fingerprintText(canonicalLineageText(Sigma, Opts)).
+Fingerprint fingerprintLineage(const Alphabet &Sigma,
                                const SynthOptions &Opts);
 
 } // namespace paresy

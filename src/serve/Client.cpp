@@ -41,6 +41,8 @@ bool ServeClient::connect(const std::string &Host, uint16_t Port,
     return false;
   }
   Banner = F.HelloOk.Banner;
+  Protocol = F.HelloOk.Protocol;
+  Capabilities = F.HelloOk.Capabilities;
   return true;
 }
 

@@ -42,6 +42,14 @@ public:
   /// The server banner from the HelloOk frame.
   const std::string &banner() const { return Banner; }
 
+  /// The protocol version the handshake settled on (the server echoes
+  /// the version we offered; 0 before connect()).
+  uint32_t protocol() const { return Protocol; }
+
+  /// Capability bits the server advertised in HelloOk (serve/Wire.h
+  /// WireCapability; always 0 from a v1 server).
+  uint64_t serverCapabilities() const { return Capabilities; }
+
   /// Sends one Submit frame. Progress/Result/Overloaded frames for it
   /// arrive via next(), tagged with \p RequestId.
   bool submit(uint64_t RequestId, const Spec &Examples,
@@ -67,6 +75,8 @@ public:
 private:
   Socket Sock;
   std::string Banner;
+  uint32_t Protocol = 0;
+  uint64_t Capabilities = 0;
 };
 
 } // namespace serve

@@ -181,12 +181,16 @@ void SynthServer::acceptLoop() {
 void SynthServer::connLoop(std::shared_ptr<Conn> C) {
   std::string Payload;
   Frame F;
-  // Handshake: exactly one Hello, matching protocol version.
+  // Handshake: exactly one Hello, any protocol version up to ours.
+  // The reply speaks the client's version, so a v1 client keeps
+  // round-tripping against a v2 server; only versions we have never
+  // defined are rejected (fail closed, never guess at frame layouts).
   bool Ok = readFrame(C->Sock, Payload) && decodeFrame(Payload, F) &&
             F.Type == FrameType::Hello;
-  if (Ok && F.Hello.Protocol != WireProtocolVersion) {
+  if (Ok &&
+      (F.Hello.Protocol < 1 || F.Hello.Protocol > WireProtocolVersion)) {
     sendFrame(*C, encodeFrame(ErrorFrame{
-                      "protocol version mismatch: server speaks v" +
+                      "protocol version mismatch: server speaks v1-v" +
                       std::to_string(WireProtocolVersion)}));
     Ok = false;
   }
@@ -195,7 +199,9 @@ void SynthServer::connLoop(std::shared_ptr<Conn> C) {
     C->Weight = std::clamp(F.Hello.Weight, 0.1,
                            std::max(0.1, Opts.MaxTenantWeight));
     HelloOkFrame Hello;
+    Hello.Protocol = F.Hello.Protocol;
     Hello.Banner = banner();
+    Hello.Capabilities = ServerCapabilities;
     sendFrame(*C, encodeFrame(Hello));
 
     while (readFrame(C->Sock, Payload)) {

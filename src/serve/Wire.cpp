@@ -118,6 +118,10 @@ std::string serve::encodeFrame(const HelloFrame &F) {
   W.u32(F.Protocol);
   W.str(F.Tenant);
   W.f64(F.Weight);
+  // The capability word exists only in v2+ payloads: a v1 Hello must
+  // stay byte-identical to what a v1 build emits.
+  if (F.Protocol >= 2)
+    W.u64(F.Capabilities);
   return sealPayload(W);
 }
 
@@ -125,6 +129,8 @@ std::string serve::encodeFrame(const HelloOkFrame &F) {
   SnapshotWriter W = openPayload(FrameType::HelloOk);
   W.u32(F.Protocol);
   W.str(F.Banner);
+  if (F.Protocol >= 2)
+    W.u64(F.Capabilities);
   return sealPayload(W);
 }
 
@@ -223,10 +229,12 @@ bool serve::decodeFrame(std::string_view Payload, Frame &Out,
   switch (Out.Type) {
   case FrameType::Hello:
     Ok = R.u32(Out.Hello.Protocol) && R.str(Out.Hello.Tenant) &&
-         R.f64(Out.Hello.Weight);
+         R.f64(Out.Hello.Weight) &&
+         (Out.Hello.Protocol < 2 || R.u64(Out.Hello.Capabilities));
     break;
   case FrameType::HelloOk:
-    Ok = R.u32(Out.HelloOk.Protocol) && R.str(Out.HelloOk.Banner);
+    Ok = R.u32(Out.HelloOk.Protocol) && R.str(Out.HelloOk.Banner) &&
+         (Out.HelloOk.Protocol < 2 || R.u64(Out.HelloOk.Capabilities));
     break;
   case FrameType::Submit:
     Ok = R.u64(Out.Submit.RequestId) &&

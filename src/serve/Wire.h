@@ -46,9 +46,27 @@ class Socket;
 
 namespace serve {
 
-/// Version of the frame vocabulary; servers reject Hellos from other
-/// versions with an Error frame (fail closed, never guess).
-inline constexpr uint32_t WireProtocolVersion = 1;
+/// Version of the frame vocabulary. v2 appended a capability bitset to
+/// Hello and HelloOk; the word is encoded only when the frame's own
+/// Protocol field is >= 2, so v1 payloads are still byte-identical to
+/// what a v1 build produced. Servers accept any version in [1, this]
+/// and answer in the client's version; versions beyond it are rejected
+/// with an Error frame (fail closed, never guess).
+inline constexpr uint32_t WireProtocolVersion = 2;
+
+/// Capability bits carried by the v2 Hello/HelloOk exchange. A client
+/// advertises what it can consume, the server what it implements; each
+/// side intersects locally. Bits are informational - no frame type is
+/// gated on them yet - so unknown bits are ignored, never rejected.
+enum WireCapability : uint64_t {
+  /// The server reuses a parked sweep when a resubmitted spec only
+  /// added examples (spec-delta resynthesis, DESIGN.md Sec. 14), so
+  /// interactive refinement loops are cheap against this server.
+  CapDeltaResynthesis = 1ull << 0,
+};
+
+/// Everything this build implements (advertised in HelloOk).
+inline constexpr uint64_t ServerCapabilities = CapDeltaResynthesis;
 
 /// Hard cap on one frame's payload: a length prefix beyond it is
 /// treated as a protocol violation and the connection is dropped
@@ -76,11 +94,15 @@ struct HelloFrame {
   std::string Tenant = "default";
   /// Fair-share weight this tenant asks for (the server clamps it).
   double Weight = 1.0;
+  /// What the client can consume; on the wire only when Protocol >= 2.
+  uint64_t Capabilities = 0;
 };
 
 struct HelloOkFrame {
   uint32_t Protocol = WireProtocolVersion;
   std::string Banner;
+  /// What the server implements; on the wire only when Protocol >= 2.
+  uint64_t Capabilities = 0;
 };
 
 struct SubmitFrame {

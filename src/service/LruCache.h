@@ -67,6 +67,14 @@ public:
     Map.emplace(K, Order.begin());
   }
 
+  /// Visits every entry, most-recently-used first, without promoting
+  /// anything. For scans that select an entry by value (the service's
+  /// delta-donor lookup); mutating the cache inside \p F is undefined.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (const Entry &E : Order)
+      F(E.first, E.second);
+  }
+
   /// Removes and returns the entry stored under \p K (not counted as
   /// an eviction - the caller takes ownership, e.g. to resume a parked
   /// session), or nothing on a miss.

@@ -7,6 +7,7 @@
 #include "service/SynthService.h"
 
 #include "engine/Backend.h"
+#include "engine/DeltaStage.h"
 #include "engine/Portfolio.h"
 #include "support/Format.h"
 
@@ -330,7 +331,12 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     Q = Base ? engine::restage(*Base, Req->Opts)
              : engine::stage(Req->Canonical, Req->Sigma, Req->Opts);
 
-    if (!Options.Portfolio) {
+    // No exact parked session matched, but a parked (or solved)
+    // session whose spec this request strictly extends can donate its
+    // whole validated level prefix (engine/DeltaStage.h).
+    if (!Options.Portfolio)
+      Session = tryDeltaGraft(Req, Q);
+    if (!Options.Portfolio && !Session) {
       engine::BackendConfig Config = Options.Kernels;
       if (Options.Workers > 0)
         Config.InlineKernels = true; // The request pool owns parallelism.
@@ -462,6 +468,17 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
         // never races the flag.
         for (const std::shared_ptr<ClientSink> &S : Req->Sinks)
           S->SessionParked.store(true, std::memory_order_relaxed);
+    } else if (Session && R.Status == SynthStatus::Found &&
+               Session->state() == engine::SessionState::Finished &&
+               Session->deltaCapable()) {
+      // A solved session whose backend journaled its pruning decisions
+      // is kept as a *donor* for future superset edits (spec-delta
+      // resynthesis). No sink flag: the client got a final answer, so
+      // this entry is opportunistic cache state - like a result entry,
+      // not a parked-for-resume promise the park-budget ledger tracks.
+      uint64_t Bytes = Session->bytesUsed();
+      parkSession(SessionKey, ParkedSession{std::move(SessionText),
+                                            std::move(Session), Bytes});
     }
     // Publish "this run consumed a parked session" the same way; the
     // server's park-budget ledger drains one charge per resume.
@@ -471,6 +488,70 @@ void SynthService::execute(const std::shared_ptr<Request> &Req) {
     InFlight.erase(Req->Key);
   }
   Req->Promise.set_value(std::move(R));
+}
+
+std::unique_ptr<engine::SearchSession> SynthService::tryDeltaGraft(
+    const std::shared_ptr<Request> &Req,
+    const std::shared_ptr<const engine::StagedQuery> &Q) {
+  // Error-tolerant queries never replay (the mistake budget couples
+  // every verdict to the example count); immediate ones never search.
+  if (!Q || Q->immediate() || Q->mistakeBudget() != 0)
+    return nullptr;
+
+  std::string Lineage = canonicalLineageText(Req->Sigma, Req->Opts);
+  std::unique_ptr<engine::SearchSession> Donor;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    // Best donor: same lineage (alphabet + non-budget sweep options),
+    // spec a proper subset of the request's, most examples - the
+    // longest validated prefix to reuse. The graft re-checks all of
+    // this authoritatively; the scan only selects.
+    bool Have = false;
+    Fingerprint BestKey;
+    size_t BestCount = 0;
+    Sessions.forEach([&](const Fingerprint &K, const ParkedSession &E) {
+      const engine::StagedQuery &DQ = E.Session->query();
+      Spec DonorSpec = canonicalSpec(DQ.spec());
+      if (!engine::isSupersetEdit(DonorSpec, Req->Canonical))
+        return;
+      if (canonicalLineageText(DQ.alphabet(), DQ.options()) != Lineage)
+        return;
+      if (!Have || DonorSpec.exampleCount() > BestCount) {
+        Have = true;
+        BestKey = K;
+        BestCount = DonorSpec.exampleCount();
+      }
+    });
+    if (!Have)
+      return nullptr;
+    // Taking the entry gives this worker sole ownership of the donor,
+    // exactly like the exact-resume path.
+    std::optional<ParkedSession> Taken = Sessions.take(BestKey);
+    SessionBytesTotal -= Taken->Bytes;
+    Donor = std::move(Taken->Session);
+  }
+
+  // The widen + validate pass can be substantial; run it unlocked.
+  engine::DeltaAttempt A = engine::deltaResynthesize(*Donor, Q);
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (!A.Session) {
+    ++Counters.DeltaDeclined;
+    // A declined graft leaves the donor intact; return it to the cache
+    // without counting a fresh park.
+    uint64_t Bytes = Donor->bytesUsed();
+    std::string Text = Donor->sessionKeyText();
+    Fingerprint Key = fingerprintText(Text);
+    putBudgeted(Sessions, SessionBytesTotal, Options.SessionParkCapacity,
+                Options.SessionParkBytes, &Counters.SessionsExpired, Key,
+                ParkedSession{std::move(Text), std::move(Donor), Bytes});
+    return nullptr;
+  }
+  ++Counters.DeltaHits;
+  Counters.DeltaColumnsAppended += A.ColumnsAppended;
+  Counters.DeltaLevelsSkipped += A.LevelsSkipped;
+  Counters.DeltaLevelsReplayed += A.LevelsReplayed;
+  return std::move(A.Session);
 }
 
 bool SynthService::parkSession(const Fingerprint &Key,
@@ -544,6 +625,15 @@ std::string service::serviceStatsText(const ServiceStats &St) {
           (unsigned long long)St.SessionsParked,
           (unsigned long long)St.SessionsResumed,
           (unsigned long long)St.SessionsExpired);
+  if (St.DeltaHits + St.DeltaDeclined > 0)
+    appendf(Out,
+            "delta: %llu graft(s), %llu declined, %llu column(s) "
+            "appended, %llu level(s) skipped, %llu replayed\n",
+            (unsigned long long)St.DeltaHits,
+            (unsigned long long)St.DeltaDeclined,
+            (unsigned long long)St.DeltaColumnsAppended,
+            (unsigned long long)St.DeltaLevelsSkipped,
+            (unsigned long long)St.DeltaLevelsReplayed);
   for (const auto &[Backend, Levels] : St.BackendLevels)
     appendf(Out, "levels: %llu cost level(s) run on backend %s\n",
             (unsigned long long)Levels, Backend.c_str());

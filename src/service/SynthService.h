@@ -187,6 +187,15 @@ struct ServiceStats {
   uint64_t SessionsResumed = 0; ///< Retries warm-started from a parked state.
   uint64_t SessionsExpired = 0; ///< Parked states evicted (count/byte budget).
   uint64_t SessionBytes = 0;    ///< Bytes pinned by parked states right now.
+
+  /// Spec-delta resynthesis counters (engine/DeltaStage.h): requests
+  /// whose spec strictly extends a parked (or solved) session's were
+  /// grafted onto its widened store instead of running cold.
+  uint64_t DeltaHits = 0;     ///< Edits grafted onto a parked store.
+  uint64_t DeltaDeclined = 0; ///< Graft attempts that fell back cold.
+  uint64_t DeltaColumnsAppended = 0; ///< Universe columns widened in.
+  uint64_t DeltaLevelsSkipped = 0;   ///< Validated levels reused verbatim.
+  uint64_t DeltaLevelsReplayed = 0;  ///< Levels re-run past the boundary.
   size_t QueueDepth = 0;     ///< Requests queued right now.
   size_t PeakQueueDepth = 0; ///< High-water mark of QueueDepth.
 
@@ -327,6 +336,15 @@ private:
   /// Parks a session under the count and byte budgets (evictions count
   /// as SessionsExpired). Caller holds the lock. True iff stored.
   bool parkSession(const Fingerprint &Key, ParkedSession Entry);
+  /// Spec-delta resynthesis (engine/DeltaStage.h): scans the parked
+  /// sessions for the best donor whose spec \p Req strictly extends
+  /// (same lineage, most examples), takes it, and attempts the graft
+  /// outside the lock. Returns the grafted session ready to run, or
+  /// null (no donor, or the graft declined - the donor is then
+  /// re-parked untouched). Takes its own locks.
+  std::unique_ptr<engine::SearchSession>
+  tryDeltaGraft(const std::shared_ptr<Request> &Req,
+                const std::shared_ptr<const engine::StagedQuery> &Q);
   /// Attaches \p Ctx's waiter to \p Req. Caller holds the lock.
   void attachWaiter(Request &Req, const std::shared_ptr<Request> &Owner,
                     const SubmitContext &Ctx);

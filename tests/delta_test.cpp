@@ -1,0 +1,501 @@
+//===- tests/delta_test.cpp - Spec-delta incremental resynthesis --------------===//
+//
+// Part of the Paresy reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DESIGN.md Sec. 14 invariants:
+///
+///  * delta equivalence: grafting a superset edit onto a parked or
+///    solved session yields a result bit-identical (status, regex,
+///    cost, candidate/unique counters, per-shard row counts) to a cold
+///    run of the edited query - across backends, shard counts, store
+///    tiers and park points, including chained edits;
+///  * the dup ledger survives snapshot round trips, so deltas work on
+///    restored sessions;
+///  * solved sessions take the satisfier-level fast path when the old
+///    answer still holds, finishing without re-sweeping;
+///  * ineligible edits (examples removed, options or alphabet differ,
+///    borrowed sessions, error tolerance) decline and leave the old
+///    session intact and resumable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Snapshot.h"
+#include "engine/BackendRegistry.h"
+#include "engine/DeltaStage.h"
+#include "engine/DupLedger.h"
+#include "engine/Session.h"
+#include "engine/Staging.h"
+#include "regex/Matcher.h"
+#include "regex/Regex.h"
+#include "service/SynthService.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace paresy;
+using namespace paresy::engine;
+
+namespace {
+
+const char *const BackendNames[] = {"cpu", "cpu-parallel", "gpusim"};
+const unsigned ShardCounts[] = {1, 2, 3, 7};
+
+Alphabet sigma01() { return Alphabet::of("01"); }
+
+/// The paper's running example: strings starting with 10.
+Spec fullSpec() {
+  return Spec({"10", "101", "100", "1010", "1011", "1000", "1001"},
+              {"", "0", "1", "00", "11", "010"});
+}
+
+/// A strict subset of fullSpec's examples - the "first draft" a user
+/// refines toward fullSpec.
+Spec baseSpec() {
+  return Spec({"10", "101", "100", "1010"}, {"", "0", "1"});
+}
+
+/// Halfway point of the refinement (for chained deltas).
+Spec midSpec() {
+  return Spec({"10", "101", "100", "1010", "1011"}, {"", "0", "1", "00"});
+}
+
+SynthOptions opts(unsigned Shards, bool Compress, uint64_t MaxCost = 0) {
+  SynthOptions O;
+  O.Shards = Shards;
+  O.CompressStore = Compress;
+  O.MaxCost = MaxCost;
+  return O;
+}
+
+SynthResult coldRun(const Spec &S, const SynthOptions &O,
+                    const std::string &Backend) {
+  std::shared_ptr<const StagedQuery> Q = stage(S, sigma01(), O);
+  std::unique_ptr<engine::Backend> B = createBackend(Backend);
+  return runStaged(*Q, *B);
+}
+
+/// The deterministic fields a delta run must reproduce bit-for-bit.
+/// PairsVisited and MemoryBytes are excluded by design: the delta path
+/// never re-evaluates the validated levels' split pairs (that is the
+/// point), and its auxiliary structures are rebuilt, not replayed.
+void expectDeltaEquivalent(const SynthResult &D, const SynthResult &Cold,
+                           const std::string &What) {
+  ASSERT_EQ(D.Status, Cold.Status) << What;
+  EXPECT_EQ(D.Regex, Cold.Regex) << What;
+  EXPECT_EQ(D.Cost, Cold.Cost) << What;
+  EXPECT_EQ(D.Stats.CandidatesGenerated, Cold.Stats.CandidatesGenerated)
+      << What;
+  EXPECT_EQ(D.Stats.UniqueLanguages, Cold.Stats.UniqueLanguages) << What;
+  EXPECT_EQ(D.Stats.CacheEntries, Cold.Stats.CacheEntries) << What;
+  EXPECT_EQ(D.Stats.LastCompletedCost, Cold.Stats.LastCompletedCost)
+      << What;
+  EXPECT_EQ(D.Stats.ShardCount, Cold.Stats.ShardCount) << What;
+  EXPECT_EQ(D.Stats.ShardRows, Cold.Stats.ShardRows) << What;
+}
+
+/// Runs \p OldS to its park/finish point under \p OldO, then grafts
+/// \p NewS / \p NewO on top. Expects the graft to succeed.
+std::unique_ptr<SearchSession> runAndGraft(const Spec &OldS,
+                                           const SynthOptions &OldO,
+                                           const Spec &NewS,
+                                           const SynthOptions &NewO,
+                                           const std::string &Backend,
+                                           DeltaAttempt *Out = nullptr) {
+  std::shared_ptr<const StagedQuery> QOld = stage(OldS, sigma01(), OldO);
+  SearchSession Old(QOld, createBackend(Backend));
+  Old.run();
+  DeltaAttempt A = deltaResynthesize(Old, stage(NewS, sigma01(), NewO));
+  EXPECT_TRUE(A.Session != nullptr) << A.DeclineReason;
+  if (Out)
+    *Out = {nullptr, A.DeclineReason, A.ColumnsAppended, A.LevelsSkipped,
+            A.LevelsReplayed};
+  return std::move(A.Session);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Delta equivalence across the full configuration matrix
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaEquivalence, MatchesColdRunAcrossBackendsShardsAndTiers) {
+  for (const char *Backend : BackendNames) {
+    for (unsigned Shards : ShardCounts) {
+      for (bool Compress : {false, true}) {
+        std::string What = std::string(Backend) + "/shards=" +
+                           std::to_string(Shards) +
+                           (Compress ? "/compressed" : "/raw");
+        SynthResult Cold = coldRun(fullSpec(), opts(Shards, Compress),
+                                   Backend);
+
+        // Park point 1: the old session exhausted a small cost budget.
+        {
+          std::unique_ptr<SearchSession> S =
+              runAndGraft(baseSpec(), opts(Shards, Compress, 6),
+                          fullSpec(), opts(Shards, Compress), Backend);
+          ASSERT_TRUE(S) << What;
+          expectDeltaEquivalent(S->run(), Cold, What + "/parked");
+        }
+
+        // Park point 2: the old session ran to its own answer.
+        {
+          std::unique_ptr<SearchSession> S =
+              runAndGraft(baseSpec(), opts(Shards, Compress), fullSpec(),
+                          opts(Shards, Compress), Backend);
+          ASSERT_TRUE(S) << What;
+          expectDeltaEquivalent(S->run(), Cold, What + "/solved");
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaEquivalence, ChainedRefinementMatchesColdRun) {
+  for (const char *Backend : BackendNames) {
+    for (unsigned Shards : {1u, 3u}) {
+      std::string What =
+          std::string(Backend) + "/shards=" + std::to_string(Shards);
+      std::unique_ptr<SearchSession> S =
+          runAndGraft(baseSpec(), opts(Shards, false, 6), midSpec(),
+                      opts(Shards, false, 8), Backend);
+      ASSERT_TRUE(S) << What;
+      S->run();
+      // Second edit grafts onto the *delta* session: its re-journaled
+      // ledger must extend the validated prefix seamlessly.
+      DeltaAttempt A =
+          deltaResynthesize(*S, stage(fullSpec(), sigma01(),
+                                      opts(Shards, false)));
+      ASSERT_TRUE(A.Session != nullptr) << What << ": " << A.DeclineReason;
+      expectDeltaEquivalent(A.Session->run(),
+                            coldRun(fullSpec(), opts(Shards, false),
+                                    Backend),
+                            What + "/chained");
+    }
+  }
+}
+
+TEST(DeltaEquivalence, ShrunkCostBudgetClampsTheReplay) {
+  // The edited query's budget is *smaller* than the levels the old
+  // session completed: the graft must not materialize levels past it.
+  std::unique_ptr<SearchSession> S =
+      runAndGraft(baseSpec(), opts(2, false, 9), fullSpec(),
+                  opts(2, false, 4), "cpu");
+  ASSERT_TRUE(S);
+  expectDeltaEquivalent(S->run(), coldRun(fullSpec(), opts(2, false, 4),
+                                          "cpu"),
+                        "clamped");
+}
+
+TEST(DeltaEquivalence, UniquenessCheckOffStillGrafts) {
+  SynthOptions OldO = opts(1, false, 6), NewO = opts(1, false);
+  OldO.UniquenessCheck = false;
+  NewO.UniquenessCheck = false;
+  std::unique_ptr<SearchSession> S =
+      runAndGraft(baseSpec(), OldO, fullSpec(), NewO, "cpu");
+  ASSERT_TRUE(S);
+  expectDeltaEquivalent(S->run(), coldRun(fullSpec(), NewO, "cpu"),
+                        "uniqueness-off");
+}
+
+TEST(DeltaEquivalence, WordAddingNoNewInfixesStillGrafts) {
+  // "1010"'s infixes already contain "010": the universe is unchanged
+  // (zero appended columns) but the masks differ - the degenerate edit
+  // the geometry must handle.
+  Spec Old({"10", "101", "100", "1010"}, {"", "0", "1"});
+  Spec New = Old;
+  New.Neg.push_back("010");
+  DeltaAttempt Meta;
+  std::unique_ptr<SearchSession> S = runAndGraft(
+      Old, opts(1, false, 6), New, opts(1, false), "cpu", &Meta);
+  ASSERT_TRUE(S);
+  EXPECT_EQ(Meta.ColumnsAppended, 0u);
+  expectDeltaEquivalent(S->run(), coldRun(New, opts(1, false), "cpu"),
+                        "no-new-infixes");
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot round trip
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaSnapshot, LedgerSurvivesSaveRestoreAndGrafts) {
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(baseSpec(), sigma01(), opts(2, false, 4));
+  std::string Bytes;
+  {
+    SearchSession Old(QOld, createBackend("cpu"));
+    Old.run();
+    ASSERT_EQ(Old.state(), SessionState::Parked);
+    SnapshotWriter W;
+    ASSERT_TRUE(Old.save(W));
+    Bytes = W.buffer();
+  }
+  std::string Error;
+  std::unique_ptr<SearchSession> Restored =
+      SearchSession::restore(Bytes, QOld, createBackend("cpu"), &Error);
+  ASSERT_TRUE(Restored) << Error;
+  DeltaAttempt A = deltaResynthesize(
+      *Restored, stage(fullSpec(), sigma01(), opts(2, false)));
+  ASSERT_TRUE(A.Session != nullptr) << A.DeclineReason;
+  expectDeltaEquivalent(A.Session->run(),
+                        coldRun(fullSpec(), opts(2, false), "cpu"),
+                        "restored");
+}
+
+//===----------------------------------------------------------------------===//
+// Solved-session fast path
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaFastPath, CompatibleEditFinishesWithoutResweeping) {
+  SynthResult Base = coldRun(baseSpec(), opts(1, false), "cpu");
+  ASSERT_EQ(Base.Status, SynthStatus::Found);
+  RegexManager M;
+  ParseResult P = parseRegex(M, Base.Regex);
+  ASSERT_NE(P.Re, nullptr) << P.Error;
+  DerivativeMatcher Matcher(M);
+
+  // Add an example the old answer already classifies correctly - a
+  // rejected word as negative - choosing a word that is already a
+  // universe column ("010" is an infix of "1010"). Zero appended
+  // columns means no journaled dup can split, so every level
+  // validates, the old satisfier still satisfies, and the graft must
+  // finish on the spot without running a single level. (An edit that
+  // *does* append columns may legitimately split a low-level dup pair
+  // that collided on the old universe - e.g. (01)* vs (01)? - and
+  // honestly resweep; the matrix test covers those.)
+  ASSERT_FALSE(Matcher.matches(P.Re, "010"))
+      << Base.Regex << " unexpectedly accepts 010";
+  Spec New = baseSpec();
+  New.Neg.push_back("010");
+
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(baseSpec(), sigma01(), opts(1, false));
+  SearchSession Old(QOld, createBackend("cpu"));
+  Old.run();
+  ASSERT_EQ(Old.state(), SessionState::Finished);
+  DeltaAttempt A =
+      deltaResynthesize(Old, stage(New, sigma01(), opts(1, false)));
+  ASSERT_TRUE(A.Session != nullptr) << A.DeclineReason;
+  EXPECT_EQ(A.ColumnsAppended, 0u);
+  EXPECT_EQ(A.Session->state(), SessionState::Finished)
+      << "fast path must not leave the session running";
+  expectDeltaEquivalent(A.Session->result(),
+                        coldRun(New, opts(1, false), "cpu"), "fast-path");
+}
+
+TEST(DeltaFastPath, BreakingEditResumesTheSweep) {
+  SynthResult Base = coldRun(baseSpec(), opts(1, false), "cpu");
+  ASSERT_EQ(Base.Status, SynthStatus::Found);
+  RegexManager M;
+  ParseResult P = parseRegex(M, Base.Regex);
+  ASSERT_NE(P.Re, nullptr) << P.Error;
+  DerivativeMatcher Matcher(M);
+
+  // Add an *accepted* word as a negative example: the old answer is
+  // dead and the sweep must continue past its level.
+  Spec New = baseSpec();
+  std::string Accepted;
+  for (const std::string &W : {"1000", "1001", "10100", "1011"})
+    if (Matcher.matches(P.Re, W)) {
+      Accepted = W;
+      break;
+    }
+  ASSERT_FALSE(Accepted.empty());
+  New.Neg.push_back(Accepted);
+
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(baseSpec(), sigma01(), opts(1, false));
+  SearchSession Old(QOld, createBackend("cpu"));
+  Old.run();
+  DeltaAttempt A =
+      deltaResynthesize(Old, stage(New, sigma01(), opts(1, false)));
+  ASSERT_TRUE(A.Session != nullptr) << A.DeclineReason;
+  expectDeltaEquivalent(A.Session->run(),
+                        coldRun(New, opts(1, false), "cpu"),
+                        "breaking-edit");
+}
+
+//===----------------------------------------------------------------------===//
+// Declines leave the old session intact
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaDecline, RemovedExampleDeclinesAndOldSessionStillResumes) {
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(fullSpec(), sigma01(), opts(2, false, 6));
+  SearchSession Old(QOld, createBackend("cpu"));
+  Old.run();
+  ASSERT_EQ(Old.state(), SessionState::Parked);
+
+  DeltaAttempt A = deltaResynthesize(
+      Old, stage(baseSpec(), sigma01(), opts(2, false)));
+  EXPECT_EQ(A.Session, nullptr);
+  EXPECT_FALSE(A.DeclineReason.empty());
+
+  // The decline must not have damaged the parked state: an ordinary
+  // budget extension still equals a cold run at the final budget.
+  ASSERT_TRUE(Old.extendBudget(0, 0));
+  expectDeltaEquivalent(Old.run(),
+                        coldRun(fullSpec(), opts(2, false), "cpu"),
+                        "post-decline-resume");
+}
+
+TEST(DeltaDecline, MismatchedSweepOptionsDecline) {
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(baseSpec(), sigma01(), opts(2, false, 6));
+  SearchSession Old(QOld, createBackend("cpu"));
+  Old.run();
+  // Different shard count: part of the lineage key.
+  DeltaAttempt A = deltaResynthesize(
+      Old, stage(fullSpec(), sigma01(), opts(3, false)));
+  EXPECT_EQ(A.Session, nullptr);
+  EXPECT_FALSE(A.DeclineReason.empty());
+}
+
+TEST(DeltaDecline, BorrowedSessionsDecline) {
+  std::shared_ptr<const StagedQuery> Q =
+      stage(baseSpec(), sigma01(), opts(1, false, 6));
+  std::unique_ptr<engine::Backend> B = createBackend("cpu");
+  SearchSession Old(*Q, *B); // Borrowing constructor: nothing to steal.
+  Old.run();
+  DeltaAttempt A = deltaResynthesize(
+      Old, stage(fullSpec(), sigma01(), opts(1, false)));
+  EXPECT_EQ(A.Session, nullptr);
+}
+
+TEST(DeltaDecline, ErrorTolerantEditsDecline) {
+  std::shared_ptr<const StagedQuery> QOld =
+      stage(baseSpec(), sigma01(), opts(1, false, 6));
+  SearchSession Old(QOld, createBackend("cpu"));
+  Old.run();
+  SynthOptions Tolerant = opts(1, false);
+  Tolerant.AllowedError = 0.2;
+  DeltaAttempt A =
+      deltaResynthesize(Old, stage(fullSpec(), sigma01(), Tolerant));
+  EXPECT_EQ(A.Session, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration: delta-aware park lookup
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDelta, RefinementChainGraftsParkedDonors) {
+  using paresy::service::ServiceStats;
+  using paresy::service::SynthService;
+  SynthService Service{{}};
+  SynthOptions O = opts(1, false);
+
+  // The first draft solves cold; being delta-capable, its solved
+  // session is kept as a donor.
+  EXPECT_EQ(Service.synthesize(baseSpec(), sigma01(), O).Status,
+            SynthStatus::Found);
+  ServiceStats St = Service.stats();
+  EXPECT_EQ(St.SessionsParked, 1u);
+  EXPECT_EQ(St.DeltaHits, 0u);
+
+  // Each refinement grafts the previous round's store and still
+  // equals a cold run of the edited spec, bit for bit.
+  expectDeltaEquivalent(Service.synthesize(midSpec(), sigma01(), O),
+                        coldRun(midSpec(), O, "cpu"), "service-mid");
+  St = Service.stats();
+  EXPECT_EQ(St.DeltaHits, 1u);
+  EXPECT_GT(St.DeltaLevelsSkipped, 0u);
+
+  expectDeltaEquivalent(Service.synthesize(fullSpec(), sigma01(), O),
+                        coldRun(fullSpec(), O, "cpu"), "service-full");
+  St = Service.stats();
+  EXPECT_EQ(St.DeltaHits, 2u);
+  // The exact-resume counter is delta-independent.
+  EXPECT_EQ(St.SessionsResumed, 0u);
+  EXPECT_NE(serviceStatsText(St).find("delta:"), std::string::npos);
+}
+
+TEST(ServiceDelta, TimeoutThroughTheDeltaPathIsNeverCached) {
+  // Satellite regression: the delta path reaches the result cache
+  // through the same publication point as a cold run, so its Timeout
+  // (and Cancelled) results must stay uncacheable - replaying a
+  // wall-clock failure from the cache would pin it forever.
+  using paresy::service::SynthService;
+  SynthService Service{{}};
+  EXPECT_EQ(
+      Service.synthesize(baseSpec(), sigma01(), opts(1, false)).Status,
+      SynthStatus::Found);
+
+  SynthOptions Hopeless = opts(1, false);
+  Hopeless.TimeoutSeconds = 1e-9;
+  EXPECT_EQ(
+      Service.synthesize(fullSpec(), sigma01(), Hopeless).Status,
+      SynthStatus::Timeout);
+  EXPECT_EQ(Service.stats().DeltaHits, 1u);
+
+  // The identical retry must re-run, not replay the grafted Timeout.
+  EXPECT_EQ(
+      Service.synthesize(fullSpec(), sigma01(), Hopeless).Status,
+      SynthStatus::Timeout);
+  EXPECT_EQ(Service.stats().Hits, 0u);
+}
+
+TEST(ServiceDelta, ShrunkSpecNeverGrafts) {
+  // The reverse edit (examples removed) must not consume the donor.
+  using paresy::service::SynthService;
+  SynthService Service{{}};
+  SynthOptions O = opts(1, false);
+  EXPECT_EQ(Service.synthesize(fullSpec(), sigma01(), O).Status,
+            SynthStatus::Found);
+  expectDeltaEquivalent(Service.synthesize(baseSpec(), sigma01(), O),
+                        coldRun(baseSpec(), O, "cpu"), "shrunk");
+  EXPECT_EQ(Service.stats().DeltaHits, 0u);
+  EXPECT_EQ(Service.stats().DeltaDeclined, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// DupLedger unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(DupLedger, PrefixTruncationKeepsExactlyTheValidatedLevels) {
+  DupLedger L;
+  Provenance P;
+  P.Kind = CsOp::Star;
+  P.Lhs = 3;
+  L.beginLevel();
+  L.commitLevel(1, 10, 8);
+  L.beginLevel();
+  L.record(P, 5);
+  L.record(P, 6);
+  L.commitLevel(2, 30, 20);
+  L.beginLevel();
+  L.record(P, 7);
+  L.commitLevel(3, 70, 40);
+  L.markBroken();
+  ASSERT_TRUE(L.truncated());
+
+  L.keepLevelPrefix(2);
+  EXPECT_FALSE(L.truncated());
+  ASSERT_EQ(L.levelCount(), 2u);
+  EXPECT_EQ(L.level(1).Cost, 2u);
+  EXPECT_EQ(L.level(1).DupEnd, 2u);
+  // Journaling reopens past the kept prefix.
+  L.beginLevel();
+  L.record(P, 9);
+  L.commitLevel(3, 70, 40);
+  ASSERT_EQ(L.levelCount(), 3u);
+  EXPECT_EQ(L.dup(L.level(2).DupBegin).WinnerRow, 9u);
+}
+
+TEST(DupLedger, CancelAndRollbackDiscardOpenRecords) {
+  DupLedger L;
+  Provenance P;
+  P.Kind = CsOp::Concat;
+  P.Lhs = 1;
+  P.Rhs = 2;
+  L.beginLevel();
+  L.record(P, 4);
+  L.cancelLevel();
+  L.beginLevel();
+  L.commitLevel(1, 5, 5);
+  ASSERT_EQ(L.levelCount(), 1u);
+  EXPECT_EQ(L.level(0).DupBegin, L.level(0).DupEnd);
+}

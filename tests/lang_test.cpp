@@ -614,6 +614,98 @@ TEST(Fingerprint, StagingKeyIgnoresSweepOnlyOptions) {
   EXPECT_NE(Ref, fingerprintStaging(S, Sigma, NoGuide));
 }
 
+TEST(Fingerprint, GoldenCanonicalTexts) {
+  // The exact bytes of every canonical key text, pinned. These texts
+  // ARE the persisted cache/session/lineage key space: any byte-level
+  // drift silently orphans parked sessions, result-cache entries and
+  // delta-donor lineage matches across a version boundary, so a
+  // deliberate format change must bump the embedded version tag (and
+  // this test) rather than mutate an existing layout in place.
+  Spec S = canonicalSpec(Spec({"10", "101"}, {"", "0"}));
+  Alphabet Sigma = Alphabet::of("01");
+  SynthOptions Defaults;
+  // Pinned, not defaulted: PARESY_TEST_SHARDS flips the default shard
+  // count in the sharded CI reruns, and golden bytes must not follow.
+  Defaults.Shards = 1;
+  EXPECT_EQ(canonicalQueryText(S, Sigma, Defaults),
+            "paresy-query-v4\n"
+            "alphabet=01\n"
+            "+10\n+101\n-\n-0\n"
+            "cost=(1, 1, 1, 1, 1)\n"
+            "memory=0000000010000000\n"
+            "shards=0000000000000001\n"
+            "error=0000000000000000\n"
+            "store=0000000000000000:0000000000000000:0000000000000000\n"
+            "flags=11111\n"
+            "maxcost=0000000000000000\n"
+            "timeout=0000000000000000\n");
+  EXPECT_EQ(canonicalStagingText(S, Sigma, Defaults),
+            "paresy-staging-v1\n"
+            "alphabet=01\n"
+            "+10\n+101\n-\n-0\n"
+            "flags=11\n");
+  EXPECT_EQ(canonicalSessionText(S, Sigma, Defaults),
+            "paresy-session-v4\n"
+            "alphabet=01\n"
+            "+10\n+101\n-\n-0\n"
+            "cost=(1, 1, 1, 1, 1)\n"
+            "memory=0000000010000000\n"
+            "shards=0000000000000001\n"
+            "error=0000000000000000\n"
+            "store=0000000000000000:0000000000000000:0000000000000000\n"
+            "flags=11111\n");
+  EXPECT_EQ(canonicalLineageText(Sigma, Defaults),
+            "paresy-lineage-v1\n"
+            "alphabet=01\n"
+            "cost=(1, 1, 1, 1, 1)\n"
+            "memory=0000000010000000\n"
+            "shards=0000000000000001\n"
+            "error=0000000000000000\n"
+            "store=0000000000000000:0000000000000000:0000000000000000\n"
+            "flags=11111\n");
+
+  // Non-default options, pinning the hex encodings of every numeric
+  // field class: counts, IEEE doubles, the store triple and the flag
+  // string. The lineage text is the session text minus the spec lines.
+  SynthOptions O;
+  O.Shards = 3;
+  O.CompressStore = true;
+  O.SpillDir = "/tmp/spill";
+  O.MaxCost = 500;
+  O.TimeoutSeconds = 2.5;
+  O.AllowedError = 0.125;
+  O.UseGuideTable = false;
+  EXPECT_EQ(canonicalQueryText(S, Sigma, O),
+            "paresy-query-v4\n"
+            "alphabet=01\n"
+            "+10\n+101\n-\n-0\n"
+            "cost=(1, 1, 1, 1, 1)\n"
+            "memory=0000000010000000\n"
+            "shards=0000000000000003\n"
+            "error=3fc0000000000000\n"
+            "store=0000000000000001:0000000000000001:0000000004000000\n"
+            "flags=11101\n"
+            "maxcost=00000000000001f4\n"
+            "timeout=4004000000000000\n");
+  EXPECT_EQ(canonicalLineageText(Sigma, O),
+            "paresy-lineage-v1\n"
+            "alphabet=01\n"
+            "cost=(1, 1, 1, 1, 1)\n"
+            "memory=0000000010000000\n"
+            "shards=0000000000000003\n"
+            "error=3fc0000000000000\n"
+            "store=0000000000000001:0000000000000001:0000000004000000\n"
+            "flags=11101\n");
+
+  // And the derived fingerprints, pinning the mixing function itself.
+  EXPECT_EQ(fingerprintQuery(S, Sigma, Defaults).hex(),
+            "aff726e195ac1aabe9aea960b62c7aba");
+  EXPECT_EQ(fingerprintQuery(S, Sigma, O).hex(),
+            "cd1acb138fc41f5c8e646adf796f5509");
+  EXPECT_EQ(fingerprintText(canonicalLineageText(Sigma, Defaults)).hex(),
+            "bced79140c249dc882f95d3e522a4166");
+}
+
 TEST(Fingerprint, StableTextEncodingAndHex) {
   // The fingerprint is a pure function of the canonical text: pin one
   // value so accidental encoding changes (which would silently orphan

@@ -337,18 +337,29 @@ TEST(WireCodec, RoundTripsEveryFrameType) {
   HelloFrame H;
   H.Tenant = Nasty;
   H.Weight = 3.25;
+  H.Capabilities = 0xdeadbeefull;
   Frame F;
   ASSERT_TRUE(decodeFrame(encodeFrame(H), F));
   ASSERT_EQ(F.Type, FrameType::Hello);
   EXPECT_EQ(F.Hello.Protocol, WireProtocolVersion);
   EXPECT_EQ(F.Hello.Tenant, Nasty);
   EXPECT_EQ(F.Hello.Weight, 3.25);
+  EXPECT_EQ(F.Hello.Capabilities, 0xdeadbeefull);
+
+  // A v1 Hello has no capability word on the wire; decoding one must
+  // leave the field at its absent-value zero, not fail.
+  H.Protocol = 1;
+  ASSERT_TRUE(decodeFrame(encodeFrame(H), F));
+  EXPECT_EQ(F.Hello.Protocol, 1u);
+  EXPECT_EQ(F.Hello.Capabilities, 0u);
 
   HelloOkFrame HO;
   HO.Banner = "serving: backend cpu";
+  HO.Capabilities = ServerCapabilities;
   ASSERT_TRUE(decodeFrame(encodeFrame(HO), F));
   ASSERT_EQ(F.Type, FrameType::HelloOk);
   EXPECT_EQ(F.HelloOk.Banner, HO.Banner);
+  EXPECT_EQ(F.HelloOk.Capabilities, ServerCapabilities);
 
   SubmitFrame S;
   S.RequestId = 0x1122334455667788ull;
@@ -586,6 +597,58 @@ TEST(ServeHandshake, RejectsProtocolMismatchAndNonHelloOpenings) {
     ASSERT_EQ(F.Type, FrameType::Error);
     EXPECT_NE(F.Error.Message.find("Hello"), std::string::npos);
   }
+}
+
+TEST(ServeHandshake, V2HandshakeAdvertisesDeltaResynthesis) {
+  SynthServer Server(basicServer("cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  ServeClient C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Server.port(), "t1", 1.0, &Error))
+      << Error;
+  EXPECT_EQ(C.protocol(), WireProtocolVersion);
+  EXPECT_TRUE(C.serverCapabilities() & CapDeltaResynthesis);
+  C.goodbye();
+}
+
+TEST(ServeHandshake, V1ClientsStillRoundTrip) {
+  // A client speaking the original protocol - no capability word in
+  // its Hello - must still complete a whole search; the server answers
+  // in v1 (so its HelloOk also has no capability word).
+  SynthServer Server(basicServer("cpu"));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  Socket S = connectTo("127.0.0.1", Server.port(), &Error);
+  ASSERT_TRUE(S.valid()) << Error;
+
+  HelloFrame H;
+  H.Protocol = 1;
+  H.Tenant = "legacy";
+  ASSERT_TRUE(writeFrame(S, encodeFrame(H)));
+  std::string Payload;
+  Frame F;
+  ASSERT_TRUE(readFrame(S, Payload));
+  ASSERT_TRUE(decodeFrame(Payload, F, &Error)) << Error;
+  ASSERT_EQ(F.Type, FrameType::HelloOk);
+  EXPECT_EQ(F.HelloOk.Protocol, 1u);
+  EXPECT_EQ(F.HelloOk.Capabilities, 0u);
+
+  SubmitFrame Sub;
+  Sub.RequestId = 7;
+  Sub.Examples = introSpec();
+  Sub.AlphabetChars = "01";
+  ASSERT_TRUE(writeFrame(S, encodeFrame(Sub)));
+  for (;;) {
+    ASSERT_TRUE(readFrame(S, Payload));
+    ASSERT_TRUE(decodeFrame(Payload, F, &Error)) << Error;
+    ASSERT_NE(F.Type, FrameType::Error) << F.Error.Message;
+    if (F.Type != FrameType::Result)
+      continue;
+    EXPECT_EQ(F.Result.RequestId, 7u);
+    EXPECT_EQ(SynthStatus(F.Result.Status), SynthStatus::Found);
+    break;
+  }
+  ASSERT_TRUE(writeFrame(S, encodeFrame(FrameType::Bye)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -971,6 +1034,16 @@ TEST(ServeResume, CancelFrameParksTheSessionToo) {
     return Server.service().stats().Misses >= 1;
   }));
   ASSERT_TRUE(C.cancel(1));
+  // Barrier: frames on one connection are handled in order, so a
+  // StatsReply proves the Cancel was processed before the gate opens -
+  // otherwise the release below could race the cancel and finish the
+  // search as Found (which would park it as a delta donor, not as an
+  // abandoned sweep, and request 2 would be a cache hit, not a resume).
+  ASSERT_TRUE(C.requestStats());
+  Frame Barrier;
+  do {
+    ASSERT_TRUE(C.next(Barrier, &Error)) << Error;
+  } while (Barrier.Type != FrameType::StatsReply);
   gate().open();
   // Cancel abandons, never kills: the session parks for a retry.
   ASSERT_TRUE(eventually([&] {
